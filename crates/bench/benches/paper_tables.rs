@@ -1,0 +1,170 @@
+//! One bench target per paper table/figure.
+//!
+//! Each target regenerates its artifact once through the experiment driver
+//! (printing the paper-vs-ours rows) and then measures the representative
+//! simulation unit with Criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgellm_bench::support::{default_cfg, engine};
+use edgellm_core::{Dataset, RunConfig, SequenceSpec};
+use edgellm_experiments::runner::{run_experiment, ExperimentOpts};
+use edgellm_models::footprint::table1;
+use edgellm_models::{Llm, Precision};
+use std::hint::black_box;
+use std::sync::Once;
+
+/// Print each artifact once, not once per Criterion sample.
+fn print_once(id: &str) {
+    // One static per artifact would be noisy; a single global set works.
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    static PRINTED: Mutex<Option<HashSet<String>>> = Mutex::new(None);
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        *PRINTED.lock().unwrap() = Some(HashSet::new());
+    });
+    let mut guard = PRINTED.lock().unwrap();
+    let set = guard.as_mut().expect("initialized");
+    if set.insert(id.to_string()) {
+        drop(guard);
+        let r = run_experiment(id, ExperimentOpts { fast: true }).expect("known id");
+        println!("{}", r.render());
+    }
+}
+
+fn bench_tab1(c: &mut Criterion) {
+    print_once("tab1");
+    c.bench_function("tab1/model_memory_table", |b| {
+        b.iter(|| black_box(table1(black_box(64.0))))
+    });
+}
+
+fn bench_tab2(c: &mut Criterion) {
+    print_once("tab2");
+    c.bench_function("tab2/power_mode_registry", |b| {
+        b.iter(|| {
+            edgellm_hw::PowerModeRegistry::with_table2(
+                edgellm_hw::DeviceSpec::orin_agx_64gb(),
+            )
+        })
+    });
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    print_once("fig1");
+    let e = engine();
+    let mut g = c.benchmark_group("fig1/batch_sweep_wikitext2");
+    for bs in [1u64, 32, 128] {
+        g.bench_function(format!("llama_bs{bs}"), |b| {
+            let cfg = default_cfg(Llm::Llama31_8b).batch_size(bs);
+            b.iter(|| e.run_batch(black_box(&cfg)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    print_once("fig7");
+    let e = engine();
+    c.bench_function("fig7/batch_sweep_longbench_llama_bs32", |b| {
+        let cfg = default_cfg(Llm::Llama31_8b).dataset(Dataset::LongBench);
+        b.iter(|| e.run_batch(black_box(&cfg)).unwrap())
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    print_once("fig2");
+    let e = engine();
+    let mut g = c.benchmark_group("fig2/seqlen_sweep_longbench");
+    for sl in [128u64, 1024] {
+        g.bench_function(format!("llama_sl{sl}"), |b| {
+            let cfg = default_cfg(Llm::Llama31_8b)
+                .sequence(SequenceSpec::paper_sweep(sl))
+                .dataset(Dataset::LongBench);
+            b.iter(|| e.run_batch(black_box(&cfg)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    print_once("fig9");
+    let e = engine();
+    c.bench_function("fig9/seqlen_sweep_wikitext2_mistral_sl512", |b| {
+        let cfg = default_cfg(Llm::MistralSmall24b).sequence(SequenceSpec::paper_sweep(512));
+        b.iter(|| e.run_batch(black_box(&cfg)).unwrap())
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    print_once("fig3");
+    let e = engine();
+    let mut g = c.benchmark_group("fig3/quantization");
+    for prec in [Precision::Fp16, Precision::Int8, Precision::Int4] {
+        g.bench_function(format!("llama_{}", prec.label()), |b| {
+            let cfg = RunConfig::new(Llm::Llama31_8b, prec);
+            b.iter(|| e.run_batch(black_box(&cfg)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_tab3(c: &mut Criterion) {
+    print_once("tab3");
+    // Measure the perplexity evaluator itself on a small trained model.
+    use edgellm_core::perplexity::sliding_window_perplexity;
+    use edgellm_nn::{MlpLm, MlpLmConfig};
+    let mut m = MlpLm::new(MlpLmConfig { vocab: 256, context: 4, d_emb: 16, hidden: 32, seed: 1 });
+    let stream: Vec<u32> = (0..8000).map(|i| ((i * 31 + i / 5) % 256) as u32).collect();
+    m.train(&stream, 100, 32, 3e-3, 2);
+    c.bench_function("tab3/sliding_window_perplexity_8k_tokens", |b| {
+        b.iter(|| sliding_window_perplexity(&m, black_box(&stream)))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    print_once("fig4");
+    let e = engine();
+    c.bench_function("fig4/power_energy_llama_int8_bs128", |b| {
+        let cfg = RunConfig::new(Llm::Llama31_8b, Precision::Int8).batch_size(128);
+        b.iter(|| e.run_batch(black_box(&cfg)).unwrap())
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    print_once("fig10");
+    let e = engine();
+    c.bench_function("fig10/power_energy_all_models_bs32", |b| {
+        b.iter(|| {
+            for llm in Llm::ALL {
+                let _ = e.run_batch(black_box(&default_cfg(llm)));
+            }
+        })
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    print_once("fig5");
+    let e = engine();
+    let mut g = c.benchmark_group("fig5/power_modes");
+    for id in [
+        edgellm_hw::PowerModeId::MaxN,
+        edgellm_hw::PowerModeId::B,
+        edgellm_hw::PowerModeId::H,
+    ] {
+        g.bench_function(format!("llama_pm_{}", id.name()), |b| {
+            let cfg =
+                default_cfg(Llm::Llama31_8b).power_mode(edgellm_hw::PowerMode::table2(id));
+            b.iter(|| e.run_batch(black_box(&cfg)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tab1, bench_tab2, bench_fig1, bench_fig7, bench_fig2,
+        bench_fig9, bench_fig3, bench_tab3, bench_fig4, bench_fig10, bench_fig5
+}
+criterion_main!(tables);

@@ -1,0 +1,35 @@
+//! # edgellm-bench — Criterion benchmark harness
+//!
+//! Three bench suites (run with `cargo bench`):
+//!
+//! * **`paper_tables`** — one target per paper table/figure. Each target
+//!   first *regenerates* the artifact through its `edgellm-experiments`
+//!   driver (printing the same rows/series the paper reports, side by side
+//!   with the published values) and then Criterion-measures the
+//!   representative simulation unit behind it.
+//! * **`kernels`** — the executable substrate under the microscope:
+//!   f32/f16/INT8/INT4 matrix products at transformer shapes, quantize/
+//!   dequantize codecs, BPE encode, and full transformer decode steps per
+//!   precision — demonstrating on a *real code path* why quantization
+//!   slows small models (the paper's §3.3).
+//! * **`ablations`** — the design-choice studies listed in DESIGN.md §5:
+//!   outlier decomposition on/off, host-overhead term zeroed (pure
+//!   roofline), GQA vs MHA KV footprint, paged vs contiguous KV, and the
+//!   quadratic activation term on/off vs the paper's Phi-2 memory column.
+
+/// Shared helpers for the bench targets.
+pub mod support {
+    use edgellm_core::{Engine, RunConfig};
+    use edgellm_models::{Llm, Precision};
+
+    /// The engine every bench target simulates against.
+    pub fn engine() -> Engine {
+        Engine::orin_agx_64gb()
+    }
+
+    /// The paper's default configuration for a model.
+    pub fn default_cfg(llm: Llm) -> RunConfig {
+        let prec = if llm == Llm::DeepseekQwen32b { Precision::Int8 } else { Precision::Fp16 };
+        RunConfig::new(llm, prec)
+    }
+}

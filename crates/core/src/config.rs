@@ -1,0 +1,161 @@
+//! Run configuration types.
+
+use edgellm_hw::{PowerMode, PowerModeId};
+use edgellm_models::{Llm, Precision};
+
+/// Which prompt pool a run draws from (the paper's two workloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// WikiText2-derived prompt pool.
+    WikiText2,
+    /// LongBench-derived prompt pool.
+    LongBench,
+}
+
+impl Dataset {
+    /// Display label matching the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Dataset::WikiText2 => "WikiText2",
+            Dataset::LongBench => "LongBench",
+        }
+    }
+}
+
+/// Input/output token split. The paper defines sequence length `A = B + C`
+/// with B input and C generated tokens (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SequenceSpec {
+    /// Prompt tokens per sequence.
+    pub input_tokens: u64,
+    /// Generated tokens per sequence.
+    pub output_tokens: u64,
+}
+
+impl SequenceSpec {
+    /// The default workload of Figs. 1/3/4/5: 96 = 32 input + 64 output.
+    pub fn paper_96() -> Self {
+        SequenceSpec { input_tokens: 32, output_tokens: 64 }
+    }
+
+    /// The paper's sequence-length sweep splits (§3.2): 128 = 32+96,
+    /// 256 = 64+192, 512 = 128+384, 1024 = 256+768.
+    ///
+    /// # Panics
+    /// If `total` is not one of the paper's four configurations.
+    pub fn paper_sweep(total: u64) -> Self {
+        match total {
+            128 => SequenceSpec { input_tokens: 32, output_tokens: 96 },
+            256 => SequenceSpec { input_tokens: 64, output_tokens: 192 },
+            512 => SequenceSpec { input_tokens: 128, output_tokens: 384 },
+            1024 => SequenceSpec { input_tokens: 256, output_tokens: 768 },
+            other => panic!("no paper split defined for sequence length {other}"),
+        }
+    }
+
+    /// Total sequence length (input + output).
+    pub fn total(&self) -> u64 {
+        self.input_tokens + self.output_tokens
+    }
+}
+
+/// Full configuration of one measured run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Which model.
+    pub llm: Llm,
+    /// Weight precision.
+    pub precision: Precision,
+    /// Prompts per batch.
+    pub batch_size: u64,
+    /// Token split.
+    pub sequence: SequenceSpec,
+    /// Device power mode.
+    pub power_mode: PowerMode,
+    /// Prompt pool.
+    pub dataset: Dataset,
+    /// Seed for sampling/jitter.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// The paper's default configuration: bs=32, sl=96, MaxN, WikiText2.
+    pub fn new(llm: Llm, precision: Precision) -> Self {
+        RunConfig {
+            llm,
+            precision,
+            batch_size: 32,
+            sequence: SequenceSpec::paper_96(),
+            power_mode: PowerMode::table2(PowerModeId::MaxN),
+            dataset: Dataset::WikiText2,
+            seed: 0,
+        }
+    }
+
+    /// Set the batch size.
+    pub fn batch_size(mut self, bs: u64) -> Self {
+        self.batch_size = bs;
+        self
+    }
+
+    /// Set the sequence spec.
+    pub fn sequence(mut self, seq: SequenceSpec) -> Self {
+        self.sequence = seq;
+        self
+    }
+
+    /// Set the power mode.
+    pub fn power_mode(mut self, pm: PowerMode) -> Self {
+        self.power_mode = pm;
+        self
+    }
+
+    /// Set the dataset.
+    pub fn dataset(mut self, ds: Dataset) -> Self {
+        self.dataset = ds;
+        self
+    }
+
+    /// Set the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_96_is_32_plus_64() {
+        let s = SequenceSpec::paper_96();
+        assert_eq!((s.input_tokens, s.output_tokens, s.total()), (32, 64, 96));
+    }
+
+    #[test]
+    fn sweep_splits_match_section_3_2() {
+        assert_eq!(SequenceSpec::paper_sweep(128).input_tokens, 32);
+        assert_eq!(SequenceSpec::paper_sweep(256).output_tokens, 192);
+        assert_eq!(SequenceSpec::paper_sweep(512).input_tokens, 128);
+        assert_eq!(SequenceSpec::paper_sweep(1024).output_tokens, 768);
+        for total in [128u64, 256, 512, 1024] {
+            assert_eq!(SequenceSpec::paper_sweep(total).total(), total);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no paper split")]
+    fn unknown_sweep_length_panics() {
+        let _ = SequenceSpec::paper_sweep(333);
+    }
+
+    #[test]
+    fn builder_defaults_match_paper() {
+        let c = RunConfig::new(Llm::Phi2, Precision::Fp16);
+        assert_eq!(c.batch_size, 32);
+        assert_eq!(c.sequence.total(), 96);
+        assert_eq!(c.power_mode.name, "MaxN");
+        assert_eq!(c.dataset, Dataset::WikiText2);
+    }
+}

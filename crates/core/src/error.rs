@@ -1,0 +1,66 @@
+//! Runtime errors.
+
+use edgellm_hw::HwError;
+use std::fmt;
+
+/// Failure modes of a simulated run — exactly the outcomes the paper's
+/// tables record as OoM cells, plus configuration errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The model weights alone exceed usable memory (red Table 1 cells).
+    ModelDoesNotLoad {
+        /// Required weight GB.
+        required_gb: f64,
+        /// Usable capacity GB.
+        usable_gb: f64,
+    },
+    /// The workload's peak memory exceeds capacity (Table 6/7 OoM cells).
+    OutOfMemory {
+        /// Peak demand in GB.
+        peak_gb: f64,
+        /// Usable capacity GB.
+        usable_gb: f64,
+    },
+    /// The power mode is invalid for the device.
+    InvalidPowerMode(HwError),
+    /// A zero-sized workload dimension.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::ModelDoesNotLoad { required_gb, usable_gb } => write!(
+                f,
+                "model does not load: needs {required_gb:.1} GB, {usable_gb:.1} GB usable"
+            ),
+            RunError::OutOfMemory { peak_gb, usable_gb } => {
+                write!(f, "OOM: workload peaks at {peak_gb:.1} GB, {usable_gb:.1} GB usable")
+            }
+            RunError::InvalidPowerMode(e) => write!(f, "invalid power mode: {e}"),
+            RunError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<HwError> for RunError {
+    fn from(e: HwError) -> Self {
+        RunError::InvalidPowerMode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RunError::OutOfMemory { peak_gb: 78.6, usable_gb: 62.0 };
+        let s = e.to_string();
+        assert!(s.contains("78.6") && s.contains("62.0"));
+        let e = RunError::ModelDoesNotLoad { required_gb: 94.2, usable_gb: 62.0 };
+        assert!(e.to_string().contains("94.2"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Metrics types — the quantities the paper's tables and figures report.
+
+/// Measurements of one batch run (§2, "Evaluation Metrics").
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchMetrics {
+    /// End-to-end time to last token for the batch (s).
+    pub latency_s: f64,
+    /// Σ(input+output tokens) / latency (tokens/s).
+    pub throughput_tok_s: f64,
+    /// Peak total memory including the loaded model (GB) — the RAM column
+    /// of the appendix tables.
+    pub peak_mem_gb: f64,
+    /// Peak above the post-load baseline (GB) — the paper's incremental
+    /// metric.
+    pub incremental_mem_gb: f64,
+    /// Median of the 2 s power samples (W).
+    pub median_power_w: f64,
+    /// Trapezoid-integrated energy for the batch (J).
+    pub energy_j: f64,
+    /// Prefill share of latency (s) — the Splitwise-style phase split.
+    pub prefill_s: f64,
+    /// Decode share of latency (s).
+    pub decode_s: f64,
+    /// GPU busy fraction during decode (jtop-style).
+    pub gpu_util: f64,
+    /// KV-cache pool fragmentation at peak (paged allocator).
+    pub kv_fragmentation: f64,
+}
+
+/// Aggregate over the protocol's measured runs (mean of five, after one
+/// warm-up — §2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// Mean latency (s).
+    pub latency_s: f64,
+    /// Mean throughput (tokens/s).
+    pub throughput_tok_s: f64,
+    /// Mean peak memory (GB).
+    pub peak_mem_gb: f64,
+    /// Mean incremental peak memory (GB).
+    pub incremental_mem_gb: f64,
+    /// Mean median-power (W).
+    pub median_power_w: f64,
+    /// Mean energy (J).
+    pub energy_j: f64,
+    /// Latency standard deviation across runs (s).
+    pub latency_stddev_s: f64,
+    /// Number of measured runs aggregated.
+    pub runs: usize,
+}
+
+impl RunMetrics {
+    /// Aggregate a set of batch metrics.
+    ///
+    /// # Panics
+    /// If `runs` is empty.
+    pub fn aggregate(runs: &[BatchMetrics]) -> Self {
+        assert!(!runs.is_empty(), "cannot aggregate zero runs");
+        let n = runs.len() as f64;
+        let mean = |f: fn(&BatchMetrics) -> f64| runs.iter().map(f).sum::<f64>() / n;
+        let lat_mean = mean(|m| m.latency_s);
+        let var = runs.iter().map(|m| (m.latency_s - lat_mean).powi(2)).sum::<f64>() / n;
+        RunMetrics {
+            latency_s: lat_mean,
+            throughput_tok_s: mean(|m| m.throughput_tok_s),
+            peak_mem_gb: mean(|m| m.peak_mem_gb),
+            incremental_mem_gb: mean(|m| m.incremental_mem_gb),
+            median_power_w: mean(|m| m.median_power_w),
+            energy_j: mean(|m| m.energy_j),
+            latency_stddev_s: var.sqrt(),
+            runs: runs.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(lat: f64) -> BatchMetrics {
+        BatchMetrics {
+            latency_s: lat,
+            throughput_tok_s: 100.0 / lat,
+            peak_mem_gb: 10.0,
+            incremental_mem_gb: 1.0,
+            median_power_w: 40.0,
+            energy_j: 40.0 * lat,
+            prefill_s: lat * 0.1,
+            decode_s: lat * 0.9,
+            gpu_util: 0.9,
+            kv_fragmentation: 0.01,
+        }
+    }
+
+    #[test]
+    fn aggregate_means_and_stddev() {
+        let m = RunMetrics::aggregate(&[metric(9.0), metric(11.0)]);
+        assert_eq!(m.latency_s, 10.0);
+        assert_eq!(m.runs, 2);
+        assert!((m.latency_stddev_s - 1.0).abs() < 1e-12);
+        assert!((m.energy_j - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_run_has_zero_stddev() {
+        let m = RunMetrics::aggregate(&[metric(5.0)]);
+        assert_eq!(m.latency_stddev_s, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero runs")]
+    fn empty_aggregate_panics() {
+        let _ = RunMetrics::aggregate(&[]);
+    }
+}

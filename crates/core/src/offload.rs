@@ -1,0 +1,157 @@
+//! Edge↔cloud offload analysis — the paper's conclusion names "coupling
+//! edge inferencing with cloud endpoints" as future work. This module
+//! models the alternative to local inference: ship the prompt to a cloud
+//! endpoint and stream tokens back, paying network time and edge-side
+//! radio/idle energy instead of local compute time and energy.
+
+use crate::config::RunConfig;
+use crate::engine::Engine;
+use crate::error::RunError;
+
+/// A cloud LLM endpoint as seen from the edge device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CloudEndpoint {
+    /// Round-trip network latency (s).
+    pub rtt_s: f64,
+    /// Uplink bandwidth (bytes/s).
+    pub uplink_bps: f64,
+    /// Endpoint time-to-first-token: queueing + cloud prefill (s).
+    pub ttft_s: f64,
+    /// Streaming generation rate (tokens/s) the endpoint sustains.
+    pub tok_rate: f64,
+    /// Edge radio power while transmitting/receiving (W).
+    pub radio_power_w: f64,
+    /// Edge idle power while waiting for the stream (W).
+    pub idle_power_w: f64,
+}
+
+impl CloudEndpoint {
+    /// A well-connected datacenter endpoint (fiber/5G, A100-class serving).
+    pub fn datacenter() -> Self {
+        CloudEndpoint {
+            rtt_s: 0.06,
+            uplink_bps: 12.5e6, // 100 Mbit/s
+            ttft_s: 0.5,
+            tok_rate: 60.0,
+            radio_power_w: 2.5,
+            idle_power_w: 9.0,
+        }
+    }
+
+    /// A constrained field link (satellite/rural LTE).
+    pub fn field_link() -> Self {
+        CloudEndpoint {
+            rtt_s: 0.7,
+            uplink_bps: 250e3, // 2 Mbit/s
+            ttft_s: 1.5,
+            tok_rate: 60.0,
+            radio_power_w: 4.0,
+            idle_power_w: 9.0,
+        }
+    }
+
+    /// Latency to complete one request of `n_in` prompt and `n_out`
+    /// generated tokens (≈4 bytes/token on the wire).
+    pub fn request_latency_s(&self, n_in: u64, n_out: u64) -> f64 {
+        let upload = n_in as f64 * 4.0 / self.uplink_bps;
+        self.rtt_s + upload + self.ttft_s + n_out as f64 / self.tok_rate
+    }
+
+    /// Edge-side energy for that request: radio during transfer, idle
+    /// while the endpoint generates.
+    pub fn edge_energy_j(&self, n_in: u64, n_out: u64) -> f64 {
+        let upload = n_in as f64 * 4.0 / self.uplink_bps;
+        let transfer = upload + self.rtt_s;
+        let wait = self.ttft_s + n_out as f64 / self.tok_rate;
+        transfer * (self.radio_power_w + self.idle_power_w) + wait * self.idle_power_w
+    }
+}
+
+/// One local-vs-cloud comparison for a single request shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OffloadComparison {
+    /// Local single-request latency (s).
+    pub local_latency_s: f64,
+    /// Local edge energy (J).
+    pub local_energy_j: f64,
+    /// Cloud request latency (s).
+    pub cloud_latency_s: f64,
+    /// Cloud edge-side energy (J).
+    pub cloud_energy_j: f64,
+}
+
+impl OffloadComparison {
+    /// Whether local inference wins on latency.
+    pub fn local_wins_latency(&self) -> bool {
+        self.local_latency_s < self.cloud_latency_s
+    }
+
+    /// Whether local inference wins on edge energy.
+    pub fn local_wins_energy(&self) -> bool {
+        self.local_energy_j < self.cloud_energy_j
+    }
+}
+
+/// Compare serving one request locally (bs=1) against offloading it.
+pub fn compare(
+    engine: &Engine,
+    cfg: &RunConfig,
+    endpoint: &CloudEndpoint,
+) -> Result<OffloadComparison, RunError> {
+    let local = engine.run_batch(&cfg.clone().batch_size(1))?;
+    let (n_in, n_out) = (cfg.sequence.input_tokens, cfg.sequence.output_tokens);
+    Ok(OffloadComparison {
+        local_latency_s: local.latency_s,
+        local_energy_j: local.energy_j,
+        cloud_latency_s: endpoint.request_latency_s(n_in, n_out),
+        cloud_energy_j: endpoint.edge_energy_j(n_in, n_out),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgellm_models::{Llm, Precision};
+
+    #[test]
+    fn datacenter_beats_local_for_single_large_model_requests() {
+        // A 32B model at bs=1 on the edge takes ~43 s for 64 tokens; a
+        // datacenter endpoint streams them in ~1.7 s.
+        let engine = Engine::orin_agx_64gb();
+        let cfg = RunConfig::new(Llm::DeepseekQwen32b, Precision::Int8);
+        let c = compare(&engine, &cfg, &CloudEndpoint::datacenter()).unwrap();
+        assert!(!c.local_wins_latency(), "{c:?}");
+        assert!(!c.local_wins_energy(), "{c:?}");
+    }
+
+    #[test]
+    fn degraded_network_flips_the_latency_verdict_for_small_models() {
+        let engine = Engine::orin_agx_64gb();
+        let cfg = RunConfig::new(Llm::Phi2, Precision::Fp16);
+        let good = compare(&engine, &cfg, &CloudEndpoint::datacenter()).unwrap();
+        let mut bad = CloudEndpoint::field_link();
+        bad.rtt_s = 2.0;
+        bad.ttft_s = 4.0;
+        bad.tok_rate = 10.0;
+        let degraded = compare(&engine, &cfg, &bad).unwrap();
+        assert!(!good.local_wins_latency(), "good network: cloud wins");
+        assert!(degraded.local_wins_latency(), "bad network: local wins ({degraded:?})");
+    }
+
+    #[test]
+    fn cloud_edge_energy_scales_with_wait_time() {
+        let e = CloudEndpoint::datacenter();
+        assert!(e.edge_energy_j(32, 256) > e.edge_energy_j(32, 64));
+        assert!(e.request_latency_s(32, 256) > e.request_latency_s(32, 64));
+    }
+
+    #[test]
+    fn upload_time_matters_on_slow_links(){
+        let fast = CloudEndpoint::datacenter();
+        let slow = CloudEndpoint::field_link();
+        let long_prompt = 8192u64;
+        let d_fast = fast.request_latency_s(long_prompt, 1) - fast.request_latency_s(1, 1);
+        let d_slow = slow.request_latency_s(long_prompt, 1) - slow.request_latency_s(1, 1);
+        assert!(d_slow > 10.0 * d_fast, "slow uplink dominates: {d_slow} vs {d_fast}");
+    }
+}

@@ -1,0 +1,144 @@
+//! The paper's perplexity protocol: overlapping 1024-token windows with a
+//! 512-token stride (§2), `exp(Σ NLL / total tokens)`.
+
+use edgellm_nn::CausalScorer;
+
+/// Window size in tokens.
+pub const WINDOW: usize = 1024;
+
+/// Stride between windows.
+pub const STRIDE: usize = 512;
+
+/// Result of a perplexity evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerplexityReport {
+    /// exp of the mean NLL.
+    pub perplexity: f64,
+    /// Total NLL (nats).
+    pub total_nll: f64,
+    /// Tokens scored.
+    pub tokens_scored: usize,
+    /// Windows evaluated.
+    pub windows: usize,
+}
+
+/// Evaluate sliding-window perplexity over a token stream with the given
+/// window/stride. In each window only the tokens *not already scored by
+/// the previous window* contribute (the standard strided protocol), so no
+/// token is double-counted while every token past the first retains up to
+/// `window − stride` tokens of context.
+pub fn sliding_window_perplexity_with<S: CausalScorer>(
+    scorer: &S,
+    tokens: &[u32],
+    window: usize,
+    stride: usize,
+) -> PerplexityReport {
+    assert!(stride > 0 && stride <= window, "stride must be in 1..=window");
+    let mut total_nll = 0.0f64;
+    let mut scored = 0usize;
+    let mut windows = 0usize;
+    let mut begin = 0usize;
+    loop {
+        let end = (begin + window).min(tokens.len());
+        // First window scores from position 1; later windows score only
+        // the fresh tail (positions ≥ previous end).
+        let start = if begin == 0 { 1 } else { window - stride };
+        if start >= end - begin {
+            break;
+        }
+        let w = &tokens[begin..end];
+        let nlls = scorer.nll_span(w, start);
+        total_nll += nlls.iter().sum::<f64>();
+        scored += nlls.len();
+        windows += 1;
+        if end == tokens.len() {
+            break;
+        }
+        begin += stride;
+    }
+    let perplexity =
+        if scored == 0 { f64::NAN } else { (total_nll / scored as f64).exp() };
+    PerplexityReport { perplexity, total_nll, tokens_scored: scored, windows }
+}
+
+/// The paper's protocol: 1024-token windows, stride 512.
+pub fn sliding_window_perplexity<S: CausalScorer>(
+    scorer: &S,
+    tokens: &[u32],
+) -> PerplexityReport {
+    sliding_window_perplexity_with(scorer, tokens, WINDOW, STRIDE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Uniform scorer: every token costs ln(V) nats.
+    struct Uniform(usize);
+    impl CausalScorer for Uniform {
+        fn vocab_size(&self) -> usize {
+            self.0
+        }
+        fn nll_at(&self, _w: &[u32], _p: usize) -> f64 {
+            (self.0 as f64).ln()
+        }
+    }
+
+    #[test]
+    fn uniform_model_has_vocab_perplexity() {
+        let tokens: Vec<u32> = (0..3000).map(|i| i % 64).collect();
+        let r = sliding_window_perplexity(&Uniform(64), &tokens);
+        assert!((r.perplexity - 64.0).abs() < 1e-6);
+        assert!(r.windows >= 4);
+    }
+
+    #[test]
+    fn every_token_but_the_first_scored_exactly_once() {
+        let tokens: Vec<u32> = (0..2500).map(|i| i % 16) .collect();
+        let r = sliding_window_perplexity(&Uniform(16), &tokens);
+        assert_eq!(r.tokens_scored, tokens.len() - 1);
+    }
+
+    #[test]
+    fn short_streams_are_one_window() {
+        let tokens: Vec<u32> = (0..100).collect();
+        let r = sliding_window_perplexity(&Uniform(256), &tokens);
+        assert_eq!(r.windows, 1);
+        assert_eq!(r.tokens_scored, 99);
+    }
+
+    #[test]
+    fn window_exactly_at_boundary() {
+        let tokens: Vec<u32> = (0..1024).map(|i| i % 8).collect();
+        let r = sliding_window_perplexity(&Uniform(8), &tokens);
+        assert_eq!(r.tokens_scored, 1023);
+        assert_eq!(r.windows, 1);
+    }
+
+    #[test]
+    fn custom_stride_counts_consistently() {
+        let tokens: Vec<u32> = (0..4096).map(|i| i % 32).collect();
+        for stride in [128usize, 256, 512, 1024] {
+            let r = sliding_window_perplexity_with(&Uniform(32), &tokens, 1024, stride);
+            assert_eq!(
+                r.tokens_scored,
+                tokens.len() - 1,
+                "stride {stride} must still score every token once"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_rejected() {
+        let _ = sliding_window_perplexity_with(&Uniform(4), &[1, 2, 3], 4, 0);
+    }
+
+    #[test]
+    fn total_nll_matches_tokens_times_lnv() {
+        let tokens: Vec<u32> = (0..2000).map(|i| i % 4).collect();
+        let r = sliding_window_perplexity(&Uniform(4), &tokens);
+        let expect = (r.tokens_scored as f64) * 4f64.ln();
+        assert!((r.total_nll - expect).abs() < 1e-9);
+    }
+}

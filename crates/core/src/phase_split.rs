@@ -1,0 +1,111 @@
+//! Prefill/decode phase-splitting analysis — the paper's pointer to
+//! Splitwise (Patel et al. [11]) turned into a measurable report: how much
+//! of each workload's time, energy and resource pressure sits in the
+//! compute-bound prefill phase vs the memory-bound decode phase.
+
+use crate::config::RunConfig;
+use crate::engine::Engine;
+use crate::error::RunError;
+use edgellm_perf::PerfModel;
+
+/// Per-phase shares of a batch run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseSplit {
+    /// Prefill wall-clock share of latency (0..=1).
+    pub prefill_time_share: f64,
+    /// Prefill share of total tokens processed (input/(input+output)).
+    pub prefill_token_share: f64,
+    /// Prefill GPU utilization vs decode GPU utilization.
+    pub prefill_gpu_util: f64,
+    /// Decode GPU utilization.
+    pub decode_gpu_util: f64,
+    /// Tokens/s achieved during prefill alone.
+    pub prefill_tok_s: f64,
+    /// Tokens/s achieved during decode alone.
+    pub decode_tok_s: f64,
+}
+
+/// Analyze the phase split of a configuration.
+pub fn phase_split(engine: &Engine, cfg: &RunConfig) -> Result<PhaseSplit, RunError> {
+    let m = engine.run_batch(cfg)?;
+    let perf = PerfModel::new(
+        engine.device().clone(),
+        cfg.llm,
+        cfg.precision,
+        cfg.power_mode.clocks,
+    );
+    let (n_in, n_out, bs) =
+        (cfg.sequence.input_tokens, cfg.sequence.output_tokens, cfg.batch_size);
+    Ok(PhaseSplit {
+        prefill_time_share: m.prefill_s / m.latency_s,
+        prefill_token_share: n_in as f64 / (n_in + n_out) as f64,
+        prefill_gpu_util: perf.prefill_utilization(bs, n_in).gpu,
+        decode_gpu_util: perf.decode_utilization(bs, n_in + n_out / 2).gpu,
+        prefill_tok_s: bs as f64 * n_in as f64 / m.prefill_s.max(1e-12),
+        decode_tok_s: bs as f64 * n_out as f64 / m.decode_s.max(1e-12),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SequenceSpec;
+    use edgellm_models::{Llm, Precision};
+
+    #[test]
+    fn decode_dominates_the_paper_workloads() {
+        // §3.2: "inference is dominated by the auto-regressive decode phase".
+        let engine = Engine::orin_agx_64gb();
+        for llm in Llm::ALL {
+            let prec =
+                if llm == Llm::DeepseekQwen32b { Precision::Int8 } else { Precision::Fp16 };
+            let s = phase_split(&engine, &RunConfig::new(llm, prec)).unwrap();
+            assert!(
+                s.prefill_time_share < 0.35,
+                "{llm:?}: prefill share {}",
+                s.prefill_time_share
+            );
+        }
+    }
+
+    #[test]
+    fn prefill_is_far_more_token_efficient() {
+        // The Splitwise observation: prefill processes tokens orders of
+        // magnitude faster than decode emits them.
+        let engine = Engine::orin_agx_64gb();
+        let s = phase_split(&engine, &RunConfig::new(Llm::Llama31_8b, Precision::Fp16))
+            .unwrap();
+        assert!(
+            s.prefill_tok_s > 2.0 * s.decode_tok_s,
+            "prefill {} vs decode {}",
+            s.prefill_tok_s,
+            s.decode_tok_s
+        );
+    }
+
+    #[test]
+    fn longer_prompts_grow_the_prefill_share() {
+        let engine = Engine::orin_agx_64gb();
+        let short = phase_split(
+            &engine,
+            &RunConfig::new(Llm::Llama31_8b, Precision::Fp16)
+                .sequence(SequenceSpec { input_tokens: 32, output_tokens: 64 }),
+        )
+        .unwrap();
+        let long = phase_split(
+            &engine,
+            &RunConfig::new(Llm::Llama31_8b, Precision::Fp16)
+                .sequence(SequenceSpec { input_tokens: 512, output_tokens: 64 }),
+        )
+        .unwrap();
+        assert!(long.prefill_time_share > short.prefill_time_share);
+    }
+
+    #[test]
+    fn prefill_utilization_exceeds_decode_for_quantized_models() {
+        let engine = Engine::orin_agx_64gb();
+        let s = phase_split(&engine, &RunConfig::new(Llm::DeepseekQwen32b, Precision::Int8))
+            .unwrap();
+        assert!(s.prefill_gpu_util > s.decode_gpu_util);
+    }
+}

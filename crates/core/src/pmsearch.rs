@@ -1,0 +1,180 @@
+//! Custom power-mode search — the paper's future-work suggestion
+//! ("leverage [these empirical results] to optimize LLM inferencing on the
+//! edge") made operational: grid-search the DVFS space for the
+//! minimum-energy mode satisfying latency and power constraints.
+
+use crate::config::RunConfig;
+use crate::engine::Engine;
+use crate::metrics::BatchMetrics;
+use edgellm_hw::PowerMode;
+
+/// Constraints for the search.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchConstraints {
+    /// Maximum batch latency (s); `f64::INFINITY` to disable.
+    pub max_latency_s: f64,
+    /// Maximum median power (W); `f64::INFINITY` to disable.
+    pub max_power_w: f64,
+}
+
+/// A candidate evaluated during the search.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The power mode.
+    pub mode: PowerMode,
+    /// Its metrics under the workload.
+    pub metrics: BatchMetrics,
+    /// Whether it satisfies the constraints.
+    pub feasible: bool,
+}
+
+/// The search result: every candidate plus the winner index (if any).
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// All evaluated candidates (grid order).
+    pub candidates: Vec<Candidate>,
+    /// Index of the minimum-energy feasible candidate.
+    pub best: Option<usize>,
+}
+
+impl SearchResult {
+    /// The winning candidate, if any mode was feasible.
+    pub fn best_candidate(&self) -> Option<&Candidate> {
+        self.best.map(|i| &self.candidates[i])
+    }
+}
+
+/// Grid-search DVFS settings for the minimum-energy feasible mode.
+///
+/// The grid spans `gpu_steps × cpu_steps × mem_steps` evenly-spaced clock
+/// settings between ~40% and 100% of each domain's maximum (core count is
+/// left at maximum — the paper shows it is performance-neutral, §3.4).
+/// Out-of-memory workloads propagate as errors from the first evaluation.
+pub fn search_power_modes(
+    engine: &Engine,
+    cfg: &RunConfig,
+    constraints: SearchConstraints,
+    steps_per_domain: u32,
+) -> Result<SearchResult, crate::error::RunError> {
+    assert!(steps_per_domain >= 1, "need at least one step per domain");
+    let dev = engine.device();
+    let level = |i: u32, max: f64| -> f64 {
+        if steps_per_domain == 1 {
+            max
+        } else {
+            max * (0.4 + 0.6 * i as f64 / (steps_per_domain - 1) as f64)
+        }
+    };
+    let mut candidates = Vec::new();
+    for gi in 0..steps_per_domain {
+        for ci in 0..steps_per_domain {
+            for mi in 0..steps_per_domain {
+                let mode = PowerMode::custom(
+                    format!("search-g{gi}-c{ci}-m{mi}"),
+                    level(gi, dev.gpu.max_freq_mhz as f64) as u32,
+                    level(ci, dev.cpu.max_freq_ghz),
+                    dev.cpu.cores,
+                    level(mi, dev.memory.max_freq_mhz as f64) as u32,
+                );
+                let metrics = engine.run_batch(&cfg.clone().power_mode(mode.clone()))?;
+                let feasible = metrics.latency_s <= constraints.max_latency_s
+                    && metrics.median_power_w <= constraints.max_power_w;
+                candidates.push(Candidate { mode, metrics, feasible });
+            }
+        }
+    }
+    let best = candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.feasible)
+        .min_by(|a, b| {
+            a.1.metrics.energy_j.partial_cmp(&b.1.metrics.energy_j).expect("finite")
+        })
+        .map(|(i, _)| i);
+    Ok(SearchResult { candidates, best })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgellm_models::{Llm, Precision};
+
+    fn setup() -> (Engine, RunConfig) {
+        (Engine::orin_agx_64gb(), RunConfig::new(Llm::Llama31_8b, Precision::Fp16))
+    }
+
+    #[test]
+    fn unconstrained_search_finds_a_mode() {
+        let (engine, cfg) = setup();
+        let r = search_power_modes(
+            &engine,
+            &cfg,
+            SearchConstraints { max_latency_s: f64::INFINITY, max_power_w: f64::INFINITY },
+            3,
+        )
+        .unwrap();
+        assert_eq!(r.candidates.len(), 27);
+        let best = r.best_candidate().expect("everything is feasible");
+        // The winner's energy is the grid minimum.
+        for c in &r.candidates {
+            assert!(best.metrics.energy_j <= c.metrics.energy_j + 1e-9);
+        }
+    }
+
+    #[test]
+    fn tight_power_cap_excludes_maxn() {
+        let (engine, cfg) = setup();
+        let maxn = engine.run_batch(&cfg).unwrap();
+        let r = search_power_modes(
+            &engine,
+            &cfg,
+            SearchConstraints {
+                max_latency_s: f64::INFINITY,
+                max_power_w: maxn.median_power_w * 0.7,
+            },
+            3,
+        )
+        .unwrap();
+        let best = r.best_candidate().expect("throttled modes satisfy the cap");
+        assert!(best.metrics.median_power_w <= maxn.median_power_w * 0.7);
+        assert!(best.mode.clocks.gpu_mhz < engine.device().gpu.max_freq_mhz);
+    }
+
+    #[test]
+    fn impossible_constraints_yield_no_winner() {
+        let (engine, cfg) = setup();
+        let r = search_power_modes(
+            &engine,
+            &cfg,
+            SearchConstraints { max_latency_s: 0.001, max_power_w: 1.0 },
+            2,
+        )
+        .unwrap();
+        assert!(r.best.is_none());
+        assert!(r.candidates.iter().all(|c| !c.feasible));
+    }
+
+    #[test]
+    fn latency_slo_trades_energy() {
+        let (engine, cfg) = setup();
+        let loose = search_power_modes(
+            &engine,
+            &cfg,
+            SearchConstraints { max_latency_s: 60.0, max_power_w: f64::INFINITY },
+            3,
+        )
+        .unwrap();
+        let tight = search_power_modes(
+            &engine,
+            &cfg,
+            SearchConstraints { max_latency_s: 11.0, max_power_w: f64::INFINITY },
+            3,
+        )
+        .unwrap();
+        let (el, et) = (
+            loose.best_candidate().unwrap().metrics.energy_j,
+            tight.best_candidate().unwrap().metrics.energy_j,
+        );
+        assert!(el <= et + 1e-9, "looser SLO can only lower min energy: {el} vs {et}");
+    }
+}

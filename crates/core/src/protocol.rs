@@ -1,0 +1,86 @@
+//! The paper's measurement protocol: one warm-up, five measured runs.
+
+use crate::config::RunConfig;
+use crate::engine::Engine;
+use crate::error::RunError;
+use crate::metrics::{BatchMetrics, RunMetrics};
+
+/// §2: "we conduct a warm-up run to mitigate initialization overhead,
+/// followed by five actual runs for each configuration, averaging the
+/// results across these runs."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Protocol {
+    /// Discarded warm-up runs.
+    pub warmup_runs: usize,
+    /// Measured runs to average.
+    pub measured_runs: usize,
+}
+
+impl Default for Protocol {
+    fn default() -> Self {
+        Protocol { warmup_runs: 1, measured_runs: 5 }
+    }
+}
+
+impl Protocol {
+    /// The paper's protocol (1 warm-up + 5 measured).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// A fast protocol for tests and smoke runs.
+    pub fn quick() -> Self {
+        Protocol { warmup_runs: 0, measured_runs: 1 }
+    }
+
+    /// Execute the protocol for one configuration.
+    pub fn run(&self, engine: &Engine, cfg: &RunConfig) -> Result<RunMetrics, RunError> {
+        for w in 0..self.warmup_runs {
+            let warm = cfg.clone().seed(cfg.seed ^ (0xDEAD + w as u64));
+            engine.run_batch(&warm)?; // result discarded, OoM propagates
+        }
+        let mut runs: Vec<BatchMetrics> = Vec::with_capacity(self.measured_runs);
+        for r in 0..self.measured_runs {
+            let cfg_r = cfg.clone().seed(cfg.seed.wrapping_add(r as u64 + 1));
+            runs.push(engine.run_batch(&cfg_r)?);
+        }
+        Ok(RunMetrics::aggregate(&runs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SequenceSpec;
+    use edgellm_models::{Llm, Precision};
+
+    #[test]
+    fn paper_protocol_averages_five_runs() {
+        let engine = Engine::orin_agx_64gb();
+        let cfg = RunConfig::new(Llm::Phi2, Precision::Fp16);
+        let m = Protocol::paper().run(&engine, &cfg).unwrap();
+        assert_eq!(m.runs, 5);
+        // Latency is deterministic; only power jitter varies.
+        assert_eq!(m.latency_stddev_s, 0.0);
+        assert!(m.median_power_w > 10.0);
+    }
+
+    #[test]
+    fn oom_propagates_through_protocol() {
+        let engine = Engine::orin_agx_64gb();
+        let cfg = RunConfig::new(Llm::Phi2, Precision::Fp16)
+            .sequence(SequenceSpec::paper_sweep(1024));
+        assert!(matches!(
+            Protocol::paper().run(&engine, &cfg),
+            Err(RunError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn quick_protocol_single_run() {
+        let engine = Engine::orin_agx_64gb();
+        let cfg = RunConfig::new(Llm::Llama31_8b, Precision::Fp16);
+        let m = Protocol::quick().run(&engine, &cfg).unwrap();
+        assert_eq!(m.runs, 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Static batching of a request stream — the serving layer above single
+//! batches, used by the serving-planner example and the phase-splitting
+//! extension (the paper's future-work pointer to Splitwise [11]).
+
+use crate::config::RunConfig;
+use crate::engine::Engine;
+use crate::error::RunError;
+
+/// A serving run over a queue of identical-shape requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServingReport {
+    /// Total wall time to drain the queue (s).
+    pub makespan_s: f64,
+    /// Number of batches executed.
+    pub batches: usize,
+    /// Mean per-request completion latency: a request finishes when its
+    /// batch finishes, so this includes queueing delay (s).
+    pub mean_request_latency_s: f64,
+    /// Aggregate throughput over the whole queue (tokens/s).
+    pub throughput_tok_s: f64,
+    /// Total energy over the queue (J).
+    pub energy_j: f64,
+}
+
+/// Drains a fixed queue in batches of `cfg.batch_size` (the paper's static
+/// batching regime).
+#[derive(Debug, Clone)]
+pub struct StaticBatcher {
+    /// Requests waiting (all share `cfg.sequence`).
+    pub queue_len: usize,
+}
+
+impl StaticBatcher {
+    /// A queue of `queue_len` outstanding requests.
+    pub fn new(queue_len: usize) -> Self {
+        StaticBatcher { queue_len }
+    }
+
+    /// Run the queue to completion under the given configuration. The
+    /// final batch may be smaller than `cfg.batch_size`.
+    pub fn run(&self, engine: &Engine, cfg: &RunConfig) -> Result<ServingReport, RunError> {
+        if self.queue_len == 0 {
+            return Err(RunError::InvalidConfig("empty request queue".into()));
+        }
+        let bs = cfg.batch_size as usize;
+        let mut remaining = self.queue_len;
+        let mut t = 0.0f64;
+        let mut energy = 0.0f64;
+        let mut batches = 0usize;
+        let mut latency_sum = 0.0f64;
+        let mut batch_seed = cfg.seed;
+        while remaining > 0 {
+            let this = remaining.min(bs);
+            let cfg_b = cfg.clone().batch_size(this as u64).seed(batch_seed);
+            let m = engine.run_batch(&cfg_b)?;
+            t += m.latency_s;
+            energy += m.energy_j;
+            batches += 1;
+            // Every request in this batch completes at time t.
+            latency_sum += t * this as f64;
+            remaining -= this;
+            batch_seed = batch_seed.wrapping_add(1);
+        }
+        let tokens = self.queue_len as f64 * cfg.sequence.total() as f64;
+        Ok(ServingReport {
+            makespan_s: t,
+            batches,
+            mean_request_latency_s: latency_sum / self.queue_len as f64,
+            throughput_tok_s: tokens / t,
+            energy_j: energy,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgellm_models::{Llm, Precision};
+
+    fn engine() -> Engine {
+        Engine::orin_agx_64gb()
+    }
+
+    #[test]
+    fn queue_drains_in_ceil_batches() {
+        let cfg = RunConfig::new(Llm::Phi2, Precision::Fp16).batch_size(32);
+        let r = StaticBatcher::new(100).run(&engine(), &cfg).unwrap();
+        assert_eq!(r.batches, 4); // 32+32+32+4
+        assert!(r.makespan_s > 0.0);
+    }
+
+    #[test]
+    fn larger_batches_raise_throughput_but_queueing_grows_latency() {
+        let small = RunConfig::new(Llm::Llama31_8b, Precision::Fp16).batch_size(8);
+        let large = RunConfig::new(Llm::Llama31_8b, Precision::Fp16).batch_size(64);
+        let rs = StaticBatcher::new(128).run(&engine(), &small).unwrap();
+        let rl = StaticBatcher::new(128).run(&engine(), &large).unwrap();
+        assert!(rl.throughput_tok_s > rs.throughput_tok_s, "batching wins on TP");
+        assert!(rl.makespan_s < rs.makespan_s);
+    }
+
+    #[test]
+    fn mean_latency_includes_queueing() {
+        let cfg = RunConfig::new(Llm::Phi2, Precision::Fp16).batch_size(16);
+        let r = StaticBatcher::new(32).run(&engine(), &cfg).unwrap();
+        // Two batches: first finishes at t1, second at t1+t2 ⇒ mean > t1.
+        let single = engine().run_batch(&cfg.clone().batch_size(16)).unwrap();
+        assert!(r.mean_request_latency_s > single.latency_s);
+        assert!(r.mean_request_latency_s < r.makespan_s);
+    }
+
+    #[test]
+    fn empty_queue_is_invalid() {
+        let cfg = RunConfig::new(Llm::Phi2, Precision::Fp16);
+        assert!(matches!(
+            StaticBatcher::new(0).run(&engine(), &cfg),
+            Err(RunError::InvalidConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,287 @@
+//! A from-scratch byte-pair-encoding tokenizer (train / encode / decode).
+//!
+//! GPT-style pre-tokenization: the text is split into words, each carrying
+//! its leading space, so decoding is exact concatenation. Training merges
+//! the most frequent adjacent symbol pair until the requested vocabulary
+//! size is reached.
+
+use std::collections::HashMap;
+
+/// Reserved id for characters never seen during training.
+pub const UNK: u32 = 0;
+
+/// A trained BPE tokenizer.
+#[derive(Debug, Clone)]
+pub struct BpeTokenizer {
+    /// Token string of each id (id 0 is `<unk>`).
+    vocab: Vec<String>,
+    /// Token string → id.
+    token_ids: HashMap<String, u32>,
+    /// Merge rules: (left, right) → rank (lower merges first).
+    merges: HashMap<(u32, u32), u32>,
+    /// Result id of each merge, indexed by rank.
+    merge_result: Vec<u32>,
+    /// Pair of each merge, indexed by rank.
+    merge_pairs: Vec<(u32, u32)>,
+}
+
+impl BpeTokenizer {
+    /// Train a tokenizer on `text`, growing the vocabulary to at most
+    /// `vocab_size` entries (single characters + learned merges + `<unk>`).
+    ///
+    /// # Panics
+    /// If `vocab_size` is too small to hold the corpus alphabet.
+    pub fn train(text: &str, vocab_size: usize) -> Self {
+        // Pre-tokenize: words with their leading space.
+        let mut word_counts: HashMap<Vec<u32>, usize> = HashMap::new();
+
+        // Alphabet pass.
+        let mut vocab: Vec<String> = vec!["<unk>".to_string()];
+        let mut token_ids: HashMap<String, u32> = HashMap::new();
+        token_ids.insert("<unk>".to_string(), UNK);
+        let id_of_char = |c: char,
+                              vocab: &mut Vec<String>,
+                              token_ids: &mut HashMap<String, u32>|
+         -> u32 {
+            let s = c.to_string();
+            *token_ids.entry(s.clone()).or_insert_with(|| {
+                vocab.push(s);
+                (vocab.len() - 1) as u32
+            })
+        };
+
+        for raw in split_with_spaces(text) {
+            let ids: Vec<u32> = raw
+                .chars()
+                .map(|c| id_of_char(c, &mut vocab, &mut token_ids))
+                .collect();
+            *word_counts.entry(ids).or_default() += 1;
+        }
+        assert!(
+            vocab.len() <= vocab_size,
+            "vocab_size {vocab_size} smaller than corpus alphabet {}",
+            vocab.len()
+        );
+
+        let mut merges: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut merge_result: Vec<u32> = Vec::new();
+        let mut merge_pairs: Vec<(u32, u32)> = Vec::new();
+        let mut words: Vec<(Vec<u32>, usize)> = word_counts.into_iter().collect();
+        // Deterministic order independent of hash state.
+        words.sort();
+
+        while vocab.len() < vocab_size {
+            // Count adjacent pairs.
+            let mut pair_counts: HashMap<(u32, u32), usize> = HashMap::new();
+            for (w, c) in &words {
+                for p in w.windows(2) {
+                    *pair_counts.entry((p[0], p[1])).or_default() += c;
+                }
+            }
+            // Most frequent pair; ties break lexicographically for
+            // determinism.
+            let Some((&best, &count)) = pair_counts
+                .iter()
+                .max_by_key(|(pair, count)| (**count, std::cmp::Reverse(**pair)))
+            else {
+                break;
+            };
+            if count < 2 {
+                break; // nothing left worth merging
+            }
+            let new_token = format!("{}{}", vocab[best.0 as usize], vocab[best.1 as usize]);
+            let new_id = vocab.len() as u32;
+            vocab.push(new_token.clone());
+            token_ids.insert(new_token, new_id);
+            merges.insert(best, merge_result.len() as u32);
+            merge_result.push(new_id);
+            merge_pairs.push(best);
+            // Apply the merge to every word.
+            for (w, _) in &mut words {
+                apply_merge(w, best, new_id);
+            }
+        }
+
+        BpeTokenizer { vocab, token_ids, merges, merge_result, merge_pairs }
+    }
+
+    /// Vocabulary size (including `<unk>`).
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// The string of a token id.
+    pub fn token(&self, id: u32) -> &str {
+        &self.vocab[id as usize]
+    }
+
+    /// Encode text to token ids.
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        let mut out = Vec::with_capacity(text.len() / 3);
+        let mut cache: HashMap<&str, Vec<u32>> = HashMap::new();
+        for raw in split_with_spaces(text) {
+            if let Some(ids) = cache.get(raw) {
+                out.extend_from_slice(ids);
+                continue;
+            }
+            let ids = self.encode_word(raw);
+            out.extend_from_slice(&ids);
+            cache.insert(raw, ids);
+        }
+        out
+    }
+
+    fn encode_word(&self, raw: &str) -> Vec<u32> {
+        let mut ids: Vec<u32> = raw
+            .chars()
+            .map(|c| self.token_ids.get(c.to_string().as_str()).copied().unwrap_or(UNK))
+            .collect();
+        // Repeatedly apply the lowest-rank merge present.
+        loop {
+            let mut best: Option<(u32, usize)> = None; // (rank, position)
+            for (i, p) in ids.windows(2).enumerate() {
+                if let Some(&rank) = self.merges.get(&(p[0], p[1])) {
+                    if best.is_none_or(|(r, _)| rank < r) {
+                        best = Some((rank, i));
+                    }
+                }
+            }
+            let Some((rank, _)) = best else { break };
+            let pair = self.merge_pairs[rank as usize];
+            apply_merge(&mut ids, pair, self.merge_result[rank as usize]);
+        }
+        ids
+    }
+
+    /// Decode token ids back to text.
+    pub fn decode(&self, ids: &[u32]) -> String {
+        let mut s = String::new();
+        for &id in ids {
+            if id != UNK {
+                s.push_str(&self.vocab[id as usize]);
+            }
+        }
+        s
+    }
+
+    /// Tokens per word on a sample text — a sanity metric (good BPE on its
+    /// own training corpus lands well under 2 tokens/word).
+    pub fn fertility(&self, text: &str) -> f64 {
+        let words = text.split_whitespace().count().max(1);
+        self.encode(text).len() as f64 / words as f64
+    }
+}
+
+/// Split text into word pieces that carry their leading whitespace, so that
+/// concatenating pieces reproduces the input exactly.
+fn split_with_spaces(text: &str) -> impl Iterator<Item = &str> {
+    let mut pieces = Vec::new();
+    let bytes = text.as_bytes();
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        // A piece is a maximal run of whitespace followed by a maximal run
+        // of non-whitespace.
+        while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+            i += 1;
+        }
+        while i < bytes.len() && !(bytes[i] as char).is_whitespace() {
+            i += 1;
+        }
+        if i > start {
+            pieces.push(&text[start..i]);
+            start = i;
+        } else {
+            break;
+        }
+    }
+    pieces.into_iter()
+}
+
+/// Replace each adjacent occurrence of `pair` in `w` with `new_id`.
+fn apply_merge(w: &mut Vec<u32>, pair: (u32, u32), new_id: u32) {
+    let mut i = 0;
+    let mut j = 0;
+    while i < w.len() {
+        if i + 1 < w.len() && w[i] == pair.0 && w[i + 1] == pair.1 {
+            w[j] = new_id;
+            i += 2;
+        } else {
+            w[j] = w[i];
+            i += 1;
+        }
+        j += 1;
+    }
+    w.truncate(j);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{CorpusKind, SyntheticCorpus};
+
+    fn sample_text() -> String {
+        SyntheticCorpus::generate(CorpusKind::WikiText2Like, 3000, 42).text
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_on_training_text() {
+        let text = sample_text();
+        let tok = BpeTokenizer::train(&text, 512);
+        let ids = tok.encode(&text);
+        assert_eq!(tok.decode(&ids), text);
+    }
+
+    #[test]
+    fn roundtrip_on_unseen_text_from_same_distribution() {
+        let tok = BpeTokenizer::train(&sample_text(), 512);
+        let unseen = SyntheticCorpus::generate(CorpusKind::WikiText2Like, 1000, 77).text;
+        let ids = tok.encode(&unseen);
+        assert_eq!(tok.decode(&ids), unseen);
+    }
+
+    #[test]
+    fn merges_reduce_token_count() {
+        let text = sample_text();
+        let small = BpeTokenizer::train(&text, 120); // barely above alphabet
+        let large = BpeTokenizer::train(&text, 1024);
+        let n_small = small.encode(&text).len();
+        let n_large = large.encode(&text).len();
+        assert!(
+            n_large * 10 < n_small * 6,
+            "1024-vocab ({n_large}) should cut well below the 120-vocab count ({n_small})"
+        );
+    }
+
+    #[test]
+    fn fertility_is_reasonable() {
+        let text = sample_text();
+        let tok = BpeTokenizer::train(&text, 1024);
+        let f = tok.fertility(&text);
+        assert!(f < 2.5, "fertility {f} too high");
+    }
+
+    #[test]
+    fn unknown_chars_map_to_unk_and_are_dropped_in_decode() {
+        let tok = BpeTokenizer::train("aba aba aba", 16);
+        let ids = tok.encode("ab€a");
+        assert!(ids.contains(&UNK));
+        assert_eq!(tok.decode(&ids), "aba");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let text = sample_text();
+        let a = BpeTokenizer::train(&text, 300);
+        let b = BpeTokenizer::train(&text, 300);
+        assert_eq!(a.encode(&text), b.encode(&text));
+        assert_eq!(a.vocab_size(), b.vocab_size());
+    }
+
+    #[test]
+    fn vocab_size_is_respected() {
+        let tok = BpeTokenizer::train(&sample_text(), 256);
+        assert!(tok.vocab_size() <= 256);
+        assert!(tok.vocab_size() > 30); // alphabet + merges
+    }
+}

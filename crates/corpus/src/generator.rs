@@ -1,0 +1,278 @@
+//! Seeded synthetic text generation.
+//!
+//! Produces text with natural-language-like statistics: a Zipfian unigram
+//! distribution over a synthetic vocabulary plus first-order Markov
+//! structure (word-affinity chains), organized into sentences, paragraphs
+//! and (for the LongBench profile) multi-section documents. The Markov
+//! structure is what makes the corpora *learnable*: the trainable LMs in
+//! `edgellm-nn` reach perplexities far below the unigram baseline, giving
+//! Table 3's quantization deltas something real to degrade.
+
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which dataset profile to imitate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorpusKind {
+    /// Encyclopedic medium-length paragraphs with occasional headings,
+    /// mirroring WikiText2.
+    WikiText2Like,
+    /// Long multi-section documents (thousands of words), mirroring
+    /// LongBench's long-context tasks.
+    LongBenchLike,
+}
+
+impl CorpusKind {
+    /// Display name used in experiment reports (matches the paper).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CorpusKind::WikiText2Like => "WikiText2",
+            CorpusKind::LongBenchLike => "LongBench",
+        }
+    }
+}
+
+/// A generated corpus: raw text plus its profile.
+#[derive(Debug, Clone)]
+pub struct SyntheticCorpus {
+    /// The profile this corpus imitates.
+    pub kind: CorpusKind,
+    /// The generated text. Paragraphs are separated by blank lines.
+    pub text: String,
+}
+
+/// Deterministic synthetic vocabulary: pronounceable CV-syllable words.
+/// Word `i` is built from the digits of `i` in base-`(C·V)`; short indices
+/// (frequent ranks) get short words, echoing natural length/frequency
+/// correlation.
+pub fn word(i: usize) -> String {
+    const CONS: &[u8] = b"bcdfgklmnprstvz";
+    const VOWS: &[u8] = b"aeiou";
+    let base = CONS.len() * VOWS.len();
+    let mut out = String::new();
+    let mut n = i;
+    loop {
+        let d = n % base;
+        out.push(CONS[d / VOWS.len()] as char);
+        out.push(VOWS[d % VOWS.len()] as char);
+        n /= base;
+        if n == 0 {
+            break;
+        }
+        n -= 1; // bijective numeration: no leading-zero collisions
+    }
+    out
+}
+
+/// The corpus generator. Holds the vocabulary-level distributions; each
+/// `generate` call is independently seeded.
+#[derive(Debug, Clone)]
+pub struct Generator {
+    vocab_size: usize,
+    zipf: Zipf,
+    /// Probability of following the Markov affinity chain instead of
+    /// drawing an independent Zipf word.
+    chain_prob: f64,
+    /// Successors per word in the affinity chain.
+    fanout: usize,
+}
+
+impl Generator {
+    /// A generator with WikiText2-scale vocabulary statistics.
+    pub fn new(vocab_size: usize) -> Self {
+        Generator { vocab_size, zipf: Zipf::new(vocab_size, 1.05), chain_prob: 0.65, fanout: 4 }
+    }
+
+    /// Deterministic affinity successor set of a word (pseudo-random but
+    /// fixed for all time — this is the learnable bigram structure).
+    fn successor(&self, w: usize, j: usize) -> usize {
+        // SplitMix64-style hash of (w, j).
+        let mut x = (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(j as u64);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x % self.vocab_size as u64) as usize
+    }
+
+    fn next_word<R: Rng>(&self, prev: Option<usize>, rng: &mut R) -> usize {
+        if let Some(p) = prev {
+            if rng.gen_bool(self.chain_prob) {
+                let j = rng.gen_range(0..self.fanout);
+                return self.successor(p, j);
+            }
+        }
+        self.zipf.sample(rng)
+    }
+
+    fn sentence<R: Rng>(&self, rng: &mut R, out: &mut String) {
+        let len = rng.gen_range(6..=18);
+        let mut prev = None;
+        for i in 0..len {
+            let w = self.next_word(prev, rng);
+            prev = Some(w);
+            let token = word(w);
+            if i == 0 {
+                let mut cs = token.chars();
+                if let Some(c) = cs.next() {
+                    out.push(c.to_ascii_uppercase());
+                    out.push_str(cs.as_str());
+                }
+            } else {
+                out.push(' ');
+                out.push_str(&token);
+            }
+        }
+        out.push('.');
+    }
+
+    fn paragraph<R: Rng>(&self, sentences: usize, rng: &mut R, out: &mut String) {
+        for i in 0..sentences {
+            if i > 0 {
+                out.push(' ');
+            }
+            self.sentence(rng, out);
+        }
+    }
+
+    /// Generate a corpus of roughly `target_words` words.
+    pub fn generate(&self, kind: CorpusKind, target_words: usize, seed: u64) -> SyntheticCorpus {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xED6E_11FF);
+        let mut text = String::with_capacity(target_words * 6);
+        let mut words_emitted = 0usize;
+        while words_emitted < target_words {
+            match kind {
+                CorpusKind::WikiText2Like => {
+                    // Occasional heading, then a 2–6 sentence paragraph.
+                    if rng.gen_bool(0.12) {
+                        text.push_str("= ");
+                        let h = self.zipf.sample(&mut rng);
+                        text.push_str(&word(h));
+                        text.push_str(" =\n\n");
+                    }
+                    let sentences = rng.gen_range(4..=14);
+                    self.paragraph(sentences, &mut rng, &mut text);
+                    text.push_str("\n\n");
+                    words_emitted += sentences * 12;
+                }
+                CorpusKind::LongBenchLike => {
+                    // A document: several long sections, few blank lines so
+                    // paragraphs run long (long-context profile).
+                    let sections = rng.gen_range(3..=6);
+                    for _ in 0..sections {
+                        let sentences = rng.gen_range(24..=60);
+                        self.paragraph(sentences, &mut rng, &mut text);
+                        text.push_str("\n\n");
+                        words_emitted += sentences * 12;
+                    }
+                }
+            }
+        }
+        SyntheticCorpus { kind, text }
+    }
+}
+
+impl SyntheticCorpus {
+    /// Convenience: generate with the default vocabulary size (2048 words).
+    pub fn generate(kind: CorpusKind, target_words: usize, seed: u64) -> Self {
+        Generator::new(2048).generate(kind, target_words, seed)
+    }
+
+    /// Paragraphs (blank-line separated), headings excluded.
+    pub fn paragraphs(&self) -> Vec<&str> {
+        self.text
+            .split("\n\n")
+            .map(str::trim)
+            .filter(|p| !p.is_empty() && !p.starts_with('='))
+            .collect()
+    }
+
+    /// Whitespace word count.
+    pub fn word_count(&self) -> usize {
+        self.text.split_whitespace().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn words_are_unique_and_pronounceable() {
+        let mut seen = HashSet::new();
+        for i in 0..5000 {
+            let w = word(i);
+            assert!(w.len() >= 2 && w.len().is_multiple_of(2));
+            assert!(seen.insert(w), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn short_ranks_get_short_words() {
+        assert_eq!(word(0).len(), 2);
+        assert!(word(100).len() <= 4);
+        assert!(word(10_000).len() >= 4);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticCorpus::generate(CorpusKind::WikiText2Like, 2000, 1);
+        let b = SyntheticCorpus::generate(CorpusKind::WikiText2Like, 2000, 1);
+        assert_eq!(a.text, b.text);
+        let c = SyntheticCorpus::generate(CorpusKind::WikiText2Like, 2000, 2);
+        assert_ne!(a.text, c.text);
+    }
+
+    #[test]
+    fn target_size_roughly_met() {
+        let c = SyntheticCorpus::generate(CorpusKind::WikiText2Like, 5000, 3);
+        let n = c.word_count();
+        assert!((5000..9000).contains(&n), "word count {n}");
+    }
+
+    #[test]
+    fn longbench_paragraphs_are_longer() {
+        let wiki = SyntheticCorpus::generate(CorpusKind::WikiText2Like, 8000, 4);
+        let lb = SyntheticCorpus::generate(CorpusKind::LongBenchLike, 8000, 4);
+        let avg = |c: &SyntheticCorpus| {
+            let ps = c.paragraphs();
+            ps.iter().map(|p| p.split_whitespace().count()).sum::<usize>() as f64
+                / ps.len() as f64
+        };
+        assert!(avg(&lb) > 2.0 * avg(&wiki), "LongBench-like docs must run longer");
+    }
+
+    #[test]
+    fn headings_are_excluded_from_paragraphs() {
+        let c = SyntheticCorpus::generate(CorpusKind::WikiText2Like, 4000, 5);
+        assert!(c.text.contains("= "), "expect headings in raw text");
+        for p in c.paragraphs() {
+            assert!(!p.starts_with('='));
+        }
+    }
+
+    #[test]
+    fn markov_structure_is_learnable() {
+        // Bigram mutual information: the affinity chain makes successor
+        // distributions much sharper than independent Zipf draws would be.
+        let c = SyntheticCorpus::generate(CorpusKind::WikiText2Like, 20_000, 6);
+        let toks: Vec<&str> = c
+            .text
+            .split_whitespace()
+            .filter(|w| w.chars().all(|ch| ch.is_ascii_lowercase()))
+            .collect();
+        let mut bigrams: std::collections::HashMap<(&str, &str), usize> =
+            std::collections::HashMap::new();
+        let mut uni: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        for w in toks.windows(2) {
+            *bigrams.entry((w[0], w[1])).or_default() += 1;
+            *uni.entry(w[0]).or_default() += 1;
+        }
+        // A repeated bigram count far above the independence expectation.
+        let max_bigram = bigrams.values().max().copied().unwrap_or(0);
+        assert!(max_bigram > 20, "chain structure missing: max bigram {max_bigram}");
+    }
+}

@@ -1,0 +1,31 @@
+//! # edgellm-corpus — synthetic workloads and a from-scratch BPE tokenizer
+//!
+//! The paper draws prompts from **WikiText2** and **LongBench** and samples
+//! them into batches (§2: "We extract paragraphs with ≥ 256 tokens as a pool
+//! of valid prompts. For each inference batch, we randomly sample the
+//! required number of prompts."). Neither dataset ships with this
+//! repository, so this crate provides *seeded synthetic equivalents* with
+//! controlled statistics:
+//!
+//! * [`generator`] — a Zipfian-vocabulary, Markov-structured text generator
+//!   with two profiles: [`CorpusKind::WikiText2Like`] (medium encyclopedic
+//!   paragraphs, headings) and [`CorpusKind::LongBenchLike`] (long
+//!   multi-section documents). For performance experiments only the token
+//!   *counts* matter; for perplexity the *distribution* matters — both are
+//!   preserved (see DESIGN.md §1).
+//! * [`bpe`] — a byte-pair-encoding tokenizer trained from scratch on the
+//!   synthetic corpora (train / encode / decode, with round-trip tests).
+//! * [`pool`] — the paper's prompt pool: paragraphs of ≥ N tokens, with a
+//!   seeded batch sampler.
+
+pub mod bpe;
+pub mod generator;
+pub mod pool;
+pub mod stats;
+pub mod zipf;
+
+pub use bpe::BpeTokenizer;
+pub use generator::{CorpusKind, SyntheticCorpus};
+pub use pool::PromptPool;
+pub use stats::CorpusStats;
+pub use zipf::Zipf;

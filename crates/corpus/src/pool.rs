@@ -1,0 +1,148 @@
+//! The paper's prompt pool: paragraphs of ≥ N tokens, sampled per batch.
+
+use crate::bpe::BpeTokenizer;
+use crate::generator::SyntheticCorpus;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Minimum paragraph length (tokens) for pool membership, from §2 of the
+/// paper ("We extract paragraphs with ≥ 256 tokens as a pool of valid
+/// prompts").
+pub const MIN_POOL_TOKENS: usize = 256;
+
+/// A pool of tokenized prompts extracted from a corpus.
+#[derive(Debug, Clone)]
+pub struct PromptPool {
+    prompts: Vec<Vec<u32>>,
+}
+
+impl PromptPool {
+    /// Build a pool from a corpus: tokenize each paragraph and keep those
+    /// with at least `min_tokens` tokens.
+    pub fn build(corpus: &SyntheticCorpus, tok: &BpeTokenizer, min_tokens: usize) -> Self {
+        let prompts = corpus
+            .paragraphs()
+            .iter()
+            .map(|p| tok.encode(p))
+            .filter(|ids| ids.len() >= min_tokens)
+            .collect();
+        PromptPool { prompts }
+    }
+
+    /// Build with the paper's 256-token minimum.
+    pub fn build_paper(corpus: &SyntheticCorpus, tok: &BpeTokenizer) -> Self {
+        Self::build(corpus, tok, MIN_POOL_TOKENS)
+    }
+
+    /// Number of pooled prompts.
+    pub fn len(&self) -> usize {
+        self.prompts.len()
+    }
+
+    /// True when no paragraph met the minimum length.
+    pub fn is_empty(&self) -> bool {
+        self.prompts.is_empty()
+    }
+
+    /// Sample a batch of `batch_size` prompts, each truncated to exactly
+    /// `input_tokens` tokens — the paper's "diverse subset … of the
+    /// 256-token prompts to form a single input" (§2). Sampling is with
+    /// replacement, seeded.
+    ///
+    /// # Panics
+    /// If the pool is empty or a pooled prompt is shorter than
+    /// `input_tokens` (cannot happen when `input_tokens ≤ min_tokens`).
+    pub fn sample_batch(
+        &self,
+        batch_size: usize,
+        input_tokens: usize,
+        seed: u64,
+    ) -> Vec<Vec<u32>> {
+        assert!(!self.prompts.is_empty(), "prompt pool is empty");
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..batch_size)
+            .map(|_| {
+                let p = &self.prompts[rng.gen_range(0..self.prompts.len())];
+                // Long inputs may need several pooled prompts concatenated
+                // ("or multiples of the 256-token prompts").
+                if p.len() >= input_tokens {
+                    p[..input_tokens].to_vec()
+                } else {
+                    let mut ids = p.clone();
+                    while ids.len() < input_tokens {
+                        let q = &self.prompts[rng.gen_range(0..self.prompts.len())];
+                        ids.extend_from_slice(q);
+                    }
+                    ids.truncate(input_tokens);
+                    ids
+                }
+            })
+            .collect()
+    }
+
+    /// All pooled prompts, for perplexity evaluation streams.
+    pub fn prompts(&self) -> &[Vec<u32>] {
+        &self.prompts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::CorpusKind;
+
+    fn fixture() -> (SyntheticCorpus, BpeTokenizer) {
+        let corpus = SyntheticCorpus::generate(CorpusKind::WikiText2Like, 30_000, 9);
+        let tok = BpeTokenizer::train(&corpus.text, 512);
+        (corpus, tok)
+    }
+
+    #[test]
+    fn pool_respects_min_tokens() {
+        let (corpus, tok) = fixture();
+        let pool = PromptPool::build(&corpus, &tok, 64);
+        assert!(!pool.is_empty());
+        for p in pool.prompts() {
+            assert!(p.len() >= 64);
+        }
+    }
+
+    #[test]
+    fn paper_pool_has_256_token_prompts() {
+        let (corpus, tok) = fixture();
+        let pool = PromptPool::build_paper(&corpus, &tok);
+        assert!(!pool.is_empty(), "WikiText2-like corpus must yield ≥256-token paragraphs");
+        for p in pool.prompts() {
+            assert!(p.len() >= MIN_POOL_TOKENS);
+        }
+    }
+
+    #[test]
+    fn batches_have_exact_shape() {
+        let (corpus, tok) = fixture();
+        let pool = PromptPool::build(&corpus, &tok, 64);
+        let batch = pool.sample_batch(32, 32, 1);
+        assert_eq!(batch.len(), 32);
+        for p in &batch {
+            assert_eq!(p.len(), 32);
+        }
+    }
+
+    #[test]
+    fn long_inputs_concatenate_prompts() {
+        let (corpus, tok) = fixture();
+        let pool = PromptPool::build(&corpus, &tok, 64);
+        let batch = pool.sample_batch(2, 2048, 2);
+        for p in &batch {
+            assert_eq!(p.len(), 2048);
+        }
+    }
+
+    #[test]
+    fn sampling_is_seeded() {
+        let (corpus, tok) = fixture();
+        let pool = PromptPool::build(&corpus, &tok, 64);
+        assert_eq!(pool.sample_batch(4, 16, 5), pool.sample_batch(4, 16, 5));
+        assert_ne!(pool.sample_batch(4, 16, 5), pool.sample_batch(4, 16, 6));
+    }
+}

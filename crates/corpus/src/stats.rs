@@ -1,0 +1,81 @@
+//! Corpus-level statistics used to sanity-check the synthetic generators.
+
+use std::collections::HashMap;
+
+/// Summary statistics of a token stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusStats {
+    /// Total tokens.
+    pub tokens: usize,
+    /// Distinct tokens.
+    pub types: usize,
+    /// Unigram entropy in bits.
+    pub unigram_entropy_bits: f64,
+    /// Type/token ratio.
+    pub ttr: f64,
+}
+
+impl CorpusStats {
+    /// Compute statistics over a token-id stream.
+    pub fn from_tokens(ids: &[u32]) -> Self {
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for &id in ids {
+            *counts.entry(id).or_default() += 1;
+        }
+        let n = ids.len() as f64;
+        let entropy = counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.log2()
+            })
+            .sum();
+        CorpusStats {
+            tokens: ids.len(),
+            types: counts.len(),
+            unigram_entropy_bits: entropy,
+            ttr: counts.len() as f64 / n.max(1.0),
+        }
+    }
+
+    /// Perplexity of the unigram (bag-of-tokens) model — the ceiling any
+    /// context-free predictor can reach; context models must beat this.
+    pub fn unigram_perplexity(&self) -> f64 {
+        2f64.powf(self.unigram_entropy_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bpe::BpeTokenizer;
+    use crate::generator::{CorpusKind, SyntheticCorpus};
+
+    #[test]
+    fn uniform_stream_entropy() {
+        let ids: Vec<u32> = (0..1024).map(|i| i % 16).collect();
+        let s = CorpusStats::from_tokens(&ids);
+        assert_eq!(s.types, 16);
+        assert!((s.unigram_entropy_bits - 4.0).abs() < 1e-9);
+        assert!((s.unigram_perplexity() - 16.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_stream_has_zero_entropy() {
+        let s = CorpusStats::from_tokens(&[7; 100]);
+        assert_eq!(s.types, 1);
+        assert_eq!(s.unigram_entropy_bits, 0.0);
+    }
+
+    #[test]
+    fn synthetic_corpus_entropy_in_natural_range() {
+        let c = SyntheticCorpus::generate(CorpusKind::WikiText2Like, 20_000, 3);
+        let tok = BpeTokenizer::train(&c.text, 512);
+        let s = CorpusStats::from_tokens(&tok.encode(&c.text));
+        // Zipfian text over a 512-token BPE vocab: entropy well below
+        // log2(512)=9 but far above trivial.
+        assert!(s.unigram_entropy_bits > 4.0 && s.unigram_entropy_bits < 9.0,
+            "entropy {}", s.unigram_entropy_bits);
+        assert!(s.ttr < 0.1, "Zipfian text reuses tokens heavily");
+    }
+}

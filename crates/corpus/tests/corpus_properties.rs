@@ -1,0 +1,64 @@
+//! Property-based tests of the corpus substrate.
+
+use edgellm_corpus::{BpeTokenizer, CorpusKind, PromptPool, SyntheticCorpus, Zipf};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Zipf PMFs are valid distributions and rank-monotone for any (n, s).
+    #[test]
+    fn zipf_pmf_is_a_monotone_distribution(n in 1usize..500, s_tenths in 0u32..25) {
+        let z = Zipf::new(n, s_tenths as f64 / 10.0);
+        let total: f64 = (0..n).map(|r| z.pmf(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for r in 1..n {
+            prop_assert!(z.pmf(r) <= z.pmf(r - 1) + 1e-12);
+        }
+    }
+
+    /// Zipf samples are always in range.
+    #[test]
+    fn zipf_samples_in_range(n in 1usize..200, seed in 0u64..100) {
+        let z = Zipf::new(n, 1.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Corpus generation hits its size target and stays deterministic for
+    /// any seed and either profile.
+    #[test]
+    fn corpus_size_and_determinism(seed in 0u64..100, wiki in proptest::bool::ANY, words in 500usize..4000) {
+        let kind = if wiki { CorpusKind::WikiText2Like } else { CorpusKind::LongBenchLike };
+        let a = SyntheticCorpus::generate(kind, words, seed);
+        let b = SyntheticCorpus::generate(kind, words, seed);
+        prop_assert_eq!(&a.text, &b.text);
+        let n = a.word_count();
+        // The generator budgets by estimated sentence length, so the
+        // realized count can fall slightly short of the target; the
+        // LongBench profile emits whole multi-section documents, so small
+        // targets overshoot by up to one document (~7k words).
+        prop_assert!(n * 10 >= words * 9 && n < words * 3 + 7000, "target {words}, got {n}");
+    }
+
+    /// Every sampled prompt batch has the exact requested shape, for any
+    /// batch size and input length, and truncation never fabricates ids.
+    #[test]
+    fn prompt_batches_have_exact_shape(bs in 1usize..48, n_in in 1usize..300, seed in 0u64..50) {
+        let corpus = SyntheticCorpus::generate(CorpusKind::WikiText2Like, 12_000, 7);
+        let tok = BpeTokenizer::train(&corpus.text, 300);
+        let pool = PromptPool::build(&corpus, &tok, 64);
+        prop_assume!(!pool.is_empty());
+        let batch = pool.sample_batch(bs, n_in, seed);
+        prop_assert_eq!(batch.len(), bs);
+        let vocab = tok.vocab_size() as u32;
+        for p in &batch {
+            prop_assert_eq!(p.len(), n_in);
+            prop_assert!(p.iter().all(|&id| id < vocab));
+        }
+    }
+}

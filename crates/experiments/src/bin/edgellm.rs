@@ -1,0 +1,104 @@
+//! `edgellm` — the experiment CLI.
+//!
+//! ```text
+//! edgellm list                 # show every reproducible table/figure
+//! edgellm run fig1 [--fast]    # reproduce one artifact
+//! edgellm all [--fast]         # reproduce everything, in paper order
+//! edgellm run fig5 --csv out/  # also write CSV series
+//! ```
+
+use edgellm_experiments::runner::{list_experiments, run_experiment, ExperimentOpts};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  edgellm list\n  edgellm run <id> [--fast] [--csv <dir>]\n  \
+         edgellm all [--fast] [--csv <dir>] [--json <dir>]\n\nids:"
+    );
+    for (id, desc) in list_experiments() {
+        eprintln!("  {id:<6} {desc}");
+    }
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    let json_dir = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    let positional: Vec<&String> =
+        args.iter().filter(|a| !a.starts_with("--")).collect();
+    let Some(cmd) = positional.first() else { return usage() };
+
+    let opts = ExperimentOpts { fast };
+    let ids: Vec<String> = match cmd.as_str() {
+        "list" => {
+            for (id, desc) in list_experiments() {
+                println!("{id:<6} {desc}");
+            }
+            return ExitCode::SUCCESS;
+        }
+        "all" => list_experiments().iter().map(|(id, _)| id.to_string()).collect(),
+        "run" => {
+            let Some(id) = positional.get(1) else { return usage() };
+            // `--csv <dir>` consumes its value; don't mistake it for an id.
+            if csv_dir.as_deref().map(|p| p.to_string_lossy().to_string())
+                == Some((*id).clone())
+            {
+                return usage();
+            }
+            vec![(*id).clone()]
+        }
+        _ => return usage(),
+    };
+
+    let mut all_pass = true;
+    for id in &ids {
+        match run_experiment(id, opts) {
+            Some(result) => {
+                println!("{}", result.render());
+                if let Some(dir) = &csv_dir {
+                    match result.write_csv(dir) {
+                        Ok(paths) => {
+                            for p in paths {
+                                println!("wrote {}", p.display());
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("failed to write CSV: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                if let Some(dir) = &json_dir {
+                    match result.write_json(dir) {
+                        Ok(p) => println!("wrote {}", p.display()),
+                        Err(e) => {
+                            eprintln!("failed to write JSON: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                all_pass &= result.all_pass();
+            }
+            None => {
+                eprintln!("unknown experiment '{id}'");
+                return usage();
+            }
+        }
+    }
+    if all_pass {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("some shape checks FAILED — see output above");
+        ExitCode::FAILURE
+    }
+}

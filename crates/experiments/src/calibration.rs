@@ -1,0 +1,163 @@
+//! Calibration provenance: re-derive the perf-model constants from the
+//! embedded paper tables and check them against the values hardcoded in
+//! `edgellm_perf::calib` — closing the loop between the documented fitting
+//! procedure (DESIGN.md §4) and the shipped constants.
+
+use crate::paper::{batch_sweep_truth, seq_sweep_truth};
+use edgellm_core::Dataset;
+use edgellm_hw::DeviceSpec;
+use edgellm_models::{flops, Llm, Precision};
+use edgellm_perf::calib::{
+    PrecisionCosts, BW_EFFICIENCY, CTX_OVERHEAD_THRESHOLD, DECODE_EFF,
+    OVERLAP_BETA, PREFILL_EFF,
+};
+
+/// The latency formula of the perf model, written out directly so the
+/// re-derivation is independent of `PerfModel`'s implementation.
+fn predict(
+    llm: Llm,
+    prec: Precision,
+    host_s: f64,
+    k2: f64,
+    bs: u64,
+    n_in: u64,
+    n_out: u64,
+) -> f64 {
+    let dev = DeviceSpec::orin_agx_64gb();
+    let arch = llm.arch();
+    let costs = PrecisionCosts::of(prec);
+    let bw = dev.memory.peak_bandwidth_gbps * 1e9 * BW_EFFICIENCY;
+    let peak = dev.gpu.peak_fp16_tflops * 1e12;
+    let t_w = arch.weight_bytes(prec) as f64 / bw;
+    let f = flops::dense_flops_per_token(&arch) * costs.compute_mult;
+    let pre_c = bs as f64 * n_in as f64 * f / (peak * PREFILL_EFF);
+    let dec_c = bs as f64 * f / (peak * DECODE_EFF);
+    let roofline = |a: f64, b: f64| a.max(b) + OVERLAP_BETA * a.min(b);
+    let mut total = roofline(t_w, pre_c) + n_out as f64 * (host_s + roofline(t_w, dec_c));
+    for i in 0..n_out {
+        let ctx = n_in + i;
+        let kv = ctx as f64 * arch.kv_bytes_per_token() as f64;
+        let ov = ctx.saturating_sub(CTX_OVERHEAD_THRESHOLD) as f64 * k2;
+        total += bs as f64 * (kv + ov) / bw;
+    }
+    total
+}
+
+/// Re-derived constants for one model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Refit {
+    /// Host seconds per decode step solved from the `bs=1` anchor.
+    pub host_s: f64,
+    /// Long-context overhead bytes solved from the long-sequence anchor.
+    pub k2_bytes: f64,
+}
+
+/// Re-solve (host, k2) for a model exactly the way DESIGN.md §4 describes:
+/// the `bs=1, sl=96` anchor of Table 4 fixes `host`, then the longest
+/// feasible sequence row of Table 7 fixes `k2`.
+pub fn refit(llm: Llm) -> Refit {
+    let prec =
+        if llm == Llm::DeepseekQwen32b { Precision::Int8 } else { Precision::Fp16 };
+    let bs1 = batch_sweep_truth(Dataset::WikiText2)
+        .iter()
+        .find(|t| t.llm == llm)
+        .expect("model in Table 4")
+        .latency_s[0];
+    // host from bs=1 (k2 irrelevant: ctx ≤ 96 < threshold).
+    let zero_host = predict(llm, prec, 0.0, 0.0, 1, 32, 64);
+    let host_s = (bs1 - zero_host) / 64.0;
+
+    // k2 from the longest feasible Table 7 row.
+    let seq = seq_sweep_truth(Dataset::WikiText2)
+        .iter()
+        .find(|t| t.llm == llm)
+        .expect("model in Table 7");
+    let (idx, target) = seq
+        .latency_s
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| c.map(|v| (i, v)))
+        .next_back()
+        .expect("at least one feasible row");
+    let (n_in, n_out) = match [128u64, 256, 512, 1024][idx] {
+        128 => (32u64, 96u64),
+        256 => (64, 192),
+        512 => (128, 384),
+        _ => (256, 768),
+    };
+    let base = predict(llm, prec, host_s, 0.0, 32, n_in, n_out);
+    let dev = DeviceSpec::orin_agx_64gb();
+    let bw = dev.memory.peak_bandwidth_gbps * 1e9 * BW_EFFICIENCY;
+    let excess: u64 =
+        (0..n_out).map(|i| (n_in + i).saturating_sub(CTX_OVERHEAD_THRESHOLD)).sum();
+    let k2_bytes = ((target - base) * bw / (32.0 * excess as f64)).max(0.0);
+    Refit { host_s, k2_bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgellm_perf::calib::ModelCalib;
+
+    #[test]
+    fn refit_reproduces_the_shipped_constants() {
+        for llm in Llm::ALL {
+            let shipped = ModelCalib::for_llm(llm);
+            let refit = refit(llm);
+            // DeepSeek's shipped host is decomposed into base + per-layer
+            // INT8 dispatch; reconstruct the total for comparison.
+            let shipped_host = shipped.host_s
+                + if llm == Llm::DeepseekQwen32b {
+                    64.0 * shipped.int8_layer_s
+                } else {
+                    0.0
+                };
+            let dh = (refit.host_s - shipped_host).abs() / shipped_host;
+            assert!(
+                dh < 0.02,
+                "{llm:?}: refit host {:.4}s vs shipped {:.4}s",
+                refit.host_s,
+                shipped_host
+            );
+            let dk = (refit.k2_bytes - shipped.k2_bytes).abs() / shipped.k2_bytes;
+            assert!(
+                dk < 0.05,
+                "{llm:?}: refit k2 {:.0} vs shipped {:.0}",
+                refit.k2_bytes,
+                shipped.k2_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn refit_constants_are_physical() {
+        for llm in Llm::ALL {
+            let r = refit(llm);
+            assert!(r.host_s > 0.0 && r.host_s < 1.0, "{llm:?}: host {}", r.host_s);
+            assert!(r.k2_bytes > 0.0 && r.k2_bytes < 100e6, "{llm:?}: k2 {}", r.k2_bytes);
+        }
+    }
+
+    #[test]
+    fn independent_formula_matches_perf_model() {
+        // The re-derivation formula here must agree with PerfModel itself.
+        use edgellm_perf::PerfModel;
+        let dev = DeviceSpec::orin_agx_64gb();
+        for llm in Llm::ALL {
+            let prec =
+                if llm == Llm::DeepseekQwen32b { Precision::Int8 } else { Precision::Fp16 };
+            let c = ModelCalib::for_llm(llm);
+            let host = c.host_s
+                + PrecisionCosts::of(prec).dispatch_frac
+                    * c.int8_layer_s
+                    * llm.arch().layers as f64;
+            let ours = predict(llm, prec, host, c.k2_bytes, 32, 32, 64);
+            let theirs = PerfModel::new(dev.clone(), llm, prec, dev.max_clocks())
+                .latency_s(32, 32, 64);
+            assert!(
+                (ours - theirs).abs() / theirs < 1e-9,
+                "{llm:?}: {ours} vs {theirs}"
+            );
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! ASCII figure rendering — terminal equivalents of the paper's plots.
+//!
+//! The drivers print tables; these helpers render the same series as
+//! fixed-grid ASCII charts so `edgellm run fig1` shows the *shape* of
+//! Fig 1 (throughput rising, latency rising) directly in the terminal.
+
+/// A named series of (x, y) points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label (one character is used as the plot glyph).
+    pub label: String,
+    /// Points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Build a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { label: label.into(), points }
+    }
+}
+
+/// Render series as an ASCII scatter/line chart on a `width × height`
+/// character grid, with a y-axis scale and an x-axis range footer.
+/// X may be plotted on a log₂ scale (the paper's batch-size axes are
+/// powers of two).
+pub fn chart(
+    title: &str,
+    series: &[Series],
+    width: usize,
+    height: usize,
+    log_x: bool,
+) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small");
+    let all: Vec<(f64, f64)> =
+        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let tx = |x: f64| if log_x { x.max(1e-12).log2() } else { x };
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x0 = x0.min(tx(x));
+        x1 = x1.max(tx(x));
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        let glyph = s.label.chars().next().unwrap_or('*');
+        // Plot points plus linear interpolation between consecutive points.
+        let cells: Vec<(usize, usize)> = s
+            .points
+            .iter()
+            .map(|&(x, y)| {
+                let cx = ((tx(x) - x0) / (x1 - x0) * (width - 1) as f64).round() as usize;
+                let cy = ((y - y0) / (y1 - y0) * (height - 1) as f64).round() as usize;
+                (cx.min(width - 1), height - 1 - cy.min(height - 1))
+            })
+            .collect();
+        for w in cells.windows(2) {
+            let ((ax, ay), (bx, by)) = (w[0], w[1]);
+            let steps = ax.abs_diff(bx).max(ay.abs_diff(by)).max(1);
+            for i in 0..=steps {
+                let f = i as f64 / steps as f64;
+                let x = (ax as f64 + f * (bx as f64 - ax as f64)).round() as usize;
+                let y = (ay as f64 + f * (by as f64 - ay as f64)).round() as usize;
+                grid[y.min(height - 1)][x.min(width - 1)] = glyph;
+            }
+        }
+        if let Some(&(x, y)) = cells.first() {
+            grid[y][x] = glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (r, row) in grid.iter().enumerate() {
+        let yv = y1 - (y1 - y0) * r as f64 / (height - 1) as f64;
+        out.push_str(&format!("{yv:>9.1} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>9} +{}\n{:>11}", "", "-".repeat(width), ""));
+    let x_label = if log_x {
+        format!("x: {:.0} … {:.0} (log2)", 2f64.powf(x0), 2f64.powf(x1))
+    } else {
+        format!("x: {x0:.0} … {x1:.0}")
+    };
+    let legend: Vec<String> = series
+        .iter()
+        .map(|s| format!("{}={}", s.label.chars().next().unwrap_or('*'), s.label))
+        .collect();
+    out.push_str(&format!("{x_label}   {}\n", legend.join("  ")));
+    out
+}
+
+/// A horizontal bar chart (for Fig 5's latency bars).
+pub fn bars(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    let max = rows.iter().map(|r| r.1).fold(0.0f64, f64::max).max(1e-12);
+    let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(4);
+    let mut out = format!("{title}\n");
+    for (label, v) in rows {
+        let n = ((v / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:>label_w$} |{} {v:.1}\n",
+            "#".repeat(n.max(if *v > 0.0 { 1 } else { 0 }))
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_contains_glyphs_and_scale() {
+        let s = Series::new("llama", vec![(1.0, 15.0), (32.0, 308.0), (128.0, 559.0)]);
+        let c = chart("Fig 1", &[s], 40, 10, true);
+        assert!(c.contains('l'), "{c}");
+        assert!(c.contains("Fig 1"));
+        assert!(c.contains("log2"));
+        assert!(c.lines().count() >= 12);
+    }
+
+    #[test]
+    fn rising_series_occupies_opposite_corners() {
+        let s = Series::new("x", vec![(0.0, 0.0), (10.0, 100.0)]);
+        let c = chart("t", &[s], 20, 6, false);
+        let lines: Vec<&str> = c.lines().collect();
+        // First grid row (max y) has the glyph near the right edge,
+        // last grid row near the left.
+        assert!(lines[1].trim_end().ends_with('x'), "{c}");
+        assert!(lines[6].contains('x'), "{c}");
+    }
+
+    #[test]
+    fn multiple_series_use_distinct_glyphs() {
+        let a = Series::new("a", vec![(0.0, 1.0), (1.0, 2.0)]);
+        let b = Series::new("b", vec![(0.0, 2.0), (1.0, 1.0)]);
+        let c = chart("t", &[a, b], 24, 8, false);
+        assert!(c.contains('a') && c.contains('b'));
+        assert!(c.contains("a=a") && c.contains("b=b"));
+    }
+
+    #[test]
+    fn empty_series_degrades_gracefully() {
+        let c = chart("t", &[], 20, 5, false);
+        assert!(c.contains("no data"));
+    }
+
+    #[test]
+    fn bars_scale_to_longest() {
+        let rows = vec![("MaxN".to_string(), 10.0), ("H".to_string(), 47.0)];
+        let b = bars("latency", &rows, 40);
+        let maxn_len = b.lines().nth(1).unwrap().matches('#').count();
+        let h_len = b.lines().nth(2).unwrap().matches('#').count();
+        assert_eq!(h_len, 40);
+        assert!((7..=11).contains(&maxn_len), "{b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "chart too small")]
+    fn tiny_chart_rejected() {
+        let _ = chart("t", &[], 4, 2, false);
+    }
+}

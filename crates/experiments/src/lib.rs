@@ -1,0 +1,46 @@
+//! # edgellm-experiments — one driver per paper table and figure
+//!
+//! Each driver regenerates the rows/series of one artifact from the
+//! paper's evaluation, prints them side by side with the published ground
+//! truth (transcribed in [`paper`]), runs the *shape checks* — the
+//! qualitative claims the paper draws from that artifact — and emits CSV.
+//!
+//! | id | artifact | driver |
+//! |----|----------|--------|
+//! | `tab1` | Table 1: model memory per precision | [`tab1`] |
+//! | `tab2` | Table 2: power-mode configurations | [`tab2`] |
+//! | `fig1` | Fig 1/6 + Table 4: batch sweep, WikiText2 | [`batch_sweep`] |
+//! | `fig7` | Fig 7 + Table 5: batch sweep, LongBench | [`batch_sweep`] |
+//! | `fig2` | Fig 2/8 + Table 6: seq-len sweep, LongBench | [`seqlen_sweep`] |
+//! | `fig9` | Fig 9 + Table 7: seq-len sweep, WikiText2 | [`seqlen_sweep`] |
+//! | `fig3` | Fig 3/11: quantization perf impact | [`quant_perf`] |
+//! | `tab3` | Table 3: perplexity vs precision | [`perplexity`] |
+//! | `fig4` | Fig 4: power/energy vs batch × precision (Llama) | [`power_energy`] |
+//! | `fig10` | Fig 10: same, all models | [`power_energy`] |
+//! | `fig5` | Fig 5: the nine power modes | [`power_modes`] |
+//!
+//! Extensions beyond the paper (its named future work) live in
+//! [`extensions`]: `ext-engine` (optimized-engine headroom), `ext-devices`
+//! (Jetson family sweep), `ext-serving` (continuous vs static batching)
+//! and `ext-pmsearch` (minimum-energy DVFS search).
+//!
+//! Run them through the `edgellm` binary (`edgellm run fig1`,
+//! `edgellm all`) or the [`runner`] API.
+
+pub mod batch_sweep;
+pub mod extensions;
+pub mod calibration;
+pub mod figviz;
+pub mod paper;
+pub mod perplexity;
+pub mod power_energy;
+pub mod power_modes;
+pub mod quant_perf;
+pub mod report;
+pub mod runner;
+pub mod seqlen_sweep;
+pub mod tab1;
+pub mod tab2;
+
+pub use report::{Check, ExperimentResult, Table};
+pub use runner::{list_experiments, run_experiment, ExperimentOpts};

@@ -1,0 +1,259 @@
+//! Ground-truth values transcribed from the paper, used by every driver to
+//! print side-by-side comparisons and run shape checks.
+//!
+//! Sources: Table 1 (model memory), Table 2 (power modes), Table 3
+//! (perplexity), Table 4/5 (batch sweeps on WikiText2/LongBench), Table 6/7
+//! (sequence sweeps on LongBench/WikiText2), and the §3.x prose claims.
+
+use edgellm_core::Dataset;
+use edgellm_models::Llm;
+
+/// `None` marks an OoM cell in the paper.
+pub type Cell = Option<f64>;
+
+/// The batch sizes of the batch sweeps (powers of two).
+pub const BATCH_SIZES: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// The sequence lengths of the sequence sweeps.
+pub const SEQ_LENS: [u64; 4] = [128, 256, 512, 1024];
+
+/// One model's batch-sweep row set: RAM (GB), latency (s), throughput
+/// (tok/s) per batch size.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchSweepTruth {
+    /// Which model.
+    pub llm: Llm,
+    /// RAM (GB) per batch size.
+    pub ram_gb: [f64; 8],
+    /// Latency (s) per batch size. (The paper's table header says "ms" but
+    /// the magnitudes are seconds — e.g. Llama3 bs=32 latency 9.96 with
+    /// 308 tok/s on 3072 tokens only works in seconds.)
+    pub latency_s: [f64; 8],
+    /// Throughput (tokens/s) per batch size.
+    pub throughput: [f64; 8],
+}
+
+/// Table 4: WikiText2 batch sweep (MaxN, sl=96; FP16, DeepQ INT8).
+pub const TABLE4: [BatchSweepTruth; 4] = [
+    BatchSweepTruth {
+        llm: Llm::Phi2,
+        ram_gb: [6.18, 6.24, 6.36, 6.48, 6.87, 8.05, 11.57, 20.53],
+        latency_s: [3.73, 3.95, 3.95, 3.95, 4.09, 5.19, 7.59, 12.85],
+        throughput: [25.45, 48.66, 96.24, 194.59, 375.88, 591.68, 809.96, 956.61],
+    },
+    BatchSweepTruth {
+        llm: Llm::Llama31_8b,
+        ram_gb: [16.38, 16.42, 16.45, 16.53, 16.72, 17.12, 17.91, 19.26],
+        latency_s: [6.37, 6.66, 6.87, 7.37, 8.33, 9.96, 14.04, 21.99],
+        throughput: [15.08, 28.82, 55.91, 104.27, 184.39, 308.47, 437.47, 558.87],
+    },
+    BatchSweepTruth {
+        llm: Llm::MistralSmall24b,
+        ram_gb: [47.33, 47.36, 47.44, 47.59, 47.74, 47.99, 48.77, 50.08],
+        latency_s: [18.51, 18.3, 18.74, 19.54, 21.29, 39.12, 48.84, 66.53],
+        throughput: [5.19, 8.96, 20.49, 39.3, 72.16, 78.52, 125.79, 184.69],
+    },
+    BatchSweepTruth {
+        llm: Llm::DeepseekQwen32b,
+        ram_gb: [34.82, 35.24, 35.72, 36.76, 38.25, 40.87, 43.23, 44.35],
+        latency_s: [43.25, 46.97, 48.97, 47.73, 69.81, 47.92, 61.05, 83.69],
+        throughput: [2.22, 4.09, 7.84, 16.09, 22.0, 64.11, 100.65, 146.83],
+    },
+];
+
+/// Table 5: LongBench batch sweep (same setup).
+pub const TABLE5: [BatchSweepTruth; 4] = [
+    BatchSweepTruth {
+        llm: Llm::Phi2,
+        ram_gb: [6.09, 6.1, 6.13, 6.13, 6.22, 7.42, 10.94, 19.91],
+        latency_s: [3.62, 3.64, 3.63, 3.65, 3.85, 4.93, 7.12, 11.97],
+        throughput: [26.54, 52.73, 105.72, 210.17, 398.99, 623.2, 863.01, 1026.76],
+    },
+    BatchSweepTruth {
+        llm: Llm::Llama31_8b,
+        ram_gb: [16.37, 16.46, 16.46, 16.53, 16.73, 17.14, 17.91, 19.27],
+        latency_s: [6.36, 6.59, 6.77, 7.26, 8.19, 9.76, 13.65, 21.21],
+        throughput: [15.08, 29.13, 56.69, 105.84, 187.59, 314.6, 450.12, 579.4],
+    },
+    BatchSweepTruth {
+        llm: Llm::MistralSmall24b,
+        ram_gb: [47.77, 47.73, 47.89, 48.03, 48.18, 48.4, 49.1, 50.55],
+        latency_s: [18.53, 18.3, 18.63, 19.43, 21.14, 39.05, 48.44, 65.83],
+        throughput: [5.18, 10.49, 20.61, 39.53, 72.66, 78.67, 126.83, 186.67],
+    },
+    BatchSweepTruth {
+        llm: Llm::DeepseekQwen32b,
+        ram_gb: [34.74, 35.11, 35.72, 36.94, 37.97, 39.76, 41.9, 43.06],
+        latency_s: [43.42, 46.58, 48.11, 47.01, 69.13, 46.52, 58.86, 80.61],
+        throughput: [2.21, 4.12, 7.98, 16.34, 22.22, 66.04, 104.39, 152.43],
+    },
+];
+
+/// One model's sequence-sweep rows (`None` = OoM).
+#[derive(Debug, Clone, Copy)]
+pub struct SeqSweepTruth {
+    /// Which model.
+    pub llm: Llm,
+    /// RAM (GB) per sequence length.
+    pub ram_gb: [Cell; 4],
+    /// Latency (s) per sequence length.
+    pub latency_s: [Cell; 4],
+    /// Throughput (tok/s) per sequence length.
+    pub throughput: [Cell; 4],
+}
+
+/// Table 6: LongBench sequence sweep (bs=32, MaxN).
+pub const TABLE6: [SeqSweepTruth; 4] = [
+    SeqSweepTruth {
+        llm: Llm::Phi2,
+        ram_gb: [Some(6.97), Some(20.7), None, None],
+        latency_s: [Some(7.74), Some(21.26), None, None],
+        throughput: [Some(529.04), Some(385.32), None, None],
+    },
+    SeqSweepTruth {
+        llm: Llm::Llama31_8b,
+        ram_gb: [Some(17.24), Some(18.26), Some(21.17), Some(29.37)],
+        latency_s: [Some(15.09), Some(37.37), Some(101.02), Some(305.36)],
+        throughput: [Some(271.5), Some(219.21), Some(162.18), Some(107.31)],
+    },
+    SeqSweepTruth {
+        llm: Llm::MistralSmall24b,
+        ram_gb: [Some(48.24), Some(49.0), Some(50.86), Some(54.48)],
+        latency_s: [Some(57.51), Some(123.64), Some(281.3), Some(694.74)],
+        throughput: [Some(71.22), Some(66.26), Some(58.24), Some(47.17)],
+    },
+    SeqSweepTruth {
+        llm: Llm::DeepseekQwen32b,
+        ram_gb: [Some(34.56), Some(39.58), Some(42.17), Some(46.91)],
+        latency_s: [Some(97.72), Some(257.02), Some(679.31), Some(1646.36)],
+        throughput: [Some(41.91), Some(31.88), Some(24.12), Some(19.9)],
+    },
+];
+
+/// Table 7: WikiText2 sequence sweep (bs=32, MaxN).
+pub const TABLE7: [SeqSweepTruth; 4] = [
+    SeqSweepTruth {
+        llm: Llm::Phi2,
+        ram_gb: [Some(9.19), Some(19.98), None, None],
+        latency_s: [Some(7.74), Some(21.03), None, None],
+        throughput: [Some(529.31), Some(389.48), None, None],
+    },
+    SeqSweepTruth {
+        llm: Llm::Llama31_8b,
+        ram_gb: [Some(17.2), Some(18.77), Some(20.99), Some(29.13)],
+        latency_s: [Some(14.99), Some(37.23), Some(100.69), Some(304.33)],
+        throughput: [Some(273.18), Some(220.02), Some(162.71), Some(107.67)],
+    },
+    SeqSweepTruth {
+        llm: Llm::MistralSmall24b,
+        ram_gb: [Some(48.15), Some(49.0), Some(50.81), Some(54.66)],
+        latency_s: [Some(57.35), Some(123.31), Some(280.48), Some(693.13)],
+        throughput: [Some(71.42), Some(66.43), Some(58.41), Some(47.28)],
+    },
+    SeqSweepTruth {
+        llm: Llm::DeepseekQwen32b,
+        ram_gb: [Some(40.49), Some(41.38), Some(43.28), Some(46.1)],
+        latency_s: [Some(93.04), Some(249.24), Some(667.08), Some(1681.75)],
+        throughput: [Some(44.03), Some(32.87), Some(24.56), Some(19.48)],
+    },
+];
+
+/// Fetch the batch-sweep truth for a dataset.
+pub fn batch_sweep_truth(ds: Dataset) -> &'static [BatchSweepTruth; 4] {
+    match ds {
+        Dataset::WikiText2 => &TABLE4,
+        Dataset::LongBench => &TABLE5,
+    }
+}
+
+/// Fetch the sequence-sweep truth for a dataset.
+pub fn seq_sweep_truth(ds: Dataset) -> &'static [SeqSweepTruth; 4] {
+    match ds {
+        Dataset::WikiText2 => &TABLE7,
+        Dataset::LongBench => &TABLE6,
+    }
+}
+
+/// Table 1: weight memory (GB) per model × [FP32, FP16, INT8, INT4]; red
+/// (estimate/unloadable) cells flagged.
+pub const TABLE1: [(Llm, [f64; 4], [bool; 4]); 4] = [
+    (Llm::Phi2, [11.2, 5.6, 3.0, 1.8], [true, true, true, true]),
+    (Llm::Llama31_8b, [32.2, 16.1, 9.1, 5.6], [true, true, true, true]),
+    (Llm::MistralSmall24b, [94.2, 47.1, 24.9, 13.8], [false, true, true, true]),
+    (Llm::DeepseekQwen32b, [124.0, 62.0, 34.3, 18.7], [false, false, true, true]),
+];
+
+/// Table 3: perplexity per model × [FP32, FP16, INT8, INT4], WikiText2
+/// then LongBench (`None` = OoM).
+pub const TABLE3: [(Llm, [Cell; 4], [Cell; 4]); 4] = [
+    (
+        Llm::Phi2,
+        [Some(9.12), Some(9.12), Some(9.34), Some(9.69)],
+        [Some(7.35), Some(7.35), Some(7.47), Some(7.65)],
+    ),
+    (
+        Llm::Llama31_8b,
+        [Some(5.91), Some(5.91), Some(6.00), Some(6.30)],
+        [Some(5.77), Some(5.77), Some(5.80), Some(5.99)],
+    ),
+    (
+        Llm::MistralSmall24b,
+        [None, Some(4.99), Some(5.00), Some(5.08)],
+        [None, Some(4.95), Some(4.97), Some(5.11)],
+    ),
+    (
+        Llm::DeepseekQwen32b,
+        [None, None, Some(6.36), Some(6.48)],
+        [None, None, Some(6.42), Some(6.53)],
+    ),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_truth_is_internally_consistent() {
+        // Throughput ≈ bs·96/latency for the batch sweeps (±2% transcription
+        // rounding).
+        // The paper's own tables contain a few inconsistent cells (e.g.
+        // Table 4 Mistral bs=2 prints 8.96 tok/s where 96·2/18.3 = 10.5);
+        // require consistency for all but at most two cells overall.
+        let mut bad = 0;
+        for t in TABLE4.iter().chain(TABLE5.iter()) {
+            for (i, &bs) in BATCH_SIZES.iter().enumerate() {
+                let tp = bs as f64 * 96.0 / t.latency_s[i];
+                let rel = (tp - t.throughput[i]).abs() / t.throughput[i];
+                if rel >= 0.06 {
+                    bad += 1;
+                }
+            }
+        }
+        assert!(bad <= 2, "{bad} inconsistent ground-truth cells");
+    }
+
+    #[test]
+    fn seq_sweep_oom_cells_are_phi2_only() {
+        for t in TABLE6.iter().chain(TABLE7.iter()) {
+            let ooms = t.latency_s.iter().filter(|c| c.is_none()).count();
+            if t.llm == Llm::Phi2 {
+                assert_eq!(ooms, 2, "Phi-2 OoM at 512 and 1024");
+            } else {
+                assert_eq!(ooms, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn table3_perplexity_shapes() {
+        for (llm, wiki, lb) in TABLE3 {
+            for row in [wiki, lb] {
+                let vals: Vec<f64> = row.iter().flatten().copied().collect();
+                // Monotone non-decreasing down the precision ladder.
+                for w in vals.windows(2) {
+                    assert!(w[1] >= w[0] - 1e-9, "{llm:?}: {vals:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Table 3: perplexity vs quantization — **measured**, not modeled.
+//!
+//! The paper's models cannot run here, so four scaled-down language models
+//! ("-sim" counterparts, capacity-ordered like the paper's 2.7B→32.8B
+//! lineup) are *actually trained* on the synthetic WikiText2-like and
+//! LongBench-like corpora, then *actually quantized* through the real
+//! FP16/INT8/INT4 codecs, and evaluated with the paper's exact protocol
+//! (sliding 1024-token windows, stride 512). The OoM cells come from the
+//! memory model applied to the corresponding *real* model (Mistral FP32,
+//! DeepSeek FP32/FP16 do not load on a 64 GB device).
+//!
+//! Absolute perplexities differ from the paper's (different corpus,
+//! tokenizer and scale — see EXPERIMENTS.md); every *ordinal* claim of
+//! Table 3 is checked: FP32 ≈ FP16, INT8 slightly worse, INT4 sharply
+//! worse, larger models better, small models degraded more.
+
+use crate::report::{vs_cell, Check, ExperimentResult, Table};
+use edgellm_core::perplexity::sliding_window_perplexity;
+use edgellm_core::Dataset;
+use edgellm_corpus::{BpeTokenizer, CorpusKind, SyntheticCorpus};
+use edgellm_mem::MemoryModel;
+use edgellm_models::{Llm, Precision};
+use edgellm_nn::quantize::to_precision;
+use edgellm_nn::{MlpLm, MlpLmConfig, WeightPrecision};
+use rayon::prelude::*;
+
+/// A scaled-down stand-in for one of the paper's models.
+#[derive(Debug, Clone, Copy)]
+pub struct SimLmSpec {
+    /// The real model this stands in for (drives the OoM cells).
+    pub llm: Llm,
+    /// Display name.
+    pub name: &'static str,
+    /// Scaled-down architecture (capacity ordered like the real lineup).
+    pub cfg: MlpLmConfig,
+}
+
+/// The four stand-ins. Hidden sizes are ordered like the paper's
+/// parameter counts (2.7B < 8B < 23.6B < 32.8B, scaled ~10⁵×down).
+pub fn sim_specs() -> [SimLmSpec; 4] {
+    [
+        SimLmSpec {
+            llm: Llm::Phi2,
+            name: "phi2-sim",
+            cfg: MlpLmConfig { vocab: 512, context: 4, d_emb: 16, hidden: 24, seed: 101 },
+        },
+        SimLmSpec {
+            llm: Llm::Llama31_8b,
+            name: "llama3-sim",
+            cfg: MlpLmConfig { vocab: 512, context: 4, d_emb: 24, hidden: 56, seed: 102 },
+        },
+        SimLmSpec {
+            llm: Llm::MistralSmall24b,
+            name: "mistral-sim",
+            cfg: MlpLmConfig { vocab: 512, context: 4, d_emb: 32, hidden: 112, seed: 103 },
+        },
+        SimLmSpec {
+            llm: Llm::DeepseekQwen32b,
+            name: "deepq-sim",
+            cfg: MlpLmConfig { vocab: 512, context: 4, d_emb: 40, hidden: 160, seed: 104 },
+        },
+    ]
+}
+
+/// Map the storage precision to the codec precision.
+fn codec(prec: Precision) -> WeightPrecision {
+    match prec {
+        Precision::Fp32 => WeightPrecision::Fp32,
+        Precision::Fp16 => WeightPrecision::Fp16,
+        Precision::Int8 => WeightPrecision::Int8,
+        Precision::Int4 => WeightPrecision::Int4,
+    }
+}
+
+/// The full Table 3 experiment. `fast` trims training steps and eval
+/// tokens for smoke runs.
+pub fn run(fast: bool) -> ExperimentResult {
+    let (train_words, steps, eval_tokens) =
+        if fast { (30_000, 500, 6_000) } else { (90_000, 2_000, 24_000) };
+
+    // Corpora: train on a mix, evaluate on held-out text of each kind.
+    let wiki_train = SyntheticCorpus::generate(CorpusKind::WikiText2Like, train_words, 11);
+    let lb_train = SyntheticCorpus::generate(CorpusKind::LongBenchLike, train_words, 12);
+    let wiki_eval = SyntheticCorpus::generate(CorpusKind::WikiText2Like, train_words / 2, 21);
+    let lb_eval = SyntheticCorpus::generate(CorpusKind::LongBenchLike, train_words / 2, 22);
+
+    let tok = BpeTokenizer::train(&wiki_train.text, 512);
+    let mut train_stream = tok.encode(&wiki_train.text);
+    train_stream.extend(tok.encode(&lb_train.text));
+    let mut wiki_stream = tok.encode(&wiki_eval.text);
+    wiki_stream.truncate(eval_tokens);
+    let mut lb_stream = tok.encode(&lb_eval.text);
+    lb_stream.truncate(eval_tokens);
+
+    // Train the four stand-ins in parallel. Larger models need more
+    // optimizer steps to converge (the real lineup's training budgets also
+    // scale with size), so steps scale with the hidden width.
+    let trained: Vec<(SimLmSpec, MlpLm)> = sim_specs()
+        .into_par_iter()
+        .map(|spec| {
+            let mut m = MlpLm::new(spec.cfg);
+            let model_steps = steps * (24 + spec.cfg.hidden) / 48;
+            m.train(&train_stream, model_steps, 64, 3e-3, spec.cfg.seed ^ 0xFEED);
+            (spec, m)
+        })
+        .collect();
+
+    // Evaluate every feasible (model, precision, dataset) cell.
+    type Row = [Option<f64>; 4];
+    let evaluate = |spec: &SimLmSpec, model: &MlpLm, stream: &[u32]| -> Row {
+        let mut row = [None; 4];
+        for (i, &prec) in Precision::ALL.iter().enumerate() {
+            // OoM gate from the *real* model's footprint on the 64 GB device.
+            let mm = MemoryModel::new(spec.llm, prec, 64.0);
+            if !mm.model_loads() {
+                continue;
+            }
+            let q = to_precision(model, codec(prec));
+            row[i] = Some(sliding_window_perplexity(&q, stream).perplexity);
+        }
+        row
+    };
+    let results: Vec<(SimLmSpec, Row, Row)> = trained
+        .par_iter()
+        .map(|(spec, model)| {
+            (*spec, evaluate(spec, model, &wiki_stream), evaluate(spec, model, &lb_stream))
+        })
+        .collect();
+
+    // Render.
+    let mut t = Table::new(vec![
+        "Model", "W-FP32", "W-FP16", "W-INT8", "W-INT4", "L-FP32", "L-FP16", "L-INT8",
+        "L-INT4",
+    ]);
+    let mut csv =
+        Table::new(vec!["model", "dataset", "precision", "ours_ppl", "paper_ppl"]);
+    let mut checks = Vec::new();
+    for ((spec, wiki, lb), (p_llm, p_wiki, p_lb)) in
+        results.iter().zip(crate::paper::TABLE3.iter())
+    {
+        assert_eq!(spec.llm, *p_llm);
+        let mut cells = vec![spec.name.to_string()];
+        for (ours, paper) in wiki.iter().zip(p_wiki).chain(lb.iter().zip(p_lb)) {
+            cells.push(vs_cell(*ours, *paper, 2));
+        }
+        t.row(cells);
+        for (ds, ours, paper) in
+            [(Dataset::WikiText2, wiki, p_wiki), (Dataset::LongBench, lb, p_lb)]
+        {
+            for ((o, p), prec) in ours.iter().zip(paper).zip(Precision::ALL) {
+                let fmt = |v: &Option<f64>| v.map_or("OOM".into(), |x| format!("{x:.3}"));
+                csv.row(vec![
+                    spec.name.to_string(),
+                    ds.label().to_string(),
+                    prec.label().to_string(),
+                    fmt(o),
+                    fmt(p),
+                ]);
+                checks.push(Check::new(
+                    format!(
+                        "{} {} {}: OoM status matches Table 3",
+                        spec.name,
+                        ds.label(),
+                        prec
+                    ),
+                    o.is_none() == p.is_none(),
+                    format!("ours {} vs paper {}", fmt(o), fmt(p)),
+                ));
+            }
+            // Ordinal claims per row (where cells exist).
+            if let (Some(p32), Some(p16)) = (ours[0], ours[1]) {
+                checks.push(Check::new(
+                    format!("{} {}: FP16 ≈ FP32 (Table 3)", spec.name, ds.label()),
+                    (p16 - p32).abs() / p32 < 0.02,
+                    format!("{p32:.2} vs {p16:.2}"),
+                ));
+            }
+            if let (Some(base), Some(p8)) = (ours[1].or(ours[0]).or(ours[2]), ours[2]) {
+                checks.push(Check::new(
+                    format!("{} {}: INT8 no better than FP16 (Table 3)", spec.name, ds.label()),
+                    p8 >= base * 0.995,
+                    format!("{base:.2} → {p8:.2}"),
+                ));
+            }
+            if let (Some(p8), Some(p4)) = (ours[2], ours[3]) {
+                checks.push(Check::new(
+                    format!(
+                        "{} {}: INT4 clearly worse than INT8 (Table 3)",
+                        spec.name,
+                        ds.label()
+                    ),
+                    p4 > p8,
+                    format!("{p8:.2} → {p4:.2}"),
+                ));
+            }
+        }
+    }
+
+    // Capacity ordering: larger sim models fit the corpus better (at their
+    // serving precision, like the real lineup's FP32/best-available cells).
+    let best = |row: &Row| row.iter().flatten().copied().next();
+    let wiki_best: Vec<f64> = results.iter().filter_map(|(_, w, _)| best(w)).collect();
+    checks.push(Check::new(
+        "larger models achieve lower perplexity (Table 3 row ordering)",
+        wiki_best.windows(2).all(|w| w[1] < w[0]),
+        format!("{wiki_best:.2?}"),
+    ));
+    // Small models degrade more under INT4 (§3.3 / Dettmers).
+    let degradation: Vec<Option<f64>> = results
+        .iter()
+        .map(|(_, w, _)| match (w[2], w[3]) {
+            (Some(p8), Some(p4)) => Some(p4 / p8 - 1.0),
+            _ => None,
+        })
+        .collect();
+    if let (Some(Some(small)), Some(Some(large))) =
+        (degradation.first(), degradation.last())
+    {
+        checks.push(Check::new(
+            "smallest model degrades more under INT4 than largest (§3.3)",
+            small > large,
+            format!("phi2-sim +{:.1}% vs deepq-sim +{:.1}%", small * 100.0, large * 100.0),
+        ));
+    }
+
+    ExperimentResult {
+        id: "tab3",
+        title: "Table 3 — perplexity vs precision (real training + quantization)"
+            .to_string(),
+        tables: vec![t.render()],
+        checks,
+        csv: vec![("perplexity".to_string(), csv.to_csv())],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_shapes_reproduce_fast() {
+        let r = run(true);
+        let failed: Vec<_> = r.checks.iter().filter(|c| !c.pass).collect();
+        // Allow at most 2 noisy ordinal misses in fast mode, none on OoM.
+        assert!(
+            failed.len() <= 2 && failed.iter().all(|c| !c.claim.contains("OoM")),
+            "{}",
+            r.render()
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Fig 4 (Llama) / Fig 10 (all models): power load and energy use while
+//! varying batch size × quantization (MaxN, sl = 96).
+
+use crate::report::{Check, ExperimentResult, Table};
+use edgellm_core::{Engine, Protocol, RunConfig};
+use edgellm_models::{Llm, Precision};
+use rayon::prelude::*;
+
+/// The precisions Fig 4/10 sweep.
+const PRECISIONS: [Precision; 3] = [Precision::Fp16, Precision::Int8, Precision::Int4];
+
+/// Batch sizes on the Fig 4/10 x-axis.
+const BATCHES: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Median over a non-empty slice.
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    v[v.len() / 2]
+}
+
+/// Run the sweep for the given models (Fig 4 = Llama only, Fig 10 = all).
+pub fn run(models: &[Llm], protocol: Protocol) -> ExperimentResult {
+    let engine = Engine::orin_agx_64gb();
+    // (model, precision) → per-batch (power, energy); None where OoM.
+    type Series = Vec<Option<(f64, f64)>>;
+    let grid: Vec<(Llm, Vec<(Precision, Series)>)> = models
+        .par_iter()
+        .map(|&llm| {
+            let per_prec = PRECISIONS
+                .iter()
+                .map(|&prec| {
+                    let series = BATCHES
+                        .par_iter()
+                        .map(|&bs| {
+                            protocol
+                                .run(&engine, &RunConfig::new(llm, prec).batch_size(bs))
+                                .ok()
+                                .map(|m| (m.median_power_w, m.energy_j))
+                        })
+                        .collect();
+                    (prec, series)
+                })
+                .collect();
+            (llm, per_prec)
+        })
+        .collect();
+
+    let mut tables = Vec::new();
+    let mut checks = Vec::new();
+    let mut csv =
+        Table::new(vec!["model", "precision", "batch", "power_w", "energy_j"]);
+
+    for (llm, per_prec) in &grid {
+        let mut t = Table::new(vec![
+            "batch", "FP16 W", "FP16 J", "INT8 W", "INT8 J", "INT4 W", "INT4 J",
+        ]);
+        for (i, &bs) in BATCHES.iter().enumerate() {
+            let cell = |p: usize| -> (String, String) {
+                match per_prec[p].1[i] {
+                    Some((w, j)) => (format!("{w:.1}"), format!("{j:.0}")),
+                    None => ("OOM".into(), "OOM".into()),
+                }
+            };
+            let (w16, j16) = cell(0);
+            let (w8, j8) = cell(1);
+            let (w4, j4) = cell(2);
+            t.row(vec![bs.to_string(), w16, j16, w8, j8, w4, j4]);
+            for (p, &prec) in PRECISIONS.iter().enumerate() {
+                if let Some((w, j)) = per_prec[p].1[i] {
+                    csv.row(vec![
+                        llm.short_name().to_string(),
+                        prec.label().to_string(),
+                        bs.to_string(),
+                        format!("{w:.2}"),
+                        format!("{j:.1}"),
+                    ]);
+                }
+            }
+        }
+        tables.push(format!("{}:\n{}", llm.short_name(), t.render()));
+
+        // Per-model §3.3 / appendix A.3 claims (where the cells exist).
+        let series = |p: usize| -> Vec<(f64, f64)> {
+            per_prec[p].1.iter().flatten().copied().collect()
+        };
+        let (s16, s8, s4) = (series(0), series(1), series(2));
+        if !s16.is_empty() && !s8.is_empty() {
+            let med16 = median(s16.iter().map(|x| x.0).collect());
+            let med8 = median(s8.iter().map(|x| x.0).collect());
+            let red = 1.0 - med8 / med16;
+            checks.push(Check::new(
+                format!(
+                    "{}: INT8 draws markedly less power than FP16 (A.3: ≈23–50%)",
+                    llm.short_name()
+                ),
+                (0.05..0.6).contains(&red),
+                format!("median −{:.0}%", red * 100.0),
+            ));
+        }
+        if !s8.is_empty() && !s4.is_empty() {
+            let med8 = median(s8.iter().map(|x| x.0).collect());
+            let med4 = median(s4.iter().map(|x| x.0).collect());
+            checks.push(Check::new(
+                format!("{}: INT8 draws less power than INT4 (A.3)", llm.short_name()),
+                med8 < med4,
+                format!("{med8:.1} W vs {med4:.1} W"),
+            ));
+            let e8 = median(s8.iter().map(|x| x.1).collect());
+            let e4 = median(s4.iter().map(|x| x.1).collect());
+            checks.push(Check::new(
+                format!(
+                    "{}: INT4 energy well above INT8 (A.3: 55–78% savings for INT8)",
+                    llm.short_name()
+                ),
+                e4 > 1.3 * e8,
+                format!("{e4:.0} J vs {e8:.0} J"),
+            ));
+        }
+        if !s16.is_empty() && !s4.is_empty() {
+            let e16 = median(s16.iter().map(|x| x.1).collect());
+            let e4 = median(s4.iter().map(|x| x.1).collect());
+            checks.push(Check::new(
+                format!(
+                    "{}: INT4 energy well above FP16 (Fig 4: quantization worsens energy)",
+                    llm.short_name()
+                ),
+                e4 > 1.3 * e16,
+                format!("{e4:.0} J vs {e16:.0} J"),
+            ));
+        }
+    }
+
+    let (id, title) = if models == [Llm::Llama31_8b] {
+        ("fig4", "Fig 4 — power & energy vs batch × quantization (Llama-3.1)")
+    } else {
+        ("fig10", "Fig 10 — power & energy vs batch × quantization (all models)")
+    };
+    ExperimentResult {
+        id,
+        title: title.to_string(),
+        tables,
+        checks,
+        csv: vec![("power_energy".to_string(), csv.to_csv())],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_llama_reproduces() {
+        let r = run(&[Llm::Llama31_8b], Protocol::quick());
+        assert!(r.all_pass(), "{}", r.render());
+        assert_eq!(r.id, "fig4");
+    }
+
+    #[test]
+    fn fig10_all_models_reproduces() {
+        let r = run(&Llm::ALL, Protocol::quick());
+        assert!(r.all_pass(), "{}", r.render());
+        assert_eq!(r.id, "fig10");
+        // DeepSeek has no FP16 column (OoM) — §A.3 point 4.
+        assert!(r.tables[3].contains("OOM"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Fig 5: the nine power modes — latency bars with energy and power
+//! markers (bs = 32, sl = 96, FP16 / INT8 for DeepSeek).
+
+use crate::batch_sweep::serving_precision;
+use crate::report::{Check, ExperimentResult, Table};
+use edgellm_core::{Engine, Protocol, RunConfig};
+use edgellm_hw::{PowerMode, PowerModeId};
+use edgellm_models::Llm;
+use rayon::prelude::*;
+
+/// Run the power-mode grid for all models.
+pub fn run(protocol: Protocol) -> ExperimentResult {
+    let engine = Engine::orin_agx_64gb();
+    let grid: Vec<(Llm, Vec<(PowerModeId, edgellm_core::RunMetrics)>)> = Llm::ALL
+        .par_iter()
+        .map(|&llm| {
+            let per_mode = PowerModeId::ALL
+                .par_iter()
+                .map(|&id| {
+                    let cfg = RunConfig::new(llm, serving_precision(llm))
+                        .power_mode(PowerMode::table2(id));
+                    (id, protocol.run(&engine, &cfg).expect("sl=96 fits"))
+                })
+                .collect();
+            (llm, per_mode)
+        })
+        .collect();
+
+    let mut tables = Vec::new();
+    let mut checks = Vec::new();
+    let mut csv = Table::new(vec![
+        "model", "mode", "latency_s", "power_w", "energy_j", "vs_maxn_latency",
+        "vs_maxn_power",
+    ]);
+
+    for (llm, rows) in &grid {
+        let maxn = &rows[0].1;
+        let mut t = Table::new(vec![
+            "mode", "latency s", "power W", "energy J", "Δlatency", "Δpower", "Δenergy",
+        ]);
+        for (id, m) in rows {
+            let dl = m.latency_s / maxn.latency_s - 1.0;
+            let dp = m.median_power_w / maxn.median_power_w - 1.0;
+            let de = m.energy_j / maxn.energy_j - 1.0;
+            t.row(vec![
+                id.name().to_string(),
+                format!("{:.2}", m.latency_s),
+                format!("{:.1}", m.median_power_w),
+                format!("{:.0}", m.energy_j),
+                format!("{dl:+.0}%", dl = dl * 100.0),
+                format!("{dp:+.0}%", dp = dp * 100.0),
+                format!("{de:+.0}%", de = de * 100.0),
+            ]);
+            csv.row(vec![
+                llm.short_name().to_string(),
+                id.name().to_string(),
+                format!("{:.3}", m.latency_s),
+                format!("{:.2}", m.median_power_w),
+                format!("{:.1}", m.energy_j),
+                format!("{:.3}", dl),
+                format!("{:.3}", dp),
+            ]);
+        }
+        tables.push(format!("{}:\n{}", llm.short_name(), t.render()));
+    }
+
+    // ASCII rendition of Fig 5's latency bars (Llama).
+    if let Some((_, rows)) = grid.iter().find(|(l, _)| *l == Llm::Llama31_8b) {
+        let bars: Vec<(String, f64)> = rows
+            .iter()
+            .map(|(id, m)| (id.name().to_string(), m.latency_s))
+            .collect();
+        tables.push(crate::figviz::bars(
+            "Fig 5 shape — Llama latency (s) per power mode",
+            &bars,
+            48,
+        ));
+    }
+
+    let get = |llm: Llm, id: PowerModeId| -> &edgellm_core::RunMetrics {
+        &grid
+            .iter()
+            .find(|(l, _)| *l == llm)
+            .expect("model present")
+            .1
+            .iter()
+            .find(|(m, _)| *m == id)
+            .expect("mode present")
+            .1
+    };
+
+    // §3.4 claims, checked on Llama as the paper does.
+    let llama = Llm::Llama31_8b;
+    let maxn = get(llama, PowerModeId::MaxN);
+    let a = get(llama, PowerModeId::A);
+    checks.push(Check::new(
+        "PM-A cuts instantaneous power ≈28% (§3.4)",
+        (0.15..0.45).contains(&(1.0 - a.median_power_w / maxn.median_power_w)),
+        format!("−{:.0}%", (1.0 - a.median_power_w / maxn.median_power_w) * 100.0),
+    ));
+    checks.push(Check::new(
+        "PM-A adds ≈26% latency (§3.4)",
+        (0.10..0.45).contains(&(a.latency_s / maxn.latency_s - 1.0)),
+        format!("+{:.0}%", (a.latency_s / maxn.latency_s - 1.0) * 100.0),
+    ));
+    checks.push(Check::new(
+        "PM-A lowers total energy vs MaxN (§3.4)",
+        a.energy_j < maxn.energy_j,
+        format!("{:.0} J vs {:.0} J", a.energy_j, maxn.energy_j),
+    ));
+    let b = get(llama, PowerModeId::B);
+    checks.push(Check::new(
+        "PM-B cuts power ≈51% but costs more total energy than MaxN (§3.4)",
+        (1.0 - b.median_power_w / maxn.median_power_w) > 0.35 && b.energy_j > maxn.energy_j,
+        format!(
+            "power −{:.0}%, energy {:+.0}%",
+            (1.0 - b.median_power_w / maxn.median_power_w) * 100.0,
+            (b.energy_j / maxn.energy_j - 1.0) * 100.0
+        ),
+    ));
+    for id in [PowerModeId::E, PowerModeId::F] {
+        let m = get(llama, id);
+        checks.push(Check::new(
+            format!("PM-{} (core count) has negligible latency impact (§3.4)", id.name()),
+            (m.latency_s / maxn.latency_s - 1.0).abs() < 0.05,
+            format!("{:+.1}%", (m.latency_s / maxn.latency_s - 1.0) * 100.0),
+        ));
+    }
+    let h = get(llama, PowerModeId::H);
+    checks.push(Check::new(
+        "PM-H: latency ≈+370%, energy up ≈72%, power down ≈52% (§3.4)",
+        h.latency_s / maxn.latency_s > 3.0
+            && h.energy_j > 1.3 * maxn.energy_j
+            && h.median_power_w < 0.75 * maxn.median_power_w,
+        format!(
+            "latency +{:.0}%, energy +{:.0}%, power −{:.0}%",
+            (h.latency_s / maxn.latency_s - 1.0) * 100.0,
+            (h.energy_j / maxn.energy_j - 1.0) * 100.0,
+            (1.0 - h.median_power_w / maxn.median_power_w) * 100.0
+        ),
+    ));
+    // DeepSeek (INT8, CPU-assisted) is more CPU-frequency sensitive (§3.4).
+    let d_llama = get(llama, PowerModeId::D).latency_s / maxn.latency_s - 1.0;
+    let deepq_maxn = get(Llm::DeepseekQwen32b, PowerModeId::MaxN);
+    let d_deepq =
+        get(Llm::DeepseekQwen32b, PowerModeId::D).latency_s / deepq_maxn.latency_s - 1.0;
+    checks.push(Check::new(
+        "CPU throttling (PM-D) hits DeepSeek/INT8 harder than Llama/FP16 (§3.4)",
+        d_deepq > d_llama * 2.0,
+        format!("DeepQ +{:.0}% vs Llama +{:.0}%", d_deepq * 100.0, d_llama * 100.0),
+    ));
+
+    ExperimentResult {
+        id: "fig5",
+        title: "Fig 5 — power modes (bs=32, sl=96)".to_string(),
+        tables,
+        checks,
+        csv: vec![("power_modes".to_string(), csv.to_csv())],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_modes_reproduce() {
+        let r = run(Protocol::quick());
+        assert!(r.all_pass(), "{}", r.render());
+    }
+}

@@ -1,0 +1,171 @@
+//! Fig 3 / Fig 11: quantization's impact on latency, throughput and
+//! memory (bs = 32, sl = 96, MaxN), with OoM cells where weights don't
+//! fit.
+
+use crate::report::{Check, ExperimentResult, Table};
+use edgellm_core::{Engine, Protocol, RunConfig, RunError};
+use edgellm_models::{Llm, Precision};
+use rayon::prelude::*;
+
+type CellResult = Result<edgellm_core::RunMetrics, RunError>;
+
+/// Run the quantization grid: 4 models × 4 precisions.
+pub fn run(protocol: Protocol) -> ExperimentResult {
+    let engine = Engine::orin_agx_64gb();
+    let grid: Vec<(Llm, Vec<CellResult>)> = Llm::ALL
+        .par_iter()
+        .map(|&llm| {
+            let cells = Precision::ALL
+                .par_iter()
+                .map(|&prec| protocol.run(&engine, &RunConfig::new(llm, prec)))
+                .collect();
+            (llm, cells)
+        })
+        .collect();
+
+    let mut tables = Vec::new();
+    let mut checks = Vec::new();
+    let mut csv =
+        Table::new(vec!["model", "precision", "latency_s", "tp_tok_s", "ram_gb", "gpu_util"]);
+
+    for (llm, cells) in &grid {
+        let mut t =
+            Table::new(vec!["precision", "latency s", "tok/s", "RAM GB", "GPU util"]);
+        for (prec, cell) in Precision::ALL.iter().zip(cells) {
+            let (lat, tp, ram, util) = match cell {
+                Ok(m) => (
+                    Some(m.latency_s),
+                    Some(m.throughput_tok_s),
+                    Some(m.peak_mem_gb),
+                    // RunMetrics doesn't carry util; re-derive from a
+                    // single batch for display.
+                    engine
+                        .run_batch(&RunConfig::new(*llm, *prec))
+                        .ok()
+                        .map(|b| b.gpu_util),
+                ),
+                Err(_) => (None, None, None, None),
+            };
+            let f = |v: Option<f64>, d: usize| {
+                v.map_or("OOM".to_string(), |x| format!("{x:.d$}"))
+            };
+            t.row(vec![
+                prec.label().to_string(),
+                f(lat, 2),
+                f(tp, 1),
+                f(ram, 1),
+                f(util, 2),
+            ]);
+            csv.row(vec![
+                llm.short_name().to_string(),
+                prec.label().to_string(),
+                f(lat, 3),
+                f(tp, 1),
+                f(ram, 2),
+                f(util, 3),
+            ]);
+        }
+        tables.push(format!("{}:\n{}", llm.short_name(), t.render()));
+    }
+
+    let get = |llm: Llm, p: Precision| -> Option<edgellm_core::RunMetrics> {
+        let (_, cells) = grid.iter().find(|(l, _)| *l == llm)?;
+        let idx = Precision::ALL.iter().position(|&q| q == p)?;
+        cells[idx].as_ref().ok().cloned()
+    };
+
+    // §3.3 headline claims.
+    for llm in [Llm::Phi2, Llm::Llama31_8b] {
+        let f16 = get(llm, Precision::Fp16).expect("fp16 runs");
+        let i8 = get(llm, Precision::Int8).expect("int8 runs");
+        let slow = i8.latency_s / f16.latency_s - 1.0;
+        checks.push(Check::new(
+            format!("{}: INT8 ≈ 62% slower than FP16 (§3.3)", llm.short_name()),
+            (0.35..0.95).contains(&slow),
+            format!("+{:.0}%", slow * 100.0),
+        ));
+        let ram_save = 1.0 - i8.peak_mem_gb / f16.peak_mem_gb;
+        // Phi-2's FP32 KV cache dilutes the weight-side saving at bs=32,
+        // so the observed total-RAM saving sits below the weights-only 46%.
+        checks.push(Check::new(
+            format!("{}: INT8 cuts RAM substantially (§3.3: ≈46%)", llm.short_name()),
+            (0.25..0.60).contains(&ram_save),
+            format!("−{:.0}% of peak total", ram_save * 100.0),
+        ));
+    }
+    {
+        let f16 = get(Llm::MistralSmall24b, Precision::Fp16).expect("fp16 runs");
+        let i8 = get(Llm::MistralSmall24b, Precision::Int8).expect("int8 runs");
+        let slow = i8.latency_s / f16.latency_s - 1.0;
+        checks.push(Check::new(
+            "Mistral-24B: INT8 within ≈2% of FP16 latency (§3.3)",
+            slow.abs() < 0.10,
+            format!("{:+.1}%", slow * 100.0),
+        ));
+        let ram_save = 1.0 - i8.peak_mem_gb / f16.peak_mem_gb;
+        checks.push(Check::new(
+            "Mistral-24B: INT8 cuts RAM ≈ 47% (§3.3)",
+            (0.35..0.55).contains(&ram_save),
+            format!("−{:.0}%", ram_save * 100.0),
+        ));
+    }
+    // INT4 is slower than INT8 everywhere it runs (§3.3/Fig 11).
+    for llm in Llm::ALL {
+        if let (Some(i8), Some(i4)) = (get(llm, Precision::Int8), get(llm, Precision::Int4)) {
+            checks.push(Check::new(
+                format!("{}: INT4 slower than INT8 (Fig 11)", llm.short_name()),
+                i4.latency_s > i8.latency_s,
+                format!("{:.1}s vs {:.1}s", i4.latency_s, i8.latency_s),
+            ));
+        }
+    }
+    // OoM pattern: Mistral FP32, DeepSeek FP32+FP16.
+    for (llm, prec, should_oom) in [
+        (Llm::MistralSmall24b, Precision::Fp32, true),
+        (Llm::DeepseekQwen32b, Precision::Fp32, true),
+        (Llm::DeepseekQwen32b, Precision::Fp16, true),
+        (Llm::Phi2, Precision::Fp32, false),
+        (Llm::Llama31_8b, Precision::Fp32, false),
+    ] {
+        let oomed = get(llm, prec).is_none();
+        checks.push(Check::new(
+            format!("{} {}: OoM status matches Fig 3", llm.short_name(), prec),
+            oomed == should_oom,
+            format!("ours {} vs paper {}", oomed, should_oom),
+        ));
+    }
+    // GPU utilization claims: INT8 ≈ 60%, INT4 ≈ 100% (§3.3).
+    if let Ok(b8) = engine.run_batch(&RunConfig::new(Llm::Llama31_8b, Precision::Int8)) {
+        checks.push(Check::new(
+            "INT8 uses only ≈60% of the GPU (§3.3)",
+            (0.40..0.75).contains(&b8.gpu_util),
+            format!("{:.0}%", b8.gpu_util * 100.0),
+        ));
+    }
+    if let Ok(b4) = engine.run_batch(&RunConfig::new(Llm::Llama31_8b, Precision::Int4)) {
+        checks.push(Check::new(
+            "INT4 uses ≈100% of the GPU (§3.3)",
+            b4.gpu_util > 0.85,
+            format!("{:.0}%", b4.gpu_util * 100.0),
+        ));
+    }
+
+    ExperimentResult {
+        id: "fig3",
+        title: "Fig 3 / Fig 11 — quantization impact (bs=32, sl=96, MaxN)".to_string(),
+        tables,
+        checks,
+        csv: vec![("quant_perf".to_string(), csv.to_csv())],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_grid_reproduces() {
+        let r = run(Protocol::quick());
+        assert!(r.all_pass(), "{}", r.render());
+    }
+}

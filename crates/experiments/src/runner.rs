@@ -1,0 +1,124 @@
+//! Experiment registry and runner.
+
+use crate::report::ExperimentResult;
+use edgellm_core::{Dataset, Protocol};
+use edgellm_models::Llm;
+
+/// Options shared by all drivers.
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct ExperimentOpts {
+    /// Use the quick protocol and trimmed training (smoke mode).
+    pub fast: bool,
+}
+
+
+impl ExperimentOpts {
+    fn protocol(&self) -> Protocol {
+        if self.fast {
+            Protocol::quick()
+        } else {
+            Protocol::paper()
+        }
+    }
+}
+
+/// All experiment ids, in paper order.
+pub const EXPERIMENT_IDS: [&str; 17] = [
+    "tab1",
+    "tab2",
+    "fig1",
+    "fig7",
+    "fig2",
+    "fig9",
+    "fig3",
+    "tab3",
+    "fig4",
+    "fig10",
+    "fig5",
+    "ext-engine",
+    "ext-devices",
+    "ext-serving",
+    "ext-pmsearch",
+    "ext-offload",
+    "ext-thermal",
+];
+
+/// Human description of each experiment.
+pub fn describe(id: &str) -> Option<&'static str> {
+    Some(match id {
+        "tab1" => "Table 1: model weight memory per precision",
+        "tab2" => "Table 2: power-mode configurations",
+        "fig1" => "Fig 1/6 + Table 4: batch sweep (WikiText2)",
+        "fig7" => "Fig 7 + Table 5: batch sweep (LongBench)",
+        "fig2" => "Fig 2/8 + Table 6: sequence sweep (LongBench)",
+        "fig9" => "Fig 9 + Table 7: sequence sweep (WikiText2)",
+        "fig3" => "Fig 3/11: quantization impact on perf/memory",
+        "tab3" => "Table 3: perplexity vs precision (real training)",
+        "fig4" => "Fig 4: power & energy vs batch × precision (Llama)",
+        "fig10" => "Fig 10: power & energy vs batch × precision (all)",
+        "fig5" => "Fig 5: the nine power modes",
+        "ext-engine" => "Extension: optimized-inference-engine headroom",
+        "ext-devices" => "Extension: Jetson device-family sweep",
+        "ext-serving" => "Extension: continuous vs static batching",
+        "ext-pmsearch" => "Extension: minimum-energy power-mode search",
+        "ext-offload" => "Extension: edge inference vs cloud offload",
+        "ext-thermal" => "Extension: sustained serving under thermal limits",
+        _ => return None,
+    })
+}
+
+/// List `(id, description)` pairs.
+pub fn list_experiments() -> Vec<(&'static str, &'static str)> {
+    EXPERIMENT_IDS.iter().map(|&id| (id, describe(id).expect("known id"))).collect()
+}
+
+/// Run one experiment by id. Returns `None` for an unknown id.
+pub fn run_experiment(id: &str, opts: ExperimentOpts) -> Option<ExperimentResult> {
+    let p = opts.protocol();
+    Some(match id {
+        "tab1" => crate::tab1::run(64.0),
+        "tab2" => crate::tab2::run(),
+        "fig1" => crate::batch_sweep::run(Dataset::WikiText2, p),
+        "fig7" => crate::batch_sweep::run(Dataset::LongBench, p),
+        "fig2" => crate::seqlen_sweep::run(Dataset::LongBench, p),
+        "fig9" => crate::seqlen_sweep::run(Dataset::WikiText2, p),
+        "fig3" => crate::quant_perf::run(p),
+        "tab3" => crate::perplexity::run(opts.fast),
+        "fig4" => crate::power_energy::run(&[Llm::Llama31_8b], p),
+        "fig10" => crate::power_energy::run(&Llm::ALL, p),
+        "fig5" => crate::power_modes::run(p),
+        "ext-engine" => crate::extensions::optimized_engine(),
+        "ext-devices" => crate::extensions::device_family(),
+        "ext-serving" => crate::extensions::serving_comparison(),
+        "ext-pmsearch" => crate::extensions::power_mode_search(),
+        "ext-offload" => crate::extensions::offload_analysis(),
+        "ext-thermal" => crate::extensions::thermal_sustained(),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_id_is_described_and_listed() {
+        assert_eq!(list_experiments().len(), EXPERIMENT_IDS.len());
+        for id in EXPERIMENT_IDS {
+            assert!(describe(id).is_some());
+        }
+        assert!(describe("nope").is_none());
+    }
+
+    #[test]
+    fn unknown_experiment_returns_none() {
+        assert!(run_experiment("nope", ExperimentOpts { fast: true }).is_none());
+    }
+
+    #[test]
+    fn quick_experiment_runs_end_to_end() {
+        let r = run_experiment("tab2", ExperimentOpts { fast: true }).unwrap();
+        assert!(r.all_pass());
+    }
+}

@@ -1,0 +1,183 @@
+//! Fig 2/8/9 + Tables 6/7: the sequence-length sweep (sl = 128..1024,
+//! bs = 32), including Phi-2's OoM cells.
+
+use crate::batch_sweep::serving_precision;
+use crate::paper::{seq_sweep_truth, SEQ_LENS};
+use crate::report::{vs_cell, Check, ExperimentResult, Table};
+use edgellm_core::{Dataset, Engine, Protocol, RunConfig, RunError, SequenceSpec};
+use edgellm_models::Llm;
+use rayon::prelude::*;
+
+/// Outcome of one cell: metrics or OoM.
+type CellResult = Result<edgellm_core::RunMetrics, RunError>;
+
+/// Run the sequence sweep on one dataset.
+pub fn run(dataset: Dataset, protocol: Protocol) -> ExperimentResult {
+    let engine = Engine::orin_agx_64gb();
+    let truth = seq_sweep_truth(dataset);
+
+    let results: Vec<(Llm, Vec<CellResult>)> = Llm::ALL
+        .par_iter()
+        .map(|&llm| {
+            let cells = SEQ_LENS
+                .par_iter()
+                .map(|&sl| {
+                    let cfg = RunConfig::new(llm, serving_precision(llm))
+                        .batch_size(32)
+                        .sequence(SequenceSpec::paper_sweep(sl))
+                        .dataset(dataset);
+                    protocol.run(&engine, &cfg)
+                })
+                .collect();
+            (llm, cells)
+        })
+        .collect();
+
+    let mut tables = Vec::new();
+    let mut checks = Vec::new();
+    let mut csv = Table::new(vec![
+        "model", "seqlen", "latency_s", "paper_latency_s", "tp_tok_s", "paper_tp",
+        "ram_gb", "paper_ram_gb",
+    ]);
+
+    for ((llm, cells), tr) in results.iter().zip(truth.iter()) {
+        assert_eq!(*llm, tr.llm);
+        let mut t = Table::new(vec![
+            "seqlen", "RAM GB (paper)", "latency s (paper)", "tok/s (paper)",
+        ]);
+        for (i, &sl) in SEQ_LENS.iter().enumerate() {
+            let (lat, tp, ram) = match &cells[i] {
+                Ok(m) => (Some(m.latency_s), Some(m.throughput_tok_s), Some(m.peak_mem_gb)),
+                Err(_) => (None, None, None),
+            };
+            t.row(vec![
+                sl.to_string(),
+                vs_cell(ram, tr.ram_gb[i], 2),
+                vs_cell(lat, tr.latency_s[i], 2),
+                vs_cell(tp, tr.throughput[i], 1),
+            ]);
+            let f = |v: Option<f64>| v.map_or("OOM".to_string(), |x| format!("{x:.2}"));
+            csv.row(vec![
+                llm.short_name().to_string(),
+                sl.to_string(),
+                f(lat),
+                f(tr.latency_s[i]),
+                f(tp),
+                f(tr.throughput[i]),
+                f(ram),
+                f(tr.ram_gb[i]),
+            ]);
+            // OoM pattern must match the paper cell-for-cell.
+            checks.push(Check::new(
+                format!("{} sl={sl}: OoM status matches paper", llm.short_name()),
+                lat.is_none() == tr.latency_s[i].is_none(),
+                format!(
+                    "ours {} vs paper {}",
+                    if lat.is_none() { "OOM" } else { "runs" },
+                    if tr.latency_s[i].is_none() { "OOM" } else { "runs" }
+                ),
+            ));
+        }
+        tables.push(format!("{} ({}):\n{}", llm.short_name(), dataset.label(), t.render()));
+
+        // Throughput decreases with sequence length where the model runs.
+        let tps: Vec<f64> = cells
+            .iter()
+            .filter_map(|c| c.as_ref().ok().map(|m| m.throughput_tok_s))
+            .collect();
+        if tps.len() >= 2 {
+            checks.push(Check::new(
+                format!(
+                    "{}: throughput decreases with sequence length (Fig 2)",
+                    llm.short_name()
+                ),
+                tps.windows(2).all(|w| w[1] < w[0]),
+                format!("{:.0} → {:.0} tok/s", tps[0], tps[tps.len() - 1]),
+            ));
+        }
+        // Latency grows superlinearly (decode is memory-bound and context
+        // work accumulates): quadrupling sl must more than quadruple time.
+        let lats: Vec<f64> = cells
+            .iter()
+            .filter_map(|c| c.as_ref().ok().map(|m| m.latency_s))
+            .collect();
+        if lats.len() == 4 {
+            checks.push(Check::new(
+                format!("{}: latency superlinear in sequence length (§3.2)", llm.short_name()),
+                lats[3] / lats[0] > (SEQ_LENS[3] / SEQ_LENS[0]) as f64,
+                format!("×{:.1} for ×8 tokens", lats[3] / lats[0]),
+            ));
+        }
+    }
+
+    // ASCII rendition of Fig 2: throughput vs sequence length.
+    let tp_series: Vec<crate::figviz::Series> = results
+        .iter()
+        .map(|(llm, cells)| {
+            crate::figviz::Series::new(
+                llm.short_name().to_lowercase(),
+                SEQ_LENS
+                    .iter()
+                    .zip(cells)
+                    .filter_map(|(&sl, c)| {
+                        c.as_ref().ok().map(|m| (sl as f64, m.throughput_tok_s))
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    tables.push(crate::figviz::chart(
+        &format!(
+            "Fig 2 shape — throughput (tok/s) vs sequence length, {}",
+            dataset.label()
+        ),
+        &tp_series,
+        64,
+        14,
+        true,
+    ));
+
+    // Headline §3.2 numbers for Llama: 271 → 107 tok/s, 15 s → 305 s.
+    let llama = &results.iter().find(|(l, _)| *l == Llm::Llama31_8b).expect("llama").1;
+    if let (Ok(first), Ok(last)) = (&llama[0], &llama[3]) {
+        let tp_drop = first.throughput_tok_s / last.throughput_tok_s;
+        checks.push(Check::new(
+            "Llama throughput drops ≈2.5× from sl=128 to 1024 (§3.2: 271→107)",
+            (1.8..3.5).contains(&tp_drop),
+            format!(
+                "{:.0} → {:.0} tok/s (×{tp_drop:.1})",
+                first.throughput_tok_s, last.throughput_tok_s
+            ),
+        ));
+    }
+
+    let (id, fig) = match dataset {
+        Dataset::LongBench => ("fig2", "Fig 2/8 + Table 6"),
+        Dataset::WikiText2 => ("fig9", "Fig 9 + Table 7"),
+    };
+    ExperimentResult {
+        id,
+        title: format!("{fig} — sequence-length sweep on {}", dataset.label()),
+        tables,
+        checks,
+        csv: vec![("seqlen_sweep".to_string(), csv.to_csv())],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longbench_seqlen_sweep_reproduces() {
+        let r = run(Dataset::LongBench, Protocol::quick());
+        assert!(r.all_pass(), "{}", r.render());
+        assert_eq!(r.id, "fig2");
+    }
+
+    #[test]
+    fn wikitext_seqlen_sweep_reproduces() {
+        let r = run(Dataset::WikiText2, Protocol::quick());
+        assert!(r.all_pass(), "{}", r.render());
+    }
+}

@@ -1,0 +1,91 @@
+//! Table 1: peak weight memory of each model at each precision.
+
+use crate::paper::TABLE1;
+use crate::report::{vs, Check, ExperimentResult, Table};
+use edgellm_models::footprint::table1;
+use edgellm_models::Precision;
+
+/// Regenerate Table 1 for a device capacity (GB) and compare to the paper.
+pub fn run(capacity_gb: f64) -> ExperimentResult {
+    let rows = table1(capacity_gb);
+    let mut t = Table::new(vec![
+        "Model", "#Params", "FP32 GB", "FP16 GB", "INT8 GB", "INT4 GB", "loads",
+    ]);
+    let mut checks = Vec::new();
+    let mut csv = Table::new(vec!["model", "precision", "ours_gb", "paper_gb", "loadable"]);
+
+    for (row, (llm, paper_gb, paper_loads)) in rows.iter().zip(TABLE1.iter()) {
+        assert_eq!(row.llm, *llm);
+        let loads: Vec<&str> =
+            row.footprints.iter().map(|f| if f.loadable { "y" } else { "n" }).collect();
+        t.row(vec![
+            row.llm.short_name().to_string(),
+            format!("{:.1}B", row.params_b),
+            vs(row.footprints[0].gb, Some(paper_gb[0]), 1),
+            vs(row.footprints[1].gb, Some(paper_gb[1]), 1),
+            vs(row.footprints[2].gb, Some(paper_gb[2]), 1),
+            vs(row.footprints[3].gb, Some(paper_gb[3]), 1),
+            loads.join(""),
+        ]);
+        for (i, f) in row.footprints.iter().enumerate() {
+            csv.row(vec![
+                row.llm.short_name().to_string(),
+                f.precision.label().to_string(),
+                format!("{:.2}", f.gb),
+                format!("{:.2}", paper_gb[i]),
+                f.loadable.to_string(),
+            ]);
+            // The paper's DeepSeek FP32/FP16 estimates contradict its own
+            // 32.8B parameter count (124/62 GB = 31B×4/×2); we reproduce
+            // from the architecture, so allow 7% there, 4% elsewhere.
+            let tol = if paper_gb[i] > 60.0 { 0.07 } else { 0.05 };
+            let rel = (f.gb - paper_gb[i]).abs() / paper_gb[i];
+            checks.push(Check::new(
+                format!("{} {} ≈ {:.1} GB", row.llm.short_name(), f.precision, paper_gb[i]),
+                rel < tol,
+                format!("ours {:.1} GB (Δ {:.1}%)", f.gb, rel * 100.0),
+            ));
+            checks.push(Check::new(
+                format!(
+                    "{} {} loadability matches paper",
+                    row.llm.short_name(),
+                    f.precision
+                ),
+                f.loadable == paper_loads[i],
+                format!("ours {} vs paper {}", f.loadable, paper_loads[i]),
+            ));
+        }
+    }
+    // Headline claim: INT8 lets DeepSeek-R1-32B run on the Orin AGX.
+    let deepq_int8 = rows[3]
+        .footprints
+        .iter()
+        .find(|f| f.precision == Precision::Int8)
+        .expect("int8 column");
+    checks.push(Check::new(
+        "INT8 enables DeepSeek-R1-32B on the 64 GB Orin (abstract)",
+        deepq_int8.loadable,
+        format!("{:.1} GB loadable={}", deepq_int8.gb, deepq_int8.loadable),
+    ));
+
+    ExperimentResult {
+        id: "tab1",
+        title: format!("Table 1 — model weight memory on a {capacity_gb:.0} GB device"),
+        tables: vec![t.render()],
+        checks,
+        csv: vec![("model_memory".to_string(), csv.to_csv())],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reproduces() {
+        let r = run(64.0);
+        assert!(r.all_pass(), "{}", r.render());
+        assert_eq!(r.csv.len(), 1);
+        assert!(r.tables[0].contains("DeepQ"));
+    }
+}

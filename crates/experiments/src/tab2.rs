@@ -1,0 +1,61 @@
+//! Table 2: the nine power-mode resource configurations.
+
+use crate::report::{Check, ExperimentResult, Table};
+use edgellm_hw::{DeviceSpec, PowerModeRegistry};
+
+/// Render the registry's stock modes (Table 2) and validate them.
+pub fn run() -> ExperimentResult {
+    let reg = PowerModeRegistry::with_table2(DeviceSpec::orin_agx_64gb());
+    let mut t = Table::new(vec![
+        "Power Mode",
+        "GPU MHz",
+        "CPU GHz",
+        "Cores",
+        "Mem MHz",
+        "Varies",
+    ]);
+    let mut csv = Table::new(vec!["mode", "gpu_mhz", "cpu_ghz", "cores", "mem_mhz"]);
+    for m in reg.iter() {
+        t.row(vec![
+            m.name.clone(),
+            m.clocks.gpu_mhz.to_string(),
+            format!("{:.1}", m.clocks.cpu_ghz),
+            m.clocks.cores_online.to_string(),
+            m.clocks.mem_mhz.to_string(),
+            m.throttle_summary(),
+        ]);
+        csv.row(vec![
+            m.name.clone(),
+            m.clocks.gpu_mhz.to_string(),
+            format!("{}", m.clocks.cpu_ghz),
+            m.clocks.cores_online.to_string(),
+            m.clocks.mem_mhz.to_string(),
+        ]);
+    }
+    let checks = vec![
+        Check::new("nine modes (MaxN + A–H)", reg.len() == 9, format!("{} modes", reg.len())),
+        Check::new(
+            "all modes valid on the Orin AGX",
+            reg.iter().all(|m| m.validate(reg.device()).is_ok()),
+            "validated against device limits".to_string(),
+        ),
+    ];
+    ExperimentResult {
+        id: "tab2",
+        title: "Table 2 — power-mode resource configurations".to_string(),
+        tables: vec![t.render()],
+        checks,
+        csv: vec![("power_modes".to_string(), csv.to_csv())],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table2_reproduces() {
+        let r = super::run();
+        assert!(r.all_pass(), "{}", r.render());
+        assert!(r.tables[0].contains("MaxN"));
+        assert!(r.tables[0].contains("665"));
+    }
+}

@@ -1,0 +1,117 @@
+//! DVFS clock state shared by all frequency domains.
+
+use crate::device::DeviceSpec;
+use crate::error::HwError;
+
+/// A snapshot of the three frequency domains plus the online CPU core count —
+/// exactly the four knobs the paper's Table 2 varies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockState {
+    /// GPU clock in MHz.
+    pub gpu_mhz: u32,
+    /// Per-core CPU clock in GHz.
+    pub cpu_ghz: f64,
+    /// Number of CPU cores brought online.
+    pub cores_online: u32,
+    /// EMC (memory controller) clock in MHz.
+    pub mem_mhz: u32,
+}
+
+impl ClockState {
+    /// Validate this clock state against a device's limits, returning the
+    /// first violated constraint (mirrors `nvpmodel` behaviour).
+    pub fn validate(&self, dev: &DeviceSpec) -> Result<(), HwError> {
+        if self.gpu_mhz == 0 || self.gpu_mhz > dev.gpu.max_freq_mhz {
+            return Err(HwError::GpuFreqOutOfRange {
+                requested_mhz: self.gpu_mhz,
+                max_mhz: dev.gpu.max_freq_mhz,
+            });
+        }
+        if !(self.cpu_ghz > 0.0 && self.cpu_ghz <= dev.cpu.max_freq_ghz) {
+            return Err(HwError::CpuFreqOutOfRange {
+                requested_ghz: self.cpu_ghz,
+                max_ghz: dev.cpu.max_freq_ghz,
+            });
+        }
+        if self.cores_online == 0 || self.cores_online > dev.cpu.cores {
+            return Err(HwError::CoresOutOfRange {
+                requested: self.cores_online,
+                max: dev.cpu.cores,
+            });
+        }
+        if self.mem_mhz == 0 || self.mem_mhz > dev.memory.max_freq_mhz {
+            return Err(HwError::MemFreqOutOfRange {
+                requested_mhz: self.mem_mhz,
+                max_mhz: dev.memory.max_freq_mhz,
+            });
+        }
+        Ok(())
+    }
+
+    /// GPU clock as a fraction of the device maximum (1.0 at MAXN).
+    pub fn gpu_scale(&self, dev: &DeviceSpec) -> f64 {
+        self.gpu_mhz as f64 / dev.gpu.max_freq_mhz as f64
+    }
+
+    /// CPU clock as a fraction of the device maximum.
+    pub fn cpu_scale(&self, dev: &DeviceSpec) -> f64 {
+        self.cpu_ghz / dev.cpu.max_freq_ghz
+    }
+
+    /// Memory clock as a fraction of the device maximum.
+    pub fn mem_scale(&self, dev: &DeviceSpec) -> f64 {
+        self.mem_mhz as f64 / dev.memory.max_freq_mhz as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> DeviceSpec {
+        DeviceSpec::orin_agx_64gb()
+    }
+
+    #[test]
+    fn max_clocks_validate() {
+        assert!(dev().max_clocks().validate(&dev()).is_ok());
+    }
+
+    #[test]
+    fn rejects_overclocked_gpu() {
+        let mut c = dev().max_clocks();
+        c.gpu_mhz = 2000;
+        assert!(matches!(c.validate(&dev()), Err(HwError::GpuFreqOutOfRange { .. })));
+    }
+
+    #[test]
+    fn rejects_zero_cores_and_too_many_cores() {
+        let mut c = dev().max_clocks();
+        c.cores_online = 0;
+        assert!(matches!(c.validate(&dev()), Err(HwError::CoresOutOfRange { .. })));
+        c.cores_online = 13;
+        assert!(matches!(c.validate(&dev()), Err(HwError::CoresOutOfRange { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_cpu_and_mem_freq() {
+        let mut c = dev().max_clocks();
+        c.cpu_ghz = 0.0;
+        assert!(matches!(c.validate(&dev()), Err(HwError::CpuFreqOutOfRange { .. })));
+        let mut c = dev().max_clocks();
+        c.mem_mhz = 4000;
+        assert!(matches!(c.validate(&dev()), Err(HwError::MemFreqOutOfRange { .. })));
+    }
+
+    #[test]
+    fn scales_are_fractions_of_max() {
+        let d = dev();
+        let mut c = d.max_clocks();
+        c.gpu_mhz = 800;
+        c.mem_mhz = 665;
+        c.cpu_ghz = 1.1;
+        assert!((c.gpu_scale(&d) - 800.0 / 1301.0).abs() < 1e-12);
+        assert!((c.mem_scale(&d) - 665.0 / 3200.0).abs() < 1e-12);
+        assert!((c.cpu_scale(&d) - 0.5).abs() < 1e-12);
+    }
+}

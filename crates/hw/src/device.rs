@@ -1,0 +1,296 @@
+//! Device specifications for Jetson-class edge accelerators.
+
+use crate::clocks::ClockState;
+use crate::GB;
+
+/// Numeric precision of a compute kernel, as seen by the *hardware* peaks.
+///
+/// This is distinct from the *storage* precision of model weights (see
+/// `edgellm-models`): e.g. BitsAndBytes INT8 inference stores weights in
+/// INT8 but executes most arithmetic in FP16 after dequantization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComputePrecision {
+    /// IEEE-754 single precision on CUDA cores.
+    Fp32,
+    /// Half precision on tensor cores.
+    Fp16,
+    /// 8-bit integer on tensor cores (IMMA).
+    Int8,
+}
+
+/// CPU complex description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuSpec {
+    /// Marketing name of the core microarchitecture (e.g. "Cortex-A78AE").
+    pub microarch: &'static str,
+    /// Total number of physical cores.
+    pub cores: u32,
+    /// Maximum sustained clock in GHz.
+    pub max_freq_ghz: f64,
+}
+
+/// Integrated GPU description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// GPU architecture generation (e.g. "Ampere").
+    pub arch: &'static str,
+    /// Number of CUDA cores.
+    pub cuda_cores: u32,
+    /// Number of tensor cores.
+    pub tensor_cores: u32,
+    /// Maximum GPU clock in MHz.
+    pub max_freq_mhz: u32,
+    /// Dense FP16 tensor-core throughput at `max_freq_mhz`, in TFLOP/s.
+    pub peak_fp16_tflops: f64,
+    /// Dense INT8 tensor-core throughput at `max_freq_mhz`, in TOP/s.
+    pub peak_int8_tops: f64,
+}
+
+/// Shared-memory subsystem description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemorySpec {
+    /// Memory technology (e.g. "LPDDR5").
+    pub technology: &'static str,
+    /// Capacity in bytes, shared between CPU and GPU.
+    pub capacity_bytes: u64,
+    /// Maximum memory clock in MHz.
+    pub max_freq_mhz: u32,
+    /// Peak bandwidth at `max_freq_mhz`, in GB/s.
+    pub peak_bandwidth_gbps: f64,
+}
+
+/// A complete edge-accelerator device specification.
+///
+/// All peak figures are *datasheet* peaks at maximum clocks; effective rates
+/// observed by workloads are derated by efficiency factors that live in the
+/// performance model (`edgellm-perf`), not here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// CPU complex.
+    pub cpu: CpuSpec,
+    /// Integrated GPU.
+    pub gpu: GpuSpec,
+    /// Shared memory subsystem.
+    pub memory: MemorySpec,
+    /// Module-level peak power budget in watts (the number on the box).
+    pub peak_power_w: f64,
+}
+
+impl DeviceSpec {
+    /// The NVIDIA Jetson Orin AGX Developer Kit (64 GB) used throughout the
+    /// paper: 12×A78AE @ 2.2 GHz, 2048-core Ampere @ 1.3 GHz, 64 GB LPDDR5.
+    ///
+    /// FP16 tensor peak: the Orin AGX iGPU has 64 third-gen tensor cores; at
+    /// 1.3 GHz the dense FP16 rate is ≈10.6 TFLOP/s (half the advertised
+    /// sparse rate), and dense INT8 is ≈21.2 TOP/s.
+    pub fn orin_agx_64gb() -> Self {
+        DeviceSpec {
+            name: "Jetson Orin AGX 64GB",
+            cpu: CpuSpec { microarch: "Cortex-A78AE", cores: 12, max_freq_ghz: 2.2 },
+            gpu: GpuSpec {
+                arch: "Ampere",
+                cuda_cores: 2048,
+                tensor_cores: 64,
+                max_freq_mhz: 1301,
+                peak_fp16_tflops: 10.6,
+                peak_int8_tops: 21.2,
+            },
+            memory: MemorySpec {
+                technology: "LPDDR5",
+                capacity_bytes: 64 * GB as u64,
+                max_freq_mhz: 3200,
+                peak_bandwidth_gbps: 204.8,
+            },
+            peak_power_w: 60.0,
+        }
+    }
+
+    /// The 32 GB Orin AGX variant (as studied by Seymour et al.): same SoC
+    /// clocks but 1792 CUDA cores and half the memory capacity at a slightly
+    /// lower bandwidth.
+    pub fn orin_agx_32gb() -> Self {
+        DeviceSpec {
+            name: "Jetson Orin AGX 32GB",
+            cpu: CpuSpec { microarch: "Cortex-A78AE", cores: 8, max_freq_ghz: 2.2 },
+            gpu: GpuSpec {
+                arch: "Ampere",
+                cuda_cores: 1792,
+                tensor_cores: 56,
+                max_freq_mhz: 930,
+                peak_fp16_tflops: 6.7,
+                peak_int8_tops: 13.3,
+            },
+            memory: MemorySpec {
+                technology: "LPDDR5",
+                capacity_bytes: 32 * GB as u64,
+                max_freq_mhz: 3200,
+                peak_bandwidth_gbps: 204.8,
+            },
+            peak_power_w: 40.0,
+        }
+    }
+
+    /// The previous-generation Jetson Xavier AGX 32 GB (the authors' prior
+    /// poster used this device).
+    pub fn xavier_agx_32gb() -> Self {
+        DeviceSpec {
+            name: "Jetson Xavier AGX 32GB",
+            cpu: CpuSpec { microarch: "Carmel", cores: 8, max_freq_ghz: 2.27 },
+            gpu: GpuSpec {
+                arch: "Volta",
+                cuda_cores: 512,
+                tensor_cores: 64,
+                max_freq_mhz: 1377,
+                peak_fp16_tflops: 2.8,
+                peak_int8_tops: 5.6,
+            },
+            memory: MemorySpec {
+                technology: "LPDDR4x",
+                capacity_bytes: 32 * GB as u64,
+                max_freq_mhz: 2133,
+                peak_bandwidth_gbps: 136.5,
+            },
+            peak_power_w: 30.0,
+        }
+    }
+
+    /// The Jetson Orin NX 16 GB — a smaller sibling useful for feasibility
+    /// what-if studies with the same model stack.
+    pub fn orin_nx_16gb() -> Self {
+        DeviceSpec {
+            name: "Jetson Orin NX 16GB",
+            cpu: CpuSpec { microarch: "Cortex-A78AE", cores: 8, max_freq_ghz: 2.0 },
+            gpu: GpuSpec {
+                arch: "Ampere",
+                cuda_cores: 1024,
+                tensor_cores: 32,
+                max_freq_mhz: 918,
+                peak_fp16_tflops: 3.76,
+                peak_int8_tops: 7.5,
+            },
+            memory: MemorySpec {
+                technology: "LPDDR5",
+                capacity_bytes: 16 * GB as u64,
+                max_freq_mhz: 3200,
+                peak_bandwidth_gbps: 102.4,
+            },
+            peak_power_w: 25.0,
+        }
+    }
+
+    /// Default clock state: every domain at its maximum (what MAXN selects).
+    pub fn max_clocks(&self) -> ClockState {
+        ClockState {
+            gpu_mhz: self.gpu.max_freq_mhz,
+            cpu_ghz: self.cpu.max_freq_ghz,
+            cores_online: self.cpu.cores,
+            mem_mhz: self.memory.max_freq_mhz,
+        }
+    }
+
+    /// Peak DRAM bandwidth (GB/s) under the given clock state. Bandwidth
+    /// scales linearly with the memory clock.
+    pub fn peak_bandwidth_gbps(&self, clocks: &ClockState) -> f64 {
+        self.memory.peak_bandwidth_gbps * clocks.mem_mhz as f64
+            / self.memory.max_freq_mhz as f64
+    }
+
+    /// Peak compute throughput (FLOP/s or OP/s) for a kernel precision under
+    /// the given clock state. Compute scales linearly with the GPU clock.
+    pub fn peak_compute_flops(&self, prec: ComputePrecision, clocks: &ClockState) -> f64 {
+        let scale = clocks.gpu_mhz as f64 / self.gpu.max_freq_mhz as f64;
+        let peak_tflops = match prec {
+            // CUDA-core FP32 FMA: cores * 2 flops * clock.
+            ComputePrecision::Fp32 => {
+                self.gpu.cuda_cores as f64 * 2.0 * self.gpu.max_freq_mhz as f64 * 1e6 / 1e12
+            }
+            ComputePrecision::Fp16 => self.gpu.peak_fp16_tflops,
+            ComputePrecision::Int8 => self.gpu.peak_int8_tops,
+        };
+        peak_tflops * 1e12 * scale
+    }
+
+    /// Shared-memory capacity in (decimal) gigabytes.
+    pub fn capacity_gb(&self) -> f64 {
+        self.memory.capacity_bytes as f64 / GB
+    }
+
+    /// Machine balance (FLOP/byte) at which a kernel transitions from
+    /// memory-bound to compute-bound for the given precision and clocks.
+    pub fn ridge_point(&self, prec: ComputePrecision, clocks: &ClockState) -> f64 {
+        self.peak_compute_flops(prec, clocks) / (self.peak_bandwidth_gbps(clocks) * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orin_agx_matches_datasheet() {
+        let d = DeviceSpec::orin_agx_64gb();
+        assert_eq!(d.cpu.cores, 12);
+        assert_eq!(d.gpu.cuda_cores, 2048);
+        assert!((d.capacity_gb() - 64.0).abs() < 1e-9);
+        assert_eq!(d.memory.max_freq_mhz, 3200);
+        assert_eq!(d.gpu.max_freq_mhz, 1301);
+    }
+
+    #[test]
+    fn bandwidth_scales_linearly_with_mem_clock() {
+        let d = DeviceSpec::orin_agx_64gb();
+        let mut c = d.max_clocks();
+        assert!((d.peak_bandwidth_gbps(&c) - 204.8).abs() < 1e-9);
+        c.mem_mhz = 1600;
+        assert!((d.peak_bandwidth_gbps(&c) - 102.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_scales_linearly_with_gpu_clock() {
+        let d = DeviceSpec::orin_agx_64gb();
+        let full = d.peak_compute_flops(ComputePrecision::Fp16, &d.max_clocks());
+        let mut c = d.max_clocks();
+        c.gpu_mhz = d.gpu.max_freq_mhz / 2;
+        let half = d.peak_compute_flops(ComputePrecision::Fp16, &c);
+        assert!((half / full - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn fp32_peak_derives_from_cuda_cores() {
+        let d = DeviceSpec::orin_agx_64gb();
+        // 2048 cores * 2 * 1.301 GHz = 5.33 TFLOP/s
+        let fp32 = d.peak_compute_flops(ComputePrecision::Fp32, &d.max_clocks());
+        assert!((fp32 / 1e12 - 5.33).abs() < 0.01);
+    }
+
+    #[test]
+    fn int8_peak_is_double_fp16() {
+        let d = DeviceSpec::orin_agx_64gb();
+        let c = d.max_clocks();
+        let r = d.peak_compute_flops(ComputePrecision::Int8, &c)
+            / d.peak_compute_flops(ComputePrecision::Fp16, &c);
+        assert!((r - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn ridge_point_is_positive_and_scales() {
+        let d = DeviceSpec::orin_agx_64gb();
+        let c = d.max_clocks();
+        let r = d.ridge_point(ComputePrecision::Fp16, &c);
+        assert!(r > 10.0 && r < 200.0, "ridge {r} implausible");
+    }
+
+    #[test]
+    fn device_family_capacities_ordered() {
+        assert!(
+            DeviceSpec::orin_nx_16gb().capacity_gb()
+                < DeviceSpec::orin_agx_32gb().capacity_gb()
+        );
+        assert!(
+            DeviceSpec::orin_agx_32gb().capacity_gb()
+                < DeviceSpec::orin_agx_64gb().capacity_gb()
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Error types for hardware configuration.
+
+use std::fmt;
+
+/// Errors raised when a clock/power-mode configuration is invalid for a
+/// device, mirroring the checks `nvpmodel` performs on a real Jetson.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HwError {
+    /// Requested GPU frequency exceeds the device maximum (MHz).
+    GpuFreqOutOfRange { requested_mhz: u32, max_mhz: u32 },
+    /// Requested CPU frequency exceeds the device maximum (GHz).
+    CpuFreqOutOfRange { requested_ghz: f64, max_ghz: f64 },
+    /// Requested number of online cores is zero or exceeds the core count.
+    CoresOutOfRange { requested: u32, max: u32 },
+    /// Requested memory frequency exceeds the device maximum (MHz).
+    MemFreqOutOfRange { requested_mhz: u32, max_mhz: u32 },
+    /// A power mode with this name is already registered.
+    DuplicatePowerMode(String),
+    /// No power mode with this name is registered.
+    UnknownPowerMode(String),
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::GpuFreqOutOfRange { requested_mhz, max_mhz } => write!(
+                f,
+                "GPU frequency {requested_mhz} MHz outside supported range (1..={max_mhz} MHz)"
+            ),
+            HwError::CpuFreqOutOfRange { requested_ghz, max_ghz } => write!(
+                f,
+                "CPU frequency {requested_ghz} GHz outside supported range (0..={max_ghz} GHz)"
+            ),
+            HwError::CoresOutOfRange { requested, max } => {
+                write!(f, "online core count {requested} outside supported range (1..={max})")
+            }
+            HwError::MemFreqOutOfRange { requested_mhz, max_mhz } => write!(
+                f,
+                "memory frequency {requested_mhz} MHz outside supported range (1..={max_mhz} MHz)"
+            ),
+            HwError::DuplicatePowerMode(name) => {
+                write!(f, "power mode '{name}' is already registered")
+            }
+            HwError::UnknownPowerMode(name) => write!(f, "unknown power mode '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for HwError {}

@@ -1,0 +1,38 @@
+//! # edgellm-hw — edge-accelerator hardware models
+//!
+//! Parametric descriptions of Nvidia Jetson-class edge accelerators: compute
+//! and memory peaks, DVFS frequency domains, and the *power modes* that the
+//! `nvpmodel` utility exposes on real devices.
+//!
+//! The reference device is the **Jetson Orin AGX 64GB Developer Kit** used by
+//! Arya & Simmhan (PAISE 2025): a 12-core ARM A78AE CPU @ 2.2 GHz, a
+//! 2048-CUDA-core Ampere GPU @ 1.3 GHz and 64 GB of LPDDR5 shared between CPU
+//! and GPU at 204.8 GB/s. The nine power modes of the paper's Table 2
+//! (MaxN and modes A–H) are provided as constants, and arbitrary custom modes
+//! can be built and validated against a device's limits.
+//!
+//! ```
+//! use edgellm_hw::{DeviceSpec, PowerMode, PowerModeId};
+//!
+//! let dev = DeviceSpec::orin_agx_64gb();
+//! let maxn = PowerMode::table2(PowerModeId::MaxN);
+//! assert!(maxn.validate(&dev).is_ok());
+//! // Peak DRAM bandwidth scales with the memory clock.
+//! let pm_h = PowerMode::table2(PowerModeId::H);
+//! assert!(dev.peak_bandwidth_gbps(&pm_h.clocks) < dev.peak_bandwidth_gbps(&maxn.clocks));
+//! ```
+
+pub mod clocks;
+pub mod device;
+pub mod error;
+pub mod power_mode;
+pub mod registry;
+
+pub use clocks::ClockState;
+pub use device::{ComputePrecision, CpuSpec, DeviceSpec, GpuSpec, MemorySpec};
+pub use error::HwError;
+pub use power_mode::{PowerMode, PowerModeId};
+pub use registry::PowerModeRegistry;
+
+/// One gigabyte, using the decimal convention the paper's tables use.
+pub const GB: f64 = 1e9;

@@ -1,0 +1,209 @@
+//! Power modes: named clock configurations (the paper's Table 2).
+
+use crate::clocks::ClockState;
+use crate::device::DeviceSpec;
+use crate::error::HwError;
+
+/// Identifier of one of the nine power modes evaluated in the paper
+/// (Table 2). `MaxN` is the stock fastest mode; A–H are the custom modes
+/// the authors defined, each varying one resource dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PowerModeId {
+    /// Stock maximum-performance mode.
+    MaxN,
+    /// GPU 800 MHz (everything else at max).
+    A,
+    /// GPU 400 MHz.
+    B,
+    /// CPU 1.7 GHz.
+    C,
+    /// CPU 1.2 GHz.
+    D,
+    /// 8 CPU cores online.
+    E,
+    /// 4 CPU cores online.
+    F,
+    /// Memory 2133 MHz.
+    G,
+    /// Memory 665 MHz.
+    H,
+}
+
+impl PowerModeId {
+    /// All nine modes in the row order of Table 2.
+    pub const ALL: [PowerModeId; 9] = [
+        PowerModeId::MaxN,
+        PowerModeId::A,
+        PowerModeId::B,
+        PowerModeId::C,
+        PowerModeId::D,
+        PowerModeId::E,
+        PowerModeId::F,
+        PowerModeId::G,
+        PowerModeId::H,
+    ];
+
+    /// Canonical display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PowerModeId::MaxN => "MaxN",
+            PowerModeId::A => "A",
+            PowerModeId::B => "B",
+            PowerModeId::C => "C",
+            PowerModeId::D => "D",
+            PowerModeId::E => "E",
+            PowerModeId::F => "F",
+            PowerModeId::G => "G",
+            PowerModeId::H => "H",
+        }
+    }
+}
+
+/// A named clock configuration, equivalent to an `nvpmodel` profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerMode {
+    /// Profile name (e.g. "MaxN", "A", or a custom label).
+    pub name: String,
+    /// The clock state this mode pins the device to.
+    pub clocks: ClockState,
+}
+
+impl PowerMode {
+    /// Construct one of the paper's Table 2 power modes for the Orin AGX.
+    pub fn table2(id: PowerModeId) -> Self {
+        // Table 2 baseline: GPU 1301 MHz, CPU 2.2 GHz, 12 cores, mem 3200 MHz.
+        let mut clocks =
+            ClockState { gpu_mhz: 1301, cpu_ghz: 2.2, cores_online: 12, mem_mhz: 3200 };
+        match id {
+            PowerModeId::MaxN => {}
+            PowerModeId::A => clocks.gpu_mhz = 800,
+            PowerModeId::B => clocks.gpu_mhz = 400,
+            PowerModeId::C => clocks.cpu_ghz = 1.7,
+            PowerModeId::D => clocks.cpu_ghz = 1.2,
+            PowerModeId::E => clocks.cores_online = 8,
+            PowerModeId::F => clocks.cores_online = 4,
+            PowerModeId::G => clocks.mem_mhz = 2133,
+            PowerModeId::H => clocks.mem_mhz = 665,
+        }
+        PowerMode { name: id.name().to_string(), clocks }
+    }
+
+    /// The stock maximum-performance mode *of a given device*: every
+    /// domain at its own maximum. Use this instead of
+    /// [`PowerMode::table2`]`(MaxN)` when targeting a device other than
+    /// the Orin AGX 64GB.
+    pub fn maxn_for(dev: &crate::device::DeviceSpec) -> Self {
+        PowerMode { name: "MaxN".to_string(), clocks: dev.max_clocks() }
+    }
+
+    /// Build a custom power mode (unvalidated; call [`PowerMode::validate`]).
+    pub fn custom(
+        name: impl Into<String>,
+        gpu_mhz: u32,
+        cpu_ghz: f64,
+        cores_online: u32,
+        mem_mhz: u32,
+    ) -> Self {
+        PowerMode {
+            name: name.into(),
+            clocks: ClockState { gpu_mhz, cpu_ghz, cores_online, mem_mhz },
+        }
+    }
+
+    /// Validate the mode's clocks against a device.
+    pub fn validate(&self, dev: &DeviceSpec) -> Result<(), HwError> {
+        self.clocks.validate(dev)
+    }
+
+    /// The dimension this mode throttles relative to MAXN, for reporting.
+    /// Returns a human-readable summary like "GPU 800 MHz".
+    pub fn throttle_summary(&self) -> String {
+        let maxn = PowerMode::table2(PowerModeId::MaxN).clocks;
+        let mut parts = Vec::new();
+        if self.clocks.gpu_mhz != maxn.gpu_mhz {
+            parts.push(format!("GPU {} MHz", self.clocks.gpu_mhz));
+        }
+        if (self.clocks.cpu_ghz - maxn.cpu_ghz).abs() > 1e-9 {
+            parts.push(format!("CPU {} GHz", self.clocks.cpu_ghz));
+        }
+        if self.clocks.cores_online != maxn.cores_online {
+            parts.push(format!("{} cores", self.clocks.cores_online));
+        }
+        if self.clocks.mem_mhz != maxn.mem_mhz {
+            parts.push(format!("Mem {} MHz", self.clocks.mem_mhz));
+        }
+        if parts.is_empty() {
+            "stock".to_string()
+        } else {
+            parts.join(", ")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper_rows() {
+        let a = PowerMode::table2(PowerModeId::A);
+        assert_eq!(a.clocks.gpu_mhz, 800);
+        assert_eq!(a.clocks.mem_mhz, 3200);
+        let b = PowerMode::table2(PowerModeId::B);
+        assert_eq!(b.clocks.gpu_mhz, 400);
+        let c = PowerMode::table2(PowerModeId::C);
+        assert!((c.clocks.cpu_ghz - 1.7).abs() < 1e-12);
+        let d = PowerMode::table2(PowerModeId::D);
+        assert!((d.clocks.cpu_ghz - 1.2).abs() < 1e-12);
+        let e = PowerMode::table2(PowerModeId::E);
+        assert_eq!(e.clocks.cores_online, 8);
+        let f = PowerMode::table2(PowerModeId::F);
+        assert_eq!(f.clocks.cores_online, 4);
+        let g = PowerMode::table2(PowerModeId::G);
+        assert_eq!(g.clocks.mem_mhz, 2133);
+        let h = PowerMode::table2(PowerModeId::H);
+        assert_eq!(h.clocks.mem_mhz, 665);
+    }
+
+    #[test]
+    fn all_table2_modes_validate_on_orin() {
+        let dev = DeviceSpec::orin_agx_64gb();
+        for id in PowerModeId::ALL {
+            assert!(PowerMode::table2(id).validate(&dev).is_ok(), "{id:?} invalid");
+        }
+    }
+
+    #[test]
+    fn each_custom_mode_varies_exactly_one_dimension() {
+        let maxn = PowerMode::table2(PowerModeId::MaxN).clocks;
+        for id in &PowerModeId::ALL[1..] {
+            let m = PowerMode::table2(*id).clocks;
+            let diffs = [
+                m.gpu_mhz != maxn.gpu_mhz,
+                (m.cpu_ghz - maxn.cpu_ghz).abs() > 1e-9,
+                m.cores_online != maxn.cores_online,
+                m.mem_mhz != maxn.mem_mhz,
+            ]
+            .iter()
+            .filter(|&&d| d)
+            .count();
+            assert_eq!(diffs, 1, "{id:?} should vary exactly one dimension");
+        }
+    }
+
+    #[test]
+    fn throttle_summary_names_the_varied_dimension() {
+        assert_eq!(PowerMode::table2(PowerModeId::MaxN).throttle_summary(), "stock");
+        assert_eq!(PowerMode::table2(PowerModeId::A).throttle_summary(), "GPU 800 MHz");
+        assert_eq!(PowerMode::table2(PowerModeId::H).throttle_summary(), "Mem 665 MHz");
+        assert_eq!(PowerMode::table2(PowerModeId::F).throttle_summary(), "4 cores");
+    }
+
+    #[test]
+    fn custom_mode_builder_roundtrips() {
+        let m = PowerMode::custom("eco", 600, 1.5, 6, 2133);
+        assert_eq!(m.name, "eco");
+        assert_eq!(m.clocks.gpu_mhz, 600);
+        assert!(m.validate(&DeviceSpec::orin_agx_64gb()).is_ok());
+    }
+}

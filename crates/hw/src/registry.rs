@@ -1,0 +1,110 @@
+//! An `nvpmodel`-style registry of named power modes for a device.
+
+use crate::device::DeviceSpec;
+use crate::error::HwError;
+use crate::power_mode::{PowerMode, PowerModeId};
+
+/// Holds the set of power modes available on a device, preserving insertion
+/// order (Table 2 order for the stock set) like `nvpmodel -q` does.
+#[derive(Debug, Clone)]
+pub struct PowerModeRegistry {
+    device: DeviceSpec,
+    modes: Vec<PowerMode>,
+}
+
+impl PowerModeRegistry {
+    /// Create an empty registry for a device.
+    pub fn new(device: DeviceSpec) -> Self {
+        PowerModeRegistry { device, modes: Vec::new() }
+    }
+
+    /// Create a registry pre-populated with the paper's nine Table 2 modes.
+    pub fn with_table2(device: DeviceSpec) -> Self {
+        let mut reg = Self::new(device);
+        for id in PowerModeId::ALL {
+            reg.register(PowerMode::table2(id)).expect("table2 modes are valid");
+        }
+        reg
+    }
+
+    /// The device this registry validates against.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Register a mode after validating its clocks; rejects duplicates.
+    pub fn register(&mut self, mode: PowerMode) -> Result<(), HwError> {
+        mode.validate(&self.device)?;
+        if self.modes.iter().any(|m| m.name == mode.name) {
+            return Err(HwError::DuplicatePowerMode(mode.name));
+        }
+        self.modes.push(mode);
+        Ok(())
+    }
+
+    /// Look up a mode by name.
+    pub fn get(&self, name: &str) -> Result<&PowerMode, HwError> {
+        self.modes
+            .iter()
+            .find(|m| m.name == name)
+            .ok_or_else(|| HwError::UnknownPowerMode(name.to_string()))
+    }
+
+    /// Iterate over all modes in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &PowerMode> {
+        self.modes.iter()
+    }
+
+    /// Number of registered modes.
+    pub fn len(&self) -> usize {
+        self.modes.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.modes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_registry_has_nine_modes_in_order() {
+        let reg = PowerModeRegistry::with_table2(DeviceSpec::orin_agx_64gb());
+        assert_eq!(reg.len(), 9);
+        let names: Vec<_> = reg.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["MaxN", "A", "B", "C", "D", "E", "F", "G", "H"]);
+    }
+
+    #[test]
+    fn lookup_known_and_unknown() {
+        let reg = PowerModeRegistry::with_table2(DeviceSpec::orin_agx_64gb());
+        assert_eq!(reg.get("MaxN").unwrap().clocks.gpu_mhz, 1301);
+        assert!(matches!(reg.get("Z"), Err(HwError::UnknownPowerMode(_))));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut reg = PowerModeRegistry::with_table2(DeviceSpec::orin_agx_64gb());
+        let err = reg.register(PowerMode::custom("MaxN", 1301, 2.2, 12, 3200));
+        assert!(matches!(err, Err(HwError::DuplicatePowerMode(_))));
+    }
+
+    #[test]
+    fn rejects_invalid_custom_mode() {
+        let mut reg = PowerModeRegistry::new(DeviceSpec::orin_agx_64gb());
+        let err = reg.register(PowerMode::custom("turbo", 9999, 2.2, 12, 3200));
+        assert!(matches!(err, Err(HwError::GpuFreqOutOfRange { .. })));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn custom_registration_extends_stock_set() {
+        let mut reg = PowerModeRegistry::with_table2(DeviceSpec::orin_agx_64gb());
+        reg.register(PowerMode::custom("eco", 600, 1.5, 6, 2133)).unwrap();
+        assert_eq!(reg.len(), 10);
+        assert_eq!(reg.get("eco").unwrap().clocks.cores_online, 6);
+    }
+}

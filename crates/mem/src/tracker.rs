@@ -1,0 +1,149 @@
+//! Peak / incremental memory tracking with OoM errors.
+
+use crate::GB;
+use std::fmt;
+
+/// Raised when an allocation would exceed the tracked capacity — the
+/// simulator's equivalent of the paper's "OoM" cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OomError {
+    /// Bytes requested by the failing allocation.
+    pub requested: u64,
+    /// Bytes in use at the time.
+    pub in_use: u64,
+    /// Usable capacity in bytes.
+    pub capacity: u64,
+}
+
+impl fmt::Display for OomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of memory: requested {:.2} GB with {:.2}/{:.2} GB in use",
+            self.requested as f64 / GB,
+            self.in_use as f64 / GB,
+            self.capacity as f64 / GB
+        )
+    }
+}
+
+impl std::error::Error for OomError {}
+
+/// Tracks current, peak and baseline usage of a fixed-capacity memory,
+/// replicating the paper's measurement: *incremental peak memory* is the
+/// difference between the run's peak and the pre-load baseline (§2).
+#[derive(Debug, Clone)]
+pub struct MemTracker {
+    capacity: u64,
+    in_use: u64,
+    peak: u64,
+    baseline: u64,
+}
+
+impl MemTracker {
+    /// A tracker over `capacity` usable bytes.
+    pub fn new(capacity: u64) -> Self {
+        MemTracker { capacity, in_use: 0, peak: 0, baseline: 0 }
+    }
+
+    /// Record the pre-workload baseline (call after loading the model).
+    pub fn set_baseline(&mut self) {
+        self.baseline = self.in_use;
+    }
+
+    /// Allocate, failing with [`OomError`] past capacity.
+    pub fn alloc(&mut self, bytes: u64) -> Result<(), OomError> {
+        let new = self.in_use.saturating_add(bytes);
+        if new > self.capacity {
+            return Err(OomError { requested: bytes, in_use: self.in_use, capacity: self.capacity });
+        }
+        self.in_use = new;
+        self.peak = self.peak.max(new);
+        Ok(())
+    }
+
+    /// Free bytes (saturating; freeing more than allocated clamps to 0).
+    pub fn free(&mut self, bytes: u64) {
+        self.in_use = self.in_use.saturating_sub(bytes);
+    }
+
+    /// Bytes currently in use.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// Peak bytes ever in use.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Peak above the recorded baseline — the paper's incremental metric.
+    pub fn incremental_peak(&self) -> u64 {
+        self.peak.saturating_sub(self.baseline)
+    }
+
+    /// Peak in decimal GB.
+    pub fn peak_gb(&self) -> f64 {
+        self.peak as f64 / GB
+    }
+
+    /// Incremental peak in decimal GB.
+    pub fn incremental_peak_gb(&self) -> f64 {
+        self.incremental_peak() as f64 / GB
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut t = MemTracker::new(100);
+        t.alloc(60).unwrap();
+        t.free(20);
+        assert_eq!(t.in_use(), 40);
+        assert_eq!(t.peak(), 60);
+    }
+
+    #[test]
+    fn oom_at_capacity() {
+        let mut t = MemTracker::new(100);
+        t.alloc(80).unwrap();
+        let err = t.alloc(30).unwrap_err();
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.in_use, 80);
+        // Failed allocation leaves state unchanged.
+        assert_eq!(t.in_use(), 80);
+        t.alloc(20).unwrap();
+    }
+
+    #[test]
+    fn incremental_peak_relative_to_baseline() {
+        let mut t = MemTracker::new(1000);
+        t.alloc(300).unwrap(); // model load
+        t.set_baseline();
+        t.alloc(150).unwrap(); // workload
+        t.free(150);
+        t.alloc(200).unwrap();
+        assert_eq!(t.peak(), 500);
+        assert_eq!(t.incremental_peak(), 200);
+    }
+
+    #[test]
+    fn over_free_saturates() {
+        let mut t = MemTracker::new(10);
+        t.alloc(5).unwrap();
+        t.free(50);
+        assert_eq!(t.in_use(), 0);
+    }
+
+    #[test]
+    fn peak_survives_frees() {
+        let mut t = MemTracker::new(100);
+        t.alloc(90).unwrap();
+        t.free(90);
+        assert_eq!(t.peak(), 90);
+        assert_eq!(t.in_use(), 0);
+    }
+}

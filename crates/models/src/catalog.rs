@@ -1,0 +1,154 @@
+//! The catalog of the four SOTA models the paper evaluates (Table 1).
+
+use crate::arch::{AttentionImpl, ModelArch};
+
+/// The four language models of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Llm {
+    /// Microsoft Phi-2, 2.7B parameters.
+    Phi2,
+    /// Meta Llama-3.1-8B, 8.0B parameters.
+    Llama31_8b,
+    /// Mistral-Small-24B-Base-2501, 23.6B parameters.
+    MistralSmall24b,
+    /// DeepSeek-R1-Distill-Qwen-32B, 32.8B parameters.
+    DeepseekQwen32b,
+}
+
+impl Llm {
+    /// All four models in Table 1 row order (smallest → largest).
+    pub const ALL: [Llm; 4] =
+        [Llm::Phi2, Llm::Llama31_8b, Llm::MistralSmall24b, Llm::DeepseekQwen32b];
+
+    /// Short label used in the paper's appendix tables.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Llm::Phi2 => "Phi2",
+            Llm::Llama31_8b => "Llama3",
+            Llm::MistralSmall24b => "Mistral",
+            Llm::DeepseekQwen32b => "DeepQ",
+        }
+    }
+
+    /// The architecture description, from the public HF config of each model.
+    pub fn arch(&self) -> ModelArch {
+        match self {
+            // https://huggingface.co/microsoft/phi-2/blob/main/config.json
+            Llm::Phi2 => ModelArch {
+                name: "Microsoft Phi-2",
+                hf_id: "microsoft/phi-2",
+                layers: 32,
+                hidden: 2560,
+                heads: 32,
+                kv_heads: 32, // multi-head attention, no GQA
+                head_dim: 80,
+                ffn: 10240,
+                gated_mlp: false, // plain GELU MLP (fc1/fc2)
+                vocab: 51200,
+                tied_embeddings: false,
+                has_bias: true,
+                attention: AttentionImpl::Eager,
+                fp32_kv_cache: true, // phi modeling code upcasts attention to fp32
+                max_context: 2048,
+            },
+            // https://huggingface.co/meta-llama/Llama-3.1-8B/blob/main/config.json
+            Llm::Llama31_8b => ModelArch {
+                name: "Meta Llama-3.1-8B",
+                hf_id: "meta-llama/Llama-3.1-8B",
+                layers: 32,
+                hidden: 4096,
+                heads: 32,
+                kv_heads: 8,
+                head_dim: 128,
+                ffn: 14336,
+                gated_mlp: true,
+                vocab: 128256,
+                tied_embeddings: false,
+                has_bias: false,
+                attention: AttentionImpl::Sdpa,
+                fp32_kv_cache: false,
+                max_context: 131072,
+            },
+            // https://huggingface.co/mistralai/Mistral-Small-24B-Base-2501
+            Llm::MistralSmall24b => ModelArch {
+                name: "Mistral-Small-24B",
+                hf_id: "mistralai/Mistral-Small-24B-Base-2501",
+                layers: 40,
+                hidden: 5120,
+                heads: 32,
+                kv_heads: 8,
+                head_dim: 128,
+                ffn: 32768,
+                gated_mlp: true,
+                vocab: 131072,
+                tied_embeddings: false,
+                has_bias: false,
+                attention: AttentionImpl::Sdpa,
+                fp32_kv_cache: false,
+                max_context: 32768,
+            },
+            // https://huggingface.co/deepseek-ai/DeepSeek-R1-Distill-Qwen-32B
+            // (Qwen2.5-32B backbone)
+            Llm::DeepseekQwen32b => ModelArch {
+                name: "DeepSeek-R1-Qwen-32B",
+                hf_id: "deepseek-ai/DeepSeek-R1-Distill-Qwen-32B",
+                layers: 64,
+                hidden: 5120,
+                heads: 40,
+                kv_heads: 8,
+                head_dim: 128,
+                ffn: 27648,
+                gated_mlp: true,
+                vocab: 152064,
+                tied_embeddings: false,
+                has_bias: true, // Qwen2 QKV biases
+                attention: AttentionImpl::Sdpa,
+                fp32_kv_cache: false,
+                max_context: 131072,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_order_is_by_size() {
+        let sizes: Vec<u64> = Llm::ALL.iter().map(|m| m.arch().param_count()).collect();
+        for w in sizes.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn short_names_match_appendix_tables() {
+        let names: Vec<&str> = Llm::ALL.iter().map(|m| m.short_name()).collect();
+        assert_eq!(names, ["Phi2", "Llama3", "Mistral", "DeepQ"]);
+    }
+
+    #[test]
+    fn only_phi2_uses_eager_attention_and_fp32_cache() {
+        for m in Llm::ALL {
+            let a = m.arch();
+            let is_phi = m == Llm::Phi2;
+            assert_eq!(a.attention == AttentionImpl::Eager, is_phi);
+            assert_eq!(a.fp32_kv_cache, is_phi);
+        }
+    }
+
+    #[test]
+    fn head_dims_consistent() {
+        for m in Llm::ALL {
+            let a = m.arch();
+            assert_eq!(a.q_dim(), a.heads as u64 * a.head_dim as u64);
+            assert_eq!(a.q_dim() % a.head_dim as u64, 0);
+            // Mistral-Small projects 5120 → 4096 (head_dim ≠ hidden/heads);
+            // the others keep q_dim == hidden.
+            if m != Llm::MistralSmall24b {
+                assert_eq!(a.q_dim(), a.hidden as u64);
+            }
+        }
+    }
+}

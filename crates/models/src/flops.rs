@@ -1,0 +1,125 @@
+//! Analytic FLOP and byte-traffic counts for prefill and decode.
+//!
+//! These are the standard dense-transformer counts: every generated token
+//! multiplies against every (non-embedding) weight matrix once (≈ 2·P FLOPs)
+//! plus attention score/value work proportional to the live context.
+
+use crate::arch::ModelArch;
+use crate::precision::Precision;
+
+/// Analytic per-phase work estimates for a model.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkEstimate {
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Bytes of weight traffic (reads of model parameters).
+    pub weight_bytes: f64,
+    /// Bytes of KV-cache traffic (reads of cached keys/values).
+    pub kv_bytes: f64,
+}
+
+/// FLOPs to process one token through all dense layers (ignoring attention
+/// context work): ≈ 2 FLOPs per parameter touched. The LM head is included
+/// because logits are computed for every generated token.
+pub fn dense_flops_per_token(arch: &ModelArch) -> f64 {
+    let dense = arch.non_embedding_params() + arch.vocab as u64 * arch.hidden as u64;
+    2.0 * dense as f64
+}
+
+/// FLOPs of attention score+value computation for one new token against a
+/// context of `ctx` cached tokens: 2 GEMMs of `heads × head_dim × ctx`.
+pub fn attn_flops_per_token(arch: &ModelArch, ctx: u64) -> f64 {
+    2.0 * 2.0
+        * arch.layers as f64
+        * arch.heads as f64
+        * arch.head_dim as f64
+        * ctx as f64
+}
+
+/// Work to decode one step (one new token for each of `batch` sequences)
+/// with a live per-sequence context of `ctx` tokens.
+///
+/// Key structure: weight traffic is paid **once per step** regardless of the
+/// batch size (all sequences share the weight stream) — this is why batched
+/// decode throughput scales with batch size in the paper's Fig. 1 — while
+/// FLOPs and KV traffic scale with `batch`.
+pub fn decode_step(arch: &ModelArch, prec: Precision, batch: u64, ctx: u64) -> WorkEstimate {
+    WorkEstimate {
+        flops: batch as f64 * (dense_flops_per_token(arch) + attn_flops_per_token(arch, ctx)),
+        weight_bytes: arch.weight_bytes(prec) as f64,
+        kv_bytes: batch as f64 * ctx as f64 * arch.kv_bytes_per_token() as f64,
+    }
+}
+
+/// Work to prefill `n_in` prompt tokens for each of `batch` sequences.
+/// Prefill processes all prompt tokens in one pass (compute-dominated).
+pub fn prefill(arch: &ModelArch, prec: Precision, batch: u64, n_in: u64) -> WorkEstimate {
+    // Average causal context during prefill is n_in/2.
+    let avg_ctx = n_in / 2;
+    WorkEstimate {
+        flops: batch as f64
+            * n_in as f64
+            * (dense_flops_per_token(arch) + attn_flops_per_token(arch, avg_ctx)),
+        weight_bytes: arch.weight_bytes(prec) as f64,
+        kv_bytes: 0.0,
+    }
+}
+
+/// Arithmetic intensity (FLOP/byte) of a decode step — compare against the
+/// device ridge point to classify memory- vs compute-bound.
+pub fn decode_intensity(arch: &ModelArch, prec: Precision, batch: u64, ctx: u64) -> f64 {
+    let w = decode_step(arch, prec, batch, ctx);
+    w.flops / (w.weight_bytes + w.kv_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Llm;
+
+    #[test]
+    fn dense_flops_approx_twice_params() {
+        let a = Llm::Llama31_8b.arch();
+        let f = dense_flops_per_token(&a);
+        let p = a.param_count() as f64;
+        assert!(f > 1.8 * p && f < 2.2 * p, "flops/param ratio {}", f / p);
+    }
+
+    #[test]
+    fn weight_traffic_independent_of_batch() {
+        let a = Llm::Llama31_8b.arch();
+        let w1 = decode_step(&a, Precision::Fp16, 1, 64);
+        let w128 = decode_step(&a, Precision::Fp16, 128, 64);
+        assert_eq!(w1.weight_bytes, w128.weight_bytes);
+        assert!((w128.flops / w1.flops - 128.0).abs() < 1e-6);
+        assert!((w128.kv_bytes / w1.kv_bytes - 128.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn decode_intensity_grows_with_batch() {
+        let a = Llm::Llama31_8b.arch();
+        let i1 = decode_intensity(&a, Precision::Fp16, 1, 64);
+        let i64 = decode_intensity(&a, Precision::Fp16, 64, 64);
+        assert!(i64 > 10.0 * i1, "batching must raise arithmetic intensity");
+        // Single-sequence decode is deeply memory-bound: ~1 FLOP/byte.
+        assert!(i1 < 2.0);
+    }
+
+    #[test]
+    fn prefill_flops_scale_with_prompt_length() {
+        let a = Llm::Phi2.arch();
+        let p32 = prefill(&a, Precision::Fp16, 1, 32);
+        let p256 = prefill(&a, Precision::Fp16, 1, 256);
+        let r = p256.flops / p32.flops;
+        assert!(r > 7.9 && r < 9.0, "ratio {r}"); // ~8x plus attention growth
+    }
+
+    #[test]
+    fn attention_flops_linear_in_context() {
+        let a = Llm::MistralSmall24b.arch();
+        assert!(
+            (attn_flops_per_token(&a, 1024) / attn_flops_per_token(&a, 512) - 2.0).abs()
+                < 1e-9
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Weight-memory footprints per precision — the paper's Table 1.
+
+use crate::arch::ModelArch;
+use crate::catalog::Llm;
+use crate::precision::Precision;
+
+/// Decimal gigabyte, matching the paper's table units.
+const GB: f64 = 1e9;
+
+/// One model's weight footprint at one precision, with a feasibility flag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightFootprint {
+    /// Storage precision.
+    pub precision: Precision,
+    /// Weight bytes in GB (decimal).
+    pub gb: f64,
+    /// Whether the weights fit the device's usable shared memory. The paper
+    /// prints infeasible entries in red as estimates (Mistral FP32,
+    /// DeepSeek FP32/FP16).
+    pub loadable: bool,
+}
+
+/// A full Table 1 row: one model across the four precisions.
+#[derive(Debug, Clone)]
+pub struct FootprintRow {
+    /// Which model.
+    pub llm: Llm,
+    /// Parameter count in billions.
+    pub params_b: f64,
+    /// Footprints in Table 1 column order (FP32, FP16, INT8, INT4).
+    pub footprints: [WeightFootprint; 4],
+}
+
+/// Memory the OS + CUDA runtime reserve before any model loads. The paper's
+/// appendix shows ~0.5–1 GB of slack plus the usual JetPack baseline; with
+/// 64 GB total, models whose weights exceed ~62 GB fail to load.
+pub const OS_RESERVED_GB: f64 = 2.0;
+
+/// Compute a model's footprint at one precision against a capacity (GB).
+pub fn footprint(arch: &ModelArch, prec: Precision, capacity_gb: f64) -> WeightFootprint {
+    let gb = arch.weight_bytes(prec) as f64 / GB;
+    WeightFootprint { precision: prec, gb, loadable: gb <= capacity_gb - OS_RESERVED_GB }
+}
+
+/// Build the paper's Table 1 for a device capacity (GB): all four models ×
+/// four precisions.
+pub fn table1(capacity_gb: f64) -> Vec<FootprintRow> {
+    Llm::ALL
+        .iter()
+        .map(|&llm| {
+            let arch = llm.arch();
+            FootprintRow {
+                llm,
+                params_b: arch.param_count() as f64 / 1e9,
+                footprints: [
+                    footprint(&arch, Precision::Fp32, capacity_gb),
+                    footprint(&arch, Precision::Fp16, capacity_gb),
+                    footprint(&arch, Precision::Int8, capacity_gb),
+                    footprint(&arch, Precision::Int4, capacity_gb),
+                ],
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Table 1 in GB: (model, [fp32, fp16, int8, int4]).
+    const PAPER_TABLE1: [(Llm, [f64; 4]); 4] = [
+        (Llm::Phi2, [11.2, 5.6, 3.0, 1.8]),
+        (Llm::Llama31_8b, [32.2, 16.1, 9.1, 5.6]),
+        (Llm::MistralSmall24b, [94.2, 47.1, 24.9, 13.8]),
+        // DeepSeek FP32/FP16 are the paper's own (internally inconsistent)
+        // estimates — from its 32.8B count they should be ~131/65.5 GB; the
+        // paper printed 124/62 (≈31B×4/×2). We accept a wider band there.
+        (Llm::DeepseekQwen32b, [124.0, 62.0, 34.3, 18.7]),
+    ];
+
+    #[test]
+    fn table1_matches_paper_within_tolerance() {
+        let rows = table1(64.0);
+        for (row, (llm, paper)) in rows.iter().zip(PAPER_TABLE1) {
+            assert_eq!(row.llm, llm);
+            for (fp, expect) in row.footprints.iter().zip(paper) {
+                let tol = if llm == Llm::DeepseekQwen32b
+                    && matches!(fp.precision, Precision::Fp32 | Precision::Fp16)
+                {
+                    0.07 // paper's estimate rows disagree with its own count
+                } else {
+                    0.04
+                };
+                let rel = (fp.gb - expect).abs() / expect;
+                assert!(
+                    rel < tol,
+                    "{:?} {}: ours {:.1} GB vs paper {expect} GB (rel {rel:.3})",
+                    llm,
+                    fp.precision,
+                    fp.gb
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loadability_matches_paper_red_entries() {
+        let rows = table1(64.0);
+        let get = |llm: Llm, p: Precision| {
+            rows.iter()
+                .find(|r| r.llm == llm)
+                .unwrap()
+                .footprints
+                .iter()
+                .find(|f| f.precision == p)
+                .unwrap()
+                .loadable
+        };
+        // Red (estimate) cells in the paper = not loadable.
+        assert!(!get(Llm::MistralSmall24b, Precision::Fp32));
+        assert!(!get(Llm::DeepseekQwen32b, Precision::Fp32));
+        assert!(!get(Llm::DeepseekQwen32b, Precision::Fp16));
+        // Everything else loads.
+        assert!(get(Llm::Phi2, Precision::Fp32));
+        assert!(get(Llm::Llama31_8b, Precision::Fp32));
+        assert!(get(Llm::MistralSmall24b, Precision::Fp16));
+        assert!(get(Llm::DeepseekQwen32b, Precision::Int8));
+    }
+
+    #[test]
+    fn smaller_capacity_shrinks_feasible_set() {
+        let rows16 = table1(16.0);
+        let llama_fp16 = rows16
+            .iter()
+            .find(|r| r.llm == Llm::Llama31_8b)
+            .unwrap()
+            .footprints[1];
+        assert!(!llama_fp16.loadable, "16.1 GB cannot fit a 16 GB device");
+        let llama_int8 = rows16
+            .iter()
+            .find(|r| r.llm == Llm::Llama31_8b)
+            .unwrap()
+            .footprints[2];
+        assert!(llama_int8.loadable);
+    }
+}

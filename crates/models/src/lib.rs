@@ -1,0 +1,34 @@
+//! # edgellm-models — transformer architecture specs and analytics
+//!
+//! Exact architecture descriptions of the four language models the paper
+//! evaluates (Microsoft Phi-2, Meta Llama-3.1-8B, Mistral-Small-24B and
+//! DeepSeek-R1-Distill-Qwen-32B), taken from their public Hugging Face
+//! configurations, plus the analytic quantities every other crate needs:
+//!
+//! * parameter counts *derived from the dimensions* (validated against the
+//!   paper's Table 1 figures),
+//! * weight-memory footprints per storage precision (reproducing Table 1,
+//!   including the BitsAndBytes convention that embeddings and the LM head
+//!   stay in FP16 under INT8/INT4),
+//! * per-token FLOP and byte-traffic counts for the prefill and decode
+//!   phases, and KV-cache bytes per token (GQA-aware, including Phi-2's
+//!   FP32 attention-cache quirk).
+//!
+//! ```
+//! use edgellm_models::{Llm, Precision};
+//! let llama = Llm::Llama31_8b.arch();
+//! // ~8.0B parameters, ~16.1 GB in FP16 — matches the paper's Table 1.
+//! assert!((llama.param_count() as f64 / 1e9 - 8.0).abs() < 0.1);
+//! assert!((llama.weight_bytes(Precision::Fp16) as f64 / 1e9 - 16.1).abs() < 0.2);
+//! ```
+
+pub mod arch;
+pub mod catalog;
+pub mod flops;
+pub mod footprint;
+pub mod precision;
+
+pub use arch::{AttentionImpl, ModelArch};
+pub use catalog::Llm;
+pub use footprint::{FootprintRow, WeightFootprint};
+pub use precision::Precision;

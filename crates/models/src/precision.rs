@@ -1,0 +1,84 @@
+//! Storage precision of model weights.
+
+use std::fmt;
+
+/// The four weight-storage precisions the paper sweeps (§2, "Quantization").
+///
+/// FP16/INT8/INT4 are produced with BitsAndBytes (`LLM.int8()` for INT8,
+/// NF4-style block quantization for INT4). Under INT8/INT4, BitsAndBytes
+/// leaves the token embeddings and LM head in FP16 — the footprint model in
+/// [`crate::footprint`] reproduces that convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Precision {
+    /// Full 32-bit floating point.
+    Fp32,
+    /// Half precision (the paper's default serving precision).
+    Fp16,
+    /// 8-bit integer via LLM.int8() row-wise absmax with outlier columns.
+    Int8,
+    /// 4-bit block-quantile (NF4-style) quantization.
+    Int4,
+}
+
+impl Precision {
+    /// All precisions in Table 1 / Table 3 column order.
+    pub const ALL: [Precision; 4] =
+        [Precision::Fp32, Precision::Fp16, Precision::Int8, Precision::Int4];
+
+    /// Bytes used to *store* one linear-layer weight at this precision.
+    pub fn bytes_per_param(&self) -> f64 {
+        match self {
+            Precision::Fp32 => 4.0,
+            Precision::Fp16 => 2.0,
+            Precision::Int8 => 1.0,
+            Precision::Int4 => 0.5,
+        }
+    }
+
+    /// Display label matching the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Precision::Fp32 => "FP32",
+            Precision::Fp16 => "FP16",
+            Precision::Int8 => "INT8",
+            Precision::Int4 => "INT4",
+        }
+    }
+
+    /// Whether this precision is produced by a BitsAndBytes quantizer (and
+    /// therefore keeps embeddings/LM head in FP16 and adds dequant work).
+    pub fn is_quantized(&self) -> bool {
+        matches!(self, Precision::Int8 | Precision::Int4)
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_widths_halve_down_the_ladder() {
+        let widths: Vec<f64> = Precision::ALL.iter().map(|p| p.bytes_per_param()).collect();
+        assert_eq!(widths, vec![4.0, 2.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn labels_match_paper_columns() {
+        let labels: Vec<&str> = Precision::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels, vec!["FP32", "FP16", "INT8", "INT4"]);
+    }
+
+    #[test]
+    fn only_int_precisions_are_quantized() {
+        assert!(!Precision::Fp32.is_quantized());
+        assert!(!Precision::Fp16.is_quantized());
+        assert!(Precision::Int8.is_quantized());
+        assert!(Precision::Int4.is_quantized());
+    }
+}

@@ -1,0 +1,151 @@
+//! Adam optimizer (Kingma & Ba) over `Matrix` parameters.
+
+use edgellm_tensor::Matrix;
+
+/// Adam state for one parameter tensor.
+#[derive(Debug, Clone)]
+struct Slot {
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+/// An Adam optimizer over a fixed set of parameter slots.
+///
+/// Callers register each parameter once (getting a slot id) and then call
+/// [`Adam::step`] with the parameter and its gradient every iteration.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical floor.
+    pub eps: f32,
+    slots: Vec<Slot>,
+    t: i32,
+}
+
+impl Adam {
+    /// Standard hyperparameters with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, slots: Vec::new(), t: 0 }
+    }
+
+    /// Register a parameter of `n` elements, returning its slot id.
+    pub fn register(&mut self, n: usize) -> usize {
+        self.slots.push(Slot { m: vec![0.0; n], v: vec![0.0; n] });
+        self.slots.len() - 1
+    }
+
+    /// Advance the shared timestep. Call once per optimization step,
+    /// before updating the slots of that step.
+    pub fn tick(&mut self) {
+        self.t += 1;
+    }
+
+    /// Apply one Adam update to `param` given `grad` for slot `slot`.
+    ///
+    /// # Panics
+    /// If the slot size does not match or `tick` was never called.
+    pub fn step(&mut self, slot: usize, param: &mut Matrix, grad: &Matrix) {
+        assert!(self.t > 0, "call tick() before step()");
+        let s = &mut self.slots[slot];
+        assert_eq!(s.m.len(), param.len(), "slot/parameter size mismatch");
+        assert_eq!(param.len(), grad.len());
+        let b1t = 1.0 - self.beta1.powi(self.t);
+        let b2t = 1.0 - self.beta2.powi(self.t);
+        let p = param.as_mut_slice();
+        let g = grad.as_slice();
+        for i in 0..p.len() {
+            s.m[i] = self.beta1 * s.m[i] + (1.0 - self.beta1) * g[i];
+            s.v[i] = self.beta2 * s.v[i] + (1.0 - self.beta2) * g[i] * g[i];
+            let mhat = s.m[i] / b1t;
+            let vhat = s.v[i] / b2t;
+            p[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    /// Apply one Adam update to a plain `Vec<f32>` parameter (biases).
+    pub fn step_vec(&mut self, slot: usize, param: &mut [f32], grad: &[f32]) {
+        assert!(self.t > 0, "call tick() before step()");
+        let s = &mut self.slots[slot];
+        assert_eq!(s.m.len(), param.len());
+        assert_eq!(param.len(), grad.len());
+        let b1t = 1.0 - self.beta1.powi(self.t);
+        let b2t = 1.0 - self.beta2.powi(self.t);
+        for i in 0..param.len() {
+            s.m[i] = self.beta1 * s.m[i] + (1.0 - self.beta1) * grad[i];
+            s.v[i] = self.beta2 * s.v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+            let mhat = s.m[i] / b1t;
+            let vhat = s.v[i] / b2t;
+            param[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_a_quadratic() {
+        // f(x) = Σ (x_i − c_i)², gradient 2(x−c).
+        let target = [3.0f32, -1.5, 0.25, 8.0];
+        let mut x = Matrix::zeros(1, 4);
+        let mut opt = Adam::new(0.05);
+        let slot = opt.register(4);
+        for _ in 0..2000 {
+            let grad = Matrix::from_vec(
+                1,
+                4,
+                x.as_slice().iter().zip(target).map(|(xi, c)| 2.0 * (xi - c)).collect(),
+            );
+            opt.tick();
+            opt.step(slot, &mut x, &grad);
+        }
+        for (xi, c) in x.as_slice().iter().zip(target) {
+            assert!((xi - c).abs() < 1e-2, "{xi} vs {c}");
+        }
+    }
+
+    #[test]
+    fn first_step_size_is_about_lr() {
+        // Adam's bias correction makes the very first update ≈ lr·sign(g).
+        let mut x = Matrix::zeros(1, 1);
+        let g = Matrix::from_vec(1, 1, vec![0.3]);
+        let mut opt = Adam::new(0.01);
+        let slot = opt.register(1);
+        opt.tick();
+        opt.step(slot, &mut x, &g);
+        assert!((x.get(0, 0) + 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "tick")]
+    fn step_without_tick_panics() {
+        let mut x = Matrix::zeros(1, 1);
+        let g = Matrix::zeros(1, 1);
+        let mut opt = Adam::new(0.01);
+        let slot = opt.register(1);
+        opt.step(slot, &mut x, &g);
+    }
+
+    #[test]
+    fn vec_and_matrix_paths_agree() {
+        let mut a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let mut b = vec![1.0f32, 2.0, 3.0];
+        let g = vec![0.5f32, -0.25, 1.0];
+        let gm = Matrix::from_vec(1, 3, g.clone());
+        let mut opt = Adam::new(0.02);
+        let sa = opt.register(3);
+        let sb = opt.register(3);
+        opt.tick();
+        opt.step(sa, &mut a, &gm);
+        opt.step_vec(sb, &mut b, &g);
+        for (x, y) in a.as_slice().iter().zip(&b) {
+            assert!((x - y).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # edgellm-nn — a real, trainable neural language-model substrate
+//!
+//! The *executable* counterpart to the device simulator: everything in this
+//! crate actually computes. It exists so that the paper's accuracy results
+//! (Table 3: perplexity vs. quantization) are **measured**, not modeled:
+//!
+//! * [`mlp_lm`] — a Bengio-style n-gram MLP language model with manual
+//!   backpropagation and [`adam`] training, fast enough to train on a laptop
+//!   CPU in seconds. Four scaled capacities stand in for the paper's four
+//!   LLMs (see DESIGN.md §1 for the substitution argument).
+//! * [`transformer`] — a decoder-only transformer with a **real KV cache**
+//!   (GQA-aware, RoPE), used to validate decode mechanics (incremental
+//!   decode ≡ full forward) and to benchmark quantized kernels on a
+//!   transformer-shaped workload.
+//! * [`quantize`] — re-quantization of trained models to FP16/INT8/INT4
+//!   through the real codecs in `edgellm-quant`, following the BitsAndBytes
+//!   convention (embeddings stay FP16).
+//! * [`scorer`] — the [`CausalScorer`] trait consumed by the perplexity
+//!   evaluator in `edgellm-core` (sliding windows of 1024, stride 512 —
+//!   the paper's exact protocol).
+
+pub mod adam;
+pub mod linear;
+pub mod loss;
+pub mod mlp_lm;
+pub mod quantize;
+pub mod scorer;
+pub mod transformer;
+
+pub use adam::Adam;
+pub use linear::Linear;
+pub use mlp_lm::{MlpLm, MlpLmConfig, TrainReport};
+pub use scorer::CausalScorer;
+pub use transformer::{KvCache, TinyCausalLm, TinyConfig};
+
+pub use edgellm_quant::WeightPrecision;
+pub use edgellm_tensor::Matrix;

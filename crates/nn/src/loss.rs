@@ -1,0 +1,98 @@
+//! Cross-entropy loss over logits, with its backward pass.
+
+use edgellm_tensor::ops::log_softmax;
+use edgellm_tensor::Matrix;
+
+/// Mean negative log-likelihood of `targets` under row-wise softmax of
+/// `logits`, plus the gradient w.r.t. the logits (`(softmax − onehot)/B`).
+pub fn cross_entropy(logits: &Matrix, targets: &[u32]) -> (f64, Matrix) {
+    assert_eq!(logits.rows, targets.len());
+    let b = logits.rows;
+    let mut grad = Matrix::zeros(logits.rows, logits.cols);
+    let mut nll = 0.0f64;
+    for (r, &target) in targets.iter().enumerate() {
+        let ls = log_softmax(logits.row(r));
+        let t = target as usize;
+        nll -= ls[t] as f64;
+        let g = grad.row_mut(r);
+        for (i, &l) in ls.iter().enumerate() {
+            g[i] = l.exp() / b as f32;
+        }
+        g[t] -= 1.0 / b as f32;
+    }
+    (nll / b as f64, grad)
+}
+
+/// NLL only (evaluation path, no gradient allocation).
+pub fn nll_only(logits: &Matrix, targets: &[u32]) -> f64 {
+    assert_eq!(logits.rows, targets.len());
+    let mut nll = 0.0f64;
+    for r in 0..logits.rows {
+        let ls = log_softmax(logits.row(r));
+        nll -= ls[targets[r] as usize] as f64;
+    }
+    nll / logits.rows as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_vocab() {
+        let logits = Matrix::zeros(2, 8);
+        let (loss, _) = cross_entropy(&logits, &[3, 5]);
+        assert!((loss - (8f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let mut logits = Matrix::zeros(1, 4);
+        logits.set(0, 2, 20.0);
+        let (loss, _) = cross_entropy(&logits, &[2]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Matrix::rand_kaiming(3, 10, 1);
+        let (_, grad) = cross_entropy(&logits, &[0, 5, 9]);
+        for r in 0..3 {
+            let s: f32 = grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Matrix::rand_kaiming(2, 6, 2);
+        let targets = [1u32, 4];
+        let (_, grad) = cross_entropy(&logits, &targets);
+        let h = 1e-3f32;
+        for r in 0..2 {
+            for c in 0..6 {
+                let mut lp = logits.clone();
+                lp.set(r, c, lp.get(r, c) + h);
+                let mut lm = logits.clone();
+                lm.set(r, c, lm.get(r, c) - h);
+                let fp = nll_only(&lp, &targets) * 2.0; // sum over batch
+                let fm = nll_only(&lm, &targets) * 2.0;
+                let fd = ((fp - fm) / (2.0 * h as f64)) / 2.0; // mean-loss grad
+                assert!(
+                    (grad.get(r, c) as f64 - fd).abs() < 1e-3,
+                    "r{r} c{c}: {} vs {}",
+                    grad.get(r, c),
+                    fd
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nll_only_agrees_with_cross_entropy() {
+        let logits = Matrix::rand_kaiming(4, 12, 3);
+        let targets = [0u32, 3, 7, 11];
+        let (a, _) = cross_entropy(&logits, &targets);
+        assert!((a - nll_only(&logits, &targets)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,105 @@
+//! Post-training quantization of a trained [`MlpLm`] — the BitsAndBytes
+//! loading path of the paper, on real weights.
+
+use crate::mlp_lm::MlpLm;
+use edgellm_quant::WeightPrecision;
+use edgellm_tensor::{f16_to_f32, f32_to_f16, Matrix};
+
+/// Round a matrix through f16 storage (BitsAndBytes keeps embeddings in
+/// FP16 even when the linears are INT8/INT4).
+pub fn f16_roundtrip(m: &Matrix) -> Matrix {
+    Matrix::from_vec(
+        m.rows,
+        m.cols,
+        m.as_slice().iter().map(|&v| f16_to_f32(f32_to_f16(v))).collect(),
+    )
+}
+
+/// A copy of the model at the requested serving precision:
+///
+/// * FP32 — untouched;
+/// * FP16 — linears *and* embeddings rounded through binary16;
+/// * INT8/INT4 — linears quantized through the real codecs, embeddings in
+///   FP16 (the BitsAndBytes convention the footprint model also uses).
+pub fn to_precision(model: &MlpLm, prec: WeightPrecision) -> MlpLm {
+    let emb = match prec {
+        WeightPrecision::Fp32 => model.emb.clone(),
+        _ => f16_roundtrip(&model.emb),
+    };
+    MlpLm {
+        cfg: model.cfg,
+        emb,
+        fc1: model.fc1.to_precision(prec),
+        fc2: model.fc2.to_precision(prec),
+    }
+}
+
+/// Serving weight bytes of the model at its current precisions (linears at
+/// their stored precision + embeddings at 2 bytes unless FP32).
+pub fn weight_bytes(model: &MlpLm, prec: WeightPrecision) -> usize {
+    let emb_bytes = model.emb.len() * if prec == WeightPrecision::Fp32 { 4 } else { 2 };
+    let q = to_precision(model, prec);
+    emb_bytes + q.fc1.weight_bytes() + q.fc2.weight_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp_lm::MlpLmConfig;
+
+    fn trained_model() -> (MlpLm, Vec<u32>) {
+        let cfg = MlpLmConfig { vocab: 48, context: 3, d_emb: 12, hidden: 32, seed: 5 };
+        let mut m = MlpLm::new(cfg);
+        // Structured, learnable stream.
+        let stream: Vec<u32> = (0..6000).map(|i| ((i * 5 + i / 7) % 48) as u32).collect();
+        m.train(&stream, 500, 32, 3e-3, 11);
+        (m, stream)
+    }
+
+    #[test]
+    fn perplexity_ladder_matches_table3_shape() {
+        let (m, stream) = trained_model();
+        let ppl = |p: WeightPrecision| to_precision(&m, p).perplexity(&stream);
+        let (p32, p16, p8, p4) = (
+            ppl(WeightPrecision::Fp32),
+            ppl(WeightPrecision::Fp16),
+            ppl(WeightPrecision::Int8),
+            ppl(WeightPrecision::Int4),
+        );
+        // Table 3 shape: FP32 ≈ FP16 (paper reports identical to 2 dp),
+        // INT8 marginally worse, INT4 clearly worse.
+        assert!((p16 - p32).abs() / p32 < 0.02, "fp16 {p16} vs fp32 {p32}");
+        assert!(p8 < p4, "int8 {p8} must beat int4 {p4}");
+        assert!(p4 > p32, "int4 {p4} must degrade vs fp32 {p32}");
+    }
+
+    #[test]
+    fn quantized_model_shapes_survive() {
+        let (m, _) = trained_model();
+        for p in WeightPrecision::ALL {
+            let q = to_precision(&m, p);
+            assert_eq!(q.cfg, m.cfg);
+            assert_eq!(q.fc1.in_features(), m.fc1.in_features());
+            assert_eq!(q.fc2.out_features(), m.fc2.out_features());
+        }
+    }
+
+    #[test]
+    fn weight_bytes_shrink_down_the_ladder() {
+        let (m, _) = trained_model();
+        let sizes: Vec<usize> =
+            WeightPrecision::ALL.iter().map(|&p| weight_bytes(&m, p)).collect();
+        for w in sizes.windows(2) {
+            assert!(w[0] > w[1], "{sizes:?}");
+        }
+    }
+
+    #[test]
+    fn f16_roundtrip_small_error() {
+        let m = Matrix::rand_normal(10, 10, 0.1, 1);
+        let r = f16_roundtrip(&m);
+        for (a, b) in m.as_slice().iter().zip(r.as_slice()) {
+            assert!((a - b).abs() <= a.abs() * 1e-3 + 1e-6);
+        }
+    }
+}

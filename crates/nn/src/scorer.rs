@@ -1,0 +1,47 @@
+//! The scoring interface consumed by the perplexity evaluator.
+
+/// A causal language model that can score next-token probabilities.
+///
+/// `edgellm-core`'s sliding-window perplexity evaluator (1024-token windows,
+/// stride 512 — the paper's §2 protocol) is generic over this trait.
+pub trait CausalScorer {
+    /// Vocabulary size.
+    fn vocab_size(&self) -> usize;
+
+    /// Negative log-likelihood (nats) of `window[pos]` given
+    /// `window[..pos]`.
+    fn nll_at(&self, window: &[u32], pos: usize) -> f64;
+
+    /// NLLs of every position in `start..window.len()` — override for a
+    /// batched implementation.
+    fn nll_span(&self, window: &[u32], start: usize) -> Vec<f64> {
+        (start..window.len()).map(|p| self.nll_at(window, p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A uniform scorer: every token costs ln(V).
+    struct Uniform(usize);
+    impl CausalScorer for Uniform {
+        fn vocab_size(&self) -> usize {
+            self.0
+        }
+        fn nll_at(&self, _window: &[u32], _pos: usize) -> f64 {
+            (self.0 as f64).ln()
+        }
+    }
+
+    #[test]
+    fn default_span_maps_nll_at() {
+        let s = Uniform(16);
+        let w = [1u32, 2, 3, 4, 5];
+        let span = s.nll_span(&w, 2);
+        assert_eq!(span.len(), 3);
+        for v in span {
+            assert!((v - 16f64.ln()).abs() < 1e-12);
+        }
+    }
+}

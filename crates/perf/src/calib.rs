@@ -1,0 +1,198 @@
+//! Calibration constants, fitted offline against the paper's appendix
+//! tables (WikiText2 Table 4 batch sweep, Tables 6/7 sequence sweep).
+//!
+//! # Fitting procedure
+//!
+//! The latency model (see [`crate::latency`]) has two free per-model
+//! constants at the serving precision:
+//!
+//! * `h` — host/dispatch seconds per decode step, solved exactly from the
+//!   `bs=1, sl=96` anchor of Table 4;
+//! * `k2` — long-context overhead bytes per cached token beyond
+//!   [`CTX_OVERHEAD_THRESHOLD`] tokens, solved exactly from the longest
+//!   sequence anchor of Table 6/7 (`bs=32, sl=1024`; `sl=256` for Phi-2
+//!   which goes OoM beyond that).
+//!
+//! Everything else is physics or global: device peaks from the datasheet,
+//! fixed efficiency factors, and the per-precision cost multipliers below
+//! (anchored on the §3.3 claims: INT8 ≈ +62% latency for Phi-2/Llama,
+//! ≈ +2% for Mistral-24B; INT4 slower still with the GPU saturated).
+//!
+//! With 2 fitted constants against ~12 published measurements per model,
+//! the remaining agreement (within ±15% for most cells, worst ±32% on the
+//! paper's own noisy Mistral-bs32/DeepQ-bs16 points) is explained by the
+//! mechanism, not the fit. EXPERIMENTS.md records the full residual table.
+
+use edgellm_models::{Llm, Precision};
+
+/// Fraction of datasheet DRAM bandwidth a well-formed weight stream
+/// achieves (LPDDR5 sequential reads).
+pub const BW_EFFICIENCY: f64 = 0.9;
+
+/// Effective prefill compute throughput as a fraction of the FP16 tensor
+/// peak (large GEMMs, good tensor-core utilization).
+pub const PREFILL_EFF: f64 = 9.0 / 10.6;
+
+/// Effective decode compute throughput as a fraction of the FP16 tensor
+/// peak (batched GEMV-shaped work).
+pub const DECODE_EFF: f64 = 8.5 / 10.6;
+
+/// Overlap factor between weight streaming and compute within a decode
+/// step: `t = max(traffic, compute) + BETA·min(traffic, compute)`.
+/// 0 = perfect overlap, 1 = fully serial. 0.5 fits the appendix tables.
+pub const OVERLAP_BETA: f64 = 0.5;
+
+/// Context length beyond which the per-cached-token overhead (`k2`)
+/// applies. Below this the runtime's fused paths keep attention cheap.
+pub const CTX_OVERHEAD_THRESHOLD: u64 = 128;
+
+/// Low-memory-clock penalty: effective bandwidth is
+/// `peak·scale / (1 + ALPHA·(1/scale − 1))` — DRAM efficiency degrades
+/// beyond the linear clock scaling at low EMC frequencies (latency-bound
+/// accesses). ALPHA solved so PM-H (665 MHz) yields the paper's ≈ +370%
+/// latency on Llama (§3.4).
+pub const MEM_PENALTY_ALPHA: f64 = 0.15;
+
+/// Host dispatch needs few cores: below this many online cores the
+/// single-threaded dispatch path starts contending with the OS.
+pub const HOST_MIN_CORES: u32 = 2;
+
+/// Per-precision execution cost multipliers (global, model-independent).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionCosts {
+    /// Multiplier on compute time relative to FP16 tensor-core execution.
+    pub compute_mult: f64,
+    /// Fraction of the model's INT8 per-layer dispatch overhead incurred.
+    pub dispatch_frac: f64,
+    /// Fraction of host time during which the GPU stays busy (used by the
+    /// utilization model; INT4's "host" time is mostly GPU-side dequant,
+    /// hence the paper's 100% GPU utilization under INT4 vs 60% for INT8).
+    pub host_gpu_frac: f64,
+}
+
+impl PrecisionCosts {
+    /// Costs for a storage precision.
+    pub fn of(prec: Precision) -> Self {
+        match prec {
+            // FP32 runs on CUDA cores at half the FP16 tensor rate.
+            Precision::Fp32 => {
+                PrecisionCosts { compute_mult: 2.0, dispatch_frac: 0.0, host_gpu_frac: 0.4 }
+            }
+            Precision::Fp16 => {
+                PrecisionCosts { compute_mult: 1.0, dispatch_frac: 0.0, host_gpu_frac: 0.4 }
+            }
+            // LLM.int8(): INT8 tensor cores are ~2× FP16 FLOP-rate but the
+            // two-stream outlier decomposition adds per-layer dispatch.
+            Precision::Int8 => {
+                PrecisionCosts { compute_mult: 0.62, dispatch_frac: 1.0, host_gpu_frac: 0.4 }
+            }
+            // NF4: dequantization arithmetic dominates; GPU saturated.
+            Precision::Int4 => {
+                PrecisionCosts { compute_mult: 4.0, dispatch_frac: 0.5, host_gpu_frac: 0.9 }
+            }
+        }
+    }
+}
+
+/// Per-model calibrated constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelCalib {
+    /// Host/dispatch seconds per decode step at MAXN, serving precision
+    /// class FP16 (fitted on the `bs=1` anchor).
+    pub host_s: f64,
+    /// Long-context overhead, bytes of equivalent traffic per cached token
+    /// beyond the threshold (fitted on the longest-sequence anchor).
+    pub k2_bytes: f64,
+    /// Additional per-layer host/dispatch seconds under INT8 (the
+    /// LLM.int8() outlier path; fitted on the §3.3 slowdown claims).
+    pub int8_layer_s: f64,
+    /// Multiplier on total latency for the LongBench prompt pool relative
+    /// to WikiText2 (the ≈ ≤10% dataset effect of Table 5 vs Table 4).
+    pub longbench_factor: f64,
+}
+
+impl ModelCalib {
+    /// Calibration for one of the paper's four models.
+    ///
+    /// `host_s`/`k2_bytes` provenance: solved from Table 4 `bs=1` and
+    /// Table 6/7 longest-sequence rows. `int8_layer_s`: solved so that
+    /// INT8 latency at `bs=32, sl=96` is +62% (Phi-2, Llama — §3.3),
+    /// +2% (Mistral — §3.3); DeepSeek's serving precision *is* INT8, so
+    /// its base host was split assuming a Mistral-like FP16 host of 30 ms.
+    /// `longbench_factor`: Table 5 / Table 4 latency ratio at `bs=128`.
+    pub fn for_llm(llm: Llm) -> Self {
+        match llm {
+            Llm::Phi2 => ModelCalib {
+                host_s: 26.94e-3,
+                k2_bytes: 2.334e6,
+                int8_layer_s: 2.32e-3,
+                longbench_factor: 0.93,
+            },
+            Llm::Llama31_8b => ModelCalib {
+                host_s: 9.60e-3,
+                k2_bytes: 2.654e6,
+                int8_layer_s: 4.95e-3,
+                longbench_factor: 0.965,
+            },
+            Llm::MistralSmall24b => ModelCalib {
+                host_s: 25.55e-3,
+                k2_bytes: 5.163e6,
+                int8_layer_s: 4.91e-3,
+                longbench_factor: 0.99,
+            },
+            // DeepSeek is served in INT8: its fitted step host of 483 ms
+            // decomposes as 30 ms FP16-class host + 64 layers × 7.08 ms.
+            Llm::DeepseekQwen32b => ModelCalib {
+                host_s: 30.0e-3,
+                k2_bytes: 15.390e6,
+                int8_layer_s: 7.08e-3,
+                longbench_factor: 0.96,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_model_has_positive_constants() {
+        for llm in Llm::ALL {
+            let c = ModelCalib::for_llm(llm);
+            assert!(c.host_s > 0.0);
+            assert!(c.k2_bytes > 0.0);
+            assert!(c.int8_layer_s > 0.0);
+            assert!((0.9..=1.0).contains(&c.longbench_factor));
+        }
+    }
+
+    #[test]
+    fn deepq_int8_host_reconstructs_fitted_value() {
+        // 30 ms + 64 × 7.08 ms ≈ the 483 ms fitted on Table 4 bs=1.
+        let c = ModelCalib::for_llm(Llm::DeepseekQwen32b);
+        let total = c.host_s + 64.0 * c.int8_layer_s;
+        assert!((total - 0.483).abs() < 0.005, "got {total}");
+    }
+
+    #[test]
+    fn precision_costs_orderings() {
+        let fp16 = PrecisionCosts::of(Precision::Fp16);
+        let fp32 = PrecisionCosts::of(Precision::Fp32);
+        let int8 = PrecisionCosts::of(Precision::Int8);
+        let int4 = PrecisionCosts::of(Precision::Int4);
+        assert!(fp32.compute_mult > fp16.compute_mult);
+        assert!(int8.compute_mult < fp16.compute_mult, "int8 tensor cores are faster");
+        assert!(int4.compute_mult > fp32.compute_mult, "nf4 dequant dominates");
+        assert!(int8.dispatch_frac > 0.0 && fp16.dispatch_frac == 0.0);
+        assert!(int4.host_gpu_frac > int8.host_gpu_frac, "int4 saturates the GPU");
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the invariant
+    fn global_constants_sane() {
+        assert!((0.0..=1.0).contains(&BW_EFFICIENCY));
+        assert!(PREFILL_EFF > DECODE_EFF);
+        assert!((0.0..=1.0).contains(&OVERLAP_BETA));
+    }
+}

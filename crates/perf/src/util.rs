@@ -1,0 +1,116 @@
+//! Resource-utilization estimates feeding the power model.
+//!
+//! The paper observes (§3.3) that INT8 inference leaves the GPU at ≈ 60%
+//! utilization (dispatch-bound) while INT4 saturates it at 100% (dequant
+//! arithmetic), and that these utilizations drive the power differences of
+//! Figs. 4/10. This module derives per-phase utilizations from the latency
+//! breakdown the same way `jtop` would report them.
+
+use crate::latency::PerfModel;
+
+/// Fractional utilization of each resource during a phase (0..=1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Utilization {
+    /// GPU busy fraction.
+    pub gpu: f64,
+    /// CPU busy fraction (of the whole CPU complex).
+    pub cpu: f64,
+    /// DRAM bandwidth fraction.
+    pub mem_bw: f64,
+}
+
+impl Utilization {
+    fn clamp(self) -> Self {
+        Utilization {
+            gpu: self.gpu.clamp(0.0, 1.0),
+            cpu: self.cpu.clamp(0.0, 1.0),
+            mem_bw: self.mem_bw.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl PerfModel {
+    /// Utilization during the decode phase at the given batch and a
+    /// representative context length.
+    pub fn decode_utilization(&self, batch: u64, ctx: u64) -> Utilization {
+        let step = self.decode_step_time(batch, ctx);
+        let host = self.host_per_step();
+        let busy = step - host; // traffic + compute time: GPU active
+        let gpu = (busy + self.costs().host_gpu_frac * host) / step;
+        // Host dispatch is single-threaded; add a small background load.
+        let cores = self.clocks().cores_online as f64;
+        let cpu = (host / step) * (1.5 / cores) + 0.08;
+        // Memory bandwidth is saturated during the traffic share.
+        let t_w = self.weight_stream_time();
+        let mem_bw = (t_w / step + 0.1).min(1.0);
+        Utilization { gpu, cpu, mem_bw }.clamp()
+    }
+
+    /// Utilization during prefill (compute-heavy, high GPU occupancy).
+    pub fn prefill_utilization(&self, batch: u64, n_in: u64) -> Utilization {
+        let t = self.prefill_time(batch, n_in);
+        let t_w = self.weight_stream_time();
+        Utilization { gpu: 0.97, cpu: 0.15, mem_bw: (t_w / t + 0.2).min(1.0) }.clamp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgellm_hw::DeviceSpec;
+    use edgellm_models::{Llm, Precision};
+
+    fn model(llm: Llm, prec: Precision) -> PerfModel {
+        let dev = DeviceSpec::orin_agx_64gb();
+        let clocks = dev.max_clocks();
+        PerfModel::new(dev, llm, prec, clocks)
+    }
+
+    #[test]
+    fn utilizations_are_fractions() {
+        for llm in Llm::ALL {
+            for prec in [Precision::Fp16, Precision::Int8, Precision::Int4] {
+                let m = model(llm, prec);
+                for u in [m.decode_utilization(32, 64), m.prefill_utilization(32, 32)] {
+                    assert!((0.0..=1.0).contains(&u.gpu));
+                    assert!((0.0..=1.0).contains(&u.cpu));
+                    assert!((0.0..=1.0).contains(&u.mem_bw));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int8_gpu_utilization_near_sixty_percent() {
+        // §3.3: "INT8 uses only ≈60% of the GPU".
+        let m = model(Llm::Llama31_8b, Precision::Int8);
+        let u = m.decode_utilization(32, 64);
+        assert!((0.40..0.75).contains(&u.gpu), "INT8 gpu util {}", u.gpu);
+    }
+
+    #[test]
+    fn int4_saturates_gpu() {
+        // §3.3: "INT4 uses 100%".
+        let m = model(Llm::Llama31_8b, Precision::Int4);
+        let u = m.decode_utilization(32, 64);
+        assert!(u.gpu > 0.85, "INT4 gpu util {}", u.gpu);
+        let u8 = model(Llm::Llama31_8b, Precision::Int8).decode_utilization(32, 64);
+        assert!(u.gpu > u8.gpu);
+    }
+
+    #[test]
+    fn fp16_decode_is_gpu_heavy() {
+        let m = model(Llm::Llama31_8b, Precision::Fp16);
+        let u = m.decode_utilization(32, 64);
+        assert!(u.gpu > 0.8, "fp16 gpu util {}", u.gpu);
+        assert!(u.mem_bw > 0.5, "fp16 decode must stress DRAM, got {}", u.mem_bw);
+    }
+
+    #[test]
+    fn prefill_gpu_bound() {
+        let m = model(Llm::MistralSmall24b, Precision::Fp16);
+        let u = m.prefill_utilization(32, 32);
+        assert!(u.gpu > 0.9);
+        assert!(u.cpu < 0.3);
+    }
+}

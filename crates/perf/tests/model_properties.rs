@@ -1,0 +1,89 @@
+//! Property-based tests of the performance model's physical invariants.
+
+use edgellm_hw::{DeviceSpec, PowerMode};
+use edgellm_models::{Llm, Precision};
+use edgellm_perf::PerfModel;
+use proptest::prelude::*;
+
+fn any_llm() -> impl Strategy<Value = Llm> {
+    prop_oneof![
+        Just(Llm::Phi2),
+        Just(Llm::Llama31_8b),
+        Just(Llm::MistralSmall24b),
+        Just(Llm::DeepseekQwen32b),
+    ]
+}
+
+fn any_precision() -> impl Strategy<Value = Precision> {
+    prop_oneof![
+        Just(Precision::Fp32),
+        Just(Precision::Fp16),
+        Just(Precision::Int8),
+        Just(Precision::Int4),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Latency decomposition components are non-negative and sum to total.
+    #[test]
+    fn breakdown_is_conservative(llm in any_llm(), prec in any_precision(), bs in 1u64..128, no in 1u64..256) {
+        let dev = DeviceSpec::orin_agx_64gb();
+        let m = PerfModel::new(dev.clone(), llm, prec, dev.max_clocks());
+        let b = m.generate(bs, 32, no);
+        prop_assert!(b.prefill_s >= 0.0 && b.host_s >= 0.0);
+        prop_assert!(b.traffic_s >= 0.0 && b.compute_s >= 0.0);
+        prop_assert!((b.total_s() - (b.prefill_s + b.host_s + b.traffic_s + b.compute_s)).abs() < 1e-9);
+        prop_assert!(b.total_s().is_finite() && b.total_s() > 0.0);
+    }
+
+    /// Throughput per sequence never *increases* when sequences are added
+    /// (diminishing returns of batching).
+    #[test]
+    fn per_sequence_throughput_diminishes(llm in any_llm(), bs in 1u64..64) {
+        let dev = DeviceSpec::orin_agx_64gb();
+        let m = PerfModel::new(dev.clone(), llm, Precision::Fp16, dev.max_clocks());
+        let per_seq = |b: u64| m.throughput_tok_s(b, 32, 64) / b as f64;
+        prop_assert!(per_seq(bs * 2) <= per_seq(bs) + 1e-9);
+    }
+
+    /// A decode step always costs at least the weight-stream time.
+    #[test]
+    fn weight_stream_is_a_floor(llm in any_llm(), prec in any_precision(), bs in 1u64..128, ctx in 1u64..2048) {
+        let dev = DeviceSpec::orin_agx_64gb();
+        let m = PerfModel::new(dev.clone(), llm, prec, dev.max_clocks());
+        prop_assert!(m.decode_step_time(bs, ctx) >= m.weight_stream_time());
+    }
+
+    /// Step time is monotone in context length (KV + overhead traffic).
+    #[test]
+    fn step_monotone_in_context(llm in any_llm(), bs in 1u64..64, ctx in 1u64..1024, extra in 1u64..512) {
+        let dev = DeviceSpec::orin_agx_64gb();
+        let m = PerfModel::new(dev.clone(), llm, Precision::Fp16, dev.max_clocks());
+        prop_assert!(m.decode_step_time(bs, ctx + extra) >= m.decode_step_time(bs, ctx));
+    }
+
+    /// Any valid power mode's effective bandwidth and compute never exceed
+    /// the MAXN values.
+    #[test]
+    fn throttled_resources_bounded_by_maxn(gpu in 100u32..1301, cpu_tenths in 3u32..22, mem in 500u32..3200) {
+        let dev = DeviceSpec::orin_agx_64gb();
+        let pm = PowerMode::custom("t", gpu, cpu_tenths as f64 / 10.0, 12, mem);
+        prop_assume!(pm.validate(&dev).is_ok());
+        let t = PerfModel::new(dev.clone(), Llm::Llama31_8b, Precision::Fp16, pm.clocks);
+        let maxn = PerfModel::new(dev.clone(), Llm::Llama31_8b, Precision::Fp16, dev.max_clocks());
+        prop_assert!(t.effective_bandwidth() <= maxn.effective_bandwidth() + 1e-6);
+        prop_assert!(t.effective_decode_flops() <= maxn.effective_decode_flops() + 1e-6);
+        prop_assert!(t.host_per_step() >= maxn.host_per_step() - 1e-12);
+    }
+
+    /// Quantized serving never uses more weight traffic than FP32.
+    #[test]
+    fn fp32_is_the_traffic_ceiling(llm in any_llm(), prec in any_precision()) {
+        let dev = DeviceSpec::orin_agx_64gb();
+        let q = PerfModel::new(dev.clone(), llm, prec, dev.max_clocks());
+        let f = PerfModel::new(dev.clone(), llm, Precision::Fp32, dev.max_clocks());
+        prop_assert!(q.weight_stream_time() <= f.weight_stream_time() + 1e-12);
+    }
+}

@@ -1,0 +1,98 @@
+//! Energy integration and power statistics — the paper's post-processing.
+
+use crate::trace::PowerTrace;
+
+/// Trapezoidal integration of a power trace into joules (§2: "we perform
+/// trapezoidal numerical integration over time for a batch with power
+/// sampled every 2s").
+pub fn trapezoid_energy_j(trace: &PowerTrace) -> f64 {
+    let s = trace.samples();
+    let mut e = 0.0;
+    for w in s.windows(2) {
+        let (t0, p0) = w[0];
+        let (t1, p1) = w[1];
+        e += 0.5 * (p0 + p1) * (t1 - t0);
+    }
+    e
+}
+
+/// Median power across samples (§2: "report the median power usage across
+/// batches"). Returns 0 for an empty trace.
+pub fn median_power_w(trace: &PowerTrace) -> f64 {
+    let mut powers: Vec<f64> = trace.samples().iter().map(|&(_, p)| p).collect();
+    if powers.is_empty() {
+        return 0.0;
+    }
+    powers.sort_by(|a, b| a.partial_cmp(b).expect("power is finite"));
+    let n = powers.len();
+    if n % 2 == 1 {
+        powers[n / 2]
+    } else {
+        0.5 * (powers[n / 2 - 1] + powers[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::{sample_timeline, Phase};
+
+    #[test]
+    fn constant_power_integrates_exactly() {
+        let mut t = PowerTrace::new();
+        t.push(0.0, 30.0);
+        t.push(2.0, 30.0);
+        t.push(4.0, 30.0);
+        assert!((trapezoid_energy_j(&t) - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_ramp_integrates_exactly() {
+        // Trapezoid rule is exact for piecewise-linear traces.
+        let mut t = PowerTrace::new();
+        t.push(0.0, 0.0);
+        t.push(10.0, 100.0);
+        assert!((trapezoid_energy_j(&t) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        let mut t = PowerTrace::new();
+        t.push(0.0, 10.0);
+        t.push(2.0, 50.0);
+        t.push(4.0, 20.0);
+        assert_eq!(median_power_w(&t), 20.0);
+        let mut t2 = PowerTrace::new();
+        t2.push(0.0, 10.0);
+        t2.push(2.0, 20.0);
+        t2.push(4.0, 30.0);
+        t2.push(6.0, 40.0);
+        assert_eq!(median_power_w(&t2), 25.0);
+    }
+
+    #[test]
+    fn empty_trace_yields_zero() {
+        assert_eq!(trapezoid_energy_j(&PowerTrace::new()), 0.0);
+        assert_eq!(median_power_w(&PowerTrace::new()), 0.0);
+    }
+
+    #[test]
+    fn sampled_timeline_energy_close_to_analytic() {
+        let phases = [
+            Phase { duration_s: 5.0, power_w: 50.0 },
+            Phase { duration_s: 15.0, power_w: 30.0 },
+        ];
+        let analytic = 5.0 * 50.0 + 15.0 * 30.0;
+        let e = trapezoid_energy_j(&sample_timeline(&phases, 2.0, 1));
+        // 2 s sampling + phase edges + 2% jitter → within ~8%.
+        assert!((e - analytic).abs() / analytic < 0.08, "{e} vs {analytic}");
+    }
+
+    #[test]
+    fn energy_at_least_idle_floor() {
+        // Energy ≥ min-power × duration: a basic physical invariant.
+        let phases = [Phase { duration_s: 9.0, power_w: 12.0 }];
+        let t = sample_timeline(&phases, 2.0, 2);
+        assert!(trapezoid_energy_j(&t) >= 0.95 * 12.0 * 9.0);
+    }
+}

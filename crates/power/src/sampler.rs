@@ -1,0 +1,112 @@
+//! Sampling a simulated phase timeline the way `jtop` samples a real run.
+
+use crate::trace::PowerTrace;
+
+/// The paper samples power every 2 seconds (§2).
+pub const SAMPLE_INTERVAL_S: f64 = 2.0;
+
+/// One execution phase with a (piecewise-constant) power level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// Phase duration (s).
+    pub duration_s: f64,
+    /// Module power during the phase (W).
+    pub power_w: f64,
+}
+
+/// Sample a timeline of phases every `interval_s`, with a small
+/// deterministic jitter (±2%) derived from the seed so that traces are
+/// realistic (non-constant) yet reproducible. A final sample is taken at
+/// the exact end of the timeline so no tail energy is lost.
+pub fn sample_timeline(phases: &[Phase], interval_s: f64, seed: u64) -> PowerTrace {
+    let mut trace = PowerTrace::new();
+    let total: f64 = phases.iter().map(|p| p.duration_s).sum();
+    if total <= 0.0 {
+        return trace;
+    }
+    let power_at = |t: f64| -> f64 {
+        let mut acc = 0.0;
+        for p in phases {
+            acc += p.duration_s;
+            if t < acc {
+                return p.power_w;
+            }
+        }
+        phases.last().map(|p| p.power_w).unwrap_or(0.0)
+    };
+    let mut t = 0.0;
+    let mut i = 0u64;
+    loop {
+        let jitter = 1.0 + 0.02 * hash_to_unit(seed, i);
+        trace.push(t, power_at(t) * jitter);
+        i += 1;
+        if t >= total {
+            break;
+        }
+        t = (t + interval_s).min(total);
+    }
+    trace
+}
+
+/// Deterministic hash of (seed, i) to [−1, 1].
+fn hash_to_unit(seed: u64, i: u64) -> f64 {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    (x as f64 / u64::MAX as f64) * 2.0 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_full_duration_with_final_sample() {
+        let phases = [Phase { duration_s: 3.0, power_w: 20.0 }];
+        let t = sample_timeline(&phases, 2.0, 1);
+        // Samples at 0, 2, 3.
+        assert_eq!(t.len(), 3);
+        assert!((t.duration_s() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_transitions_reflected() {
+        let phases = [
+            Phase { duration_s: 4.0, power_w: 50.0 }, // prefill spike
+            Phase { duration_s: 8.0, power_w: 30.0 }, // decode
+        ];
+        let t = sample_timeline(&phases, 2.0, 2);
+        let s = t.samples();
+        assert!(s[0].1 > 45.0 && s[1].1 > 45.0, "early samples in prefill");
+        assert!(s[3].1 < 35.0, "later samples in decode");
+    }
+
+    #[test]
+    fn jitter_is_small_and_deterministic() {
+        let phases = [Phase { duration_s: 10.0, power_w: 40.0 }];
+        let a = sample_timeline(&phases, 2.0, 7);
+        let b = sample_timeline(&phases, 2.0, 7);
+        assert_eq!(a, b);
+        for &(_, p) in a.samples() {
+            assert!((p - 40.0).abs() <= 0.8 + 1e-9, "jitter beyond ±2%: {p}");
+        }
+        let c = sample_timeline(&phases, 2.0, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn empty_timeline_gives_empty_trace() {
+        assert!(sample_timeline(&[], 2.0, 1).is_empty());
+        assert!(sample_timeline(&[Phase { duration_s: 0.0, power_w: 1.0 }], 2.0, 1)
+            .is_empty());
+    }
+
+    #[test]
+    fn short_batches_still_get_sampled() {
+        // Batches shorter than the 2 s interval must still yield ≥2 samples
+        // (start + end) so energy integration works.
+        let t = sample_timeline(&[Phase { duration_s: 0.5, power_w: 25.0 }], 2.0, 3);
+        assert!(t.len() >= 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! A first-order RC thermal model with a throttling governor.
+//!
+//! The paper's protocol (1 warm-up + 5 short runs) deliberately stays
+//! ahead of thermal effects; sustained serving does not get that luxury.
+//! This module models the junction temperature of a Jetson module as an
+//! RC circuit (`C·dT/dt = P − (T − T_amb)/R`) and a governor that sheds
+//! GPU clock when the junction hits its limit — letting the serving
+//! studies ask "what does throughput look like after ten minutes?".
+
+/// Thermal parameters of a module + cooling solution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalModel {
+    /// Thermal resistance junction→ambient (°C/W).
+    pub r_c_per_w: f64,
+    /// Thermal time constant (s).
+    pub tau_s: f64,
+    /// Ambient temperature (°C).
+    pub t_ambient_c: f64,
+    /// Junction throttle limit (°C).
+    pub t_limit_c: f64,
+}
+
+impl ThermalModel {
+    /// The devkit with its stock active cooler: never throttles inside
+    /// the 60 W envelope.
+    pub fn orin_agx_active() -> Self {
+        ThermalModel { r_c_per_w: 0.55, tau_s: 90.0, t_ambient_c: 25.0, t_limit_c: 95.0 }
+    }
+
+    /// A fanless enclosure: throttles under sustained MAXN load.
+    pub fn orin_agx_passive() -> Self {
+        ThermalModel { r_c_per_w: 1.6, tau_s: 240.0, t_ambient_c: 25.0, t_limit_c: 95.0 }
+    }
+
+    /// The steady-state power the cooling solution can reject at the
+    /// throttle limit.
+    pub fn sustained_power_cap_w(&self) -> f64 {
+        (self.t_limit_c - self.t_ambient_c) / self.r_c_per_w
+    }
+
+    /// Steady-state junction temperature at a constant power.
+    pub fn steady_state_c(&self, power_w: f64) -> f64 {
+        self.t_ambient_c + power_w * self.r_c_per_w
+    }
+}
+
+/// Result of a sustained-load simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalTrace {
+    /// Junction temperature samples (°C), one per step.
+    pub temps_c: Vec<f64>,
+    /// Delivered power samples (W), post-governor.
+    pub power_w: Vec<f64>,
+    /// Fraction of time spent throttled.
+    pub throttled_fraction: f64,
+    /// Mean delivered power over the run (W) — proportional to sustained
+    /// throughput for a power-proportional workload.
+    pub mean_power_w: f64,
+}
+
+/// Simulate `duration_s` of a workload that *wants* `demand_w` of power,
+/// with a governor that sheds load (down to `min_fraction` of demand) to
+/// hold the junction at the limit.
+pub fn simulate_sustained(
+    model: &ThermalModel,
+    demand_w: f64,
+    duration_s: f64,
+    dt_s: f64,
+    min_fraction: f64,
+) -> ThermalTrace {
+    assert!(dt_s > 0.0 && duration_s > 0.0, "time steps must be positive");
+    let steps = (duration_s / dt_s).ceil() as usize;
+    let mut t = model.t_ambient_c;
+    let mut frac = 1.0f64;
+    let mut temps = Vec::with_capacity(steps);
+    let mut powers = Vec::with_capacity(steps);
+    let mut throttled = 0usize;
+    for _ in 0..steps {
+        let p = demand_w * frac;
+        // C·dT/dt = P − (T − T_amb)/R, with C = τ/R.
+        let dtemp = (p * model.r_c_per_w - (t - model.t_ambient_c)) / model.tau_s * dt_s;
+        t += dtemp;
+        // Governor: proportional backoff above the limit, slow recovery.
+        if t >= model.t_limit_c {
+            frac = (frac * 0.95).max(min_fraction);
+            throttled += 1;
+        } else if frac < 1.0 {
+            frac = (frac * 1.01).min(1.0);
+        }
+        temps.push(t);
+        powers.push(p);
+    }
+    let mean_power = powers.iter().sum::<f64>() / powers.len().max(1) as f64;
+    ThermalTrace {
+        temps_c: temps,
+        power_w: powers,
+        throttled_fraction: throttled as f64 / steps.max(1) as f64,
+        mean_power_w: mean_power,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_cooling_holds_maxn_without_throttling() {
+        let m = ThermalModel::orin_agx_active();
+        assert!(m.sustained_power_cap_w() > 60.0, "devkit cooler rejects the envelope");
+        let tr = simulate_sustained(&m, 48.0, 1800.0, 1.0, 0.3);
+        assert_eq!(tr.throttled_fraction, 0.0);
+        assert!((tr.mean_power_w - 48.0).abs() < 1e-9);
+        let last = *tr.temps_c.last().unwrap();
+        assert!((last - m.steady_state_c(48.0)).abs() < 2.0, "settles at steady state");
+    }
+
+    #[test]
+    fn passive_enclosure_throttles_sustained_maxn() {
+        let m = ThermalModel::orin_agx_passive();
+        assert!(m.sustained_power_cap_w() < 48.0, "passive case cannot reject MAXN load");
+        let tr = simulate_sustained(&m, 48.0, 3600.0, 1.0, 0.3);
+        assert!(tr.throttled_fraction > 0.1, "throttled {:.2}", tr.throttled_fraction);
+        // Delivered power converges to roughly the sustainable cap.
+        let tail: f64 =
+            tr.power_w[tr.power_w.len() - 600..].iter().sum::<f64>() / 600.0;
+        let cap = m.sustained_power_cap_w();
+        assert!(
+            (tail - cap).abs() / cap < 0.15,
+            "tail power {tail:.1} vs cap {cap:.1}"
+        );
+        // Temperature is regulated near the limit, not past it.
+        let t_max = tr.temps_c.iter().cloned().fold(0.0, f64::max);
+        assert!(t_max < m.t_limit_c + 3.0, "t_max {t_max}");
+    }
+
+    #[test]
+    fn temperature_rises_monotonically_to_steady_state_without_governor() {
+        let m = ThermalModel::orin_agx_active();
+        let tr = simulate_sustained(&m, 30.0, 600.0, 0.5, 1.0);
+        for w in tr.temps_c.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "monotone warm-up");
+        }
+    }
+
+    #[test]
+    fn lower_power_modes_run_cooler() {
+        // Ties back to the paper's PM study: PM-B's ~22 W fits even the
+        // passive enclosure.
+        let m = ThermalModel::orin_agx_passive();
+        let tr = simulate_sustained(&m, 22.0, 3600.0, 1.0, 0.3);
+        assert_eq!(tr.throttled_fraction, 0.0);
+        assert!(m.steady_state_c(22.0) < m.t_limit_c);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dt_rejected() {
+        let m = ThermalModel::orin_agx_active();
+        let _ = simulate_sustained(&m, 10.0, 10.0, 0.0, 0.5);
+    }
+}

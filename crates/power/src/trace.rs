@@ -1,0 +1,77 @@
+//! Power traces: timestamped samples, as a `jtop` log would contain.
+
+/// A sequence of `(time_s, power_w)` samples at a fixed nominal interval.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PowerTrace {
+    samples: Vec<(f64, f64)>,
+}
+
+impl PowerTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample; times must be non-decreasing.
+    ///
+    /// # Panics
+    /// If `t_s` precedes the last sample.
+    pub fn push(&mut self, t_s: f64, power_w: f64) {
+        if let Some(&(last, _)) = self.samples.last() {
+            assert!(t_s >= last, "samples must be time-ordered ({t_s} < {last})");
+        }
+        self.samples.push((t_s, power_w));
+    }
+
+    /// The samples.
+    pub fn samples(&self) -> &[(f64, f64)] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples were taken.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Duration covered.
+    pub fn duration_s(&self) -> f64 {
+        match (self.samples.first(), self.samples.last()) {
+            (Some(&(a, _)), Some(&(b, _))) => b - a,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_duration() {
+        let mut t = PowerTrace::new();
+        t.push(0.0, 10.0);
+        t.push(2.0, 12.0);
+        t.push(4.0, 11.0);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.duration_s(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn rejects_time_travel() {
+        let mut t = PowerTrace::new();
+        t.push(2.0, 10.0);
+        t.push(1.0, 10.0);
+    }
+
+    #[test]
+    fn empty_trace_has_zero_duration() {
+        assert_eq!(PowerTrace::new().duration_s(), 0.0);
+        assert!(PowerTrace::new().is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! Round-trip quantization error metrics.
+
+use crate::weights::QuantizedWeights;
+use crate::WeightPrecision;
+use edgellm_tensor::Matrix;
+
+/// Error statistics of a quantize→dequantize round trip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantError {
+    /// Mean squared error.
+    pub mse: f64,
+    /// Maximum absolute error.
+    pub max_abs: f64,
+    /// Signal-to-quantization-noise ratio in dB (∞ for lossless).
+    pub sqnr_db: f64,
+}
+
+impl QuantError {
+    /// Measure the round-trip error of quantizing `w` to `prec`.
+    pub fn measure(w: &Matrix, prec: WeightPrecision) -> Self {
+        let back = QuantizedWeights::quantize(w, prec).dequantize();
+        Self::between(w, &back)
+    }
+
+    /// Error statistics between a reference and an approximation.
+    ///
+    /// # Panics
+    /// If the shapes differ.
+    pub fn between(reference: &Matrix, approx: &Matrix) -> Self {
+        assert_eq!(reference.rows, approx.rows);
+        assert_eq!(reference.cols, approx.cols);
+        let mut se = 0.0f64;
+        let mut max_abs = 0.0f64;
+        let mut signal = 0.0f64;
+        for (a, b) in reference.as_slice().iter().zip(approx.as_slice()) {
+            let d = (*a as f64) - (*b as f64);
+            se += d * d;
+            max_abs = max_abs.max(d.abs());
+            signal += (*a as f64) * (*a as f64);
+        }
+        let n = reference.len() as f64;
+        let mse = se / n;
+        let sqnr_db =
+            if se == 0.0 { f64::INFINITY } else { 10.0 * (signal / se).log10() };
+        QuantError { mse, max_abs, sqnr_db }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_roundtrip_has_infinite_sqnr() {
+        let w = Matrix::rand_kaiming(8, 8, 1);
+        let e = QuantError::measure(&w, WeightPrecision::Fp32);
+        assert_eq!(e.mse, 0.0);
+        assert!(e.sqnr_db.is_infinite());
+    }
+
+    #[test]
+    fn sqnr_ordering_matches_precision_ladder() {
+        let w = Matrix::rand_normal(64, 256, 0.04, 2);
+        let s16 = QuantError::measure(&w, WeightPrecision::Fp16).sqnr_db;
+        let s8 = QuantError::measure(&w, WeightPrecision::Int8).sqnr_db;
+        let s4 = QuantError::measure(&w, WeightPrecision::Int4).sqnr_db;
+        assert!(s16 > s8 && s8 > s4, "sqnr fp16 {s16} int8 {s8} int4 {s4}");
+        // Rough magnitude expectations: fp16 ≥ 60 dB, int8 ≈ 30–50 dB,
+        // int4 ≈ 15–30 dB for Gaussian weights.
+        assert!(s16 > 55.0);
+        assert!((20.0..55.0).contains(&s8));
+        assert!((8.0..30.0).contains(&s4));
+    }
+
+    #[test]
+    fn max_abs_consistent_with_mse() {
+        let w = Matrix::rand_normal(32, 128, 0.1, 3);
+        let e = QuantError::measure(&w, WeightPrecision::Int4);
+        assert!(e.max_abs * e.max_abs >= e.mse);
+        assert!(e.max_abs > 0.0);
+    }
+}

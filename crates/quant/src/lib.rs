@@ -1,0 +1,55 @@
+//! # edgellm-quant — weight quantization codecs and error analysis
+//!
+//! A uniform interface over the reduced-precision weight formats of
+//! `edgellm-tensor`, mirroring how the paper quantizes models with
+//! BitsAndBytes (`LLM.int8()` for INT8, NF4 for INT4, plain casts for FP16):
+//!
+//! * [`QuantizedWeights`] — one enum holding a weight matrix at any of the
+//!   four precisions, with `matmul_nt` dispatch and byte accounting;
+//! * [`error`] — round-trip error metrics (MSE, max-abs, signal-to-noise)
+//!   used by the property tests and the quantization-explorer example;
+//! * every codec is *real*: quantize → dequantize → matrix product all
+//!   execute, so Table 3's perplexity degradation is measured, not modeled.
+
+pub mod error;
+pub mod weights;
+
+pub use error::QuantError;
+pub use weights::QuantizedWeights;
+
+pub use edgellm_tensor::Matrix;
+
+/// Storage precision, re-exported conceptually from the paper's Table 1.
+/// (Kept as a local enum so this crate stays independent of
+/// `edgellm-models`; conversion helpers live in `edgellm-nn`.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WeightPrecision {
+    /// 32-bit float (reference).
+    Fp32,
+    /// IEEE binary16 storage.
+    Fp16,
+    /// Row-wise absmax INT8 with outlier decomposition.
+    Int8,
+    /// Block-wise NF4 4-bit.
+    Int4,
+}
+
+impl WeightPrecision {
+    /// All four, in the paper's column order.
+    pub const ALL: [WeightPrecision; 4] = [
+        WeightPrecision::Fp32,
+        WeightPrecision::Fp16,
+        WeightPrecision::Int8,
+        WeightPrecision::Int4,
+    ];
+
+    /// Label matching the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WeightPrecision::Fp32 => "FP32",
+            WeightPrecision::Fp16 => "FP16",
+            WeightPrecision::Int8 => "INT8",
+            WeightPrecision::Int4 => "INT4",
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! A precision-polymorphic weight container.
+
+use crate::WeightPrecision;
+use edgellm_tensor::{F16Matrix, Matrix, QInt4Matrix, QInt8Matrix};
+
+/// A weight matrix stored at one of the four paper precisions, with a
+/// uniform forward-product interface. This is the type `edgellm-nn` layers
+/// hold, so a trained FP32 model can be re-quantized in place exactly the
+/// way the paper re-loads models through BitsAndBytes.
+#[derive(Debug, Clone)]
+pub enum QuantizedWeights {
+    /// Full precision (the training format).
+    Fp32(Matrix),
+    /// Binary16 storage.
+    Fp16(F16Matrix),
+    /// LLM.int8()-style rows + outliers.
+    Int8(QInt8Matrix),
+    /// NF4 blocks.
+    Int4(QInt4Matrix),
+}
+
+impl QuantizedWeights {
+    /// Quantize an f32 weight matrix to the requested precision.
+    pub fn quantize(w: &Matrix, prec: WeightPrecision) -> Self {
+        match prec {
+            WeightPrecision::Fp32 => QuantizedWeights::Fp32(w.clone()),
+            WeightPrecision::Fp16 => QuantizedWeights::Fp16(F16Matrix::from_f32(w)),
+            WeightPrecision::Int8 => QuantizedWeights::Int8(QInt8Matrix::from_f32(w)),
+            WeightPrecision::Int4 => QuantizedWeights::Int4(QInt4Matrix::from_f32(w)),
+        }
+    }
+
+    /// The stored precision.
+    pub fn precision(&self) -> WeightPrecision {
+        match self {
+            QuantizedWeights::Fp32(_) => WeightPrecision::Fp32,
+            QuantizedWeights::Fp16(_) => WeightPrecision::Fp16,
+            QuantizedWeights::Int8(_) => WeightPrecision::Int8,
+            QuantizedWeights::Int4(_) => WeightPrecision::Int4,
+        }
+    }
+
+    /// Output features (rows of the stored `(out × in)` matrix).
+    pub fn rows(&self) -> usize {
+        match self {
+            QuantizedWeights::Fp32(m) => m.rows,
+            QuantizedWeights::Fp16(m) => m.rows,
+            QuantizedWeights::Int8(m) => m.rows,
+            QuantizedWeights::Int4(m) => m.rows,
+        }
+    }
+
+    /// Input features (columns).
+    pub fn cols(&self) -> usize {
+        match self {
+            QuantizedWeights::Fp32(m) => m.cols,
+            QuantizedWeights::Fp16(m) => m.cols,
+            QuantizedWeights::Int8(m) => m.cols,
+            QuantizedWeights::Int4(m) => m.cols,
+        }
+    }
+
+    /// Storage bytes at the current precision.
+    pub fn bytes(&self) -> usize {
+        match self {
+            QuantizedWeights::Fp32(m) => m.len() * 4,
+            QuantizedWeights::Fp16(m) => m.bytes(),
+            QuantizedWeights::Int8(m) => m.bytes(),
+            QuantizedWeights::Int4(m) => m.bytes(),
+        }
+    }
+
+    /// `Y = X · Wᵀ` at the stored precision (real dequantizing kernels).
+    pub fn matmul_nt(&self, x: &Matrix) -> Matrix {
+        match self {
+            QuantizedWeights::Fp32(m) => edgellm_tensor::matmul::matmul_nt(x, m),
+            QuantizedWeights::Fp16(m) => m.matmul_nt(x),
+            QuantizedWeights::Int8(m) => m.matmul_nt(x),
+            QuantizedWeights::Int4(m) => m.matmul_nt(x),
+        }
+    }
+
+    /// Dequantize back to f32 (error analysis / re-quantization).
+    pub fn dequantize(&self) -> Matrix {
+        match self {
+            QuantizedWeights::Fp32(m) => m.clone(),
+            QuantizedWeights::Fp16(m) => m.to_f32(),
+            QuantizedWeights::Int8(m) => m.to_f32(),
+            QuantizedWeights::Int4(m) => m.to_f32(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference() -> Matrix {
+        Matrix::rand_normal(24, 128, 0.05, 11)
+    }
+
+    #[test]
+    fn quantize_preserves_shape_at_all_precisions() {
+        let w = reference();
+        for p in WeightPrecision::ALL {
+            let q = QuantizedWeights::quantize(&w, p);
+            assert_eq!(q.rows(), 24);
+            assert_eq!(q.cols(), 128);
+            assert_eq!(q.precision(), p);
+            let d = q.dequantize();
+            assert_eq!((d.rows, d.cols), (24, 128));
+        }
+    }
+
+    #[test]
+    fn storage_shrinks_down_the_precision_ladder() {
+        let w = reference();
+        let sizes: Vec<usize> = WeightPrecision::ALL
+            .iter()
+            .map(|&p| QuantizedWeights::quantize(&w, p).bytes())
+            .collect();
+        for pair in sizes.windows(2) {
+            assert!(pair[0] > pair[1], "sizes {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn matmul_error_grows_down_the_ladder() {
+        let w = reference();
+        let x = Matrix::rand_kaiming(4, 128, 12);
+        let exact = edgellm_tensor::matmul::matmul_nt(&x, &w);
+        let mse = |p: WeightPrecision| -> f64 {
+            let y = QuantizedWeights::quantize(&w, p).matmul_nt(&x);
+            y.as_slice()
+                .iter()
+                .zip(exact.as_slice())
+                .map(|(a, b)| ((a - b) as f64).powi(2))
+                .sum::<f64>()
+                / y.len() as f64
+        };
+        let (e32, e16, e8, e4) = (
+            mse(WeightPrecision::Fp32),
+            mse(WeightPrecision::Fp16),
+            mse(WeightPrecision::Int8),
+            mse(WeightPrecision::Int4),
+        );
+        assert_eq!(e32, 0.0);
+        assert!(e16 < e8, "fp16 {e16} < int8 {e8}");
+        assert!(e8 < e4, "int8 {e8} < int4 {e4}");
+    }
+
+    #[test]
+    fn fp32_roundtrip_is_identity() {
+        let w = reference();
+        let q = QuantizedWeights::quantize(&w, WeightPrecision::Fp32);
+        assert_eq!(q.dequantize(), w);
+    }
+}

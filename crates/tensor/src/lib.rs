@@ -1,0 +1,33 @@
+//! # edgellm-tensor — real, parallel CPU tensor kernels
+//!
+//! A small dense-linear-algebra substrate used by the *executable* half of
+//! this reproduction: the trainable neural LMs (`edgellm-nn`) that produce
+//! the paper's Table 3 perplexity results with genuine arithmetic, and the
+//! kernel microbenchmarks that demonstrate quantization overheads on a real
+//! code path.
+//!
+//! Everything is `f32` row-major with [rayon]-parallel matrix products, plus
+//! three reduced-precision weight formats mirroring what the paper runs
+//! through BitsAndBytes on device:
+//!
+//! * [`f16`] — bit-exact IEEE binary16 storage with round-to-nearest-even;
+//! * [`qint8`] — row-wise absmax INT8 with **outlier-column decomposition**
+//!   (the LLM.int8() scheme of Dettmers et al., the paper's INT8 tool);
+//! * [`qint4`] — block-wise 4-bit quantile quantization (NF4-style).
+//!
+//! The quantized formats provide real matrix-vector/matrix products that pay
+//! the same structural costs as the device kernels: extra dequantization
+//! work per weight and per-block scale lookups.
+
+pub mod f16;
+pub mod matmul;
+pub mod ops;
+pub mod qint4;
+pub mod qint8;
+pub mod sampling;
+pub mod tensor;
+
+pub use f16::{f16_to_f32, f32_to_f16, F16Matrix};
+pub use qint4::QInt4Matrix;
+pub use qint8::QInt8Matrix;
+pub use tensor::Matrix;

@@ -1,0 +1,221 @@
+//! Parallel matrix products.
+//!
+//! The layout convention across the workspace is **NT**: activations are
+//! `(batch × in)` and weights are stored `(out × in)`, so a forward pass is
+//! `Y = X · Wᵀ` — both operands are traversed along contiguous rows, which
+//! keeps the inner loop a pure slice dot product that LLVM vectorizes.
+
+use crate::tensor::Matrix;
+use rayon::prelude::*;
+
+/// Below this output-element count the rayon fork/join overhead outweighs
+/// the work; fall back to the serial kernel.
+const PAR_THRESHOLD: usize = 16 * 1024;
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    // 4-way unrolled accumulation: faster and more numerically stable than
+    // a single serial accumulator.
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += a[j] * b[j];
+        acc[1] += a[j + 1] * b[j + 1];
+        acc[2] += a[j + 2] * b[j + 2];
+        acc[3] += a[j + 3] * b[j + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for j in chunks * 4..a.len() {
+        s += a[j] * b[j];
+    }
+    s
+}
+
+/// `Y = X · Wᵀ`: `X` is `(m × k)`, `w` is `(n × k)`, result is `(m × n)`.
+///
+/// Parallelized over rows of the output when the problem is large enough.
+pub fn matmul_nt(x: &Matrix, w: &Matrix) -> Matrix {
+    assert_eq!(x.cols, w.cols, "inner dimensions must match (NT layout)");
+    let (m, n) = (x.rows, w.rows);
+    let mut out = Matrix::zeros(m, n);
+    if m * n < PAR_THRESHOLD {
+        for r in 0..m {
+            let xr = x.row(r);
+            let or = out.row_mut(r);
+            for (c, o) in or.iter_mut().enumerate() {
+                *o = dot(xr, w.row(c));
+            }
+        }
+    } else if m >= rayon::current_num_threads() {
+        out.as_mut_slice()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(r, or)| {
+                let xr = x.row(r);
+                for (c, o) in or.iter_mut().enumerate() {
+                    *o = dot(xr, w.row(c));
+                }
+            });
+    } else {
+        // Few rows, many columns (e.g. single-token decode against a large
+        // vocabulary head): parallelize along the output columns instead.
+        for r in 0..m {
+            let xr = x.row(r);
+            let or = out.row_mut(r);
+            or.par_iter_mut().enumerate().for_each(|(c, o)| {
+                *o = dot(xr, w.row(c));
+            });
+        }
+    }
+    out
+}
+
+/// `Y = X · W`: `X` is `(m × k)`, `w` is `(k × n)`, result `(m × n)`.
+///
+/// Used where the weight naturally lives untransposed (e.g. backprop
+/// through a linear layer). Row-major `W` makes the inner loop strided, so
+/// this accumulates row-by-row instead.
+pub fn matmul_nn(x: &Matrix, w: &Matrix) -> Matrix {
+    assert_eq!(x.cols, w.rows, "inner dimensions must match (NN layout)");
+    let (m, n) = (x.rows, w.cols);
+    let mut out = Matrix::zeros(m, n);
+    let body = |r: usize, or: &mut [f32]| {
+        let xr = x.row(r);
+        for (kk, &xv) in xr.iter().enumerate() {
+            if xv != 0.0 {
+                let wr = w.row(kk);
+                for c in 0..n {
+                    or[c] += xv * wr[c];
+                }
+            }
+        }
+    };
+    if m * n < PAR_THRESHOLD {
+        for r in 0..m {
+            body(r, out.row_mut(r));
+        }
+    } else {
+        out.as_mut_slice()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(r, or)| body(r, or));
+    }
+    out
+}
+
+/// `Y = Xᵀ · W`: `X` is `(k × m)`, `w` is `(k × n)`, result `(m × n)`.
+/// The gradient-of-weights shape in backprop (`dW = dYᵀ · X`).
+pub fn matmul_tn(x: &Matrix, w: &Matrix) -> Matrix {
+    assert_eq!(x.rows, w.rows, "inner dimensions must match (TN layout)");
+    let (m, n) = (x.cols, w.cols);
+    let mut out = Matrix::zeros(m, n);
+    // Accumulate outer products row-by-row of the shared k dimension.
+    // Parallelism: split over output rows via a transposed view of x.
+    let xt = x.transposed(); // (m × k)
+    let body = |r: usize, or: &mut [f32]| {
+        let xr = xt.row(r);
+        for (kk, &xv) in xr.iter().enumerate() {
+            if xv != 0.0 {
+                let wr = w.row(kk);
+                for c in 0..n {
+                    or[c] += xv * wr[c];
+                }
+            }
+        }
+    };
+    if m * n < PAR_THRESHOLD {
+        for r in 0..m {
+            body(r, out.row_mut(r));
+        }
+    } else {
+        out.as_mut_slice()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(r, or)| body(r, or));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_nt(x: &Matrix, w: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows, w.rows);
+        for r in 0..x.rows {
+            for c in 0..w.rows {
+                let mut s = 0.0;
+                for k in 0..x.cols {
+                    s += x.get(r, k) * w.get(c, k);
+                }
+                out.set(r, c, s);
+            }
+        }
+        out
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.cols, b.cols);
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= tol * (1.0 + x.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn nt_matches_naive_small() {
+        let x = Matrix::rand_kaiming(7, 13, 1);
+        let w = Matrix::rand_kaiming(5, 13, 2);
+        assert_close(&matmul_nt(&x, &w), &naive_nt(&x, &w), 1e-5);
+    }
+
+    #[test]
+    fn nt_matches_naive_parallel_path() {
+        let x = Matrix::rand_kaiming(64, 96, 3);
+        let w = Matrix::rand_kaiming(512, 96, 4);
+        assert_close(&matmul_nt(&x, &w), &naive_nt(&x, &w), 1e-4);
+    }
+
+    #[test]
+    fn nt_single_row_wide_output_path() {
+        let x = Matrix::rand_kaiming(1, 128, 5);
+        let w = Matrix::rand_kaiming(40_000, 128, 6);
+        let got = matmul_nt(&x, &w);
+        let want = naive_nt(&x, &w);
+        assert_close(&got, &want, 1e-4);
+    }
+
+    #[test]
+    fn nn_equals_nt_against_transpose() {
+        let x = Matrix::rand_kaiming(9, 17, 7);
+        let w = Matrix::rand_kaiming(17, 11, 8);
+        let got = matmul_nn(&x, &w);
+        let want = matmul_nt(&x, &w.transposed());
+        assert_close(&got, &want, 1e-5);
+    }
+
+    #[test]
+    fn tn_equals_explicit_transpose() {
+        let x = Matrix::rand_kaiming(17, 9, 9);
+        let w = Matrix::rand_kaiming(17, 11, 10);
+        let got = matmul_tn(&x, &w);
+        let want = matmul_nn(&x.transposed(), &w);
+        assert_close(&got, &want, 1e-5);
+    }
+
+    #[test]
+    fn dot_handles_tail() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [2.0, 2.0, 2.0, 2.0, 2.0];
+        assert_eq!(dot(&a, &b), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn nt_rejects_shape_mismatch() {
+        let _ = matmul_nt(&Matrix::zeros(2, 3), &Matrix::zeros(2, 4));
+    }
+}

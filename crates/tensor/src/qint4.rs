@@ -1,0 +1,239 @@
+//! Block-wise 4-bit quantile quantization (NF4-style), the paper's INT4
+//! configuration (BitsAndBytes `load_in_4bit`).
+//!
+//! Weights are split into fixed-size blocks along the input dimension; each
+//! block stores one f32 absmax scale plus packed 4-bit indices into a
+//! 16-level *normal-float* codebook (the information-theoretically optimal
+//! levels for N(0,1)-distributed weights, from the QLoRA paper). Matrix
+//! products dequantize block-by-block — the heavy dequant arithmetic that
+//! drives the INT4 latency/energy penalties in the paper's Figs. 3/10/11.
+
+use crate::matmul::dot;
+use crate::tensor::Matrix;
+use rayon::prelude::*;
+
+/// Elements per quantization block (BitsAndBytes default is 64).
+pub const BLOCK: usize = 64;
+
+/// The 16 NF4 codebook levels (ascending, symmetric-ish around 0, ±1 at the
+/// extremes) — the published constants from QLoRA (Dettmers et al., 2023).
+pub const NF4_LEVELS: [f32; 16] = [
+    -1.0,
+    -0.696_192_8,
+    -0.525_073_05,
+    -0.394_917_5,
+    -0.284_441_38,
+    -0.184_773_43,
+    -0.091_050_036,
+    0.0,
+    0.079_580_3,
+    0.160_930_2,
+    0.246_112_3,
+    0.337_915_24,
+    0.440_709_83,
+    0.562_617,
+    0.722_956_84,
+    1.0,
+];
+
+/// Nearest codebook index for a normalized value in [−1, 1].
+#[inline]
+fn nearest_level(v: f32) -> u8 {
+    // 16 levels: a linear scan is branch-predictable and fast enough; the
+    // real kernels use the same lookup structure.
+    let mut best = 0u8;
+    let mut best_d = f32::INFINITY;
+    for (i, &l) in NF4_LEVELS.iter().enumerate() {
+        let d = (v - l).abs();
+        if d < best_d {
+            best_d = d;
+            best = i as u8;
+        }
+    }
+    best
+}
+
+/// An `(out × in)` weight matrix in blockwise NF4 format.
+#[derive(Debug, Clone)]
+pub struct QInt4Matrix {
+    /// Output features.
+    pub rows: usize,
+    /// Input features.
+    pub cols: usize,
+    /// Packed codes: two 4-bit indices per byte, row-major by block.
+    packed: Vec<u8>,
+    /// One absmax scale per block, row-major.
+    scales: Vec<f32>,
+    /// Blocks per row.
+    blocks_per_row: usize,
+}
+
+impl QInt4Matrix {
+    /// Quantize an f32 matrix to blockwise NF4.
+    pub fn from_f32(w: &Matrix) -> Self {
+        let (rows, cols) = (w.rows, w.cols);
+        let blocks_per_row = cols.div_ceil(BLOCK);
+        let mut packed = vec![0u8; rows * blocks_per_row * BLOCK / 2];
+        let mut scales = vec![0.0f32; rows * blocks_per_row];
+        for r in 0..rows {
+            let row = w.row(r);
+            for b in 0..blocks_per_row {
+                let start = b * BLOCK;
+                let end = (start + BLOCK).min(cols);
+                let blk = &row[start..end];
+                let absmax = blk.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+                let scale = if absmax > 0.0 { absmax } else { 1.0 };
+                scales[r * blocks_per_row + b] = scale;
+                for (i, &v) in blk.iter().enumerate() {
+                    let code = nearest_level(v / scale);
+                    let flat = (r * blocks_per_row + b) * BLOCK + i;
+                    let byte = &mut packed[flat / 2];
+                    if flat.is_multiple_of(2) {
+                        *byte = (*byte & 0xf0) | code;
+                    } else {
+                        *byte = (*byte & 0x0f) | (code << 4);
+                    }
+                }
+            }
+        }
+        QInt4Matrix { rows, cols, packed, scales, blocks_per_row }
+    }
+
+    /// Storage bytes (packed codes + block scales).
+    pub fn bytes(&self) -> usize {
+        self.packed.len() + self.scales.len() * 4
+    }
+
+    /// Decode one full row into the provided buffer (`cols` long).
+    fn decode_row_into(&self, r: usize, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.cols);
+        for b in 0..self.blocks_per_row {
+            let scale = self.scales[r * self.blocks_per_row + b];
+            let start = b * BLOCK;
+            let end = (start + BLOCK).min(self.cols);
+            for (i, o) in out[start..end].iter_mut().enumerate() {
+                let flat = (r * self.blocks_per_row + b) * BLOCK + i;
+                let byte = self.packed[flat / 2];
+                let code = if flat.is_multiple_of(2) { byte & 0x0f } else { byte >> 4 };
+                *o = NF4_LEVELS[code as usize] * scale;
+            }
+        }
+    }
+
+    /// Dequantize to f32.
+    pub fn to_f32(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let cols = self.cols;
+            self.decode_row_into(r, &mut out.row_mut(r)[..cols]);
+        }
+        out
+    }
+
+    /// `Y = X · Wᵀ` with full dequantization of each weight row on the fly.
+    pub fn matmul_nt(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols, self.cols, "inner dimensions must match");
+        let n = self.rows;
+        let mut out = Matrix::zeros(x.rows, n);
+        out.as_mut_slice()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(r, or)| {
+                let xr = x.row(r);
+                let mut wrow = vec![0.0f32; self.cols];
+                for (c, o) in or.iter_mut().enumerate() {
+                    self.decode_row_into(c, &mut wrow);
+                    *o = dot(xr, &wrow);
+                }
+            });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codebook_is_sorted_and_spans_unit_interval() {
+        for w in NF4_LEVELS.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(NF4_LEVELS[0], -1.0);
+        assert_eq!(NF4_LEVELS[15], 1.0);
+        assert_eq!(NF4_LEVELS[7], 0.0);
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_largest_gap() {
+        let w = Matrix::rand_normal(8, 130, 0.02, 1); // non-multiple of BLOCK
+        let q = QInt4Matrix::from_f32(&w);
+        let back = q.to_f32();
+        // Largest inter-level gap is 0.304 of the block absmax (between
+        // −1.0 and −0.696) → worst-case error is the half-gap, 0.152.
+        for r in 0..w.rows {
+            for b in 0..w.cols.div_ceil(BLOCK) {
+                let start = b * BLOCK;
+                let end = (start + BLOCK).min(w.cols);
+                let absmax =
+                    w.row(r)[start..end].iter().fold(0.0f32, |m, v| m.max(v.abs()));
+                for i in start..end {
+                    let err = (w.get(r, i) - back.get(r, i)).abs();
+                    assert!(err <= 0.16 * absmax + 1e-7, "err {err} absmax {absmax}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_absmax_values_are_exactly_representable() {
+        // The extreme levels are ±1, so each block's absmax element is exact.
+        let mut w = Matrix::zeros(1, BLOCK);
+        w.set(0, 3, 0.7);
+        w.set(0, 10, -0.2);
+        let q = QInt4Matrix::from_f32(&w);
+        let back = q.to_f32();
+        assert!((back.get(0, 3) - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn qmatmul_close_to_f32_matmul() {
+        let x = Matrix::rand_kaiming(3, 128, 2);
+        let w = Matrix::rand_normal(12, 128, 0.05, 3);
+        let exact = crate::matmul::matmul_nt(&x, &w);
+        let approx = QInt4Matrix::from_f32(&w).matmul_nt(&x);
+        for (a, b) in exact.as_slice().iter().zip(approx.as_slice()) {
+            assert!((a - b).abs() < 0.15 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn int4_is_lossier_than_int8() {
+        let w = Matrix::rand_normal(16, 256, 0.05, 4);
+        let e8 = {
+            let back = crate::qint8::QInt8Matrix::from_f32(&w).to_f32();
+            w.as_slice()
+                .iter()
+                .zip(back.as_slice())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+        };
+        let e4 = {
+            let back = QInt4Matrix::from_f32(&w).to_f32();
+            w.as_slice()
+                .iter()
+                .zip(back.as_slice())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+        };
+        assert!(e4 > 3.0 * e8, "int4 mse {e4} must exceed int8 mse {e8}");
+    }
+
+    #[test]
+    fn storage_is_near_half_byte_per_param() {
+        let w = Matrix::rand_kaiming(64, 256, 5);
+        let q = QInt4Matrix::from_f32(&w);
+        let bytes_per_param = q.bytes() as f32 / w.len() as f32;
+        assert!(bytes_per_param < 0.6, "bytes/param {bytes_per_param}");
+    }
+}

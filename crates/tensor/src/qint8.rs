@@ -1,0 +1,270 @@
+//! Row-wise absmax INT8 weights with outlier-column decomposition —
+//! the `LLM.int8()` scheme (Dettmers et al., NeurIPS 2022) the paper uses
+//! via BitsAndBytes.
+//!
+//! Each weight row is quantized as `w ≈ scale · q` with `q ∈ [−127, 127]`
+//! and `scale = absmax/127`, **except** for a small set of *outlier columns*
+//! (input features with unusually large magnitude) which stay in f32 and are
+//! multiplied separately. This mixed decomposition is what preserves
+//! accuracy at 8 bits — and its extra kernel launches/bookkeeping are the
+//! mechanism behind the paper's finding that INT8 *slows down* small models
+//! (§3.3).
+
+use crate::matmul::dot;
+use crate::tensor::Matrix;
+use rayon::prelude::*;
+
+/// Default outlier threshold: columns whose maximum |w| exceeds this factor
+/// times the matrix-wide mean absmax are kept in f32. LLM.int8() thresholds
+/// activations at 6.0; for a weight-side proxy the same constant works.
+pub const DEFAULT_OUTLIER_FACTOR: f32 = 6.0;
+
+/// An `(out × in)` weight matrix quantized to INT8 row-wise, with optional
+/// outlier columns retained in f32.
+#[derive(Debug, Clone)]
+pub struct QInt8Matrix {
+    /// Output features (rows).
+    pub rows: usize,
+    /// Input features (columns), including outlier columns.
+    pub cols: usize,
+    /// Quantized codes for non-outlier columns, row-major
+    /// `(rows × inlier_cols)`.
+    codes: Vec<i8>,
+    /// Per-row dequantization scale.
+    scales: Vec<f32>,
+    /// Sorted indices of outlier columns.
+    outlier_cols: Vec<u32>,
+    /// f32 weights of the outlier columns, row-major `(rows × n_outliers)`.
+    outlier_weights: Vec<f32>,
+    /// Indices of the inlier columns (complement of `outlier_cols`).
+    inlier_cols: Vec<u32>,
+}
+
+impl QInt8Matrix {
+    /// Quantize with the default outlier factor.
+    pub fn from_f32(w: &Matrix) -> Self {
+        Self::from_f32_with_factor(w, DEFAULT_OUTLIER_FACTOR)
+    }
+
+    /// Quantize, keeping columns whose absmax exceeds
+    /// `factor × mean(column absmax)` in f32. Pass `f32::INFINITY` to
+    /// disable the outlier path (pure INT8 — the ablation baseline).
+    pub fn from_f32_with_factor(w: &Matrix, factor: f32) -> Self {
+        let (rows, cols) = (w.rows, w.cols);
+        // Column absmax scan.
+        let mut col_absmax = vec![0.0f32; cols];
+        for r in 0..rows {
+            for (c, &v) in w.row(r).iter().enumerate() {
+                col_absmax[c] = col_absmax[c].max(v.abs());
+            }
+        }
+        let mean_absmax = col_absmax.iter().sum::<f32>() / cols.max(1) as f32;
+        let threshold = factor * mean_absmax;
+        let (outlier_cols, inlier_cols): (Vec<u32>, Vec<u32>) =
+            (0..cols as u32).partition(|&c| col_absmax[c as usize] > threshold);
+
+        let n_in = inlier_cols.len();
+        let n_out = outlier_cols.len();
+        let mut codes = vec![0i8; rows * n_in];
+        let mut scales = vec![0.0f32; rows];
+        let mut outlier_weights = vec![0.0f32; rows * n_out];
+        for r in 0..rows {
+            let row = w.row(r);
+            let mut absmax = 0.0f32;
+            for &c in &inlier_cols {
+                absmax = absmax.max(row[c as usize].abs());
+            }
+            let scale = if absmax > 0.0 { absmax / 127.0 } else { 1.0 };
+            scales[r] = scale;
+            for (j, &c) in inlier_cols.iter().enumerate() {
+                codes[r * n_in + j] = (row[c as usize] / scale).round().clamp(-127.0, 127.0) as i8;
+            }
+            for (j, &c) in outlier_cols.iter().enumerate() {
+                outlier_weights[r * n_out + j] = row[c as usize];
+            }
+        }
+        QInt8Matrix { rows, cols, codes, scales, outlier_cols, outlier_weights, inlier_cols }
+    }
+
+    /// Number of outlier columns kept in f32.
+    pub fn n_outliers(&self) -> usize {
+        self.outlier_cols.len()
+    }
+
+    /// Storage bytes (codes + scales + outlier weights + index tables).
+    pub fn bytes(&self) -> usize {
+        self.codes.len()
+            + self.scales.len() * 4
+            + self.outlier_weights.len() * 4
+            + (self.outlier_cols.len() + self.inlier_cols.len()) * 4
+    }
+
+    /// Dequantize to f32 (test/inspection path).
+    pub fn to_f32(&self) -> Matrix {
+        let n_in = self.inlier_cols.len();
+        let n_out = self.outlier_cols.len();
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let s = self.scales[r];
+            for (j, &c) in self.inlier_cols.iter().enumerate() {
+                out.set(r, c as usize, self.codes[r * n_in + j] as f32 * s);
+            }
+            for (j, &c) in self.outlier_cols.iter().enumerate() {
+                out.set(r, c as usize, self.outlier_weights[r * n_out + j]);
+            }
+        }
+        out
+    }
+
+    /// `Y = X · Wᵀ` through the mixed INT8 + f32-outlier path.
+    ///
+    /// Activations are themselves quantized per row to INT8 (absmax), the
+    /// inlier product accumulates in i32, and the outlier product runs in
+    /// f32 — the same two-stream structure as the CUDA kernels.
+    pub fn matmul_nt(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols, self.cols, "inner dimensions must match");
+        let n_in = self.inlier_cols.len();
+        let n_out = self.outlier_cols.len();
+        let n = self.rows;
+        let mut out = Matrix::zeros(x.rows, n);
+
+        out.as_mut_slice()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(r, or)| {
+                let xr = x.row(r);
+                // Gather + quantize the activation row (inlier part).
+                let mut x_in = vec![0i8; n_in];
+                let mut absmax = 0.0f32;
+                for &c in &self.inlier_cols {
+                    absmax = absmax.max(xr[c as usize].abs());
+                }
+                let xs = if absmax > 0.0 { absmax / 127.0 } else { 1.0 };
+                for (j, &c) in self.inlier_cols.iter().enumerate() {
+                    x_in[j] = (xr[c as usize] / xs).round().clamp(-127.0, 127.0) as i8;
+                }
+                // Gather the outlier activation features (f32 stream).
+                let x_out: Vec<f32> =
+                    self.outlier_cols.iter().map(|&c| xr[c as usize]).collect();
+
+                for (c, o) in or.iter_mut().enumerate() {
+                    let codes = &self.codes[c * n_in..(c + 1) * n_in];
+                    let mut acc: i32 = 0;
+                    for (a, b) in x_in.iter().zip(codes) {
+                        acc += (*a as i32) * (*b as i32);
+                    }
+                    let int_part = acc as f32 * xs * self.scales[c];
+                    let fp_part = if n_out > 0 {
+                        dot(&x_out, &self.outlier_weights[c * n_out..(c + 1) * n_out])
+                    } else {
+                        0.0
+                    };
+                    *o = int_part + fp_part;
+                }
+            });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_step() {
+        let w = Matrix::rand_kaiming(16, 64, 1);
+        let q = QInt8Matrix::from_f32(&w);
+        let back = q.to_f32();
+        for r in 0..w.rows {
+            let absmax =
+                w.row(r).iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            let step = absmax / 127.0;
+            for (a, b) in w.row(r).iter().zip(back.row(r)) {
+                assert!((a - b).abs() <= 0.51 * step, "{a} vs {b} step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn outlier_columns_are_exact() {
+        // Plant a huge column; it must be detected and stored losslessly.
+        let mut w = Matrix::rand_kaiming(8, 32, 2);
+        for r in 0..8 {
+            w.set(r, 5, 40.0 + r as f32);
+        }
+        let q = QInt8Matrix::from_f32(&w);
+        assert!(q.n_outliers() >= 1);
+        let back = q.to_f32();
+        for r in 0..8 {
+            assert_eq!(back.get(r, 5), 40.0 + r as f32);
+        }
+    }
+
+    #[test]
+    fn disabled_outliers_keeps_all_columns_quantized() {
+        let mut w = Matrix::rand_kaiming(8, 32, 3);
+        w.set(0, 5, 100.0);
+        let q = QInt8Matrix::from_f32_with_factor(&w, f32::INFINITY);
+        assert_eq!(q.n_outliers(), 0);
+        // Without the outlier path the planted column wrecks that row's
+        // precision for all other entries (the LLM.int8() motivation).
+        let back = q.to_f32();
+        let err: f32 = w
+            .row(0)
+            .iter()
+            .zip(back.row(0))
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max);
+        assert!(err > 0.1, "expected visible degradation, max err {err}");
+    }
+
+    #[test]
+    fn qmatmul_close_to_f32_matmul() {
+        let x = Matrix::rand_kaiming(4, 128, 4);
+        let w = Matrix::rand_kaiming(16, 128, 5);
+        let exact = crate::matmul::matmul_nt(&x, &w);
+        let approx = QInt8Matrix::from_f32(&w).matmul_nt(&x);
+        for (a, b) in exact.as_slice().iter().zip(approx.as_slice()) {
+            assert!((a - b).abs() < 0.05 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn outlier_decomposition_beats_pure_int8_with_planted_outliers() {
+        let mut w = Matrix::rand_kaiming(16, 128, 6);
+        for r in 0..16 {
+            w.set(r, 7, 30.0);
+            w.set(r, 99, -25.0);
+        }
+        let x = Matrix::rand_kaiming(4, 128, 7);
+        let exact = crate::matmul::matmul_nt(&x, &w);
+        let err = |m: &Matrix| -> f32 {
+            m.as_slice()
+                .iter()
+                .zip(exact.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f32>()
+        };
+        let with = err(&QInt8Matrix::from_f32(&w).matmul_nt(&x));
+        let without =
+            err(&QInt8Matrix::from_f32_with_factor(&w, f32::INFINITY).matmul_nt(&x));
+        assert!(with < without * 0.5, "with={with} without={without}");
+    }
+
+    #[test]
+    fn storage_is_about_a_quarter_of_f32() {
+        let w = Matrix::rand_kaiming(64, 256, 8);
+        let q = QInt8Matrix::from_f32(&w);
+        let f32_bytes = w.len() * 4;
+        assert!(q.bytes() < f32_bytes / 3, "{} vs {}", q.bytes(), f32_bytes);
+    }
+
+    #[test]
+    fn zero_matrix_is_handled() {
+        let w = Matrix::zeros(4, 8);
+        let q = QInt8Matrix::from_f32(&w);
+        let x = Matrix::rand_kaiming(2, 8, 9);
+        let y = q.matmul_nt(&x);
+        assert!(y.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

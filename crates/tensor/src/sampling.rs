@@ -1,0 +1,85 @@
+//! Token sampling from logits.
+
+use rand::Rng;
+
+/// Index of the maximum logit (greedy decoding). Ties break to the lower
+/// index, making decoding fully deterministic.
+pub fn argmax(logits: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in logits.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Sample from the top-`k` logits after a temperature scale.
+///
+/// # Panics
+/// If `k == 0` or `logits` is empty.
+pub fn sample_top_k<R: Rng>(logits: &[f32], k: usize, temperature: f32, rng: &mut R) -> usize {
+    assert!(k > 0 && !logits.is_empty());
+    let k = k.min(logits.len());
+    // Partial selection of the k largest logits.
+    let mut idx: Vec<usize> = (0..logits.len()).collect();
+    idx.select_nth_unstable_by(k - 1, |&a, &b| {
+        logits[b].partial_cmp(&logits[a]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let top = &idx[..k];
+    let t = temperature.max(1e-6);
+    let max = top.iter().map(|&i| logits[i]).fold(f32::NEG_INFINITY, f32::max);
+    let weights: Vec<f32> = top.iter().map(|&i| ((logits[i] - max) / t).exp()).collect();
+    let total: f32 = weights.iter().sum();
+    let mut u = rng.gen::<f32>() * total;
+    for (j, &w) in weights.iter().enumerate() {
+        if u < w {
+            return top[j];
+        }
+        u -= w;
+    }
+    top[k - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn argmax_finds_peak_and_breaks_ties_low() {
+        assert_eq!(argmax(&[0.1, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[5.0, 5.0, 1.0]), 0);
+    }
+
+    #[test]
+    fn top_k_only_returns_top_candidates() {
+        let logits = [0.0, 10.0, 9.5, -5.0, 1.0];
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = sample_top_k(&logits, 2, 1.0, &mut rng);
+            assert!(s == 1 || s == 2, "sampled {s}");
+        }
+    }
+
+    #[test]
+    fn low_temperature_approaches_greedy() {
+        let logits = [0.0, 2.0, 1.9];
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..200)
+            .filter(|_| sample_top_k(&logits, 3, 0.01, &mut rng) == 1)
+            .count();
+        assert!(hits > 195, "greedy hits {hits}");
+    }
+
+    #[test]
+    fn k_larger_than_vocab_is_clamped() {
+        let logits = [1.0, 2.0];
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = sample_top_k(&logits, 10, 1.0, &mut rng);
+        assert!(s < 2);
+    }
+}

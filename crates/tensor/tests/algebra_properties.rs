@@ -1,0 +1,101 @@
+//! Property-based tests of the tensor algebra (proptest).
+
+use edgellm_tensor::matmul::{matmul_nn, matmul_nt, matmul_tn};
+use edgellm_tensor::ops::{log_softmax, softmax_inplace};
+use edgellm_tensor::Matrix;
+use proptest::prelude::*;
+
+fn close(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+    a.rows == b.rows
+        && a.cols == b.cols
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (A·Bᵀ)ᵀ == B·Aᵀ — the NT product's transpose identity.
+    #[test]
+    fn nt_transpose_identity(m in 1usize..12, n in 1usize..12, k in 1usize..16, seed in 0u64..500) {
+        let a = Matrix::rand_kaiming(m, k, seed);
+        let b = Matrix::rand_kaiming(n, k, seed ^ 1);
+        let left = matmul_nt(&a, &b).transposed();
+        let right = matmul_nt(&b, &a);
+        prop_assert!(close(&left, &right, 1e-5));
+    }
+
+    /// NT, NN and TN agree through explicit transposes.
+    #[test]
+    fn layout_variants_agree(m in 1usize..10, n in 1usize..10, k in 1usize..12, seed in 0u64..500) {
+        let a = Matrix::rand_kaiming(m, k, seed);
+        let b = Matrix::rand_kaiming(k, n, seed ^ 2);
+        let nn = matmul_nn(&a, &b);
+        let nt = matmul_nt(&a, &b.transposed());
+        let tn = matmul_tn(&a.transposed(), &b);
+        prop_assert!(close(&nn, &nt, 1e-5));
+        prop_assert!(close(&nn, &tn, 1e-5));
+    }
+
+    /// Matmul is linear: (αA)·Bᵀ == α(A·Bᵀ).
+    #[test]
+    fn matmul_scales_linearly(alpha in -3.0f32..3.0, seed in 0u64..500) {
+        let a = Matrix::rand_kaiming(5, 9, seed);
+        let b = Matrix::rand_kaiming(4, 9, seed ^ 3);
+        let scaled = Matrix::from_vec(
+            5, 9, a.as_slice().iter().map(|v| v * alpha).collect());
+        let left = matmul_nt(&scaled, &b);
+        let mut right = matmul_nt(&a, &b);
+        for v in right.as_mut_slice() {
+            *v *= alpha;
+        }
+        prop_assert!(close(&left, &right, 1e-4));
+    }
+
+    /// Softmax output is a probability distribution, and ordering is
+    /// preserved.
+    #[test]
+    fn softmax_is_a_distribution(vals in proptest::collection::vec(-50.0f32..50.0, 2..32)) {
+        let mut x = vals.clone();
+        softmax_inplace(&mut x);
+        let sum: f32 = x.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        for i in 0..vals.len() {
+            for j in 0..vals.len() {
+                if vals[i] > vals[j] {
+                    prop_assert!(x[i] >= x[j]);
+                }
+            }
+        }
+    }
+
+    /// log_softmax == softmax.ln() and is invariant to shifts.
+    #[test]
+    fn log_softmax_shift_invariant(vals in proptest::collection::vec(-20.0f32..20.0, 2..16), shift in -100.0f32..100.0) {
+        let shifted: Vec<f32> = vals.iter().map(|v| v + shift).collect();
+        let a = log_softmax(&vals);
+        let b = log_softmax(&shifted);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+        // exp sums to 1.
+        let s: f32 = a.iter().map(|v| v.exp()).sum();
+        prop_assert!((s - 1.0).abs() < 1e-4);
+    }
+
+    /// Double transpose is identity; transpose preserves the multiset of
+    /// values.
+    #[test]
+    fn transpose_involution(m in 1usize..16, n in 1usize..16, seed in 0u64..500) {
+        let a = Matrix::rand_kaiming(m, n, seed);
+        prop_assert_eq!(a.transposed().transposed(), a.clone());
+        let mut x: Vec<f32> = a.as_slice().to_vec();
+        let mut y: Vec<f32> = a.transposed().as_slice().to_vec();
+        x.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        y.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        prop_assert_eq!(x, y);
+    }
+}

@@ -1,0 +1,59 @@
+//! Offload advisor: for each model and network condition, should a single
+//! request run on the edge device or be shipped to a cloud endpoint?
+//! (The paper's conclusion names edge–cloud coupling as future work.)
+//!
+//! ```sh
+//! cargo run --release --example offload_advisor
+//! ```
+
+use edgellm::core::{compare_offload, CloudEndpoint, Engine, RunConfig};
+use edgellm::models::{Llm, Precision};
+
+fn main() {
+    let engine = Engine::orin_agx_64gb();
+    let networks = [
+        ("datacenter (fiber)", CloudEndpoint::datacenter()),
+        ("field link (rural LTE)", CloudEndpoint::field_link()),
+        ("degraded (satcom)", {
+            let mut e = CloudEndpoint::field_link();
+            e.rtt_s = 2.0;
+            e.ttft_s = 4.0;
+            e.tok_rate = 10.0;
+            e
+        }),
+    ];
+    println!(
+        "Single request (32 in + 64 out) on {} vs cloud offload:\n",
+        engine.device().name
+    );
+    println!(
+        "{:<10} {:<22} {:>9} {:>9} {:>9} {:>11}  advice",
+        "model", "network", "edge s", "cloud s", "edge J", "cloud J"
+    );
+    for llm in Llm::ALL {
+        let prec = if llm == Llm::DeepseekQwen32b { Precision::Int8 } else { Precision::Fp16 };
+        let cfg = RunConfig::new(llm, prec);
+        for (name, ep) in &networks {
+            let c = compare_offload(&engine, &cfg, ep).expect("bs=1 fits");
+            let advice = match (c.local_wins_latency(), c.local_wins_energy()) {
+                (true, true) => "stay on edge",
+                (false, false) => "offload",
+                (true, false) => "edge if latency-critical",
+                (false, true) => "edge if battery-critical",
+            };
+            println!(
+                "{:<10} {:<22} {:>9.1} {:>9.1} {:>9.0} {:>11.0}  {advice}",
+                llm.short_name(),
+                name,
+                c.local_latency_s,
+                c.cloud_latency_s,
+                c.local_energy_j,
+                c.cloud_energy_j,
+            );
+        }
+    }
+    println!(
+        "\nCaveat: offload assumes the prompt may leave the device — the privacy-\n\
+         sensitive deployments that motivate the paper (§1) rule it out entirely."
+    );
+}

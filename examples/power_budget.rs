@@ -1,0 +1,83 @@
+//! Power-budget planner: search the power-mode space (the nine Table 2
+//! modes plus a custom DVFS grid) for the minimum-energy configuration
+//! under an instantaneous power cap and a latency ceiling — the paper's
+//! future-work suggestion ("leverage them to optimize LLM inferencing on
+//! the edge") made concrete.
+//!
+//! ```sh
+//! cargo run --release --example power_budget
+//! ```
+
+use edgellm::core::{Engine, RunConfig, RunMetrics, SequenceSpec};
+use edgellm::hw::{PowerMode, PowerModeId};
+use edgellm::models::{Llm, Precision};
+
+/// Instantaneous power cap (W), e.g. a battery/solar envelope.
+const POWER_CAP_W: f64 = 30.0;
+/// Latency ceiling for the bs=32, sl=96 batch (s).
+const LATENCY_CAP_S: f64 = 30.0;
+
+fn run(engine: &Engine, pm: PowerMode) -> Option<RunMetrics> {
+    let cfg = RunConfig::new(Llm::Llama31_8b, Precision::Fp16)
+        .batch_size(32)
+        .sequence(SequenceSpec::paper_96())
+        .power_mode(pm);
+    edgellm::core::Protocol::quick().run(engine, &cfg).ok()
+}
+
+fn main() {
+    let engine = Engine::orin_agx_64gb();
+    println!(
+        "Searching power modes for Llama-3.1 FP16 (bs=32, sl=96) under a \
+         {POWER_CAP_W:.0} W cap and {LATENCY_CAP_S:.0} s latency ceiling:\n"
+    );
+
+    // Stock Table 2 modes first.
+    let mut candidates: Vec<(String, RunMetrics)> = Vec::new();
+    println!("{:<18} {:>9} {:>9} {:>9}  verdict", "mode", "lat s", "power W", "energy J");
+    for id in PowerModeId::ALL {
+        let pm = PowerMode::table2(id);
+        let label = format!("{} ({})", pm.name, pm.throttle_summary());
+        if let Some(m) = run(&engine, pm) {
+            let ok = m.median_power_w <= POWER_CAP_W && m.latency_s <= LATENCY_CAP_S;
+            println!(
+                "{label:<18} {:>9.2} {:>9.1} {:>9.0}  {}",
+                m.latency_s,
+                m.median_power_w,
+                m.energy_j,
+                if ok { "feasible" } else { "rejected" }
+            );
+            if ok {
+                candidates.push((label, m));
+            }
+        }
+    }
+
+    // A custom DVFS grid beyond the stock modes.
+    for gpu in [500u32, 700, 900, 1100] {
+        for mem in [2133u32, 3200] {
+            let pm = PowerMode::custom(format!("custom-g{gpu}-m{mem}"), gpu, 2.2, 8, mem);
+            let label = pm.name.clone();
+            if let Some(m) = run(&engine, pm) {
+                if m.median_power_w <= POWER_CAP_W && m.latency_s <= LATENCY_CAP_S {
+                    println!(
+                        "{label:<18} {:>9.2} {:>9.1} {:>9.0}  feasible (custom)",
+                        m.latency_s, m.median_power_w, m.energy_j
+                    );
+                    candidates.push((label, m));
+                }
+            }
+        }
+    }
+
+    match candidates
+        .iter()
+        .min_by(|a, b| a.1.energy_j.partial_cmp(&b.1.energy_j).expect("finite"))
+    {
+        Some((label, m)) => println!(
+            "\n→ minimum-energy feasible mode: {label} — {:.0} J at {:.1} W, {:.1} s",
+            m.energy_j, m.median_power_w, m.latency_s
+        ),
+        None => println!("\n→ no mode satisfies the caps; relax the budget"),
+    }
+}

@@ -1,0 +1,62 @@
+//! Serving planner: choose the batch size that maximizes throughput under
+//! a per-request latency SLO — the operational question behind the paper's
+//! Fig 1 trade-off ("larger batch sizes improve GPU efficiency, but ...").
+//!
+//! ```sh
+//! cargo run --release --example serving_planner
+//! ```
+
+use edgellm::core::{Engine, RunConfig, SequenceSpec, StaticBatcher};
+use edgellm::models::{Llm, Precision};
+
+/// Requests waiting in the queue.
+const QUEUE: usize = 256;
+/// Per-request completion SLO in seconds (includes queueing delay).
+const SLO_S: f64 = 60.0;
+
+fn main() {
+    let engine = Engine::orin_agx_64gb();
+    println!(
+        "Planning batched serving of {QUEUE} requests (sl=96) under a {SLO_S:.0} s \
+         mean-completion SLO on {}:\n",
+        engine.device().name
+    );
+
+    for llm in Llm::ALL {
+        let prec = if llm == Llm::DeepseekQwen32b { Precision::Int8 } else { Precision::Fp16 };
+        let mut best: Option<(u64, f64, f64)> = None;
+        println!("{} ({prec:?}):", llm.arch().name);
+        for bs in [1u64, 2, 4, 8, 16, 32, 64, 128] {
+            let cfg = RunConfig::new(llm, prec).batch_size(bs).sequence(SequenceSpec::paper_96());
+            let report = match StaticBatcher::new(QUEUE).run(&engine, &cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    println!("  bs={bs:<3}  {e}");
+                    continue;
+                }
+            };
+            let ok = report.mean_request_latency_s <= SLO_S;
+            println!(
+                "  bs={bs:<3}  makespan {:7.1} s  mean-latency {:7.1} s  \
+                 {:7.1} tok/s  energy {:7.0} J  {}",
+                report.makespan_s,
+                report.mean_request_latency_s,
+                report.throughput_tok_s,
+                report.energy_j,
+                if ok { "meets SLO" } else { "violates SLO" }
+            );
+            if ok {
+                let better = best.is_none_or(|(_, tp, _)| report.throughput_tok_s > tp);
+                if better {
+                    best = Some((bs, report.throughput_tok_s, report.energy_j));
+                }
+            }
+        }
+        match best {
+            Some((bs, tp, e)) => println!(
+                "  → pick bs={bs}: {tp:.1} tok/s at {e:.0} J within the SLO\n"
+            ),
+            None => println!("  → no batch size meets the SLO for this model\n"),
+        }
+    }
+}

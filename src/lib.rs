@@ -1,0 +1,51 @@
+//! # edgellm — LLM inferencing on edge accelerators, characterized
+//!
+//! A faithful, laptop-scale reproduction of *“Understanding the Performance
+//! and Power of LLM Inferencing on Edge Accelerators”* (Arya & Simmhan,
+//! PAISE @ IPDPS 2025): a calibrated simulator of batched LLM inference on
+//! the NVIDIA Jetson Orin AGX 64GB, together with a real (executable) tensor,
+//! quantization and neural-LM stack used to reproduce the paper's accuracy
+//! experiments with genuine arithmetic.
+//!
+//! This crate is a facade that re-exports the workspace members:
+//!
+//! * [`hw`] — device specs, clocks and the nine Table 2 power modes;
+//! * [`models`] — the four paper LLM architectures and their analytics;
+//! * [`perf`] — the calibrated mechanistic latency/throughput model;
+//! * [`mem`] — shared-memory accounting, KV-cache paging and OoM;
+//! * [`power`] — rail power model, jtop-style sampling, energy integration;
+//! * [`corpus`] — synthetic WikiText2-like / LongBench-like corpora and BPE;
+//! * [`tensor`] — real parallel kernels (GEMM, softmax, rope, quantized GEMM);
+//! * [`quant`] — LLM.int8()-style INT8 and NF4-style INT4 codecs;
+//! * [`nn`] — a real trainable neural-LM substrate with manual backprop;
+//! * [`core`] — the batching runtime and the paper's experiment protocol;
+//! * [`experiments`] — one driver per paper table/figure plus ground truth.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use edgellm::core::{Engine, RunConfig, SequenceSpec};
+//! use edgellm::hw::{DeviceSpec, PowerMode, PowerModeId};
+//! use edgellm::models::{Llm, Precision};
+//!
+//! let engine = Engine::orin_agx_64gb();
+//! let cfg = RunConfig::new(Llm::Llama31_8b, Precision::Fp16)
+//!     .batch_size(32)
+//!     .sequence(SequenceSpec::paper_96())
+//!     .power_mode(PowerMode::table2(PowerModeId::MaxN));
+//! let m = engine.run_batch(&cfg).unwrap();
+//! assert!(m.throughput_tok_s > 100.0);
+//! let _ = DeviceSpec::orin_agx_64gb();
+//! ```
+
+pub use edgellm_core as core;
+pub use edgellm_corpus as corpus;
+pub use edgellm_experiments as experiments;
+pub use edgellm_hw as hw;
+pub use edgellm_mem as mem;
+pub use edgellm_models as models;
+pub use edgellm_nn as nn;
+pub use edgellm_perf as perf;
+pub use edgellm_power as power;
+pub use edgellm_quant as quant;
+pub use edgellm_tensor as tensor;

@@ -1,0 +1,84 @@
+//! End-to-end integration tests: every experiment driver reproduces its
+//! paper artifact's shape, across the whole crate stack.
+
+use edgellm::experiments::runner::{run_experiment, ExperimentOpts};
+
+fn assert_experiment_passes(id: &str) {
+    let r = run_experiment(id, ExperimentOpts { fast: true })
+        .unwrap_or_else(|| panic!("unknown experiment {id}"));
+    assert!(r.all_pass(), "{id} shape checks failed:\n{}", r.render());
+}
+
+#[test]
+fn tab1_model_memory_reproduces() {
+    assert_experiment_passes("tab1");
+}
+
+#[test]
+fn tab2_power_modes_reproduce() {
+    assert_experiment_passes("tab2");
+}
+
+#[test]
+fn fig1_batch_sweep_wikitext_reproduces() {
+    assert_experiment_passes("fig1");
+}
+
+#[test]
+fn fig7_batch_sweep_longbench_reproduces() {
+    assert_experiment_passes("fig7");
+}
+
+#[test]
+fn fig2_seqlen_sweep_longbench_reproduces() {
+    assert_experiment_passes("fig2");
+}
+
+#[test]
+fn fig9_seqlen_sweep_wikitext_reproduces() {
+    assert_experiment_passes("fig9");
+}
+
+#[test]
+fn fig3_quantization_reproduces() {
+    assert_experiment_passes("fig3");
+}
+
+#[test]
+fn fig4_power_energy_llama_reproduces() {
+    assert_experiment_passes("fig4");
+}
+
+#[test]
+fn fig10_power_energy_all_reproduces() {
+    assert_experiment_passes("fig10");
+}
+
+#[test]
+fn fig5_power_modes_reproduce() {
+    assert_experiment_passes("fig5");
+}
+
+// tab3 trains four models; keep it in one test with the driver's own
+// tolerance (≤2 noisy ordinal misses, OoM cells exact).
+#[test]
+fn tab3_perplexity_reproduces() {
+    let r = run_experiment("tab3", ExperimentOpts { fast: true }).expect("known id");
+    let failed: Vec<_> = r.checks.iter().filter(|c| !c.pass).collect();
+    assert!(
+        failed.len() <= 2 && failed.iter().all(|c| !c.claim.contains("OoM")),
+        "tab3:\n{}",
+        r.render()
+    );
+}
+
+#[test]
+fn csv_emission_works_end_to_end() {
+    let r = run_experiment("tab2", ExperimentOpts { fast: true }).expect("known id");
+    let dir = std::env::temp_dir().join("edgellm_csv_test");
+    let paths = r.write_csv(&dir).expect("csv written");
+    assert!(!paths.is_empty());
+    let contents = std::fs::read_to_string(&paths[0]).expect("readable");
+    assert!(contents.starts_with("mode,"));
+    std::fs::remove_dir_all(&dir).ok();
+}

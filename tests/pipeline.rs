@@ -1,0 +1,134 @@
+//! Cross-crate pipeline tests: corpus → tokenizer → prompt pool → trained
+//! LM → quantization → perplexity, and the simulator across devices.
+
+use edgellm::core::perplexity::sliding_window_perplexity;
+use edgellm::core::{Dataset, Engine, Protocol, RunConfig, RunError, SequenceSpec};
+use edgellm::corpus::{BpeTokenizer, CorpusKind, PromptPool, SyntheticCorpus};
+use edgellm::hw::DeviceSpec;
+use edgellm::models::{Llm, Precision};
+use edgellm::nn::quantize::to_precision;
+use edgellm::nn::{MlpLm, MlpLmConfig, WeightPrecision};
+
+/// The full executable path the Table 3 reproduction rests on.
+#[test]
+fn corpus_to_perplexity_pipeline() {
+    let corpus = SyntheticCorpus::generate(CorpusKind::WikiText2Like, 20_000, 3);
+    let tok = BpeTokenizer::train(&corpus.text, 384);
+    let stream = tok.encode(&corpus.text);
+    assert!(stream.len() > 10_000, "corpus should tokenize to a real stream");
+
+    // The paper's prompt-pool protocol applies to the same corpus.
+    let pool = PromptPool::build_paper(&corpus, &tok);
+    assert!(!pool.is_empty());
+    let batch = pool.sample_batch(32, 32, 9);
+    assert_eq!(batch.len(), 32);
+
+    // Train, quantize, evaluate — the ladder must be ordered.
+    let mut lm = MlpLm::new(MlpLmConfig {
+        vocab: 384,
+        context: 4,
+        d_emb: 24,
+        hidden: 64,
+        seed: 5,
+    });
+    let untrained = lm.perplexity(&stream);
+    lm.train(&stream, 600, 64, 3e-3, 6);
+    let trained = lm.perplexity(&stream);
+    assert!(
+        trained < untrained * 0.6,
+        "training must cut perplexity: {untrained:.1} → {trained:.1}"
+    );
+
+    let ppl = |p: WeightPrecision| {
+        sliding_window_perplexity(&to_precision(&lm, p), &stream).perplexity
+    };
+    let (p32, p16, p8, p4) = (
+        ppl(WeightPrecision::Fp32),
+        ppl(WeightPrecision::Fp16),
+        ppl(WeightPrecision::Int8),
+        ppl(WeightPrecision::Int4),
+    );
+    assert!((p16 - p32).abs() / p32 < 0.02, "fp16 {p16} vs fp32 {p32}");
+    assert!(p4 > p8, "int4 {p4} must be worse than int8 {p8}");
+    assert!(p4 > p32, "int4 {p4} must be worse than fp32 {p32}");
+}
+
+/// The simulator behaves coherently across the whole Jetson family.
+#[test]
+fn device_family_feasibility_matrix() {
+    for (device, llama_fp16_fits) in [
+        (DeviceSpec::orin_agx_64gb(), true),
+        (DeviceSpec::orin_agx_32gb(), true),
+        (DeviceSpec::orin_nx_16gb(), false), // 16.1 GB weights > 14 GB usable
+    ] {
+        let engine = Engine::new(device.clone());
+        let cfg = RunConfig::new(Llm::Llama31_8b, Precision::Fp16)
+            .power_mode(engine.maxn());
+        let outcome = engine.run_batch(&cfg);
+        assert_eq!(
+            outcome.is_ok(),
+            llama_fp16_fits,
+            "{}: unexpected outcome {outcome:?}",
+            device.name
+        );
+        // INT4 Llama fits everywhere in the family.
+        let cfg4 = RunConfig::new(Llm::Llama31_8b, Precision::Int4)
+            .batch_size(4)
+            .power_mode(engine.maxn());
+        assert!(engine.run_batch(&cfg4).is_ok(), "{}: INT4 should fit", device.name);
+    }
+}
+
+/// Slower devices in the family are actually slower.
+#[test]
+fn smaller_devices_are_slower() {
+    let run_on = |device: DeviceSpec| {
+        let engine = Engine::new(device);
+        let cfg = RunConfig::new(Llm::Phi2, Precision::Fp16).power_mode(engine.maxn());
+        engine.run_batch(&cfg).unwrap()
+    };
+    let agx = run_on(DeviceSpec::orin_agx_64gb());
+    let nx = run_on(DeviceSpec::orin_nx_16gb());
+    let xavier = run_on(DeviceSpec::xavier_agx_32gb());
+    assert!(nx.latency_s > agx.latency_s, "Orin NX must be slower than AGX");
+    assert!(xavier.latency_s > agx.latency_s, "Xavier must be slower than Orin AGX");
+}
+
+/// The protocol + engine path agrees with the raw engine (modulo jitter).
+#[test]
+fn protocol_and_engine_agree() {
+    let engine = Engine::orin_agx_64gb();
+    let cfg = RunConfig::new(Llm::MistralSmall24b, Precision::Int8);
+    let one = engine.run_batch(&cfg).unwrap();
+    let five = Protocol::paper().run(&engine, &cfg).unwrap();
+    assert!((one.latency_s - five.latency_s).abs() < 1e-9, "latency is deterministic");
+    assert!((one.energy_j - five.energy_j).abs() / one.energy_j < 0.05);
+}
+
+/// Both datasets run through the whole stack with the Table 5 relationship.
+#[test]
+fn dataset_effect_is_small_and_directional() {
+    let engine = Engine::orin_agx_64gb();
+    for llm in Llm::ALL {
+        let prec = if llm == Llm::DeepseekQwen32b { Precision::Int8 } else { Precision::Fp16 };
+        let wiki = engine.run_batch(&RunConfig::new(llm, prec)).unwrap();
+        let lb = engine
+            .run_batch(&RunConfig::new(llm, prec).dataset(Dataset::LongBench))
+            .unwrap();
+        let ratio = lb.latency_s / wiki.latency_s;
+        assert!((0.9..=1.0).contains(&ratio), "{llm:?}: {ratio}");
+    }
+}
+
+/// OoM boundaries are sharp: the largest fitting config runs, one step
+/// beyond fails.
+#[test]
+fn oom_boundary_is_sharp_for_phi2() {
+    let engine = Engine::orin_agx_64gb();
+    let ok = RunConfig::new(Llm::Phi2, Precision::Fp16)
+        .sequence(SequenceSpec::paper_sweep(256));
+    assert!(engine.run_batch(&ok).is_ok());
+    let too_big = RunConfig::new(Llm::Phi2, Precision::Fp16)
+        .sequence(SequenceSpec::paper_sweep(512));
+    assert!(matches!(engine.run_batch(&too_big), Err(RunError::OutOfMemory { .. })));
+}

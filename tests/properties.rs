@@ -1,0 +1,171 @@
+//! Property-based tests (proptest) on the core invariants, spanning
+//! crates: numeric codecs, quantization error ordering, performance-model
+//! monotonicities, allocator safety and energy integration.
+
+use edgellm::core::{Engine, RunConfig, SequenceSpec};
+use edgellm::corpus::{BpeTokenizer, CorpusKind, SyntheticCorpus};
+use edgellm::hw::{DeviceSpec, PowerMode};
+use edgellm::mem::KvBlockAllocator;
+use edgellm::models::{Llm, Precision};
+use edgellm::perf::PerfModel;
+use edgellm::power::{median_power_w, sample_timeline, trapezoid_energy_j, Phase};
+use edgellm::quant::{QuantError, QuantizedWeights, WeightPrecision};
+use edgellm::tensor::{f16_to_f32, f32_to_f16, Matrix};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// f16 round-trip error is within half an ulp for normal-range values.
+    #[test]
+    fn f16_roundtrip_relative_error(v in -6.0e4f32..6.0e4f32) {
+        let rt = f16_to_f32(f32_to_f16(v));
+        // Normal range: relative error ≤ 2^-11; near zero: absolute
+        // error below the smallest subnormal step.
+        if v.abs() > 1e-4 {
+            prop_assert!((rt - v).abs() <= v.abs() * 4.9e-4, "{v} → {rt}");
+        } else {
+            prop_assert!((rt - v).abs() <= 6.0e-8, "{v} → {rt}");
+        }
+    }
+
+    /// f16 conversion is monotone: a ≤ b ⇒ rt(a) ≤ rt(b).
+    #[test]
+    fn f16_conversion_is_monotone(a in -1.0e4f32..1.0e4, b in -1.0e4f32..1.0e4) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(f16_to_f32(f32_to_f16(lo)) <= f16_to_f32(f32_to_f16(hi)));
+    }
+
+    /// Quantization error is ordered fp16 ≤ int8 ≤ int4 on random weights.
+    #[test]
+    fn quant_error_ladder(seed in 0u64..1000, scale in 0.01f32..0.5) {
+        let w = Matrix::rand_normal(24, 128, scale, seed);
+        let e16 = QuantError::measure(&w, WeightPrecision::Fp16).mse;
+        let e8 = QuantError::measure(&w, WeightPrecision::Int8).mse;
+        let e4 = QuantError::measure(&w, WeightPrecision::Int4).mse;
+        prop_assert!(e16 <= e8 * 1.001, "fp16 {e16} vs int8 {e8}");
+        prop_assert!(e8 <= e4 * 1.001, "int8 {e8} vs int4 {e4}");
+    }
+
+    /// Quantized products stay within an error bound that shrinks with
+    /// precision (relative to output magnitude).
+    #[test]
+    fn quantized_matmul_bounded(seed in 0u64..200) {
+        let w = Matrix::rand_normal(16, 64, 0.1, seed);
+        let x = Matrix::rand_kaiming(4, 64, seed ^ 0xABCD);
+        let exact = edgellm::tensor::matmul::matmul_nt(&x, &w);
+        let norm = exact.frob_norm() + 1e-3;
+        for (p, tol) in [
+            (WeightPrecision::Fp16, 0.01f32),
+            (WeightPrecision::Int8, 0.05),
+            (WeightPrecision::Int4, 0.30),
+        ] {
+            let approx = QuantizedWeights::quantize(&w, p).matmul_nt(&x);
+            let mut diff = approx.clone();
+            diff.axpy(-1.0, &exact);
+            prop_assert!(diff.frob_norm() <= tol * norm,
+                "{p:?}: {} vs bound {}", diff.frob_norm(), tol * norm);
+        }
+    }
+
+    /// Latency is monotone in batch size and sequence length.
+    #[test]
+    fn latency_monotone(bs in 1u64..128, extra in 1u64..64) {
+        let dev = DeviceSpec::orin_agx_64gb();
+        let m = PerfModel::new(dev.clone(), Llm::Llama31_8b, Precision::Fp16, dev.max_clocks());
+        prop_assert!(m.latency_s(bs + extra, 32, 64) > m.latency_s(bs, 32, 64));
+        prop_assert!(m.latency_s(bs, 32, 64 + extra) > m.latency_s(bs, 32, 64));
+    }
+
+    /// Downclocking any domain never speeds inference up.
+    #[test]
+    fn downclocking_never_helps(
+        gpu in 200u32..1301,
+        cpu in 6u32..22,
+        mem in 600u32..3200,
+    ) {
+        let dev = DeviceSpec::orin_agx_64gb();
+        let maxn = PerfModel::new(dev.clone(), Llm::MistralSmall24b, Precision::Fp16, dev.max_clocks());
+        let pm = PowerMode::custom("t", gpu, cpu as f64 / 10.0, 12, mem);
+        prop_assume!(pm.validate(&dev).is_ok());
+        let throttled = PerfModel::new(dev.clone(), Llm::MistralSmall24b, Precision::Fp16, pm.clocks);
+        prop_assert!(throttled.latency_s(32, 32, 64) >= maxn.latency_s(32, 32, 64) - 1e-9);
+    }
+
+    /// KV allocator: blocks are conserved across arbitrary workloads.
+    #[test]
+    fn kv_allocator_conserves_blocks(ops in proptest::collection::vec((0u32..8, 1u64..64), 1..40)) {
+        let mut a = KvBlockAllocator::new(1 << 22, 16, 1024); // 256 blocks
+        let total = a.total_blocks();
+        let mut live: std::collections::HashSet<u32> = Default::default();
+        for (seq, tokens) in ops {
+            if live.contains(&seq) && tokens % 3 == 0 {
+                a.release(seq).unwrap();
+                live.remove(&seq);
+            } else {
+                a.register(seq);
+                live.insert(seq);
+                let _ = a.append(seq, tokens); // may exhaust: fine
+            }
+            let held = total - a.free_blocks();
+            prop_assert!(held <= total);
+            prop_assert!(a.used_bytes() <= a.reserved_bytes());
+        }
+        for s in live {
+            a.release(s).unwrap();
+        }
+        prop_assert_eq!(a.free_blocks(), total);
+        prop_assert_eq!(a.fragmentation(), 0.0);
+    }
+
+    /// Trapezoidal energy of any sampled timeline is bounded by
+    /// min/max power × duration, and median lies between the extremes.
+    #[test]
+    fn energy_and_median_bounds(
+        powers in proptest::collection::vec(5.0f64..60.0, 1..6),
+        dur in 0.5f64..30.0,
+        seed in 0u64..500,
+    ) {
+        let phases: Vec<Phase> = powers
+            .iter()
+            .map(|&p| Phase { duration_s: dur, power_w: p })
+            .collect();
+        let trace = sample_timeline(&phases, 2.0, seed);
+        let total: f64 = phases.iter().map(|p| p.duration_s).sum();
+        let lo = powers.iter().cloned().fold(f64::INFINITY, f64::min) * 0.97;
+        let hi = powers.iter().cloned().fold(0.0, f64::max) * 1.03;
+        let e = trapezoid_energy_j(&trace);
+        prop_assert!(e >= lo * total && e <= hi * total, "E {e} outside [{}, {}]",
+            lo * total, hi * total);
+        let med = median_power_w(&trace);
+        prop_assert!(med >= lo && med <= hi);
+    }
+
+    /// BPE round-trips any synthetic corpus drawn from either profile.
+    #[test]
+    fn bpe_roundtrip_any_seed(seed in 0u64..50, wiki in proptest::bool::ANY) {
+        let kind = if wiki { CorpusKind::WikiText2Like } else { CorpusKind::LongBenchLike };
+        let c = SyntheticCorpus::generate(kind, 1500, seed);
+        let tok = BpeTokenizer::train(&c.text, 300);
+        prop_assert_eq!(tok.decode(&tok.encode(&c.text)), c.text);
+    }
+
+    /// The engine never reports peak memory above device capacity, and
+    /// throughput always satisfies its definition.
+    #[test]
+    fn engine_invariants(bs in 1u64..96, sl_idx in 0usize..4, model_idx in 0usize..4) {
+        let llm = Llm::ALL[model_idx];
+        let prec = if llm == Llm::DeepseekQwen32b { Precision::Int8 } else { Precision::Fp16 };
+        let sl = [128u64, 256, 512, 1024][sl_idx];
+        let engine = Engine::orin_agx_64gb();
+        let cfg = RunConfig::new(llm, prec)
+            .batch_size(bs)
+            .sequence(SequenceSpec::paper_sweep(sl));
+        if let Ok(m) = engine.run_batch(&cfg) {
+            prop_assert!(m.peak_mem_gb <= 64.0);
+            let expect = bs as f64 * sl as f64 / m.latency_s;
+            prop_assert!((m.throughput_tok_s - expect).abs() < 1e-6);
+            prop_assert!(m.energy_j > 0.0 && m.median_power_w > 5.0);
+        }
+    }
+}
