@@ -1,0 +1,160 @@
+//! Offline, minimal stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the API the workspace's benches use — `Criterion::default()
+//! .sample_size(n)`, `bench_function`, `benchmark_group`, `Bencher::iter`,
+//! `criterion_group!`, `criterion_main!` — with a simple wall-clock
+//! timer instead of criterion's statistical machinery. Each benchmark
+//! runs `sample_size` timed iterations after a short warmup and reports
+//! the mean and best iteration time.
+
+use std::time::{Duration, Instant};
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    /// (mean, best) per-iteration time of the last `iter` call.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: stabilize caches/branch predictors and reach steady state.
+        let warmup = (self.sample_size / 10).max(1);
+        for _ in 0..warmup {
+            std::hint::black_box(routine());
+        }
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            let dt = start.elapsed();
+            total += dt;
+            best = best.min(dt);
+        }
+        self.result = Some((total / self.sample_size as u32, best));
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { sample_size: self.sample_size, result: None };
+        f(&mut b);
+        report(id.as_ref(), b.result);
+        self
+    }
+
+    /// Open a named group; member benchmarks render as `group/name`.
+    pub fn benchmark_group<S: AsRef<str>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.as_ref().to_string() }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside this group.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        self.parent.bench_function(full, f);
+        self
+    }
+
+    /// No-op, for upstream API compatibility.
+    pub fn finish(self) {}
+}
+
+fn report(id: &str, result: Option<(Duration, Duration)>) {
+    match result {
+        Some((mean, best)) => {
+            eprintln!("bench {id:<56} mean {:>12.3?}  best {:>12.3?}", mean, best)
+        }
+        None => eprintln!("bench {id:<56} (no measurement)"),
+    }
+}
+
+/// Define a benchmark group function (mirrors `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the bench entry point (mirrors `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_and_group_run_closures() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("unit/sum", |b| {
+            b.iter(|| {
+                runs += 1;
+                (0u64..100).sum::<u64>()
+            })
+        });
+        assert!(runs >= 3);
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

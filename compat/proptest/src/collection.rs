@@ -1,0 +1,25 @@
+//! Collection strategies (`proptest::collection` subset).
+
+use crate::strategy::Strategy;
+use rand::{rngs::StdRng, Rng};
+
+/// Strategy for `Vec`s with lengths drawn from a half-open range.
+pub struct VecStrategy<S> {
+    element: S,
+    size: core::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `vec(element, size)` — a `Vec` whose length is uniform in `size` and
+/// whose elements come from `element`.
+pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty size range in collection::vec");
+    VecStrategy { element, size }
+}

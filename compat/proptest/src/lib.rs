@@ -1,0 +1,217 @@
+//! Offline, deterministic subset of the `proptest` property-testing API.
+//!
+//! The build environment has no registry access, so this crate implements
+//! the slice of `proptest` the workspace uses: the `proptest!` macro,
+//! range/tuple/`Just`/`prop_oneof!`/`collection::vec`/`bool::ANY`
+//! strategies, `ProptestConfig::with_cases`, and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!` assertion family.
+//!
+//! Differences from upstream, by design:
+//! - **Deterministic**: every case's RNG is seeded from the test's module
+//!   path, name and case index, so a property either always passes or
+//!   always fails — no flaky CI, no persistence files.
+//! - **No shrinking**: a failure reports the case seed instead of a
+//!   minimized input. Re-running reproduces it exactly.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies over the primitive `bool` (mirrors `proptest::bool`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use rand::{rngs::StdRng, Rng};
+
+    /// Uniform strategy over `true`/`false`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    /// The canonical instance, as in `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+}
+
+/// Everything a property-test file needs, as in `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Discard the current case (counts as rejected, not failed) unless
+/// `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Build a [`strategy::Union`] choosing uniformly among the listed
+/// strategies (mirrors `prop_oneof!`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let mut __union = $crate::strategy::Union::empty();
+        $(__union.push($strat);)+
+        __union
+    }};
+}
+
+/// Define property tests (mirrors the `proptest!` block macro).
+///
+/// Each `#[test] fn name(arg in strategy, ...) { body }` item expands to a
+/// plain test that runs `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __cases: u32 = __config.cases;
+            let __max_attempts: u32 = __cases.saturating_mul(16).saturating_add(64);
+            let mut __accepted: u32 = 0;
+            let mut __attempt: u32 = 0;
+            while __accepted < __cases {
+                assert!(
+                    __attempt < __max_attempts,
+                    "proptest '{}': too many rejected cases ({} accepted of {})",
+                    stringify!($name),
+                    __accepted,
+                    __cases
+                );
+                let __seed = $crate::test_runner::derive_case_seed(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __attempt,
+                );
+                __attempt += 1;
+                let mut __rng = $crate::test_runner::rng_from_seed(__seed);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::core::result::Result::Ok(()) => __accepted += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest '{}' failed at case {} (seed {:#x}):\n{}",
+                            stringify!($name),
+                            __accepted,
+                            __seed,
+                            __msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// Ranges honor bounds; tuples compose.
+        #[test]
+        fn ranges_and_tuples(x in 3u64..17, pair in (0u32..8, -2.0f64..2.0)) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(pair.0 < 8);
+            prop_assert!((-2.0..2.0).contains(&pair.1));
+        }
+
+        /// `prop_oneof!` only yields listed values; assume rejects work.
+        #[test]
+        fn oneof_and_assume(v in prop_oneof![Just(1u8), Just(4u8), Just(9u8)], keep in crate::bool::ANY) {
+            prop_assume!(keep || v != 9);
+            prop_assert!(v == 1 || v == 4 || (v == 9 && keep));
+        }
+
+        /// Collection sizes stay within the requested range.
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(0u32..5, 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = crate::test_runner::derive_case_seed("m::t", 3);
+        let b = crate::test_runner::derive_case_seed("m::t", 3);
+        let c = crate::test_runner::derive_case_seed("m::t", 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,59 @@
+//! Case execution plumbing: configuration, outcomes, deterministic seeds.
+
+use rand::rngs::StdRng;
+
+/// Per-block configuration (mirrors `proptest::test_runner::ProptestConfig`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property is violated: abort the test with this message.
+    Fail(String),
+    /// A `prop_assume!` filtered this input out: draw another case.
+    Reject(String),
+}
+
+/// FNV-1a hash of the fully-qualified test name.
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Deterministic seed for one case of one property: a hash of the test's
+/// module path + name mixed with the case index. No global state, no
+/// wall clock — re-running always replays the identical sequence.
+pub fn derive_case_seed(qualified_name: &str, case: u32) -> u64 {
+    let mut z = fnv1a(qualified_name) ^ ((case as u64) << 32 | 0x5DEE_CE66);
+    // SplitMix64 finalizer for avalanche across case indices.
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Build the case RNG (fully qualified so macro expansions need no
+/// trait imports at the call site).
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    <StdRng as rand::SeedableRng>::seed_from_u64(seed)
+}

@@ -1,0 +1,46 @@
+//! Distribution sampling (`rand::distributions` subset).
+
+use crate::{RngCore, SampleRange};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform distribution over a fixed interval.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    lo: T,
+    hi: T,
+    inclusive: bool,
+}
+
+impl<T: Copy + PartialOrd> Uniform<T> {
+    /// Uniform over the half-open interval `[lo, hi)`.
+    pub fn new(lo: T, hi: T) -> Self {
+        assert!(lo < hi, "Uniform::new requires lo < hi");
+        Uniform { lo, hi, inclusive: false }
+    }
+
+    /// Uniform over the closed interval `[lo, hi]`.
+    pub fn new_inclusive(lo: T, hi: T) -> Self {
+        assert!(lo <= hi, "Uniform::new_inclusive requires lo <= hi");
+        Uniform { lo, hi, inclusive: true }
+    }
+}
+
+macro_rules! uniform_distribution {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Uniform<$t> {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                if self.inclusive {
+                    (self.lo..=self.hi).sample_from(rng)
+                } else {
+                    (self.lo..self.hi).sample_from(rng)
+                }
+            }
+        }
+    )*};
+}
+uniform_distribution!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);

@@ -1,0 +1,203 @@
+//! Offline, API-compatible subset of the `rand` crate (0.8-style surface).
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the small slice of `rand` it actually uses: a seedable deterministic
+//! generator ([`rngs::StdRng`]), the [`Rng`] convenience methods
+//! (`gen`, `gen_range`, `gen_bool`) and a uniform distribution
+//! ([`distributions::Uniform`]).
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — a different
+//! stream than upstream `rand`'s ChaCha-based `StdRng`, but every consumer
+//! in this workspace only relies on *determinism* and *statistical
+//! quality*, never on the exact upstream stream.
+
+pub mod distributions;
+pub mod rngs;
+
+/// A low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit word (upper bits of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a generator's raw words.
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased-enough draw in `[0, span)` via 128-bit widening multiply.
+fn mul_bounded(word: u64, span: u64) -> u64 {
+    ((word as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + mul_bounded(rng.next_u64(), span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range in gen_range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                if span == 0 {
+                    // Full-width range: any word is valid.
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + mul_bounded(rng.next_u64(), span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let u = <$t as Standard>::sample_standard(rng);
+                self.start + (self.end - self.start) * u
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range in gen_range");
+                let u = <$t as Standard>::sample_standard(rng);
+                lo + (hi - lo) * u
+            }
+        }
+    )*};
+}
+float_sample_range!(f32, f64);
+
+/// The user-facing convenience surface, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw of a [`Standard`]-samplable type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Uniform draw from a (half-open or inclusive) range.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        <f64 as Standard>::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_distinct() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&y));
+            let f = rng.gen_range(-0.25f64..=0.25);
+            assert!((-0.25..=0.25).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_are_uniformish() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.12)).count();
+        assert!((900..1500).contains(&hits), "hits {hits}");
+    }
+}

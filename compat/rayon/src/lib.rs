@@ -1,0 +1,92 @@
+//! Offline, sequential stand-in for the `rayon` data-parallelism API.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the `par_iter`/`par_iter_mut`/`par_chunks_mut`/`into_par_iter` entry
+//! points the workspace uses and maps each to the equivalent standard
+//! iterator. Results are bit-identical to what a single rayon worker
+//! would produce; only wall-clock parallelism is lost.
+
+/// Number of worker threads a real pool would use on this machine.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Consuming conversion into a (sequential) "parallel" iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// Underlying iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Consume `self` into an iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Borrowing "parallel" views over slice-like containers.
+///
+/// Implemented for `[T]`, which covers slices directly and `Vec<T>` /
+/// arrays through deref and unsize coercion.
+pub trait ParallelSliceOps {
+    /// Element type.
+    type Item;
+    /// Shared iteration (`rayon`'s `par_iter`).
+    fn par_iter(&self) -> std::slice::Iter<'_, Self::Item>;
+    /// Exclusive iteration (`rayon`'s `par_iter_mut`).
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, Self::Item>;
+    /// Non-overlapping shared chunks (`rayon`'s `par_chunks`).
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, Self::Item>;
+    /// Non-overlapping exclusive chunks (`rayon`'s `par_chunks_mut`).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, Self::Item>;
+}
+
+impl<T> ParallelSliceOps for [T] {
+    type Item = T;
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// The glob-importable surface, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceOps};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn slice_and_vec_entry_points_resolve() {
+        let arr = [1u64, 2, 3, 4];
+        let doubled: Vec<u64> = arr.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+
+        let mut v = vec![0f32; 6];
+        v.par_chunks_mut(2).enumerate().for_each(|(i, c)| c.iter_mut().for_each(|x| *x = i as f32));
+        assert_eq!(v, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0]);
+
+        let sum: u64 = (0u64..5).into_par_iter().sum();
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

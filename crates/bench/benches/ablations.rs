@@ -53,13 +53,8 @@ fn ablate_host_overhead(c: &mut Criterion) {
     let mut calib = ModelCalib::for_llm(Llm::DeepseekQwen32b);
     calib.host_s = 0.0;
     calib.int8_layer_s = 0.0;
-    let roofline = PerfModel::with_calib(
-        dev.clone(),
-        Llm::DeepseekQwen32b,
-        Precision::Int8,
-        clocks,
-        calib,
-    );
+    let roofline =
+        PerfModel::with_calib(dev.clone(), Llm::DeepseekQwen32b, Precision::Int8, clocks, calib);
     println!(
         "[ablate_host_overhead] DeepSeek bs=1 sl=96: full model {:.1}s (paper: 43.25s), \
          pure roofline {:.1}s — the host/dispatch term carries the difference",

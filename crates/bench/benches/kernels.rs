@@ -34,9 +34,7 @@ fn bench_matmul_precisions(c: &mut Criterion) {
 fn bench_quantize_codecs(c: &mut Criterion) {
     let w = Matrix::rand_normal(N, K, 0.05, 3);
     let mut g = c.benchmark_group("quantize_512x256");
-    for prec in
-        [WeightPrecision::Fp16, WeightPrecision::Int8, WeightPrecision::Int4]
-    {
+    for prec in [WeightPrecision::Fp16, WeightPrecision::Int8, WeightPrecision::Int4] {
         g.bench_function(prec.label(), |b| {
             b.iter(|| QuantizedWeights::quantize(black_box(&w), prec))
         });
@@ -49,12 +47,9 @@ fn bench_transformer_decode(c: &mut Criterion) {
     // §3.3 mechanism end-to-end: smaller models feel dequant overhead.
     let base = TinyCausalLm::new(TinyConfig::small(7));
     let mut g = c.benchmark_group("transformer_decode_step");
-    for prec in [
-        WeightPrecision::Fp32,
-        WeightPrecision::Fp16,
-        WeightPrecision::Int8,
-        WeightPrecision::Int4,
-    ] {
+    for prec in
+        [WeightPrecision::Fp32, WeightPrecision::Fp16, WeightPrecision::Int8, WeightPrecision::Int4]
+    {
         let model = base.to_precision(prec);
         g.bench_function(prec.label(), |b| {
             b.iter(|| {

@@ -34,18 +34,14 @@ fn print_once(id: &str) {
 
 fn bench_tab1(c: &mut Criterion) {
     print_once("tab1");
-    c.bench_function("tab1/model_memory_table", |b| {
-        b.iter(|| black_box(table1(black_box(64.0))))
-    });
+    c.bench_function("tab1/model_memory_table", |b| b.iter(|| black_box(table1(black_box(64.0)))));
 }
 
 fn bench_tab2(c: &mut Criterion) {
     print_once("tab2");
     c.bench_function("tab2/power_mode_registry", |b| {
         b.iter(|| {
-            edgellm_hw::PowerModeRegistry::with_table2(
-                edgellm_hw::DeviceSpec::orin_agx_64gb(),
-            )
+            edgellm_hw::PowerModeRegistry::with_table2(edgellm_hw::DeviceSpec::orin_agx_64gb())
         })
     });
 }
@@ -147,14 +143,11 @@ fn bench_fig5(c: &mut Criterion) {
     print_once("fig5");
     let e = engine();
     let mut g = c.benchmark_group("fig5/power_modes");
-    for id in [
-        edgellm_hw::PowerModeId::MaxN,
-        edgellm_hw::PowerModeId::B,
-        edgellm_hw::PowerModeId::H,
-    ] {
+    for id in
+        [edgellm_hw::PowerModeId::MaxN, edgellm_hw::PowerModeId::B, edgellm_hw::PowerModeId::H]
+    {
         g.bench_function(format!("llama_pm_{}", id.name()), |b| {
-            let cfg =
-                default_cfg(Llm::Llama31_8b).power_mode(edgellm_hw::PowerMode::table2(id));
+            let cfg = default_cfg(Llm::Llama31_8b).power_mode(edgellm_hw::PowerMode::table2(id));
             b.iter(|| e.run_batch(black_box(&cfg)).unwrap())
         });
     }

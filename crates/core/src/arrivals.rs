@@ -35,12 +35,7 @@ pub struct PoissonArrivals {
 impl PoissonArrivals {
     /// The paper's workload shape at a given arrival rate.
     pub fn paper_shape(rate_per_s: f64) -> Self {
-        PoissonArrivals {
-            rate_per_s,
-            input_tokens: 32,
-            output_tokens: 64,
-            shape_jitter: 0.25,
-        }
+        PoissonArrivals { rate_per_s, input_tokens: 32, output_tokens: 64, shape_jitter: 0.25 }
     }
 
     /// Generate `n` requests, seeded.

@@ -6,13 +6,21 @@
 //! New requests join the running batch at decode-iteration boundaries
 //! (Orca-style); finished sequences leave immediately, so the GPU never
 //! idles waiting for the longest sequence in a batch.
+//!
+//! The simulation itself lives in [`crate::serve`]: [`ContinuousBatcher::run`]
+//! is a thin wrapper over [`EventScheduler`](crate::serve::EventScheduler)
+//! with the blocking-prefill policy (the legacy regime this type always
+//! modelled). Use the scheduler directly for chunked prefill, KV-pressure
+//! preemption knobs and the per-iteration trace.
 
 use crate::arrivals::Request;
 use crate::config::RunConfig;
 use crate::error::RunError;
+use crate::metrics::quantile;
+use crate::serve::{EventScheduler, ServeConfig};
 use edgellm_hw::DeviceSpec;
-use edgellm_mem::MemoryModel;
 use edgellm_perf::PerfModel;
+use edgellm_power::{LoadProfile, RailModel};
 
 /// Outcome of a serving simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,7 +29,7 @@ pub struct ContinuousReport {
     pub makespan_s: f64,
     /// Mean request completion latency, arrival → last token (s).
     pub mean_latency_s: f64,
-    /// 95th-percentile request latency (s).
+    /// 95th-percentile request latency (s), nearest-rank.
     pub p95_latency_s: f64,
     /// Output tokens per second over the makespan.
     pub output_tok_s: f64,
@@ -29,6 +37,19 @@ pub struct ContinuousReport {
     pub mean_occupancy: f64,
     /// Requests served.
     pub requests: usize,
+    /// Energy integrated over every iteration and idle gap (J).
+    pub energy_j: f64,
+    /// Sequences preempted (KV blocks freed, re-queued with recompute).
+    pub preemptions: usize,
+    /// Mean time to first token, arrival → prefill completion (s).
+    pub mean_ttft_s: f64,
+    /// Median TTFT (s), nearest-rank.
+    pub p50_ttft_s: f64,
+    /// 99th-percentile TTFT (s), nearest-rank.
+    pub p99_ttft_s: f64,
+    /// Decode time lost to prompt processing: full solo prefills under
+    /// the blocking policy, chunk compute-excess under chunked prefill (s).
+    pub prefill_stall_s: f64,
 }
 
 /// An iteration-level batching simulator.
@@ -36,13 +57,6 @@ pub struct ContinuousReport {
 pub struct ContinuousBatcher {
     /// Maximum concurrent sequences (memory-capped internally too).
     pub max_batch: usize,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Live {
-    arrival_s: f64,
-    ctx: u64,
-    remaining: u64,
 }
 
 impl ContinuousBatcher {
@@ -54,97 +68,19 @@ impl ContinuousBatcher {
     /// Drive all `requests` to completion on the device in `cfg`
     /// (its batch/sequence fields are ignored; shapes come from the
     /// requests).
+    ///
+    /// Wrapper over [`EventScheduler`] with [`ServeConfig::blocking`]:
+    /// admissions pay a solo prefill that stalls the live batch, the
+    /// historical behaviour of this type.
     pub fn run(
         &self,
         device: &DeviceSpec,
         cfg: &RunConfig,
         requests: &[Request],
     ) -> Result<ContinuousReport, RunError> {
-        if requests.is_empty() {
-            return Err(RunError::InvalidConfig("no requests".into()));
-        }
-        cfg.power_mode.validate(device)?;
-        let perf =
-            PerfModel::new(device.clone(), cfg.llm, cfg.precision, cfg.power_mode.clocks);
-        let mm = MemoryModel::new(cfg.llm, cfg.precision, device.capacity_gb());
-        if !mm.model_loads() {
-            return Err(RunError::ModelDoesNotLoad {
-                required_gb: mm.weight_bytes() / 1e9,
-                usable_gb: device.capacity_gb() - edgellm_mem::OOM_HEADROOM_GB,
-            });
-        }
-        // Memory-derived concurrency cap at the workload's max seq length.
-        let max_sl = requests
-            .iter()
-            .map(|r| r.input_tokens + r.output_tokens)
-            .max()
-            .expect("non-empty");
-        let mut mem_cap = self.max_batch as u64;
-        while mem_cap > 1 && !mm.fits(mem_cap, max_sl) {
-            mem_cap -= 1;
-        }
-        let cap = (self.max_batch as u64).min(mem_cap) as usize;
-
-        let mut queue: Vec<Request> = requests.to_vec();
-        queue.sort_by(|a, b| a.arrival_s.partial_cmp(&b.arrival_s).expect("finite"));
-        let mut next = 0usize;
-        let mut live: Vec<Live> = Vec::new();
-        let mut t = 0.0f64;
-        let mut latencies: Vec<f64> = Vec::with_capacity(queue.len());
-        let mut out_tokens = 0u64;
-        let mut occupancy_sum = 0usize;
-        let mut iterations = 0usize;
-
-        while latencies.len() < queue.len() {
-            // Admit arrivals at the iteration boundary.
-            while next < queue.len() && live.len() < cap && queue[next].arrival_s <= t {
-                let r = queue[next];
-                next += 1;
-                // The joining sequence pays its (solo) prefill now.
-                t += perf.prefill_time(1, r.input_tokens);
-                live.push(Live {
-                    arrival_s: r.arrival_s,
-                    ctx: r.input_tokens,
-                    remaining: r.output_tokens,
-                });
-            }
-            if live.is_empty() {
-                // Idle: jump to the next arrival.
-                t = t.max(queue[next].arrival_s);
-                continue;
-            }
-            // One decode iteration for everyone currently live.
-            let bs = live.len() as u64;
-            let avg_ctx =
-                (live.iter().map(|s| s.ctx).sum::<u64>() as f64 / bs as f64) as u64;
-            t += perf.decode_step_time(bs, avg_ctx);
-            occupancy_sum += live.len();
-            iterations += 1;
-            out_tokens += bs;
-            let mut i = 0;
-            while i < live.len() {
-                live[i].ctx += 1;
-                live[i].remaining -= 1;
-                if live[i].remaining == 0 {
-                    latencies.push(t - live[i].arrival_s);
-                    live.swap_remove(i);
-                } else {
-                    i += 1;
-                }
-            }
-        }
-
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let p95 = latencies[((latencies.len() as f64 * 0.95) as usize)
-            .min(latencies.len() - 1)];
-        Ok(ContinuousReport {
-            makespan_s: t,
-            mean_latency_s: latencies.iter().sum::<f64>() / latencies.len() as f64,
-            p95_latency_s: p95,
-            output_tok_s: out_tokens as f64 / t,
-            mean_occupancy: occupancy_sum as f64 / iterations.max(1) as f64,
-            requests: latencies.len(),
-        })
+        EventScheduler::new(ServeConfig::blocking(self.max_batch))
+            .run(device, cfg, requests)
+            .map(|r| r.report)
     }
 
     /// The measured regime for comparison: static batches of `max_batch`
@@ -160,35 +96,67 @@ impl ContinuousBatcher {
             return Err(RunError::InvalidConfig("no requests".into()));
         }
         cfg.power_mode.validate(device)?;
-        let perf =
-            PerfModel::new(device.clone(), cfg.llm, cfg.precision, cfg.power_mode.clocks);
+        let perf = PerfModel::new(device.clone(), cfg.llm, cfg.precision, cfg.power_mode.clocks);
+        let rails = RailModel::orin_agx(device.clone());
+        let maxn = PerfModel::new(device.clone(), cfg.llm, cfg.precision, device.max_clocks());
+        let bw_ratio = perf.effective_bandwidth() / maxn.effective_bandwidth();
+        let clocks = &cfg.power_mode.clocks;
+        let profile = |u: edgellm_perf::Utilization| LoadProfile {
+            gpu_util: u.gpu,
+            cpu_util: u.cpu,
+            bw_util: u.mem_bw,
+            bw_ratio,
+        };
+        let idle_power = rails.total_w(clocks, &LoadProfile::idle());
         let mut queue: Vec<Request> = requests.to_vec();
         queue.sort_by(|a, b| a.arrival_s.partial_cmp(&b.arrival_s).expect("finite"));
         let mut t = 0.0f64;
         let mut latencies = Vec::with_capacity(queue.len());
+        let mut ttfts = Vec::with_capacity(queue.len());
         let mut out_tokens = 0u64;
+        let mut energy_j = 0.0f64;
+        let mut prefill_stall_s = 0.0f64;
         for chunk in queue.chunks(self.max_batch.max(1)) {
             let ready = chunk.last().expect("non-empty chunk").arrival_s;
             let start = t.max(ready);
+            if start > t {
+                energy_j += idle_power * (start - t);
+            }
+            let bs = chunk.len() as u64;
             let n_in = chunk.iter().map(|r| r.input_tokens).max().expect("non-empty");
             let n_out = chunk.iter().map(|r| r.output_tokens).max().expect("non-empty");
-            let lat = perf.latency_s(chunk.len() as u64, n_in, n_out);
+            let prefill_s = perf.prefill_time(bs, n_in.max(1));
+            let lat = perf.latency_s(bs, n_in, n_out);
+            let decode_s = (lat - prefill_s).max(0.0);
+            prefill_stall_s += prefill_s;
+            energy_j += rails.total_w(clocks, &profile(perf.prefill_utilization(bs, n_in.max(1))))
+                * prefill_s;
+            energy_j += rails
+                .total_w(clocks, &profile(perf.decode_utilization(bs, n_in + n_out / 2)))
+                * decode_s;
             t = start + lat;
             for r in chunk {
                 latencies.push(t - r.arrival_s);
+                // First token lands when the batch's shared prefill ends.
+                ttfts.push(start + prefill_s - r.arrival_s);
                 out_tokens += r.output_tokens;
             }
         }
         latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let p95 = latencies[((latencies.len() as f64 * 0.95) as usize)
-            .min(latencies.len() - 1)];
+        ttfts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         Ok(ContinuousReport {
             makespan_s: t,
             mean_latency_s: latencies.iter().sum::<f64>() / latencies.len() as f64,
-            p95_latency_s: p95,
+            p95_latency_s: quantile(&latencies, 0.95),
             output_tok_s: out_tokens as f64 / t,
             mean_occupancy: self.max_batch as f64,
             requests: latencies.len(),
+            energy_j,
+            preemptions: 0,
+            mean_ttft_s: ttfts.iter().sum::<f64>() / ttfts.len() as f64,
+            p50_ttft_s: quantile(&ttfts, 0.50),
+            p99_ttft_s: quantile(&ttfts, 0.99),
+            prefill_stall_s,
         })
     }
 }
@@ -200,10 +168,7 @@ mod tests {
     use edgellm_models::{Llm, Precision};
 
     fn setup() -> (DeviceSpec, RunConfig) {
-        (
-            DeviceSpec::orin_agx_64gb(),
-            RunConfig::new(Llm::Llama31_8b, Precision::Fp16),
-        )
+        (DeviceSpec::orin_agx_64gb(), RunConfig::new(Llm::Llama31_8b, Precision::Fp16))
     }
 
     #[test]
@@ -215,6 +180,19 @@ mod tests {
         assert!(r.makespan_s >= reqs.last().unwrap().arrival_s);
         assert!(r.mean_occupancy >= 1.0 && r.mean_occupancy <= 16.0);
         assert!(r.p95_latency_s >= r.mean_latency_s * 0.8);
+        assert!(r.energy_j > 0.0);
+        assert!(r.mean_ttft_s > 0.0 && r.mean_ttft_s <= r.mean_latency_s);
+        assert!(r.p50_ttft_s <= r.p99_ttft_s);
+        assert!(r.prefill_stall_s > 0.0, "blocking prefill must stall");
+    }
+
+    #[test]
+    fn run_is_a_wrapper_over_the_blocking_scheduler() {
+        let (dev, cfg) = setup();
+        let reqs = PoissonArrivals::paper_shape(1.5).generate(25, 8);
+        let wrapped = ContinuousBatcher::new(16).run(&dev, &cfg, &reqs).unwrap();
+        let direct = EventScheduler::new(ServeConfig::blocking(16)).run(&dev, &cfg, &reqs).unwrap();
+        assert_eq!(wrapped, direct.report);
     }
 
     #[test]
@@ -260,6 +238,17 @@ mod tests {
         let r = ContinuousBatcher::new(128).run(&dev, &cfg, &reqs).unwrap();
         assert!(r.mean_occupancy < 128.0, "occupancy {}", r.mean_occupancy);
         assert_eq!(r.requests, 200);
+    }
+
+    #[test]
+    fn static_energy_and_ttft_populated() {
+        let (dev, cfg) = setup();
+        let reqs = PoissonArrivals::paper_shape(1.0).generate(32, 6);
+        let r = ContinuousBatcher::new(16).run_static(&dev, &cfg, &reqs).unwrap();
+        assert!(r.energy_j > 0.0);
+        assert_eq!(r.preemptions, 0);
+        assert!(r.mean_ttft_s > 0.0 && r.mean_ttft_s < r.mean_latency_s);
+        assert!(r.prefill_stall_s > 0.0);
     }
 
     #[test]

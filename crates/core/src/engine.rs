@@ -5,7 +5,7 @@ use crate::config::{Dataset, RunConfig};
 use crate::error::RunError;
 use crate::metrics::BatchMetrics;
 use edgellm_hw::DeviceSpec;
-use edgellm_mem::{KvBlockAllocator, MemTracker, MemoryModel, OOM_HEADROOM_GB, GB};
+use edgellm_mem::{KvBlockAllocator, MemTracker, MemoryModel, GB, OOM_HEADROOM_GB};
 use edgellm_perf::PerfModel;
 use edgellm_power::{
     median_power_w, sample_timeline, trapezoid_energy_j, LoadProfile, Phase, RailModel,
@@ -57,11 +57,8 @@ impl Engine {
             return Err(RunError::InvalidConfig("output tokens must be ≥ 1".into()));
         }
 
-        let (bs, n_in, n_out) = (
-            cfg.batch_size,
-            cfg.sequence.input_tokens,
-            cfg.sequence.output_tokens,
-        );
+        let (bs, n_in, n_out) =
+            (cfg.batch_size, cfg.sequence.input_tokens, cfg.sequence.output_tokens);
         let seq_total = cfg.sequence.total();
         let capacity_gb = self.device.capacity_gb();
         let usable = ((capacity_gb - OOM_HEADROOM_GB) * GB) as u64;
@@ -69,11 +66,9 @@ impl Engine {
         // ---- memory walk ----
         let mm = MemoryModel::new(cfg.llm, cfg.precision, capacity_gb);
         let mut tracker = MemTracker::new(usable);
-        tracker.alloc(mm.weight_bytes() as u64).map_err(|_| {
-            RunError::ModelDoesNotLoad {
-                required_gb: mm.weight_bytes() / GB,
-                usable_gb: usable as f64 / GB,
-            }
+        tracker.alloc(mm.weight_bytes() as u64).map_err(|_| RunError::ModelDoesNotLoad {
+            required_gb: mm.weight_bytes() / GB,
+            usable_gb: usable as f64 / GB,
         })?;
         tracker.set_baseline();
         let oom = |t: &MemTracker, extra: u64| RunError::OutOfMemory {
@@ -84,11 +79,8 @@ impl Engine {
         tracker.alloc(act).map_err(|_| oom(&tracker, act))?;
 
         let kv_per_token = cfg.llm.arch().kv_bytes_per_token();
-        let mut kv = KvBlockAllocator::new(
-            usable - tracker.in_use(),
-            KV_BLOCK_TOKENS,
-            kv_per_token,
-        );
+        let mut kv =
+            KvBlockAllocator::new(usable - tracker.in_use(), KV_BLOCK_TOKENS, kv_per_token);
         for s in 0..bs as u32 {
             kv.register(s);
         }
@@ -101,8 +93,7 @@ impl Engine {
          -> Result<(), RunError> {
             for s in 0..bs as u32 {
                 kv.append(s, tokens).map_err(|_| RunError::OutOfMemory {
-                    peak_gb: (tracker.in_use() + kv.reserved_bytes() - reserved) as f64
-                        / GB,
+                    peak_gb: (tracker.in_use() + kv.reserved_bytes() - reserved) as f64 / GB,
                     usable_gb: usable as f64 / GB,
                 })?;
             }
@@ -114,12 +105,8 @@ impl Engine {
         grow(&mut kv, &mut tracker, n_in)?;
 
         // ---- time walk ----
-        let perf = PerfModel::new(
-            self.device.clone(),
-            cfg.llm,
-            cfg.precision,
-            cfg.power_mode.clocks,
-        );
+        let perf =
+            PerfModel::new(self.device.clone(), cfg.llm, cfg.precision, cfg.power_mode.clocks);
         let prefill_s = perf.prefill_time(bs, n_in);
         let mut decode_s = 0.0;
         for i in 0..n_out {
@@ -135,12 +122,8 @@ impl Engine {
         let latency_s = prefill_s + decode_s;
 
         // ---- power walk ----
-        let maxn = PerfModel::new(
-            self.device.clone(),
-            cfg.llm,
-            cfg.precision,
-            self.device.max_clocks(),
-        );
+        let maxn =
+            PerfModel::new(self.device.clone(), cfg.llm, cfg.precision, self.device.max_clocks());
         let bw_ratio = perf.effective_bandwidth() / maxn.effective_bandwidth();
         let profile = |u: edgellm_perf::Utilization| LoadProfile {
             gpu_util: u.gpu,
@@ -196,16 +179,10 @@ mod tests {
 
     #[test]
     fn llama_default_run_matches_paper_scale() {
-        let m = engine()
-            .run_batch(&RunConfig::new(Llm::Llama31_8b, Precision::Fp16))
-            .unwrap();
+        let m = engine().run_batch(&RunConfig::new(Llm::Llama31_8b, Precision::Fp16)).unwrap();
         // Paper Table 4 bs=32: latency 9.96 s, TP 308 tok/s, RAM 17.12 GB.
         assert!((m.latency_s - 9.96).abs() / 9.96 < 0.25, "latency {}", m.latency_s);
-        assert!(
-            (m.throughput_tok_s - 308.0).abs() / 308.0 < 0.25,
-            "tp {}",
-            m.throughput_tok_s
-        );
+        assert!((m.throughput_tok_s - 308.0).abs() / 308.0 < 0.25, "tp {}", m.throughput_tok_s);
         assert!((m.peak_mem_gb - 17.12).abs() / 17.12 < 0.15, "mem {}", m.peak_mem_gb);
         assert!(m.median_power_w > 20.0 && m.median_power_w < 60.0);
         assert!(m.energy_j > 100.0);
@@ -213,8 +190,8 @@ mod tests {
 
     #[test]
     fn phi2_oom_at_long_sequences() {
-        let cfg = RunConfig::new(Llm::Phi2, Precision::Fp16)
-            .sequence(SequenceSpec::paper_sweep(512));
+        let cfg =
+            RunConfig::new(Llm::Phi2, Precision::Fp16).sequence(SequenceSpec::paper_sweep(512));
         match engine().run_batch(&cfg) {
             Err(RunError::OutOfMemory { peak_gb, usable_gb }) => {
                 assert!(peak_gb > usable_gb);
@@ -226,40 +203,24 @@ mod tests {
     #[test]
     fn infeasible_models_do_not_load() {
         let cfg = RunConfig::new(Llm::MistralSmall24b, Precision::Fp32);
-        assert!(matches!(
-            engine().run_batch(&cfg),
-            Err(RunError::ModelDoesNotLoad { .. })
-        ));
+        assert!(matches!(engine().run_batch(&cfg), Err(RunError::ModelDoesNotLoad { .. })));
         let cfg = RunConfig::new(Llm::DeepseekQwen32b, Precision::Fp16);
-        assert!(matches!(
-            engine().run_batch(&cfg),
-            Err(RunError::ModelDoesNotLoad { .. })
-        ));
+        assert!(matches!(engine().run_batch(&cfg), Err(RunError::ModelDoesNotLoad { .. })));
     }
 
     #[test]
     fn energy_consistent_with_power_and_latency() {
-        let m = engine()
-            .run_batch(&RunConfig::new(Llm::Llama31_8b, Precision::Fp16))
-            .unwrap();
+        let m = engine().run_batch(&RunConfig::new(Llm::Llama31_8b, Precision::Fp16)).unwrap();
         // E ≈ P̄·t within sampling/jitter error.
         let approx = m.median_power_w * m.latency_s;
-        assert!(
-            (m.energy_j - approx).abs() / approx < 0.25,
-            "E {} vs P·t {approx}",
-            m.energy_j
-        );
+        assert!((m.energy_j - approx).abs() / approx < 0.25, "E {} vs P·t {approx}", m.energy_j);
     }
 
     #[test]
     fn longbench_is_slightly_faster_like_table5() {
-        let wiki = engine()
-            .run_batch(&RunConfig::new(Llm::Phi2, Precision::Fp16))
-            .unwrap();
+        let wiki = engine().run_batch(&RunConfig::new(Llm::Phi2, Precision::Fp16)).unwrap();
         let lb = engine()
-            .run_batch(
-                &RunConfig::new(Llm::Phi2, Precision::Fp16).dataset(Dataset::LongBench),
-            )
+            .run_batch(&RunConfig::new(Llm::Phi2, Precision::Fp16).dataset(Dataset::LongBench))
             .unwrap();
         let ratio = lb.latency_s / wiki.latency_s;
         assert!((0.90..1.0).contains(&ratio), "ratio {ratio}");
@@ -275,9 +236,7 @@ mod tests {
 
     #[test]
     fn power_mode_h_slows_and_saves_power() {
-        let maxn = engine()
-            .run_batch(&RunConfig::new(Llm::Llama31_8b, Precision::Fp16))
-            .unwrap();
+        let maxn = engine().run_batch(&RunConfig::new(Llm::Llama31_8b, Precision::Fp16)).unwrap();
         let h = engine()
             .run_batch(
                 &RunConfig::new(Llm::Llama31_8b, Precision::Fp16)
@@ -303,30 +262,22 @@ mod tests {
 
     #[test]
     fn prefill_plus_decode_equals_latency() {
-        let m = engine()
-            .run_batch(&RunConfig::new(Llm::MistralSmall24b, Precision::Fp16))
-            .unwrap();
+        let m = engine().run_batch(&RunConfig::new(Llm::MistralSmall24b, Precision::Fp16)).unwrap();
         assert!((m.prefill_s + m.decode_s - m.latency_s).abs() < 1e-9);
         assert!(m.decode_s > m.prefill_s, "decode dominates the paper's workloads");
     }
 
     #[test]
     fn kv_fragmentation_is_bounded() {
-        let m = engine()
-            .run_batch(&RunConfig::new(Llm::Llama31_8b, Precision::Fp16))
-            .unwrap();
+        let m = engine().run_batch(&RunConfig::new(Llm::Llama31_8b, Precision::Fp16)).unwrap();
         // ≤ one partly-used block per sequence.
         assert!((0.0..0.5).contains(&m.kv_fragmentation));
     }
 
     #[test]
     fn seed_changes_only_jitter() {
-        let a = engine()
-            .run_batch(&RunConfig::new(Llm::Phi2, Precision::Fp16).seed(1))
-            .unwrap();
-        let b = engine()
-            .run_batch(&RunConfig::new(Llm::Phi2, Precision::Fp16).seed(2))
-            .unwrap();
+        let a = engine().run_batch(&RunConfig::new(Llm::Phi2, Precision::Fp16).seed(1)).unwrap();
+        let b = engine().run_batch(&RunConfig::new(Llm::Phi2, Precision::Fp16).seed(2)).unwrap();
         assert_eq!(a.latency_s, b.latency_s);
         assert_eq!(a.peak_mem_gb, b.peak_mem_gb);
         assert_ne!(a.energy_j, b.energy_j); // jitter differs

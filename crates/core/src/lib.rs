@@ -42,16 +42,18 @@ pub mod phase_split;
 pub mod pmsearch;
 pub mod protocol;
 pub mod scheduler;
+pub mod serve;
 
 pub use arrivals::{PoissonArrivals, Request};
 pub use config::{Dataset, RunConfig, SequenceSpec};
 pub use continuous::{ContinuousBatcher, ContinuousReport};
 pub use engine::Engine;
 pub use error::RunError;
-pub use metrics::{BatchMetrics, RunMetrics};
+pub use metrics::{quantile, BatchMetrics, RunMetrics};
 pub use offload::{compare as compare_offload, CloudEndpoint, OffloadComparison};
 pub use perplexity::{sliding_window_perplexity, PerplexityReport, STRIDE, WINDOW};
 pub use phase_split::{phase_split, PhaseSplit};
 pub use pmsearch::{search_power_modes, SearchConstraints, SearchResult};
 pub use protocol::Protocol;
 pub use scheduler::{ServingReport, StaticBatcher};
+pub use serve::{EventScheduler, IterPhase, IterationTrace, PrefillPolicy, ServeConfig, ServeRun};

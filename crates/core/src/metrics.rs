@@ -1,5 +1,23 @@
 //! Metrics types — the quantities the paper's tables and figures report.
 
+/// Nearest-rank quantile of an ascending-sorted slice.
+///
+/// Uses the classical nearest-rank definition: the `q`-quantile of `n`
+/// values is the element at 1-based rank `⌈q·n⌉` (clamped to `[1, n]`).
+/// Unlike the naive `(n as f64 * q) as usize` index — which truncates and
+/// lands one rank high for most `(n, q)` pairs, e.g. picking the 96th of
+/// 100 values as "p95" — this never over-reports the tail.
+///
+/// # Panics
+/// If `sorted` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of an empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile fraction {q} outside [0, 1]");
+    let n = sorted.len();
+    let rank = (q * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
 /// Measurements of one batch run (§2, "Evaluation Metrics").
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchMetrics {
@@ -111,5 +129,28 @@ mod tests {
     #[should_panic(expected = "zero runs")]
     fn empty_aggregate_panics() {
         let _ = RunMetrics::aggregate(&[]);
+    }
+
+    #[test]
+    fn quantile_uses_nearest_rank() {
+        // 1..=100 sorted: p95 is the 95th value (rank ⌈0.95·100⌉ = 95),
+        // not the 96th the truncating index `(100·0.95) as usize` picks.
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(quantile(&v, 0.95), 95.0);
+        assert_eq!(quantile(&v, 0.50), 50.0);
+        assert_eq!(quantile(&v, 0.99), 99.0);
+        assert_eq!(quantile(&v, 1.0), 100.0);
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        // Small n: every quantile stays in range and is an element.
+        let w = [2.5, 3.5];
+        assert_eq!(quantile(&w, 0.5), 2.5);
+        assert_eq!(quantile(&w, 0.51), 3.5);
+        assert_eq!(quantile(&[7.0], 0.95), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_of_empty_panics() {
+        let _ = quantile(&[], 0.5);
     }
 }

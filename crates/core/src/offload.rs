@@ -146,7 +146,7 @@ mod tests {
     }
 
     #[test]
-    fn upload_time_matters_on_slow_links(){
+    fn upload_time_matters_on_slow_links() {
         let fast = CloudEndpoint::datacenter();
         let slow = CloudEndpoint::field_link();
         let long_prompt = 8192u64;

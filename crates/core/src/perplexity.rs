@@ -56,16 +56,12 @@ pub fn sliding_window_perplexity_with<S: CausalScorer>(
         }
         begin += stride;
     }
-    let perplexity =
-        if scored == 0 { f64::NAN } else { (total_nll / scored as f64).exp() };
+    let perplexity = if scored == 0 { f64::NAN } else { (total_nll / scored as f64).exp() };
     PerplexityReport { perplexity, total_nll, tokens_scored: scored, windows }
 }
 
 /// The paper's protocol: 1024-token windows, stride 512.
-pub fn sliding_window_perplexity<S: CausalScorer>(
-    scorer: &S,
-    tokens: &[u32],
-) -> PerplexityReport {
+pub fn sliding_window_perplexity<S: CausalScorer>(scorer: &S, tokens: &[u32]) -> PerplexityReport {
     sliding_window_perplexity_with(scorer, tokens, WINDOW, STRIDE)
 }
 
@@ -94,7 +90,7 @@ mod tests {
 
     #[test]
     fn every_token_but_the_first_scored_exactly_once() {
-        let tokens: Vec<u32> = (0..2500).map(|i| i % 16) .collect();
+        let tokens: Vec<u32> = (0..2500).map(|i| i % 16).collect();
         let r = sliding_window_perplexity(&Uniform(16), &tokens);
         assert_eq!(r.tokens_scored, tokens.len() - 1);
     }

@@ -28,14 +28,9 @@ pub struct PhaseSplit {
 /// Analyze the phase split of a configuration.
 pub fn phase_split(engine: &Engine, cfg: &RunConfig) -> Result<PhaseSplit, RunError> {
     let m = engine.run_batch(cfg)?;
-    let perf = PerfModel::new(
-        engine.device().clone(),
-        cfg.llm,
-        cfg.precision,
-        cfg.power_mode.clocks,
-    );
-    let (n_in, n_out, bs) =
-        (cfg.sequence.input_tokens, cfg.sequence.output_tokens, cfg.batch_size);
+    let perf =
+        PerfModel::new(engine.device().clone(), cfg.llm, cfg.precision, cfg.power_mode.clocks);
+    let (n_in, n_out, bs) = (cfg.sequence.input_tokens, cfg.sequence.output_tokens, cfg.batch_size);
     Ok(PhaseSplit {
         prefill_time_share: m.prefill_s / m.latency_s,
         prefill_token_share: n_in as f64 / (n_in + n_out) as f64,
@@ -57,14 +52,9 @@ mod tests {
         // §3.2: "inference is dominated by the auto-regressive decode phase".
         let engine = Engine::orin_agx_64gb();
         for llm in Llm::ALL {
-            let prec =
-                if llm == Llm::DeepseekQwen32b { Precision::Int8 } else { Precision::Fp16 };
+            let prec = if llm == Llm::DeepseekQwen32b { Precision::Int8 } else { Precision::Fp16 };
             let s = phase_split(&engine, &RunConfig::new(llm, prec)).unwrap();
-            assert!(
-                s.prefill_time_share < 0.35,
-                "{llm:?}: prefill share {}",
-                s.prefill_time_share
-            );
+            assert!(s.prefill_time_share < 0.35, "{llm:?}: prefill share {}", s.prefill_time_share);
         }
     }
 
@@ -73,8 +63,7 @@ mod tests {
         // The Splitwise observation: prefill processes tokens orders of
         // magnitude faster than decode emits them.
         let engine = Engine::orin_agx_64gb();
-        let s = phase_split(&engine, &RunConfig::new(Llm::Llama31_8b, Precision::Fp16))
-            .unwrap();
+        let s = phase_split(&engine, &RunConfig::new(Llm::Llama31_8b, Precision::Fp16)).unwrap();
         assert!(
             s.prefill_tok_s > 2.0 * s.decode_tok_s,
             "prefill {} vs decode {}",
@@ -104,8 +93,8 @@ mod tests {
     #[test]
     fn prefill_utilization_exceeds_decode_for_quantized_models() {
         let engine = Engine::orin_agx_64gb();
-        let s = phase_split(&engine, &RunConfig::new(Llm::DeepseekQwen32b, Precision::Int8))
-            .unwrap();
+        let s =
+            phase_split(&engine, &RunConfig::new(Llm::DeepseekQwen32b, Precision::Int8)).unwrap();
         assert!(s.prefill_gpu_util > s.decode_gpu_util);
     }
 }

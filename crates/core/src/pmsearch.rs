@@ -87,9 +87,7 @@ pub fn search_power_modes(
         .iter()
         .enumerate()
         .filter(|(_, c)| c.feasible)
-        .min_by(|a, b| {
-            a.1.metrics.energy_j.partial_cmp(&b.1.metrics.energy_j).expect("finite")
-        })
+        .min_by(|a, b| a.1.metrics.energy_j.partial_cmp(&b.1.metrics.energy_j).expect("finite"))
         .map(|(i, _)| i);
     Ok(SearchResult { candidates, best })
 }

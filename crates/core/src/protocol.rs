@@ -68,12 +68,9 @@ mod tests {
     #[test]
     fn oom_propagates_through_protocol() {
         let engine = Engine::orin_agx_64gb();
-        let cfg = RunConfig::new(Llm::Phi2, Precision::Fp16)
-            .sequence(SequenceSpec::paper_sweep(1024));
-        assert!(matches!(
-            Protocol::paper().run(&engine, &cfg),
-            Err(RunError::OutOfMemory { .. })
-        ));
+        let cfg =
+            RunConfig::new(Llm::Phi2, Precision::Fp16).sequence(SequenceSpec::paper_sweep(1024));
+        assert!(matches!(Protocol::paper().run(&engine, &cfg), Err(RunError::OutOfMemory { .. })));
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! Event-driven, iteration-level serving.
+//!
+//! This module is the successor to the monolithic
+//! [`ContinuousBatcher::run`](crate::ContinuousBatcher::run) loop. The
+//! [`EventScheduler`] advances the system one engine iteration at a time
+//! with three properties the legacy loop lacked:
+//!
+//! * **chunked prefill** — prompts are processed `chunk_tokens` at a time,
+//!   fused with the decode batch so admissions do not stall live
+//!   sequences ([`PrefillPolicy`]);
+//! * **live KV accounting** — cache growth draws on a real
+//!   [`KvBlockAllocator`](edgellm_mem::KvBlockAllocator) pool; exhaustion
+//!   preempts the youngest sequence (free + re-queue with recompute)
+//!   instead of being worst-cased away at admission;
+//! * **per-iteration energy** — every step (and idle gap) is billed
+//!   through the rail power model, emitting an [`IterationTrace`].
+//!
+//! ```
+//! use edgellm_core::serve::{EventScheduler, ServeConfig};
+//! use edgellm_core::{PoissonArrivals, RunConfig};
+//! use edgellm_hw::DeviceSpec;
+//! use edgellm_models::{Llm, Precision};
+//!
+//! let dev = DeviceSpec::orin_agx_64gb();
+//! let cfg = RunConfig::new(Llm::Llama31_8b, Precision::Fp16);
+//! let reqs = PoissonArrivals::paper_shape(1.5).generate(20, 42);
+//! let run = EventScheduler::new(ServeConfig::chunked(16))
+//!     .run(&dev, &cfg, &reqs)
+//!     .unwrap();
+//! assert_eq!(run.report.requests, 20);
+//! assert!(run.report.energy_j > 0.0);
+//! ```
+
+pub mod scheduler;
+pub mod trace;
+
+pub use scheduler::{
+    EventScheduler, PrefillPolicy, ServeConfig, ServeRun, DEFAULT_CHUNK_TOKENS, KV_BLOCK_TOKENS,
+};
+pub use trace::{IterPhase, IterationTrace};

@@ -39,22 +39,18 @@ impl BpeTokenizer {
         let mut vocab: Vec<String> = vec!["<unk>".to_string()];
         let mut token_ids: HashMap<String, u32> = HashMap::new();
         token_ids.insert("<unk>".to_string(), UNK);
-        let id_of_char = |c: char,
-                              vocab: &mut Vec<String>,
-                              token_ids: &mut HashMap<String, u32>|
-         -> u32 {
-            let s = c.to_string();
-            *token_ids.entry(s.clone()).or_insert_with(|| {
-                vocab.push(s);
-                (vocab.len() - 1) as u32
-            })
-        };
+        let id_of_char =
+            |c: char, vocab: &mut Vec<String>, token_ids: &mut HashMap<String, u32>| -> u32 {
+                let s = c.to_string();
+                *token_ids.entry(s.clone()).or_insert_with(|| {
+                    vocab.push(s);
+                    (vocab.len() - 1) as u32
+                })
+            };
 
         for raw in split_with_spaces(text) {
-            let ids: Vec<u32> = raw
-                .chars()
-                .map(|c| id_of_char(c, &mut vocab, &mut token_ids))
-                .collect();
+            let ids: Vec<u32> =
+                raw.chars().map(|c| id_of_char(c, &mut vocab, &mut token_ids)).collect();
             *word_counts.entry(ids).or_default() += 1;
         }
         assert!(
@@ -80,9 +76,8 @@ impl BpeTokenizer {
             }
             // Most frequent pair; ties break lexicographically for
             // determinism.
-            let Some((&best, &count)) = pair_counts
-                .iter()
-                .max_by_key(|(pair, count)| (**count, std::cmp::Reverse(**pair)))
+            let Some((&best, &count)) =
+                pair_counts.iter().max_by_key(|(pair, count)| (**count, std::cmp::Reverse(**pair)))
             else {
                 break;
             };

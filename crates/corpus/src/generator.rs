@@ -107,7 +107,7 @@ impl Generator {
         self.zipf.sample(rng)
     }
 
-    fn sentence<R: Rng>(&self, rng: &mut R, out: &mut String) {
+    fn sentence<R: Rng>(&self, rng: &mut R, out: &mut String) -> usize {
         let len = rng.gen_range(6..=18);
         let mut prev = None;
         for i in 0..len {
@@ -126,15 +126,18 @@ impl Generator {
             }
         }
         out.push('.');
+        len
     }
 
-    fn paragraph<R: Rng>(&self, sentences: usize, rng: &mut R, out: &mut String) {
+    fn paragraph<R: Rng>(&self, sentences: usize, rng: &mut R, out: &mut String) -> usize {
+        let mut words = 0;
         for i in 0..sentences {
             if i > 0 {
                 out.push(' ');
             }
-            self.sentence(rng, out);
+            words += self.sentence(rng, out);
         }
+        words
     }
 
     /// Generate a corpus of roughly `target_words` words.
@@ -153,9 +156,8 @@ impl Generator {
                         text.push_str(" =\n\n");
                     }
                     let sentences = rng.gen_range(4..=14);
-                    self.paragraph(sentences, &mut rng, &mut text);
+                    words_emitted += self.paragraph(sentences, &mut rng, &mut text);
                     text.push_str("\n\n");
-                    words_emitted += sentences * 12;
                 }
                 CorpusKind::LongBenchLike => {
                     // A document: several long sections, few blank lines so
@@ -163,9 +165,8 @@ impl Generator {
                     let sections = rng.gen_range(3..=6);
                     for _ in 0..sections {
                         let sentences = rng.gen_range(24..=60);
-                        self.paragraph(sentences, &mut rng, &mut text);
+                        words_emitted += self.paragraph(sentences, &mut rng, &mut text);
                         text.push_str("\n\n");
-                        words_emitted += sentences * 12;
                     }
                 }
             }
@@ -239,8 +240,7 @@ mod tests {
         let lb = SyntheticCorpus::generate(CorpusKind::LongBenchLike, 8000, 4);
         let avg = |c: &SyntheticCorpus| {
             let ps = c.paragraphs();
-            ps.iter().map(|p| p.split_whitespace().count()).sum::<usize>() as f64
-                / ps.len() as f64
+            ps.iter().map(|p| p.split_whitespace().count()).sum::<usize>() as f64 / ps.len() as f64
         };
         assert!(avg(&lb) > 2.0 * avg(&wiki), "LongBench-like docs must run longer");
     }

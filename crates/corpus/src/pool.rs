@@ -52,12 +52,7 @@ impl PromptPool {
     /// # Panics
     /// If the pool is empty or a pooled prompt is shorter than
     /// `input_tokens` (cannot happen when `input_tokens ≤ min_tokens`).
-    pub fn sample_batch(
-        &self,
-        batch_size: usize,
-        input_tokens: usize,
-        seed: u64,
-    ) -> Vec<Vec<u32>> {
+    pub fn sample_batch(&self, batch_size: usize, input_tokens: usize, seed: u64) -> Vec<Vec<u32>> {
         assert!(!self.prompts.is_empty(), "prompt pool is empty");
         let mut rng = StdRng::seed_from_u64(seed);
         (0..batch_size)

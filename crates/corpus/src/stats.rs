@@ -74,8 +74,11 @@ mod tests {
         let s = CorpusStats::from_tokens(&tok.encode(&c.text));
         // Zipfian text over a 512-token BPE vocab: entropy well below
         // log2(512)=9 but far above trivial.
-        assert!(s.unigram_entropy_bits > 4.0 && s.unigram_entropy_bits < 9.0,
-            "entropy {}", s.unigram_entropy_bits);
+        assert!(
+            s.unigram_entropy_bits > 4.0 && s.unigram_entropy_bits < 9.0,
+            "entropy {}",
+            s.unigram_entropy_bits
+        );
         assert!(s.ttr < 0.1, "Zipfian text reuses tokens heavily");
     }
 }

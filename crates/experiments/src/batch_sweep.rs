@@ -42,14 +42,26 @@ pub fn run(dataset: Dataset, protocol: Protocol) -> ExperimentResult {
     let mut tables = Vec::new();
     let mut checks = Vec::new();
     let mut csv = Table::new(vec![
-        "model", "batch", "latency_s", "paper_latency_s", "tp_tok_s", "paper_tp",
-        "ram_gb", "paper_ram_gb", "power_w", "energy_j",
+        "model",
+        "batch",
+        "latency_s",
+        "paper_latency_s",
+        "tp_tok_s",
+        "paper_tp",
+        "ram_gb",
+        "paper_ram_gb",
+        "power_w",
+        "energy_j",
     ]);
 
     for ((llm, ms), tr) in results.iter().zip(truth.iter()) {
         assert_eq!(*llm, tr.llm);
         let mut t = Table::new(vec![
-            "batch", "RAM GB (paper)", "latency s (paper)", "tok/s (paper)", "power W",
+            "batch",
+            "RAM GB (paper)",
+            "latency s (paper)",
+            "tok/s (paper)",
+            "power W",
             "energy J",
         ]);
         for (i, &bs) in BATCH_SIZES.iter().enumerate() {

@@ -34,8 +34,7 @@ fn main() -> ExitCode {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .map(std::path::PathBuf::from);
-    let positional: Vec<&String> =
-        args.iter().filter(|a| !a.starts_with("--")).collect();
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let Some(cmd) = positional.first() else { return usage() };
 
     let opts = ExperimentOpts { fast };
@@ -50,9 +49,7 @@ fn main() -> ExitCode {
         "run" => {
             let Some(id) = positional.get(1) else { return usage() };
             // `--csv <dir>` consumes its value; don't mistake it for an id.
-            if csv_dir.as_deref().map(|p| p.to_string_lossy().to_string())
-                == Some((*id).clone())
-            {
+            if csv_dir.as_deref().map(|p| p.to_string_lossy().to_string()) == Some((*id).clone()) {
                 return usage();
             }
             vec![(*id).clone()]

@@ -8,21 +8,12 @@ use edgellm_core::Dataset;
 use edgellm_hw::DeviceSpec;
 use edgellm_models::{flops, Llm, Precision};
 use edgellm_perf::calib::{
-    PrecisionCosts, BW_EFFICIENCY, CTX_OVERHEAD_THRESHOLD, DECODE_EFF,
-    OVERLAP_BETA, PREFILL_EFF,
+    PrecisionCosts, BW_EFFICIENCY, CTX_OVERHEAD_THRESHOLD, DECODE_EFF, OVERLAP_BETA, PREFILL_EFF,
 };
 
 /// The latency formula of the perf model, written out directly so the
 /// re-derivation is independent of `PerfModel`'s implementation.
-fn predict(
-    llm: Llm,
-    prec: Precision,
-    host_s: f64,
-    k2: f64,
-    bs: u64,
-    n_in: u64,
-    n_out: u64,
-) -> f64 {
+fn predict(llm: Llm, prec: Precision, host_s: f64, k2: f64, bs: u64, n_in: u64, n_out: u64) -> f64 {
     let dev = DeviceSpec::orin_agx_64gb();
     let arch = llm.arch();
     let costs = PrecisionCosts::of(prec);
@@ -56,8 +47,7 @@ pub struct Refit {
 /// the `bs=1, sl=96` anchor of Table 4 fixes `host`, then the longest
 /// feasible sequence row of Table 7 fixes `k2`.
 pub fn refit(llm: Llm) -> Refit {
-    let prec =
-        if llm == Llm::DeepseekQwen32b { Precision::Int8 } else { Precision::Fp16 };
+    let prec = if llm == Llm::DeepseekQwen32b { Precision::Int8 } else { Precision::Fp16 };
     let bs1 = batch_sweep_truth(Dataset::WikiText2)
         .iter()
         .find(|t| t.llm == llm)
@@ -88,8 +78,7 @@ pub fn refit(llm: Llm) -> Refit {
     let base = predict(llm, prec, host_s, 0.0, 32, n_in, n_out);
     let dev = DeviceSpec::orin_agx_64gb();
     let bw = dev.memory.peak_bandwidth_gbps * 1e9 * BW_EFFICIENCY;
-    let excess: u64 =
-        (0..n_out).map(|i| (n_in + i).saturating_sub(CTX_OVERHEAD_THRESHOLD)).sum();
+    let excess: u64 = (0..n_out).map(|i| (n_in + i).saturating_sub(CTX_OVERHEAD_THRESHOLD)).sum();
     let k2_bytes = ((target - base) * bw / (32.0 * excess as f64)).max(0.0);
     Refit { host_s, k2_bytes }
 }
@@ -107,11 +96,7 @@ mod tests {
             // DeepSeek's shipped host is decomposed into base + per-layer
             // INT8 dispatch; reconstruct the total for comparison.
             let shipped_host = shipped.host_s
-                + if llm == Llm::DeepseekQwen32b {
-                    64.0 * shipped.int8_layer_s
-                } else {
-                    0.0
-                };
+                + if llm == Llm::DeepseekQwen32b { 64.0 * shipped.int8_layer_s } else { 0.0 };
             let dh = (refit.host_s - shipped_host).abs() / shipped_host;
             assert!(
                 dh < 0.02,
@@ -144,20 +129,16 @@ mod tests {
         use edgellm_perf::PerfModel;
         let dev = DeviceSpec::orin_agx_64gb();
         for llm in Llm::ALL {
-            let prec =
-                if llm == Llm::DeepseekQwen32b { Precision::Int8 } else { Precision::Fp16 };
+            let prec = if llm == Llm::DeepseekQwen32b { Precision::Int8 } else { Precision::Fp16 };
             let c = ModelCalib::for_llm(llm);
             let host = c.host_s
                 + PrecisionCosts::of(prec).dispatch_frac
                     * c.int8_layer_s
                     * llm.arch().layers as f64;
             let ours = predict(llm, prec, host, c.k2_bytes, 32, 32, 64);
-            let theirs = PerfModel::new(dev.clone(), llm, prec, dev.max_clocks())
-                .latency_s(32, 32, 64);
-            assert!(
-                (ours - theirs).abs() / theirs < 1e-9,
-                "{llm:?}: {ours} vs {theirs}"
-            );
+            let theirs =
+                PerfModel::new(dev.clone(), llm, prec, dev.max_clocks()).latency_s(32, 32, 64);
+            assert!((ours - theirs).abs() / theirs < 1e-9, "{llm:?}: {ours} vs {theirs}");
         }
     }
 }

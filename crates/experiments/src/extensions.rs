@@ -6,8 +6,8 @@
 use crate::batch_sweep::serving_precision;
 use crate::report::{Check, ExperimentResult, Table};
 use edgellm_core::{
-    compare_offload, search_power_modes, CloudEndpoint, ContinuousBatcher, Engine,
-    PoissonArrivals, RunConfig, SearchConstraints,
+    compare_offload, search_power_modes, CloudEndpoint, ContinuousBatcher, Engine, PoissonArrivals,
+    RunConfig, SearchConstraints,
 };
 use edgellm_hw::DeviceSpec;
 use edgellm_models::{Llm, Precision};
@@ -21,7 +21,11 @@ pub fn optimized_engine() -> ExperimentResult {
     let dev = DeviceSpec::orin_agx_64gb();
     let clocks = dev.max_clocks();
     let mut t = Table::new(vec![
-        "model", "HF-stack tok/s", "optimized tok/s", "speedup", "bs=1 tok/s HF",
+        "model",
+        "HF-stack tok/s",
+        "optimized tok/s",
+        "speedup",
+        "bs=1 tok/s HF",
         "bs=1 optimized",
     ]);
     let mut csv = Table::new(vec!["model", "bs", "hf_tok_s", "optimized_tok_s"]);
@@ -34,10 +38,8 @@ pub fn optimized_engine() -> ExperimentResult {
         calib.int8_layer_s = 0.0;
         calib.k2_bytes = 0.0; // in-place cache, fused attention
         let opt = PerfModel::with_calib(dev.clone(), llm, prec, clocks, calib);
-        let (tp_hf, tp_opt) =
-            (hf.throughput_tok_s(32, 32, 64), opt.throughput_tok_s(32, 32, 64));
-        let (tp1_hf, tp1_opt) =
-            (hf.throughput_tok_s(1, 32, 64), opt.throughput_tok_s(1, 32, 64));
+        let (tp_hf, tp_opt) = (hf.throughput_tok_s(32, 32, 64), opt.throughput_tok_s(32, 32, 64));
+        let (tp1_hf, tp1_opt) = (hf.throughput_tok_s(1, 32, 64), opt.throughput_tok_s(1, 32, 64));
         t.row(vec![
             llm.short_name().to_string(),
             format!("{tp_hf:.0}"),
@@ -68,18 +70,13 @@ pub fn optimized_engine() -> ExperimentResult {
         calib.host_s = 0.002;
         calib.int8_layer_s = 0.0;
         calib.k2_bytes = 0.0;
-        PerfModel::with_calib(dev.clone(), llm, prec, clocks, calib)
-            .throughput_tok_s(32, 32, 64)
+        PerfModel::with_calib(dev.clone(), llm, prec, clocks, calib).throughput_tok_s(32, 32, 64)
             / hf
     };
     checks.push(Check::new(
         "the dispatch-bound INT8 model (DeepSeek) gains most from an optimized engine",
         gain(Llm::DeepseekQwen32b) > gain(Llm::Llama31_8b),
-        format!(
-            "DeepQ ×{:.2} vs Llama ×{:.2}",
-            gain(Llm::DeepseekQwen32b),
-            gain(Llm::Llama31_8b)
-        ),
+        format!("DeepQ ×{:.2} vs Llama ×{:.2}", gain(Llm::DeepseekQwen32b), gain(Llm::Llama31_8b)),
     ));
     ExperimentResult {
         id: "ext-engine",
@@ -102,11 +99,23 @@ pub fn device_family() -> ExperimentResult {
         DeviceSpec::xavier_agx_32gb(),
     ];
     let mut t = Table::new(vec![
-        "device", "model", "precision", "fits", "latency s", "tok/s", "power W",
+        "device",
+        "model",
+        "precision",
+        "fits",
+        "latency s",
+        "tok/s",
+        "power W",
         "energy J",
     ]);
     let mut csv = Table::new(vec![
-        "device", "model", "precision", "fits", "latency_s", "tok_s", "power_w",
+        "device",
+        "model",
+        "precision",
+        "fits",
+        "latency_s",
+        "tok_s",
+        "power_w",
         "energy_j",
     ]);
     let mut checks = Vec::new();
@@ -173,13 +182,11 @@ pub fn device_family() -> ExperimentResult {
         orin64_llama.is_some()
             && Engine::new(DeviceSpec::orin_nx_16gb())
                 .run_batch(
-                    &RunConfig::new(Llm::Llama31_8b, Precision::Fp16).power_mode(
-                        Engine::new(DeviceSpec::orin_nx_16gb()).maxn(),
-                    ),
+                    &RunConfig::new(Llm::Llama31_8b, Precision::Fp16)
+                        .power_mode(Engine::new(DeviceSpec::orin_nx_16gb()).maxn()),
                 )
                 .is_err(),
-        "capacity gates the model lineup, as the paper's device choice argues"
-            .to_string(),
+        "capacity gates the model lineup, as the paper's device choice argues".to_string(),
     ));
     checks.push(Check::new(
         "INT4 brings Llama onto the 16 GB Orin NX (quantization's raison d'être)",
@@ -204,7 +211,11 @@ pub fn serving_comparison() -> ExperimentResult {
     let dev = DeviceSpec::orin_agx_64gb();
     let cfg = RunConfig::new(Llm::Llama31_8b, Precision::Fp16);
     let mut t = Table::new(vec![
-        "arrival rate /s", "policy", "mean lat s", "p95 lat s", "out tok/s",
+        "arrival rate /s",
+        "policy",
+        "mean lat s",
+        "p95 lat s",
+        "out tok/s",
         "occupancy",
     ]);
     let mut csv = Table::new(vec!["rate", "policy", "mean_lat_s", "p95_lat_s", "tok_s"]);
@@ -239,8 +250,7 @@ pub fn serving_comparison() -> ExperimentResult {
     }
     ExperimentResult {
         id: "ext-serving",
-        title: "Extension — continuous vs static batching under Poisson arrivals"
-            .to_string(),
+        title: "Extension — continuous vs static batching under Poisson arrivals".to_string(),
         tables: vec![t.render()],
         checks,
         csv: vec![("serving".to_string(), csv.to_csv())],
@@ -287,7 +297,15 @@ pub fn power_mode_search() -> ExperimentResult {
             best.mode.throttle_summary(),
         ),
     ];
-    let mut csv = Table::new(vec!["mode", "gpu_mhz", "mem_mhz", "latency_s", "power_w", "energy_j", "feasible"]);
+    let mut csv = Table::new(vec![
+        "mode",
+        "gpu_mhz",
+        "mem_mhz",
+        "latency_s",
+        "power_w",
+        "energy_j",
+        "feasible",
+    ]);
     for c in &r.candidates {
         csv.row(vec![
             c.mode.name.clone(),
@@ -325,12 +343,16 @@ pub fn offload_analysis() -> ExperimentResult {
         }),
     ];
     let mut t = Table::new(vec![
-        "model", "network", "local s", "cloud s", "local J", "cloud J (edge)",
-        "latency winner", "energy winner",
+        "model",
+        "network",
+        "local s",
+        "cloud s",
+        "local J",
+        "cloud J (edge)",
+        "latency winner",
+        "energy winner",
     ]);
-    let mut csv = Table::new(vec![
-        "model", "network", "local_s", "cloud_s", "local_j", "cloud_j",
-    ]);
+    let mut csv = Table::new(vec!["model", "network", "local_s", "cloud_s", "local_j", "cloud_j"]);
     let mut checks = Vec::new();
     let mut degraded_local_wins = 0;
     let mut datacenter_cloud_wins = 0;
@@ -376,8 +398,7 @@ pub fn offload_analysis() -> ExperimentResult {
     ));
     ExperimentResult {
         id: "ext-offload",
-        title: "Extension — edge inference vs cloud offload across network conditions"
-            .to_string(),
+        title: "Extension — edge inference vs cloud offload across network conditions".to_string(),
         tables: vec![t.render()],
         checks,
         csv: vec![("offload".to_string(), csv.to_csv())],
@@ -395,28 +416,35 @@ pub fn thermal_sustained() -> ExperimentResult {
     let enclosures = [
         ("active (devkit fan)", ThermalModel::orin_agx_active()),
         ("passive heatsink", ThermalModel::orin_agx_passive()),
-        ("sealed enclosure", ThermalModel {
-            r_c_per_w: 2.1,
-            tau_s: 300.0,
-            t_ambient_c: 30.0,
-            t_limit_c: 95.0,
-        }),
+        (
+            "sealed enclosure",
+            ThermalModel { r_c_per_w: 2.1, tau_s: 300.0, t_ambient_c: 30.0, t_limit_c: 95.0 },
+        ),
     ];
     let modes = [PowerModeId::MaxN, PowerModeId::A, PowerModeId::B];
     let mut t = Table::new(vec![
-        "enclosure", "mode", "demand W", "sustained W", "throttled %",
-        "nominal tok/s", "sustained tok/s",
+        "enclosure",
+        "mode",
+        "demand W",
+        "sustained W",
+        "throttled %",
+        "nominal tok/s",
+        "sustained tok/s",
     ]);
     let mut csv = Table::new(vec![
-        "enclosure", "mode", "demand_w", "sustained_w", "throttled_frac",
+        "enclosure",
+        "mode",
+        "demand_w",
+        "sustained_w",
+        "throttled_frac",
         "sustained_tok_s",
     ]);
     let mut checks = Vec::new();
     let mut sealed: Vec<(PowerModeId, f64)> = Vec::new();
     for (name, model) in &enclosures {
         for id in modes {
-            let cfg = RunConfig::new(Llm::Llama31_8b, Precision::Fp16)
-                .power_mode(PowerMode::table2(id));
+            let cfg =
+                RunConfig::new(Llm::Llama31_8b, Precision::Fp16).power_mode(PowerMode::table2(id));
             let m = engine.run_batch(&cfg).expect("fits");
             let tr = simulate_sustained(model, m.median_power_w, 3600.0, 1.0, 0.3);
             // Power-proportional approximation: delivered throughput scales

@@ -24,16 +24,9 @@ impl Series {
 /// character grid, with a y-axis scale and an x-axis range footer.
 /// X may be plotted on a log₂ scale (the paper's batch-size axes are
 /// powers of two).
-pub fn chart(
-    title: &str,
-    series: &[Series],
-    width: usize,
-    height: usize,
-    log_x: bool,
-) -> String {
+pub fn chart(title: &str, series: &[Series], width: usize, height: usize, log_x: bool) -> String {
     assert!(width >= 16 && height >= 4, "chart too small");
-    let all: Vec<(f64, f64)> =
-        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
     if all.is_empty() {
         return format!("{title}\n(no data)\n");
     }

@@ -22,14 +22,15 @@
 //! Extensions beyond the paper (its named future work) live in
 //! [`extensions`]: `ext-engine` (optimized-engine headroom), `ext-devices`
 //! (Jetson family sweep), `ext-serving` (continuous vs static batching)
-//! and `ext-pmsearch` (minimum-energy DVFS search).
+//! and `ext-pmsearch` (minimum-energy DVFS search). `ext-chunked`
+//! ([`serve`]) compares the event-driven scheduler's prefill policies.
 //!
 //! Run them through the `edgellm` binary (`edgellm run fig1`,
 //! `edgellm all`) or the [`runner`] API.
 
 pub mod batch_sweep;
-pub mod extensions;
 pub mod calibration;
+pub mod extensions;
 pub mod figviz;
 pub mod paper;
 pub mod perplexity;
@@ -39,6 +40,7 @@ pub mod quant_perf;
 pub mod report;
 pub mod runner;
 pub mod seqlen_sweep;
+pub mod serve;
 pub mod tab1;
 pub mod tab2;
 

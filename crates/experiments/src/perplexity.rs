@@ -129,14 +129,11 @@ pub fn run(fast: bool) -> ExperimentResult {
 
     // Render.
     let mut t = Table::new(vec![
-        "Model", "W-FP32", "W-FP16", "W-INT8", "W-INT4", "L-FP32", "L-FP16", "L-INT8",
-        "L-INT4",
+        "Model", "W-FP32", "W-FP16", "W-INT8", "W-INT4", "L-FP32", "L-FP16", "L-INT8", "L-INT4",
     ]);
-    let mut csv =
-        Table::new(vec!["model", "dataset", "precision", "ours_ppl", "paper_ppl"]);
+    let mut csv = Table::new(vec!["model", "dataset", "precision", "ours_ppl", "paper_ppl"]);
     let mut checks = Vec::new();
-    for ((spec, wiki, lb), (p_llm, p_wiki, p_lb)) in
-        results.iter().zip(crate::paper::TABLE3.iter())
+    for ((spec, wiki, lb), (p_llm, p_wiki, p_lb)) in results.iter().zip(crate::paper::TABLE3.iter())
     {
         assert_eq!(spec.llm, *p_llm);
         let mut cells = vec![spec.name.to_string()];
@@ -157,12 +154,7 @@ pub fn run(fast: bool) -> ExperimentResult {
                     fmt(p),
                 ]);
                 checks.push(Check::new(
-                    format!(
-                        "{} {} {}: OoM status matches Table 3",
-                        spec.name,
-                        ds.label(),
-                        prec
-                    ),
+                    format!("{} {} {}: OoM status matches Table 3", spec.name, ds.label(), prec),
                     o.is_none() == p.is_none(),
                     format!("ours {} vs paper {}", fmt(o), fmt(p)),
                 ));
@@ -184,11 +176,7 @@ pub fn run(fast: bool) -> ExperimentResult {
             }
             if let (Some(p8), Some(p4)) = (ours[2], ours[3]) {
                 checks.push(Check::new(
-                    format!(
-                        "{} {}: INT4 clearly worse than INT8 (Table 3)",
-                        spec.name,
-                        ds.label()
-                    ),
+                    format!("{} {}: INT4 clearly worse than INT8 (Table 3)", spec.name, ds.label()),
                     p4 > p8,
                     format!("{p8:.2} → {p4:.2}"),
                 ));
@@ -213,9 +201,7 @@ pub fn run(fast: bool) -> ExperimentResult {
             _ => None,
         })
         .collect();
-    if let (Some(Some(small)), Some(Some(large))) =
-        (degradation.first(), degradation.last())
-    {
+    if let (Some(Some(small)), Some(Some(large))) = (degradation.first(), degradation.last()) {
         checks.push(Check::new(
             "smallest model degrades more under INT4 than largest (§3.3)",
             small > large,
@@ -225,8 +211,7 @@ pub fn run(fast: bool) -> ExperimentResult {
 
     ExperimentResult {
         id: "tab3",
-        title: "Table 3 — perplexity vs precision (real training + quantization)"
-            .to_string(),
+        title: "Table 3 — perplexity vs precision (real training + quantization)".to_string(),
         tables: vec![t.render()],
         checks,
         csv: vec![("perplexity".to_string(), csv.to_csv())],

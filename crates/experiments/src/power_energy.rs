@@ -47,13 +47,11 @@ pub fn run(models: &[Llm], protocol: Protocol) -> ExperimentResult {
 
     let mut tables = Vec::new();
     let mut checks = Vec::new();
-    let mut csv =
-        Table::new(vec!["model", "precision", "batch", "power_w", "energy_j"]);
+    let mut csv = Table::new(vec!["model", "precision", "batch", "power_w", "energy_j"]);
 
     for (llm, per_prec) in &grid {
-        let mut t = Table::new(vec![
-            "batch", "FP16 W", "FP16 J", "INT8 W", "INT8 J", "INT4 W", "INT4 J",
-        ]);
+        let mut t =
+            Table::new(vec!["batch", "FP16 W", "FP16 J", "INT8 W", "INT8 J", "INT4 W", "INT4 J"]);
         for (i, &bs) in BATCHES.iter().enumerate() {
             let cell = |p: usize| -> (String, String) {
                 match per_prec[p].1[i] {
@@ -80,9 +78,8 @@ pub fn run(models: &[Llm], protocol: Protocol) -> ExperimentResult {
         tables.push(format!("{}:\n{}", llm.short_name(), t.render()));
 
         // Per-model §3.3 / appendix A.3 claims (where the cells exist).
-        let series = |p: usize| -> Vec<(f64, f64)> {
-            per_prec[p].1.iter().flatten().copied().collect()
-        };
+        let series =
+            |p: usize| -> Vec<(f64, f64)> { per_prec[p].1.iter().flatten().copied().collect() };
         let (s16, s8, s4) = (series(0), series(1), series(2));
         if !s16.is_empty() && !s8.is_empty() {
             let med16 = median(s16.iter().map(|x| x.0).collect());

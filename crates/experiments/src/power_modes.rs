@@ -29,14 +29,25 @@ pub fn run(protocol: Protocol) -> ExperimentResult {
     let mut tables = Vec::new();
     let mut checks = Vec::new();
     let mut csv = Table::new(vec![
-        "model", "mode", "latency_s", "power_w", "energy_j", "vs_maxn_latency",
+        "model",
+        "mode",
+        "latency_s",
+        "power_w",
+        "energy_j",
+        "vs_maxn_latency",
         "vs_maxn_power",
     ]);
 
     for (llm, rows) in &grid {
         let maxn = &rows[0].1;
         let mut t = Table::new(vec![
-            "mode", "latency s", "power W", "energy J", "Δlatency", "Δpower", "Δenergy",
+            "mode",
+            "latency s",
+            "power W",
+            "energy J",
+            "Δlatency",
+            "Δpower",
+            "Δenergy",
         ]);
         for (id, m) in rows {
             let dl = m.latency_s / maxn.latency_s - 1.0;
@@ -66,10 +77,8 @@ pub fn run(protocol: Protocol) -> ExperimentResult {
 
     // ASCII rendition of Fig 5's latency bars (Llama).
     if let Some((_, rows)) = grid.iter().find(|(l, _)| *l == Llm::Llama31_8b) {
-        let bars: Vec<(String, f64)> = rows
-            .iter()
-            .map(|(id, m)| (id.name().to_string(), m.latency_s))
-            .collect();
+        let bars: Vec<(String, f64)> =
+            rows.iter().map(|(id, m)| (id.name().to_string(), m.latency_s)).collect();
         tables.push(crate::figviz::bars(
             "Fig 5 shape — Llama latency (s) per power mode",
             &bars,
@@ -142,8 +151,7 @@ pub fn run(protocol: Protocol) -> ExperimentResult {
     // DeepSeek (INT8, CPU-assisted) is more CPU-frequency sensitive (§3.4).
     let d_llama = get(llama, PowerModeId::D).latency_s / maxn.latency_s - 1.0;
     let deepq_maxn = get(Llm::DeepseekQwen32b, PowerModeId::MaxN);
-    let d_deepq =
-        get(Llm::DeepseekQwen32b, PowerModeId::D).latency_s / deepq_maxn.latency_s - 1.0;
+    let d_deepq = get(Llm::DeepseekQwen32b, PowerModeId::D).latency_s / deepq_maxn.latency_s - 1.0;
     checks.push(Check::new(
         "CPU throttling (PM-D) hits DeepSeek/INT8 harder than Llama/FP16 (§3.4)",
         d_deepq > d_llama * 2.0,

@@ -29,8 +29,7 @@ pub fn run(protocol: Protocol) -> ExperimentResult {
         Table::new(vec!["model", "precision", "latency_s", "tp_tok_s", "ram_gb", "gpu_util"]);
 
     for (llm, cells) in &grid {
-        let mut t =
-            Table::new(vec!["precision", "latency s", "tok/s", "RAM GB", "GPU util"]);
+        let mut t = Table::new(vec!["precision", "latency s", "tok/s", "RAM GB", "GPU util"]);
         for (prec, cell) in Precision::ALL.iter().zip(cells) {
             let (lat, tp, ram, util) = match cell {
                 Ok(m) => (
@@ -39,23 +38,12 @@ pub fn run(protocol: Protocol) -> ExperimentResult {
                     Some(m.peak_mem_gb),
                     // RunMetrics doesn't carry util; re-derive from a
                     // single batch for display.
-                    engine
-                        .run_batch(&RunConfig::new(*llm, *prec))
-                        .ok()
-                        .map(|b| b.gpu_util),
+                    engine.run_batch(&RunConfig::new(*llm, *prec)).ok().map(|b| b.gpu_util),
                 ),
                 Err(_) => (None, None, None, None),
             };
-            let f = |v: Option<f64>, d: usize| {
-                v.map_or("OOM".to_string(), |x| format!("{x:.d$}"))
-            };
-            t.row(vec![
-                prec.label().to_string(),
-                f(lat, 2),
-                f(tp, 1),
-                f(ram, 1),
-                f(util, 2),
-            ]);
+            let f = |v: Option<f64>, d: usize| v.map_or("OOM".to_string(), |x| format!("{x:.d$}"));
+            t.row(vec![prec.label().to_string(), f(lat, 2), f(tp, 1), f(ram, 1), f(util, 2)]);
             csv.row(vec![
                 llm.short_name().to_string(),
                 prec.label().to_string(),

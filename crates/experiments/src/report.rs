@@ -1,10 +1,9 @@
 //! Experiment reporting: aligned text tables, shape checks, CSV emission.
 
-use serde::Serialize;
 use std::fmt::Write as _;
 
 /// A pass/fail shape check against a paper claim.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Check {
     /// What is being checked (quotes or paraphrases the paper claim).
     pub claim: String,
@@ -61,23 +60,39 @@ impl ExperimentResult {
 
     /// Serialize the result (id, title, checks, CSV blocks) to JSON for
     /// machine-readable diffing against the paper ground truth.
+    ///
+    /// Hand-rolled pretty printer (2-space indent, `serde_json` layout)
+    /// because the offline build carries no serialization dependency.
     pub fn to_json(&self) -> String {
-        #[derive(Serialize)]
-        struct Export<'a> {
-            id: &'a str,
-            title: &'a str,
-            all_pass: bool,
-            checks: &'a [Check],
-            csv: &'a [(String, String)],
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"id\": {},", json_str(self.id));
+        let _ = writeln!(out, "  \"title\": {},", json_str(&self.title));
+        let _ = writeln!(out, "  \"all_pass\": {},", self.all_pass());
+        if self.checks.is_empty() {
+            out.push_str("  \"checks\": [],\n");
+        } else {
+            out.push_str("  \"checks\": [\n");
+            for (i, c) in self.checks.iter().enumerate() {
+                out.push_str("    {\n");
+                let _ = writeln!(out, "      \"claim\": {},", json_str(&c.claim));
+                let _ = writeln!(out, "      \"pass\": {},", c.pass);
+                let _ = writeln!(out, "      \"detail\": {}", json_str(&c.detail));
+                out.push_str(if i + 1 < self.checks.len() { "    },\n" } else { "    }\n" });
+            }
+            out.push_str("  ],\n");
         }
-        serde_json::to_string_pretty(&Export {
-            id: self.id,
-            title: &self.title,
-            all_pass: self.all_pass(),
-            checks: &self.checks,
-            csv: &self.csv,
-        })
-        .expect("result serializes")
+        if self.csv.is_empty() {
+            out.push_str("  \"csv\": []\n");
+        } else {
+            out.push_str("  \"csv\": [\n");
+            for (i, (stem, contents)) in self.csv.iter().enumerate() {
+                let _ = write!(out, "    [{}, {}]", json_str(stem), json_str(contents));
+                out.push_str(if i + 1 < self.csv.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("  ]\n");
+        }
+        out.push('}');
+        out
     }
 
     /// Write the JSON export into `dir` (created if needed).
@@ -166,6 +181,27 @@ impl Table {
         }
         out
     }
+}
+
+/// Escape and quote a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Format a simulated-vs-paper cell as "sim (paper)".

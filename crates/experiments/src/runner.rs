@@ -5,13 +5,11 @@ use edgellm_core::{Dataset, Protocol};
 use edgellm_models::Llm;
 
 /// Options shared by all drivers.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ExperimentOpts {
     /// Use the quick protocol and trimmed training (smoke mode).
     pub fast: bool,
 }
-
 
 impl ExperimentOpts {
     fn protocol(&self) -> Protocol {
@@ -24,7 +22,7 @@ impl ExperimentOpts {
 }
 
 /// All experiment ids, in paper order.
-pub const EXPERIMENT_IDS: [&str; 17] = [
+pub const EXPERIMENT_IDS: [&str; 18] = [
     "tab1",
     "tab2",
     "fig1",
@@ -39,6 +37,7 @@ pub const EXPERIMENT_IDS: [&str; 17] = [
     "ext-engine",
     "ext-devices",
     "ext-serving",
+    "ext-chunked",
     "ext-pmsearch",
     "ext-offload",
     "ext-thermal",
@@ -61,6 +60,7 @@ pub fn describe(id: &str) -> Option<&'static str> {
         "ext-engine" => "Extension: optimized-inference-engine headroom",
         "ext-devices" => "Extension: Jetson device-family sweep",
         "ext-serving" => "Extension: continuous vs static batching",
+        "ext-chunked" => "Extension: event scheduler — chunked prefill vs blocking",
         "ext-pmsearch" => "Extension: minimum-energy power-mode search",
         "ext-offload" => "Extension: edge inference vs cloud offload",
         "ext-thermal" => "Extension: sustained serving under thermal limits",
@@ -91,6 +91,7 @@ pub fn run_experiment(id: &str, opts: ExperimentOpts) -> Option<ExperimentResult
         "ext-engine" => crate::extensions::optimized_engine(),
         "ext-devices" => crate::extensions::device_family(),
         "ext-serving" => crate::extensions::serving_comparison(),
+        "ext-chunked" => crate::serve::run(),
         "ext-pmsearch" => crate::extensions::power_mode_search(),
         "ext-offload" => crate::extensions::offload_analysis(),
         "ext-thermal" => crate::extensions::thermal_sustained(),

@@ -36,15 +36,20 @@ pub fn run(dataset: Dataset, protocol: Protocol) -> ExperimentResult {
     let mut tables = Vec::new();
     let mut checks = Vec::new();
     let mut csv = Table::new(vec![
-        "model", "seqlen", "latency_s", "paper_latency_s", "tp_tok_s", "paper_tp",
-        "ram_gb", "paper_ram_gb",
+        "model",
+        "seqlen",
+        "latency_s",
+        "paper_latency_s",
+        "tp_tok_s",
+        "paper_tp",
+        "ram_gb",
+        "paper_ram_gb",
     ]);
 
     for ((llm, cells), tr) in results.iter().zip(truth.iter()) {
         assert_eq!(*llm, tr.llm);
-        let mut t = Table::new(vec![
-            "seqlen", "RAM GB (paper)", "latency s (paper)", "tok/s (paper)",
-        ]);
+        let mut t =
+            Table::new(vec!["seqlen", "RAM GB (paper)", "latency s (paper)", "tok/s (paper)"]);
         for (i, &sl) in SEQ_LENS.iter().enumerate() {
             let (lat, tp, ram) = match &cells[i] {
                 Ok(m) => (Some(m.latency_s), Some(m.throughput_tok_s), Some(m.peak_mem_gb)),
@@ -81,26 +86,19 @@ pub fn run(dataset: Dataset, protocol: Protocol) -> ExperimentResult {
         tables.push(format!("{} ({}):\n{}", llm.short_name(), dataset.label(), t.render()));
 
         // Throughput decreases with sequence length where the model runs.
-        let tps: Vec<f64> = cells
-            .iter()
-            .filter_map(|c| c.as_ref().ok().map(|m| m.throughput_tok_s))
-            .collect();
+        let tps: Vec<f64> =
+            cells.iter().filter_map(|c| c.as_ref().ok().map(|m| m.throughput_tok_s)).collect();
         if tps.len() >= 2 {
             checks.push(Check::new(
-                format!(
-                    "{}: throughput decreases with sequence length (Fig 2)",
-                    llm.short_name()
-                ),
+                format!("{}: throughput decreases with sequence length (Fig 2)", llm.short_name()),
                 tps.windows(2).all(|w| w[1] < w[0]),
                 format!("{:.0} → {:.0} tok/s", tps[0], tps[tps.len() - 1]),
             ));
         }
         // Latency grows superlinearly (decode is memory-bound and context
         // work accumulates): quadrupling sl must more than quadruple time.
-        let lats: Vec<f64> = cells
-            .iter()
-            .filter_map(|c| c.as_ref().ok().map(|m| m.latency_s))
-            .collect();
+        let lats: Vec<f64> =
+            cells.iter().filter_map(|c| c.as_ref().ok().map(|m| m.latency_s)).collect();
         if lats.len() == 4 {
             checks.push(Check::new(
                 format!("{}: latency superlinear in sequence length (§3.2)", llm.short_name()),
@@ -119,18 +117,13 @@ pub fn run(dataset: Dataset, protocol: Protocol) -> ExperimentResult {
                 SEQ_LENS
                     .iter()
                     .zip(cells)
-                    .filter_map(|(&sl, c)| {
-                        c.as_ref().ok().map(|m| (sl as f64, m.throughput_tok_s))
-                    })
+                    .filter_map(|(&sl, c)| c.as_ref().ok().map(|m| (sl as f64, m.throughput_tok_s)))
                     .collect(),
             )
         })
         .collect();
     tables.push(crate::figviz::chart(
-        &format!(
-            "Fig 2 shape — throughput (tok/s) vs sequence length, {}",
-            dataset.label()
-        ),
+        &format!("Fig 2 shape — throughput (tok/s) vs sequence length, {}", dataset.label()),
         &tp_series,
         64,
         14,

@@ -8,9 +8,8 @@ use edgellm_models::Precision;
 /// Regenerate Table 1 for a device capacity (GB) and compare to the paper.
 pub fn run(capacity_gb: f64) -> ExperimentResult {
     let rows = table1(capacity_gb);
-    let mut t = Table::new(vec![
-        "Model", "#Params", "FP32 GB", "FP16 GB", "INT8 GB", "INT4 GB", "loads",
-    ]);
+    let mut t =
+        Table::new(vec!["Model", "#Params", "FP32 GB", "FP16 GB", "INT8 GB", "INT4 GB", "loads"]);
     let mut checks = Vec::new();
     let mut csv = Table::new(vec!["model", "precision", "ours_gb", "paper_gb", "loadable"]);
 
@@ -46,22 +45,15 @@ pub fn run(capacity_gb: f64) -> ExperimentResult {
                 format!("ours {:.1} GB (Δ {:.1}%)", f.gb, rel * 100.0),
             ));
             checks.push(Check::new(
-                format!(
-                    "{} {} loadability matches paper",
-                    row.llm.short_name(),
-                    f.precision
-                ),
+                format!("{} {} loadability matches paper", row.llm.short_name(), f.precision),
                 f.loadable == paper_loads[i],
                 format!("ours {} vs paper {}", f.loadable, paper_loads[i]),
             ));
         }
     }
     // Headline claim: INT8 lets DeepSeek-R1-32B run on the Orin AGX.
-    let deepq_int8 = rows[3]
-        .footprints
-        .iter()
-        .find(|f| f.precision == Precision::Int8)
-        .expect("int8 column");
+    let deepq_int8 =
+        rows[3].footprints.iter().find(|f| f.precision == Precision::Int8).expect("int8 column");
     checks.push(Check::new(
         "INT8 enables DeepSeek-R1-32B on the 64 GB Orin (abstract)",
         deepq_int8.loadable,

@@ -6,14 +6,7 @@ use edgellm_hw::{DeviceSpec, PowerModeRegistry};
 /// Render the registry's stock modes (Table 2) and validate them.
 pub fn run() -> ExperimentResult {
     let reg = PowerModeRegistry::with_table2(DeviceSpec::orin_agx_64gb());
-    let mut t = Table::new(vec![
-        "Power Mode",
-        "GPU MHz",
-        "CPU GHz",
-        "Cores",
-        "Mem MHz",
-        "Varies",
-    ]);
+    let mut t = Table::new(vec!["Power Mode", "GPU MHz", "CPU GHz", "Cores", "Mem MHz", "Varies"]);
     let mut csv = Table::new(vec!["mode", "gpu_mhz", "cpu_ghz", "cores", "mem_mhz"]);
     for m in reg.iter() {
         t.row(vec![

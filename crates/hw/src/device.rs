@@ -193,8 +193,7 @@ impl DeviceSpec {
     /// Peak DRAM bandwidth (GB/s) under the given clock state. Bandwidth
     /// scales linearly with the memory clock.
     pub fn peak_bandwidth_gbps(&self, clocks: &ClockState) -> f64 {
-        self.memory.peak_bandwidth_gbps * clocks.mem_mhz as f64
-            / self.memory.max_freq_mhz as f64
+        self.memory.peak_bandwidth_gbps * clocks.mem_mhz as f64 / self.memory.max_freq_mhz as f64
     }
 
     /// Peak compute throughput (FLOP/s or OP/s) for a kernel precision under
@@ -285,12 +284,10 @@ mod tests {
     #[test]
     fn device_family_capacities_ordered() {
         assert!(
-            DeviceSpec::orin_nx_16gb().capacity_gb()
-                < DeviceSpec::orin_agx_32gb().capacity_gb()
+            DeviceSpec::orin_nx_16gb().capacity_gb() < DeviceSpec::orin_agx_32gb().capacity_gb()
         );
         assert!(
-            DeviceSpec::orin_agx_32gb().capacity_gb()
-                < DeviceSpec::orin_agx_64gb().capacity_gb()
+            DeviceSpec::orin_agx_32gb().capacity_gb() < DeviceSpec::orin_agx_64gb().capacity_gb()
         );
     }
 }

@@ -73,14 +73,26 @@ impl KvBlockAllocator {
         self.seqs.entry(id).or_insert_with(|| (Vec::new(), 0));
     }
 
+    /// Blocks that appending `tokens` cached tokens to `id` would newly
+    /// take from the pool (0 when the sequence's last block has room).
+    ///
+    /// Lets a scheduler test an allocation before mutating — preempting
+    /// to free space instead of unwinding a half-applied iteration.
+    pub fn blocks_needed(&self, id: SeqId, tokens: u64) -> Result<usize, KvError> {
+        let (blocks, used) = self.seqs.get(&id).ok_or(KvError::UnknownSeq(id))?;
+        let need_blocks = (used + tokens).div_ceil(self.block_tokens) as usize;
+        Ok(need_blocks.saturating_sub(blocks.len()))
+    }
+
     /// Append `tokens` cached tokens to a sequence, taking blocks on
-    /// demand.
-    pub fn append(&mut self, id: SeqId, tokens: u64) -> Result<(), KvError> {
+    /// demand. Returns the number of blocks newly taken. On
+    /// [`KvError::OutOfBlocks`] nothing is allocated (no partial grow).
+    pub fn append(&mut self, id: SeqId, tokens: u64) -> Result<usize, KvError> {
         let (blocks, used) = self.seqs.get_mut(&id).ok_or(KvError::UnknownSeq(id))?;
         let need_tokens = *used + tokens;
         let need_blocks = need_tokens.div_ceil(self.block_tokens) as usize;
-        if need_blocks > blocks.len() {
-            let extra = need_blocks - blocks.len();
+        let extra = need_blocks.saturating_sub(blocks.len());
+        if extra > 0 {
             if extra > self.free_blocks.len() {
                 return Err(KvError::OutOfBlocks {
                     requested: extra,
@@ -92,14 +104,21 @@ impl KvBlockAllocator {
             }
         }
         *used = need_tokens;
-        Ok(())
+        Ok(extra)
     }
 
-    /// Finish a sequence, returning its blocks to the pool.
-    pub fn release(&mut self, id: SeqId) -> Result<(), KvError> {
+    /// Finish (or preempt) a sequence, returning its blocks to the pool.
+    /// Returns the number of blocks freed.
+    pub fn release(&mut self, id: SeqId) -> Result<usize, KvError> {
         let (blocks, _) = self.seqs.remove(&id).ok_or(KvError::UnknownSeq(id))?;
+        let freed = blocks.len();
         self.free_blocks.extend(blocks);
-        Ok(())
+        Ok(freed)
+    }
+
+    /// Blocks a live sequence currently holds (`None` for unknown ids).
+    pub fn blocks_held(&self, id: SeqId) -> Option<usize> {
+        self.seqs.get(&id).map(|(blocks, _)| blocks.len())
     }
 
     /// Blocks currently free.
@@ -110,6 +129,11 @@ impl KvBlockAllocator {
     /// Total pool blocks.
     pub fn total_blocks(&self) -> usize {
         self.total_blocks
+    }
+
+    /// Blocks currently held by live sequences.
+    pub fn used_blocks(&self) -> usize {
+        self.total_blocks - self.free_blocks.len()
     }
 
     /// Bytes reserved (all held blocks).
@@ -160,12 +184,27 @@ mod tests {
     fn append_takes_blocks_on_demand() {
         let mut a = alloc();
         a.register(1);
-        a.append(1, 10).unwrap(); // 1 block
+        assert_eq!(a.append(1, 10).unwrap(), 1); // 1 block
         assert_eq!(a.free_blocks(), 63);
-        a.append(1, 6).unwrap(); // exactly fills block 1
+        assert_eq!(a.append(1, 6).unwrap(), 0); // exactly fills block 1
         assert_eq!(a.free_blocks(), 63);
-        a.append(1, 1).unwrap(); // spills into block 2
+        assert_eq!(a.append(1, 1).unwrap(), 1); // spills into block 2
         assert_eq!(a.free_blocks(), 62);
+        assert_eq!(a.blocks_held(1), Some(2));
+        assert_eq!(a.used_blocks(), 2);
+    }
+
+    #[test]
+    fn blocks_needed_predicts_append_without_mutating() {
+        let mut a = alloc();
+        a.register(1);
+        assert_eq!(a.blocks_needed(1, 17).unwrap(), 2);
+        let free = a.free_blocks();
+        assert_eq!(a.free_blocks(), free); // pure query
+        assert_eq!(a.append(1, 17).unwrap(), 2);
+        assert_eq!(a.blocks_needed(1, 15).unwrap(), 0); // room in block 2
+        assert_eq!(a.blocks_needed(1, 16).unwrap(), 1);
+        assert!(matches!(a.blocks_needed(9, 1), Err(KvError::UnknownSeq(9))));
     }
 
     #[test]
@@ -174,7 +213,7 @@ mod tests {
         a.register(1);
         a.append(1, 100).unwrap();
         let free_before = a.free_blocks();
-        a.release(1).unwrap();
+        assert_eq!(a.release(1).unwrap(), 7); // ceil(100/16)
         assert_eq!(a.free_blocks(), 64);
         assert!(free_before < 64);
         assert!(matches!(a.release(1), Err(KvError::UnknownSeq(1))));

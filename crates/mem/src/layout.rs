@@ -36,30 +36,18 @@ impl ActivationCalib {
     /// Tables 4/6/7 RAM columns; see DESIGN.md §4 and EXPERIMENTS.md).
     pub fn for_llm(llm: Llm) -> Self {
         match llm {
-            Llm::Phi2 => ActivationCalib {
-                b0_gb: 0.0,
-                c_lin: 350e3,
-                c_quad: 12e3,
-                c_logbs_gb: 0.0,
-            },
-            Llm::Llama31_8b => ActivationCalib {
-                b0_gb: 0.31,
-                c_lin: 101e3,
-                c_quad: 209.0,
-                c_logbs_gb: 0.0,
-            },
-            Llm::MistralSmall24b => ActivationCalib {
-                b0_gb: 0.19,
-                c_lin: 64e3,
-                c_quad: 0.0,
-                c_logbs_gb: 0.0,
-            },
-            Llm::DeepseekQwen32b => ActivationCalib {
-                b0_gb: 0.0,
-                c_lin: 0.0,
-                c_quad: 0.0,
-                c_logbs_gb: 1.15,
-            },
+            Llm::Phi2 => {
+                ActivationCalib { b0_gb: 0.0, c_lin: 350e3, c_quad: 12e3, c_logbs_gb: 0.0 }
+            }
+            Llm::Llama31_8b => {
+                ActivationCalib { b0_gb: 0.31, c_lin: 101e3, c_quad: 209.0, c_logbs_gb: 0.0 }
+            }
+            Llm::MistralSmall24b => {
+                ActivationCalib { b0_gb: 0.19, c_lin: 64e3, c_quad: 0.0, c_logbs_gb: 0.0 }
+            }
+            Llm::DeepseekQwen32b => {
+                ActivationCalib { b0_gb: 0.0, c_lin: 0.0, c_quad: 0.0, c_logbs_gb: 1.15 }
+            }
         }
     }
 
@@ -85,12 +73,7 @@ pub struct MemoryModel {
 impl MemoryModel {
     /// Build a model.
     pub fn new(llm: Llm, precision: Precision, capacity_gb: f64) -> Self {
-        MemoryModel {
-            arch: llm.arch(),
-            act: ActivationCalib::for_llm(llm),
-            precision,
-            capacity_gb,
-        }
+        MemoryModel { arch: llm.arch(), act: ActivationCalib::for_llm(llm), precision, capacity_gb }
     }
 
     /// Weight bytes at the configured precision.
@@ -146,11 +129,7 @@ mod tests {
     type RamRow = (Llm, Precision, [(u64, f64); 4]);
     const TABLE4_RAM: [RamRow; 4] = [
         (Llm::Phi2, Precision::Fp16, [(1, 6.18), (16, 6.87), (32, 8.05), (128, 20.53)]),
-        (
-            Llm::Llama31_8b,
-            Precision::Fp16,
-            [(1, 16.38), (16, 16.72), (32, 17.12), (128, 19.26)],
-        ),
+        (Llm::Llama31_8b, Precision::Fp16, [(1, 16.38), (16, 16.72), (32, 17.12), (128, 19.26)]),
         (
             Llm::MistralSmall24b,
             Precision::Fp16,
@@ -170,10 +149,7 @@ mod tests {
             for (bs, actual) in rows {
                 let pred = m.peak_total_gb(bs, 96);
                 let rel = (pred - actual).abs() / actual;
-                assert!(
-                    rel < 0.20,
-                    "{llm:?} bs={bs}: pred {pred:.2} GB vs {actual} ({rel:.2})"
-                );
+                assert!(rel < 0.20, "{llm:?} bs={bs}: pred {pred:.2} GB vs {actual} ({rel:.2})");
             }
         }
     }

@@ -55,7 +55,11 @@ impl MemTracker {
     pub fn alloc(&mut self, bytes: u64) -> Result<(), OomError> {
         let new = self.in_use.saturating_add(bytes);
         if new > self.capacity {
-            return Err(OomError { requested: bytes, in_use: self.in_use, capacity: self.capacity });
+            return Err(OomError {
+                requested: bytes,
+                in_use: self.in_use,
+                capacity: self.capacity,
+            });
         }
         self.in_use = new;
         self.peak = self.peak.max(new);

@@ -107,8 +107,7 @@ impl ModelArch {
     /// Total parameter count derived from the dimensions.
     pub fn param_count(&self) -> u64 {
         self.embedding_params()
-            + self.layers as u64
-                * (self.attn_params_per_layer() + self.mlp_params_per_layer())
+            + self.layers as u64 * (self.attn_params_per_layer() + self.mlp_params_per_layer())
             + self.norm_params()
     }
 
@@ -208,8 +207,7 @@ mod tests {
     fn weight_bytes_monotone_in_precision() {
         for llm in Llm::ALL {
             let a = llm.arch();
-            let sizes: Vec<u64> =
-                Precision::ALL.iter().map(|p| a.weight_bytes(*p)).collect();
+            let sizes: Vec<u64> = Precision::ALL.iter().map(|p| a.weight_bytes(*p)).collect();
             for w in sizes.windows(2) {
                 assert!(w[0] > w[1], "{}: {:?}", a.name, sizes);
             }

@@ -29,11 +29,7 @@ pub fn dense_flops_per_token(arch: &ModelArch) -> f64 {
 /// FLOPs of attention score+value computation for one new token against a
 /// context of `ctx` cached tokens: 2 GEMMs of `heads × head_dim × ctx`.
 pub fn attn_flops_per_token(arch: &ModelArch, ctx: u64) -> f64 {
-    2.0 * 2.0
-        * arch.layers as f64
-        * arch.heads as f64
-        * arch.head_dim as f64
-        * ctx as f64
+    2.0 * 2.0 * arch.layers as f64 * arch.heads as f64 * arch.head_dim as f64 * ctx as f64
 }
 
 /// Work to decode one step (one new token for each of `batch` sequences)
@@ -118,8 +114,7 @@ mod tests {
     fn attention_flops_linear_in_context() {
         let a = Llm::MistralSmall24b.arch();
         assert!(
-            (attn_flops_per_token(&a, 1024) / attn_flops_per_token(&a, 512) - 2.0).abs()
-                < 1e-9
+            (attn_flops_per_token(&a, 1024) / attn_flops_per_token(&a, 512) - 2.0).abs() < 1e-9
         );
     }
 }

@@ -130,17 +130,9 @@ mod tests {
     #[test]
     fn smaller_capacity_shrinks_feasible_set() {
         let rows16 = table1(16.0);
-        let llama_fp16 = rows16
-            .iter()
-            .find(|r| r.llm == Llm::Llama31_8b)
-            .unwrap()
-            .footprints[1];
+        let llama_fp16 = rows16.iter().find(|r| r.llm == Llm::Llama31_8b).unwrap().footprints[1];
         assert!(!llama_fp16.loadable, "16.1 GB cannot fit a 16 GB device");
-        let llama_int8 = rows16
-            .iter()
-            .find(|r| r.llm == Llm::Llama31_8b)
-            .unwrap()
-            .footprints[2];
+        let llama_int8 = rows16.iter().find(|r| r.llm == Llm::Llama31_8b).unwrap().footprints[2];
         assert!(llama_int8.loadable);
     }
 }

@@ -17,11 +17,7 @@ impl Linear {
     /// Fresh f32 layer with Kaiming-uniform weights and zero bias.
     pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
         Linear {
-            weights: QuantizedWeights::Fp32(Matrix::rand_kaiming(
-                out_features,
-                in_features,
-                seed,
-            )),
+            weights: QuantizedWeights::Fp32(Matrix::rand_kaiming(out_features, in_features, seed)),
             bias: Some(vec![0.0; out_features]),
         }
     }
@@ -74,10 +70,7 @@ impl Linear {
     /// the dequantized weights).
     pub fn to_precision(&self, prec: WeightPrecision) -> Linear {
         let f32_weights = self.weights.dequantize();
-        Linear {
-            weights: QuantizedWeights::quantize(&f32_weights, prec),
-            bias: self.bias.clone(),
-        }
+        Linear { weights: QuantizedWeights::quantize(&f32_weights, prec), bias: self.bias.clone() }
     }
 
     /// Storage bytes of the weights at the current precision.
@@ -109,13 +102,9 @@ mod tests {
             let lq = l.to_precision(p);
             let yq = lq.forward(&x);
             assert_eq!((yq.rows, yq.cols), (y32.rows, y32.cols));
-            let err: f32 = y32
-                .as_slice()
-                .iter()
-                .zip(yq.as_slice())
-                .map(|(a, b)| (a - b).abs())
-                .sum::<f32>()
-                / y32.len() as f32;
+            let err: f32 =
+                y32.as_slice().iter().zip(yq.as_slice()).map(|(a, b)| (a - b).abs()).sum::<f32>()
+                    / y32.len() as f32;
             assert!(err < 0.05, "{p:?} mean err {err}");
         }
     }

@@ -133,8 +133,7 @@ impl MlpLm {
             // Sample a minibatch of (context, target) positions.
             let positions: Vec<usize> =
                 (0..batch).map(|_| rng.gen_range(n..tokens.len())).collect();
-            let contexts: Vec<&[u32]> =
-                positions.iter().map(|&p| &tokens[p - n..p]).collect();
+            let contexts: Vec<&[u32]> = positions.iter().map(|&p| &tokens[p - n..p]).collect();
             let targets: Vec<u32> = positions.iter().map(|&p| tokens[p]).collect();
 
             // ---- forward ----
@@ -166,11 +165,8 @@ impl MlpLm {
                 let take = ctx.len().min(n);
                 let pad = n - take;
                 for slot in 0..n {
-                    let tok = if slot < pad {
-                        0
-                    } else {
-                        ctx[ctx.len() - take + (slot - pad)]
-                    } as usize
+                    let tok = if slot < pad { 0 } else { ctx[ctx.len() - take + (slot - pad)] }
+                        as usize
                         % self.cfg.vocab;
                     let src = &dx.row(r)[slot * d..(slot + 1) * d];
                     let dst = demb.row_mut(tok);
@@ -195,11 +191,7 @@ impl MlpLm {
                 last.push(loss);
             }
         }
-        TrainReport {
-            initial_loss: mean(&first),
-            final_loss: mean(&last),
-            steps,
-        }
+        TrainReport { initial_loss: mean(&first), final_loss: mean(&last), steps }
     }
 
     /// Teacher-forced mean NLL (nats/token) over a stream, batched.
@@ -307,10 +299,7 @@ mod tests {
     #[test]
     fn param_count_formula() {
         let c = tiny_cfg();
-        assert_eq!(
-            c.param_count(),
-            32 * 8 + (3 * 8 + 1) * 16 + (16 + 1) * 32
-        );
+        assert_eq!(c.param_count(), 32 * 8 + (3 * 8 + 1) * 16 + (16 + 1) * 32);
     }
 
     #[test]
@@ -359,20 +348,10 @@ mod tests {
     fn bigger_models_fit_better() {
         // Capacity ordering on a structured stream — the Table 3 backbone.
         let stream: Vec<u32> = (0..4000).map(|i| ((i * i + i / 3) % 24) as u32).collect();
-        let mut small = MlpLm::new(MlpLmConfig {
-            vocab: 32,
-            context: 3,
-            d_emb: 4,
-            hidden: 4,
-            seed: 2,
-        });
-        let mut large = MlpLm::new(MlpLmConfig {
-            vocab: 32,
-            context: 3,
-            d_emb: 16,
-            hidden: 48,
-            seed: 2,
-        });
+        let mut small =
+            MlpLm::new(MlpLmConfig { vocab: 32, context: 3, d_emb: 4, hidden: 4, seed: 2 });
+        let mut large =
+            MlpLm::new(MlpLmConfig { vocab: 32, context: 3, d_emb: 16, hidden: 48, seed: 2 });
         small.train(&stream, 400, 32, 3e-3, 3);
         large.train(&stream, 400, 32, 3e-3, 3);
         let (ps, pl) = (small.perplexity(&stream), large.perplexity(&stream));

@@ -87,8 +87,7 @@ mod tests {
     #[test]
     fn weight_bytes_shrink_down_the_ladder() {
         let (m, _) = trained_model();
-        let sizes: Vec<usize> =
-            WeightPrecision::ALL.iter().map(|&p| weight_bytes(&m, p)).collect();
+        let sizes: Vec<usize> = WeightPrecision::ALL.iter().map(|&p| weight_bytes(&m, p)).collect();
         for w in sizes.windows(2) {
             assert!(w[0] > w[1], "{sizes:?}");
         }

@@ -162,8 +162,7 @@ impl TinyCausalLm {
     pub fn forward_step(&self, token: u32, cache: &mut KvCache) -> Vec<f32> {
         let cfg = &self.cfg;
         let pos = cache.tokens;
-        let mut h =
-            Matrix::from_vec(1, cfg.d_model, self.emb.row(token as usize).to_vec());
+        let mut h = Matrix::from_vec(1, cfg.d_model, self.emb.row(token as usize).to_vec());
 
         for (l, blk) in self.blocks.iter().enumerate() {
             // --- attention ---
@@ -377,12 +376,7 @@ mod tests {
             (WeightPrecision::Int4, 1.5),
         ] {
             let q = m.to_precision(prec).full_logits(&tokens);
-            let rms: f32 = base
-                .iter()
-                .zip(&q)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f32>()
-                .sqrt()
+            let rms: f32 = base.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt()
                 / (base.len() as f32).sqrt();
             assert!(rms < tol, "{prec:?} rms {rms}");
         }
@@ -406,8 +400,7 @@ mod tests {
         use crate::scorer::CausalScorer;
         let m = TinyCausalLm::new(TinyConfig::small(9));
         let w: Vec<u32> = (0..40).map(|i| (i * 7 % 256) as u32).collect();
-        let mean: f64 =
-            m.nll_span(&w, 1).iter().sum::<f64>() / (w.len() - 1) as f64;
+        let mean: f64 = m.nll_span(&w, 1).iter().sum::<f64>() / (w.len() - 1) as f64;
         let uniform = (256f64).ln();
         assert!((mean - uniform).abs() < 1.5, "mean nll {mean} vs ln V {uniform}");
     }

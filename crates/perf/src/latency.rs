@@ -1,8 +1,8 @@
 //! The latency model: prefill + auto-regressive decode over a device.
 
 use crate::calib::{
-    ModelCalib, PrecisionCosts, BW_EFFICIENCY, CTX_OVERHEAD_THRESHOLD, DECODE_EFF,
-    HOST_MIN_CORES, MEM_PENALTY_ALPHA, OVERLAP_BETA, PREFILL_EFF,
+    ModelCalib, PrecisionCosts, BW_EFFICIENCY, CTX_OVERHEAD_THRESHOLD, DECODE_EFF, HOST_MIN_CORES,
+    MEM_PENALTY_ALPHA, OVERLAP_BETA, PREFILL_EFF,
 };
 use edgellm_hw::{ClockState, ComputePrecision, DeviceSpec};
 use edgellm_models::{flops, Llm, ModelArch, Precision};
@@ -105,9 +105,7 @@ impl PerfModel {
     /// and online-core count.
     pub fn host_per_step(&self) -> f64 {
         let base = self.calib.host_s
-            + self.costs.dispatch_frac
-                * self.calib.int8_layer_s
-                * self.arch.layers as f64;
+            + self.costs.dispatch_frac * self.calib.int8_layer_s * self.arch.layers as f64;
         let cpu = self.clocks.cpu_scale(&self.device);
         let core_penalty = if self.clocks.cores_online < HOST_MIN_CORES {
             HOST_MIN_CORES as f64 / self.clocks.cores_online as f64
@@ -127,9 +125,7 @@ impl PerfModel {
     /// overlap.
     pub fn prefill_time(&self, batch: u64, n_in: u64) -> f64 {
         let t_w = self.weight_stream_time();
-        let t_c = batch as f64
-            * n_in as f64
-            * flops::dense_flops_per_token(&self.arch)
+        let t_c = batch as f64 * n_in as f64 * flops::dense_flops_per_token(&self.arch)
             / self.effective_prefill_flops();
         t_w.max(t_c) + OVERLAP_BETA * t_w.min(t_c)
     }
@@ -137,8 +133,8 @@ impl PerfModel {
     /// One decode step for `batch` sequences with `ctx` cached tokens each.
     pub fn decode_step_time(&self, batch: u64, ctx: u64) -> f64 {
         let t_w = self.weight_stream_time();
-        let t_c = batch as f64 * flops::dense_flops_per_token(&self.arch)
-            / self.effective_decode_flops();
+        let t_c =
+            batch as f64 * flops::dense_flops_per_token(&self.arch) / self.effective_decode_flops();
         let core = t_w.max(t_c) + OVERLAP_BETA * t_w.min(t_c);
         core + self.host_per_step() + self.context_traffic_time(batch, ctx)
     }
@@ -146,8 +142,7 @@ impl PerfModel {
     /// KV + long-context overhead traffic time for one step.
     fn context_traffic_time(&self, batch: u64, ctx: u64) -> f64 {
         let kv = ctx as f64 * self.arch.kv_bytes_per_token() as f64;
-        let overhead =
-            ctx.saturating_sub(CTX_OVERHEAD_THRESHOLD) as f64 * self.calib.k2_bytes;
+        let overhead = ctx.saturating_sub(CTX_OVERHEAD_THRESHOLD) as f64 * self.calib.k2_bytes;
         batch as f64 * (kv + overhead) / self.effective_bandwidth()
     }
 
@@ -156,19 +151,14 @@ impl PerfModel {
     /// Returns the mechanism breakdown; `total_s()` is the paper's
     /// time-to-last-token.
     pub fn generate(&self, batch: u64, n_in: u64, n_out: u64) -> LatencyBreakdown {
-        let mut b = LatencyBreakdown {
-            prefill_s: self.prefill_time(batch, n_in),
-            ..Default::default()
-        };
+        let mut b =
+            LatencyBreakdown { prefill_s: self.prefill_time(batch, n_in), ..Default::default() };
         let t_w = self.weight_stream_time();
-        let t_c = batch as f64 * flops::dense_flops_per_token(&self.arch)
-            / self.effective_decode_flops();
+        let t_c =
+            batch as f64 * flops::dense_flops_per_token(&self.arch) / self.effective_decode_flops();
         // Attribute the roofline core (max + β·min) to its dominant side.
-        let (core_traffic, core_compute) = if t_w >= t_c {
-            (t_w, OVERLAP_BETA * t_c)
-        } else {
-            (OVERLAP_BETA * t_w, t_c)
-        };
+        let (core_traffic, core_compute) =
+            if t_w >= t_c { (t_w, OVERLAP_BETA * t_c) } else { (OVERLAP_BETA * t_w, t_c) };
         b.host_s = self.host_per_step() * n_out as f64;
         b.compute_s = core_compute * n_out as f64;
         let mut traffic = core_traffic * n_out as f64;
@@ -303,8 +293,7 @@ mod tests {
     fn throughput_rises_with_batch_size() {
         // Fig 1's headline shape.
         for llm in Llm::ALL {
-            let prec =
-                if llm == Llm::DeepseekQwen32b { Precision::Int8 } else { Precision::Fp16 };
+            let prec = if llm == Llm::DeepseekQwen32b { Precision::Int8 } else { Precision::Fp16 };
             let m = model(llm, prec);
             let mut last = 0.0;
             for bs in [1u64, 2, 4, 8, 16, 32, 64, 128] {
@@ -325,8 +314,7 @@ mod tests {
     fn throughput_falls_with_sequence_length() {
         // Fig 2's headline shape: sl=128..1024 at bs=32.
         for llm in Llm::ALL {
-            let prec =
-                if llm == Llm::DeepseekQwen32b { Precision::Int8 } else { Precision::Fp16 };
+            let prec = if llm == Llm::DeepseekQwen32b { Precision::Int8 } else { Precision::Fp16 };
             let m = model(llm, prec);
             let mut last = f64::INFINITY;
             for (ni, no) in [(32u64, 96u64), (64, 192), (128, 384), (256, 768)] {
@@ -340,10 +328,9 @@ mod tests {
     #[test]
     fn llama_seqlen_sweep_matches_table7() {
         let m = model(Llm::Llama31_8b, Precision::Fp16);
-        for ((ni, no), actual) in
-            [(32u64, 96u64), (64, 192), (128, 384), (256, 768)].iter().zip([
-                14.99, 37.23, 100.69, 304.33,
-            ])
+        for ((ni, no), actual) in [(32u64, 96u64), (64, 192), (128, 384), (256, 768)]
+            .iter()
+            .zip([14.99, 37.23, 100.69, 304.33])
         {
             let pred = m.latency_s(32, *ni, *no);
             let rel = (pred - actual).abs() / actual;
@@ -449,15 +436,11 @@ mod tests {
         // throttling than Llama FP16.
         let dev = DeviceSpec::orin_agx_64gb();
         let slow = |llm: Llm, prec: Precision| {
-            let maxn = PerfModel::new(dev.clone(), llm, prec, dev.max_clocks())
-                .latency_s(32, 32, 64);
-            let d = PerfModel::new(
-                dev.clone(),
-                llm,
-                prec,
-                PowerMode::table2(PowerModeId::D).clocks,
-            )
-            .latency_s(32, 32, 64);
+            let maxn =
+                PerfModel::new(dev.clone(), llm, prec, dev.max_clocks()).latency_s(32, 32, 64);
+            let d =
+                PerfModel::new(dev.clone(), llm, prec, PowerMode::table2(PowerModeId::D).clocks)
+                    .latency_s(32, 32, 64);
             d / maxn - 1.0
         };
         let llama = slow(Llm::Llama31_8b, Precision::Fp16);
@@ -469,10 +452,7 @@ mod tests {
     fn breakdown_components_sum_to_total() {
         let m = model(Llm::Llama31_8b, Precision::Fp16);
         let b = m.generate(32, 32, 64);
-        assert!(
-            (b.total_s() - (b.prefill_s + b.host_s + b.traffic_s + b.compute_s)).abs()
-                < 1e-12
-        );
+        assert!((b.total_s() - (b.prefill_s + b.host_s + b.traffic_s + b.compute_s)).abs() < 1e-12);
         assert!(b.prefill_s > 0.0 && b.host_s > 0.0 && b.traffic_s > 0.0);
     }
 

@@ -78,10 +78,8 @@ mod tests {
 
     #[test]
     fn sampled_timeline_energy_close_to_analytic() {
-        let phases = [
-            Phase { duration_s: 5.0, power_w: 50.0 },
-            Phase { duration_s: 15.0, power_w: 30.0 },
-        ];
+        let phases =
+            [Phase { duration_s: 5.0, power_w: 50.0 }, Phase { duration_s: 15.0, power_w: 30.0 }];
         let analytic = 5.0 * 50.0 + 15.0 * 30.0;
         let e = trapezoid_energy_j(&sample_timeline(&phases, 2.0, 1));
         // 2 s sampling + phase edges + 2% jitter → within ~8%.

@@ -104,6 +104,13 @@ impl RailModel {
     pub fn total_w(&self, clocks: &ClockState, load: &LoadProfile) -> f64 {
         self.power(clocks, load).total_w()
     }
+
+    /// Energy of `dt_s` seconds spent under one load (J) — the
+    /// per-iteration accounting primitive for iteration-level schedulers,
+    /// where each scheduler step holds a single load profile.
+    pub fn energy_j(&self, clocks: &ClockState, load: &LoadProfile, dt_s: f64) -> f64 {
+        self.total_w(clocks, load) * dt_s
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +193,15 @@ mod tests {
         let p_lo = r.total_w(&clocks(PowerModeId::MaxN), &lo);
         let p_hi = r.total_w(&clocks(PowerModeId::MaxN), &hi);
         assert!(p_hi > p_lo * 1.15, "{p_hi} vs {p_lo}");
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let r = rails();
+        let c = clocks(PowerModeId::MaxN);
+        let p = r.total_w(&c, &busy());
+        assert!((r.energy_j(&c, &busy(), 2.5) - p * 2.5).abs() < 1e-12);
+        assert_eq!(r.energy_j(&c, &busy(), 0.0), 0.0);
     }
 
     #[test]

@@ -98,8 +98,7 @@ mod tests {
     #[test]
     fn empty_timeline_gives_empty_trace() {
         assert!(sample_timeline(&[], 2.0, 1).is_empty());
-        assert!(sample_timeline(&[Phase { duration_s: 0.0, power_w: 1.0 }], 2.0, 1)
-            .is_empty());
+        assert!(sample_timeline(&[Phase { duration_s: 0.0, power_w: 1.0 }], 2.0, 1).is_empty());
     }
 
     #[test]

@@ -121,13 +121,9 @@ mod tests {
         let tr = simulate_sustained(&m, 48.0, 3600.0, 1.0, 0.3);
         assert!(tr.throttled_fraction > 0.1, "throttled {:.2}", tr.throttled_fraction);
         // Delivered power converges to roughly the sustainable cap.
-        let tail: f64 =
-            tr.power_w[tr.power_w.len() - 600..].iter().sum::<f64>() / 600.0;
+        let tail: f64 = tr.power_w[tr.power_w.len() - 600..].iter().sum::<f64>() / 600.0;
         let cap = m.sustained_power_cap_w();
-        assert!(
-            (tail - cap).abs() / cap < 0.15,
-            "tail power {tail:.1} vs cap {cap:.1}"
-        );
+        assert!((tail - cap).abs() / cap < 0.15, "tail power {tail:.1} vs cap {cap:.1}");
         // Temperature is regulated near the limit, not past it.
         let t_max = tr.temps_c.iter().cloned().fold(0.0, f64::max);
         assert!(t_max < m.t_limit_c + 3.0, "t_max {t_max}");

@@ -40,8 +40,7 @@ impl QuantError {
         }
         let n = reference.len() as f64;
         let mse = se / n;
-        let sqnr_db =
-            if se == 0.0 { f64::INFINITY } else { 10.0 * (signal / se).log10() };
+        let sqnr_db = if se == 0.0 { f64::INFINITY } else { 10.0 * (signal / se).log10() };
         QuantError { mse, max_abs, sqnr_db }
     }
 }

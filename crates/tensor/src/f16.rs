@@ -96,11 +96,7 @@ impl F16Matrix {
 
     /// Dequantize back to `f32`.
     pub fn to_f32(&self) -> Matrix {
-        Matrix::from_vec(
-            self.rows,
-            self.cols,
-            self.data.iter().map(|&h| f16_to_f32(h)).collect(),
-        )
+        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|&h| f16_to_f32(h)).collect())
     }
 
     /// Storage bytes.
@@ -113,20 +109,17 @@ impl F16Matrix {
         assert_eq!(x.cols, self.cols, "inner dimensions must match");
         let (m, n) = (x.rows, self.rows);
         let mut out = Matrix::zeros(m, n);
-        out.as_mut_slice()
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(r, or)| {
-                let xr = x.row(r);
-                let mut wrow = vec![0.0f32; self.cols];
-                for (c, o) in or.iter_mut().enumerate() {
-                    let wr = &self.data[c * self.cols..(c + 1) * self.cols];
-                    for (dst, &h) in wrow.iter_mut().zip(wr) {
-                        *dst = f16_to_f32(h);
-                    }
-                    *o = dot(xr, &wrow);
+        out.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(r, or)| {
+            let xr = x.row(r);
+            let mut wrow = vec![0.0f32; self.cols];
+            for (c, o) in or.iter_mut().enumerate() {
+                let wr = &self.data[c * self.cols..(c + 1) * self.cols];
+                for (dst, &h) in wrow.iter_mut().zip(wr) {
+                    *dst = f16_to_f32(h);
                 }
-            });
+                *o = dot(xr, &wrow);
+            }
+        });
         out
     }
 }

@@ -50,15 +50,12 @@ pub fn matmul_nt(x: &Matrix, w: &Matrix) -> Matrix {
             }
         }
     } else if m >= rayon::current_num_threads() {
-        out.as_mut_slice()
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(r, or)| {
-                let xr = x.row(r);
-                for (c, o) in or.iter_mut().enumerate() {
-                    *o = dot(xr, w.row(c));
-                }
-            });
+        out.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(r, or)| {
+            let xr = x.row(r);
+            for (c, o) in or.iter_mut().enumerate() {
+                *o = dot(xr, w.row(c));
+            }
+        });
     } else {
         // Few rows, many columns (e.g. single-token decode against a large
         // vocabulary head): parallelize along the output columns instead.
@@ -98,10 +95,7 @@ pub fn matmul_nn(x: &Matrix, w: &Matrix) -> Matrix {
             body(r, out.row_mut(r));
         }
     } else {
-        out.as_mut_slice()
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(r, or)| body(r, or));
+        out.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(r, or)| body(r, or));
     }
     out
 }
@@ -131,10 +125,7 @@ pub fn matmul_tn(x: &Matrix, w: &Matrix) -> Matrix {
             body(r, out.row_mut(r));
         }
     } else {
-        out.as_mut_slice()
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(r, or)| body(r, or));
+        out.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(r, or)| body(r, or));
     }
     out
 }

@@ -135,17 +135,14 @@ impl QInt4Matrix {
         assert_eq!(x.cols, self.cols, "inner dimensions must match");
         let n = self.rows;
         let mut out = Matrix::zeros(x.rows, n);
-        out.as_mut_slice()
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(r, or)| {
-                let xr = x.row(r);
-                let mut wrow = vec![0.0f32; self.cols];
-                for (c, o) in or.iter_mut().enumerate() {
-                    self.decode_row_into(c, &mut wrow);
-                    *o = dot(xr, &wrow);
-                }
-            });
+        out.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(r, or)| {
+            let xr = x.row(r);
+            let mut wrow = vec![0.0f32; self.cols];
+            for (c, o) in or.iter_mut().enumerate() {
+                self.decode_row_into(c, &mut wrow);
+                *o = dot(xr, &wrow);
+            }
+        });
         out
     }
 }
@@ -175,8 +172,7 @@ mod tests {
             for b in 0..w.cols.div_ceil(BLOCK) {
                 let start = b * BLOCK;
                 let end = (start + BLOCK).min(w.cols);
-                let absmax =
-                    w.row(r)[start..end].iter().fold(0.0f32, |m, v| m.max(v.abs()));
+                let absmax = w.row(r)[start..end].iter().fold(0.0f32, |m, v| m.max(v.abs()));
                 for i in start..end {
                     let err = (w.get(r, i) - back.get(r, i)).abs();
                     assert!(err <= 0.16 * absmax + 1e-7, "err {err} absmax {absmax}");
@@ -212,19 +208,11 @@ mod tests {
         let w = Matrix::rand_normal(16, 256, 0.05, 4);
         let e8 = {
             let back = crate::qint8::QInt8Matrix::from_f32(&w).to_f32();
-            w.as_slice()
-                .iter()
-                .zip(back.as_slice())
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f32>()
+            w.as_slice().iter().zip(back.as_slice()).map(|(a, b)| (a - b) * (a - b)).sum::<f32>()
         };
         let e4 = {
             let back = QInt4Matrix::from_f32(&w).to_f32();
-            w.as_slice()
-                .iter()
-                .zip(back.as_slice())
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f32>()
+            w.as_slice().iter().zip(back.as_slice()).map(|(a, b)| (a - b) * (a - b)).sum::<f32>()
         };
         assert!(e4 > 3.0 * e8, "int4 mse {e4} must exceed int8 mse {e8}");
     }

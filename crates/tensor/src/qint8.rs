@@ -128,40 +128,36 @@ impl QInt8Matrix {
         let n = self.rows;
         let mut out = Matrix::zeros(x.rows, n);
 
-        out.as_mut_slice()
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(r, or)| {
-                let xr = x.row(r);
-                // Gather + quantize the activation row (inlier part).
-                let mut x_in = vec![0i8; n_in];
-                let mut absmax = 0.0f32;
-                for &c in &self.inlier_cols {
-                    absmax = absmax.max(xr[c as usize].abs());
-                }
-                let xs = if absmax > 0.0 { absmax / 127.0 } else { 1.0 };
-                for (j, &c) in self.inlier_cols.iter().enumerate() {
-                    x_in[j] = (xr[c as usize] / xs).round().clamp(-127.0, 127.0) as i8;
-                }
-                // Gather the outlier activation features (f32 stream).
-                let x_out: Vec<f32> =
-                    self.outlier_cols.iter().map(|&c| xr[c as usize]).collect();
+        out.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(r, or)| {
+            let xr = x.row(r);
+            // Gather + quantize the activation row (inlier part).
+            let mut x_in = vec![0i8; n_in];
+            let mut absmax = 0.0f32;
+            for &c in &self.inlier_cols {
+                absmax = absmax.max(xr[c as usize].abs());
+            }
+            let xs = if absmax > 0.0 { absmax / 127.0 } else { 1.0 };
+            for (j, &c) in self.inlier_cols.iter().enumerate() {
+                x_in[j] = (xr[c as usize] / xs).round().clamp(-127.0, 127.0) as i8;
+            }
+            // Gather the outlier activation features (f32 stream).
+            let x_out: Vec<f32> = self.outlier_cols.iter().map(|&c| xr[c as usize]).collect();
 
-                for (c, o) in or.iter_mut().enumerate() {
-                    let codes = &self.codes[c * n_in..(c + 1) * n_in];
-                    let mut acc: i32 = 0;
-                    for (a, b) in x_in.iter().zip(codes) {
-                        acc += (*a as i32) * (*b as i32);
-                    }
-                    let int_part = acc as f32 * xs * self.scales[c];
-                    let fp_part = if n_out > 0 {
-                        dot(&x_out, &self.outlier_weights[c * n_out..(c + 1) * n_out])
-                    } else {
-                        0.0
-                    };
-                    *o = int_part + fp_part;
+            for (c, o) in or.iter_mut().enumerate() {
+                let codes = &self.codes[c * n_in..(c + 1) * n_in];
+                let mut acc: i32 = 0;
+                for (a, b) in x_in.iter().zip(codes) {
+                    acc += (*a as i32) * (*b as i32);
                 }
-            });
+                let int_part = acc as f32 * xs * self.scales[c];
+                let fp_part = if n_out > 0 {
+                    dot(&x_out, &self.outlier_weights[c * n_out..(c + 1) * n_out])
+                } else {
+                    0.0
+                };
+                *o = int_part + fp_part;
+            }
+        });
         out
     }
 }
@@ -176,8 +172,7 @@ mod tests {
         let q = QInt8Matrix::from_f32(&w);
         let back = q.to_f32();
         for r in 0..w.rows {
-            let absmax =
-                w.row(r).iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            let absmax = w.row(r).iter().fold(0.0f32, |m, v| m.max(v.abs()));
             let step = absmax / 127.0;
             for (a, b) in w.row(r).iter().zip(back.row(r)) {
                 assert!((a - b).abs() <= 0.51 * step, "{a} vs {b} step {step}");
@@ -209,12 +204,8 @@ mod tests {
         // Without the outlier path the planted column wrecks that row's
         // precision for all other entries (the LLM.int8() motivation).
         let back = q.to_f32();
-        let err: f32 = w
-            .row(0)
-            .iter()
-            .zip(back.row(0))
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max);
+        let err: f32 =
+            w.row(0).iter().zip(back.row(0)).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max);
         assert!(err > 0.1, "expected visible degradation, max err {err}");
     }
 
@@ -239,15 +230,10 @@ mod tests {
         let x = Matrix::rand_kaiming(4, 128, 7);
         let exact = crate::matmul::matmul_nt(&x, &w);
         let err = |m: &Matrix| -> f32 {
-            m.as_slice()
-                .iter()
-                .zip(exact.as_slice())
-                .map(|(a, b)| (a - b).abs())
-                .sum::<f32>()
+            m.as_slice().iter().zip(exact.as_slice()).map(|(a, b)| (a - b).abs()).sum::<f32>()
         };
         let with = err(&QInt8Matrix::from_f32(&w).matmul_nt(&x));
-        let without =
-            err(&QInt8Matrix::from_f32_with_factor(&w, f32::INFINITY).matmul_nt(&x));
+        let without = err(&QInt8Matrix::from_f32_with_factor(&w, f32::INFINITY).matmul_nt(&x));
         assert!(with < without * 0.5, "with={with} without={without}");
     }
 

@@ -69,9 +69,7 @@ mod tests {
     fn low_temperature_approaches_greedy() {
         let logits = [0.0, 2.0, 1.9];
         let mut rng = StdRng::seed_from_u64(2);
-        let hits = (0..200)
-            .filter(|_| sample_top_k(&logits, 3, 0.01, &mut rng) == 1)
-            .count();
+        let hits = (0..200).filter(|_| sample_top_k(&logits, 3, 0.01, &mut rng) == 1).count();
         assert!(hits > 195, "greedy hits {hits}");
     }
 

@@ -22,10 +22,7 @@ fn main() {
             e
         }),
     ];
-    println!(
-        "Single request (32 in + 64 out) on {} vs cloud offload:\n",
-        engine.device().name
-    );
+    println!("Single request (32 in + 64 out) on {} vs cloud offload:\n", engine.device().name);
     println!(
         "{:<10} {:<22} {:>9} {:>9} {:>9} {:>11}  advice",
         "model", "network", "edge s", "cloud s", "edge J", "cloud J"

@@ -70,9 +70,7 @@ fn main() {
         }
     }
 
-    match candidates
-        .iter()
-        .min_by(|a, b| a.1.energy_j.partial_cmp(&b.1.energy_j).expect("finite"))
+    match candidates.iter().min_by(|a, b| a.1.energy_j.partial_cmp(&b.1.energy_j).expect("finite"))
     {
         Some((label, m)) => println!(
             "\n→ minimum-energy feasible mode: {label} — {:.0} J at {:.1} W, {:.1} s",

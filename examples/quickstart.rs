@@ -43,6 +43,8 @@ fn main() {
     let generated = model.generate_greedy(&[1, 2, 3], 12);
     println!("\nReal transformer decode (random weights, KV-cached): {generated:?}");
     let int8 = model.to_precision(edgellm::nn::WeightPrecision::Int8);
-    println!("Same prompt under real INT8 weights:                 {:?}",
-        int8.generate_greedy(&[1, 2, 3], 12));
+    println!(
+        "Same prompt under real INT8 weights:                 {:?}",
+        int8.generate_greedy(&[1, 2, 3], 12)
+    );
 }

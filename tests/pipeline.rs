@@ -24,13 +24,7 @@ fn corpus_to_perplexity_pipeline() {
     assert_eq!(batch.len(), 32);
 
     // Train, quantize, evaluate — the ladder must be ordered.
-    let mut lm = MlpLm::new(MlpLmConfig {
-        vocab: 384,
-        context: 4,
-        d_emb: 24,
-        hidden: 64,
-        seed: 5,
-    });
+    let mut lm = MlpLm::new(MlpLmConfig { vocab: 384, context: 4, d_emb: 24, hidden: 64, seed: 5 });
     let untrained = lm.perplexity(&stream);
     lm.train(&stream, 600, 64, 3e-3, 6);
     let trained = lm.perplexity(&stream);
@@ -39,9 +33,8 @@ fn corpus_to_perplexity_pipeline() {
         "training must cut perplexity: {untrained:.1} → {trained:.1}"
     );
 
-    let ppl = |p: WeightPrecision| {
-        sliding_window_perplexity(&to_precision(&lm, p), &stream).perplexity
-    };
+    let ppl =
+        |p: WeightPrecision| sliding_window_perplexity(&to_precision(&lm, p), &stream).perplexity;
     let (p32, p16, p8, p4) = (
         ppl(WeightPrecision::Fp32),
         ppl(WeightPrecision::Fp16),
@@ -62,8 +55,7 @@ fn device_family_feasibility_matrix() {
         (DeviceSpec::orin_nx_16gb(), false), // 16.1 GB weights > 14 GB usable
     ] {
         let engine = Engine::new(device.clone());
-        let cfg = RunConfig::new(Llm::Llama31_8b, Precision::Fp16)
-            .power_mode(engine.maxn());
+        let cfg = RunConfig::new(Llm::Llama31_8b, Precision::Fp16).power_mode(engine.maxn());
         let outcome = engine.run_batch(&cfg);
         assert_eq!(
             outcome.is_ok(),
@@ -112,9 +104,7 @@ fn dataset_effect_is_small_and_directional() {
     for llm in Llm::ALL {
         let prec = if llm == Llm::DeepseekQwen32b { Precision::Int8 } else { Precision::Fp16 };
         let wiki = engine.run_batch(&RunConfig::new(llm, prec)).unwrap();
-        let lb = engine
-            .run_batch(&RunConfig::new(llm, prec).dataset(Dataset::LongBench))
-            .unwrap();
+        let lb = engine.run_batch(&RunConfig::new(llm, prec).dataset(Dataset::LongBench)).unwrap();
         let ratio = lb.latency_s / wiki.latency_s;
         assert!((0.9..=1.0).contains(&ratio), "{llm:?}: {ratio}");
     }
@@ -125,10 +115,9 @@ fn dataset_effect_is_small_and_directional() {
 #[test]
 fn oom_boundary_is_sharp_for_phi2() {
     let engine = Engine::orin_agx_64gb();
-    let ok = RunConfig::new(Llm::Phi2, Precision::Fp16)
-        .sequence(SequenceSpec::paper_sweep(256));
+    let ok = RunConfig::new(Llm::Phi2, Precision::Fp16).sequence(SequenceSpec::paper_sweep(256));
     assert!(engine.run_batch(&ok).is_ok());
-    let too_big = RunConfig::new(Llm::Phi2, Precision::Fp16)
-        .sequence(SequenceSpec::paper_sweep(512));
+    let too_big =
+        RunConfig::new(Llm::Phi2, Precision::Fp16).sequence(SequenceSpec::paper_sweep(512));
     assert!(matches!(engine.run_batch(&too_big), Err(RunError::OutOfMemory { .. })));
 }

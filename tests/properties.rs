@@ -2,7 +2,8 @@
 //! crates: numeric codecs, quantization error ordering, performance-model
 //! monotonicities, allocator safety and energy integration.
 
-use edgellm::core::{Engine, RunConfig, SequenceSpec};
+use edgellm::core::serve::{EventScheduler, ServeConfig};
+use edgellm::core::{Engine, PoissonArrivals, RunConfig, SequenceSpec};
 use edgellm::corpus::{BpeTokenizer, CorpusKind, SyntheticCorpus};
 use edgellm::hw::{DeviceSpec, PowerMode};
 use edgellm::mem::KvBlockAllocator;
@@ -148,6 +149,80 @@ proptest! {
         let c = SyntheticCorpus::generate(kind, 1500, seed);
         let tok = BpeTokenizer::train(&c.text, 300);
         prop_assert_eq!(tok.decode(&tok.encode(&c.text)), c.text);
+    }
+
+    /// Serve scheduler: every generated token is accounted exactly once
+    /// and KV blocks balance at drain — even when a deliberately tiny KV
+    /// pool forces preemption/recompute cycles mid-decode.
+    #[test]
+    fn serve_conserves_tokens_and_kv_under_preemption(
+        n in 6usize..16,
+        seed in 0u64..200,
+        pool_seqs in 3u64..7,
+    ) {
+        let dev = DeviceSpec::orin_agx_64gb();
+        let cfg = RunConfig::new(Llm::Llama31_8b, Precision::Fp16);
+        let mut arr = PoissonArrivals::paper_shape(4.0);
+        arr.input_tokens = 48;
+        arr.output_tokens = 96;
+        arr.shape_jitter = 0.0;
+        let reqs = arr.generate(n, seed);
+        let pool = pool_seqs * 144 * cfg.llm.arch().kv_bytes_per_token();
+        let r = EventScheduler::new(ServeConfig::chunked(8).kv_pool_cap(pool))
+            .run(&dev, &cfg, &reqs)
+            .unwrap();
+        let submitted: u64 = reqs.iter().map(|q| q.output_tokens).sum();
+        prop_assert_eq!(r.report.requests, n);
+        prop_assert_eq!(r.served_output_tokens, submitted);
+        prop_assert_eq!(r.kv_blocks_allocated, r.kv_blocks_freed);
+        let last = r.trace.last().unwrap();
+        prop_assert_eq!(last.kv_blocks_used, 0, "pool must drain");
+    }
+
+    /// Makespan is monotone in offered load: compressing the same arrival
+    /// trace (identical request shapes, same seed) can only finish the
+    /// workload sooner.
+    #[test]
+    fn serve_makespan_monotone_in_load(
+        seed in 0u64..100,
+        lo_rate in 0.2f64..0.8,
+        mult in 2.0f64..5.0,
+    ) {
+        let dev = DeviceSpec::orin_agx_64gb();
+        let cfg = RunConfig::new(Llm::Llama31_8b, Precision::Fp16);
+        let lo_reqs = PoissonArrivals::paper_shape(lo_rate).generate(24, seed);
+        let hi_reqs = PoissonArrivals::paper_shape(lo_rate * mult).generate(24, seed);
+        let sched = EventScheduler::new(ServeConfig::chunked(16));
+        let lo = sched.run(&dev, &cfg, &lo_reqs).unwrap();
+        let hi = sched.run(&dev, &cfg, &hi_reqs).unwrap();
+        prop_assert!(
+            hi.report.makespan_s <= lo.report.makespan_s + 1e-9,
+            "hi-load {} vs lo-load {}", hi.report.makespan_s, lo.report.makespan_s
+        );
+    }
+
+    /// Chunked prefill never meaningfully worsens mean TTFT versus
+    /// blocking prefill, and wins when admissions contend with decode
+    /// (prefill-heavy model under load).
+    #[test]
+    fn serve_chunked_ttft_no_worse_than_blocking(
+        seed in 0u64..100,
+        rate in 0.8f64..2.5,
+    ) {
+        let dev = DeviceSpec::orin_agx_64gb();
+        let cfg = RunConfig::new(Llm::MistralSmall24b, Precision::Fp16);
+        let reqs = PoissonArrivals::paper_shape(rate).generate(40, seed);
+        let block = EventScheduler::new(ServeConfig::blocking(16))
+            .run(&dev, &cfg, &reqs)
+            .unwrap();
+        let chunked = EventScheduler::new(ServeConfig::chunked(16))
+            .run(&dev, &cfg, &reqs)
+            .unwrap();
+        prop_assert!(
+            chunked.report.mean_ttft_s <= block.report.mean_ttft_s * 1.02 + 0.05,
+            "chunked {} vs blocking {}",
+            chunked.report.mean_ttft_s, block.report.mean_ttft_s
+        );
     }
 
     /// The engine never reports peak memory above device capacity, and
