@@ -10,6 +10,10 @@ use rand::{Rng, SeedableRng};
 /// One serving request.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Request {
+    /// Stable request identifier, unique within a trace. Schedulers break
+    /// arrival-time ties on it so queue order (and therefore every derived
+    /// metric) is reproducible regardless of submission order.
+    pub id: u64,
     /// Arrival time (s).
     pub arrival_s: f64,
     /// Prompt tokens.
@@ -47,7 +51,7 @@ impl PoissonArrivals {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut t = 0.0;
         let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
+        for id in 0..n {
             // Exponential inter-arrival via inverse CDF.
             let u: f64 = rng.gen_range(f64::EPSILON..1.0);
             t += -u.ln() / self.rate_per_s;
@@ -59,6 +63,7 @@ impl PoissonArrivals {
                 ((base as f64 * f).round() as u64).max(1)
             };
             out.push(Request {
+                id: id as u64,
                 arrival_s: t,
                 input_tokens: jit(self.input_tokens, &mut rng),
                 output_tokens: jit(self.output_tokens, &mut rng),
@@ -98,6 +103,14 @@ mod tests {
         for r in &reqs {
             assert!((24..=40).contains(&r.input_tokens), "{:?}", r);
             assert!((48..=80).contains(&r.output_tokens), "{:?}", r);
+        }
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let reqs = PoissonArrivals::paper_shape(1.0).generate(40, 2);
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.id, i as u64, "ids follow generation order");
         }
     }
 

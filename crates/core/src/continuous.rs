@@ -8,7 +8,7 @@
 //! idles waiting for the longest sequence in a batch.
 //!
 //! The simulation itself lives in [`crate::serve`]: [`ContinuousBatcher::run`]
-//! is a thin wrapper over [`EventScheduler`](crate::serve::EventScheduler)
+//! is a thin wrapper over [`EventScheduler`]
 //! with the blocking-prefill policy (the legacy regime this type always
 //! modelled). Use the scheduler directly for chunked prefill, KV-pressure
 //! preemption knobs and the per-iteration trace.
@@ -109,7 +109,9 @@ impl ContinuousBatcher {
         };
         let idle_power = rails.total_w(clocks, &LoadProfile::idle());
         let mut queue: Vec<Request> = requests.to_vec();
-        queue.sort_by(|a, b| a.arrival_s.partial_cmp(&b.arrival_s).expect("finite"));
+        queue.sort_by(|a, b| {
+            a.arrival_s.partial_cmp(&b.arrival_s).expect("finite").then(a.id.cmp(&b.id))
+        });
         let mut t = 0.0f64;
         let mut latencies = Vec::with_capacity(queue.len());
         let mut ttfts = Vec::with_capacity(queue.len());

@@ -56,4 +56,7 @@ pub use phase_split::{phase_split, PhaseSplit};
 pub use pmsearch::{search_power_modes, SearchConstraints, SearchResult};
 pub use protocol::Protocol;
 pub use scheduler::{ServingReport, StaticBatcher};
-pub use serve::{EventScheduler, IterPhase, IterationTrace, PrefillPolicy, ServeConfig, ServeRun};
+pub use serve::{
+    Completion, EventScheduler, IterPhase, IterationTrace, PrefillPolicy, ServeConfig, ServeRun,
+    ServeSim,
+};

@@ -1,5 +1,5 @@
 //! Prefill/decode phase-splitting analysis — the paper's pointer to
-//! Splitwise (Patel et al. [11]) turned into a measurable report: how much
+//! Splitwise (Patel et al. \[11\]) turned into a measurable report: how much
 //! of each workload's time, energy and resource pressure sits in the
 //! compute-bound prefill phase vs the memory-bound decode phase.
 

@@ -1,6 +1,6 @@
 //! Static batching of a request stream — the serving layer above single
 //! batches, used by the serving-planner example and the phase-splitting
-//! extension (the paper's future-work pointer to Splitwise [11]).
+//! extension (the paper's future-work pointer to Splitwise \[11\]).
 
 use crate::config::RunConfig;
 use crate::engine::Engine;

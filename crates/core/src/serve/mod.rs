@@ -32,9 +32,11 @@
 //! ```
 
 pub mod scheduler;
+pub mod sim;
 pub mod trace;
 
 pub use scheduler::{
     EventScheduler, PrefillPolicy, ServeConfig, ServeRun, DEFAULT_CHUNK_TOKENS, KV_BLOCK_TOKENS,
 };
+pub use sim::{Completion, ServeSim};
 pub use trace::{IterPhase, IterationTrace};

@@ -15,29 +15,29 @@
 //!    (HF-generate style), accumulated in
 //!    [`ContinuousReport::prefill_stall_s`].
 //! 2. **Live KV accounting**: every cached token is drawn from an
-//!    [`KvBlockAllocator`] pool sized from what the device has left after
-//!    weights and an activation reserve — not from a static worst-case
-//!    concurrency clamp. When an iteration's growth cannot be served, the
-//!    youngest live sequence is preempted: its blocks are freed and it is
-//!    re-queued with a recompute penalty (its regenerated tokens join the
-//!    prompt it must prefill again).
+//!    [`KvBlockAllocator`](edgellm_mem::KvBlockAllocator) pool sized from
+//!    what the device has left after weights and an activation reserve —
+//!    not from a static worst-case concurrency clamp. When an iteration's
+//!    growth cannot be served, the youngest live sequence is preempted:
+//!    its blocks are freed and it is re-queued with a recompute penalty
+//!    (its regenerated tokens join the prompt it must prefill again).
 //! 3. **Per-iteration energy**: each iteration charges
 //!    `dt × RailModel::total_w` under the phase's utilization profile
 //!    (idle gaps at the idle profile), emitting an [`IterationTrace`] so
 //!    the energy integral and KV pressure are inspectable step by step.
-
-use std::collections::VecDeque;
+//!
+//! The mechanics live in [`ServeSim`], a steppable
+//! core (`next_event_s()` / `step(now)`) that fleet co-simulators drive
+//! one event at a time; `EventScheduler::run` is the single-device
+//! convenience wrapper that steps it to completion.
 
 use crate::arrivals::Request;
 use crate::config::RunConfig;
 use crate::continuous::ContinuousReport;
 use crate::error::RunError;
-use crate::metrics::quantile;
-use crate::serve::trace::{IterPhase, IterationTrace};
+use crate::serve::sim::ServeSim;
+use crate::serve::trace::IterationTrace;
 use edgellm_hw::DeviceSpec;
-use edgellm_mem::{KvBlockAllocator, MemoryModel, GB, OOM_HEADROOM_GB};
-use edgellm_perf::PerfModel;
-use edgellm_power::{LoadProfile, RailModel};
 
 /// Tokens per KV-cache block (matches the engine's paged allocator).
 pub const KV_BLOCK_TOKENS: u64 = 16;
@@ -121,41 +121,6 @@ pub struct ServeRun {
     pub served_output_tokens: u64,
 }
 
-/// One request's scheduling state, preserved across preemptions.
-#[derive(Debug, Clone, Copy)]
-struct Job {
-    arrival_s: f64,
-    /// Prompt tokens to prefill; grows by the regenerated tokens when the
-    /// sequence is preempted (the recompute penalty).
-    prompt_tokens: u64,
-    /// Output tokens the request asked for.
-    output_total: u64,
-    /// Output tokens still to deliver.
-    output_remaining: u64,
-    /// Time to first token, recorded once at first prefill completion and
-    /// kept across preemptions.
-    ttft_s: Option<f64>,
-}
-
-/// A sequence currently holding KV blocks.
-#[derive(Debug, Clone, Copy)]
-struct Live {
-    id: u32,
-    job: Job,
-    /// Prompt tokens prefilled so far.
-    prompt_done: u64,
-}
-
-impl Live {
-    fn ctx(&self) -> u64 {
-        self.job.prompt_tokens + (self.job.output_total - self.job.output_remaining)
-    }
-
-    fn decoding(&self) -> bool {
-        self.prompt_done == self.job.prompt_tokens && self.job.output_remaining > 0
-    }
-}
-
 /// The event-driven iteration-level scheduler.
 #[derive(Debug, Clone)]
 pub struct EventScheduler {
@@ -176,364 +141,11 @@ impl EventScheduler {
         cfg: &RunConfig,
         requests: &[Request],
     ) -> Result<ServeRun, RunError> {
-        if requests.is_empty() {
-            return Err(RunError::InvalidConfig("no requests".into()));
+        let mut sim = ServeSim::new(self.cfg, device, cfg, requests)?;
+        while let Some(now) = sim.next_event_s() {
+            sim.step(now)?;
         }
-        cfg.power_mode.validate(device)?;
-        let perf = PerfModel::new(device.clone(), cfg.llm, cfg.precision, cfg.power_mode.clocks);
-        let mm = MemoryModel::new(cfg.llm, cfg.precision, device.capacity_gb());
-        if !mm.model_loads() {
-            return Err(RunError::ModelDoesNotLoad {
-                required_gb: mm.weight_bytes() / GB,
-                usable_gb: device.capacity_gb() - OOM_HEADROOM_GB,
-            });
-        }
-        let usable = ((device.capacity_gb() - OOM_HEADROOM_GB) * GB) as u64;
-        let max_sl =
-            requests.iter().map(|r| r.input_tokens + r.output_tokens).max().expect("non-empty");
-        let kv_per_token = cfg.llm.arch().kv_bytes_per_token();
-        let block_bytes = KV_BLOCK_TOKENS * kv_per_token;
-
-        // Admission cap from the *live* footprint — weights, activations
-        // at the concurrency, one KV block per sequence. KV growth beyond
-        // that is tracked by the allocator, not worst-cased here.
-        let footprint =
-            |b: u64| mm.weight_bytes() + mm.activation_bytes(b, max_sl) + (b * block_bytes) as f64;
-        let mut cap = self.cfg.max_batch.max(1) as u64;
-        while cap > 1 && footprint(cap) > usable as f64 {
-            cap -= 1;
-        }
-        if footprint(cap) > usable as f64 {
-            return Err(RunError::OutOfMemory {
-                peak_gb: footprint(cap) / GB,
-                usable_gb: usable as f64 / GB,
-            });
-        }
-        let cap = cap as usize;
-        let reserve = (mm.weight_bytes() + mm.activation_bytes(cap as u64, max_sl)) as u64;
-        let mut pool = usable.saturating_sub(reserve);
-        if let Some(limit) = self.cfg.kv_pool_bytes {
-            pool = pool.min(limit);
-        }
-        if pool < block_bytes {
-            return Err(RunError::OutOfMemory {
-                peak_gb: (reserve + block_bytes) as f64 / GB,
-                usable_gb: usable as f64 / GB,
-            });
-        }
-        let mut kv = KvBlockAllocator::new(pool, KV_BLOCK_TOKENS, kv_per_token);
-
-        let rails = RailModel::orin_agx(device.clone());
-        let maxn = PerfModel::new(device.clone(), cfg.llm, cfg.precision, device.max_clocks());
-        let bw_ratio = perf.effective_bandwidth() / maxn.effective_bandwidth();
-        let clocks = &cfg.power_mode.clocks;
-        let profile = |u: edgellm_perf::Utilization| LoadProfile {
-            gpu_util: u.gpu,
-            cpu_util: u.cpu,
-            bw_util: u.mem_bw,
-            bw_ratio,
-        };
-        let idle_power = rails.total_w(clocks, &LoadProfile::idle());
-        let t_stream = perf.weight_stream_time();
-        let chunk = match self.cfg.prefill {
-            PrefillPolicy::Chunked { chunk_tokens } => chunk_tokens.max(1),
-            PrefillPolicy::Blocking => 0,
-        };
-
-        let mut pending: VecDeque<Job> = {
-            let mut q: Vec<Job> = requests
-                .iter()
-                .map(|r| Job {
-                    arrival_s: r.arrival_s,
-                    prompt_tokens: r.input_tokens,
-                    output_total: r.output_tokens,
-                    output_remaining: r.output_tokens,
-                    ttft_s: None,
-                })
-                .collect();
-            q.sort_by(|a, b| a.arrival_s.partial_cmp(&b.arrival_s).expect("finite"));
-            q.into()
-        };
-        let n = pending.len();
-
-        let mut live: Vec<Live> = Vec::new();
-        let mut next_id: u32 = 0;
-        let mut t = 0.0f64;
-        let mut latencies: Vec<f64> = Vec::with_capacity(n);
-        let mut ttfts: Vec<f64> = Vec::with_capacity(n);
-        let mut trace: Vec<IterationTrace> = Vec::new();
-        let mut energy_j = 0.0f64;
-        let mut prefill_stall_s = 0.0f64;
-        let mut preemptions = 0usize;
-        let mut served_tokens = 0u64;
-        let mut occupancy_sum = 0usize;
-        let mut decode_iters = 0usize;
-        let mut kv_allocated = 0u64;
-        let mut kv_freed = 0u64;
-
-        while latencies.len() < n {
-            // --- admission at the iteration boundary ---
-            while let Some(job) = pending.front().copied() {
-                if job.arrival_s > t || live.len() >= cap {
-                    break;
-                }
-                // Watermark gate: the prompt plus the first decode token
-                // must have room, or admission waits for blocks to free.
-                let need = ((job.prompt_tokens + 1).div_ceil(KV_BLOCK_TOKENS)) as usize;
-                if need > kv.free_blocks() {
-                    if live.is_empty() {
-                        // Every block is free and the prompt still does
-                        // not fit: the request alone exceeds the pool.
-                        return Err(RunError::OutOfMemory {
-                            peak_gb: (reserve + need as u64 * block_bytes) as f64 / GB,
-                            usable_gb: usable as f64 / GB,
-                        });
-                    }
-                    break;
-                }
-                pending.pop_front();
-                let id = next_id;
-                next_id += 1;
-                kv.register(id);
-                match self.cfg.prefill {
-                    PrefillPolicy::Blocking => {
-                        // The joining sequence pays its solo prefill now,
-                        // stalling everything live.
-                        kv_allocated +=
-                            kv.append(id, job.prompt_tokens).expect("gated on free") as u64;
-                        let dt = perf.prefill_time(1, job.prompt_tokens.max(1));
-                        t += dt;
-                        prefill_stall_s += dt;
-                        let p = rails.total_w(
-                            clocks,
-                            &profile(perf.prefill_utilization(1, job.prompt_tokens.max(1))),
-                        );
-                        energy_j += p * dt;
-                        let mut job = job;
-                        job.ttft_s = Some(t - job.arrival_s);
-                        trace.push(IterationTrace {
-                            t_s: t,
-                            dt_s: dt,
-                            phase: IterPhase::Prefill,
-                            decoding: 0,
-                            prefilling: 1,
-                            kv_blocks_used: kv.used_blocks(),
-                            kv_blocks_total: kv.total_blocks(),
-                            power_w: p,
-                            tokens: job.prompt_tokens,
-                        });
-                        live.push(Live { id, job, prompt_done: job.prompt_tokens });
-                    }
-                    PrefillPolicy::Chunked { .. } => {
-                        live.push(Live { id, job, prompt_done: 0 });
-                    }
-                }
-            }
-
-            if live.is_empty() {
-                // Idle: jump to the next arrival.
-                let next_t = pending.front().expect("work remains").arrival_s;
-                let dt = (next_t - t).max(0.0);
-                if dt > 0.0 {
-                    energy_j += idle_power * dt;
-                    trace.push(IterationTrace {
-                        t_s: next_t,
-                        dt_s: dt,
-                        phase: IterPhase::Idle,
-                        decoding: 0,
-                        prefilling: 0,
-                        kv_blocks_used: kv.used_blocks(),
-                        kv_blocks_total: kv.total_blocks(),
-                        power_w: idle_power,
-                        tokens: 0,
-                    });
-                }
-                t = t.max(next_t);
-                continue;
-            }
-
-            // --- secure KV capacity for this iteration's growth,
-            //     preempting the youngest sequence under pressure ---
-            loop {
-                let mut need = 0usize;
-                for s in &live {
-                    let grow = if s.prompt_done < s.job.prompt_tokens {
-                        chunk.min(s.job.prompt_tokens - s.prompt_done)
-                    } else if s.job.output_remaining > 0 {
-                        1
-                    } else {
-                        0
-                    };
-                    if grow > 0 {
-                        need += kv.blocks_needed(s.id, grow).expect("live seq registered");
-                    }
-                }
-                if need <= kv.free_blocks() {
-                    break;
-                }
-                let victim = live
-                    .iter()
-                    .enumerate()
-                    .max_by(|(_, a), (_, b)| {
-                        a.job
-                            .arrival_s
-                            .partial_cmp(&b.job.arrival_s)
-                            .expect("finite")
-                            .then(a.id.cmp(&b.id))
-                    })
-                    .map(|(i, _)| i)
-                    .expect("live non-empty");
-                let s = live.swap_remove(victim);
-                kv_freed += kv.release(s.id).expect("live seq registered") as u64;
-                preemptions += 1;
-                // Recompute penalty: the discarded cache — including every
-                // token generated so far — joins the prompt to re-prefill.
-                let mut job = s.job;
-                job.prompt_tokens += s.job.output_total - s.job.output_remaining;
-                let pos = pending
-                    .iter()
-                    .position(|p| p.arrival_s > job.arrival_s)
-                    .unwrap_or(pending.len());
-                pending.insert(pos, job);
-                if live.is_empty() {
-                    break;
-                }
-            }
-            if live.is_empty() {
-                // Everything was preempted; re-admission (or the pool
-                // error above) decides what happens next.
-                continue;
-            }
-
-            // --- one fused iteration ---
-            let deks: Vec<usize> =
-                live.iter().enumerate().filter(|(_, s)| s.decoding()).map(|(i, _)| i).collect();
-            let n_dec = deks.len();
-            let avg_ctx = if n_dec > 0 {
-                (deks.iter().map(|&i| live[i].ctx()).sum::<u64>() as f64 / n_dec as f64) as u64
-            } else {
-                0
-            };
-
-            let mut prefillers = 0usize;
-            let mut prefill_tokens = 0u64;
-            let mut chunk_excess_s = 0.0f64;
-            let mut finished_prefill: Vec<usize> = Vec::new();
-            if chunk > 0 {
-                for (i, s) in live.iter_mut().enumerate() {
-                    if s.prompt_done < s.job.prompt_tokens {
-                        let adv = chunk.min(s.job.prompt_tokens - s.prompt_done);
-                        kv_allocated += kv.append(s.id, adv).expect("capacity pre-checked") as u64;
-                        s.prompt_done += adv;
-                        prefillers += 1;
-                        prefill_tokens += adv;
-                        // The chunk's weight traffic rides the decode
-                        // batch's stream; only compute beyond it bills.
-                        chunk_excess_s += (perf.prefill_time(1, adv) - t_stream).max(0.0);
-                        if s.prompt_done == s.job.prompt_tokens {
-                            finished_prefill.push(i);
-                        }
-                    }
-                }
-            }
-
-            let dt = if n_dec > 0 {
-                perf.decode_step_time(n_dec as u64, avg_ctx.max(1))
-            } else {
-                t_stream + perf.host_per_step()
-            } + chunk_excess_s;
-            prefill_stall_s += chunk_excess_s;
-
-            for &i in &deks {
-                kv_allocated += kv.append(live[i].id, 1).expect("capacity pre-checked") as u64;
-                live[i].job.output_remaining -= 1;
-            }
-            t += dt;
-            for &i in &finished_prefill {
-                if live[i].job.ttft_s.is_none() {
-                    live[i].job.ttft_s = Some(t - live[i].job.arrival_s);
-                }
-            }
-
-            let phase = match (n_dec > 0, prefillers > 0) {
-                (true, true) => IterPhase::Mixed,
-                (true, false) => IterPhase::Decode,
-                (false, _) => IterPhase::Prefill,
-            };
-            let power_w = if n_dec == 0 {
-                rails.total_w(
-                    clocks,
-                    &profile(perf.prefill_utilization(prefillers.max(1) as u64, chunk.max(1))),
-                )
-            } else {
-                let p_dec = rails.total_w(
-                    clocks,
-                    &profile(perf.decode_utilization(n_dec as u64, avg_ctx.max(1))),
-                );
-                if prefillers == 0 || chunk_excess_s <= 0.0 {
-                    p_dec
-                } else {
-                    // Time-weighted blend of the decode and chunk shares.
-                    let p_pre = rails.total_w(clocks, &profile(perf.prefill_utilization(1, chunk)));
-                    (p_dec * (dt - chunk_excess_s) + p_pre * chunk_excess_s) / dt
-                }
-            };
-            energy_j += power_w * dt;
-            if n_dec > 0 {
-                occupancy_sum += n_dec;
-                decode_iters += 1;
-            }
-
-            let mut i = 0;
-            while i < live.len() {
-                let s = live[i];
-                if s.prompt_done == s.job.prompt_tokens && s.job.output_remaining == 0 {
-                    live.swap_remove(i);
-                    latencies.push(t - s.job.arrival_s);
-                    ttfts.push(s.job.ttft_s.unwrap_or(t - s.job.arrival_s));
-                    served_tokens += s.job.output_total;
-                    kv_freed += kv.release(s.id).expect("live seq registered") as u64;
-                } else {
-                    i += 1;
-                }
-            }
-
-            trace.push(IterationTrace {
-                t_s: t,
-                dt_s: dt,
-                phase,
-                decoding: n_dec,
-                prefilling: prefillers,
-                kv_blocks_used: kv.used_blocks(),
-                kv_blocks_total: kv.total_blocks(),
-                power_w,
-                tokens: prefill_tokens + n_dec as u64,
-            });
-        }
-
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        ttfts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let report = ContinuousReport {
-            makespan_s: t,
-            mean_latency_s: latencies.iter().sum::<f64>() / latencies.len() as f64,
-            p95_latency_s: quantile(&latencies, 0.95),
-            output_tok_s: served_tokens as f64 / t,
-            mean_occupancy: occupancy_sum as f64 / decode_iters.max(1) as f64,
-            requests: latencies.len(),
-            energy_j,
-            preemptions,
-            mean_ttft_s: ttfts.iter().sum::<f64>() / ttfts.len() as f64,
-            p50_ttft_s: quantile(&ttfts, 0.50),
-            p99_ttft_s: quantile(&ttfts, 0.99),
-            prefill_stall_s,
-        };
-        Ok(ServeRun {
-            report,
-            trace,
-            kv_blocks_allocated: kv_allocated,
-            kv_blocks_freed: kv_freed,
-            served_output_tokens: served_tokens,
-        })
+        Ok(sim.finish())
     }
 }
 
@@ -622,7 +234,7 @@ mod tests {
         let err = EventScheduler::new(ServeConfig::chunked(4).kv_pool_cap(pool))
             .run(&dev, &cfg, &reqs)
             .unwrap_err();
-        assert!(matches!(err, RunError::OutOfMemory { .. }), "{err}");
+        assert!(matches!(err, crate::error::RunError::OutOfMemory { .. }), "{err}");
     }
 
     #[test]
@@ -645,6 +257,7 @@ mod tests {
 
     #[test]
     fn unloadable_model_and_empty_queue_fail_fast() {
+        use crate::error::RunError;
         let (dev, _) = setup();
         let cfg = RunConfig::new(Llm::DeepseekQwen32b, Precision::Fp16);
         let reqs = PoissonArrivals::paper_shape(1.0).generate(4, 1);

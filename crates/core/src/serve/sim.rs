@@ -1,0 +1,850 @@
+//! The steppable simulation core behind [`EventScheduler`].
+//!
+//! [`ServeSim`] owns one device's complete serving state — admission
+//! queue, live batch, KV pool, clock, energy integral, per-iteration
+//! trace — and exposes it one event at a time:
+//!
+//! * [`ServeSim::next_event_s`] — when this device can next make
+//!   progress (now, if sequences are live; the earliest pending arrival
+//!   otherwise);
+//! * [`ServeSim::step`] — advance to that instant and perform one
+//!   scheduler turn (idle gap billing, admission, KV-pressure
+//!   preemption, one fused iteration);
+//! * [`ServeSim::submit`] / [`ServeSim::drain_incomplete`] — inject a
+//!   request mid-flight or evacuate everything unfinished (device
+//!   failure), so a fleet co-simulator can route work across many
+//!   `ServeSim`s on a shared clock.
+//!
+//! [`EventScheduler::run`] is a thin wrapper: construct, step until
+//! [`ServeSim::next_event_s`] returns `None`, [`ServeSim::finish`]. The
+//! wrapper reproduces the pre-refactor monolithic loop event for event —
+//! the golden serving pins did not move.
+//!
+//! [`EventScheduler`]: crate::serve::EventScheduler
+//! [`EventScheduler::run`]: crate::serve::EventScheduler::run
+
+use std::collections::VecDeque;
+
+use crate::arrivals::Request;
+use crate::config::RunConfig;
+use crate::continuous::ContinuousReport;
+use crate::error::RunError;
+use crate::metrics::quantile;
+use crate::serve::scheduler::{PrefillPolicy, ServeConfig, ServeRun, KV_BLOCK_TOKENS};
+use crate::serve::trace::{IterPhase, IterationTrace};
+use edgellm_hw::{ClockState, DeviceSpec};
+use edgellm_mem::{KvBlockAllocator, MemoryModel, GB, OOM_HEADROOM_GB};
+use edgellm_perf::PerfModel;
+use edgellm_power::{LoadProfile, RailModel};
+
+/// One completed request's record, kept for SLO accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// The request's stable id ([`Request::id`]).
+    pub rid: u64,
+    /// Original arrival time (s).
+    pub arrival_s: f64,
+    /// Time to first token, arrival → prefill completion (s).
+    pub ttft_s: f64,
+    /// End-to-end latency, arrival → last token (s).
+    pub latency_s: f64,
+    /// Output tokens delivered.
+    pub output_tokens: u64,
+}
+
+/// One request's scheduling state, preserved across preemptions.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    /// Stable request id (tie-breaks equal arrivals; reroute identity).
+    rid: u64,
+    arrival_s: f64,
+    /// The prompt as originally submitted (reroutes restart from this).
+    orig_input: u64,
+    /// Prompt tokens to prefill; grows by the regenerated tokens when the
+    /// sequence is preempted (the recompute penalty).
+    prompt_tokens: u64,
+    /// Output tokens the request asked for.
+    output_total: u64,
+    /// Output tokens still to deliver.
+    output_remaining: u64,
+    /// Time to first token, recorded once at first prefill completion and
+    /// kept across preemptions.
+    ttft_s: Option<f64>,
+}
+
+impl Job {
+    fn from_request(r: &Request) -> Self {
+        Job {
+            rid: r.id,
+            arrival_s: r.arrival_s,
+            orig_input: r.input_tokens,
+            prompt_tokens: r.input_tokens,
+            output_total: r.output_tokens,
+            output_remaining: r.output_tokens,
+            ttft_s: None,
+        }
+    }
+
+    fn to_request(self) -> Request {
+        Request {
+            id: self.rid,
+            arrival_s: self.arrival_s,
+            input_tokens: self.orig_input,
+            output_tokens: self.output_total,
+        }
+    }
+}
+
+/// A sequence currently holding KV blocks.
+#[derive(Debug, Clone, Copy)]
+struct Live {
+    id: u32,
+    job: Job,
+    /// Prompt tokens prefilled so far.
+    prompt_done: u64,
+}
+
+impl Live {
+    fn ctx(&self) -> u64 {
+        self.job.prompt_tokens + (self.job.output_total - self.job.output_remaining)
+    }
+
+    fn decoding(&self) -> bool {
+        self.prompt_done == self.job.prompt_tokens && self.job.output_remaining > 0
+    }
+}
+
+/// One device's serving simulation, advanced one event at a time.
+#[derive(Debug, Clone)]
+pub struct ServeSim {
+    cfg: ServeConfig,
+    perf: PerfModel,
+    rails: RailModel,
+    clocks: ClockState,
+    bw_ratio: f64,
+    idle_power: f64,
+    t_stream: f64,
+    /// Prefill chunk tokens (0 under the blocking policy).
+    chunk: u64,
+    /// Admission concurrency cap after the live-footprint clamp.
+    cap: usize,
+    reserve: u64,
+    usable: u64,
+    block_bytes: u64,
+    kv: KvBlockAllocator,
+    pending: VecDeque<Job>,
+    live: Vec<Live>,
+    next_id: u32,
+    t: f64,
+    submitted: usize,
+    completions: Vec<Completion>,
+    trace: Vec<IterationTrace>,
+    energy_j: f64,
+    prefill_stall_s: f64,
+    preemptions: usize,
+    served_tokens: u64,
+    occupancy_sum: usize,
+    decode_iters: usize,
+    kv_allocated: u64,
+    kv_freed: u64,
+}
+
+impl ServeSim {
+    /// A simulation pre-loaded with `requests` (their shapes size the
+    /// activation reserve exactly as [`EventScheduler::run`] always did).
+    ///
+    /// [`EventScheduler::run`]: crate::serve::EventScheduler::run
+    pub fn new(
+        cfg: ServeConfig,
+        device: &DeviceSpec,
+        run_cfg: &RunConfig,
+        requests: &[Request],
+    ) -> Result<Self, RunError> {
+        if requests.is_empty() {
+            return Err(RunError::InvalidConfig("no requests".into()));
+        }
+        let max_sl =
+            requests.iter().map(|r| r.input_tokens + r.output_tokens).max().expect("non-empty");
+        let mut sim = Self::with_seq_hint(cfg, device, run_cfg, max_sl)?;
+        for r in requests {
+            sim.submit(r);
+        }
+        Ok(sim)
+    }
+
+    /// An empty simulation whose activation reserve is sized for
+    /// sequences up to `max_seq_tokens` (prompt + output). Use this when
+    /// requests arrive later via [`ServeSim::submit`] — a fleet router,
+    /// for instance — and size the hint to the workload's longest shape.
+    pub fn with_seq_hint(
+        cfg: ServeConfig,
+        device: &DeviceSpec,
+        run_cfg: &RunConfig,
+        max_seq_tokens: u64,
+    ) -> Result<Self, RunError> {
+        run_cfg.power_mode.validate(device)?;
+        let perf = PerfModel::new(
+            device.clone(),
+            run_cfg.llm,
+            run_cfg.precision,
+            run_cfg.power_mode.clocks,
+        );
+        let mm = MemoryModel::new(run_cfg.llm, run_cfg.precision, device.capacity_gb());
+        if !mm.model_loads() {
+            return Err(RunError::ModelDoesNotLoad {
+                required_gb: mm.weight_bytes() / GB,
+                usable_gb: device.capacity_gb() - OOM_HEADROOM_GB,
+            });
+        }
+        let usable = ((device.capacity_gb() - OOM_HEADROOM_GB) * GB) as u64;
+        let max_sl = max_seq_tokens.max(1);
+        let kv_per_token = run_cfg.llm.arch().kv_bytes_per_token();
+        let block_bytes = KV_BLOCK_TOKENS * kv_per_token;
+
+        // Admission cap from the *live* footprint — weights, activations
+        // at the concurrency, one KV block per sequence. KV growth beyond
+        // that is tracked by the allocator, not worst-cased here.
+        let footprint =
+            |b: u64| mm.weight_bytes() + mm.activation_bytes(b, max_sl) + (b * block_bytes) as f64;
+        let mut cap = cfg.max_batch.max(1) as u64;
+        while cap > 1 && footprint(cap) > usable as f64 {
+            cap -= 1;
+        }
+        if footprint(cap) > usable as f64 {
+            return Err(RunError::OutOfMemory {
+                peak_gb: footprint(cap) / GB,
+                usable_gb: usable as f64 / GB,
+            });
+        }
+        let cap = cap as usize;
+        let reserve = (mm.weight_bytes() + mm.activation_bytes(cap as u64, max_sl)) as u64;
+        let mut pool = usable.saturating_sub(reserve);
+        if let Some(limit) = cfg.kv_pool_bytes {
+            pool = pool.min(limit);
+        }
+        if pool < block_bytes {
+            return Err(RunError::OutOfMemory {
+                peak_gb: (reserve + block_bytes) as f64 / GB,
+                usable_gb: usable as f64 / GB,
+            });
+        }
+        let kv = KvBlockAllocator::new(pool, KV_BLOCK_TOKENS, kv_per_token);
+
+        let rails = RailModel::orin_agx(device.clone());
+        let maxn =
+            PerfModel::new(device.clone(), run_cfg.llm, run_cfg.precision, device.max_clocks());
+        let bw_ratio = perf.effective_bandwidth() / maxn.effective_bandwidth();
+        let clocks = run_cfg.power_mode.clocks;
+        let idle_power = rails.total_w(&clocks, &LoadProfile::idle());
+        let t_stream = perf.weight_stream_time();
+        let chunk = match cfg.prefill {
+            PrefillPolicy::Chunked { chunk_tokens } => chunk_tokens.max(1),
+            PrefillPolicy::Blocking => 0,
+        };
+
+        Ok(ServeSim {
+            cfg,
+            perf,
+            rails,
+            clocks,
+            bw_ratio,
+            idle_power,
+            t_stream,
+            chunk,
+            cap,
+            reserve,
+            usable,
+            block_bytes,
+            kv,
+            pending: VecDeque::new(),
+            live: Vec::new(),
+            next_id: 0,
+            t: 0.0,
+            submitted: 0,
+            completions: Vec::new(),
+            trace: Vec::new(),
+            energy_j: 0.0,
+            prefill_stall_s: 0.0,
+            preemptions: 0,
+            served_tokens: 0,
+            occupancy_sum: 0,
+            decode_iters: 0,
+            kv_allocated: 0,
+            kv_freed: 0,
+        })
+    }
+
+    fn profile(&self, u: edgellm_perf::Utilization) -> LoadProfile {
+        LoadProfile { gpu_util: u.gpu, cpu_util: u.cpu, bw_util: u.mem_bw, bw_ratio: self.bw_ratio }
+    }
+
+    /// Queue a request. Ordering is by `(arrival_s, id)` so equal-time
+    /// arrivals schedule identically regardless of submission order.
+    pub fn submit(&mut self, r: &Request) {
+        let job = Job::from_request(r);
+        let pos = self
+            .pending
+            .iter()
+            .position(|p| {
+                p.arrival_s > job.arrival_s || (p.arrival_s == job.arrival_s && p.rid > job.rid)
+            })
+            .unwrap_or(self.pending.len());
+        self.pending.insert(pos, job);
+        self.submitted += 1;
+    }
+
+    /// Current simulation clock (s).
+    pub fn now(&self) -> f64 {
+        self.t
+    }
+
+    /// Whether every submitted request has completed.
+    pub fn is_done(&self) -> bool {
+        self.pending.is_empty() && self.live.is_empty()
+    }
+
+    /// When this device can next make progress: now if sequences are
+    /// live, the earliest pending arrival otherwise, `None` when drained.
+    pub fn next_event_s(&self) -> Option<f64> {
+        if !self.live.is_empty() {
+            Some(self.t)
+        } else {
+            self.pending.front().map(|j| j.arrival_s.max(self.t))
+        }
+    }
+
+    /// Jump a quiescent simulation's clock to `now` without billing
+    /// energy: the device was powered off across the gap (e.g. a fleet
+    /// outage), not idling. No-op while sequences are live or when `now`
+    /// is not ahead of the local clock.
+    pub fn skip_to(&mut self, now: f64) {
+        if self.live.is_empty() && now > self.t {
+            self.t = now;
+        }
+    }
+
+    /// Advance a quiescent simulation's clock to `now`, billing the gap
+    /// at idle power — the device stayed powered across it (e.g. a
+    /// thermal cooldown). No-op while sequences are live or when `now`
+    /// is not ahead of the local clock.
+    pub fn idle_to(&mut self, now: f64) {
+        if self.live.is_empty() && now > self.t {
+            let dt = now - self.t;
+            self.energy_j += self.idle_power * dt;
+            self.trace.push(IterationTrace {
+                t_s: now,
+                dt_s: dt,
+                phase: IterPhase::Idle,
+                decoding: 0,
+                prefilling: 0,
+                kv_blocks_used: self.kv.used_blocks(),
+                kv_blocks_total: self.kv.total_blocks(),
+                power_w: self.idle_power,
+                tokens: 0,
+            });
+            self.t = now;
+        }
+    }
+
+    /// Advance the clock to `now` and perform one scheduler turn:
+    /// idle-gap billing, admission, KV-pressure preemption, and (when
+    /// sequences are live) one fused iteration.
+    ///
+    /// Drive it with [`ServeSim::next_event_s`]; stepping to an earlier
+    /// instant is a no-op beyond admission.
+    pub fn step(&mut self, now: f64) -> Result<(), RunError> {
+        if self.live.is_empty() && now > self.t {
+            let dt = now - self.t;
+            self.energy_j += self.idle_power * dt;
+            self.trace.push(IterationTrace {
+                t_s: now,
+                dt_s: dt,
+                phase: IterPhase::Idle,
+                decoding: 0,
+                prefilling: 0,
+                kv_blocks_used: self.kv.used_blocks(),
+                kv_blocks_total: self.kv.total_blocks(),
+                power_w: self.idle_power,
+                tokens: 0,
+            });
+            self.t = now;
+        }
+        self.admit()?;
+        if self.live.is_empty() {
+            return Ok(());
+        }
+        self.secure_kv();
+        if self.live.is_empty() {
+            // Everything was preempted; re-admission (or the pool error
+            // above) decides what happens next turn.
+            return Ok(());
+        }
+        self.iterate();
+        Ok(())
+    }
+
+    /// Admission at the iteration boundary.
+    fn admit(&mut self) -> Result<(), RunError> {
+        while let Some(job) = self.pending.front().copied() {
+            if job.arrival_s > self.t || self.live.len() >= self.cap {
+                break;
+            }
+            // Watermark gate: the prompt plus the first decode token
+            // must have room, or admission waits for blocks to free.
+            let need = ((job.prompt_tokens + 1).div_ceil(KV_BLOCK_TOKENS)) as usize;
+            if need > self.kv.free_blocks() {
+                if self.live.is_empty() {
+                    // Every block is free and the prompt still does
+                    // not fit: the request alone exceeds the pool.
+                    return Err(RunError::OutOfMemory {
+                        peak_gb: (self.reserve + need as u64 * self.block_bytes) as f64 / GB,
+                        usable_gb: self.usable as f64 / GB,
+                    });
+                }
+                break;
+            }
+            self.pending.pop_front();
+            let id = self.next_id;
+            self.next_id += 1;
+            self.kv.register(id);
+            match self.cfg.prefill {
+                PrefillPolicy::Blocking => {
+                    // The joining sequence pays its solo prefill now,
+                    // stalling everything live.
+                    self.kv_allocated +=
+                        self.kv.append(id, job.prompt_tokens).expect("gated on free") as u64;
+                    let dt = self.perf.prefill_time(1, job.prompt_tokens.max(1));
+                    self.t += dt;
+                    self.prefill_stall_s += dt;
+                    let p = self.rails.total_w(
+                        &self.clocks,
+                        &self.profile(self.perf.prefill_utilization(1, job.prompt_tokens.max(1))),
+                    );
+                    self.energy_j += p * dt;
+                    let mut job = job;
+                    job.ttft_s = Some(self.t - job.arrival_s);
+                    self.trace.push(IterationTrace {
+                        t_s: self.t,
+                        dt_s: dt,
+                        phase: IterPhase::Prefill,
+                        decoding: 0,
+                        prefilling: 1,
+                        kv_blocks_used: self.kv.used_blocks(),
+                        kv_blocks_total: self.kv.total_blocks(),
+                        power_w: p,
+                        tokens: job.prompt_tokens,
+                    });
+                    self.live.push(Live { id, job, prompt_done: job.prompt_tokens });
+                }
+                PrefillPolicy::Chunked { .. } => {
+                    self.live.push(Live { id, job, prompt_done: 0 });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Secure KV capacity for this iteration's growth, preempting the
+    /// youngest sequence under pressure.
+    fn secure_kv(&mut self) {
+        loop {
+            let mut need = 0usize;
+            for s in &self.live {
+                let grow = if s.prompt_done < s.job.prompt_tokens {
+                    self.chunk.min(s.job.prompt_tokens - s.prompt_done)
+                } else if s.job.output_remaining > 0 {
+                    1
+                } else {
+                    0
+                };
+                if grow > 0 {
+                    need += self.kv.blocks_needed(s.id, grow).expect("live seq registered");
+                }
+            }
+            if need <= self.kv.free_blocks() {
+                break;
+            }
+            let victim = self
+                .live
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| {
+                    a.job
+                        .arrival_s
+                        .partial_cmp(&b.job.arrival_s)
+                        .expect("finite")
+                        .then(a.id.cmp(&b.id))
+                })
+                .map(|(i, _)| i)
+                .expect("live non-empty");
+            let s = self.live.swap_remove(victim);
+            self.kv_freed += self.kv.release(s.id).expect("live seq registered") as u64;
+            self.preemptions += 1;
+            // Recompute penalty: the discarded cache — including every
+            // token generated so far — joins the prompt to re-prefill.
+            let mut job = s.job;
+            job.prompt_tokens += s.job.output_total - s.job.output_remaining;
+            let pos = self
+                .pending
+                .iter()
+                .position(|p| {
+                    p.arrival_s > job.arrival_s || (p.arrival_s == job.arrival_s && p.rid > job.rid)
+                })
+                .unwrap_or(self.pending.len());
+            self.pending.insert(pos, job);
+            if self.live.is_empty() {
+                break;
+            }
+        }
+    }
+
+    /// One fused iteration.
+    fn iterate(&mut self) {
+        let deks: Vec<usize> =
+            self.live.iter().enumerate().filter(|(_, s)| s.decoding()).map(|(i, _)| i).collect();
+        let n_dec = deks.len();
+        let avg_ctx = if n_dec > 0 {
+            (deks.iter().map(|&i| self.live[i].ctx()).sum::<u64>() as f64 / n_dec as f64) as u64
+        } else {
+            0
+        };
+
+        let mut prefillers = 0usize;
+        let mut prefill_tokens = 0u64;
+        let mut chunk_excess_s = 0.0f64;
+        let mut finished_prefill: Vec<usize> = Vec::new();
+        if self.chunk > 0 {
+            for (i, s) in self.live.iter_mut().enumerate() {
+                if s.prompt_done < s.job.prompt_tokens {
+                    let adv = self.chunk.min(s.job.prompt_tokens - s.prompt_done);
+                    self.kv_allocated +=
+                        self.kv.append(s.id, adv).expect("capacity pre-checked") as u64;
+                    s.prompt_done += adv;
+                    prefillers += 1;
+                    prefill_tokens += adv;
+                    // The chunk's weight traffic rides the decode
+                    // batch's stream; only compute beyond it bills.
+                    chunk_excess_s += (self.perf.prefill_time(1, adv) - self.t_stream).max(0.0);
+                    if s.prompt_done == s.job.prompt_tokens {
+                        finished_prefill.push(i);
+                    }
+                }
+            }
+        }
+
+        let dt = if n_dec > 0 {
+            self.perf.decode_step_time(n_dec as u64, avg_ctx.max(1))
+        } else {
+            self.t_stream + self.perf.host_per_step()
+        } + chunk_excess_s;
+        self.prefill_stall_s += chunk_excess_s;
+
+        for &i in &deks {
+            self.kv_allocated +=
+                self.kv.append(self.live[i].id, 1).expect("capacity pre-checked") as u64;
+            self.live[i].job.output_remaining -= 1;
+        }
+        self.t += dt;
+        for &i in &finished_prefill {
+            if self.live[i].job.ttft_s.is_none() {
+                self.live[i].job.ttft_s = Some(self.t - self.live[i].job.arrival_s);
+            }
+        }
+
+        let phase = match (n_dec > 0, prefillers > 0) {
+            (true, true) => IterPhase::Mixed,
+            (true, false) => IterPhase::Decode,
+            (false, _) => IterPhase::Prefill,
+        };
+        let power_w = if n_dec == 0 {
+            self.rails.total_w(
+                &self.clocks,
+                &self.profile(
+                    self.perf.prefill_utilization(prefillers.max(1) as u64, self.chunk.max(1)),
+                ),
+            )
+        } else {
+            let p_dec = self.rails.total_w(
+                &self.clocks,
+                &self.profile(self.perf.decode_utilization(n_dec as u64, avg_ctx.max(1))),
+            );
+            if prefillers == 0 || chunk_excess_s <= 0.0 {
+                p_dec
+            } else {
+                // Time-weighted blend of the decode and chunk shares.
+                let p_pre = self.rails.total_w(
+                    &self.clocks,
+                    &self.profile(self.perf.prefill_utilization(1, self.chunk)),
+                );
+                (p_dec * (dt - chunk_excess_s) + p_pre * chunk_excess_s) / dt
+            }
+        };
+        self.energy_j += power_w * dt;
+        if n_dec > 0 {
+            self.occupancy_sum += n_dec;
+            self.decode_iters += 1;
+        }
+
+        let mut i = 0;
+        while i < self.live.len() {
+            let s = self.live[i];
+            if s.prompt_done == s.job.prompt_tokens && s.job.output_remaining == 0 {
+                self.live.swap_remove(i);
+                let latency_s = self.t - s.job.arrival_s;
+                self.completions.push(Completion {
+                    rid: s.job.rid,
+                    arrival_s: s.job.arrival_s,
+                    ttft_s: s.job.ttft_s.unwrap_or(latency_s),
+                    latency_s,
+                    output_tokens: s.job.output_total,
+                });
+                self.served_tokens += s.job.output_total;
+                self.kv_freed += self.kv.release(s.id).expect("live seq registered") as u64;
+            } else {
+                i += 1;
+            }
+        }
+
+        self.trace.push(IterationTrace {
+            t_s: self.t,
+            dt_s: dt,
+            phase,
+            decoding: n_dec,
+            prefilling: prefillers,
+            kv_blocks_used: self.kv.used_blocks(),
+            kv_blocks_total: self.kv.total_blocks(),
+            power_w,
+            tokens: prefill_tokens + n_dec as u64,
+        });
+    }
+
+    /// Remove every unfinished request (queued and live), releasing their
+    /// KV blocks, and return them in their *original* submitted shape
+    /// (recompute-grown prompts are reset — a different device has none
+    /// of this one's cache). Fleet fault injection reroutes these.
+    pub fn drain_incomplete(&mut self) -> Vec<Request> {
+        let mut out: Vec<Request> = self.pending.drain(..).map(Job::to_request).collect();
+        for s in self.live.drain(..) {
+            self.kv_freed += self.kv.release(s.id).expect("live seq registered") as u64;
+            out.push(s.job.to_request());
+        }
+        out.sort_by(|a, b| {
+            a.arrival_s.partial_cmp(&b.arrival_s).expect("finite").then(a.id.cmp(&b.id))
+        });
+        out
+    }
+
+    /// Requests submitted so far (completed or not).
+    pub fn submitted(&self) -> usize {
+        self.submitted
+    }
+
+    /// Requests queued or live (work in the system).
+    pub fn queue_depth(&self) -> usize {
+        self.pending.len() + self.live.len()
+    }
+
+    /// Tokens still to process across queued and live requests (remaining
+    /// prompt plus remaining output) — a router's work-ahead estimate.
+    pub fn backlog_tokens(&self) -> u64 {
+        let pending: u64 = self.pending.iter().map(|j| j.prompt_tokens + j.output_remaining).sum();
+        let live: u64 = self
+            .live
+            .iter()
+            .map(|s| (s.job.prompt_tokens - s.prompt_done) + s.job.output_remaining)
+            .sum();
+        pending + live
+    }
+
+    /// KV pool occupancy in [0, 1].
+    pub fn kv_occupancy(&self) -> f64 {
+        let total = self.kv.total_blocks();
+        if total == 0 {
+            0.0
+        } else {
+            self.kv.used_blocks() as f64 / total as f64
+        }
+    }
+
+    /// Energy integrated so far (J).
+    pub fn energy_j(&self) -> f64 {
+        self.energy_j
+    }
+
+    /// Sequences preempted so far.
+    pub fn preemptions(&self) -> usize {
+        self.preemptions
+    }
+
+    /// Completed-request records, in completion order.
+    pub fn completions(&self) -> &[Completion] {
+        &self.completions
+    }
+
+    /// Per-iteration telemetry so far.
+    pub fn trace(&self) -> &[IterationTrace] {
+        &self.trace
+    }
+
+    /// Output tokens delivered to completed requests.
+    pub fn served_output_tokens(&self) -> u64 {
+        self.served_tokens
+    }
+
+    /// Aggregate serving metrics over what has completed so far (all
+    /// zeros before the first completion).
+    pub fn report(&self) -> ContinuousReport {
+        let mut latencies: Vec<f64> = self.completions.iter().map(|c| c.latency_s).collect();
+        let mut ttfts: Vec<f64> = self.completions.iter().map(|c| c.ttft_s).collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        ttfts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = latencies.len();
+        let mean =
+            |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+        let q = |v: &[f64], p: f64| if v.is_empty() { 0.0 } else { quantile(v, p) };
+        ContinuousReport {
+            makespan_s: self.t,
+            mean_latency_s: mean(&latencies),
+            p95_latency_s: q(&latencies, 0.95),
+            output_tok_s: if self.t > 0.0 { self.served_tokens as f64 / self.t } else { 0.0 },
+            mean_occupancy: self.occupancy_sum as f64 / self.decode_iters.max(1) as f64,
+            requests: n,
+            energy_j: self.energy_j,
+            preemptions: self.preemptions,
+            mean_ttft_s: mean(&ttfts),
+            p50_ttft_s: q(&ttfts, 0.50),
+            p99_ttft_s: q(&ttfts, 0.99),
+            prefill_stall_s: self.prefill_stall_s,
+        }
+    }
+
+    /// Consume the simulation into a [`ServeRun`].
+    pub fn finish(self) -> ServeRun {
+        let report = self.report();
+        ServeRun {
+            report,
+            trace: self.trace,
+            kv_blocks_allocated: self.kv_allocated,
+            kv_blocks_freed: self.kv_freed,
+            served_output_tokens: self.served_tokens,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::PoissonArrivals;
+    use crate::serve::EventScheduler;
+    use edgellm_models::{Llm, Precision};
+
+    fn setup() -> (DeviceSpec, RunConfig) {
+        (DeviceSpec::orin_agx_64gb(), RunConfig::new(Llm::Llama31_8b, Precision::Fp16))
+    }
+
+    #[test]
+    fn stepped_sim_matches_run_wrapper_exactly() {
+        let (dev, cfg) = setup();
+        let reqs = PoissonArrivals::paper_shape(2.0).generate(30, 13);
+        let wrapped = EventScheduler::new(ServeConfig::chunked(16)).run(&dev, &cfg, &reqs).unwrap();
+        let mut sim = ServeSim::new(ServeConfig::chunked(16), &dev, &cfg, &reqs).unwrap();
+        while let Some(now) = sim.next_event_s() {
+            sim.step(now).unwrap();
+        }
+        let direct = sim.finish();
+        assert_eq!(wrapped.report, direct.report);
+        assert_eq!(wrapped.trace, direct.trace);
+        assert_eq!(wrapped.kv_blocks_allocated, direct.kv_blocks_allocated);
+        assert_eq!(wrapped.served_output_tokens, direct.served_output_tokens);
+    }
+
+    #[test]
+    fn incremental_submission_matches_upfront_submission() {
+        // Routing a trace request-by-request (as a fleet front-end does)
+        // must reproduce the run started with the full trace, provided
+        // the sim never outruns the next submission.
+        let (dev, cfg) = setup();
+        let reqs = PoissonArrivals::paper_shape(1.5).generate(20, 21);
+        let max_sl = reqs.iter().map(|r| r.input_tokens + r.output_tokens).max().unwrap();
+        let upfront = ServeSim::new(ServeConfig::chunked(8), &dev, &cfg, &reqs).unwrap();
+        let mut inc = ServeSim::with_seq_hint(ServeConfig::chunked(8), &dev, &cfg, max_sl).unwrap();
+        let mut queued = 0usize;
+        let mut upfront = upfront;
+        loop {
+            // Feed every arrival that precedes the device's next event.
+            let horizon = inc.next_event_s();
+            while queued < reqs.len() && horizon.is_none_or(|h| reqs[queued].arrival_s <= h) {
+                inc.submit(&reqs[queued]);
+                queued += 1;
+            }
+            match inc.next_event_s() {
+                Some(now) => inc.step(now).unwrap(),
+                None if queued == reqs.len() => break,
+                None => {
+                    inc.submit(&reqs[queued]);
+                    queued += 1;
+                }
+            }
+        }
+        while let Some(now) = upfront.next_event_s() {
+            upfront.step(now).unwrap();
+        }
+        assert_eq!(upfront.report(), inc.report());
+    }
+
+    #[test]
+    fn drain_returns_original_shapes_and_frees_kv() {
+        let (dev, cfg) = setup();
+        let reqs = PoissonArrivals::paper_shape(3.0).generate(12, 5);
+        let mut sim = ServeSim::new(ServeConfig::chunked(8), &dev, &cfg, &reqs).unwrap();
+        // Step a few events so some requests are live, some queued.
+        for _ in 0..6 {
+            let now = sim.next_event_s().unwrap();
+            sim.step(now).unwrap();
+        }
+        let done = sim.completions().len();
+        let drained = sim.drain_incomplete();
+        assert_eq!(done + drained.len(), 12, "every request is completed or drained");
+        assert!(sim.is_done());
+        assert_eq!(sim.kv_occupancy(), 0.0, "drain releases all KV blocks");
+        for d in &drained {
+            let orig = reqs.iter().find(|r| r.id == d.id).expect("known id");
+            assert_eq!(d.input_tokens, orig.input_tokens, "reroute restarts from the prompt");
+            assert_eq!(d.output_tokens, orig.output_tokens);
+            assert_eq!(d.arrival_s, orig.arrival_s, "latency stays end-to-end");
+        }
+    }
+
+    #[test]
+    fn tied_arrivals_order_by_request_id() {
+        // Two identical traces whose tied requests are submitted in
+        // opposite orders must serve identically: ids break the tie.
+        let (dev, cfg) = setup();
+        let mk = |id: u64| Request { id, arrival_s: 0.5, input_tokens: 32, output_tokens: 64 };
+        let fwd = [mk(0), mk(1), mk(2)];
+        let rev = [mk(2), mk(1), mk(0)];
+        let a = EventScheduler::new(ServeConfig::chunked(2)).run(&dev, &cfg, &fwd).unwrap();
+        let b = EventScheduler::new(ServeConfig::chunked(2)).run(&dev, &cfg, &rev).unwrap();
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn backlog_and_queue_depth_track_progress() {
+        let (dev, cfg) = setup();
+        let reqs = PoissonArrivals::paper_shape(2.0).generate(10, 3);
+        let mut sim = ServeSim::new(ServeConfig::chunked(8), &dev, &cfg, &reqs).unwrap();
+        let total: u64 = reqs.iter().map(|r| r.input_tokens + r.output_tokens).sum();
+        assert_eq!(sim.backlog_tokens(), total);
+        assert_eq!(sim.queue_depth(), 10);
+        let mut prev = sim.backlog_tokens();
+        while let Some(now) = sim.next_event_s() {
+            sim.step(now).unwrap();
+            assert!(sim.backlog_tokens() <= prev, "backlog never grows without preemption");
+            prev = sim.backlog_tokens();
+        }
+        assert_eq!(sim.backlog_tokens(), 0);
+        assert_eq!(sim.queue_depth(), 0);
+        assert_eq!(sim.completions().len(), 10);
+    }
+}

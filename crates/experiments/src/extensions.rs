@@ -92,12 +92,7 @@ pub fn optimized_engine() -> ExperimentResult {
 /// the 32 GB Orin (Seymour et al.'s device), the Orin NX and the previous-
 /// generation Xavier.
 pub fn device_family() -> ExperimentResult {
-    let devices = [
-        DeviceSpec::orin_agx_64gb(),
-        DeviceSpec::orin_agx_32gb(),
-        DeviceSpec::orin_nx_16gb(),
-        DeviceSpec::xavier_agx_32gb(),
-    ];
+    let devices = DeviceSpec::jetson_family();
     let mut t = Table::new(vec![
         "device",
         "model",

@@ -1,0 +1,202 @@
+//! `ext-fleet`: heterogeneous multi-device fleet serving — the deployment
+//! question one level above the paper. Given a mixed rack of Jetson-class
+//! boards (Orin AGX, Orin NX, Xavier AGX) serving one Poisson request
+//! stream, how much do the routing policy, fault tolerance and cloud
+//! spillover matter for throughput, latency SLOs and energy per token?
+//!
+//! Everything below runs on the same calibrated per-device models as the
+//! paper experiments; the fleet layer only decides *where* each request
+//! executes.
+
+use crate::report::{Check, ExperimentResult, Table};
+use edgellm_core::{CloudEndpoint, PoissonArrivals, Request, RunConfig};
+use edgellm_fleet::{
+    run_fleet, EnergyGreedy, FaultPlan, FleetConfig, FleetDevice, FleetReport, JoinShortestQueue,
+    LeastKvPressure, RoundRobin, RoutingPolicy, SloAware,
+};
+use edgellm_hw::{DeviceSpec, PowerMode};
+use edgellm_models::{Llm, Precision};
+
+/// Requests in the arrival trace.
+const N_REQS: usize = 60;
+/// Arrival-trace seed (fixed: fleet runs must be reproducible).
+const SEED: u64 = 42;
+/// Mean arrival rate (req/s) for the policy comparison.
+const RATE: f64 = 1.5;
+/// End-to-end latency SLO (s).
+const SLO_S: f64 = 30.0;
+
+/// The heterogeneous fleet: the paper's 64 GB Orin AGX serving FP16 next
+/// to an Orin NX and a previous-generation Xavier AGX serving INT4 (the
+/// precision that fits their memory), each at its own MAXN power mode.
+fn mixed_fleet() -> Vec<FleetDevice> {
+    let nx = DeviceSpec::orin_nx_16gb();
+    let xav = DeviceSpec::xavier_agx_32gb();
+    vec![
+        FleetDevice::new(
+            DeviceSpec::orin_agx_64gb(),
+            RunConfig::new(Llm::Llama31_8b, Precision::Fp16),
+        )
+        .named("orin-agx-64"),
+        FleetDevice::new(
+            nx.clone(),
+            RunConfig::new(Llm::Llama31_8b, Precision::Int4).power_mode(PowerMode::maxn_for(&nx)),
+        )
+        .named("orin-nx-16"),
+        FleetDevice::new(
+            xav.clone(),
+            RunConfig::new(Llm::Llama31_8b, Precision::Int4).power_mode(PowerMode::maxn_for(&xav)),
+        )
+        .named("xavier-agx-32"),
+    ]
+}
+
+fn policy_set() -> Vec<Box<dyn RoutingPolicy>> {
+    vec![
+        Box::new(RoundRobin::default()),
+        Box::new(JoinShortestQueue),
+        Box::new(LeastKvPressure),
+        Box::new(EnergyGreedy::default()),
+        Box::new(SloAware::new(SLO_S)),
+    ]
+}
+
+fn fleet_config(with_cloud: bool) -> FleetConfig {
+    FleetConfig {
+        slo_latency_s: SLO_S,
+        cloud: with_cloud.then(CloudEndpoint::datacenter),
+        faults: FaultPlan::none(),
+    }
+}
+
+fn run_policy(policy: Box<dyn RoutingPolicy>, reqs: &[Request], with_cloud: bool) -> FleetReport {
+    run_fleet(mixed_fleet(), policy, fleet_config(with_cloud), reqs)
+        .expect("fleet members all load the model")
+}
+
+/// Run the extension experiment.
+pub fn run() -> ExperimentResult {
+    let reqs = PoissonArrivals::paper_shape(RATE).generate(N_REQS, SEED);
+    let mut t = Table::new(vec![
+        "policy",
+        "done",
+        "offload",
+        "tok/s",
+        "mean lat s",
+        "p95 lat s",
+        "p50 TTFT s",
+        "energy J",
+        "J/tok",
+        "SLO",
+    ]);
+    let mut csv = Table::new(vec![
+        "policy",
+        "completed",
+        "offloaded",
+        "output_tok_s",
+        "mean_latency_s",
+        "p95_latency_s",
+        "p50_ttft_s",
+        "energy_j",
+        "energy_per_token_j",
+        "slo_attainment",
+    ]);
+    let mut checks = Vec::new();
+    let mut by_name: Vec<FleetReport> = Vec::new();
+    for policy in policy_set() {
+        // Only the deadline-aware policy gets a cloud endpoint to spill to;
+        // the others manage the fleet alone.
+        let with_cloud = policy.name() == "slo-aware";
+        let r = run_policy(policy, &reqs, with_cloud);
+        t.row(vec![
+            r.policy.clone(),
+            format!("{}", r.completed),
+            format!("{}", r.offloaded),
+            format!("{:.1}", r.output_tok_s),
+            format!("{:.2}", r.mean_latency_s),
+            format!("{:.2}", r.p95_latency_s),
+            format!("{:.2}", r.p50_ttft_s),
+            format!("{:.0}", r.energy_j),
+            format!("{:.2}", r.energy_per_token_j),
+            format!("{:.0}%", r.slo_attainment * 100.0),
+        ]);
+        csv.row(vec![
+            r.policy.clone(),
+            r.completed.to_string(),
+            r.offloaded.to_string(),
+            format!("{:.3}", r.output_tok_s),
+            format!("{:.4}", r.mean_latency_s),
+            format!("{:.4}", r.p95_latency_s),
+            format!("{:.4}", r.p50_ttft_s),
+            format!("{:.2}", r.energy_j),
+            format!("{:.4}", r.energy_per_token_j),
+            format!("{:.4}", r.slo_attainment),
+        ]);
+        checks.push(Check::new(
+            format!("{}: every request completes, none lost", r.policy),
+            r.completed + r.offloaded >= r.submitted && r.lost == 0,
+            format!("{} done, {} lost", r.completed, r.lost),
+        ));
+        by_name.push(r);
+    }
+    let find = |name: &str| by_name.iter().find(|r| r.policy == name).expect("policy ran");
+    let rr = find("round-robin");
+    let greedy = find("energy-greedy");
+
+    // Determinism: same members, policy and trace → bit-identical report.
+    let replay = run_policy(Box::new(RoundRobin::default()), &reqs, false);
+    checks.push(Check::new(
+        "same seed and fleet replay to an identical report",
+        replay == *rr,
+        format!("{} completions either way", replay.completed),
+    ));
+    checks.push(Check::new(
+        "energy-aware routing beats round-robin on energy per token",
+        greedy.energy_per_token_j < rr.energy_per_token_j,
+        format!("{:.2} vs {:.2} J/tok", greedy.energy_per_token_j, rr.energy_per_token_j),
+    ));
+    checks.push(Check::new(
+        "…at no loss of SLO attainment",
+        greedy.slo_attainment >= rr.slo_attainment,
+        format!("{:.0}% vs {:.0}%", greedy.slo_attainment * 100.0, rr.slo_attainment * 100.0),
+    ));
+
+    // Fault tolerance: drop the strongest board mid-run, recover later.
+    let faults = FaultPlan::none().outage(0, 5.0, 25.0);
+    let cfg = FleetConfig { faults, ..fleet_config(false) };
+    let dropped = run_fleet(mixed_fleet(), Box::new(JoinShortestQueue), cfg, &reqs)
+        .expect("fleet members all load the model");
+    let mut dt = Table::new(vec!["device", "routed", "done", "tokens", "energy J", "preempt"]);
+    for d in &dropped.devices {
+        dt.row(vec![
+            d.name.clone(),
+            d.routed.to_string(),
+            d.completed.to_string(),
+            d.output_tokens.to_string(),
+            format!("{:.0}", d.energy_j),
+            d.preemptions.to_string(),
+        ]);
+    }
+    checks.push(Check::new(
+        "a 20 s dropout of the strongest device loses zero requests",
+        dropped.lost == 0 && dropped.completed == dropped.submitted,
+        format!("{} completed, {} re-routed", dropped.completed, dropped.reroutes),
+    ));
+    checks.push(Check::new(
+        "the outage forces in-flight work to be re-routed",
+        dropped.reroutes > 0,
+        format!("{} reroutes", dropped.reroutes),
+    ));
+
+    ExperimentResult {
+        id: "ext-fleet",
+        title: format!(
+            "Extension — heterogeneous fleet serving ({} requests @ {RATE} req/s, \
+             {SLO_S:.0} s SLO; dropout scenario: join-shortest-queue, device 0 down 5–25 s)",
+            N_REQS
+        ),
+        tables: vec![t.render(), dt.render()],
+        checks,
+        csv: vec![("fleet_policies".to_string(), csv.to_csv())],
+    }
+}

@@ -23,7 +23,9 @@
 //! [`extensions`]: `ext-engine` (optimized-engine headroom), `ext-devices`
 //! (Jetson family sweep), `ext-serving` (continuous vs static batching)
 //! and `ext-pmsearch` (minimum-energy DVFS search). `ext-chunked`
-//! ([`serve`]) compares the event-driven scheduler's prefill policies.
+//! ([`serve`]) compares the event-driven scheduler's prefill policies, and
+//! `ext-fleet` ([`fleet`]) serves one request stream across a
+//! heterogeneous multi-device fleet with routing, faults and offload.
 //!
 //! Run them through the `edgellm` binary (`edgellm run fig1`,
 //! `edgellm all`) or the [`runner`] API.
@@ -32,6 +34,7 @@ pub mod batch_sweep;
 pub mod calibration;
 pub mod extensions;
 pub mod figviz;
+pub mod fleet;
 pub mod paper;
 pub mod perplexity;
 pub mod power_energy;

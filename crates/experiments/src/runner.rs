@@ -22,7 +22,7 @@ impl ExperimentOpts {
 }
 
 /// All experiment ids, in paper order.
-pub const EXPERIMENT_IDS: [&str; 18] = [
+pub const EXPERIMENT_IDS: [&str; 19] = [
     "tab1",
     "tab2",
     "fig1",
@@ -41,6 +41,7 @@ pub const EXPERIMENT_IDS: [&str; 18] = [
     "ext-pmsearch",
     "ext-offload",
     "ext-thermal",
+    "ext-fleet",
 ];
 
 /// Human description of each experiment.
@@ -64,6 +65,7 @@ pub fn describe(id: &str) -> Option<&'static str> {
         "ext-pmsearch" => "Extension: minimum-energy power-mode search",
         "ext-offload" => "Extension: edge inference vs cloud offload",
         "ext-thermal" => "Extension: sustained serving under thermal limits",
+        "ext-fleet" => "Extension: heterogeneous fleet serving — routing, faults, offload",
         _ => return None,
     })
 }
@@ -95,6 +97,7 @@ pub fn run_experiment(id: &str, opts: ExperimentOpts) -> Option<ExperimentResult
         "ext-pmsearch" => crate::extensions::power_mode_search(),
         "ext-offload" => crate::extensions::offload_analysis(),
         "ext-thermal" => crate::extensions::thermal_sustained(),
+        "ext-fleet" => crate::fleet::run(),
         _ => return None,
     })
 }

@@ -1,0 +1,107 @@
+//! Scripted device-fault injection.
+//!
+//! A [`FaultPlan`] is a deterministic schedule of dropout/recovery events
+//! the fleet co-simulator applies at exact instants: on a
+//! [`FaultKind::Down`] the device's queued and in-flight requests are
+//! drained and re-routed (nothing is lost); on a [`FaultKind::Up`] the
+//! device rejoins the eligible set and any requests held while the whole
+//! fleet was dark are re-submitted.
+
+/// What happens to the device at the event instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The device drops out; its unfinished work is re-routed.
+    Down,
+    /// The device recovers and rejoins the routing set.
+    Up,
+}
+
+/// One scripted fault event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the event fires (s, fleet clock).
+    pub t_s: f64,
+    /// Index of the device it applies to.
+    pub device: usize,
+    /// Dropout or recovery.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of fault events, sorted by time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedule a dropout at `t_s`.
+    pub fn down(mut self, device: usize, t_s: f64) -> Self {
+        self.events.push(FaultEvent { t_s, device, kind: FaultKind::Down });
+        self.sort();
+        self
+    }
+
+    /// Schedule a recovery at `t_s`.
+    pub fn up(mut self, device: usize, t_s: f64) -> Self {
+        self.events.push(FaultEvent { t_s, device, kind: FaultKind::Up });
+        self.sort();
+        self
+    }
+
+    /// A dropout at `down_s` followed by recovery at `up_s`.
+    pub fn outage(self, device: usize, down_s: f64, up_s: f64) -> Self {
+        assert!(up_s >= down_s, "recovery precedes dropout");
+        self.down(device, down_s).up(device, up_s)
+    }
+
+    /// The scheduled events in firing order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    fn sort(&mut self) {
+        // Stable by (time, device); Down sorts before Up at the same
+        // instant so a zero-length outage still drains the device.
+        self.events.sort_by(|a, b| {
+            a.t_s
+                .partial_cmp(&b.t_s)
+                .expect("finite fault times")
+                .then(a.device.cmp(&b.device))
+                .then((a.kind == FaultKind::Up).cmp(&(b.kind == FaultKind::Up)))
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_sort_by_time_then_device_then_down_first() {
+        let plan = FaultPlan::none().up(1, 5.0).down(0, 5.0).down(1, 2.0);
+        let kinds: Vec<_> = plan.events().iter().map(|e| (e.t_s, e.device, e.kind)).collect();
+        assert_eq!(
+            kinds,
+            vec![(2.0, 1, FaultKind::Down), (5.0, 0, FaultKind::Down), (5.0, 1, FaultKind::Up)]
+        );
+    }
+
+    #[test]
+    fn outage_is_down_then_up() {
+        let plan = FaultPlan::none().outage(2, 10.0, 20.0);
+        assert_eq!(plan.events().len(), 2);
+        assert_eq!(plan.events()[0].kind, FaultKind::Down);
+        assert_eq!(plan.events()[1].kind, FaultKind::Up);
+    }
+
+    #[test]
+    #[should_panic(expected = "recovery precedes dropout")]
+    fn inverted_outage_panics() {
+        let _ = FaultPlan::none().outage(0, 20.0, 10.0);
+    }
+}

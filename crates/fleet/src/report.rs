@@ -1,0 +1,186 @@
+//! Fleet-wide and per-device serving reports.
+
+use edgellm_core::quantile;
+use edgellm_core::serve::Completion;
+
+/// One device's share of a fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceReport {
+    /// Member display name.
+    pub name: String,
+    /// Requests routed here (first routes + re-routes).
+    pub routed: usize,
+    /// Requests this device completed.
+    pub completed: usize,
+    /// Output tokens it delivered.
+    pub output_tokens: u64,
+    /// Device energy over the run (J).
+    pub energy_j: f64,
+    /// Device-local clock at its last event (s).
+    pub busy_until_s: f64,
+    /// Sequences preempted under KV pressure.
+    pub preemptions: usize,
+    /// Thermal trips suffered.
+    pub thermal_trips: usize,
+}
+
+/// Aggregate outcome of one fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Routing policy that produced this run.
+    pub policy: String,
+    /// Per-device breakdown, in fleet index order.
+    pub devices: Vec<DeviceReport>,
+    /// Requests submitted to the fleet.
+    pub submitted: usize,
+    /// Requests completed (devices + cloud).
+    pub completed: usize,
+    /// Requests served by the cloud endpoint.
+    pub offloaded: usize,
+    /// Requests that could never be placed (no device up, no cloud);
+    /// zero in any healthy configuration.
+    pub lost: usize,
+    /// Fault- and thermal-driven re-routes of in-flight work.
+    pub reroutes: usize,
+    /// Thermal trips across the fleet.
+    pub thermal_trips: usize,
+    /// Sequences preempted under KV pressure, fleet-wide.
+    pub preemptions: usize,
+    /// Wall-clock end of the run: last device event or cloud completion.
+    pub makespan_s: f64,
+    /// Output tokens delivered fleet-wide.
+    pub output_tokens: u64,
+    /// Fleet throughput: output tokens over the makespan.
+    pub output_tok_s: f64,
+    /// Total energy: device integrals plus edge-side offload energy (J).
+    pub energy_j: f64,
+    /// Energy per delivered output token (J/token).
+    pub energy_per_token_j: f64,
+    /// Mean end-to-end latency (s).
+    pub mean_latency_s: f64,
+    /// 95th-percentile latency (s).
+    pub p95_latency_s: f64,
+    /// Mean time to first token (s).
+    pub mean_ttft_s: f64,
+    /// Median TTFT (s).
+    pub p50_ttft_s: f64,
+    /// 99th-percentile TTFT (s).
+    pub p99_ttft_s: f64,
+    /// Fraction of completed requests within the SLO deadline.
+    pub slo_attainment: f64,
+}
+
+impl FleetReport {
+    /// Assemble the fleet-wide aggregates from the run's raw outcome.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn build(
+        policy: String,
+        devices: Vec<DeviceReport>,
+        completions: &[Completion],
+        submitted: usize,
+        offloaded: usize,
+        lost: usize,
+        reroutes: usize,
+        makespan_s: f64,
+        cloud_energy_j: f64,
+        slo_latency_s: f64,
+    ) -> Self {
+        let mut latencies: Vec<f64> = completions.iter().map(|c| c.latency_s).collect();
+        let mut ttfts: Vec<f64> = completions.iter().map(|c| c.ttft_s).collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        ttfts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mean =
+            |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+        let q = |v: &[f64], p: f64| if v.is_empty() { 0.0 } else { quantile(v, p) };
+        let output_tokens: u64 = completions.iter().map(|c| c.output_tokens).sum();
+        let energy_j: f64 = devices.iter().map(|d| d.energy_j).sum::<f64>() + cloud_energy_j;
+        let within = completions.iter().filter(|c| c.latency_s <= slo_latency_s).count();
+        let thermal_trips = devices.iter().map(|d| d.thermal_trips).sum();
+        let preemptions = devices.iter().map(|d| d.preemptions).sum();
+        FleetReport {
+            policy,
+            devices,
+            submitted,
+            completed: completions.len(),
+            offloaded,
+            lost,
+            reroutes,
+            thermal_trips,
+            preemptions,
+            makespan_s,
+            output_tokens,
+            output_tok_s: if makespan_s > 0.0 { output_tokens as f64 / makespan_s } else { 0.0 },
+            energy_j,
+            energy_per_token_j: if output_tokens > 0 {
+                energy_j / output_tokens as f64
+            } else {
+                0.0
+            },
+            mean_latency_s: mean(&latencies),
+            p95_latency_s: q(&latencies, 0.95),
+            mean_ttft_s: mean(&ttfts),
+            p50_ttft_s: q(&ttfts, 0.50),
+            p99_ttft_s: q(&ttfts, 0.99),
+            slo_attainment: if completions.is_empty() {
+                0.0
+            } else {
+                within as f64 / completions.len() as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comp(rid: u64, ttft: f64, lat: f64, toks: u64) -> Completion {
+        Completion { rid, arrival_s: 0.0, ttft_s: ttft, latency_s: lat, output_tokens: toks }
+    }
+
+    #[test]
+    fn aggregates_sum_and_quantiles_hold() {
+        let devs = vec![
+            DeviceReport {
+                name: "a".into(),
+                routed: 2,
+                completed: 2,
+                output_tokens: 100,
+                energy_j: 50.0,
+                busy_until_s: 10.0,
+                preemptions: 1,
+                thermal_trips: 0,
+            },
+            DeviceReport {
+                name: "b".into(),
+                routed: 1,
+                completed: 1,
+                output_tokens: 50,
+                energy_j: 25.0,
+                busy_until_s: 8.0,
+                preemptions: 0,
+                thermal_trips: 1,
+            },
+        ];
+        let comps = vec![comp(0, 1.0, 5.0, 50), comp(1, 2.0, 15.0, 50), comp(2, 0.5, 25.0, 50)];
+        let r = FleetReport::build("jsq".into(), devs, &comps, 3, 0, 0, 0, 10.0, 0.0, 20.0);
+        assert_eq!(r.completed, 3);
+        assert_eq!(r.output_tokens, 150);
+        assert!((r.energy_j - 75.0).abs() < 1e-12);
+        assert!((r.energy_per_token_j - 0.5).abs() < 1e-12);
+        assert!((r.output_tok_s - 15.0).abs() < 1e-12);
+        assert!((r.slo_attainment - 2.0 / 3.0).abs() < 1e-12, "2 of 3 within 20 s");
+        assert_eq!(r.preemptions, 1);
+        assert_eq!(r.thermal_trips, 1);
+        assert!((r.mean_latency_s - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_completions_produce_zeroed_metrics() {
+        let r = FleetReport::build("rr".into(), Vec::new(), &[], 0, 0, 0, 0, 0.0, 0.0, 10.0);
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.slo_attainment, 0.0);
+        assert_eq!(r.energy_per_token_j, 0.0);
+        assert_eq!(r.output_tok_s, 0.0);
+    }
+}

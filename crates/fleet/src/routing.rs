@@ -1,0 +1,265 @@
+//! Pluggable request-routing policies for the fleet front-end.
+//!
+//! A [`RoutingPolicy`] sees one [`DeviceView`] snapshot per device at each
+//! routing instant (fresh arrivals and fault-driven re-routes) and picks a
+//! [`Decision`]. All supplied policies are deterministic: identical
+//! snapshots produce identical decisions, which is what makes whole fleet
+//! runs reproducible seed-for-seed.
+
+use edgellm_core::Request;
+
+/// A routing-time snapshot of one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceView {
+    /// Index of the device in the fleet.
+    pub index: usize,
+    /// Whether the device is currently eligible for traffic.
+    pub up: bool,
+    /// Device-local clock (s) — how far this device has simulated.
+    pub now_s: f64,
+    /// Requests queued or in flight on the device.
+    pub queue_depth: usize,
+    /// Tokens of work (remaining prompt + remaining output) ahead of a
+    /// new arrival.
+    pub backlog_tokens: u64,
+    /// KV pool occupancy in [0, 1].
+    pub kv_occupancy: f64,
+    /// Estimated steady decode throughput (tok/s) at this device's power
+    /// mode — computed once from the calibrated performance model.
+    pub est_decode_tok_s: f64,
+    /// Estimated serving energy per output token (J/token).
+    pub est_energy_per_token_j: f64,
+}
+
+impl DeviceView {
+    /// Estimated end-to-end latency a request routed here would see:
+    /// time already elapsed since its arrival, plus the backlog and its
+    /// own tokens draining at the estimated decode rate.
+    pub fn est_latency_s(&self, req: &Request) -> f64 {
+        let work = self.backlog_tokens + req.input_tokens + req.output_tokens;
+        (self.now_s - req.arrival_s).max(0.0) + work as f64 / self.est_decode_tok_s.max(1e-9)
+    }
+}
+
+/// Where a request goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Submit to the fleet device at this index.
+    Device(usize),
+    /// Offload to the configured cloud endpoint (policies should only
+    /// return this when the fleet has one; the simulator falls back to
+    /// the least-loaded device otherwise).
+    Cloud,
+}
+
+/// A deterministic request router.
+pub trait RoutingPolicy {
+    /// Short stable name used in reports and goldens.
+    fn name(&self) -> &'static str;
+
+    /// Route one request given per-device snapshots (one per device, in
+    /// fleet index order; down devices are included with `up == false`).
+    fn route(&mut self, req: &Request, devices: &[DeviceView]) -> Decision;
+}
+
+fn up(devices: &[DeviceView]) -> impl Iterator<Item = &DeviceView> {
+    devices.iter().filter(|d| d.up)
+}
+
+/// Pick the up device minimizing a finite float key; ties go to the
+/// lowest index. Falls back to device 0 if everything is down (the
+/// simulator re-checks eligibility and holds the request in that case).
+fn argmin_by<F: Fn(&DeviceView) -> f64>(devices: &[DeviceView], key: F) -> Decision {
+    let best = up(devices)
+        .map(|d| (d.index, key(d)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite key").then(a.0.cmp(&b.0)))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    Decision::Device(best)
+}
+
+/// Cycle through up devices in index order.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoutingPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn route(&mut self, _req: &Request, devices: &[DeviceView]) -> Decision {
+        let n = devices.len().max(1);
+        for off in 0..n {
+            let i = (self.next + off) % n;
+            if devices[i].up {
+                self.next = i + 1;
+                return Decision::Device(i);
+            }
+        }
+        Decision::Device(self.next % n)
+    }
+}
+
+/// Send each request to the device with the fewest queued + live
+/// requests.
+#[derive(Debug, Clone, Default)]
+pub struct JoinShortestQueue;
+
+impl RoutingPolicy for JoinShortestQueue {
+    fn name(&self) -> &'static str {
+        "join-shortest-queue"
+    }
+
+    fn route(&mut self, _req: &Request, devices: &[DeviceView]) -> Decision {
+        argmin_by(devices, |d| d.queue_depth as f64)
+    }
+}
+
+/// Send each request to the device with the most free KV pool, breaking
+/// ties on queue depth — avoids concentrating cache pressure (and the
+/// preemption recompute it causes) on one board.
+#[derive(Debug, Clone, Default)]
+pub struct LeastKvPressure;
+
+impl RoutingPolicy for LeastKvPressure {
+    fn name(&self) -> &'static str {
+        "least-kv-pressure"
+    }
+
+    fn route(&mut self, _req: &Request, devices: &[DeviceView]) -> Decision {
+        argmin_by(devices, |d| d.kv_occupancy * 1e6 + d.queue_depth as f64)
+    }
+}
+
+/// Greedily fill the most energy-efficient device first, spilling to the
+/// next-cheapest once its backlog exceeds `max_backlog_tokens` — the
+/// consolidation strategy an energy-constrained deployment runs.
+#[derive(Debug, Clone)]
+pub struct EnergyGreedy {
+    /// Backlog (tokens) past which a device is considered full and the
+    /// next-cheapest one is used instead.
+    pub max_backlog_tokens: u64,
+}
+
+impl Default for EnergyGreedy {
+    fn default() -> Self {
+        EnergyGreedy { max_backlog_tokens: 1536 }
+    }
+}
+
+impl RoutingPolicy for EnergyGreedy {
+    fn name(&self) -> &'static str {
+        "energy-greedy"
+    }
+
+    fn route(&mut self, _req: &Request, devices: &[DeviceView]) -> Decision {
+        let open = up(devices)
+            .filter(|d| d.backlog_tokens <= self.max_backlog_tokens)
+            .map(|d| (d.index, d.est_energy_per_token_j))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        match open {
+            Some((i, _)) => Decision::Device(i),
+            // Everything is past the watermark: shed to the shortest
+            // backlog so the SLO does not collapse for energy's sake.
+            None => argmin_by(devices, |d| d.backlog_tokens as f64),
+        }
+    }
+}
+
+/// Deadline-aware routing with cloud spillover: pick the device whose
+/// estimated completion meets the deadline; if none can, offload to the
+/// cloud endpoint rather than blow the SLO on-fleet.
+#[derive(Debug, Clone)]
+pub struct SloAware {
+    /// End-to-end latency deadline (s) a request should meet.
+    pub deadline_s: f64,
+}
+
+impl SloAware {
+    /// A policy targeting the given deadline.
+    pub fn new(deadline_s: f64) -> Self {
+        SloAware { deadline_s }
+    }
+}
+
+impl RoutingPolicy for SloAware {
+    fn name(&self) -> &'static str {
+        "slo-aware"
+    }
+
+    fn route(&mut self, req: &Request, devices: &[DeviceView]) -> Decision {
+        let best = up(devices)
+            .map(|d| (d.index, d.est_latency_s(req)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        match best {
+            Some((i, est)) if est <= self.deadline_s => Decision::Device(i),
+            Some(_) => Decision::Cloud,
+            None => Decision::Cloud,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(index: usize, queue: usize, backlog: u64, kv: f64, e_tok: f64) -> DeviceView {
+        DeviceView {
+            index,
+            up: true,
+            now_s: 0.0,
+            queue_depth: queue,
+            backlog_tokens: backlog,
+            kv_occupancy: kv,
+            est_decode_tok_s: 100.0,
+            est_energy_per_token_j: e_tok,
+        }
+    }
+
+    fn req(id: u64) -> Request {
+        Request { id, arrival_s: 0.0, input_tokens: 32, output_tokens: 64 }
+    }
+
+    #[test]
+    fn round_robin_cycles_and_skips_down() {
+        let mut views =
+            vec![view(0, 0, 0, 0.0, 1.0), view(1, 0, 0, 0.0, 1.0), view(2, 0, 0, 0.0, 1.0)];
+        let mut rr = RoundRobin::default();
+        assert_eq!(rr.route(&req(0), &views), Decision::Device(0));
+        assert_eq!(rr.route(&req(1), &views), Decision::Device(1));
+        views[2].up = false;
+        assert_eq!(rr.route(&req(2), &views), Decision::Device(0), "skips the down device");
+    }
+
+    #[test]
+    fn jsq_picks_min_queue_lowest_index_on_tie() {
+        let views = vec![view(0, 3, 0, 0.0, 1.0), view(1, 1, 0, 0.0, 1.0), view(2, 1, 0, 0.0, 1.0)];
+        assert_eq!(JoinShortestQueue.route(&req(0), &views), Decision::Device(1));
+    }
+
+    #[test]
+    fn least_kv_prefers_free_pool() {
+        let views = vec![view(0, 0, 0, 0.9, 1.0), view(1, 5, 0, 0.1, 1.0)];
+        assert_eq!(LeastKvPressure.route(&req(0), &views), Decision::Device(1));
+    }
+
+    #[test]
+    fn energy_greedy_fills_cheapest_then_spills() {
+        let mut views = vec![view(0, 0, 0, 0.0, 2.0), view(1, 0, 0, 0.0, 0.5)];
+        let mut p = EnergyGreedy::default();
+        assert_eq!(p.route(&req(0), &views), Decision::Device(1), "cheapest first");
+        views[1].backlog_tokens = p.max_backlog_tokens + 1;
+        assert_eq!(p.route(&req(1), &views), Decision::Device(0), "spills when full");
+    }
+
+    #[test]
+    fn slo_aware_offloads_when_no_device_meets_deadline() {
+        let mut views = vec![view(0, 0, 100_000, 0.0, 1.0)];
+        let mut p = SloAware::new(5.0);
+        assert_eq!(p.route(&req(0), &views), Decision::Cloud);
+        views[0].backlog_tokens = 0;
+        assert_eq!(p.route(&req(0), &views), Decision::Device(0));
+    }
+}

@@ -1,0 +1,505 @@
+//! The deterministic fleet co-simulator.
+//!
+//! [`FleetSim`] runs N per-device serve simulations
+//! ([`ServeSim`](edgellm_core::ServeSim)) behind a front-end router on a
+//! shared event clock. Each turn it fires the globally-earliest event —
+//! a scripted fault, a thermal recovery, a request arrival, or one device
+//! iteration — with a fixed tie order (fault < arrival < device step, then
+//! lowest device index), so a given seed and configuration always produce
+//! the same [`FleetReport`].
+//!
+//! Device iterations are atomic: a member may locally simulate past
+//! another member's clock, but every *routing* decision happens at the
+//! event instant using the current snapshots, and requests admitted on a
+//! device start at its next iteration boundary at-or-after their arrival
+//! — the same semantics the single-device scheduler has always had.
+
+use edgellm_core::serve::Completion;
+use edgellm_core::{CloudEndpoint, Request, RunError};
+
+use crate::device::{DeviceSim, FleetDevice};
+use crate::fault::{FaultKind, FaultPlan};
+use crate::report::{DeviceReport, FleetReport};
+use crate::routing::{Decision, DeviceView, RoutingPolicy};
+
+/// Fleet-level knobs.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// End-to-end latency deadline used for SLO-attainment accounting.
+    pub slo_latency_s: f64,
+    /// Optional cloud endpoint for offload spillover.
+    pub cloud: Option<CloudEndpoint>,
+    /// Scripted device faults.
+    pub faults: FaultPlan,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig { slo_latency_s: 30.0, cloud: None, faults: FaultPlan::none() }
+    }
+}
+
+enum Event {
+    /// Scripted fault at `events()[idx]`.
+    Fault(usize),
+    /// Thermal cooldown of device `i` ends.
+    Recovery(usize, f64),
+    /// Next trace arrival is routed.
+    Arrival,
+    /// Device `i` performs one scheduler turn at its next event time.
+    Step(usize, f64),
+}
+
+/// The heterogeneous multi-device co-simulator.
+pub struct FleetSim {
+    devices: Vec<DeviceSim>,
+    policy: Box<dyn RoutingPolicy>,
+    cfg: FleetConfig,
+    arrivals: Vec<Request>,
+    next_arrival: usize,
+    next_fault: usize,
+    /// Requests with nowhere to go (whole fleet dark, no cloud); flushed
+    /// at the next recovery.
+    held: Vec<Request>,
+    reroutes: usize,
+    offloaded: usize,
+    cloud_completions: Vec<Completion>,
+    cloud_energy_j: f64,
+    cloud_done_s: f64,
+}
+
+impl FleetSim {
+    /// Build a fleet over `members` (≥1) serving `requests`.
+    ///
+    /// Every member's serve simulation is sized for the trace's longest
+    /// request shape; a member whose model cannot load errors here.
+    pub fn new(
+        members: Vec<FleetDevice>,
+        policy: Box<dyn RoutingPolicy>,
+        cfg: FleetConfig,
+        requests: &[Request],
+    ) -> Result<Self, RunError> {
+        if members.is_empty() {
+            return Err(RunError::InvalidConfig("fleet needs at least one device".into()));
+        }
+        if requests.is_empty() {
+            return Err(RunError::InvalidConfig("no requests".into()));
+        }
+        let max_sl =
+            requests.iter().map(|r| r.input_tokens + r.output_tokens).max().expect("non-empty");
+        let devices = members
+            .into_iter()
+            .map(|m| DeviceSim::new(m, max_sl))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut arrivals = requests.to_vec();
+        arrivals.sort_by(|a, b| {
+            a.arrival_s.partial_cmp(&b.arrival_s).expect("finite").then(a.id.cmp(&b.id))
+        });
+        Ok(FleetSim {
+            devices,
+            policy,
+            cfg,
+            arrivals,
+            next_arrival: 0,
+            next_fault: 0,
+            held: Vec::new(),
+            reroutes: 0,
+            offloaded: 0,
+            cloud_completions: Vec::new(),
+            cloud_energy_j: 0.0,
+            cloud_done_s: 0.0,
+        })
+    }
+
+    /// Drive every event to completion and aggregate the report.
+    pub fn run(mut self) -> Result<FleetReport, RunError> {
+        while let Some(ev) = self.next_event() {
+            self.apply(ev)?;
+        }
+        let lost = self.held.len();
+        let mut completions = Vec::new();
+        let mut device_reports = Vec::with_capacity(self.devices.len());
+        let mut makespan = self.cloud_done_s;
+        for d in &self.devices {
+            completions.extend_from_slice(d.sim.completions());
+            makespan = makespan.max(d.sim.now());
+            device_reports.push(DeviceReport {
+                name: d.cfg.name.clone(),
+                routed: d.routed,
+                completed: d.sim.completions().len(),
+                output_tokens: d.sim.served_output_tokens(),
+                energy_j: d.sim.energy_j(),
+                busy_until_s: d.sim.now(),
+                preemptions: d.sim.preemptions(),
+                thermal_trips: d.thermal_trips,
+            });
+        }
+        completions.extend_from_slice(&self.cloud_completions);
+        // Canonical order for reproducible aggregates: by request id.
+        completions.sort_by_key(|c| c.rid);
+        Ok(FleetReport::build(
+            self.policy.name().to_string(),
+            device_reports,
+            &completions,
+            self.arrivals.len(),
+            self.offloaded,
+            lost,
+            self.reroutes,
+            makespan,
+            self.cloud_energy_j,
+            self.cfg.slo_latency_s,
+        ))
+    }
+
+    /// The globally-earliest pending event; `None` when the fleet is
+    /// drained. Tie order: fault/recovery < arrival < device step, then
+    /// lowest device index.
+    fn next_event(&self) -> Option<Event> {
+        let mut best: Option<(f64, u8, Event)> = None;
+        let consider = |t: f64, prio: u8, ev: Event, best: &mut Option<(f64, u8, Event)>| {
+            let better = match best {
+                None => true,
+                Some((bt, bp, _)) => t < *bt || (t == *bt && prio < *bp),
+            };
+            if better {
+                *best = Some((t, prio, ev));
+            }
+        };
+        if let Some(f) = self.cfg.faults.events().get(self.next_fault) {
+            consider(f.t_s, 0, Event::Fault(self.next_fault), &mut best);
+        }
+        for (i, d) in self.devices.iter().enumerate() {
+            if let Some(t) = d.down_until {
+                consider(t, 0, Event::Recovery(i, t), &mut best);
+            }
+        }
+        if let Some(r) = self.arrivals.get(self.next_arrival) {
+            consider(r.arrival_s, 1, Event::Arrival, &mut best);
+        }
+        for (i, d) in self.devices.iter().enumerate() {
+            if !d.up {
+                continue;
+            }
+            if let Some(t) = d.sim.next_event_s() {
+                consider(t, 2, Event::Step(i, t), &mut best);
+            }
+        }
+        best.map(|(_, _, ev)| ev)
+    }
+
+    fn apply(&mut self, ev: Event) -> Result<(), RunError> {
+        match ev {
+            Event::Fault(idx) => {
+                let f = self.cfg.faults.events()[idx];
+                self.next_fault = idx + 1;
+                match f.kind {
+                    FaultKind::Down => self.take_down(f.device, f.t_s, None),
+                    FaultKind::Up => self.bring_up(f.device, f.t_s, false),
+                }
+            }
+            Event::Recovery(i, t) => {
+                self.devices[i].rearm_thermal();
+                self.bring_up(i, t, true);
+            }
+            Event::Arrival => {
+                let r = self.arrivals[self.next_arrival];
+                self.next_arrival += 1;
+                self.route(r, r.arrival_s);
+            }
+            Event::Step(i, t) => {
+                if let Some(recover_at) = self.devices[i].step(t)? {
+                    let now = self.devices[i].sim.now();
+                    self.take_down(i, now, recover_at);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop a device: drain its unfinished requests and re-route them.
+    /// `down_until` carries a thermal cooldown end (`Some(Some(t))` via
+    /// the caller) or a scripted outage (`None` — waits for a scripted
+    /// `Up`).
+    fn take_down(&mut self, i: usize, now: f64, down_until: Option<f64>) {
+        if i >= self.devices.len() || !self.devices[i].up {
+            return;
+        }
+        self.devices[i].up = false;
+        self.devices[i].down_until = down_until;
+        let drained = self.devices[i].sim.drain_incomplete();
+        self.reroutes += drained.len();
+        for r in drained {
+            self.route(r, now);
+        }
+    }
+
+    /// Return a device to the eligible set and catch its local clock up
+    /// to the fleet instant. A thermal cooldown (`powered`) idles across
+    /// the gap and is billed at idle power; a scripted outage is off and
+    /// bills nothing.
+    fn bring_up(&mut self, i: usize, now: f64, powered: bool) {
+        if i >= self.devices.len() || self.devices[i].up {
+            return;
+        }
+        self.devices[i].up = true;
+        self.devices[i].down_until = None;
+        if powered {
+            self.devices[i].sim.idle_to(now);
+        } else {
+            self.devices[i].sim.skip_to(now);
+        }
+        let held = std::mem::take(&mut self.held);
+        for r in held {
+            self.route(r, now);
+        }
+    }
+
+    fn route(&mut self, r: Request, now: f64) {
+        let views: Vec<DeviceView> =
+            self.devices.iter().enumerate().map(|(i, d)| d.view(i)).collect();
+        if !views.iter().any(|v| v.up) {
+            if self.cfg.cloud.is_some() {
+                self.cloud_complete(r, now);
+            } else {
+                self.held.push(r);
+            }
+            return;
+        }
+        match self.policy.route(&r, &views) {
+            Decision::Device(i) if i < self.devices.len() && self.devices[i].up => {
+                self.devices[i].submit(&r);
+            }
+            Decision::Cloud if self.cfg.cloud.is_some() => self.cloud_complete(r, now),
+            // A policy picked a down/invalid target, or cloud without an
+            // endpoint: fall back to the least-loaded up device.
+            _ => {
+                let i = views
+                    .iter()
+                    .filter(|v| v.up)
+                    .min_by(|a, b| {
+                        a.backlog_tokens.cmp(&b.backlog_tokens).then(a.index.cmp(&b.index))
+                    })
+                    .expect("checked above")
+                    .index;
+                self.devices[i].submit(&r);
+            }
+        }
+    }
+
+    fn cloud_complete(&mut self, r: Request, now: f64) {
+        let ep = self.cfg.cloud.expect("caller checked");
+        let wait = (now - r.arrival_s).max(0.0);
+        let latency_s = wait + ep.request_latency_s(r.input_tokens, r.output_tokens);
+        let ttft_s = latency_s - r.output_tokens as f64 / ep.tok_rate;
+        self.cloud_completions.push(Completion {
+            rid: r.id,
+            arrival_s: r.arrival_s,
+            ttft_s,
+            latency_s,
+            output_tokens: r.output_tokens,
+        });
+        self.cloud_energy_j += ep.edge_energy_j(r.input_tokens, r.output_tokens);
+        self.cloud_done_s = self.cloud_done_s.max(r.arrival_s + latency_s);
+        self.offloaded += 1;
+    }
+}
+
+/// Build and run a fleet in one call.
+pub fn run_fleet(
+    members: Vec<FleetDevice>,
+    policy: Box<dyn RoutingPolicy>,
+    cfg: FleetConfig,
+    requests: &[Request],
+) -> Result<FleetReport, RunError> {
+    FleetSim::new(members, policy, cfg, requests)?.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::{EnergyGreedy, JoinShortestQueue, RoundRobin, SloAware};
+    use edgellm_core::{PoissonArrivals, RunConfig};
+    use edgellm_hw::{DeviceSpec, PowerMode};
+    use edgellm_models::{Llm, Precision};
+    use edgellm_power::ThermalModel;
+
+    fn agx_pair() -> Vec<FleetDevice> {
+        let cfg = RunConfig::new(Llm::Llama31_8b, Precision::Fp16);
+        vec![
+            FleetDevice::new(DeviceSpec::orin_agx_64gb(), cfg.clone()).named("agx-0"),
+            FleetDevice::new(DeviceSpec::orin_agx_64gb(), cfg).named("agx-1"),
+        ]
+    }
+
+    fn mixed_trio() -> Vec<FleetDevice> {
+        let nx = DeviceSpec::orin_nx_16gb();
+        let xav = DeviceSpec::xavier_agx_32gb();
+        vec![
+            FleetDevice::new(
+                DeviceSpec::orin_agx_64gb(),
+                RunConfig::new(Llm::Llama31_8b, Precision::Fp16),
+            ),
+            FleetDevice::new(
+                nx.clone(),
+                RunConfig::new(Llm::Llama31_8b, Precision::Int4)
+                    .power_mode(PowerMode::maxn_for(&nx)),
+            ),
+            FleetDevice::new(
+                xav.clone(),
+                RunConfig::new(Llm::Llama31_8b, Precision::Int4)
+                    .power_mode(PowerMode::maxn_for(&xav)),
+            ),
+        ]
+    }
+
+    #[test]
+    fn round_robin_conserves_and_balances() {
+        let reqs = PoissonArrivals::paper_shape(2.0).generate(40, 7);
+        let r =
+            run_fleet(agx_pair(), Box::new(RoundRobin::default()), FleetConfig::default(), &reqs)
+                .unwrap();
+        assert_eq!(r.completed, 40);
+        assert_eq!(r.lost, 0);
+        assert_eq!(
+            r.output_tokens,
+            reqs.iter().map(|q| q.output_tokens).sum::<u64>(),
+            "every output token accounted"
+        );
+        let (a, b) = (r.devices[0].routed, r.devices[1].routed);
+        assert_eq!(a + b, 40);
+        assert_eq!(a, 20, "alternating placement on identical twins");
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let reqs = PoissonArrivals::paper_shape(2.5).generate(30, 11);
+        let run = || {
+            run_fleet(mixed_trio(), Box::new(JoinShortestQueue), FleetConfig::default(), &reqs)
+                .unwrap()
+        };
+        assert_eq!(run(), run(), "fleet runs are deterministic");
+    }
+
+    #[test]
+    fn dropout_reroutes_without_losing_requests() {
+        let reqs = PoissonArrivals::paper_shape(2.0).generate(40, 3);
+        let faults = FaultPlan::none().outage(0, 4.0, 1e9);
+        let cfg = FleetConfig { faults, ..FleetConfig::default() };
+        let r = run_fleet(agx_pair(), Box::new(JoinShortestQueue), cfg, &reqs).unwrap();
+        assert_eq!(r.completed + r.lost, 40);
+        assert_eq!(r.lost, 0, "survivor absorbs everything");
+        assert!(r.reroutes > 0, "in-flight work was evacuated");
+        assert_eq!(r.output_tokens, reqs.iter().map(|q| q.output_tokens).sum::<u64>());
+        assert!(r.devices[1].completed > r.devices[0].completed);
+    }
+
+    #[test]
+    fn whole_fleet_outage_holds_and_recovers() {
+        let reqs = PoissonArrivals::paper_shape(2.0).generate(20, 5);
+        // Both devices dark from t=1 until t=60: arrivals in the window
+        // are held, then flushed at recovery. Nothing is lost.
+        let faults = FaultPlan::none().outage(0, 1.0, 60.0).outage(1, 1.0, 60.0);
+        let cfg = FleetConfig { faults, ..FleetConfig::default() };
+        let r = run_fleet(agx_pair(), Box::new(RoundRobin::default()), cfg, &reqs).unwrap();
+        assert_eq!(r.completed, 20);
+        assert_eq!(r.lost, 0);
+        assert!(r.mean_latency_s > 30.0, "the outage shows up in latency, not in loss");
+    }
+
+    #[test]
+    fn slo_aware_spills_to_cloud_under_overload() {
+        // One modest device, a hard deadline, and a hot arrival burst:
+        // the policy must shed the tail to the cloud endpoint.
+        let members = || {
+            let xav = DeviceSpec::xavier_agx_32gb();
+            vec![FleetDevice::new(
+                xav.clone(),
+                RunConfig::new(Llm::Llama31_8b, Precision::Int4)
+                    .power_mode(PowerMode::maxn_for(&xav)),
+            )]
+        };
+        let reqs = PoissonArrivals::paper_shape(4.0).generate(40, 13);
+        let cfg = FleetConfig {
+            slo_latency_s: 20.0,
+            cloud: Some(CloudEndpoint::datacenter()),
+            faults: FaultPlan::none(),
+        };
+        let r = run_fleet(members(), Box::new(SloAware::new(20.0)), cfg, &reqs).unwrap();
+        assert_eq!(r.completed, 40);
+        assert!(r.offloaded > 0, "deadline pressure must offload");
+        assert!(r.offloaded < 40, "the device still serves its share");
+        assert!(r.slo_attainment >= 0.9, "spillover protects the SLO: {}", r.slo_attainment);
+        // The same overload with nowhere to spill blows the deadline for
+        // much more of the trace.
+        let stuck = FleetConfig { slo_latency_s: 20.0, ..FleetConfig::default() };
+        let r0 = run_fleet(members(), Box::new(SloAware::new(20.0)), stuck, &reqs).unwrap();
+        assert!(
+            r.slo_attainment > r0.slo_attainment + 0.2,
+            "cloud {} vs fleet-only {}",
+            r.slo_attainment,
+            r0.slo_attainment
+        );
+    }
+
+    #[test]
+    fn thermal_trip_forces_cooldown_and_rerouting() {
+        // An aggressive enclosure (tiny τ, high resistance, low limit)
+        // trips the first device within seconds of load; its work moves
+        // to the second device and everything still completes.
+        let cfg = RunConfig::new(Llm::Llama31_8b, Precision::Fp16);
+        let members = vec![
+            FleetDevice::new(DeviceSpec::orin_agx_64gb(), cfg.clone()).named("sealed").thermal(
+                ThermalModel { r_c_per_w: 2.0, tau_s: 5.0, t_ambient_c: 25.0, t_limit_c: 60.0 },
+            ),
+            FleetDevice::new(DeviceSpec::orin_agx_64gb(), cfg).named("cooled"),
+        ];
+        let reqs = PoissonArrivals::paper_shape(2.0).generate(30, 9);
+        let r =
+            run_fleet(members, Box::new(JoinShortestQueue), FleetConfig::default(), &reqs).unwrap();
+        assert!(r.thermal_trips > 0, "sealed enclosure must trip");
+        assert_eq!(r.completed, 30);
+        assert_eq!(r.lost, 0);
+        assert!(r.devices[1].completed > 0, "the cooled twin picks up the slack");
+    }
+
+    #[test]
+    fn energy_greedy_consolidates_on_the_efficient_device() {
+        let reqs = PoissonArrivals::paper_shape(1.0).generate(30, 17);
+        let greedy = run_fleet(
+            mixed_trio(),
+            Box::new(EnergyGreedy::default()),
+            FleetConfig::default(),
+            &reqs,
+        )
+        .unwrap();
+        let rr =
+            run_fleet(mixed_trio(), Box::new(RoundRobin::default()), FleetConfig::default(), &reqs)
+                .unwrap();
+        assert_eq!(greedy.completed, 30);
+        assert!(
+            greedy.energy_per_token_j < rr.energy_per_token_j,
+            "greedy {:.3} J/tok vs rr {:.3} J/tok",
+            greedy.energy_per_token_j,
+            rr.energy_per_token_j
+        );
+    }
+
+    #[test]
+    fn empty_fleet_and_empty_trace_error() {
+        let reqs = PoissonArrivals::paper_shape(1.0).generate(4, 1);
+        assert!(FleetSim::new(
+            Vec::new(),
+            Box::new(RoundRobin::default()),
+            FleetConfig::default(),
+            &reqs
+        )
+        .is_err());
+        assert!(FleetSim::new(
+            agx_pair(),
+            Box::new(RoundRobin::default()),
+            FleetConfig::default(),
+            &[]
+        )
+        .is_err());
+    }
+}

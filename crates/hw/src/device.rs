@@ -180,6 +180,19 @@ impl DeviceSpec {
         }
     }
 
+    /// The Jetson family studied across the paper and its related work, in
+    /// the `ext-devices` sweep order: Orin AGX 64 GB (the paper's board),
+    /// Orin AGX 32 GB, Orin NX 16 GB, Xavier AGX 32 GB. The single source
+    /// of device truth for fleet construction and family sweeps.
+    pub fn jetson_family() -> [Self; 4] {
+        [
+            Self::orin_agx_64gb(),
+            Self::orin_agx_32gb(),
+            Self::orin_nx_16gb(),
+            Self::xavier_agx_32gb(),
+        ]
+    }
+
     /// Default clock state: every domain at its maximum (what MAXN selects).
     pub fn max_clocks(&self) -> ClockState {
         ClockState {

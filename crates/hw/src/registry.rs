@@ -1,5 +1,6 @@
 //! An `nvpmodel`-style registry of named power modes for a device.
 
+use crate::clocks::ClockState;
 use crate::device::DeviceSpec;
 use crate::error::HwError;
 use crate::power_mode::{PowerMode, PowerModeId};
@@ -23,6 +24,36 @@ impl PowerModeRegistry {
         let mut reg = Self::new(device);
         for id in PowerModeId::ALL {
             reg.register(PowerMode::table2(id)).expect("table2 modes are valid");
+        }
+        reg
+    }
+
+    /// The stock mode set for any Jetson-family member. The paper's
+    /// Table 2 applies verbatim to its own board (the Orin AGX 64 GB);
+    /// every other family member gets the same nine mode *shapes* with
+    /// each throttled dimension rescaled to the device's own maxima
+    /// (MaxN stays all-max), so heterogeneous fleets see comparable mode
+    /// lineups everywhere.
+    pub fn stock_for(device: DeviceSpec) -> Self {
+        let reference = DeviceSpec::orin_agx_64gb();
+        if device == reference {
+            return Self::with_table2(device);
+        }
+        let mut reg = Self::new(device);
+        let max = reg.device.max_clocks();
+        let scale = |v: u32, ref_max: u32, dev_max: u32| -> u32 {
+            ((v as f64 / ref_max as f64) * dev_max as f64).round().max(1.0) as u32
+        };
+        for id in PowerModeId::ALL {
+            let t2 = PowerMode::table2(id).clocks;
+            let clocks = ClockState {
+                gpu_mhz: scale(t2.gpu_mhz, reference.gpu.max_freq_mhz, max.gpu_mhz),
+                cpu_ghz: (t2.cpu_ghz / reference.cpu.max_freq_ghz) * max.cpu_ghz,
+                cores_online: scale(t2.cores_online, reference.cpu.cores, max.cores_online),
+                mem_mhz: scale(t2.mem_mhz, reference.memory.max_freq_mhz, max.mem_mhz),
+            };
+            reg.register(PowerMode { name: id.name().to_string(), clocks })
+                .expect("scaled stock modes stay within device limits");
         }
         reg
     }
@@ -98,6 +129,35 @@ mod tests {
         let err = reg.register(PowerMode::custom("turbo", 9999, 2.2, 12, 3200));
         assert!(matches!(err, Err(HwError::GpuFreqOutOfRange { .. })));
         assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn stock_for_paper_board_is_table2_verbatim() {
+        let stock = PowerModeRegistry::stock_for(DeviceSpec::orin_agx_64gb());
+        let t2 = PowerModeRegistry::with_table2(DeviceSpec::orin_agx_64gb());
+        assert_eq!(stock.len(), t2.len());
+        for (a, b) in stock.iter().zip(t2.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.clocks, b.clocks);
+        }
+    }
+
+    #[test]
+    fn stock_for_scales_to_every_family_member() {
+        for dev in DeviceSpec::jetson_family() {
+            let reg = PowerModeRegistry::stock_for(dev.clone());
+            assert_eq!(reg.len(), 9, "{}", dev.name);
+            for m in reg.iter() {
+                assert!(m.validate(&dev).is_ok(), "{} {} out of range", dev.name, m.name);
+            }
+            assert_eq!(reg.get("MaxN").unwrap().clocks, dev.max_clocks());
+            // The throttle shapes survive rescaling: A halves-ish the
+            // GPU, H floors the memory clock.
+            let maxn = reg.get("MaxN").unwrap().clocks;
+            assert!(reg.get("A").unwrap().clocks.gpu_mhz < maxn.gpu_mhz);
+            assert!(reg.get("B").unwrap().clocks.gpu_mhz < reg.get("A").unwrap().clocks.gpu_mhz);
+            assert!(reg.get("H").unwrap().clocks.mem_mhz < reg.get("G").unwrap().clocks.mem_mhz);
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ use edgellm_quant::WeightPrecision;
 use edgellm_tensor::ops::{rmsnorm_rows, rope_inplace, silu_inplace, softmax_inplace};
 use edgellm_tensor::Matrix;
 
-/// Transformer hyperparameters (a scaled-down [`edgellm_models::ModelArch`]).
+/// Transformer hyperparameters (a scaled-down `edgellm_models::ModelArch`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TinyConfig {
     /// Vocabulary size.

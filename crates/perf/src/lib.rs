@@ -6,7 +6,7 @@
 //! crate reproduces those measurements with a *mechanistic* model whose
 //! structure mirrors the device behaviour the paper itself identifies:
 //!
-//! * auto-regressive **decode is memory-bound** (§3.2 / Splitwise [11]):
+//! * auto-regressive **decode is memory-bound** (§3.2 / Splitwise \[11\]):
 //!   every decode step streams the full weight set once, regardless of
 //!   batch size — which is exactly why batching raises throughput;
 //! * a **host/dispatch term** per step (Python + kernel-launch time on the

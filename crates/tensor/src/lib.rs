@@ -10,7 +10,7 @@
 //! three reduced-precision weight formats mirroring what the paper runs
 //! through BitsAndBytes on device:
 //!
-//! * [`f16`] — bit-exact IEEE binary16 storage with round-to-nearest-even;
+//! * [`mod@f16`] — bit-exact IEEE binary16 storage with round-to-nearest-even;
 //! * [`qint8`] — row-wise absmax INT8 with **outlier-column decomposition**
 //!   (the LLM.int8() scheme of Dettmers et al., the paper's INT8 tool);
 //! * [`qint4`] — block-wise 4-bit quantile quantization (NF4-style).

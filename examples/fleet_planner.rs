@@ -1,0 +1,115 @@
+//! Fleet planner: given a heterogeneous rack of Jetson boards serving one
+//! Poisson request stream, which routing policy should the front-end run?
+//! Compares round-robin, join-shortest-queue, least-KV-pressure,
+//! energy-greedy consolidation and deadline-aware cloud spillover on the
+//! same trace, then rehearses a mid-run dropout of the strongest board to
+//! show the fault path re-routes everything with nothing lost.
+//!
+//! ```sh
+//! cargo run --release --example fleet_planner
+//! ```
+
+use edgellm::core::{CloudEndpoint, PoissonArrivals, RunConfig};
+use edgellm::fleet::{
+    run_fleet, EnergyGreedy, FaultPlan, FleetConfig, FleetDevice, JoinShortestQueue,
+    LeastKvPressure, RoundRobin, RoutingPolicy, SloAware,
+};
+use edgellm::hw::{DeviceSpec, PowerMode};
+use edgellm::models::{Llm, Precision};
+
+/// Requests in the trace.
+const N_REQS: usize = 60;
+/// Mean arrival rate (req/s).
+const RATE: f64 = 1.5;
+/// End-to-end latency deadline (s).
+const SLO_S: f64 = 30.0;
+/// Arrival-trace seed.
+const SEED: u64 = 42;
+
+/// One strong FP16 board and two weaker INT4 boards — the mixed rack an
+/// edge deployment accretes over hardware generations.
+fn rack() -> Vec<FleetDevice> {
+    let nx = DeviceSpec::orin_nx_16gb();
+    let xav = DeviceSpec::xavier_agx_32gb();
+    vec![
+        FleetDevice::new(
+            DeviceSpec::orin_agx_64gb(),
+            RunConfig::new(Llm::Llama31_8b, Precision::Fp16),
+        )
+        .named("orin-agx-64"),
+        FleetDevice::new(
+            nx.clone(),
+            RunConfig::new(Llm::Llama31_8b, Precision::Int4).power_mode(PowerMode::maxn_for(&nx)),
+        )
+        .named("orin-nx-16"),
+        FleetDevice::new(
+            xav.clone(),
+            RunConfig::new(Llm::Llama31_8b, Precision::Int4).power_mode(PowerMode::maxn_for(&xav)),
+        )
+        .named("xavier-agx-32"),
+    ]
+}
+
+fn main() {
+    let reqs = PoissonArrivals::paper_shape(RATE).generate(N_REQS, SEED);
+    println!(
+        "Routing {N_REQS} Poisson requests ({RATE} req/s, {SLO_S:.0} s SLO) across a \
+         mixed Orin-AGX / Orin-NX / Xavier rack, Llama-3.1-8B:\n"
+    );
+    println!(
+        "  {:<20} {:>6} {:>8} {:>10} {:>10} {:>8} {:>6}",
+        "policy", "tok/s", "mean lat", "p95 lat", "energy J", "J/tok", "SLO"
+    );
+
+    let policies: Vec<(Box<dyn RoutingPolicy>, bool)> = vec![
+        (Box::new(RoundRobin::default()), false),
+        (Box::new(JoinShortestQueue), false),
+        (Box::new(LeastKvPressure), false),
+        (Box::new(EnergyGreedy::default()), false),
+        (Box::new(SloAware::new(SLO_S)), true),
+    ];
+    for (policy, with_cloud) in policies {
+        let cfg = FleetConfig {
+            slo_latency_s: SLO_S,
+            cloud: with_cloud.then(CloudEndpoint::datacenter),
+            faults: FaultPlan::none(),
+        };
+        let r = run_fleet(rack(), policy, cfg, &reqs).expect("rack serves the model");
+        println!(
+            "  {:<20} {:>6.1} {:>7.1}s {:>9.1}s {:>10.0} {:>6.2} {:>5.0}%",
+            r.policy,
+            r.output_tok_s,
+            r.mean_latency_s,
+            r.p95_latency_s,
+            r.energy_j,
+            r.energy_per_token_j,
+            r.slo_attainment * 100.0
+        );
+    }
+
+    println!(
+        "\nEnergy-greedy consolidates onto the most efficient board and spills by \
+         backlog watermark; blind round-robin parks a third of the stream on the \
+         slow Xavier and pays for it in both SLO and J/token.\n"
+    );
+
+    // Fault rehearsal: the strongest board drops out 5 s in, back at 25 s.
+    let cfg = FleetConfig {
+        slo_latency_s: SLO_S,
+        cloud: None,
+        faults: FaultPlan::none().outage(0, 5.0, 25.0),
+    };
+    let r =
+        run_fleet(rack(), Box::new(JoinShortestQueue), cfg, &reqs).expect("rack serves the model");
+    println!(
+        "Dropout rehearsal (join-shortest-queue, orin-agx-64 down 5–25 s): \
+         {} of {} completed, {} lost, {} in-flight requests re-routed.",
+        r.completed, r.submitted, r.lost, r.reroutes
+    );
+    for d in &r.devices {
+        println!(
+            "  {:<14} routed {:>3}  completed {:>3}  {:>5} tokens  {:>6.0} J",
+            d.name, d.routed, d.completed, d.output_tokens, d.energy_j
+        );
+    }
+}

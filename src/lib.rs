@@ -19,6 +19,8 @@
 //! * [`quant`] — LLM.int8()-style INT8 and NF4-style INT4 codecs;
 //! * [`nn`] — a real trainable neural-LM substrate with manual backprop;
 //! * [`core`] — the batching runtime and the paper's experiment protocol;
+//! * [`fleet`] — heterogeneous multi-device fleet serving: routing, faults,
+//!   thermal coupling and cloud spillover over the per-device simulators;
 //! * [`experiments`] — one driver per paper table/figure plus ground truth.
 //!
 //! ## Quickstart
@@ -41,6 +43,7 @@
 pub use edgellm_core as core;
 pub use edgellm_corpus as corpus;
 pub use edgellm_experiments as experiments;
+pub use edgellm_fleet as fleet;
 pub use edgellm_hw as hw;
 pub use edgellm_mem as mem;
 pub use edgellm_models as models;

@@ -20,6 +20,11 @@ use edgellm::core::{
     ContinuousBatcher, ContinuousReport, Engine, PoissonArrivals, RunConfig, SequenceSpec,
     ServingReport, StaticBatcher,
 };
+use edgellm::fleet::{
+    run_fleet, EnergyGreedy, FaultPlan, FleetConfig, FleetDevice, FleetReport, JoinShortestQueue,
+    RoutingPolicy,
+};
+use edgellm::hw::{DeviceSpec, PowerMode};
 use edgellm::models::{Llm, Precision};
 
 /// Arrival seed for the continuous/chunked scenarios.
@@ -59,6 +64,42 @@ fn continuous_report(llm: Llm, chunked: bool) -> ContinuousReport {
     } else {
         ContinuousBatcher::new(16).run(engine.device(), &cfg, &reqs).expect("model serves")
     }
+}
+
+/// The heterogeneous fleet the `ext-fleet` goldens run on: the paper's
+/// board serving FP16 next to an Orin NX and a Xavier AGX serving INT4.
+fn fleet_members() -> Vec<FleetDevice> {
+    let nx = DeviceSpec::orin_nx_16gb();
+    let xav = DeviceSpec::xavier_agx_32gb();
+    vec![
+        FleetDevice::new(
+            DeviceSpec::orin_agx_64gb(),
+            RunConfig::new(Llm::Llama31_8b, Precision::Fp16),
+        ),
+        FleetDevice::new(
+            nx.clone(),
+            RunConfig::new(Llm::Llama31_8b, Precision::Int4).power_mode(PowerMode::maxn_for(&nx)),
+        ),
+        FleetDevice::new(
+            xav.clone(),
+            RunConfig::new(Llm::Llama31_8b, Precision::Int4).power_mode(PowerMode::maxn_for(&xav)),
+        ),
+    ]
+}
+
+/// Fleet scenarios pinned below: join-shortest-queue rides through an
+/// outage of the strongest device; energy-greedy runs fault-free.
+fn fleet_report(policy: &'static str) -> FleetReport {
+    let reqs = PoissonArrivals::paper_shape(RATE).generate(N_REQS, SEED);
+    let (boxed, faults): (Box<dyn RoutingPolicy>, FaultPlan) = match policy {
+        "join-shortest-queue" => {
+            (Box::new(JoinShortestQueue), FaultPlan::none().outage(0, 4.0, 18.0))
+        }
+        "energy-greedy" => (Box::new(EnergyGreedy::default()), FaultPlan::none()),
+        other => panic!("no golden fleet scenario '{other}'"),
+    };
+    let cfg = FleetConfig { slo_latency_s: 30.0, cloud: None, faults };
+    run_fleet(fleet_members(), boxed, cfg, &reqs).expect("fleet serves")
 }
 
 /// `assert_close!(context, field_expr, pinned)` — 1e-9 absolute tolerance.
@@ -268,6 +309,56 @@ const GOLDEN_CONTINUOUS: [ContinuousGolden; 8] = [
     },
 ];
 
+struct FleetGolden {
+    policy: &'static str,
+    completed: usize,
+    lost: usize,
+    reroutes: usize,
+    preemptions: usize,
+    output_tokens: u64,
+    makespan_s: f64,
+    output_tok_s: f64,
+    energy_j: f64,
+    mean_latency_s: f64,
+    p95_latency_s: f64,
+    p50_ttft_s: f64,
+    slo_attainment: f64,
+}
+
+// Pinned fleet scenarios; regenerate with GOLDEN_DUMP=1 (above).
+const GOLDEN_FLEET: [FleetGolden; 2] = [
+    FleetGolden {
+        policy: "join-shortest-queue",
+        completed: 24,
+        lost: 0,
+        reroutes: 2,
+        preemptions: 0,
+        output_tokens: 1608,
+        makespan_s: 44.391549101868705,
+        output_tok_s: 36.223110761690215,
+        energy_j: 3751.437935710612,
+        mean_latency_s: 28.564131588897755,
+        p95_latency_s: 33.864533512210414,
+        p50_ttft_s: 1.750940944838593,
+        slo_attainment: 0.5416666666666666,
+    },
+    FleetGolden {
+        policy: "energy-greedy",
+        completed: 24,
+        lost: 0,
+        reroutes: 0,
+        preemptions: 0,
+        output_tokens: 1608,
+        makespan_s: 21.810413763861533,
+        output_tok_s: 73.72624918580654,
+        energy_j: 1055.6866895335345,
+        mean_latency_s: 7.559150879058913,
+        p95_latency_s: 8.718961843514064,
+        p50_ttft_s: 0.2567167809807165,
+        slo_attainment: 1.0,
+    },
+];
+
 /// With `GOLDEN_DUMP=1`, print paste-ready pinned tables instead of
 /// asserting (used to regenerate after an intended numeric change).
 fn dumping() -> bool {
@@ -347,6 +438,53 @@ fn continuous_schedulers_match_golden() {
         assert_close!(&ctx, r.p50_ttft_s, g.p50_ttft_s);
         assert_close!(&ctx, r.p99_ttft_s, g.p99_ttft_s);
         assert_close!(&ctx, r.prefill_stall_s, g.prefill_stall_s);
+    }
+}
+
+#[test]
+fn fleet_scenarios_match_golden() {
+    if dumping() {
+        for policy in ["join-shortest-queue", "energy-greedy"] {
+            let r = fleet_report(policy);
+            println!(
+                "    FleetGolden {{\n        policy: {policy:?},\n        \
+                 completed: {:?},\n        lost: {:?},\n        reroutes: {:?},\n        \
+                 preemptions: {:?},\n        output_tokens: {:?},\n        \
+                 makespan_s: {:?},\n        output_tok_s: {:?},\n        \
+                 energy_j: {:?},\n        mean_latency_s: {:?},\n        \
+                 p95_latency_s: {:?},\n        p50_ttft_s: {:?},\n        \
+                 slo_attainment: {:?},\n    }},",
+                r.completed,
+                r.lost,
+                r.reroutes,
+                r.preemptions,
+                r.output_tokens,
+                r.makespan_s,
+                r.output_tok_s,
+                r.energy_j,
+                r.mean_latency_s,
+                r.p95_latency_s,
+                r.p50_ttft_s,
+                r.slo_attainment
+            );
+        }
+        return;
+    }
+    for g in &GOLDEN_FLEET {
+        let r = fleet_report(g.policy);
+        let ctx = format!("fleet {}", g.policy);
+        assert_eq!(r.completed, g.completed, "{ctx}: completed");
+        assert_eq!(r.lost, g.lost, "{ctx}: lost");
+        assert_eq!(r.reroutes, g.reroutes, "{ctx}: reroutes");
+        assert_eq!(r.preemptions, g.preemptions, "{ctx}: preemptions");
+        assert_eq!(r.output_tokens, g.output_tokens, "{ctx}: output_tokens");
+        assert_close!(&ctx, r.makespan_s, g.makespan_s);
+        assert_close!(&ctx, r.output_tok_s, g.output_tok_s);
+        assert_close!(&ctx, r.energy_j, g.energy_j);
+        assert_close!(&ctx, r.mean_latency_s, g.mean_latency_s);
+        assert_close!(&ctx, r.p95_latency_s, g.p95_latency_s);
+        assert_close!(&ctx, r.p50_ttft_s, g.p50_ttft_s);
+        assert_close!(&ctx, r.slo_attainment, g.slo_attainment);
     }
 }
 

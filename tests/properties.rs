@@ -5,6 +5,7 @@
 use edgellm::core::serve::{EventScheduler, ServeConfig};
 use edgellm::core::{Engine, PoissonArrivals, RunConfig, SequenceSpec};
 use edgellm::corpus::{BpeTokenizer, CorpusKind, SyntheticCorpus};
+use edgellm::fleet::{run_fleet, FaultPlan, FleetConfig, FleetDevice, JoinShortestQueue};
 use edgellm::hw::{DeviceSpec, PowerMode};
 use edgellm::mem::KvBlockAllocator;
 use edgellm::models::{Llm, Precision};
@@ -222,6 +223,65 @@ proptest! {
             chunked.report.mean_ttft_s <= block.report.mean_ttft_s * 1.02 + 0.05,
             "chunked {} vs blocking {}",
             chunked.report.mean_ttft_s, block.report.mean_ttft_s
+        );
+    }
+
+    /// Fleet serving conserves work under forced dropout: with a second
+    /// device to absorb the re-routed requests, every submitted request —
+    /// and every output token — completes no matter when the first device
+    /// drops or how long it stays down.
+    #[test]
+    fn fleet_conserves_requests_under_dropout(
+        n in 8usize..20,
+        seed in 0u64..100,
+        down in 1.0f64..6.0,
+        dur in 2.0f64..30.0,
+    ) {
+        let cfg = RunConfig::new(Llm::Llama31_8b, Precision::Fp16);
+        let members = vec![
+            FleetDevice::new(DeviceSpec::orin_agx_64gb(), cfg.clone()),
+            FleetDevice::new(DeviceSpec::orin_agx_64gb(), cfg),
+        ];
+        let reqs = PoissonArrivals::paper_shape(2.0).generate(n, seed);
+        let fc = FleetConfig {
+            faults: FaultPlan::none().outage(0, down, down + dur),
+            ..FleetConfig::default()
+        };
+        let r = run_fleet(members, Box::new(JoinShortestQueue), fc, &reqs).unwrap();
+        prop_assert_eq!(r.completed, n, "all requests complete");
+        prop_assert_eq!(r.lost, 0);
+        prop_assert_eq!(
+            r.output_tokens,
+            reqs.iter().map(|q| q.output_tokens).sum::<u64>(),
+            "token conservation across re-routing"
+        );
+    }
+
+    /// On a homogeneous fleet, join-shortest-queue never finishes the
+    /// trace later than one of its devices serving the whole trace alone:
+    /// per-iteration cost is monotone in co-batched sequences, so
+    /// splitting load across twins can only help.
+    #[test]
+    fn fleet_jsq_makespan_no_worse_than_single_device(
+        n in 8usize..20,
+        seed in 0u64..100,
+        rate in 0.5f64..3.0,
+    ) {
+        let dev = DeviceSpec::orin_agx_64gb();
+        let cfg = RunConfig::new(Llm::Llama31_8b, Precision::Fp16);
+        let reqs = PoissonArrivals::paper_shape(rate).generate(n, seed);
+        let single = EventScheduler::new(ServeConfig::chunked(16))
+            .run(&dev, &cfg, &reqs)
+            .unwrap();
+        let members = vec![
+            FleetDevice::new(dev.clone(), cfg.clone()),
+            FleetDevice::new(dev.clone(), cfg),
+        ];
+        let fleet =
+            run_fleet(members, Box::new(JoinShortestQueue), FleetConfig::default(), &reqs).unwrap();
+        prop_assert!(
+            fleet.makespan_s <= single.report.makespan_s + 1e-9,
+            "fleet {} vs single device {}", fleet.makespan_s, single.report.makespan_s
         );
     }
 
