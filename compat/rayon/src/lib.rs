@@ -1,64 +1,671 @@
-//! Offline, sequential stand-in for the `rayon` data-parallelism API.
+//! Offline, in-tree implementation of the `rayon` data-parallelism API —
+//! a **real** work-splitting substrate, not a sequential stand-in.
 //!
-//! The build environment has no registry access, so this crate provides
-//! the `par_iter`/`par_iter_mut`/`par_chunks_mut`/`into_par_iter` entry
-//! points the workspace uses and maps each to the equivalent standard
-//! iterator. Results are bit-identical to what a single rayon worker
-//! would produce; only wall-clock parallelism is lost.
+//! The build environment has no registry access, so this crate provides the
+//! entry points the workspace uses (`par_iter`, `par_iter_mut`, `par_chunks`,
+//! `par_chunks_mut`, `into_par_iter`, [`join`], [`current_num_threads`]) on
+//! top of a small fork/join pool built from scoped `std::thread`s:
+//!
+//! * **Work splitting** — each parallel call partitions its index range into
+//!   contiguous runs, spawns one scoped worker per run (the calling thread
+//!   executes the first run itself), and joins them before returning. Scoped
+//!   threads mean borrowed data flows into workers with no `'static` bound
+//!   and no `unsafe`.
+//! * **Thread count** — `std::thread::available_parallelism()` by default,
+//!   overridden process-wide by the `EDGELLM_THREADS` environment variable
+//!   (read once) and per-call-tree by [`with_num_threads`] (used by the
+//!   determinism test suites to compare thread counts inside one process).
+//! * **Determinism contract** — results are **bit-identical across thread
+//!   counts**. Element-wise operations (`for_each`, `map`+`collect`) write
+//!   disjoint outputs whose values never depend on the partition, and
+//!   ordered reductions (`sum`) always combine fixed-size chunk partials in
+//!   chunk order, where the chunk boundaries are a pure function of the
+//!   input length — never of the thread count.
+//! * **Nested parallelism** — a parallel region entered from inside another
+//!   parallel region runs sequentially on the worker that reached it (a
+//!   cheap stand-in for rayon's work stealing that bounds the total thread
+//!   count to one scope's worth).
 
-/// Number of worker threads a real pool would use on this machine.
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+// ---------------------------------------------------------------------------
+// Thread-count configuration
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// True while this thread is executing inside a parallel region; nested
+    /// regions run sequentially instead of spawning a second generation of
+    /// workers.
+    static IN_REGION: Cell<bool> = const { Cell::new(false) };
+    /// Per-call-tree override installed by [`with_num_threads`].
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Process-wide worker budget: `EDGELLM_THREADS` if set to a positive
+/// integer, otherwise the machine's available parallelism.
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("EDGELLM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    })
+}
+
+/// Number of worker threads parallel calls on this thread will use.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    THREAD_OVERRIDE.with(|o| o.get()).unwrap_or_else(env_threads)
 }
 
-/// Consuming conversion into a (sequential) "parallel" iterator.
-pub trait IntoParallelIterator {
-    /// Element type.
-    type Item;
-    /// Underlying iterator.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Consume `self` into an iterator.
-    fn into_par_iter(self) -> Self::Iter;
+/// Run `f` with the thread budget forced to `n` for every parallel call
+/// made (directly) from the current thread. Used by the determinism suites
+/// to compare `EDGELLM_THREADS=1,2,8` inside a single process.
+///
+/// # Panics
+/// If `n == 0`.
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    assert!(n >= 1, "thread count must be positive");
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _guard = Restore(THREAD_OVERRIDE.with(|o| o.replace(Some(n))));
+    f()
 }
 
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Item = I::Item;
-    type Iter = I::IntoIter;
-    fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
+fn in_parallel_region() -> bool {
+    IN_REGION.with(|c| c.get())
+}
+
+/// RAII marker for "this thread is a parallel worker right now".
+struct RegionGuard(bool);
+
+impl RegionGuard {
+    fn enter() -> Self {
+        RegionGuard(IN_REGION.with(|c| c.replace(true)))
     }
 }
 
-/// Borrowing "parallel" views over slice-like containers.
+impl Drop for RegionGuard {
+    fn drop(&mut self) {
+        let prev = self.0;
+        IN_REGION.with(|c| c.set(prev));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Partitioning and the scoped-thread executor
+// ---------------------------------------------------------------------------
+
+/// Ceiling on the number of reduction chunks per parallel call. Reduction
+/// chunk boundaries depend only on the input length — never on the thread
+/// count — which is what makes ordered reductions bit-identical at any
+/// parallelism.
+const MAX_CHUNKS: usize = 64;
+
+/// Split `0..len` into at most `parts` contiguous ranges, balanced to ±1.
+fn partition(len: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.min(len);
+    if parts == 0 {
+        return Vec::new();
+    }
+    let base = len / parts;
+    let rem = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < rem);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Thread-level partition of `units` work units for the current budget.
+fn thread_runs(units: usize) -> Vec<Range<usize>> {
+    partition(units, current_num_threads())
+}
+
+/// Fixed reduction-chunk partition of `len` items (thread-count independent).
+fn reduce_chunks(len: usize) -> Vec<Range<usize>> {
+    partition(len, MAX_CHUNKS)
+}
+
+/// Execute `f` over every part — in parallel when the budget allows —
+/// returning results in part order. Part 0 runs on the calling thread; the
+/// rest each get one scoped worker. Worker panics propagate to the caller.
+fn run_parts<P: Send, R: Send>(parts: Vec<P>, f: impl Fn(P) -> R + Sync) -> Vec<R> {
+    if parts.len() <= 1 || in_parallel_region() || current_num_threads() <= 1 {
+        return parts.into_iter().map(f).collect();
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut iter = parts.into_iter();
+        let first = iter.next().expect("parts checked nonempty");
+        let handles: Vec<_> = iter
+            .map(|p| {
+                s.spawn(move || {
+                    let _g = RegionGuard::enter();
+                    f(p)
+                })
+            })
+            .collect();
+        let r0 = {
+            let _g = RegionGuard::enter();
+            f(first)
+        };
+        let mut out = Vec::with_capacity(handles.len() + 1);
+        out.push(r0);
+        for h in handles {
+            out.push(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+        }
+        out
+    })
+}
+
+/// Run two closures, potentially in parallel, returning both results
+/// (mirrors `rayon::join`). Nested joins run sequentially.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if in_parallel_region() || current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(move || {
+            let _g = RegionGuard::enter();
+            b()
+        });
+        let ra = {
+            let _g = RegionGuard::enter();
+            a()
+        };
+        (ra, hb.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+    })
+}
+
+/// Reborrow a slice as per-run `(base_index, segment)` parts.
+fn split_ref<'a, T>(s: &'a [T], runs: &[Range<usize>]) -> Vec<(usize, &'a [T])> {
+    runs.iter().map(|r| (r.start, &s[r.clone()])).collect()
+}
+
+/// Split a mutable slice into disjoint per-run `(base_index, segment)` parts.
+fn split_mut<'a, T>(mut s: &'a mut [T], runs: &[Range<usize>]) -> Vec<(usize, &'a mut [T])> {
+    let mut out = Vec::with_capacity(runs.len());
+    let mut consumed = 0;
+    for r in runs {
+        let (head, tail) = s.split_at_mut(r.end - consumed);
+        out.push((r.start, head));
+        consumed = r.end;
+        s = tail;
+    }
+    out
+}
+
+/// Split an owned vector into per-run `(base_index, sub_vec)` parts.
+fn split_vec<T>(mut v: Vec<T>, runs: &[Range<usize>]) -> Vec<(usize, Vec<T>)> {
+    let mut out: Vec<(usize, Vec<T>)> = Vec::with_capacity(runs.len());
+    for r in runs.iter().rev() {
+        out.push((r.start, v.split_off(r.start)));
+    }
+    out.reverse();
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits (same names/import paths as the old sequential shim)
+// ---------------------------------------------------------------------------
+
+/// Borrowing parallel views over slice-like containers.
 ///
 /// Implemented for `[T]`, which covers slices directly and `Vec<T>` /
 /// arrays through deref and unsize coercion.
 pub trait ParallelSliceOps {
     /// Element type.
     type Item;
-    /// Shared iteration (`rayon`'s `par_iter`).
-    fn par_iter(&self) -> std::slice::Iter<'_, Self::Item>;
-    /// Exclusive iteration (`rayon`'s `par_iter_mut`).
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, Self::Item>;
+    /// Shared parallel iteration (`rayon`'s `par_iter`).
+    fn par_iter(&self) -> ParIter<'_, Self::Item>;
+    /// Exclusive parallel iteration (`rayon`'s `par_iter_mut`).
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, Self::Item>;
     /// Non-overlapping shared chunks (`rayon`'s `par_chunks`).
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, Self::Item>;
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, Self::Item>;
     /// Non-overlapping exclusive chunks (`rayon`'s `par_chunks_mut`).
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, Self::Item>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, Self::Item>;
 }
 
 impl<T> ParallelSliceOps for [T] {
     type Item = T;
-    fn par_iter(&self) -> std::slice::Iter<'_, T> {
-        self.iter()
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { s: self }
     }
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-        self.iter_mut()
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { s: self }
     }
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-        self.chunks(chunk_size)
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunks { s: self, size: chunk_size }
     }
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-        self.chunks_mut(chunk_size)
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut { s: self, size: chunk_size }
+    }
+}
+
+/// Consuming conversion into a parallel iterator. The blanket impl buffers
+/// arbitrary `IntoIterator` sources into a `Vec` (free for `Vec` itself)
+/// and parallelizes from there.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Consume `self` into a parallel iterator.
+    fn into_par_iter(self) -> IntoParIter<Self::Item>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I
+where
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn into_par_iter(self) -> IntoParIter<I::Item> {
+        IntoParIter { items: self.into_iter().collect() }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared iteration: ParIter and adapters
+// ---------------------------------------------------------------------------
+
+/// Parallel shared iterator over a slice.
+pub struct ParIter<'a, T> {
+    s: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.s.len()
+    }
+
+    /// True when there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.s.is_empty()
+    }
+
+    /// Map each element through `f` (parallel at the terminal operation).
+    pub fn map<R, F>(self, f: F) -> MapSlice<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        MapSlice { s: self.s, f }
+    }
+
+    /// Pair each element with its index.
+    pub fn enumerate(self) -> EnumSlice<'a, T> {
+        EnumSlice { s: self.s }
+    }
+
+    /// Apply `f` to every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let parts = split_ref(self.s, &thread_runs(self.s.len()));
+        run_parts(parts, |(_, seg)| seg.iter().for_each(&f));
+    }
+}
+
+/// `par_iter().map(f)` — a mapped parallel slice iterator.
+pub struct MapSlice<'a, T, F> {
+    s: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> MapSlice<'a, T, F> {
+    /// Collect mapped values in input order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<R>,
+    {
+        let f = &self.f;
+        let parts = split_ref(self.s, &thread_runs(self.s.len()));
+        let vecs = run_parts(parts, |(_, seg)| seg.iter().map(f).collect::<Vec<R>>());
+        vecs.into_iter().flatten().collect()
+    }
+
+    /// Ordered parallel reduction: sums fixed-size chunk partials in chunk
+    /// order, so the result is bit-identical at any thread count.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R> + std::iter::Sum<S> + Send,
+    {
+        let f = &self.f;
+        let chunks = reduce_chunks(self.s.len());
+        let groups: Vec<Vec<&'a [T]>> = thread_runs(chunks.len())
+            .iter()
+            .map(|run| chunks[run.clone()].iter().map(|c| &self.s[c.clone()]).collect())
+            .collect();
+        let partials = run_parts(groups, |segs| {
+            segs.into_iter().map(|seg| seg.iter().map(f).sum::<S>()).collect::<Vec<S>>()
+        });
+        partials.into_iter().flatten().sum()
+    }
+
+    /// Apply the mapped function for its side effect.
+    pub fn for_each(self, sink: impl Fn(R) + Sync) {
+        let f = &self.f;
+        let parts = split_ref(self.s, &thread_runs(self.s.len()));
+        run_parts(parts, |(_, seg)| seg.iter().for_each(|x| sink(f(x))));
+    }
+}
+
+/// `par_iter().enumerate()` — indexed shared iteration.
+pub struct EnumSlice<'a, T> {
+    s: &'a [T],
+}
+
+impl<'a, T: Sync> EnumSlice<'a, T> {
+    /// Apply `f` to every `(index, element)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a T)) + Sync,
+    {
+        let parts = split_ref(self.s, &thread_runs(self.s.len()));
+        run_parts(parts, |(base, seg)| {
+            seg.iter().enumerate().for_each(|(i, x)| f((base + i, x)));
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exclusive iteration: ParIterMut and adapters
+// ---------------------------------------------------------------------------
+
+/// Parallel exclusive iterator over a slice.
+pub struct ParIterMut<'a, T> {
+    s: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.s.len()
+    }
+
+    /// True when there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.s.is_empty()
+    }
+
+    /// Pair each element with its index.
+    pub fn enumerate(self) -> EnumSliceMut<'a, T> {
+        EnumSliceMut { s: self.s }
+    }
+
+    /// Apply `f` to every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let runs = thread_runs(self.s.len());
+        let parts = split_mut(self.s, &runs);
+        run_parts(parts, |(_, seg)| seg.iter_mut().for_each(&f));
+    }
+}
+
+/// `par_iter_mut().enumerate()` — indexed exclusive iteration.
+pub struct EnumSliceMut<'a, T> {
+    s: &'a mut [T],
+}
+
+impl<'a, T: Send> EnumSliceMut<'a, T> {
+    /// Apply `f` to every `(index, element)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut T)) + Sync,
+    {
+        let runs = thread_runs(self.s.len());
+        let parts = split_mut(self.s, &runs);
+        run_parts(parts, |(base, seg)| {
+            seg.iter_mut().enumerate().for_each(|(i, x)| f((base + i, x)));
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chunked iteration: ParChunks / ParChunksMut and adapters
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over non-overlapping shared chunks.
+pub struct ParChunks<'a, T> {
+    s: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    /// Number of chunks.
+    pub fn len(&self) -> usize {
+        self.s.len().div_ceil(self.size)
+    }
+
+    /// True when there are no chunks.
+    pub fn is_empty(&self) -> bool {
+        self.s.is_empty()
+    }
+
+    /// Pair each chunk with its index.
+    pub fn enumerate(self) -> EnumChunks<'a, T> {
+        EnumChunks { s: self.s, size: self.size }
+    }
+
+    /// Apply `f` to every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, c)| f(c));
+    }
+}
+
+/// `par_chunks().enumerate()` — indexed shared chunks.
+pub struct EnumChunks<'a, T> {
+    s: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> EnumChunks<'a, T> {
+    /// Apply `f` to every `(chunk_index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a [T])) + Sync,
+    {
+        let size = self.size;
+        let runs = thread_runs(self.s.len().div_ceil(size));
+        let parts: Vec<(usize, &'a [T])> = runs
+            .iter()
+            .map(|r| (r.start, &self.s[r.start * size..(r.end * size).min(self.s.len())]))
+            .collect();
+        run_parts(parts, |(base, seg)| {
+            seg.chunks(size).enumerate().for_each(|(i, c)| f((base + i, c)));
+        });
+    }
+}
+
+/// Parallel iterator over non-overlapping exclusive chunks.
+pub struct ParChunksMut<'a, T> {
+    s: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Number of chunks.
+    pub fn len(&self) -> usize {
+        self.s.len().div_ceil(self.size)
+    }
+
+    /// True when there are no chunks.
+    pub fn is_empty(&self) -> bool {
+        self.s.is_empty()
+    }
+
+    /// Pair each chunk with its index.
+    pub fn enumerate(self) -> EnumChunksMut<'a, T> {
+        EnumChunksMut { s: self.s, size: self.size }
+    }
+
+    /// Apply `f` to every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, c)| f(c));
+    }
+}
+
+/// `par_chunks_mut().enumerate()` — indexed exclusive chunks.
+pub struct EnumChunksMut<'a, T> {
+    s: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> EnumChunksMut<'a, T> {
+    /// Apply `f` to every `(chunk_index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let size = self.size;
+        let n_chunks = self.s.len().div_ceil(size);
+        let runs = thread_runs(n_chunks);
+        let len = self.s.len();
+        // Scale chunk-index runs to element ranges aligned on chunk bounds.
+        let elem_runs: Vec<Range<usize>> =
+            runs.iter().map(|r| (r.start * size).min(len)..(r.end * size).min(len)).collect();
+        let mut parts = split_mut(self.s, &elem_runs);
+        // Re-base each part on its chunk index rather than element index.
+        for (part, run) in parts.iter_mut().zip(&runs) {
+            part.0 = run.start;
+        }
+        run_parts(parts, |(base, seg)| {
+            seg.chunks_mut(size).enumerate().for_each(|(i, c)| f((base + i, c)));
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Consuming iteration: IntoParIter and adapters
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over owned items.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParIter<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Map each owned element through `f`.
+    pub fn map<R, F>(self, f: F) -> MapVec<T, F>
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+    {
+        MapVec { items: self.items, f }
+    }
+
+    /// Apply `f` to every owned element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let runs = thread_runs(self.items.len());
+        let parts = split_vec(self.items, &runs);
+        run_parts(parts, |(_, seg)| seg.into_iter().for_each(&f));
+    }
+
+    /// Ordered parallel reduction over owned items (fixed chunk boundaries;
+    /// bit-identical at any thread count).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T> + std::iter::Sum<S> + Send,
+    {
+        self.map(|x| x).sum()
+    }
+
+    /// Collect the items (identity map) in input order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// `into_par_iter().map(f)` — a mapped parallel owning iterator.
+pub struct MapVec<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> MapVec<T, F> {
+    /// Collect mapped values in input order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<R>,
+    {
+        let f = &self.f;
+        let runs = thread_runs(self.items.len());
+        let parts = split_vec(self.items, &runs);
+        let vecs = run_parts(parts, |(_, seg)| seg.into_iter().map(f).collect::<Vec<R>>());
+        vecs.into_iter().flatten().collect()
+    }
+
+    /// Ordered parallel reduction: sums fixed-size chunk partials in chunk
+    /// order, so the result is bit-identical at any thread count.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R> + std::iter::Sum<S> + Send,
+    {
+        let f = &self.f;
+        let chunks = reduce_chunks(self.items.len());
+        // Group whole chunks per thread run; each worker emits one partial
+        // per chunk, combined afterwards in chunk order.
+        let chunk_runs = thread_runs(chunks.len());
+        let elem_runs: Vec<Range<usize>> =
+            chunk_runs.iter().map(|r| chunks[r.start].start..chunks[r.end - 1].end).collect();
+        let sizes: Vec<Vec<usize>> = chunk_runs
+            .iter()
+            .map(|r| chunks[r.clone()].iter().map(|c| c.end - c.start).collect())
+            .collect();
+        let parts: Vec<(Vec<usize>, Vec<T>)> = split_vec(self.items, &elem_runs)
+            .into_iter()
+            .zip(sizes)
+            .map(|((_, seg), sz)| (sz, seg))
+            .collect();
+        let partials = run_parts(parts, |(sz, seg)| {
+            let mut out = Vec::with_capacity(sz.len());
+            let mut it = seg.into_iter();
+            for n in sz {
+                out.push(it.by_ref().take(n).map(f).sum::<S>());
+            }
+            out
+        });
+        partials.into_iter().flatten().sum()
     }
 }
 
@@ -70,6 +677,8 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn slice_and_vec_entry_points_resolve() {
@@ -88,5 +697,168 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn with_num_threads_overrides_and_restores() {
+        let outer = super::current_num_threads();
+        super::with_num_threads(3, || {
+            assert_eq!(super::current_num_threads(), 3);
+            super::with_num_threads(7, || assert_eq!(super::current_num_threads(), 7));
+            assert_eq!(super::current_num_threads(), 3);
+        });
+        assert_eq!(super::current_num_threads(), outer);
+    }
+
+    #[test]
+    fn work_actually_splits_across_threads() {
+        // With a budget of 4, a large-enough for_each must observe more
+        // than one distinct worker thread.
+        use std::sync::Mutex;
+        let seen = Mutex::new(std::collections::HashSet::new());
+        let v: Vec<u32> = (0..1024).collect();
+        super::with_num_threads(4, || {
+            v.par_iter().for_each(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+            });
+        });
+        assert!(seen.lock().unwrap().len() > 1, "expected multiple worker threads");
+    }
+
+    #[test]
+    fn map_collect_preserves_order_at_any_thread_count() {
+        let v: Vec<usize> = (0..1000).collect();
+        for t in [1, 2, 3, 8] {
+            let out: Vec<usize> =
+                super::with_num_threads(t, || v.par_iter().map(|&x| x * x).collect());
+            assert_eq!(out, v.iter().map(|&x| x * x).collect::<Vec<_>>(), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn f32_sum_is_bit_identical_across_thread_counts() {
+        // Pathologically mixed magnitudes: any change in combination order
+        // would change the bits of the result.
+        let v: Vec<f32> = (0..10_000)
+            .map(|i| if i % 3 == 0 { 1e-7 * i as f32 } else { 1e4 - i as f32 * 0.37 })
+            .collect();
+        let sums: Vec<u32> = [1usize, 2, 5, 8]
+            .iter()
+            .map(|&t| {
+                super::with_num_threads(t, || v.par_iter().map(|&x| x).sum::<f32>()).to_bits()
+            })
+            .collect();
+        assert!(sums.windows(2).all(|w| w[0] == w[1]), "sums differ across thread counts");
+    }
+
+    #[test]
+    fn into_par_iter_moves_items_and_orders_results() {
+        let items: Vec<String> = (0..100).map(|i| format!("s{i}")).collect();
+        let out: Vec<usize> =
+            super::with_num_threads(4, || items.into_par_iter().map(|s| s.len()).collect());
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[0], 2);
+        assert_eq!(out[10], 3);
+    }
+
+    #[test]
+    fn collect_into_hashmap_works() {
+        let keys = [1u32, 2, 3];
+        let m: HashMap<u32, u32> = keys.par_iter().map(|&k| (k, k * 10)).collect();
+        assert_eq!(m[&2], 20);
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate_covers_every_index_once() {
+        let mut v = vec![0usize; 513];
+        super::with_num_threads(4, || {
+            v.par_iter_mut().enumerate().for_each(|(i, x)| *x += i + 1);
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i + 1));
+    }
+
+    #[test]
+    fn chunks_mut_sees_ragged_tail() {
+        let mut v = vec![0u8; 10];
+        super::with_num_threads(3, || {
+            v.par_chunks_mut(4).enumerate().for_each(|(i, c)| {
+                c.iter_mut().for_each(|x| *x = i as u8 + 1);
+            });
+        });
+        assert_eq!(v, vec![1, 1, 1, 1, 2, 2, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn par_chunks_shared_enumerates_in_order() {
+        let v: Vec<u32> = (0..9).collect();
+        let total = AtomicUsize::new(0);
+        v.par_chunks(2).enumerate().for_each(|(i, c)| {
+            total.fetch_add(i + c.len(), Ordering::Relaxed);
+        });
+        // 5 chunks: indices 0+1+2+3+4 = 10, lens 2+2+2+2+1 = 9.
+        assert_eq!(total.load(Ordering::Relaxed), 19);
+    }
+
+    #[test]
+    fn join_runs_both_and_returns_in_order() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+        // Nested joins degrade gracefully to sequential.
+        let (x, (y, z)) = super::join(|| 7, || super::join(|| 8, || 9));
+        assert_eq!((x, y, z), (7, 8, 9));
+    }
+
+    #[test]
+    fn nested_parallel_regions_serialize() {
+        // An inner parallel call from a worker must not spawn further
+        // threads; it should still produce correct, ordered output.
+        let outer: Vec<u32> = (0..8).collect();
+        let inner: Vec<u32> = (0..64).collect();
+        let got: Vec<u32> = super::with_num_threads(4, || {
+            outer.par_iter().map(|&o| inner.par_iter().map(|&i| i).sum::<u32>() + o).collect()
+        });
+        let want: Vec<u32> = (0..8).map(|o| 2016 + o).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_inputs_are_handled() {
+        let empty: [u64; 0] = [];
+        let out: Vec<u64> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let s: u64 = Vec::<u64>::new().into_par_iter().sum();
+        assert_eq!(s, 0);
+        let mut nothing: Vec<u8> = Vec::new();
+        nothing.par_chunks_mut(4).enumerate().for_each(|_| unreachable!());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let v: Vec<u32> = (0..256).collect();
+        super::with_num_threads(4, || {
+            v.par_iter().for_each(|&x| {
+                if x == 255 {
+                    panic!("boom");
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn partition_is_balanced_and_total() {
+        for len in [0usize, 1, 7, 64, 65, 1000] {
+            for parts in [1usize, 2, 7, 64] {
+                let p = super::partition(len, parts);
+                let total: usize = p.iter().map(|r| r.end - r.start).sum();
+                assert_eq!(total, len);
+                if let (Some(min), Some(max)) = (
+                    p.iter().map(|r| r.end - r.start).min(),
+                    p.iter().map(|r| r.end - r.start).max(),
+                ) {
+                    assert!(max - min <= 1, "unbalanced partition {p:?}");
+                }
+            }
+        }
     }
 }

@@ -25,9 +25,27 @@ fn bench_matmul_precisions(c: &mut Criterion) {
     let w4 = QInt4Matrix::from_f32(&w);
     let mut g = c.benchmark_group("matmul_32x256x512");
     g.bench_function("fp32", |b| b.iter(|| matmul_nt(black_box(&x), black_box(&w))));
-    g.bench_function("fp16_dequant", |b| b.iter(|| w16.matmul_nt(black_box(&x))));
-    g.bench_function("int8_outlier", |b| b.iter(|| w8.matmul_nt(black_box(&x))));
-    g.bench_function("int4_nf4", |b| b.iter(|| w4.matmul_nt(black_box(&x))));
+    g.bench_function("fp16_fused", |b| b.iter(|| w16.matmul_nt(black_box(&x))));
+    g.bench_function("fp16_dequant", |b| b.iter(|| w16.matmul_nt_dequant(black_box(&x))));
+    g.bench_function("int8_fused", |b| b.iter(|| w8.matmul_nt(black_box(&x))));
+    g.bench_function("int8_dequant", |b| b.iter(|| w8.matmul_nt_dequant(black_box(&x))));
+    g.bench_function("int4_fused", |b| b.iter(|| w4.matmul_nt(black_box(&x))));
+    g.bench_function("int4_dequant", |b| b.iter(|| w4.matmul_nt_dequant(black_box(&x))));
+    g.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    // The substrate's parallel dispatch at a decode shape: same kernel,
+    // thread count pinned per measurement (wall-clock scaling is only
+    // visible on a multi-core host; results stay bit-identical anywhere).
+    let x = Matrix::rand_kaiming(1, 512, 11);
+    let w = Matrix::rand_normal(8192, 512, 0.05, 12);
+    let mut g = c.benchmark_group("matmul_nt_1x512x8192_threads");
+    for threads in [1usize, 2, 4] {
+        g.bench_function(format!("t{threads}"), |b| {
+            b.iter(|| rayon::with_num_threads(threads, || matmul_nt(black_box(&x), black_box(&w))))
+        });
+    }
     g.finish();
 }
 
@@ -95,7 +113,7 @@ fn bench_kv_allocator(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(30);
-    targets = bench_matmul_precisions, bench_quantize_codecs,
+    targets = bench_matmul_precisions, bench_thread_scaling, bench_quantize_codecs,
         bench_transformer_decode, bench_bpe, bench_kv_allocator
 }
 criterion_main!(kernels);

@@ -1,0 +1,172 @@
+//! `bench_kernels` — wall-clock kernel benchmarks emitted as
+//! `BENCH_kernels.json`, so the repo's bench trajectory is tracked
+//! PR-over-PR.
+//!
+//! Measures ns/op for the f32 / f16 / int8 / int4 NT products at the
+//! paper's decode shapes (Phi-2: hidden 2560 → FFN 10240; Llama-3-8B:
+//! hidden 4096 → FFN 14336) plus a chunked-prefill shape, each serial
+//! (1 thread) vs parallel (4 threads), and fused vs dequantize-then-dot
+//! for the quantized formats.
+//!
+//! This is a plain binary (not a criterion bench) so it can run from
+//! `cargo run --release` in CI without dev-dependencies: timing is
+//! best-of-N `Instant` sampling and the JSON is written by hand.
+//!
+//! Usage: `bench_kernels [--iters N] [--quick] [--out PATH]`
+
+use edgellm_tensor::matmul::matmul_nt;
+use edgellm_tensor::{F16Matrix, Matrix, QInt4Matrix, QInt8Matrix};
+use std::hint::black_box;
+use std::time::Instant;
+
+const SERIAL_THREADS: usize = 1;
+const PARALLEL_THREADS: usize = 4;
+
+struct Record {
+    shape: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    kernel: String,
+    serial_ns: u128,
+    parallel_ns: u128,
+}
+
+/// Best-of-`iters` wall-clock nanoseconds for one invocation of `f`
+/// (after one warm-up call).
+fn time_ns(iters: usize, mut f: impl FnMut()) -> u128 {
+    f();
+    let mut best = u128::MAX;
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_nanos());
+    }
+    best
+}
+
+fn bench_shape(
+    shape: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    iters: usize,
+    out: &mut Vec<Record>,
+) {
+    eprintln!("# shape {shape}: ({m} x {k}) . ({n} x {k})^T");
+    let x = Matrix::rand_kaiming(m, k, 1);
+    let w = Matrix::rand_normal(n, k, 0.05, 2);
+
+    // One closure per kernel variant; boxed so they can live in one list.
+    // Quantized weights are built per entry and dropped right after so the
+    // peak footprint stays near one precision at a time.
+    let mut run = |kernel: &str, f: &mut dyn FnMut()| {
+        let serial_ns = rayon::with_num_threads(SERIAL_THREADS, || time_ns(iters, &mut *f));
+        let parallel_ns = rayon::with_num_threads(PARALLEL_THREADS, || time_ns(iters, &mut *f));
+        eprintln!("  {kernel:<16} serial {serial_ns:>12} ns  parallel {parallel_ns:>12} ns");
+        out.push(Record { shape, m, k, n, kernel: kernel.to_string(), serial_ns, parallel_ns });
+    };
+
+    run("f32", &mut || {
+        black_box(matmul_nt(black_box(&x), black_box(&w)));
+    });
+    {
+        let w16 = F16Matrix::from_f32(&w);
+        run("f16_fused", &mut || {
+            black_box(w16.matmul_nt(black_box(&x)));
+        });
+        run("f16_dequant", &mut || {
+            black_box(w16.matmul_nt_dequant(black_box(&x)));
+        });
+    }
+    {
+        let w8 = QInt8Matrix::from_f32(&w);
+        run("int8_fused", &mut || {
+            black_box(w8.matmul_nt(black_box(&x)));
+        });
+        run("int8_dequant", &mut || {
+            black_box(w8.matmul_nt_dequant(black_box(&x)));
+        });
+    }
+    {
+        let w4 = QInt4Matrix::from_f32(&w);
+        run("int4_fused", &mut || {
+            black_box(w4.matmul_nt(black_box(&x)));
+        });
+        run("int4_dequant", &mut || {
+            black_box(w4.matmul_nt_dequant(black_box(&x)));
+        });
+    }
+}
+
+fn write_json(path: &str, records: &[Record]) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"bench_kernels/v1\",\n");
+    s.push_str(&format!("  \"threads_serial\": {SERIAL_THREADS},\n"));
+    s.push_str(&format!("  \"threads_parallel\": {PARALLEL_THREADS},\n"));
+    s.push_str(&format!(
+        "  \"host_cores\": {},\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    ));
+    s.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let speedup = r.serial_ns as f64 / r.parallel_ns.max(1) as f64;
+        s.push_str(&format!(
+            "    {{\"shape\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"kernel\": \"{}\", \
+             \"serial_ns_per_op\": {}, \"parallel_ns_per_op\": {}, \"parallel_speedup\": {:.3}}}{}\n",
+            r.shape,
+            r.m,
+            r.k,
+            r.n,
+            r.kernel,
+            r.serial_ns,
+            r.parallel_ns,
+            speedup,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
+fn main() {
+    let mut iters = 3usize;
+    let mut quick = false;
+    let mut out_path = "BENCH_kernels.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--iters" => {
+                iters = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--iters needs an integer argument");
+            }
+            "--quick" => quick = true,
+            "--out" => out_path = args.next().expect("--out needs a path argument"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_kernels [--iters N] [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut records = Vec::new();
+    if quick {
+        // CI smoke shapes: exercise every kernel and both dispatch paths
+        // in a few seconds.
+        bench_shape("quick_decode", 1, 256, 2048, iters, &mut records);
+        bench_shape("quick_prefill", 16, 256, 512, iters, &mut records);
+    } else {
+        // Paper decode shapes: single token against the FFN up-projection.
+        bench_shape("phi2_decode", 1, 2560, 10240, iters, &mut records);
+        bench_shape("llama8b_decode", 1, 4096, 14336, iters, &mut records);
+        // Chunked-prefill shape (32-token chunk through the Phi-2 FFN).
+        bench_shape("phi2_prefill32", 32, 2560, 10240, iters, &mut records);
+    }
+
+    write_json(&out_path, &records).expect("failed to write bench JSON");
+    eprintln!("wrote {out_path} ({} records)", records.len());
+}

@@ -13,6 +13,7 @@ use crate::linear::Linear;
 use edgellm_quant::WeightPrecision;
 use edgellm_tensor::ops::{rmsnorm_rows, rope_inplace, silu_inplace, softmax_inplace};
 use edgellm_tensor::Matrix;
+use rayon::prelude::*;
 
 /// Transformer hyperparameters (a scaled-down `edgellm_models::ModelArch`).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -220,23 +221,119 @@ impl TinyCausalLm {
         self.lm_head.forward(&h).into_vec()
     }
 
+    /// Batched prefill: consume all of `tokens` in one pass and return the
+    /// `(tokens × vocab)` logits matrix (row `i` = logits after consuming
+    /// `tokens[..=i]`).
+    ///
+    /// This is the compute-bound phase of the paper's prefill/decode split:
+    /// every projection runs as one `(T × in)·(out × in)ᵀ` matmul instead
+    /// of `T` single-row products, which is what lets the blocked kernels
+    /// reuse weight tiles across the batch. Because every matmul kernel in
+    /// `edgellm-tensor` computes each output element in a fixed
+    /// per-element accumulation order (independent of batch size, dispatch
+    /// path and thread count), the logits and the cache contents are
+    /// **bit-identical** to calling [`Self::forward_step`] per token.
+    pub fn prefill(&self, tokens: &[u32], cache: &mut KvCache) -> Matrix {
+        let cfg = &self.cfg;
+        let t = tokens.len();
+        if t == 0 {
+            return Matrix::zeros(0, cfg.vocab);
+        }
+        let base = cache.tokens;
+        let mut h = Matrix::zeros(t, cfg.d_model);
+        for (i, &tok) in tokens.iter().enumerate() {
+            h.row_mut(i).copy_from_slice(self.emb.row(tok as usize));
+        }
+
+        for (l, blk) in self.blocks.iter().enumerate() {
+            // --- attention ---
+            let mut xn = h.clone();
+            rmsnorm_rows(&mut xn, &blk.norm_attn, 1e-6);
+            let mut q = blk.wq.forward(&xn);
+            let mut k = blk.wk.forward(&xn);
+            let v = blk.wv.forward(&xn);
+            for i in 0..t {
+                rope_inplace(q.row_mut(i), cfg.head_dim, base + i, 10000.0);
+                rope_inplace(k.row_mut(i), cfg.head_dim, base + i, 10000.0);
+                cache.k[l].extend_from_slice(k.row(i));
+                cache.v[l].extend_from_slice(v.row(i));
+            }
+
+            let group = cfg.heads / cfg.kv_heads;
+            let scale = 1.0 / (cfg.head_dim as f32).sqrt();
+            let mut attn = Matrix::zeros(t, cfg.q_dim());
+            // Each token's causal attention (over its own prefix only) is
+            // independent — parallelize across the batch. Per-token math is
+            // exactly the forward_step loop, so partitioning cannot change
+            // the bits.
+            let (kl, vl) = (&cache.k[l], &cache.v[l]);
+            let kv_dim = cache.kv_dim;
+            attn.as_mut_slice().par_chunks_mut(cfg.q_dim()).enumerate().for_each(|(i, arow)| {
+                let ctx = base + i + 1;
+                let mut scores = vec![0.0f32; ctx];
+                for head in 0..cfg.heads {
+                    let kv_head = head / group;
+                    let qh = &q.row(i)[head * cfg.head_dim..(head + 1) * cfg.head_dim];
+                    for (tt, s) in scores.iter_mut().enumerate() {
+                        let koff = tt * kv_dim + kv_head * cfg.head_dim;
+                        *s =
+                            edgellm_tensor::matmul::dot(qh, &kl[koff..koff + cfg.head_dim]) * scale;
+                    }
+                    softmax_inplace(&mut scores);
+                    let oh = &mut arow[head * cfg.head_dim..(head + 1) * cfg.head_dim];
+                    for (tt, &w) in scores.iter().enumerate() {
+                        let voff = tt * kv_dim + kv_head * cfg.head_dim;
+                        for (o, &x) in oh.iter_mut().zip(&vl[voff..voff + cfg.head_dim]) {
+                            *o += w * x;
+                        }
+                    }
+                }
+            });
+            let proj = blk.wo.forward(&attn);
+            for i in 0..t {
+                edgellm_tensor::ops::add_inplace(h.row_mut(i), proj.row(i));
+            }
+
+            // --- SwiGLU MLP ---
+            let mut xn = h.clone();
+            rmsnorm_rows(&mut xn, &blk.norm_mlp, 1e-6);
+            let mut gate = blk.w_gate.forward(&xn);
+            silu_inplace(gate.as_mut_slice());
+            let up = blk.w_up.forward(&xn);
+            for (g, u) in gate.as_mut_slice().iter_mut().zip(up.as_slice()) {
+                *g *= u;
+            }
+            let down = blk.w_down.forward(&gate);
+            for i in 0..t {
+                edgellm_tensor::ops::add_inplace(h.row_mut(i), down.row(i));
+            }
+        }
+        cache.tokens += t;
+
+        rmsnorm_rows(&mut h, &self.final_norm, 1e-6);
+        self.lm_head.forward(&h)
+    }
+
     /// Logits after consuming all of `tokens` from a fresh cache.
     pub fn full_logits(&self, tokens: &[u32]) -> Vec<f32> {
         let mut cache = self.new_cache();
-        let mut logits = Vec::new();
-        for &t in tokens {
-            logits = self.forward_step(t, &mut cache);
+        let logits = self.prefill(tokens, &mut cache);
+        if logits.rows == 0 {
+            return Vec::new();
         }
-        logits
+        logits.row(logits.rows - 1).to_vec()
     }
 
-    /// Greedy-decode `n` tokens after a prompt.
+    /// Greedy-decode `n` tokens after a prompt (batched prefill, then the
+    /// auto-regressive decode loop).
     pub fn generate_greedy(&self, prompt: &[u32], n: usize) -> Vec<u32> {
         let mut cache = self.new_cache();
-        let mut logits = vec![0.0];
-        for &t in prompt {
-            logits = self.forward_step(t, &mut cache);
-        }
+        let mut logits = if prompt.is_empty() {
+            vec![0.0]
+        } else {
+            let lg = self.prefill(prompt, &mut cache);
+            lg.row(lg.rows - 1).to_vec()
+        };
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             let t = edgellm_tensor::sampling::argmax(&logits) as u32;
@@ -286,22 +383,21 @@ impl crate::scorer::CausalScorer for TinyCausalLm {
         -ls[window[pos] as usize % self.cfg.vocab] as f64
     }
 
-    /// Batched span scoring: one cached pass over the window instead of
-    /// re-prefilling per position.
+    /// Batched span scoring: one batched prefill over the window — token
+    /// `window[start + i]` is scored against logits row `start + i − 1`
+    /// (the logits after its prefix), all produced by a single pass.
     fn nll_span(&self, window: &[u32], start: usize) -> Vec<f64> {
         assert!(start >= 1, "need at least one context token");
         let mut cache = self.new_cache();
-        let mut logits = Vec::new();
-        for &t in &window[..start] {
-            logits = self.forward_step(t, &mut cache);
-        }
-        let mut out = Vec::with_capacity(window.len() - start);
-        for &t in &window[start..] {
-            let ls = edgellm_tensor::ops::log_softmax(&logits);
-            out.push(-ls[t as usize % self.cfg.vocab] as f64);
-            logits = self.forward_step(t, &mut cache);
-        }
-        out
+        let logits = self.prefill(window, &mut cache);
+        window[start..]
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                let ls = edgellm_tensor::ops::log_softmax(logits.row(start + i - 1));
+                -ls[t as usize % self.cfg.vocab] as f64
+            })
+            .collect()
     }
 }
 
@@ -333,6 +429,58 @@ mod tests {
         }
         assert_eq!(seen[2], last_of_prefix);
         assert_eq!(cache.len(), 5);
+    }
+
+    #[test]
+    fn prefill_is_bitwise_equal_to_stepping() {
+        // The load-bearing equivalence: batched prefill and token-by-token
+        // decode must agree to the bit, at every precision.
+        let base_model = TinyCausalLm::new(TinyConfig::small(11));
+        let tokens = [3u32, 200, 17, 91, 4, 55, 120];
+        for prec in [
+            None,
+            Some(WeightPrecision::Fp16),
+            Some(WeightPrecision::Int8),
+            Some(WeightPrecision::Int4),
+        ] {
+            let m = match prec {
+                None => base_model.clone(),
+                Some(p) => base_model.to_precision(p),
+            };
+            let mut step_cache = m.new_cache();
+            let stepped: Vec<Vec<f32>> =
+                tokens.iter().map(|&t| m.forward_step(t, &mut step_cache)).collect();
+            let mut pre_cache = m.new_cache();
+            let batched = m.prefill(&tokens, &mut pre_cache);
+            for (i, srow) in stepped.iter().enumerate() {
+                assert_eq!(batched.row(i), srow.as_slice(), "{prec:?} row {i}");
+            }
+            assert_eq!(pre_cache.len(), step_cache.len(), "{prec:?}");
+            assert_eq!(pre_cache.k, step_cache.k, "{prec:?} cached keys");
+            assert_eq!(pre_cache.v, step_cache.v, "{prec:?} cached values");
+        }
+    }
+
+    #[test]
+    fn prefill_resumes_mid_stream() {
+        // prefill after a partially-filled cache continues the sequence.
+        let m = TinyCausalLm::new(TinyConfig::small(12));
+        let mut cache = m.new_cache();
+        m.forward_step(9, &mut cache);
+        m.forward_step(30, &mut cache);
+        let batched = m.prefill(&[7, 2, 101], &mut cache);
+        assert_eq!(cache.len(), 5);
+        assert_eq!(batched.row(2), m.full_logits(&[9, 30, 7, 2, 101]).as_slice());
+    }
+
+    #[test]
+    fn empty_prefill_is_a_no_op() {
+        let m = TinyCausalLm::new(TinyConfig::small(13));
+        let mut cache = m.new_cache();
+        let lg = m.prefill(&[], &mut cache);
+        assert_eq!((lg.rows, lg.cols), (0, 256));
+        assert_eq!(cache.len(), 0);
+        assert_eq!(m.full_logits(&[]), Vec::<f32>::new());
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! End-to-end determinism: a full transformer decode + batched prefill
+//! must be bit-identical across thread counts, at every weight precision.
+
+use edgellm_nn::transformer::{TinyCausalLm, TinyConfig};
+use edgellm_quant::WeightPrecision;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn forward_step_is_bitwise_stable_across_thread_counts() {
+    let base = TinyCausalLm::new(TinyConfig::small(42));
+    let tokens = [7u32, 130, 2, 88, 41, 200, 9, 63];
+    for prec in [
+        None,
+        Some(WeightPrecision::Fp16),
+        Some(WeightPrecision::Int8),
+        Some(WeightPrecision::Int4),
+    ] {
+        let m = match prec {
+            None => base.clone(),
+            Some(p) => base.to_precision(p),
+        };
+        let run = || {
+            let mut cache = m.new_cache();
+            tokens.iter().map(|&t| m.forward_step(t, &mut cache)).collect::<Vec<_>>()
+        };
+        let reference = rayon::with_num_threads(1, run);
+        for t in THREAD_COUNTS {
+            let got = rayon::with_num_threads(t, run);
+            for (step, (a, b)) in got.iter().zip(&reference).enumerate() {
+                let same = a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits());
+                assert!(same, "{prec:?} step {step} differs at {t} threads");
+            }
+        }
+    }
+}
+
+#[test]
+fn prefill_is_bitwise_stable_across_thread_counts() {
+    let m = TinyCausalLm::new(TinyConfig::small(43));
+    let tokens: Vec<u32> = (0..24).map(|i| (i * 31 % 256) as u32).collect();
+    let run = || {
+        let mut cache = m.new_cache();
+        m.prefill(&tokens, &mut cache)
+    };
+    let reference = rayon::with_num_threads(1, run);
+    for t in THREAD_COUNTS {
+        let got = rayon::with_num_threads(t, run);
+        let same = got
+            .as_slice()
+            .iter()
+            .zip(reference.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits());
+        assert!(same, "prefill logits differ at {t} threads");
+    }
+}

@@ -4,9 +4,33 @@
 //! round-to-nearest-even, handles subnormals, infinities and NaN, and is
 //! property-tested against exactness/monotonicity invariants.
 
-use crate::matmul::dot;
+use crate::matmul::{dot, policy};
 use crate::tensor::Matrix;
 use rayon::prelude::*;
+
+/// Fused dot product of an f32 activation row against an f16 weight row,
+/// converting each weight element inline (no dequantized scratch row).
+///
+/// `f16_to_f32` is exact and the lane structure mirrors
+/// [`dot`](crate::matmul::dot), so this is **bit-identical** to
+/// `dot(xr, dequantized_row)`.
+#[inline]
+fn f16_dot(xr: &[f32], wr: &[u16]) -> f32 {
+    debug_assert_eq!(xr.len(), wr.len());
+    let mut acc = [0.0f32; 8];
+    let chunks = xr.len() / 8;
+    for i in 0..chunks {
+        let j = i * 8;
+        for l in 0..8 {
+            acc[l] += xr[j + l] * f16_to_f32(wr[j + l]);
+        }
+    }
+    let mut s = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    for j in chunks * 8..xr.len() {
+        s += xr[j] * f16_to_f32(wr[j]);
+    }
+    s
+}
 
 /// Convert an `f32` to its nearest IEEE binary16 bit pattern
 /// (round-to-nearest-even, overflow → ±inf).
@@ -94,9 +118,32 @@ impl F16Matrix {
         }
     }
 
+    /// One stored weight row as raw f16 bit patterns.
+    fn h_row(&self, r: usize) -> &[u16] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Dequantize one weight row into a caller-provided buffer.
+    pub fn dequantize_row_into(&self, r: usize, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.cols);
+        for (dst, &h) in out.iter_mut().zip(self.h_row(r)) {
+            *dst = f16_to_f32(h);
+        }
+    }
+
+    /// Dequantize into a caller-provided matrix (no allocation).
+    pub fn to_f32_into(&self, out: &mut Matrix) {
+        assert_eq!((out.rows, out.cols), (self.rows, self.cols), "shape mismatch");
+        for r in 0..self.rows {
+            self.dequantize_row_into(r, out.row_mut(r));
+        }
+    }
+
     /// Dequantize back to `f32`.
     pub fn to_f32(&self) -> Matrix {
-        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|&h| f16_to_f32(h)).collect())
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        self.to_f32_into(&mut out);
+        out
     }
 
     /// Storage bytes.
@@ -104,22 +151,80 @@ impl F16Matrix {
         self.data.len() * 2
     }
 
-    /// `Y = X · Wᵀ` with on-the-fly dequantization of `W` rows.
+    /// `Y = X · Wᵀ` **fused**: weight elements convert f16→f32 inline in
+    /// the dot product (see `f16_dot`) — half the weight memory traffic
+    /// of f32 and no scratch row. Bit-identical to the dequantize-then-dot
+    /// reference; parallelized per [`policy::matmul_quant_nt`].
     pub fn matmul_nt(&self, x: &Matrix) -> Matrix {
         assert_eq!(x.cols, self.cols, "inner dimensions must match");
         let (m, n) = (x.rows, self.rows);
         let mut out = Matrix::zeros(m, n);
-        out.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(r, or)| {
-            let xr = x.row(r);
-            let mut wrow = vec![0.0f32; self.cols];
-            for (c, o) in or.iter_mut().enumerate() {
-                let wr = &self.data[c * self.cols..(c + 1) * self.cols];
-                for (dst, &h) in wrow.iter_mut().zip(wr) {
-                    *dst = f16_to_f32(h);
+        if m == 0 || n == 0 {
+            return out;
+        }
+        let threads = rayon::current_num_threads();
+        // Weight-row-outer / batch-row-inner: each f16 row is streamed
+        // once per batch block and converted inline per use; the small
+        // activation block stays cache-resident. Loop order cannot change
+        // the bits.
+        // Batched blocks convert each weight row to f32 once and share it
+        // across the batch: `f16_to_f32` is exact and `dot` mirrors
+        // `f16_dot`'s lane order, so both variants produce the same bits.
+        let fill_block = |rows: std::ops::Range<usize>, blk: &mut [f32]| {
+            if rows.len() == 1 {
+                let xr = x.row(rows.start);
+                for (c, o) in blk.iter_mut().enumerate() {
+                    *o = f16_dot(xr, self.h_row(c));
                 }
-                *o = dot(xr, &wrow);
+                return;
             }
-        });
+            let mut wrow = vec![0.0f32; self.cols];
+            for c in 0..n {
+                self.dequantize_row_into(c, &mut wrow);
+                for (i, r) in rows.clone().enumerate() {
+                    blk[i * n + c] = dot(x.row(r), &wrow);
+                }
+            }
+        };
+        match policy::matmul_quant_nt(m, n, self.cols, threads) {
+            policy::Dispatch::Serial => fill_block(0..m, out.as_mut_slice()),
+            policy::Dispatch::RowParallel => {
+                let rpu = m.div_ceil(threads).clamp(1, 8);
+                out.as_mut_slice().par_chunks_mut(n * rpu).enumerate().for_each(|(b, blk)| {
+                    let r0 = b * rpu;
+                    fill_block(r0..r0 + blk.len() / n, blk);
+                });
+            }
+            policy::Dispatch::ColParallel => {
+                for r in 0..m {
+                    let xr = x.row(r);
+                    out.row_mut(r).par_chunks_mut(policy::COL_BLOCK).enumerate().for_each(
+                        |(cb, seg)| {
+                            let c0 = cb * policy::COL_BLOCK;
+                            for (j, o) in seg.iter_mut().enumerate() {
+                                *o = f16_dot(xr, self.h_row(c0 + j));
+                            }
+                        },
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Reference dequantize-then-dot product: each weight row is expanded
+    /// into one reused f32 scratch buffer, then dotted. Kept for
+    /// benchmarking the fusion win; bitwise equal to [`Self::matmul_nt`].
+    pub fn matmul_nt_dequant(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols, self.cols, "inner dimensions must match");
+        let mut out = Matrix::zeros(x.rows, self.rows);
+        let mut wrow = vec![0.0f32; self.cols];
+        for c in 0..self.rows {
+            self.dequantize_row_into(c, &mut wrow);
+            for r in 0..x.rows {
+                out.set(r, c, dot(x.row(r), &wrow));
+            }
+        }
         out
     }
 }
@@ -187,6 +292,18 @@ mod tests {
         let viaf16 = F16Matrix::from_f32(&w).matmul_nt(&x);
         for (a, b) in exact.as_slice().iter().zip(viaf16.as_slice()) {
             assert!((a - b).abs() < 2e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fused_is_bitwise_equal_to_dequant_reference() {
+        let x = Matrix::rand_kaiming(3, 100, 4);
+        let w = Matrix::rand_kaiming(9, 100, 5);
+        let h = F16Matrix::from_f32(&w);
+        let fused = h.matmul_nt(&x);
+        let reference = h.matmul_nt_dequant(&x);
+        for (a, b) in fused.as_slice().iter().zip(reference.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

@@ -8,7 +8,7 @@
 //! products dequantize block-by-block — the heavy dequant arithmetic that
 //! drives the INT4 latency/energy penalties in the paper's Figs. 3/10/11.
 
-use crate::matmul::dot;
+use crate::matmul::{dot, policy};
 use crate::tensor::Matrix;
 use rayon::prelude::*;
 
@@ -104,8 +104,8 @@ impl QInt4Matrix {
         self.packed.len() + self.scales.len() * 4
     }
 
-    /// Decode one full row into the provided buffer (`cols` long).
-    fn decode_row_into(&self, r: usize, out: &mut [f32]) {
+    /// Decode one full row into a caller-provided buffer (`cols` long).
+    pub fn decode_row_into(&self, r: usize, out: &mut [f32]) {
         debug_assert_eq!(out.len(), self.cols);
         for b in 0..self.blocks_per_row {
             let scale = self.scales[r * self.blocks_per_row + b];
@@ -120,29 +120,171 @@ impl QInt4Matrix {
         }
     }
 
+    /// Dequantize into a caller-provided matrix (no allocation).
+    pub fn to_f32_into(&self, out: &mut Matrix) {
+        assert_eq!((out.rows, out.cols), (self.rows, self.cols), "shape mismatch");
+        for r in 0..self.rows {
+            self.decode_row_into(r, out.row_mut(r));
+        }
+    }
+
     /// Dequantize to f32.
     pub fn to_f32(&self) -> Matrix {
         let mut out = Matrix::zeros(self.rows, self.cols);
-        for r in 0..self.rows {
-            let cols = self.cols;
-            self.decode_row_into(r, &mut out.row_mut(r)[..cols]);
+        self.to_f32_into(&mut out);
+        out
+    }
+
+    /// One fused output element: `dot(xr, w.row(c))` accumulated block by
+    /// block **directly from the packed nibbles** — no dequantized weight
+    /// row is materialized. Per block, the low- and high-nibble lanes
+    /// accumulate independently (two ILP chains), combine, and the block
+    /// scale is applied once to the partial sum. The accumulation order
+    /// depends only on `(xr, c)`, so results are bit-identical across batch
+    /// sizes, dispatch paths and thread counts.
+    #[inline]
+    fn fused_dot(&self, xr: &[f32], c: usize) -> f32 {
+        let mut total = 0.0f32;
+        for b in 0..self.blocks_per_row {
+            let start = b * BLOCK;
+            let end = (start + BLOCK).min(self.cols);
+            let nb = end - start;
+            // Blocks are padded to BLOCK codes, so BLOCK/2 bytes always
+            // exist; BLOCK is even, so nibble parity matches in-block index.
+            let base2 = (c * self.blocks_per_row + b) * BLOCK / 2;
+            let bytes = &self.packed[base2..base2 + BLOCK / 2];
+            let xs = &xr[start..end];
+            let pairs = nb / 2;
+            let (mut lo, mut hi) = (0.0f32, 0.0f32);
+            for (p, &byte) in bytes[..pairs].iter().enumerate() {
+                lo += xs[2 * p] * NF4_LEVELS[(byte & 0x0f) as usize];
+                hi += xs[2 * p + 1] * NF4_LEVELS[(byte >> 4) as usize];
+            }
+            if nb % 2 == 1 {
+                lo += xs[nb - 1] * NF4_LEVELS[(bytes[pairs] & 0x0f) as usize];
+            }
+            total += (lo + hi) * self.scales[c * self.blocks_per_row + b];
+        }
+        total
+    }
+
+    /// Decode one row's codebook **levels** (unscaled) into a caller
+    /// buffer. Scales are applied blockwise by the batched product so the
+    /// arithmetic matches [`Self::fused_dot`] bit for bit.
+    fn decode_levels_into(&self, r: usize, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.cols);
+        for b in 0..self.blocks_per_row {
+            let start = b * BLOCK;
+            let end = (start + BLOCK).min(self.cols);
+            for (i, o) in out[start..end].iter_mut().enumerate() {
+                let flat = (r * self.blocks_per_row + b) * BLOCK + i;
+                let byte = self.packed[flat / 2];
+                let code = if flat.is_multiple_of(2) { byte & 0x0f } else { byte >> 4 };
+                *o = NF4_LEVELS[code as usize];
+            }
+        }
+    }
+
+    /// [`Self::fused_dot`] reading pre-decoded levels instead of unpacking
+    /// nibbles — the batch-amortized variant. Identical accumulation
+    /// order and identical factor values (a stored `NF4_LEVELS[i]` reads
+    /// back exactly), so the result is **bitwise equal** to `fused_dot`.
+    #[inline]
+    fn fused_dot_decoded(&self, xr: &[f32], c: usize, levels: &[f32]) -> f32 {
+        let mut total = 0.0f32;
+        for b in 0..self.blocks_per_row {
+            let start = b * BLOCK;
+            let end = (start + BLOCK).min(self.cols);
+            let nb = end - start;
+            let xs = &xr[start..end];
+            let ls = &levels[start..end];
+            let pairs = nb / 2;
+            let (mut lo, mut hi) = (0.0f32, 0.0f32);
+            for p in 0..pairs {
+                lo += xs[2 * p] * ls[2 * p];
+                hi += xs[2 * p + 1] * ls[2 * p + 1];
+            }
+            if nb % 2 == 1 {
+                lo += xs[nb - 1] * ls[nb - 1];
+            }
+            total += (lo + hi) * self.scales[c * self.blocks_per_row + b];
+        }
+        total
+    }
+
+    /// `Y = X · Wᵀ` **fused**: accumulates directly from the packed 4-bit
+    /// codes (see `fused_dot`), parallelized per
+    /// [`policy::matmul_quant_nt`]. Batched blocks decode each weight row
+    /// once and share it across the batch (`fused_dot_decoded`);
+    /// both variants produce the same bits, so outputs never depend on the
+    /// batch size, dispatch path or thread count.
+    pub fn matmul_nt(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols, self.cols, "inner dimensions must match");
+        let (m, n) = (x.rows, self.rows);
+        let mut out = Matrix::zeros(m, n);
+        if m == 0 || n == 0 {
+            return out;
+        }
+        let threads = rayon::current_num_threads();
+        // Weight-row-outer / batch-row-inner: each packed row (the
+        // dominant memory traffic) is streamed once per batch block, not
+        // once per batch row. Loop order cannot change the bits — every
+        // element depends only on its own (activation row, weight row).
+        let fill_block = |rows: std::ops::Range<usize>, blk: &mut [f32]| {
+            if rows.len() == 1 {
+                let xr = x.row(rows.start);
+                for (c, o) in blk.iter_mut().enumerate() {
+                    *o = self.fused_dot(xr, c);
+                }
+                return;
+            }
+            let mut levels = vec![0.0f32; self.cols];
+            for c in 0..n {
+                self.decode_levels_into(c, &mut levels);
+                for (i, r) in rows.clone().enumerate() {
+                    blk[i * n + c] = self.fused_dot_decoded(x.row(r), c, &levels);
+                }
+            }
+        };
+        match policy::matmul_quant_nt(m, n, self.cols, threads) {
+            policy::Dispatch::Serial => fill_block(0..m, out.as_mut_slice()),
+            policy::Dispatch::RowParallel => {
+                let rpu = m.div_ceil(threads).clamp(1, 8);
+                out.as_mut_slice().par_chunks_mut(n * rpu).enumerate().for_each(|(b, blk)| {
+                    let r0 = b * rpu;
+                    fill_block(r0..r0 + blk.len() / n, blk);
+                });
+            }
+            policy::Dispatch::ColParallel => {
+                for r in 0..m {
+                    let xr = x.row(r);
+                    out.row_mut(r).par_chunks_mut(policy::COL_BLOCK).enumerate().for_each(
+                        |(cb, seg)| {
+                            let c0 = cb * policy::COL_BLOCK;
+                            for (j, o) in seg.iter_mut().enumerate() {
+                                *o = self.fused_dot(xr, c0 + j);
+                            }
+                        },
+                    );
+                }
+            }
         }
         out
     }
 
-    /// `Y = X · Wᵀ` with full dequantization of each weight row on the fly.
-    pub fn matmul_nt(&self, x: &Matrix) -> Matrix {
+    /// Reference dequantize-then-dot product: each weight row is decoded
+    /// into one reused f32 scratch buffer, then dotted. Kept for
+    /// benchmarking the fusion win and for accuracy cross-checks.
+    pub fn matmul_nt_dequant(&self, x: &Matrix) -> Matrix {
         assert_eq!(x.cols, self.cols, "inner dimensions must match");
-        let n = self.rows;
-        let mut out = Matrix::zeros(x.rows, n);
-        out.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(r, or)| {
-            let xr = x.row(r);
-            let mut wrow = vec![0.0f32; self.cols];
-            for (c, o) in or.iter_mut().enumerate() {
-                self.decode_row_into(c, &mut wrow);
-                *o = dot(xr, &wrow);
+        let mut out = Matrix::zeros(x.rows, self.rows);
+        let mut wrow = vec![0.0f32; self.cols];
+        for c in 0..self.rows {
+            self.decode_row_into(c, &mut wrow);
+            for r in 0..x.rows {
+                out.set(r, c, dot(x.row(r), &wrow));
             }
-        });
+        }
         out
     }
 }
@@ -201,6 +343,29 @@ mod tests {
         for (a, b) in exact.as_slice().iter().zip(approx.as_slice()) {
             assert!((a - b).abs() < 0.15 * (1.0 + a.abs()), "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn fused_close_to_dequant_reference() {
+        // Same codes, different accumulation order (blockwise vs one long
+        // dot) — values agree to f32 rounding, not bitwise.
+        let x = Matrix::rand_kaiming(3, 200, 6); // non-multiple of BLOCK
+        let w = Matrix::rand_normal(20, 200, 0.05, 7);
+        let q = QInt4Matrix::from_f32(&w);
+        let fused = q.matmul_nt(&x);
+        let reference = q.matmul_nt_dequant(&x);
+        for (a, b) in fused.as_slice().iter().zip(reference.as_slice()) {
+            assert!((a - b).abs() < 1e-4 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn to_f32_into_matches_to_f32() {
+        let w = Matrix::rand_normal(5, 130, 0.05, 8);
+        let q = QInt4Matrix::from_f32(&w);
+        let mut buf = Matrix::zeros(5, 130);
+        q.to_f32_into(&mut buf);
+        assert_eq!(buf.as_slice(), q.to_f32().as_slice());
     }
 
     #[test]

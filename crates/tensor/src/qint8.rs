@@ -10,9 +10,42 @@
 //! mechanism behind the paper's finding that INT8 *slows down* small models
 //! (§3.3).
 
-use crate::matmul::dot;
+use crate::matmul::{dot, policy};
 use crate::tensor::Matrix;
 use rayon::prelude::*;
+
+/// Integer dot product of two i8 slices, accumulated exactly in i32.
+///
+/// 8-lane unrolled like [`dot`]; integer addition is associative, so the
+/// result is exact and independent of lane structure — the kernel is
+/// deterministic by construction.
+#[inline]
+fn idot(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0i32; 8];
+    let chunks = a.len() / 8;
+    for i in 0..chunks {
+        let j = i * 8;
+        for l in 0..8 {
+            acc[l] += a[j + l] as i32 * b[j + l] as i32;
+        }
+    }
+    let mut s = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    for j in chunks * 8..a.len() {
+        s += a[j] as i32 * b[j] as i32;
+    }
+    s
+}
+
+/// One activation row, pre-quantized for the fused INT8 product: the
+/// inlier features as i8 codes with their absmax scale, and the outlier
+/// features gathered as f32. Computed **once per activation row** and
+/// shared across every weight row (and every column-parallel segment).
+struct QuantizedRow {
+    x_in: Vec<i8>,
+    xs: f32,
+    x_out: Vec<f32>,
+}
 
 /// Default outlier threshold: columns whose maximum |w| exceeds this factor
 /// times the matrix-wide mean absmax are kept in f32. LLM.int8() thresholds
@@ -99,65 +132,140 @@ impl QInt8Matrix {
             + (self.outlier_cols.len() + self.inlier_cols.len()) * 4
     }
 
-    /// Dequantize to f32 (test/inspection path).
-    pub fn to_f32(&self) -> Matrix {
+    /// Dequantize one weight row into a caller-provided buffer
+    /// (`cols` long). Inlier and outlier columns together cover every
+    /// column, so the buffer is fully overwritten.
+    pub fn dequantize_row_into(&self, r: usize, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.cols);
         let n_in = self.inlier_cols.len();
         let n_out = self.outlier_cols.len();
-        let mut out = Matrix::zeros(self.rows, self.cols);
+        let s = self.scales[r];
+        for (j, &c) in self.inlier_cols.iter().enumerate() {
+            out[c as usize] = self.codes[r * n_in + j] as f32 * s;
+        }
+        for (j, &c) in self.outlier_cols.iter().enumerate() {
+            out[c as usize] = self.outlier_weights[r * n_out + j];
+        }
+    }
+
+    /// Dequantize into a caller-provided matrix (no allocation).
+    pub fn to_f32_into(&self, out: &mut Matrix) {
+        assert_eq!((out.rows, out.cols), (self.rows, self.cols), "shape mismatch");
         for r in 0..self.rows {
-            let s = self.scales[r];
-            for (j, &c) in self.inlier_cols.iter().enumerate() {
-                out.set(r, c as usize, self.codes[r * n_in + j] as f32 * s);
+            self.dequantize_row_into(r, out.row_mut(r));
+        }
+    }
+
+    /// Dequantize to f32 (test/inspection path).
+    pub fn to_f32(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        self.to_f32_into(&mut out);
+        out
+    }
+
+    /// Quantize one activation row for the fused product.
+    fn quantize_row(&self, xr: &[f32]) -> QuantizedRow {
+        let mut absmax = 0.0f32;
+        for &c in &self.inlier_cols {
+            absmax = absmax.max(xr[c as usize].abs());
+        }
+        let xs = if absmax > 0.0 { absmax / 127.0 } else { 1.0 };
+        let x_in: Vec<i8> = self
+            .inlier_cols
+            .iter()
+            .map(|&c| (xr[c as usize] / xs).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        let x_out: Vec<f32> = self.outlier_cols.iter().map(|&c| xr[c as usize]).collect();
+        QuantizedRow { x_in, xs, x_out }
+    }
+
+    /// One fused output element: exact i32 inlier product + f32 outlier dot.
+    #[inline]
+    fn fused_elem(&self, q: &QuantizedRow, c: usize) -> f32 {
+        let n_in = self.inlier_cols.len();
+        let n_out = self.outlier_cols.len();
+        let int_part =
+            idot(&q.x_in, &self.codes[c * n_in..(c + 1) * n_in]) as f32 * q.xs * self.scales[c];
+        let fp_part = if n_out > 0 {
+            dot(&q.x_out, &self.outlier_weights[c * n_out..(c + 1) * n_out])
+        } else {
+            0.0
+        };
+        int_part + fp_part
+    }
+
+    /// `Y = X · Wᵀ` through the mixed INT8 + f32-outlier path, **fused**:
+    /// the inlier product accumulates in i32 directly from the packed i8
+    /// codes — no dequantized f32 weight row is ever materialized.
+    ///
+    /// Activations are quantized per row to INT8 (absmax) exactly once and
+    /// shared across all weight rows. The same two-stream structure as the
+    /// LLM.int8() CUDA kernels. Deterministic for any thread count or
+    /// dispatch path (the i32 stream is exact; the f32 outlier stream has a
+    /// fixed per-element order).
+    pub fn matmul_nt(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols, self.cols, "inner dimensions must match");
+        let (m, n) = (x.rows, self.rows);
+        let mut out = Matrix::zeros(m, n);
+        if m == 0 || n == 0 {
+            return out;
+        }
+        let threads = rayon::current_num_threads();
+        // Quantize every activation row up front (once per row, shared by
+        // all dispatch paths and weight rows).
+        let qrows: Vec<QuantizedRow> = (0..m).map(|r| self.quantize_row(x.row(r))).collect();
+        // Weight-row-outer / batch-row-inner loop order: each packed code
+        // row is streamed from memory once and reused across the whole
+        // batch block (the codes are the dominant traffic). Loop order
+        // cannot change the bits — each element depends only on its own
+        // (activation row, weight row) pair.
+        let fill_block = |rows: std::ops::Range<usize>, blk: &mut [f32]| {
+            for c in 0..n {
+                for (i, r) in rows.clone().enumerate() {
+                    blk[i * n + c] = self.fused_elem(&qrows[r], c);
+                }
             }
-            for (j, &c) in self.outlier_cols.iter().enumerate() {
-                out.set(r, c as usize, self.outlier_weights[r * n_out + j]);
+        };
+        match policy::matmul_quant_nt(m, n, self.cols, threads) {
+            policy::Dispatch::Serial => fill_block(0..m, out.as_mut_slice()),
+            policy::Dispatch::RowParallel => {
+                let rpu = m.div_ceil(threads).clamp(1, 8);
+                out.as_mut_slice().par_chunks_mut(n * rpu).enumerate().for_each(|(b, blk)| {
+                    let r0 = b * rpu;
+                    fill_block(r0..r0 + blk.len() / n, blk);
+                });
+            }
+            policy::Dispatch::ColParallel => {
+                for (r, q) in qrows.iter().enumerate() {
+                    out.row_mut(r).par_chunks_mut(policy::COL_BLOCK).enumerate().for_each(
+                        |(cb, seg)| {
+                            let c0 = cb * policy::COL_BLOCK;
+                            for (j, o) in seg.iter_mut().enumerate() {
+                                *o = self.fused_elem(q, c0 + j);
+                            }
+                        },
+                    );
+                }
             }
         }
         out
     }
 
-    /// `Y = X · Wᵀ` through the mixed INT8 + f32-outlier path.
-    ///
-    /// Activations are themselves quantized per row to INT8 (absmax), the
-    /// inlier product accumulates in i32, and the outlier product runs in
-    /// f32 — the same two-stream structure as the CUDA kernels.
-    pub fn matmul_nt(&self, x: &Matrix) -> Matrix {
+    /// Reference dequantize-then-dot product: each weight row is expanded
+    /// to f32 in a single reused scratch buffer, then dotted against the
+    /// full-precision activations. Kept for benchmarking the fusion win and
+    /// for accuracy cross-checks (this path does *not* quantize
+    /// activations).
+    pub fn matmul_nt_dequant(&self, x: &Matrix) -> Matrix {
         assert_eq!(x.cols, self.cols, "inner dimensions must match");
-        let n_in = self.inlier_cols.len();
-        let n_out = self.outlier_cols.len();
-        let n = self.rows;
-        let mut out = Matrix::zeros(x.rows, n);
-
-        out.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(r, or)| {
-            let xr = x.row(r);
-            // Gather + quantize the activation row (inlier part).
-            let mut x_in = vec![0i8; n_in];
-            let mut absmax = 0.0f32;
-            for &c in &self.inlier_cols {
-                absmax = absmax.max(xr[c as usize].abs());
+        let mut out = Matrix::zeros(x.rows, self.rows);
+        let mut wrow = vec![0.0f32; self.cols];
+        for c in 0..self.rows {
+            self.dequantize_row_into(c, &mut wrow);
+            for r in 0..x.rows {
+                out.set(r, c, dot(x.row(r), &wrow));
             }
-            let xs = if absmax > 0.0 { absmax / 127.0 } else { 1.0 };
-            for (j, &c) in self.inlier_cols.iter().enumerate() {
-                x_in[j] = (xr[c as usize] / xs).round().clamp(-127.0, 127.0) as i8;
-            }
-            // Gather the outlier activation features (f32 stream).
-            let x_out: Vec<f32> = self.outlier_cols.iter().map(|&c| xr[c as usize]).collect();
-
-            for (c, o) in or.iter_mut().enumerate() {
-                let codes = &self.codes[c * n_in..(c + 1) * n_in];
-                let mut acc: i32 = 0;
-                for (a, b) in x_in.iter().zip(codes) {
-                    acc += (*a as i32) * (*b as i32);
-                }
-                let int_part = acc as f32 * xs * self.scales[c];
-                let fp_part = if n_out > 0 {
-                    dot(&x_out, &self.outlier_weights[c * n_out..(c + 1) * n_out])
-                } else {
-                    0.0
-                };
-                *o = int_part + fp_part;
-            }
-        });
+        }
         out
     }
 }
@@ -243,6 +351,29 @@ mod tests {
         let q = QInt8Matrix::from_f32(&w);
         let f32_bytes = w.len() * 4;
         assert!(q.bytes() < f32_bytes / 3, "{} vs {}", q.bytes(), f32_bytes);
+    }
+
+    #[test]
+    fn fused_close_to_dequant_reference() {
+        // The fused path additionally quantizes activations, so the two
+        // agree only to INT8 precision — but must stay close.
+        let x = Matrix::rand_kaiming(3, 256, 10);
+        let w = Matrix::rand_kaiming(24, 256, 11);
+        let q = QInt8Matrix::from_f32(&w);
+        let fused = q.matmul_nt(&x);
+        let reference = q.matmul_nt_dequant(&x);
+        for (a, b) in fused.as_slice().iter().zip(reference.as_slice()) {
+            assert!((a - b).abs() < 0.05 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn to_f32_into_matches_to_f32() {
+        let w = Matrix::rand_kaiming(6, 40, 12);
+        let q = QInt8Matrix::from_f32(&w);
+        let mut buf = Matrix::zeros(6, 40);
+        q.to_f32_into(&mut buf);
+        assert_eq!(buf.as_slice(), q.to_f32().as_slice());
     }
 
     #[test]

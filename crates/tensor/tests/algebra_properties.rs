@@ -14,6 +14,21 @@ fn close(a: &Matrix, b: &Matrix, tol: f32) -> bool {
             .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
 }
 
+/// Triple-loop reference NT product, no blocking or unrolling.
+fn naive_nt(x: &Matrix, w: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(x.rows, w.rows);
+    for r in 0..x.rows {
+        for c in 0..w.rows {
+            let mut s = 0.0f32;
+            for k in 0..x.cols {
+                s += x.get(r, k) * w.get(c, k);
+            }
+            out.set(r, c, s);
+        }
+    }
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -37,6 +52,53 @@ proptest! {
         let tn = matmul_tn(&a.transposed(), &b);
         prop_assert!(close(&nn, &nt, 1e-5));
         prop_assert!(close(&nn, &tn, 1e-5));
+    }
+
+    /// The blocked/tiled NT kernel matches the naive triple loop for
+    /// arbitrary shapes, **including degenerate 0- and 1-dim cases** (the
+    /// ranges start at 0). Shapes straddle the register-tile width (4) and
+    /// row-block size (16) so every tail path is exercised.
+    #[test]
+    fn blocked_nt_matches_naive_for_arbitrary_shapes(
+        m in 0usize..21, n in 0usize..21, k in 0usize..35, seed in 0u64..500,
+    ) {
+        let x = Matrix::rand_kaiming(m, k, seed);
+        let w = Matrix::rand_kaiming(n, k, seed ^ 4);
+        prop_assert!(close(&matmul_nt(&x, &w), &naive_nt(&x, &w), 1e-5));
+    }
+
+    /// Blocked NN/TN also match the naive reference at degenerate shapes.
+    #[test]
+    fn blocked_nn_tn_match_naive_for_arbitrary_shapes(
+        m in 0usize..14, n in 0usize..14, k in 0usize..14, seed in 0u64..500,
+    ) {
+        let a = Matrix::rand_kaiming(m, k, seed);
+        let b = Matrix::rand_kaiming(k, n, seed ^ 5);
+        let want = naive_nt(&a, &b.transposed());
+        prop_assert!(close(&matmul_nn(&a, &b), &want, 1e-5));
+        // TN shares the k dimension along *rows* of both operands.
+        let at = Matrix::rand_kaiming(k, m, seed ^ 7);
+        let want_tn = naive_nt(&at.transposed(), &b.transposed());
+        prop_assert!(close(&matmul_tn(&at, &b), &want_tn, 1e-5));
+    }
+
+    /// Fused quantized kernels match their dequantize-then-dot references
+    /// for arbitrary shapes (f16 bitwise; NF4 to rounding tolerance).
+    #[test]
+    fn fused_quant_kernels_match_dequant_references(
+        m in 1usize..6, n in 1usize..10, k in 1usize..80, seed in 0u64..200,
+    ) {
+        let x = Matrix::rand_kaiming(m, k, seed);
+        let w = Matrix::rand_normal(n, k, 0.05, seed ^ 6);
+
+        let h = edgellm_tensor::F16Matrix::from_f32(&w);
+        let (fused, reference) = (h.matmul_nt(&x), h.matmul_nt_dequant(&x));
+        for (a, b) in fused.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let q4 = edgellm_tensor::QInt4Matrix::from_f32(&w);
+        prop_assert!(close(&q4.matmul_nt(&x), &q4.matmul_nt_dequant(&x), 1e-4));
     }
 
     /// Matmul is linear: (αA)·Bᵀ == α(A·Bᵀ).

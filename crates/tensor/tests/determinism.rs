@@ -1,0 +1,112 @@
+//! Cross-thread-count determinism suite.
+//!
+//! The execution substrate promises that every kernel is **bit-identical**
+//! regardless of how many threads it runs on (fixed chunk boundaries,
+//! ordered combination, fixed per-element accumulation order). These tests
+//! pin that contract for every matmul family at 1, 2 and 8 threads —
+//! oversubscription included (the CI container may have a single core).
+
+use edgellm_tensor::f16::F16Matrix;
+use edgellm_tensor::matmul::{matmul_nn, matmul_nt, matmul_tn};
+use edgellm_tensor::qint4::QInt4Matrix;
+use edgellm_tensor::qint8::QInt8Matrix;
+use edgellm_tensor::Matrix;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn assert_bitwise_stable(name: &str, f: impl Fn() -> Matrix) {
+    let reference = rayon::with_num_threads(1, &f);
+    for t in THREAD_COUNTS {
+        let got = rayon::with_num_threads(t, &f);
+        assert_eq!((got.rows, got.cols), (reference.rows, reference.cols), "{name} @{t}");
+        for (i, (a, b)) in got.as_slice().iter().zip(reference.as_slice()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "{name} @{t} threads, element {i}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn f32_matmul_nt_is_bitwise_stable() {
+    // Large enough to trip the RowParallel branch, plus a decode shape for
+    // the ColParallel branch.
+    let x = Matrix::rand_kaiming(48, 160, 1);
+    let w = Matrix::rand_kaiming(320, 160, 2);
+    assert_bitwise_stable("nt-batch", || matmul_nt(&x, &w));
+    let xd = Matrix::rand_kaiming(1, 128, 3);
+    let wd = Matrix::rand_kaiming(20_000, 128, 4);
+    assert_bitwise_stable("nt-decode", || matmul_nt(&xd, &wd));
+}
+
+#[test]
+fn f32_matmul_nn_and_tn_are_bitwise_stable() {
+    let a = Matrix::rand_kaiming(40, 120, 5);
+    let b = Matrix::rand_kaiming(120, 200, 6);
+    assert_bitwise_stable("nn", || matmul_nn(&a, &b));
+    let at = Matrix::rand_kaiming(120, 40, 7);
+    assert_bitwise_stable("tn", || matmul_tn(&at, &b));
+}
+
+#[test]
+fn fused_qint8_matmul_is_bitwise_stable() {
+    let w = Matrix::rand_kaiming(96, 256, 8);
+    let q = QInt8Matrix::from_f32(&w);
+    let xb = Matrix::rand_kaiming(16, 256, 9);
+    assert_bitwise_stable("q8-batch", || q.matmul_nt(&xb));
+    let xd = Matrix::rand_kaiming(1, 256, 10);
+    assert_bitwise_stable("q8-decode", || q.matmul_nt(&xd));
+}
+
+#[test]
+fn fused_qint4_matmul_is_bitwise_stable() {
+    let w = Matrix::rand_normal(96, 200, 0.05, 11); // ragged block tail
+    let q = QInt4Matrix::from_f32(&w);
+    let xb = Matrix::rand_kaiming(16, 200, 12);
+    assert_bitwise_stable("q4-batch", || q.matmul_nt(&xb));
+    let xd = Matrix::rand_kaiming(1, 200, 13);
+    assert_bitwise_stable("q4-decode", || q.matmul_nt(&xd));
+}
+
+#[test]
+fn fused_f16_matmul_is_bitwise_stable() {
+    let w = Matrix::rand_kaiming(96, 160, 14);
+    let h = F16Matrix::from_f32(&w);
+    let xb = Matrix::rand_kaiming(16, 160, 15);
+    assert_bitwise_stable("f16-batch", || h.matmul_nt(&xb));
+    let xd = Matrix::rand_kaiming(1, 160, 16);
+    assert_bitwise_stable("f16-decode", || h.matmul_nt(&xd));
+}
+
+#[test]
+fn batched_rows_are_bitwise_equal_to_single_row_products() {
+    // Batch size must never change a row's bits — the property that makes
+    // batched prefill equivalent to stepping. This crosses the
+    // amortized-decode (batch) vs direct-fused (single row) kernel paths.
+    let k = 200;
+    let x = Matrix::rand_kaiming(5, k, 20);
+    let w = Matrix::rand_normal(64, k, 0.05, 21);
+    let q8 = QInt8Matrix::from_f32(&w);
+    let q4 = QInt4Matrix::from_f32(&w);
+    let h16 = F16Matrix::from_f32(&w);
+
+    let batched = [matmul_nt(&x, &w), q8.matmul_nt(&x), q4.matmul_nt(&x), h16.matmul_nt(&x)];
+    for r in 0..x.rows {
+        let xr = Matrix::from_vec(1, k, x.row(r).to_vec());
+        let single = [matmul_nt(&xr, &w), q8.matmul_nt(&xr), q4.matmul_nt(&xr), h16.matmul_nt(&xr)];
+        for (kernel, (b, s)) in batched.iter().zip(&single).enumerate() {
+            for (c, (a, v)) in b.row(r).iter().zip(s.row(0)).enumerate() {
+                assert_eq!(a.to_bits(), v.to_bits(), "kernel {kernel} row {r} col {c}");
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_reduction_sum_is_bitwise_stable() {
+    use rayon::prelude::*;
+    let vals: Vec<f32> = (0..10_007).map(|i| ((i * 37 % 1000) as f32).sin()).collect();
+    let reference: f32 = rayon::with_num_threads(1, || vals.par_iter().map(|v| v * v).sum());
+    for t in THREAD_COUNTS {
+        let got: f32 = rayon::with_num_threads(t, || vals.par_iter().map(|v| v * v).sum());
+        assert_eq!(got.to_bits(), reference.to_bits(), "@{t} threads");
+    }
+}
