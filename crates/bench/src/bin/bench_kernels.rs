@@ -12,10 +12,19 @@
 //! `cargo run --release` in CI without dev-dependencies: timing is
 //! best-of-N `Instant` sampling and the JSON is written by hand.
 //!
-//! Usage: `bench_kernels [--iters N] [--quick] [--out PATH]`
+//! Usage: `bench_kernels [--iters N] [--quick] [--out PATH] [--trace-out PATH]`
+//!
+//! `--trace-out <path>` (or `EDGELLM_TRACE=<path>`) also renders the
+//! best-of measurements as a synthetic Perfetto timeline: one span per
+//! kernel × shape on a `serial` and a `parallel` track, laid end to end.
+//! The emitted JSON additionally reports `trace_feature`: whether
+//! `edgellm-tensor` was compiled with its `trace` instrumentation —
+//! detected at runtime from the kernel counters, so CI can assert the
+//! default bench build carries zero instrumentation.
 
 use edgellm_tensor::matmul::matmul_nt;
 use edgellm_tensor::{F16Matrix, Matrix, QInt4Matrix, QInt8Matrix};
+use edgellm_trace::{Arg, Trace};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -99,12 +108,46 @@ fn bench_shape(
     }
 }
 
+/// Whether the tensor crate was built with its `trace` feature: the
+/// kernel timers register `kernel.<variant>.*` counters on first use, so
+/// after a benchmark pass their presence is the ground truth (a plain
+/// `cfg!` here would only reflect *this* crate's features).
+fn kernel_instrumentation_live() -> bool {
+    edgellm_trace::registry().snapshot().counters.keys().any(|k| k.starts_with("kernel."))
+}
+
+/// Render the best-of measurements as a synthetic timeline: spans laid
+/// end to end on one `serial` and one `parallel` track, in record order.
+fn render_trace(records: &[Record]) -> Trace {
+    let mut t = Trace::new();
+    t.set_process_name(1, "bench_kernels");
+    t.set_thread_name(1, 1, "serial");
+    t.set_thread_name(1, 2, "parallel");
+    let (mut cursor_serial, mut cursor_parallel) = (0.0f64, 0.0f64);
+    for r in records {
+        let args = vec![
+            ("shape".to_string(), Arg::Str(r.shape.to_string())),
+            ("m".to_string(), Arg::U64(r.m as u64)),
+            ("k".to_string(), Arg::U64(r.k as u64)),
+            ("n".to_string(), Arg::U64(r.n as u64)),
+        ];
+        let dur_s = r.serial_ns as f64 / 1_000.0;
+        t.complete(1, 1, r.kernel.clone(), "bench", cursor_serial, dur_s, args.clone());
+        cursor_serial += dur_s;
+        let dur_p = r.parallel_ns as f64 / 1_000.0;
+        t.complete(1, 2, r.kernel.clone(), "bench", cursor_parallel, dur_p, args);
+        cursor_parallel += dur_p;
+    }
+    t
+}
+
 fn write_json(path: &str, records: &[Record]) -> std::io::Result<()> {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"bench_kernels/v1\",\n");
     s.push_str(&format!("  \"threads_serial\": {SERIAL_THREADS},\n"));
     s.push_str(&format!("  \"threads_parallel\": {PARALLEL_THREADS},\n"));
+    s.push_str(&format!("  \"trace_feature\": {},\n", kernel_instrumentation_live()));
     s.push_str(&format!(
         "  \"host_cores\": {},\n",
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -134,6 +177,7 @@ fn main() {
     let mut iters = 3usize;
     let mut quick = false;
     let mut out_path = "BENCH_kernels.json".to_string();
+    let mut trace_out = std::env::var("EDGELLM_TRACE").ok();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -145,9 +189,14 @@ fn main() {
             }
             "--quick" => quick = true,
             "--out" => out_path = args.next().expect("--out needs a path argument"),
+            "--trace-out" => {
+                trace_out = Some(args.next().expect("--trace-out needs a path argument"));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench_kernels [--iters N] [--quick] [--out PATH]");
+                eprintln!(
+                    "usage: bench_kernels [--iters N] [--quick] [--out PATH] [--trace-out PATH]"
+                );
                 std::process::exit(2);
             }
         }
@@ -169,4 +218,9 @@ fn main() {
 
     write_json(&out_path, &records).expect("failed to write bench JSON");
     eprintln!("wrote {out_path} ({} records)", records.len());
+    if let Some(path) = trace_out {
+        let t = render_trace(&records);
+        t.write_chrome_json(&path).expect("failed to write trace JSON");
+        eprintln!("wrote {path} ({} spans)", t.len());
+    }
 }

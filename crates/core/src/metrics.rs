@@ -1,22 +1,10 @@
 //! Metrics types — the quantities the paper's tables and figures report.
+//!
+//! The nearest-rank [`quantile`] lives in `edgellm-trace` (the shared
+//! stats layer) and is re-exported here so existing
+//! `edgellm_core::quantile` call sites keep working unchanged.
 
-/// Nearest-rank quantile of an ascending-sorted slice.
-///
-/// Uses the classical nearest-rank definition: the `q`-quantile of `n`
-/// values is the element at 1-based rank `⌈q·n⌉` (clamped to `[1, n]`).
-/// Unlike the naive `(n as f64 * q) as usize` index — which truncates and
-/// lands one rank high for most `(n, q)` pairs, e.g. picking the 96th of
-/// 100 values as "p95" — this never over-reports the tail.
-///
-/// # Panics
-/// If `sorted` is empty or `q` is outside `[0, 1]`.
-pub fn quantile(sorted: &[f64], q: f64) -> f64 {
-    assert!(!sorted.is_empty(), "quantile of an empty slice");
-    assert!((0.0..=1.0).contains(&q), "quantile fraction {q} outside [0, 1]");
-    let n = sorted.len();
-    let rank = (q * n as f64).ceil() as usize;
-    sorted[rank.clamp(1, n) - 1]
-}
+pub use edgellm_trace::quantile;
 
 /// Measurements of one batch run (§2, "Evaluation Metrics").
 #[derive(Debug, Clone, PartialEq)]

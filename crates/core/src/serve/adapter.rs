@@ -1,0 +1,135 @@
+//! Adapter from serving telemetry to a Perfetto timeline.
+//!
+//! [`record_serve_run`] renders one serving run — the scheduler's
+//! [`IterationTrace`] log, the per-iteration rail power samples, and the
+//! KV-pressure preemption instants — as one process on a
+//! [`edgellm_trace::Trace`]: iteration spans on a `scheduler`
+//! track, `kv_blocks` and `power_rails_w` counter tracks beneath it, so
+//! phase timing and the paper's power rails line up on a shared clock.
+//! [`ServeSim::finish`](crate::serve::ServeSim::finish) calls it
+//! automatically whenever the global trace sink is enabled.
+
+use edgellm_power::{record_rail_counters, RailBreakdown};
+use edgellm_trace::{Arg, Trace};
+
+use crate::serve::trace::{IterPhase, IterationTrace};
+
+/// Seconds → trace microseconds.
+const S_TO_US: f64 = 1e6;
+
+/// Track id for scheduler iteration spans and preemption instants.
+const TID_SCHEDULER: u32 = 1;
+
+/// Span/track name for one iteration phase.
+fn phase_name(phase: IterPhase) -> &'static str {
+    match phase {
+        IterPhase::Prefill => "prefill",
+        IterPhase::Decode => "decode",
+        IterPhase::Mixed => "mixed",
+        IterPhase::Idle => "idle",
+    }
+}
+
+/// Append one serving run as process `pid` (named `label`) of `out`.
+///
+/// * every [`IterationTrace`] becomes a complete event on the
+///   `scheduler` track, named after its phase, spanning
+///   `[t_s - dt_s, t_s]`, carrying batch composition and power as args;
+/// * KV pool occupancy becomes a `kv_blocks` counter track;
+/// * `rails` (iteration-end [`RailBreakdown`] samples) become the
+///   stacked `power_rails_w` counter track;
+/// * `preemptions` (`(time, request id)`) become thread-scoped instants
+///   on the scheduler track.
+pub fn record_serve_run(
+    out: &mut Trace,
+    pid: u32,
+    label: &str,
+    iters: &[IterationTrace],
+    rails: &[(f64, RailBreakdown)],
+    preemptions: &[(f64, u64)],
+) {
+    out.set_process_name(pid, label);
+    out.set_thread_name(pid, TID_SCHEDULER, "scheduler");
+    for it in iters {
+        let args = vec![
+            ("decoding".to_string(), Arg::U64(it.decoding as u64)),
+            ("prefilling".to_string(), Arg::U64(it.prefilling as u64)),
+            ("tokens".to_string(), Arg::U64(it.tokens)),
+            ("kv_blocks_used".to_string(), Arg::U64(it.kv_blocks_used as u64)),
+            ("power_w".to_string(), Arg::F64(it.power_w)),
+        ];
+        out.complete(
+            pid,
+            TID_SCHEDULER,
+            phase_name(it.phase),
+            "serve",
+            (it.t_s - it.dt_s) * S_TO_US,
+            it.dt_s * S_TO_US,
+            args,
+        );
+        out.counter(pid, "kv_blocks", it.t_s * S_TO_US, &[("used", it.kv_blocks_used as f64)]);
+    }
+    record_rail_counters(out, pid, "power_rails_w", rails);
+    for &(t_s, rid) in preemptions {
+        out.instant(
+            pid,
+            TID_SCHEDULER,
+            "preempt",
+            "serve",
+            t_s * S_TO_US,
+            vec![("rid".to_string(), Arg::U64(rid))],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iter(t_s: f64, phase: IterPhase) -> IterationTrace {
+        IterationTrace {
+            t_s,
+            dt_s: 0.25,
+            phase,
+            decoding: 3,
+            prefilling: 1,
+            kv_blocks_used: 40,
+            kv_blocks_total: 128,
+            power_w: 35.0,
+            tokens: 19,
+        }
+    }
+
+    #[test]
+    fn run_renders_spans_counters_and_instants() {
+        let mut out = Trace::new();
+        let rails = [(0.25, RailBreakdown { idle_w: 8.0, gpu_w: 20.0, cpu_w: 3.0, mem_w: 6.0 })];
+        record_serve_run(
+            &mut out,
+            1,
+            "orin · llama-3.1-8b fp16",
+            &[iter(0.25, IterPhase::Mixed), iter(0.5, IterPhase::Decode)],
+            &rails,
+            &[(0.5, 7)],
+        );
+        // 2 spans + 2 kv counters + 1 rail counter + 1 instant.
+        assert_eq!(out.len(), 6);
+        let json = out.to_chrome_json();
+        assert!(json.contains("\"mixed\""));
+        assert!(json.contains("\"kv_blocks\""));
+        assert!(json.contains("\"power_rails_w\""));
+        assert!(json.contains("\"preempt\""));
+        assert!(json.contains("\"rid\":7"));
+        edgellm_trace::validate_chrome_trace(&json).expect("schema-valid");
+    }
+
+    #[test]
+    fn span_start_precedes_end_timestamp() {
+        let mut out = Trace::new();
+        record_serve_run(&mut out, 1, "dev", &[iter(1.0, IterPhase::Prefill)], &[], &[]);
+        let json = out.to_chrome_json();
+        // t_s = 1.0 s, dt_s = 0.25 s → span starts at 750 000 µs.
+        assert!(json.contains("\"ts\":750000"), "{json}");
+        assert!(json.contains("\"dur\":250000"), "{json}");
+    }
+}

@@ -31,10 +31,12 @@
 //! assert!(run.report.energy_j > 0.0);
 //! ```
 
+pub mod adapter;
 pub mod scheduler;
 pub mod sim;
 pub mod trace;
 
+pub use adapter::record_serve_run;
 pub use scheduler::{
     EventScheduler, PrefillPolicy, ServeConfig, ServeRun, DEFAULT_CHUNK_TOKENS, KV_BLOCK_TOKENS,
 };

@@ -29,13 +29,13 @@ use crate::arrivals::Request;
 use crate::config::RunConfig;
 use crate::continuous::ContinuousReport;
 use crate::error::RunError;
-use crate::metrics::quantile;
 use crate::serve::scheduler::{PrefillPolicy, ServeConfig, ServeRun, KV_BLOCK_TOKENS};
 use crate::serve::trace::{IterPhase, IterationTrace};
 use edgellm_hw::{ClockState, DeviceSpec};
 use edgellm_mem::{KvBlockAllocator, MemoryModel, GB, OOM_HEADROOM_GB};
 use edgellm_perf::PerfModel;
-use edgellm_power::{LoadProfile, RailModel};
+use edgellm_power::{LoadProfile, RailBreakdown, RailModel};
+use edgellm_trace::Histogram;
 
 /// One completed request's record, kept for SLO accounting.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -123,7 +123,10 @@ pub struct ServeSim {
     clocks: ClockState,
     bw_ratio: f64,
     idle_power: f64,
+    idle_rails: RailBreakdown,
     t_stream: f64,
+    /// Device/model/precision display label for exported timelines.
+    label: String,
     /// Prefill chunk tokens (0 under the blocking policy).
     chunk: u64,
     /// Admission concurrency cap after the live-footprint clamp.
@@ -139,6 +142,10 @@ pub struct ServeSim {
     submitted: usize,
     completions: Vec<Completion>,
     trace: Vec<IterationTrace>,
+    /// Per-iteration rail power samples, aligned with `trace` entries.
+    rail_log: Vec<(f64, RailBreakdown)>,
+    /// `(time, request id)` of each KV-pressure preemption.
+    preempt_log: Vec<(f64, u64)>,
     energy_j: f64,
     prefill_stall_s: f64,
     preemptions: usize,
@@ -235,8 +242,11 @@ impl ServeSim {
             PerfModel::new(device.clone(), run_cfg.llm, run_cfg.precision, device.max_clocks());
         let bw_ratio = perf.effective_bandwidth() / maxn.effective_bandwidth();
         let clocks = run_cfg.power_mode.clocks;
-        let idle_power = rails.total_w(&clocks, &LoadProfile::idle());
+        let idle_rails = rails.power(&clocks, &LoadProfile::idle());
+        let idle_power = idle_rails.total_w();
         let t_stream = perf.weight_stream_time();
+        let label =
+            format!("{} · {} {}", device.name, run_cfg.llm.short_name(), run_cfg.precision.label());
         let chunk = match cfg.prefill {
             PrefillPolicy::Chunked { chunk_tokens } => chunk_tokens.max(1),
             PrefillPolicy::Blocking => 0,
@@ -249,7 +259,9 @@ impl ServeSim {
             clocks,
             bw_ratio,
             idle_power,
+            idle_rails,
             t_stream,
+            label,
             chunk,
             cap,
             reserve,
@@ -263,6 +275,8 @@ impl ServeSim {
             submitted: 0,
             completions: Vec::new(),
             trace: Vec::new(),
+            rail_log: Vec::new(),
+            preempt_log: Vec::new(),
             energy_j: 0.0,
             prefill_stall_s: 0.0,
             preemptions: 0,
@@ -342,6 +356,7 @@ impl ServeSim {
                 power_w: self.idle_power,
                 tokens: 0,
             });
+            self.rail_log.push((now, self.idle_rails));
             self.t = now;
         }
     }
@@ -367,6 +382,7 @@ impl ServeSim {
                 power_w: self.idle_power,
                 tokens: 0,
             });
+            self.rail_log.push((now, self.idle_rails));
             self.t = now;
         }
         self.admit()?;
@@ -416,11 +432,13 @@ impl ServeSim {
                     let dt = self.perf.prefill_time(1, job.prompt_tokens.max(1));
                     self.t += dt;
                     self.prefill_stall_s += dt;
-                    let p = self.rails.total_w(
+                    let rb = self.rails.power(
                         &self.clocks,
                         &self.profile(self.perf.prefill_utilization(1, job.prompt_tokens.max(1))),
                     );
+                    let p = rb.total_w();
                     self.energy_j += p * dt;
+                    self.rail_log.push((self.t, rb));
                     let mut job = job;
                     job.ttft_s = Some(self.t - job.arrival_s);
                     self.trace.push(IterationTrace {
@@ -480,6 +498,7 @@ impl ServeSim {
             let s = self.live.swap_remove(victim);
             self.kv_freed += self.kv.release(s.id).expect("live seq registered") as u64;
             self.preemptions += 1;
+            self.preempt_log.push((self.t, s.job.rid));
             // Recompute penalty: the discarded cache — including every
             // token generated so far — joins the prompt to re-prefill.
             let mut job = s.job;
@@ -556,27 +575,40 @@ impl ServeSim {
             (true, false) => IterPhase::Decode,
             (false, _) => IterPhase::Prefill,
         };
-        let power_w = if n_dec == 0 {
-            self.rails.total_w(
+        let (power_w, rail_b) = if n_dec == 0 {
+            let b = self.rails.power(
                 &self.clocks,
                 &self.profile(
                     self.perf.prefill_utilization(prefillers.max(1) as u64, self.chunk.max(1)),
                 ),
-            )
+            );
+            (b.total_w(), b)
         } else {
-            let p_dec = self.rails.total_w(
+            let b_dec = self.rails.power(
                 &self.clocks,
                 &self.profile(self.perf.decode_utilization(n_dec as u64, avg_ctx.max(1))),
             );
+            let p_dec = b_dec.total_w();
             if prefillers == 0 || chunk_excess_s <= 0.0 {
-                p_dec
+                (p_dec, b_dec)
             } else {
-                // Time-weighted blend of the decode and chunk shares.
-                let p_pre = self.rails.total_w(
+                // Time-weighted blend of the decode and chunk shares. The
+                // total blends rail *totals* — bit-identical to the
+                // pre-instrumentation arithmetic — while the per-rail
+                // view blends component-wise.
+                let b_pre = self.rails.power(
                     &self.clocks,
                     &self.profile(self.perf.prefill_utilization(1, self.chunk)),
                 );
-                (p_dec * (dt - chunk_excess_s) + p_pre * chunk_excess_s) / dt
+                let p_pre = b_pre.total_w();
+                let (wd, wp) = (dt - chunk_excess_s, chunk_excess_s);
+                let blend = RailBreakdown {
+                    idle_w: (b_dec.idle_w * wd + b_pre.idle_w * wp) / dt,
+                    gpu_w: (b_dec.gpu_w * wd + b_pre.gpu_w * wp) / dt,
+                    cpu_w: (b_dec.cpu_w * wd + b_pre.cpu_w * wp) / dt,
+                    mem_w: (b_dec.mem_w * wd + b_pre.mem_w * wp) / dt,
+                };
+                ((p_dec * wd + p_pre * wp) / dt, blend)
             }
         };
         self.energy_j += power_w * dt;
@@ -616,6 +648,7 @@ impl ServeSim {
             power_w,
             tokens: prefill_tokens + n_dec as u64,
         });
+        self.rail_log.push((self.t, rail_b));
     }
 
     /// Remove every unfinished request (queued and live), releasing their
@@ -686,6 +719,22 @@ impl ServeSim {
         &self.trace
     }
 
+    /// Per-iteration rail power samples (time at iteration end), aligned
+    /// with [`ServeSim::trace`] — the GPU/CPU/DDR/SoC counter-track feed.
+    pub fn rail_trace(&self) -> &[(f64, RailBreakdown)] {
+        &self.rail_log
+    }
+
+    /// `(time, request id)` of every KV-pressure preemption so far.
+    pub fn preemption_events(&self) -> &[(f64, u64)] {
+        &self.preempt_log
+    }
+
+    /// Device/model/precision display label used on exported timelines.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
     /// Output tokens delivered to completed requests.
     pub fn served_output_tokens(&self) -> u64 {
         self.served_tokens
@@ -694,33 +743,46 @@ impl ServeSim {
     /// Aggregate serving metrics over what has completed so far (all
     /// zeros before the first completion).
     pub fn report(&self) -> ContinuousReport {
-        let mut latencies: Vec<f64> = self.completions.iter().map(|c| c.latency_s).collect();
-        let mut ttfts: Vec<f64> = self.completions.iter().map(|c| c.ttft_s).collect();
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        ttfts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let n = latencies.len();
-        let mean =
-            |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
-        let q = |v: &[f64], p: f64| if v.is_empty() { 0.0 } else { quantile(v, p) };
+        let latencies = Histogram::from_samples(self.completions.iter().map(|c| c.latency_s));
+        let ttfts = Histogram::from_samples(self.completions.iter().map(|c| c.ttft_s));
         ContinuousReport {
             makespan_s: self.t,
-            mean_latency_s: mean(&latencies),
-            p95_latency_s: q(&latencies, 0.95),
+            mean_latency_s: latencies.mean(),
+            p95_latency_s: latencies.quantile_or_zero(0.95),
             output_tok_s: if self.t > 0.0 { self.served_tokens as f64 / self.t } else { 0.0 },
             mean_occupancy: self.occupancy_sum as f64 / self.decode_iters.max(1) as f64,
-            requests: n,
+            requests: latencies.count(),
             energy_j: self.energy_j,
             preemptions: self.preemptions,
-            mean_ttft_s: mean(&ttfts),
-            p50_ttft_s: q(&ttfts, 0.50),
-            p99_ttft_s: q(&ttfts, 0.99),
+            mean_ttft_s: ttfts.mean(),
+            p50_ttft_s: ttfts.quantile_or_zero(0.50),
+            p99_ttft_s: ttfts.quantile_or_zero(0.99),
             prefill_stall_s: self.prefill_stall_s,
         }
     }
 
     /// Consume the simulation into a [`ServeRun`].
+    ///
+    /// When the process-wide [`edgellm_trace::sink`] is enabled, the
+    /// run's full timeline — iteration spans, preemption instants, KV and
+    /// rail-power counter tracks — is appended to it as a new process
+    /// before the state is consumed, which is how `--trace-out` captures
+    /// every serve run an experiment performs without code changes.
     pub fn finish(self) -> ServeRun {
         let report = self.report();
+        if edgellm_trace::sink::enabled() {
+            edgellm_trace::sink::with(|out| {
+                let pid = out.next_pid();
+                crate::serve::adapter::record_serve_run(
+                    out,
+                    pid,
+                    &self.label,
+                    &self.trace,
+                    &self.rail_log,
+                    &self.preempt_log,
+                );
+            });
+        }
         ServeRun {
             report,
             trace: self.trace,

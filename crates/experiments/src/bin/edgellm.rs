@@ -5,15 +5,24 @@
 //! edgellm run fig1 [--fast]    # reproduce one artifact
 //! edgellm all [--fast]         # reproduce everything, in paper order
 //! edgellm run fig5 --csv out/  # also write CSV series
+//! edgellm run serve --trace-out serve.json   # Perfetto timeline
 //! ```
+//!
+//! `--trace-out <path>` (or the `EDGELLM_TRACE=<path>` environment
+//! variable) enables the process-wide trace sink: every serving and
+//! fleet simulation the selected experiments perform appends its
+//! timeline — scheduler iteration spans, KV/power-rail counter tracks,
+//! preemption and routing instants — and one Chrome trace-event JSON
+//! file is written at exit. Load it in Perfetto or `chrome://tracing`.
 
 use edgellm_experiments::runner::{list_experiments, run_experiment, ExperimentOpts};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  edgellm list\n  edgellm run <id> [--fast] [--csv <dir>]\n  \
-         edgellm all [--fast] [--csv <dir>] [--json <dir>]\n\nids:"
+        "usage:\n  edgellm list\n  edgellm run <id> [--fast] [--csv <dir>] [--trace-out <path>]\n  \
+         edgellm all [--fast] [--csv <dir>] [--json <dir>] [--trace-out <path>]\n\n\
+         EDGELLM_TRACE=<path> is an environment fallback for --trace-out.\n\nids:"
     );
     for (id, desc) in list_experiments() {
         eprintln!("  {id:<6} {desc}");
@@ -34,8 +43,30 @@ fn main() -> ExitCode {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .map(std::path::PathBuf::from);
-    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .or_else(|| std::env::var("EDGELLM_TRACE").ok())
+        .map(std::path::PathBuf::from);
+    // Flag values look positional; drop each option's value token.
+    let consumed: Vec<usize> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--csv" || *a == "--json" || *a == "--trace-out")
+        .map(|(i, _)| i + 1)
+        .collect();
+    let positional: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && !consumed.contains(i))
+        .map(|(_, a)| a)
+        .collect();
     let Some(cmd) = positional.first() else { return usage() };
+    if trace_out.is_some() {
+        edgellm_trace::sink::enable();
+    }
 
     let opts = ExperimentOpts { fast };
     let ids: Vec<String> = match cmd.as_str() {
@@ -48,10 +79,6 @@ fn main() -> ExitCode {
         "all" => list_experiments().iter().map(|(id, _)| id.to_string()).collect(),
         "run" => {
             let Some(id) = positional.get(1) else { return usage() };
-            // `--csv <dir>` consumes its value; don't mistake it for an id.
-            if csv_dir.as_deref().map(|p| p.to_string_lossy().to_string()) == Some((*id).clone()) {
-                return usage();
-            }
             vec![(*id).clone()]
         }
         _ => return usage(),
@@ -89,6 +116,22 @@ fn main() -> ExitCode {
             None => {
                 eprintln!("unknown experiment '{id}'");
                 return usage();
+            }
+        }
+    }
+    if let Some(path) = &trace_out {
+        let trace = edgellm_trace::sink::take();
+        if trace.is_empty() {
+            eprintln!(
+                "note: no timeline events were recorded (the selected experiments \
+                 run no serving or fleet simulations); writing an empty trace"
+            );
+        }
+        match trace.write_chrome_json(path) {
+            Ok(()) => println!("wrote {} ({} events)", path.display(), trace.len()),
+            Err(e) => {
+                eprintln!("failed to write trace: {e}");
+                return ExitCode::FAILURE;
             }
         }
     }

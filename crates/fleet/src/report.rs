@@ -1,7 +1,7 @@
 //! Fleet-wide and per-device serving reports.
 
-use edgellm_core::quantile;
 use edgellm_core::serve::Completion;
+use edgellm_trace::Histogram;
 
 /// One device's share of a fleet run.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,13 +85,8 @@ impl FleetReport {
         cloud_energy_j: f64,
         slo_latency_s: f64,
     ) -> Self {
-        let mut latencies: Vec<f64> = completions.iter().map(|c| c.latency_s).collect();
-        let mut ttfts: Vec<f64> = completions.iter().map(|c| c.ttft_s).collect();
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        ttfts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let mean =
-            |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
-        let q = |v: &[f64], p: f64| if v.is_empty() { 0.0 } else { quantile(v, p) };
+        let latencies = Histogram::from_samples(completions.iter().map(|c| c.latency_s));
+        let ttfts = Histogram::from_samples(completions.iter().map(|c| c.ttft_s));
         let output_tokens: u64 = completions.iter().map(|c| c.output_tokens).sum();
         let energy_j: f64 = devices.iter().map(|d| d.energy_j).sum::<f64>() + cloud_energy_j;
         let within = completions.iter().filter(|c| c.latency_s <= slo_latency_s).count();
@@ -116,11 +111,11 @@ impl FleetReport {
             } else {
                 0.0
             },
-            mean_latency_s: mean(&latencies),
-            p95_latency_s: q(&latencies, 0.95),
-            mean_ttft_s: mean(&ttfts),
-            p50_ttft_s: q(&ttfts, 0.50),
-            p99_ttft_s: q(&ttfts, 0.99),
+            mean_latency_s: latencies.mean(),
+            p95_latency_s: latencies.quantile_or_zero(0.95),
+            mean_ttft_s: ttfts.mean(),
+            p50_ttft_s: ttfts.quantile_or_zero(0.50),
+            p99_ttft_s: ttfts.quantile_or_zero(0.99),
             slo_attainment: if completions.is_empty() {
                 0.0
             } else {

@@ -14,8 +14,9 @@
 //! device start at its next iteration boundary at-or-after their arrival
 //! — the same semantics the single-device scheduler has always had.
 
-use edgellm_core::serve::Completion;
+use edgellm_core::serve::{record_serve_run, Completion};
 use edgellm_core::{CloudEndpoint, Request, RunError};
+use edgellm_trace::{Arg, Trace};
 
 use crate::device::{DeviceSim, FleetDevice};
 use crate::fault::{FaultKind, FaultPlan};
@@ -37,6 +38,52 @@ impl Default for FleetConfig {
     fn default() -> Self {
         FleetConfig { slo_latency_s: 30.0, cloud: None, faults: FaultPlan::none() }
     }
+}
+
+/// One router-level occurrence, timestamped on the shared fleet clock.
+///
+/// The simulator always keeps this log (a few plain enums per request —
+/// negligible next to the per-iteration serve traces), so a finished run
+/// can be rendered onto a timeline without re-running it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterMark {
+    /// Request `rid` was placed on device `device`.
+    Routed {
+        /// Request id.
+        rid: u64,
+        /// Fleet index of the target device.
+        device: usize,
+    },
+    /// Request `rid` was served by the cloud endpoint.
+    Offloaded {
+        /// Request id.
+        rid: u64,
+    },
+    /// Request `rid` had nowhere to go (fleet dark, no cloud) and was
+    /// held for the next recovery.
+    Held {
+        /// Request id.
+        rid: u64,
+    },
+    /// `count` in-flight requests were evacuated off a downed device.
+    Evacuated {
+        /// Fleet index of the downed device.
+        device: usize,
+        /// Requests drained and re-routed.
+        count: usize,
+    },
+    /// A device left the eligible set.
+    DeviceDown {
+        /// Fleet index.
+        device: usize,
+        /// True for a thermal trip, false for a scripted outage.
+        thermal: bool,
+    },
+    /// A device rejoined the eligible set.
+    DeviceUp {
+        /// Fleet index.
+        device: usize,
+    },
 }
 
 enum Event {
@@ -66,6 +113,8 @@ pub struct FleetSim {
     cloud_completions: Vec<Completion>,
     cloud_energy_j: f64,
     cloud_done_s: f64,
+    /// Router event log: `(fleet time, mark)`, in occurrence order.
+    tlog: Vec<(f64, RouterMark)>,
 }
 
 impl FleetSim {
@@ -108,14 +157,101 @@ impl FleetSim {
             cloud_completions: Vec::new(),
             cloud_energy_j: 0.0,
             cloud_done_s: 0.0,
+            tlog: Vec::new(),
         })
     }
 
     /// Drive every event to completion and aggregate the report.
+    ///
+    /// When the process-wide [`edgellm_trace::sink`] is enabled, the
+    /// whole fleet timeline — one process per device plus a router
+    /// process — is appended to it first (see [`FleetSim::run_traced`]
+    /// for the explicit variant).
     pub fn run(mut self) -> Result<FleetReport, RunError> {
+        self.run_to_completion()?;
+        if edgellm_trace::sink::enabled() {
+            edgellm_trace::sink::with(|out| self.record_trace(out));
+        }
+        Ok(self.build_report())
+    }
+
+    /// [`FleetSim::run`], but also return the run's timeline explicitly:
+    /// per-device serve tracks (iteration spans, KV and rail-power
+    /// counters, preemption instants) plus a router track with
+    /// routing/evacuation/outage instants, all on the shared fleet clock.
+    pub fn run_traced(mut self) -> Result<(FleetReport, Trace), RunError> {
+        self.run_to_completion()?;
+        let mut out = Trace::new();
+        self.record_trace(&mut out);
+        Ok((self.build_report(), out))
+    }
+
+    /// Fire events until the fleet is drained.
+    fn run_to_completion(&mut self) -> Result<(), RunError> {
         while let Some(ev) = self.next_event() {
             self.apply(ev)?;
         }
+        Ok(())
+    }
+
+    /// Render the finished run onto `out`: one process per device (via
+    /// the serve adapter) and one for the router's event log.
+    pub fn record_trace(&self, out: &mut Trace) {
+        for d in &self.devices {
+            let pid = out.next_pid();
+            record_serve_run(
+                out,
+                pid,
+                &d.cfg.name,
+                d.sim.trace(),
+                d.sim.rail_trace(),
+                d.sim.preemption_events(),
+            );
+        }
+        let pid = out.next_pid();
+        out.set_process_name(pid, format!("router · {}", self.policy.name()));
+        out.set_thread_name(pid, 1, "events");
+        let dev_name =
+            |i: usize| self.devices.get(i).map_or("?", |d| d.cfg.name.as_str()).to_string();
+        for &(t_s, mark) in &self.tlog {
+            let (name, args) = match mark {
+                RouterMark::Routed { rid, device } => (
+                    "route",
+                    vec![
+                        ("rid".to_string(), Arg::U64(rid)),
+                        ("device".to_string(), Arg::Str(dev_name(device))),
+                    ],
+                ),
+                RouterMark::Offloaded { rid } => {
+                    ("offload", vec![("rid".to_string(), Arg::U64(rid))])
+                }
+                RouterMark::Held { rid } => ("hold", vec![("rid".to_string(), Arg::U64(rid))]),
+                RouterMark::Evacuated { device, count } => (
+                    "evacuate",
+                    vec![
+                        ("device".to_string(), Arg::Str(dev_name(device))),
+                        ("count".to_string(), Arg::U64(count as u64)),
+                    ],
+                ),
+                RouterMark::DeviceDown { device, thermal } => (
+                    if thermal { "thermal_trip" } else { "down" },
+                    vec![("device".to_string(), Arg::Str(dev_name(device)))],
+                ),
+                RouterMark::DeviceUp { device } => {
+                    ("up", vec![("device".to_string(), Arg::Str(dev_name(device)))])
+                }
+            };
+            out.instant(pid, 1, name, "fleet", t_s * 1e6, args);
+        }
+    }
+
+    /// Router event log so far: `(fleet time, mark)` in occurrence order.
+    pub fn router_log(&self) -> &[(f64, RouterMark)] {
+        &self.tlog
+    }
+
+    /// Aggregate the finished run into a [`FleetReport`].
+    fn build_report(self) -> FleetReport {
         let lost = self.held.len();
         let mut completions = Vec::new();
         let mut device_reports = Vec::with_capacity(self.devices.len());
@@ -137,7 +273,7 @@ impl FleetSim {
         completions.extend_from_slice(&self.cloud_completions);
         // Canonical order for reproducible aggregates: by request id.
         completions.sort_by_key(|c| c.rid);
-        Ok(FleetReport::build(
+        FleetReport::build(
             self.policy.name().to_string(),
             device_reports,
             &completions,
@@ -148,7 +284,7 @@ impl FleetSim {
             makespan,
             self.cloud_energy_j,
             self.cfg.slo_latency_s,
-        ))
+        )
     }
 
     /// The globally-earliest pending event; `None` when the fleet is
@@ -226,8 +362,12 @@ impl FleetSim {
         }
         self.devices[i].up = false;
         self.devices[i].down_until = down_until;
+        self.tlog.push((now, RouterMark::DeviceDown { device: i, thermal: down_until.is_some() }));
         let drained = self.devices[i].sim.drain_incomplete();
         self.reroutes += drained.len();
+        if !drained.is_empty() {
+            self.tlog.push((now, RouterMark::Evacuated { device: i, count: drained.len() }));
+        }
         for r in drained {
             self.route(r, now);
         }
@@ -243,6 +383,7 @@ impl FleetSim {
         }
         self.devices[i].up = true;
         self.devices[i].down_until = None;
+        self.tlog.push((now, RouterMark::DeviceUp { device: i }));
         if powered {
             self.devices[i].sim.idle_to(now);
         } else {
@@ -261,12 +402,14 @@ impl FleetSim {
             if self.cfg.cloud.is_some() {
                 self.cloud_complete(r, now);
             } else {
+                self.tlog.push((now, RouterMark::Held { rid: r.id }));
                 self.held.push(r);
             }
             return;
         }
         match self.policy.route(&r, &views) {
             Decision::Device(i) if i < self.devices.len() && self.devices[i].up => {
+                self.tlog.push((now, RouterMark::Routed { rid: r.id, device: i }));
                 self.devices[i].submit(&r);
             }
             Decision::Cloud if self.cfg.cloud.is_some() => self.cloud_complete(r, now),
@@ -281,6 +424,7 @@ impl FleetSim {
                     })
                     .expect("checked above")
                     .index;
+                self.tlog.push((now, RouterMark::Routed { rid: r.id, device: i }));
                 self.devices[i].submit(&r);
             }
         }
@@ -301,6 +445,7 @@ impl FleetSim {
         self.cloud_energy_j += ep.edge_energy_j(r.input_tokens, r.output_tokens);
         self.cloud_done_s = self.cloud_done_s.max(r.arrival_s + latency_s);
         self.offloaded += 1;
+        self.tlog.push((now, RouterMark::Offloaded { rid: r.id }));
     }
 }
 
@@ -482,6 +627,27 @@ mod tests {
             greedy.energy_per_token_j,
             rr.energy_per_token_j
         );
+    }
+
+    #[test]
+    fn traced_run_emits_device_tracks_and_router_instants() {
+        let reqs = PoissonArrivals::paper_shape(2.0).generate(12, 7);
+        let faults = FaultPlan::none().outage(0, 3.0, 1e9);
+        let cfg = FleetConfig { faults, ..FleetConfig::default() };
+        let sim =
+            FleetSim::new(agx_pair(), Box::new(JoinShortestQueue), cfg.clone(), &reqs).unwrap();
+        let (report, trace) = sim.run_traced().unwrap();
+        // The traced variant must not perturb the simulation itself.
+        let plain = run_fleet(agx_pair(), Box::new(JoinShortestQueue), cfg, &reqs).unwrap();
+        assert_eq!(report, plain);
+        let json = trace.to_chrome_json();
+        edgellm_trace::validate_chrome_trace(&json).expect("schema-valid fleet trace");
+        assert!(json.contains("\"agx-0\"") && json.contains("\"agx-1\""), "device processes");
+        assert!(json.contains("router · join-shortest-queue"), "router process");
+        assert!(json.contains("\"route\""), "routing instants");
+        assert!(json.contains("\"down\"") && json.contains("\"up\""), "outage instants");
+        assert!(json.contains("\"evacuate\""), "drained work marked");
+        assert!(json.contains("power_rails_w"), "per-device rail counters");
     }
 
     #[test]

@@ -161,6 +161,8 @@ impl TinyCausalLm {
     /// logits. This is the auto-regressive inner loop whose cost the
     /// perf model simulates at device scale.
     pub fn forward_step(&self, token: u32, cache: &mut KvCache) -> Vec<f32> {
+        #[cfg(feature = "trace")]
+        let _span = edgellm_trace::span!("decode_step", "nn");
         let cfg = &self.cfg;
         let pos = cache.tokens;
         let mut h = Matrix::from_vec(1, cfg.d_model, self.emb.row(token as usize).to_vec());
@@ -234,6 +236,8 @@ impl TinyCausalLm {
     /// path and thread count), the logits and the cache contents are
     /// **bit-identical** to calling [`Self::forward_step`] per token.
     pub fn prefill(&self, tokens: &[u32], cache: &mut KvCache) -> Matrix {
+        #[cfg(feature = "trace")]
+        let _span = edgellm_trace::span!("prefill", "nn");
         let cfg = &self.cfg;
         let t = tokens.len();
         if t == 0 {

@@ -1,6 +1,7 @@
 //! Energy integration and power statistics — the paper's post-processing.
 
 use crate::trace::PowerTrace;
+use edgellm_trace::Histogram;
 
 /// Trapezoidal integration of a power trace into joules (§2: "we perform
 /// trapezoidal numerical integration over time for a batch with power
@@ -18,18 +19,12 @@ pub fn trapezoid_energy_j(trace: &PowerTrace) -> f64 {
 
 /// Median power across samples (§2: "report the median power usage across
 /// batches"). Returns 0 for an empty trace.
+///
+/// Uses [`Histogram::median_interpolated`] — the paper's convention of
+/// averaging the two middle samples on even counts, which differs from
+/// the nearest-rank `quantile(0.5)` the scheduler reports use.
 pub fn median_power_w(trace: &PowerTrace) -> f64 {
-    let mut powers: Vec<f64> = trace.samples().iter().map(|&(_, p)| p).collect();
-    if powers.is_empty() {
-        return 0.0;
-    }
-    powers.sort_by(|a, b| a.partial_cmp(b).expect("power is finite"));
-    let n = powers.len();
-    if n % 2 == 1 {
-        powers[n / 2]
-    } else {
-        0.5 * (powers[n / 2 - 1] + powers[n / 2])
-    }
+    Histogram::from_samples(trace.samples().iter().map(|&(_, p)| p)).median_interpolated()
 }
 
 #[cfg(test)]

@@ -126,6 +126,28 @@ pub mod policy {
     }
 }
 
+/// Static kernel-variant labels for the `trace` feature's per-variant
+/// counters (`kernel.<variant>.{calls, macs, ns}`). Compiled out — along
+/// with every timer call site — in the default build.
+#[cfg(feature = "trace")]
+pub(crate) mod instrument {
+    use super::policy::Dispatch;
+
+    /// Pick the `<base>.<path>` label matching a dispatch decision.
+    pub(crate) fn pick(
+        d: Dispatch,
+        serial: &'static str,
+        rows: &'static str,
+        cols: &'static str,
+    ) -> &'static str {
+        match d {
+            Dispatch::Serial => serial,
+            Dispatch::RowParallel => rows,
+            Dispatch::ColParallel => cols,
+        }
+    }
+}
+
 /// Dot product of two equal-length slices.
 ///
 /// 8-lane unrolled accumulation: faster and more numerically stable than a
@@ -236,7 +258,13 @@ pub fn matmul_nt(x: &Matrix, w: &Matrix) -> Matrix {
     if m == 0 || n == 0 {
         return out;
     }
-    match policy::matmul_nt(m, n, x.cols, rayon::current_num_threads()) {
+    let dispatch = policy::matmul_nt(m, n, x.cols, rayon::current_num_threads());
+    #[cfg(feature = "trace")]
+    let _t = edgellm_trace::kernels::timer(
+        instrument::pick(dispatch, "matmul_nt.serial", "matmul_nt.rows", "matmul_nt.cols"),
+        (m * n) as u64 * x.cols as u64,
+    );
+    match dispatch {
         policy::Dispatch::Serial => {
             let o = out.as_mut_slice();
             for r0 in (0..m).step_by(policy::ROW_BLOCK) {
@@ -307,6 +335,16 @@ fn axpy_driver(out: &mut Matrix, k: usize, body: impl Fn(usize, &mut [f32]) + Sy
 pub fn matmul_nn(x: &Matrix, w: &Matrix) -> Matrix {
     assert_eq!(x.cols, w.rows, "inner dimensions must match (NN layout)");
     let mut out = Matrix::zeros(x.rows, w.cols);
+    #[cfg(feature = "trace")]
+    let _t = edgellm_trace::kernels::timer(
+        instrument::pick(
+            policy::matmul_axpy(x.rows, w.cols, x.cols, rayon::current_num_threads()),
+            "matmul_nn.serial",
+            "matmul_nn.rows",
+            "matmul_nn.rows",
+        ),
+        (x.rows * w.cols) as u64 * x.cols as u64,
+    );
     axpy_driver(&mut out, x.cols, |r, or| axpy_row(x.row(r), w, or));
     out
 }
@@ -316,6 +354,16 @@ pub fn matmul_nn(x: &Matrix, w: &Matrix) -> Matrix {
 pub fn matmul_tn(x: &Matrix, w: &Matrix) -> Matrix {
     assert_eq!(x.rows, w.rows, "inner dimensions must match (TN layout)");
     let mut out = Matrix::zeros(x.cols, w.cols);
+    #[cfg(feature = "trace")]
+    let _t = edgellm_trace::kernels::timer(
+        instrument::pick(
+            policy::matmul_axpy(x.cols, w.cols, x.rows, rayon::current_num_threads()),
+            "matmul_tn.serial",
+            "matmul_tn.rows",
+            "matmul_tn.rows",
+        ),
+        (x.cols * w.cols) as u64 * x.rows as u64,
+    );
     // Accumulate outer products row-by-row of the shared k dimension,
     // through a transposed view of x so rows parallelize like NN.
     let xt = x.transposed(); // (m × k)

@@ -226,7 +226,18 @@ impl QInt8Matrix {
                 }
             }
         };
-        match policy::matmul_quant_nt(m, n, self.cols, threads) {
+        let dispatch = policy::matmul_quant_nt(m, n, self.cols, threads);
+        #[cfg(feature = "trace")]
+        let _t = edgellm_trace::kernels::timer(
+            crate::matmul::instrument::pick(
+                dispatch,
+                "qint8_nt.serial",
+                "qint8_nt.rows",
+                "qint8_nt.cols",
+            ),
+            (m * n) as u64 * self.cols as u64,
+        );
+        match dispatch {
             policy::Dispatch::Serial => fill_block(0..m, out.as_mut_slice()),
             policy::Dispatch::RowParallel => {
                 let rpu = m.div_ceil(threads).clamp(1, 8);

@@ -1,0 +1,395 @@
+//! Chrome trace-event / Perfetto-compatible timeline model and exporter.
+//!
+//! A [`Trace`] is a flat list of events on a `pid`/`tid` track grid —
+//! exactly the [Trace Event Format] that `chrome://tracing` and Perfetto
+//! load. The workspace maps its own concepts onto that grid:
+//!
+//! * one **process** per simulated component (a serving device, the fleet
+//!   router, the kernel layer) — named with [`Trace::set_process_name`];
+//! * one **thread** per track inside it (scheduler iterations, a worker
+//!   thread's kernel spans) — named with [`Trace::set_thread_name`];
+//! * **complete events** (`ph:"X"`) for spans with a duration, **instant
+//!   events** (`ph:"i"`) for point occurrences (preemption, a thermal
+//!   trip), and **counter events** (`ph:"C"`) for sampled series — the
+//!   GPU/CPU/DDR/SoC power rails render as stacked counter tracks.
+//!
+//! Export is deterministic: events are stably sorted by `(ts, pid, tid,
+//! insertion order)` and floats are formatted with Rust's shortest-
+//! round-trip `Display`, so two identical simulations — at any
+//! `EDGELLM_THREADS` — serialize to byte-identical files.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One argument value attached to an event (`args` in the format).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (must be finite — JSON has no NaN/Inf).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+/// Event payload kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Kind {
+    /// A span: `ph:"X"` with a duration in µs.
+    Complete { dur_us: f64 },
+    /// A point event: `ph:"i"`, thread scope.
+    Instant,
+    /// A sampled counter: `ph:"C"`; the args are the series.
+    Counter,
+}
+
+/// One trace event, pre-serialization.
+#[derive(Debug, Clone, PartialEq)]
+struct Event {
+    ts_us: f64,
+    pid: u32,
+    tid: u32,
+    name: String,
+    cat: String,
+    kind: Kind,
+    args: Vec<(String, Arg)>,
+    /// Insertion order — the final sort tie-break, so construction order
+    /// (deterministic in every caller) pins the serialized order.
+    seq: u64,
+}
+
+/// An in-memory timeline, exportable as Chrome trace-event JSON.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    events: Vec<Event>,
+    processes: BTreeMap<u32, String>,
+    threads: BTreeMap<(u32, u32), String>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Name the process (track group) `pid`.
+    pub fn set_process_name(&mut self, pid: u32, name: impl Into<String>) {
+        self.processes.insert(pid, name.into());
+    }
+
+    /// Name thread (track) `tid` of process `pid`.
+    pub fn set_thread_name(&mut self, pid: u32, tid: u32, name: impl Into<String>) {
+        self.threads.insert((pid, tid), name.into());
+    }
+
+    /// Record a span of `dur_us` starting at `ts_us`.
+    // Mirrors the Trace Event Format field list one-to-one; bundling the
+    // track coordinates into a struct would just rename the problem.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        name: impl Into<String>,
+        cat: &str,
+        ts_us: f64,
+        dur_us: f64,
+        args: Vec<(String, Arg)>,
+    ) {
+        self.push(Event {
+            ts_us,
+            pid,
+            tid,
+            name: name.into(),
+            cat: cat.to_string(),
+            kind: Kind::Complete { dur_us },
+            args,
+            seq: 0,
+        });
+    }
+
+    /// Record a point event at `ts_us`.
+    pub fn instant(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        name: impl Into<String>,
+        cat: &str,
+        ts_us: f64,
+        args: Vec<(String, Arg)>,
+    ) {
+        self.push(Event {
+            ts_us,
+            pid,
+            tid,
+            name: name.into(),
+            cat: cat.to_string(),
+            kind: Kind::Instant,
+            args,
+            seq: 0,
+        });
+    }
+
+    /// Record a counter sample at `ts_us`. Each `(series, value)` pair
+    /// becomes one stacked series on the counter track named `name`.
+    pub fn counter(
+        &mut self,
+        pid: u32,
+        name: impl Into<String>,
+        ts_us: f64,
+        series: &[(&str, f64)],
+    ) {
+        let args = series.iter().map(|&(k, v)| (k.to_string(), Arg::F64(v))).collect();
+        self.push(Event {
+            ts_us,
+            pid,
+            tid: 0,
+            name: name.into(),
+            cat: "counter".to_string(),
+            kind: Kind::Counter,
+            args,
+            seq: 0,
+        });
+    }
+
+    fn push(&mut self, mut ev: Event) {
+        ev.seq = self.events.len() as u64;
+        self.events.push(ev);
+    }
+
+    /// Number of events recorded (metadata excluded).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The lowest unused pid — callers claim process ids sequentially.
+    pub fn next_pid(&self) -> u32 {
+        self.processes
+            .keys()
+            .copied()
+            .chain(self.events.iter().map(|e| e.pid))
+            .max()
+            .map_or(1, |p| p + 1)
+    }
+
+    /// Append every event and track name of `other` into `self`,
+    /// preserving `other`'s pid/tid assignments (callers manage disjoint
+    /// pid spaces via [`Trace::next_pid`]).
+    pub fn merge(&mut self, other: Trace) {
+        for (pid, name) in other.processes {
+            self.processes.entry(pid).or_insert(name);
+        }
+        for (key, name) in other.threads {
+            self.threads.entry(key).or_insert(name);
+        }
+        for mut ev in other.events {
+            ev.seq = self.events.len() as u64;
+            self.events.push(ev);
+        }
+    }
+
+    /// Serialize to Chrome trace-event JSON (object form, with
+    /// `traceEvents` plus `displayTimeUnit`). Deterministic: stable sort
+    /// by `(ts, pid, tid, insertion order)`, metadata first.
+    pub fn to_chrome_json(&self) -> String {
+        let mut events = self.events.clone();
+        events.sort_by(|a, b| {
+            a.ts_us
+                .total_cmp(&b.ts_us)
+                .then(a.pid.cmp(&b.pid))
+                .then(a.tid.cmp(&b.tid))
+                .then(a.seq.cmp(&b.seq))
+        });
+
+        let mut out = String::with_capacity(64 + events.len() * 96);
+        out.push_str("{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n");
+        let mut first = true;
+        let mut sep = |out: &mut String| {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+        };
+        for (pid, name) in &self.processes {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+                 \"args\":{{\"name\":{}}}}}",
+                json_str(name)
+            );
+        }
+        for (&(pid, tid), name) in &self.threads {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":{}}}}}",
+                json_str(name)
+            );
+        }
+        for ev in &events {
+            sep(&mut out);
+            write_event(&mut out, ev);
+        }
+        out.push_str("\n]\n}\n");
+        out
+    }
+
+    /// Write the Chrome JSON to `path`.
+    pub fn write_chrome_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_chrome_json())
+    }
+}
+
+fn write_event(out: &mut String, ev: &Event) {
+    let ph = match ev.kind {
+        Kind::Complete { .. } => "X",
+        Kind::Instant => "i",
+        Kind::Counter => "C",
+    };
+    let _ = write!(
+        out,
+        "{{\"ph\":\"{ph}\",\"pid\":{},\"tid\":{},\"ts\":{},",
+        ev.pid,
+        ev.tid,
+        Num(ev.ts_us)
+    );
+    if let Kind::Complete { dur_us } = ev.kind {
+        let _ = write!(out, "\"dur\":{},", Num(dur_us));
+    }
+    if ev.kind == Kind::Instant {
+        out.push_str("\"s\":\"t\",");
+    }
+    let _ = write!(out, "\"name\":{},\"cat\":{}", json_str(&ev.name), json_str(&ev.cat));
+    if !ev.args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in ev.args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:", json_str(k));
+            match v {
+                Arg::U64(u) => {
+                    let _ = write!(out, "{u}");
+                }
+                Arg::I64(i) => {
+                    let _ = write!(out, "{i}");
+                }
+                Arg::F64(f) => {
+                    let _ = write!(out, "{}", Num(*f));
+                }
+                Arg::Str(s) => {
+                    let _ = write!(out, "{}", json_str(s));
+                }
+                Arg::Bool(b) => {
+                    let _ = write!(out, "{b}");
+                }
+            }
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Deterministic, JSON-valid float formatting: Rust's shortest
+/// round-trip `Display` (never exponent notation for f64), with
+/// non-finite values clamped to 0 — JSON has no NaN/Inf and no workspace
+/// source produces them.
+struct Num(f64);
+
+impl std::fmt::Display for Num {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0.is_finite() {
+            write!(f, "{}", self.0)
+        } else {
+            write!(f, "0")
+        }
+    }
+}
+
+/// Escape a string into a JSON string literal (quotes included).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_is_sorted_and_deterministic() {
+        let mut t = Trace::new();
+        t.set_process_name(1, "dev");
+        t.set_thread_name(1, 1, "sched");
+        t.complete(1, 1, "late", "serve", 10.0, 5.0, vec![]);
+        t.complete(1, 1, "early", "serve", 1.0, 2.0, vec![]);
+        t.counter(1, "power_w", 3.0, &[("gpu", 12.5), ("cpu", 2.0)]);
+        let a = t.to_chrome_json();
+        let b = t.to_chrome_json();
+        assert_eq!(a, b);
+        let early = a.find("early").expect("early present");
+        let late = a.find("late").expect("late present");
+        assert!(early < late, "events sorted by timestamp");
+        assert!(a.contains("\"ph\":\"C\""));
+        assert!(a.contains("\"gpu\":12.5"));
+    }
+
+    #[test]
+    fn merge_preserves_tracks_and_next_pid_advances() {
+        let mut a = Trace::new();
+        a.set_process_name(1, "a");
+        a.instant(1, 1, "x", "t", 0.0, vec![]);
+        let mut b = Trace::new();
+        let pid = a.next_pid();
+        assert_eq!(pid, 2);
+        b.set_process_name(pid, "b");
+        b.instant(pid, 1, "y", "t", 1.0, vec![]);
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.next_pid(), 3);
+        assert!(a.to_chrome_json().contains("\"y\""));
+    }
+
+    #[test]
+    fn json_str_escapes_controls() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn empty_trace_exports_valid_skeleton() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        let j = t.to_chrome_json();
+        assert!(j.contains("\"traceEvents\""));
+    }
+}

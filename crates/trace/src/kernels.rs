@@ -1,0 +1,59 @@
+//! Kernel-layer instrumentation helpers.
+//!
+//! `edgellm-tensor` compiles these calls in only under its `trace` cargo
+//! feature; the default build has **zero** instrumentation in the hot
+//! loops (the bench smoke run asserts the feature is off). When compiled
+//! in, each kernel invocation costs one [`KernelTimer`]: a clock read at
+//! entry and, at drop, three counter bumps in the global registry —
+//! per-variant invocation count, MAC count and wall nanoseconds — plus a
+//! span when span collection is on.
+
+use std::time::Instant;
+
+use crate::metrics::registry;
+use crate::span::{self, SpanGuard};
+
+/// RAII timer for one kernel invocation — see [`timer`].
+#[derive(Debug)]
+#[must_use = "dropping the timer immediately ends the measurement"]
+pub struct KernelTimer {
+    variant: &'static str,
+    macs: u64,
+    start: Instant,
+    _span: SpanGuard,
+}
+
+/// Time one invocation of kernel `variant` performing `macs`
+/// multiply-accumulates. Counters land under `kernel.<variant>.{calls,
+/// macs, ns}`.
+pub fn timer(variant: &'static str, macs: u64) -> KernelTimer {
+    KernelTimer { variant, macs, start: Instant::now(), _span: span::enter(variant, "kernel") }
+}
+
+impl Drop for KernelTimer {
+    fn drop(&mut self) {
+        let ns = self.start.elapsed().as_nanos() as u64;
+        let reg = registry();
+        reg.counter(&format!("kernel.{}.calls", self.variant)).inc();
+        reg.counter(&format!("kernel.{}.macs", self.variant)).add(self.macs);
+        reg.counter(&format!("kernel.{}.ns", self.variant)).add(ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_bumps_all_three_counters() {
+        let reg = registry();
+        let calls0 = reg.counter("kernel.test_variant.calls").get();
+        let macs0 = reg.counter("kernel.test_variant.macs").get();
+        {
+            let _t = timer("test_variant", 1234);
+        }
+        assert_eq!(reg.counter("kernel.test_variant.calls").get(), calls0 + 1);
+        assert_eq!(reg.counter("kernel.test_variant.macs").get(), macs0 + 1234);
+        assert!(reg.counter("kernel.test_variant.ns").get() > 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Process-wide metrics registry: named counters, gauges and histograms.
+//!
+//! Instrumented layers (the kernel dispatch policy, the transformer
+//! forward passes) record into the global [`registry`]; reporters take a
+//! [`Snapshot`] and render or export it. Counters are monotone and
+//! lock-free; gauges are last-write-wins; histograms are the sample-exact
+//! [`Histogram`] from [`crate::stats`], so snapshot quantiles share the
+//! single nearest-rank implementation.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::stats::Histogram;
+
+/// A monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n` occurrences.
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one occurrence.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins float gauge.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// The registry: an interned name → instrument map.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Mutex<Histogram>>>>,
+}
+
+impl Registry {
+    /// An empty registry (the process-wide one is [`registry`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("registry poisoned");
+        match map.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(Counter::default());
+                map.insert(name.to_string(), Arc::clone(&c));
+                c
+            }
+        }
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("registry poisoned");
+        match map.get(name) {
+            Some(g) => Arc::clone(g),
+            None => {
+                let g = Arc::new(Gauge::default());
+                map.insert(name.to_string(), Arc::clone(&g));
+                g
+            }
+        }
+    }
+
+    /// Record one observation into the histogram named `name`, created on
+    /// first use.
+    pub fn observe(&self, name: &str, v: f64) {
+        let h = {
+            let mut map = self.histograms.lock().expect("registry poisoned");
+            match map.get(name) {
+                Some(h) => Arc::clone(h),
+                None => {
+                    let h = Arc::new(Mutex::new(Histogram::new()));
+                    map.insert(name.to_string(), Arc::clone(&h));
+                    h
+                }
+            }
+        };
+        h.lock().expect("histogram poisoned").record(v);
+    }
+
+    /// A point-in-time copy of every instrument.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, h)| {
+                let h = h.lock().expect("histogram poisoned");
+                (
+                    k.clone(),
+                    HistSummary {
+                        count: h.count(),
+                        mean: h.mean(),
+                        p50: h.quantile_or_zero(0.50),
+                        p95: h.quantile_or_zero(0.95),
+                        max: h.max(),
+                    },
+                )
+            })
+            .collect();
+        Snapshot { counters, gauges, histograms }
+    }
+
+    /// Drop every instrument (tests and between experiment runs).
+    pub fn reset(&self) {
+        self.counters.lock().expect("registry poisoned").clear();
+        self.gauges.lock().expect("registry poisoned").clear();
+        self.histograms.lock().expect("registry poisoned").clear();
+    }
+}
+
+/// The process-wide registry.
+pub fn registry() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Summary of one histogram at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistSummary {
+    /// Observations recorded.
+    pub count: usize,
+    /// Mean observation.
+    pub mean: f64,
+    /// Nearest-rank median.
+    pub p50: f64,
+    /// Nearest-rank 95th percentile.
+    pub p95: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+/// A point-in-time copy of a [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistSummary>,
+}
+
+impl Snapshot {
+    /// True when no instrument was ever touched.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// A plain-text table, one instrument per line, names sorted.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "{k:<44} {v}");
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(out, "{k:<44} {v:.4}");
+        }
+        for (k, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{k:<44} n={} mean={:.4} p50={:.4} p95={:.4} max={:.4}",
+                h.count, h.mean, h.p50, h.p95, h.max
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let r = Registry::new();
+        r.counter("a.calls").inc();
+        r.counter("a.calls").add(4);
+        r.gauge("b.level").set(2.5);
+        r.observe("c.ms", 1.0);
+        r.observe("c.ms", 3.0);
+        let s = r.snapshot();
+        assert_eq!(s.counters["a.calls"], 5);
+        assert_eq!(s.gauges["b.level"], 2.5);
+        assert_eq!(s.histograms["c.ms"].count, 2);
+        assert_eq!(s.histograms["c.ms"].mean, 2.0);
+        assert!(s.render().contains("a.calls"));
+        r.reset();
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn counter_handles_are_shared() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.inc();
+        assert_eq!(r.counter("x").get(), 2);
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let before = registry().counter("test.singleton").get();
+        registry().counter("test.singleton").inc();
+        assert_eq!(registry().counter("test.singleton").get(), before + 1);
+    }
+}

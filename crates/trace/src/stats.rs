@@ -1,0 +1,215 @@
+//! Shared summary statistics.
+//!
+//! Every report in the workspace — batch metrics, the serving scheduler,
+//! the fleet aggregator, the power post-processing — reduces a set of
+//! samples to the same handful of numbers: mean, min/max, nearest-rank
+//! quantiles, the paper's median power. Before this crate each of those
+//! call sites carried its own copy of the sort-then-index dance; they now
+//! all go through [`quantile`] and [`Histogram`], so the nearest-rank
+//! definition exists exactly once.
+
+/// Nearest-rank quantile of an ascending-sorted slice.
+///
+/// Uses the classical nearest-rank definition: the `q`-quantile of `n`
+/// values is the element at 1-based rank `⌈q·n⌉` (clamped to `[1, n]`).
+/// Unlike the naive `(n as f64 * q) as usize` index — which truncates and
+/// lands one rank high for most `(n, q)` pairs, e.g. picking the 96th of
+/// 100 values as "p95" — this never over-reports the tail.
+///
+/// # Panics
+/// If `sorted` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of an empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile fraction {q} outside [0, 1]");
+    let n = sorted.len();
+    let rank = (q * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+/// A sample-exact histogram: records raw values and answers the summary
+/// questions the workspace's reports ask.
+///
+/// "Histogram" here means the *registry* sense — a named distribution you
+/// record observations into — not a bucketed approximation. Samples are
+/// kept verbatim (report populations are small: completions per run,
+/// 2 s power samples per batch) so quantiles are exact and the refactored
+/// call sites are bit-identical to the hand-rolled code they replaced.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A histogram pre-loaded with `samples`.
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Self {
+        Histogram { samples: samples.into_iter().collect() }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sum of observations (0 when empty).
+    ///
+    /// Summation runs over the ascending-*sorted* samples, so the result
+    /// is independent of recording order — two traversals of the same
+    /// population always reduce to the same bits (and the refactored
+    /// report call sites, which all sorted before summing, kept theirs).
+    pub fn sum(&self) -> f64 {
+        self.sorted().iter().sum()
+    }
+
+    /// Mean of observations (0 when empty — the convention every report
+    /// in the workspace uses for "no data yet"). Order-independent, like
+    /// [`Histogram::sum`].
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.samples.len() as f64
+        }
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// The raw observations, in recording order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// The observations, ascending.
+    ///
+    /// # Panics
+    /// If any observation is NaN (all workspace sources are finite).
+    pub fn sorted(&self) -> Vec<f64> {
+        let mut v = self.samples.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        v
+    }
+
+    /// Nearest-rank quantile of the observations (see [`quantile`]).
+    ///
+    /// # Panics
+    /// If the histogram is empty or `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile(&self.sorted(), q)
+    }
+
+    /// [`Histogram::quantile`], but 0 when empty — the "no completions
+    /// yet" convention of the serving and fleet reports.
+    pub fn quantile_or_zero(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.quantile(q)
+        }
+    }
+
+    /// The paper's median convention (§2 median power): middle element
+    /// for odd counts, the *mean of the two middle elements* for even
+    /// counts; 0 when empty. Note this interpolating convention differs
+    /// from the nearest-rank `quantile(0.5)` on even counts — power
+    /// post-processing pins the former, scheduler reports the latter.
+    pub fn median_interpolated(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let s = self.sorted();
+        let n = s.len();
+        if n % 2 == 1 {
+            s[n / 2]
+        } else {
+            0.5 * (s[n / 2 - 1] + s[n / 2])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_uses_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(quantile(&v, 0.95), 95.0);
+        assert_eq!(quantile(&v, 0.50), 50.0);
+        assert_eq!(quantile(&v, 0.99), 99.0);
+        assert_eq!(quantile(&v, 1.0), 100.0);
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        let w = [2.5, 3.5];
+        assert_eq!(quantile(&w, 0.5), 2.5);
+        assert_eq!(quantile(&w, 0.51), 3.5);
+        assert_eq!(quantile(&[7.0], 0.95), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_of_empty_panics() {
+        let _ = quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn histogram_matches_hand_rolled_stats() {
+        let mut h = Histogram::new();
+        for v in [3.0, 1.0, 2.0, 5.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean(), 3.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 5.0);
+        assert_eq!(h.quantile(0.5), 3.0);
+        assert_eq!(h.quantile(1.0), 5.0);
+        assert_eq!(h.median_interpolated(), 3.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.quantile_or_zero(0.95), 0.0);
+        assert_eq!(h.median_interpolated(), 0.0);
+    }
+
+    #[test]
+    fn interpolated_median_differs_from_nearest_rank_on_even_counts() {
+        let h = Histogram::from_samples([10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(h.median_interpolated(), 25.0, "paper's §2 convention");
+        assert_eq!(h.quantile(0.5), 20.0, "nearest-rank lands on the lower middle");
+    }
+}

@@ -1,0 +1,159 @@
+//! Exporter round-trip: build timelines with every event kind, export
+//! them as Chrome trace-event JSON, read them back with the crate's own
+//! parser, and check them against the checked-in schema
+//! (`crates/trace/schema/chrome_trace.schema.json`).
+//!
+//! The last test doubles as CI's validation hook: when
+//! `EDGELLM_VALIDATE_TRACE=<path>` is set it validates that file — a
+//! trace produced by a *real* run (`edgellm run … --trace-out`) — with
+//! the exact checks the synthetic round-trips pin here.
+
+use edgellm_trace::json::{count_tracks, parse};
+use edgellm_trace::{validate_chrome_trace, Arg, Json, Trace};
+
+/// A timeline exercising every exporter code path: metadata, complete,
+/// instant and counter events, and every [`Arg`] variant.
+fn sample_trace() -> Trace {
+    let mut t = Trace::new();
+    t.set_process_name(1, "device-0");
+    t.set_thread_name(1, 1, "scheduler");
+    t.complete(
+        1,
+        1,
+        "prefill",
+        "serve",
+        100.0,
+        250.5,
+        vec![
+            ("tokens".to_string(), Arg::U64(96)),
+            ("delta".to_string(), Arg::I64(-3)),
+            ("power_w".to_string(), Arg::F64(27.25)),
+            ("phase".to_string(), Arg::Str("chunked \"16\"".to_string())),
+            ("mixed".to_string(), Arg::Bool(true)),
+        ],
+    );
+    t.complete(1, 1, "decode", "serve", 350.5, 80.0, vec![]);
+    t.instant(1, 1, "preempt", "serve", 400.0, vec![("rid".to_string(), Arg::U64(7))]);
+    t.counter(1, "power_rails_w", 360.0, &[("gpu", 19.5), ("cpu", 4.0), ("ddr", 3.25)]);
+    t
+}
+
+#[test]
+fn round_trip_preserves_every_event_kind() {
+    let t = sample_trace();
+    let json = t.to_chrome_json();
+
+    let stats = validate_chrome_trace(&json).expect("sample trace is schema-valid");
+    assert_eq!(stats.spans, 2);
+    assert_eq!(stats.instants, 1);
+    assert_eq!(stats.counters, 1);
+    assert_eq!(stats.metadata, 2, "one process_name + one thread_name record");
+    assert_eq!(stats.total, t.len() + 2);
+
+    let doc = parse(&json).expect("exporter output parses");
+    let events = doc.get("traceEvents").and_then(Json::as_arr).expect("traceEvents array");
+    let by_name = |name: &str| {
+        events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("event \"{name}\" present"))
+    };
+
+    let prefill = by_name("prefill");
+    assert_eq!(prefill.get("ph").and_then(Json::as_str), Some("X"));
+    assert_eq!(prefill.get("ts").and_then(Json::as_f64), Some(100.0));
+    assert_eq!(prefill.get("dur").and_then(Json::as_f64), Some(250.5));
+    let args = prefill.get("args").expect("args object");
+    assert_eq!(args.get("tokens").and_then(Json::as_f64), Some(96.0));
+    assert_eq!(args.get("delta").and_then(Json::as_f64), Some(-3.0));
+    assert_eq!(args.get("power_w").and_then(Json::as_f64), Some(27.25));
+    assert_eq!(args.get("phase").and_then(Json::as_str), Some("chunked \"16\""));
+    assert_eq!(args.get("mixed"), Some(&Json::Bool(true)));
+
+    let preempt = by_name("preempt");
+    assert_eq!(preempt.get("ph").and_then(Json::as_str), Some("i"));
+    assert_eq!(preempt.get("s").and_then(Json::as_str), Some("t"), "instants carry thread scope");
+
+    let rails = by_name("power_rails_w");
+    assert_eq!(rails.get("ph").and_then(Json::as_str), Some("C"));
+    assert_eq!(rails.get("args").and_then(|a| a.get("gpu")).and_then(Json::as_f64), Some(19.5));
+
+    assert_eq!(count_tracks(events), 2, "scheduler track plus the counter track");
+}
+
+#[test]
+fn export_is_deterministic_and_insertion_order_free() {
+    let json = sample_trace().to_chrome_json();
+    assert_eq!(json, sample_trace().to_chrome_json(), "same trace, same bytes");
+
+    // Distinct timestamps serialize in time order no matter the order
+    // they were recorded in.
+    let mut fwd = Trace::new();
+    fwd.instant(1, 1, "a", "t", 1.0, vec![]);
+    fwd.instant(1, 1, "b", "t", 2.0, vec![]);
+    let mut rev = Trace::new();
+    rev.instant(1, 1, "b", "t", 2.0, vec![]);
+    rev.instant(1, 1, "a", "t", 1.0, vec![]);
+    assert_eq!(fwd.to_chrome_json(), rev.to_chrome_json());
+}
+
+#[test]
+fn escaped_names_survive_the_round_trip() {
+    let mut t = Trace::new();
+    let hostile = "line\nbreak\ttab \"quote\" back\\slash · unicode";
+    t.set_process_name(1, hostile);
+    t.instant(1, 1, hostile, "t", 0.0, vec![]);
+    let json = t.to_chrome_json();
+    validate_chrome_trace(&json).expect("escaped trace is schema-valid");
+    let doc = parse(&json).expect("escaped output parses");
+    let events = doc.get("traceEvents").and_then(Json::as_arr).expect("traceEvents");
+    let names: Vec<&str> =
+        events.iter().filter_map(|e| e.get("name").and_then(Json::as_str)).collect();
+    assert!(names.contains(&hostile), "instant name round-trips exactly");
+}
+
+#[test]
+fn merged_traces_keep_disjoint_pid_spaces_and_validate() {
+    let mut a = sample_trace();
+    let mut b = Trace::new();
+    let pid = a.next_pid();
+    assert!(pid > 1);
+    b.set_process_name(pid, "device-1");
+    b.set_thread_name(pid, 1, "scheduler");
+    b.complete(pid, 1, "decode", "serve", 10.0, 5.0, vec![]);
+    a.merge(b);
+    let json = a.to_chrome_json();
+    let stats = validate_chrome_trace(&json).expect("merged trace is schema-valid");
+    assert_eq!(stats.spans, 3);
+    let doc = parse(&json).expect("merged output parses");
+    let events = doc.get("traceEvents").and_then(Json::as_arr).expect("traceEvents");
+    assert_eq!(count_tracks(events), 3, "two scheduler tracks + one counter track");
+}
+
+#[test]
+fn empty_trace_exports_a_valid_document() {
+    let stats = validate_chrome_trace(&Trace::new().to_chrome_json()).expect("empty trace valid");
+    assert_eq!(stats.total, 0);
+}
+
+/// CI hook: validate an externally produced trace file. A no-op unless
+/// `EDGELLM_VALIDATE_TRACE=<path>` is set, in which case the file — e.g.
+/// the output of `edgellm run serve --trace-out` — must pass the same
+/// schema check as the synthetic traces above and contain at least one
+/// non-metadata event.
+#[test]
+fn external_trace_file_validates_when_requested() {
+    let Ok(path) = std::env::var("EDGELLM_VALIDATE_TRACE") else { return };
+    let body = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("EDGELLM_VALIDATE_TRACE={path}: cannot read: {e}"));
+    let stats = validate_chrome_trace(&body)
+        .unwrap_or_else(|e| panic!("EDGELLM_VALIDATE_TRACE={path}: schema violation: {e}"));
+    assert!(
+        stats.spans + stats.instants + stats.counters > 0,
+        "{path}: trace carries no events ({stats:?})"
+    );
+    eprintln!(
+        "validated {path}: {} events ({} spans, {} instants, {} counters, {} metadata)",
+        stats.total, stats.spans, stats.instants, stats.counters, stats.metadata
+    );
+}

@@ -21,6 +21,8 @@
 //! * [`core`] — the batching runtime and the paper's experiment protocol;
 //! * [`fleet`] — heterogeneous multi-device fleet serving: routing, faults,
 //!   thermal coupling and cloud spillover over the per-device simulators;
+//! * [`trace`] — span tracing, a metrics registry and Perfetto-exportable
+//!   perf/power timelines across all of the above;
 //! * [`experiments`] — one driver per paper table/figure plus ground truth.
 //!
 //! ## Quickstart
@@ -52,3 +54,4 @@ pub use edgellm_perf as perf;
 pub use edgellm_power as power;
 pub use edgellm_quant as quant;
 pub use edgellm_tensor as tensor;
+pub use edgellm_trace as trace;

@@ -1,0 +1,100 @@
+//! Cross-thread-count trace determinism.
+//!
+//! The exporter promises that two identical simulations serialize to
+//! byte-identical Chrome JSON at any parallelism (`EDGELLM_THREADS=1`,
+//! `2`, `8`, …). These tests pin that end to end for the two simulated
+//! timeline producers — the serving scheduler recording through the
+//! process-wide sink, and the fleet co-simulator's explicit
+//! [`FleetSim::run_traced`] — using `rayon::with_num_threads`, the
+//! in-process equivalent of the `EDGELLM_THREADS` environment override.
+//!
+//! Scope: simulated (event-clock) timelines only. Wall-clock kernel
+//! spans (the `trace` cargo feature) measure real elapsed time and are
+//! deliberately outside this guarantee.
+
+use std::sync::Mutex;
+
+use edgellm::core::serve::{EventScheduler, ServeConfig};
+use edgellm::core::{PoissonArrivals, RunConfig};
+use edgellm::fleet::{FaultPlan, FleetConfig, FleetDevice, FleetSim, JoinShortestQueue};
+use edgellm::hw::DeviceSpec;
+use edgellm::models::{Llm, Precision};
+use edgellm::trace::sink;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Run one online-arrivals serving workload with the trace sink enabled
+/// and return the exported JSON. Serialized: the sink is process-global.
+fn serve_trace_json(threads: usize) -> String {
+    static LOCK: Mutex<()> = Mutex::new(());
+    let _g = LOCK.lock().expect("sink lock");
+    rayon::with_num_threads(threads, || {
+        sink::disable();
+        let _ = sink::take();
+        sink::enable();
+        let dev = DeviceSpec::orin_agx_64gb();
+        let cfg = RunConfig::new(Llm::Llama31_8b, Precision::Fp16);
+        let reqs = PoissonArrivals::paper_shape(2.0).generate(12, 42);
+        EventScheduler::new(ServeConfig::chunked(16))
+            .run(&dev, &cfg, &reqs)
+            .expect("serve run succeeds");
+        sink::disable();
+        sink::take().to_chrome_json()
+    })
+}
+
+/// Run one two-device fleet (with an outage, so routing and evacuation
+/// instants are on the timeline too) and return the exported JSON.
+fn fleet_trace_json(threads: usize) -> String {
+    rayon::with_num_threads(threads, || {
+        let cfg = RunConfig::new(Llm::Llama31_8b, Precision::Fp16);
+        let members = vec![
+            FleetDevice::new(DeviceSpec::orin_agx_64gb(), cfg.clone()).named("agx-0"),
+            FleetDevice::new(DeviceSpec::orin_agx_64gb(), cfg).named("agx-1"),
+        ];
+        let reqs = PoissonArrivals::paper_shape(2.0).generate(16, 7);
+        let faults = FaultPlan::none().outage(0, 3.0, 1e9);
+        let fleet_cfg = FleetConfig { faults, ..FleetConfig::default() };
+        let sim = FleetSim::new(members, Box::new(JoinShortestQueue), fleet_cfg, &reqs)
+            .expect("fleet builds");
+        let (_report, trace) = sim.run_traced().expect("fleet run succeeds");
+        trace.to_chrome_json()
+    })
+}
+
+#[test]
+fn serve_timeline_is_byte_identical_across_thread_counts() {
+    let reference = serve_trace_json(THREAD_COUNTS[0]);
+    assert!(!reference.is_empty());
+    edgellm::trace::validate_chrome_trace(&reference).expect("schema-valid serve trace");
+    assert!(reference.contains("\"decode\""), "scheduler iteration spans present");
+    for &t in &THREAD_COUNTS[1..] {
+        assert_eq!(
+            reference,
+            serve_trace_json(t),
+            "serve trace diverges between {} and {t} threads",
+            THREAD_COUNTS[0]
+        );
+    }
+}
+
+#[test]
+fn fleet_timeline_is_byte_identical_across_thread_counts() {
+    let reference = fleet_trace_json(THREAD_COUNTS[0]);
+    assert!(!reference.is_empty());
+    edgellm::trace::validate_chrome_trace(&reference).expect("schema-valid fleet trace");
+    assert!(reference.contains("\"route\""), "router instants present");
+    for &t in &THREAD_COUNTS[1..] {
+        assert_eq!(
+            reference,
+            fleet_trace_json(t),
+            "fleet trace diverges between {} and {t} threads",
+            THREAD_COUNTS[0]
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_are_byte_identical_at_fixed_threads() {
+    assert_eq!(fleet_trace_json(2), fleet_trace_json(2), "same seed, same bytes");
+}
