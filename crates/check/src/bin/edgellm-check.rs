@@ -1,0 +1,9 @@
+//! `edgellm-check` — deterministic simulation testing from the shell.
+//!
+//! See [`edgellm_check::cli`] for the subcommands. The binary is a thin
+//! shim so the whole CLI stays unit-testable in-process.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(edgellm_check::cli::main_with_args(&args));
+}

@@ -1,0 +1,203 @@
+//! The `edgellm-check` command-line interface.
+//!
+//! Three subcommands, no external argument-parsing dependency:
+//!
+//! ```text
+//! edgellm-check run --seed N [--count M]      # fuzz M seeds from N; minimize failures
+//! edgellm-check replay --seed N [--requests 0,3] [--faults 1]   # replay a reproducer
+//! edgellm-check corpus [--file PATH]          # run the regression corpus
+//! ```
+//!
+//! `run` prints each seed's outcome; on the first violation it invokes
+//! the shrinking minimizer and prints the exact `edgellm-check replay`
+//! one-liner that reproduces the bug, then exits non-zero. `replay`
+//! re-expands the seed, applies the index filters, and re-runs —
+//! bit-identical on any host and at any `EDGELLM_THREADS`.
+
+use crate::corpus;
+use crate::runner::run_scenario;
+use crate::scenario::Scenario;
+use crate::shrink::{self, Repro};
+
+const USAGE: &str = "\
+edgellm-check — deterministic simulation testing for the serving stack
+
+USAGE:
+    edgellm-check run --seed N [--count M]
+    edgellm-check replay --seed N [--requests I,J,...] [--faults I,J,...]
+    edgellm-check corpus [--file PATH]
+
+SUBCOMMANDS:
+    run      Expand and run `count` scenarios starting at `seed` (default 1).
+             On a violation, minimize and print the replay one-liner.
+    replay   Re-run one scenario, optionally filtered to the given request
+             and fault-event indices (a minimized reproducer).
+    corpus   Run every seed in the regression corpus (default: built-in).
+
+Exit status: 0 if every run is clean or legitimately rejected, 1 on any
+invariant violation, 2 on usage errors.";
+
+/// Entry point; returns the process exit code.
+pub fn main_with_args(args: &[String]) -> i32 {
+    match dispatch(args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            2
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<i32, String> {
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("corpus") => cmd_corpus(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            println!("{USAGE}");
+            Ok(0)
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+/// Pull `--flag value` out of an argument list.
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            return match it.next() {
+                Some(v) => Ok(Some(v.clone())),
+                None => Err(format!("{flag} requires a value")),
+            };
+        }
+    }
+    Ok(None)
+}
+
+fn parse_u64(s: &str, what: &str) -> Result<u64, String> {
+    s.parse::<u64>().map_err(|e| format!("{what} {s:?}: {e}"))
+}
+
+/// Parse a `0,3,7`-style index list; the literal `none` (what a
+/// minimized repro prints when every item was cut) is the empty list.
+fn parse_indices(s: &str, what: &str) -> Result<Vec<usize>, String> {
+    if s.trim() == "none" {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| p.trim().parse::<usize>().map_err(|e| format!("{what} {p:?}: {e}")))
+        .collect()
+}
+
+fn require_known_flags(args: &[String], known: &[&str]) -> Result<(), String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if !known.contains(&a.as_str()) {
+            return Err(format!("unexpected argument {a:?}"));
+        }
+        it.next(); // skip the flag's value
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<i32, String> {
+    require_known_flags(args, &["--seed", "--count"])?;
+    let seed = parse_u64(&flag_value(args, "--seed")?.ok_or("run requires --seed")?, "--seed")?;
+    let count = match flag_value(args, "--count")? {
+        Some(v) => parse_u64(&v, "--count")?,
+        None => 1,
+    };
+    let mut worst = 0;
+    for s in seed..seed.saturating_add(count) {
+        let sc = Scenario::from_seed(s);
+        println!("{}", sc.describe());
+        let out = run_scenario(&sc);
+        println!("  {out}");
+        if out.is_violation() {
+            worst = 1;
+            let repro = shrink::minimize(s, |cand| run_scenario(cand).is_violation());
+            let min = repro.materialize();
+            println!(
+                "  minimized to {} request(s), {} fault event(s); reproduce with:",
+                min.requests.len(),
+                min.faults.events().len()
+            );
+            println!("    {}", repro.command_line());
+        }
+    }
+    Ok(worst)
+}
+
+fn cmd_replay(args: &[String]) -> Result<i32, String> {
+    require_known_flags(args, &["--seed", "--requests", "--faults"])?;
+    let seed = parse_u64(&flag_value(args, "--seed")?.ok_or("replay requires --seed")?, "--seed")?;
+    let keep_requests =
+        flag_value(args, "--requests")?.map(|v| parse_indices(&v, "--requests")).transpose()?;
+    let keep_faults =
+        flag_value(args, "--faults")?.map(|v| parse_indices(&v, "--faults")).transpose()?;
+    let repro = Repro { seed, keep_requests, keep_faults };
+    let sc = repro.materialize();
+    println!("{}", sc.describe());
+    let out = run_scenario(&sc);
+    println!("{out}");
+    println!("digest {:016x}", out.digest());
+    Ok(if out.is_violation() { 1 } else { 0 })
+}
+
+fn cmd_corpus(args: &[String]) -> Result<i32, String> {
+    require_known_flags(args, &["--file"])?;
+    let seeds = match flag_value(args, "--file")? {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+            corpus::parse_seeds(&text)?
+        }
+        None => corpus::default_seeds(),
+    };
+    let mut violated = 0usize;
+    for (seed, out) in corpus::run_corpus(&seeds) {
+        println!("seed {seed}: {out}");
+        if out.is_violation() {
+            violated += 1;
+            let repro = shrink::minimize(seed, |cand| run_scenario(cand).is_violation());
+            println!("  reproduce with: {}", repro.command_line());
+        }
+    }
+    println!("corpus: {} seeds, {} violated", seeds.len(), violated);
+    Ok(if violated > 0 { 1 } else { 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn usage_errors_exit_2() {
+        assert_eq!(main_with_args(&argv(&["bogus"])), 2);
+        assert_eq!(main_with_args(&argv(&["run"])), 2); // missing --seed
+        assert_eq!(main_with_args(&argv(&["run", "--seed"])), 2); // missing value
+        assert_eq!(main_with_args(&argv(&["run", "--seed", "1", "--what"])), 2);
+    }
+
+    #[test]
+    fn help_and_clean_runs_exit_0() {
+        assert_eq!(main_with_args(&argv(&["--help"])), 0);
+        assert_eq!(main_with_args(&argv(&["run", "--seed", "3"])), 0);
+        assert_eq!(main_with_args(&argv(&["replay", "--seed", "3"])), 0);
+    }
+
+    #[test]
+    fn replay_accepts_index_filters() {
+        assert_eq!(
+            main_with_args(&argv(&["replay", "--seed", "3", "--requests", "0,1", "--faults", ""])),
+            0
+        );
+        // `none` is what a fully-cut list prints in the repro one-liner.
+        assert_eq!(main_with_args(&argv(&["replay", "--seed", "3", "--faults", "none"])), 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! The checked-in regression corpus of seeds.
+//!
+//! `corpus/seeds.txt` is the harness's own regression net: every seed in
+//! it must run [`Outcome::Clean`]. The file is compiled in via
+//! `include_str!`, so the corpus travels with the binary — CI and the
+//! `check_corpus` integration test run the same list. Sweeps that find
+//! and fix a violation append the offending seed so the bug class stays
+//! covered.
+
+use crate::runner::{run_scenario, Outcome};
+use crate::scenario::Scenario;
+
+/// The checked-in seed list (`corpus/seeds.txt`), verbatim.
+pub const DEFAULT_SEEDS: &str = include_str!("../corpus/seeds.txt");
+
+/// Parse a seeds file: one seed per line, `#` starts a comment, blank
+/// lines ignored. Malformed lines are an error, not silently skipped —
+/// a typo'd seed silently dropped would shrink the regression net.
+pub fn parse_seeds(text: &str) -> Result<Vec<u64>, String> {
+    let mut seeds = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let seed = line
+            .parse::<u64>()
+            .map_err(|e| format!("seeds line {}: {:?}: {}", lineno + 1, raw.trim(), e))?;
+        seeds.push(seed);
+    }
+    Ok(seeds)
+}
+
+/// The default corpus, parsed. Panics only if the checked-in file is
+/// malformed, which the unit tests catch first.
+pub fn default_seeds() -> Vec<u64> {
+    parse_seeds(DEFAULT_SEEDS).expect("checked-in corpus parses")
+}
+
+/// Run every seed and pair it with its outcome.
+pub fn run_corpus(seeds: &[u64]) -> Vec<(u64, Outcome)> {
+    seeds.iter().map(|&s| (s, run_scenario(&Scenario::from_seed(s)))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checked_in_corpus_parses_and_is_nonempty() {
+        let seeds = default_seeds();
+        assert!(seeds.len() >= 16, "corpus has at least the smoke matrix");
+        let mut sorted = seeds.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seeds.len(), "no duplicate seeds");
+    }
+
+    #[test]
+    fn parser_handles_comments_and_rejects_garbage() {
+        assert_eq!(parse_seeds("# only comments\n\n  \n").unwrap(), Vec::<u64>::new());
+        assert_eq!(parse_seeds("7 # trailing\n12\n").unwrap(), vec![7, 12]);
+        assert!(parse_seeds("7\nnot-a-seed\n").is_err());
+    }
+
+    #[test]
+    fn entire_corpus_runs_clean() {
+        for (seed, out) in run_corpus(&default_seeds()) {
+            assert!(matches!(out, Outcome::Clean(_)), "corpus seed {seed} must be clean: {out}");
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # edgellm-check — deterministic simulation testing for the serving stack
+//!
+//! A FoundationDB/TigerBeetle-style harness that drives the single-device
+//! serving simulator ([`ServeSim`](edgellm_core::ServeSim)) and the fleet
+//! co-simulator ([`FleetSim`](edgellm_fleet::FleetSim)) end-to-end from a
+//! single 64-bit seed:
+//!
+//! * [`scenario`] expands a seed into a complete scenario — workload
+//!   (arrival process, prompt/output shapes drawn via `edgellm-corpus`),
+//!   device/fleet topology, and a fault plan (outages, KV shrinks, power
+//!   flips, cancellations, clock skew);
+//! * [`runner`] executes the scenario and classifies the outcome:
+//!   [`Outcome::Clean`], a legitimate [`Outcome::Rejected`] configuration
+//!   (e.g. a prompt larger than the KV pool), or [`Outcome::Violated`]
+//!   with the failing invariants;
+//! * [`oracles`] holds the invariant library — token conservation, KV
+//!   accounting, request conservation across preemption and re-routing,
+//!   energy = ∫ power, monotone event ordering, trace well-nestedness —
+//!   reused by the workspace's property tests;
+//! * [`shrink`] greedily minimizes a failing scenario to a small
+//!   reproducer replayable from a printed one-liner;
+//! * [`corpus`] runs the checked-in regression corpus of seeds.
+//!
+//! Everything downstream of the seed is deterministic: same seed, same
+//! scenario, same outcome digest — across processes and regardless of
+//! `EDGELLM_THREADS` (the simulators are single-threaded by design; the
+//! thread knob only shards tensor kernels).
+//!
+//! ```
+//! use edgellm_check::{runner, scenario::Scenario};
+//!
+//! let sc = Scenario::from_seed(3);
+//! let a = runner::run_scenario(&sc);
+//! let b = runner::run_scenario(&Scenario::from_seed(3));
+//! assert_eq!(a.digest(), b.digest(), "same seed, same outcome");
+//! assert!(!a.is_violation());
+//! ```
+
+pub mod cli;
+pub mod corpus;
+pub mod oracles;
+pub mod runner;
+pub mod scenario;
+pub mod shrink;
+pub mod workload;
+
+pub use oracles::Violation;
+pub use runner::{run_scenario, Outcome};
+pub use scenario::Scenario;
+pub use shrink::{minimize, Repro};

@@ -1,0 +1,278 @@
+//! Seed → scenario expansion.
+//!
+//! A [`Scenario`] is everything one check run needs, fully materialized
+//! and fully determined by its 64-bit seed: the request trace, the
+//! device or fleet topology, and the fault plan. Materializing (rather
+//! than re-deriving lazily) is what makes shrinking simple — the
+//! minimizer filters the request and fault-event vectors by index, and a
+//! reproducer is just `seed + kept indices`.
+
+use crate::workload::{self, ArrivalShape};
+use edgellm_core::serve::ServeConfig;
+use edgellm_core::{CloudEndpoint, Request, RunConfig};
+use edgellm_fleet::routing::{
+    EnergyGreedy, JoinShortestQueue, LeastKvPressure, RoundRobin, RoutingPolicy, SloAware,
+};
+use edgellm_fleet::{FaultPlan, FleetConfig, FleetDevice};
+use edgellm_hw::DeviceSpec;
+use edgellm_models::{Llm, Precision};
+use edgellm_power::ThermalModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Device/precision combinations known to load the model — the generator
+/// only picks configurations whose *construction* is valid, so any
+/// [`Outcome::Rejected`](crate::Outcome::Rejected) mid-run is a genuine
+/// workload-level rejection (e.g. a prompt exceeding a shrunken pool).
+type DeviceCtor = fn() -> DeviceSpec;
+const COMBOS: &[(DeviceCtor, Precision)] = &[
+    (DeviceSpec::orin_agx_64gb, Precision::Fp16),
+    (DeviceSpec::orin_agx_64gb, Precision::Int8),
+    (DeviceSpec::orin_agx_64gb, Precision::Int4),
+    (DeviceSpec::orin_nx_16gb, Precision::Int4),
+    (DeviceSpec::xavier_agx_32gb, Precision::Int4),
+];
+
+/// One member of a generated scenario (single-device scenarios have
+/// exactly one).
+#[derive(Debug, Clone)]
+pub struct MemberSpec {
+    /// Index into the device/precision combo table.
+    pub combo: usize,
+    /// Scheduler configuration (chunked/blocking, KV cap).
+    pub serve: ServeConfig,
+    /// Aggressive-enclosure thermal model, when present.
+    pub thermal: Option<ThermalModel>,
+}
+
+impl MemberSpec {
+    /// The member's device spec.
+    pub fn device(&self) -> DeviceSpec {
+        COMBOS[self.combo].0()
+    }
+
+    /// The member's run configuration (MaxN-equivalent stock mode).
+    pub fn run_cfg(&self) -> RunConfig {
+        let (dev, precision) = (COMBOS[self.combo].0(), COMBOS[self.combo].1);
+        RunConfig::new(Llm::Llama31_8b, precision).power_mode(edgellm_hw::PowerMode::maxn_for(&dev))
+    }
+
+    /// Build the fleet-member wrapper.
+    pub fn fleet_device(&self, name: String) -> FleetDevice {
+        let mut d = FleetDevice::new(self.device(), self.run_cfg()).named(name).serve(self.serve);
+        if let Some(t) = self.thermal {
+            d = d.thermal(t);
+        }
+        d
+    }
+}
+
+/// Routing policies the generator can pick (index-addressed so the
+/// choice is a plain integer in the seed stream).
+pub fn policy(idx: usize) -> Box<dyn RoutingPolicy> {
+    match idx % 5 {
+        0 => Box::new(RoundRobin::default()),
+        1 => Box::new(JoinShortestQueue),
+        2 => Box::new(LeastKvPressure),
+        3 => Box::new(EnergyGreedy::default()),
+        _ => Box::new(SloAware::new(20.0)),
+    }
+}
+
+/// Scenario topology: one steppable device, or a routed fleet.
+#[derive(Debug, Clone)]
+pub enum Shape {
+    /// One [`ServeSim`](edgellm_core::ServeSim) driven directly; fault
+    /// events apply as mid-run knobs (Down/Up are never generated).
+    Single(MemberSpec),
+    /// A [`FleetSim`](edgellm_fleet::FleetSim) over 2–3 members.
+    Fleet {
+        /// The members, in fleet index order.
+        members: Vec<MemberSpec>,
+        /// Routing policy index (see [`policy`]).
+        policy: usize,
+        /// Whether a cloud endpoint absorbs spillover.
+        cloud: bool,
+        /// SLO deadline for attainment accounting (s).
+        slo_s: f64,
+    },
+}
+
+/// A fully materialized check scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The seed that produced it.
+    pub seed: u64,
+    /// Arrival regime (for display).
+    pub arrivals: ArrivalShape,
+    /// The request trace, ids `0..n`.
+    pub requests: Vec<Request>,
+    /// Scripted faults/knobs, in firing order.
+    pub faults: FaultPlan,
+    /// Topology.
+    pub shape: Shape,
+}
+
+fn member_spec(rng: &mut StdRng) -> MemberSpec {
+    let combo = rng.gen_range(0usize..COMBOS.len());
+    let mut serve = if rng.gen_range(0u32..5) == 0 {
+        ServeConfig::blocking(rng.gen_range(2usize..=16))
+    } else {
+        ServeConfig::chunked(rng.gen_range(2usize..=16)).chunk_tokens(rng.gen_range(4u64..=64))
+    };
+    // Half the scenarios run under deliberate KV pressure: a pool of
+    // 1–24 sequences' worth of 160-token shapes.
+    if rng.gen_range(0u32..2) == 0 {
+        let kv_per_token = Llm::Llama31_8b.arch().kv_bytes_per_token();
+        let seqs = rng.gen_range(1u64..=24);
+        serve = serve.kv_pool_cap(seqs * 160 * kv_per_token);
+    }
+    let thermal = if rng.gen_range(0u32..6) == 0 {
+        Some(ThermalModel { r_c_per_w: 2.0, tau_s: 5.0, t_ambient_c: 25.0, t_limit_c: 62.0 })
+    } else {
+        None
+    };
+    MemberSpec { combo, serve, thermal }
+}
+
+/// Generate the fault plan: outages (fleet only) plus mid-run knobs.
+fn fault_plan(rng: &mut StdRng, requests: &[Request], n_devices: usize, fleet: bool) -> FaultPlan {
+    let horizon = requests.last().map_or(10.0, |r| r.arrival_s) + 20.0;
+    let mut plan = FaultPlan::none();
+    if fleet {
+        for _ in 0..rng.gen_range(0u32..=2) {
+            let dev = rng.gen_range(0usize..n_devices);
+            let down = rng.gen_range(0.0..horizon * 0.7);
+            let up = down + rng.gen_range(0.1..horizon * 0.5);
+            plan = plan.outage(dev, down, up);
+        }
+    }
+    for _ in 0..rng.gen_range(0u32..=3) {
+        let dev = rng.gen_range(0usize..n_devices);
+        let t = rng.gen_range(0.0..horizon);
+        match rng.gen_range(0u32..4) {
+            0 => plan = plan.kv_shrink(dev, t, rng.gen_range(100u16..=900)),
+            1 => plan = plan.power_flip(dev, t, rng.gen_range(0u8..=8)),
+            2 => {
+                let r = &requests[rng.gen_range(0..requests.len())];
+                // Cancel strictly after arrival so the request exists.
+                let t = r.arrival_s + rng.gen_range(0.01..5.0);
+                plan = plan.cancel(t, r.id);
+            }
+            _ => plan = plan.clock_skew(dev, t, rng.gen_range(50u32..=2000)),
+        }
+    }
+    plan
+}
+
+impl Scenario {
+    /// Expand `seed` into a complete scenario. Deterministic: the same
+    /// seed always yields the same scenario, on any host.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let arrivals = workload::pick_shape(&mut rng);
+        let n = rng.gen_range(4usize..=32);
+        let requests = workload::generate(&mut rng, n, arrivals).requests;
+        if rng.gen_range(0u32..10) < 4 {
+            let spec = member_spec(&mut rng);
+            let faults = fault_plan(&mut rng, &requests, 1, false);
+            Scenario { seed, arrivals, requests, faults, shape: Shape::Single(spec) }
+        } else {
+            let n_devices = rng.gen_range(2usize..=3);
+            let members: Vec<MemberSpec> = (0..n_devices).map(|_| member_spec(&mut rng)).collect();
+            let policy = rng.gen_range(0usize..5);
+            let cloud = rng.gen_range(0u32..3) == 0;
+            let slo_s = rng.gen_range(10.0..40.0);
+            let faults = fault_plan(&mut rng, &requests, n_devices, true);
+            Scenario {
+                seed,
+                arrivals,
+                requests,
+                faults,
+                shape: Shape::Fleet { members, policy, cloud, slo_s },
+            }
+        }
+    }
+
+    /// The fleet config for a fleet-shaped scenario.
+    pub fn fleet_config(&self) -> Option<FleetConfig> {
+        match &self.shape {
+            Shape::Single(_) => None,
+            Shape::Fleet { cloud, slo_s, .. } => Some(FleetConfig {
+                slo_latency_s: *slo_s,
+                cloud: cloud.then(CloudEndpoint::datacenter),
+                faults: self.faults.clone(),
+            }),
+        }
+    }
+
+    /// One-line human description.
+    pub fn describe(&self) -> String {
+        let topo = match &self.shape {
+            Shape::Single(m) => format!("single[{}]", m.device().name),
+            Shape::Fleet { members, policy, cloud, .. } => format!(
+                "fleet[{} devices, policy {}{}]",
+                members.len(),
+                policy,
+                if *cloud { ", cloud" } else { "" }
+            ),
+        };
+        format!(
+            "seed {}: {:?} × {} requests, {} fault events, {}",
+            self.seed,
+            self.arrivals,
+            self.requests.len(),
+            self.faults.events().len(),
+            topo
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_scenario() {
+        for seed in [0u64, 1, 7, 42, 0xDEAD_BEEF] {
+            let a = Scenario::from_seed(seed);
+            let b = Scenario::from_seed(seed);
+            assert_eq!(a.requests, b.requests);
+            assert_eq!(a.faults, b.faults);
+            assert_eq!(a.describe(), b.describe());
+        }
+    }
+
+    #[test]
+    fn seeds_cover_both_shapes_and_some_faults() {
+        let mut single = 0;
+        let mut fleet = 0;
+        let mut faulted = 0;
+        for seed in 0..40u64 {
+            let sc = Scenario::from_seed(seed);
+            match sc.shape {
+                Shape::Single(_) => single += 1,
+                Shape::Fleet { .. } => fleet += 1,
+            }
+            if !sc.faults.events().is_empty() {
+                faulted += 1;
+            }
+        }
+        assert!(single > 5, "single-device scenarios generated: {single}");
+        assert!(fleet > 5, "fleet scenarios generated: {fleet}");
+        assert!(faulted > 10, "fault plans generated: {faulted}");
+    }
+
+    #[test]
+    fn cancel_events_target_known_requests_after_arrival() {
+        for seed in 0..60u64 {
+            let sc = Scenario::from_seed(seed);
+            for ev in sc.faults.events() {
+                if let edgellm_fleet::FaultKind::Cancel { rid } = ev.kind {
+                    let r = sc.requests.iter().find(|r| r.id == rid).expect("known rid");
+                    assert!(ev.t_s > r.arrival_s, "cancel after arrival");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Greedy failure minimization (delta debugging over the scenario).
+//!
+//! When a seed violates an invariant, the raw scenario is usually far
+//! larger than the bug needs: dozens of requests, a handful of fault
+//! events. [`minimize`] runs ddmin-style greedy reduction over the
+//! request list and then the fault-event list — try dropping a chunk,
+//! keep the cut if the violation survives, halve the chunk size when a
+//! full sweep removes nothing — and returns a [`Repro`]: the seed plus
+//! the surviving indices. Replaying a repro re-expands the seed and
+//! filters, so the reproducer is a one-liner, not a serialized blob.
+//!
+//! The evaluation function is a parameter (not hard-wired to
+//! [`run_scenario`](crate::runner::run_scenario)) so the reduction logic
+//! itself is unit-testable against synthetic predicates.
+
+use crate::scenario::Scenario;
+use edgellm_fleet::FaultPlan;
+
+/// A minimized reproducer: the seed plus the indices (into the seed's
+/// canonical request/fault vectors) that the failure still needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Repro {
+    /// Seed to re-expand.
+    pub seed: u64,
+    /// Indices into the scenario's canonical request list; `None` keeps
+    /// everything.
+    pub keep_requests: Option<Vec<usize>>,
+    /// Indices into the scenario's canonical fault-event list; `None`
+    /// keeps everything.
+    pub keep_faults: Option<Vec<usize>>,
+}
+
+impl Repro {
+    /// The whole scenario, unshrunk.
+    pub fn full(seed: u64) -> Self {
+        Repro { seed, keep_requests: None, keep_faults: None }
+    }
+
+    /// Re-expand the seed and filter down to the kept indices.
+    pub fn materialize(&self) -> Scenario {
+        let sc = Scenario::from_seed(self.seed);
+        apply(&sc, self.keep_requests.as_deref(), self.keep_faults.as_deref())
+    }
+
+    /// The replay one-liner. An empty kept list (the minimizer cut
+    /// everything) renders as the literal `none` so the command stays a
+    /// valid, copy-pastable shell line.
+    pub fn command_line(&self) -> String {
+        let mut s = format!("edgellm-check replay --seed {}", self.seed);
+        if let Some(reqs) = &self.keep_requests {
+            s.push_str(&format!(" --requests {}", csv(reqs)));
+        }
+        if let Some(faults) = &self.keep_faults {
+            s.push_str(&format!(" --faults {}", csv(faults)));
+        }
+        s
+    }
+}
+
+fn csv(xs: &[usize]) -> String {
+    if xs.is_empty() {
+        return "none".into();
+    }
+    xs.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(",")
+}
+
+/// Filter a scenario down to the kept request/fault indices (`None`
+/// keeps everything). Fault events referencing cancelled requests are
+/// left in place — a cancel whose target request was dropped is a no-op,
+/// which the reduction loop exploits to cut requests independently.
+pub fn apply(
+    sc: &Scenario,
+    keep_requests: Option<&[usize]>,
+    keep_faults: Option<&[usize]>,
+) -> Scenario {
+    let mut out = sc.clone();
+    if let Some(keep) = keep_requests {
+        out.requests = keep.iter().filter_map(|&i| sc.requests.get(i).copied()).collect();
+    }
+    if let Some(keep) = keep_faults {
+        let events = sc.faults.events();
+        out.faults =
+            FaultPlan::from_events(keep.iter().filter_map(|&i| events.get(i).copied()).collect());
+    }
+    out
+}
+
+/// One ddmin pass over an index list: greedily drop chunks (largest
+/// first) while `still_fails` holds, halving granularity until single
+/// elements have been tried. Returns the surviving indices.
+fn ddmin(full: &[usize], mut still_fails: impl FnMut(&[usize]) -> bool) -> Vec<usize> {
+    let mut kept: Vec<usize> = full.to_vec();
+    let mut chunk = (kept.len() / 2).max(1);
+    while !kept.is_empty() {
+        let mut removed_any = false;
+        let mut start = 0usize;
+        while start < kept.len() {
+            let end = (start + chunk).min(kept.len());
+            let candidate: Vec<usize> = kept
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i < start || *i >= end)
+                .map(|(_, &v)| v)
+                .collect();
+            if still_fails(&candidate) {
+                kept = candidate;
+                removed_any = true;
+                // Do not advance: the chunk at `start` is new content.
+            } else {
+                start = end;
+            }
+        }
+        if !removed_any {
+            if chunk == 1 {
+                break;
+            }
+            chunk = (chunk / 2).max(1);
+        } else {
+            chunk = chunk.min(kept.len().max(1));
+        }
+    }
+    kept
+}
+
+/// Greedily minimize a failing scenario. `fails` must return `true` when
+/// the (filtered) scenario still exhibits the failure; it is called many
+/// times, always on deterministic inputs. Requests are reduced first
+/// (they dominate runtime), then fault events.
+pub fn minimize(seed: u64, fails: impl Fn(&Scenario) -> bool) -> Repro {
+    let sc = Scenario::from_seed(seed);
+    debug_assert!(fails(&sc), "minimize called on a non-failing scenario");
+    let all_requests: Vec<usize> = (0..sc.requests.len()).collect();
+    let kept_requests = ddmin(&all_requests, |keep| fails(&apply(&sc, Some(keep), None)));
+    let all_faults: Vec<usize> = (0..sc.faults.events().len()).collect();
+    let kept_faults =
+        ddmin(&all_faults, |keep| fails(&apply(&sc, Some(&kept_requests), Some(keep))));
+    Repro {
+        seed,
+        keep_requests: (kept_requests.len() < sc.requests.len()).then_some(kept_requests),
+        keep_faults: (kept_faults.len() < sc.faults.events().len()).then_some(kept_faults),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A seed whose scenario has enough requests and faults to shrink.
+    fn rich_seed() -> u64 {
+        (0..200u64)
+            .find(|&s| {
+                let sc = Scenario::from_seed(s);
+                sc.requests.len() >= 10 && sc.faults.events().len() >= 2
+            })
+            .expect("a rich scenario in the first 200 seeds")
+    }
+
+    #[test]
+    fn minimizer_isolates_a_single_culprit_request() {
+        let seed = rich_seed();
+        let sc = Scenario::from_seed(seed);
+        let culprit = sc.requests[sc.requests.len() / 2].id;
+        // Synthetic predicate: "fails" iff the culprit request survives.
+        let repro = minimize(seed, |s| s.requests.iter().any(|r| r.id == culprit));
+        let min = repro.materialize();
+        assert_eq!(min.requests.len(), 1, "exactly the culprit remains");
+        assert_eq!(min.requests[0].id, culprit);
+        assert!(min.faults.events().is_empty(), "irrelevant faults dropped");
+    }
+
+    #[test]
+    fn minimizer_keeps_a_required_pair() {
+        let seed = rich_seed();
+        let sc = Scenario::from_seed(seed);
+        let (a, b) = (sc.requests[0].id, sc.requests[sc.requests.len() - 1].id);
+        let repro = minimize(seed, |s| {
+            s.requests.iter().any(|r| r.id == a) && s.requests.iter().any(|r| r.id == b)
+        });
+        let min = repro.materialize();
+        assert_eq!(min.requests.len(), 2, "both halves of the pair survive");
+    }
+
+    #[test]
+    fn repro_round_trips_through_the_command_line_shape() {
+        let repro =
+            Repro { seed: 42, keep_requests: Some(vec![0, 3, 7]), keep_faults: Some(vec![1]) };
+        assert_eq!(
+            repro.command_line(),
+            "edgellm-check replay --seed 42 --requests 0,3,7 --faults 1"
+        );
+        let cut_all = Repro { seed: 42, keep_requests: Some(vec![5]), keep_faults: Some(vec![]) };
+        assert_eq!(
+            cut_all.command_line(),
+            "edgellm-check replay --seed 42 --requests 5 --faults none"
+        );
+        let full = Repro::full(9);
+        assert_eq!(full.command_line(), "edgellm-check replay --seed 9");
+        assert_eq!(full.materialize().requests, Scenario::from_seed(9).requests);
+    }
+}

@@ -1,0 +1,160 @@
+//! Seeded workload generation: the request traces the harness throws at
+//! the simulators.
+//!
+//! Three arrival regimes cover the scheduling space — steady Poisson
+//! traffic, bursty clustered arrivals with exact timestamp ties, and an
+//! adversarial mix (zero-length prompts, a giant prompt, everything at
+//! t=0). Prompt lengths are drawn either from a real BPE-tokenized
+//! [`PromptPool`] (built once per process
+//! from a synthetic WikiText2-like corpus) or from a Zipf-skewed
+//! synthetic distribution, so the shapes look like the paper's workloads
+//! rather than uniform noise.
+
+use edgellm_core::Request;
+use edgellm_corpus::{BpeTokenizer, CorpusKind, PromptPool, SyntheticCorpus, Zipf};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::OnceLock;
+
+/// Prompt-length samples from a real tokenized pool, built once per
+/// process (BPE training is the expensive part; every scenario shares
+/// it). The pool itself is seeded, so the lengths are process-invariant.
+fn corpus_lengths() -> &'static Vec<u64> {
+    static LENGTHS: OnceLock<Vec<u64>> = OnceLock::new();
+    LENGTHS.get_or_init(|| {
+        let corpus = SyntheticCorpus::generate(CorpusKind::WikiText2Like, 8_000, 71);
+        let tok = BpeTokenizer::train(&corpus.text, 300);
+        let pool = PromptPool::build(&corpus, &tok, 16);
+        pool.prompts().iter().map(|p| (p.len() as u64).clamp(1, 512)).collect()
+    })
+}
+
+/// How arrivals are spaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalShape {
+    /// Independent exponential gaps (steady traffic).
+    Poisson,
+    /// A few clustered bursts with exact timestamp ties inside each.
+    Bursty,
+    /// Everything at t=0 plus degenerate shapes (zero prompts, one
+    /// giant prompt) — the schedule most likely to trip edge cases.
+    Adversarial,
+}
+
+/// A generated request trace plus the knobs that shaped it.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The trace, ids `0..n`, sorted by `(arrival, id)`.
+    pub requests: Vec<Request>,
+    /// Arrival regime used.
+    pub shape: ArrivalShape,
+}
+
+/// Draw one prompt length: corpus-sampled, Zipf-skewed, or degenerate.
+fn prompt_len(rng: &mut StdRng) -> u64 {
+    match rng.gen_range(0u32..10) {
+        0 => 0, // zero-length prompt
+        1..=4 => {
+            let lens = corpus_lengths();
+            lens[rng.gen_range(0..lens.len())]
+        }
+        5..=8 => {
+            // Zipf-ranked bucket → length: most prompts short, a few long.
+            static ZIPF_N: usize = 64;
+            let z = Zipf::new(ZIPF_N, 1.1);
+            let rank = z.sample(rng);
+            (8 * (rank as u64 + 1)).min(512)
+        }
+        _ => rng.gen_range(256u64..=1024), // long prompt
+    }
+}
+
+/// Draw one output length (occasionally zero: a prefill-only request).
+fn output_len(rng: &mut StdRng) -> u64 {
+    match rng.gen_range(0u32..12) {
+        0 => 0,
+        1..=8 => rng.gen_range(8u64..=96),
+        _ => rng.gen_range(96u64..=256),
+    }
+}
+
+/// Generate a trace of `n` requests under the given arrival shape.
+pub fn generate(rng: &mut StdRng, n: usize, shape: ArrivalShape) -> Workload {
+    let mut requests = Vec::with_capacity(n);
+    let mut t = 0.0f64;
+    for id in 0..n as u64 {
+        let arrival_s = match shape {
+            ArrivalShape::Poisson => {
+                let rate = 2.0;
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                t += -u.ln() / rate;
+                t
+            }
+            ArrivalShape::Bursty => {
+                // New burst instant every ~4 requests; ties inside.
+                if id % 4 == 0 {
+                    t += rng.gen_range(0.5..4.0);
+                }
+                t
+            }
+            ArrivalShape::Adversarial => 0.0,
+        };
+        let (input_tokens, output_tokens) = if shape == ArrivalShape::Adversarial && id == 0 {
+            (rng.gen_range(512u64..=1536), rng.gen_range(1u64..=32)) // the giant prompt
+        } else {
+            (prompt_len(rng), output_len(rng))
+        };
+        requests.push(Request { id, arrival_s, input_tokens, output_tokens });
+    }
+    // At least one token of real work in the trace, or the run is vacuous.
+    if requests.iter().all(|r| r.input_tokens + r.output_tokens == 0) {
+        requests[0].output_tokens = 1;
+    }
+    Workload { requests, shape }
+}
+
+/// Pick an arrival shape from the stream.
+pub fn pick_shape(rng: &mut StdRng) -> ArrivalShape {
+    match rng.gen_range(0u32..10) {
+        0..=5 => ArrivalShape::Poisson,
+        6..=8 => ArrivalShape::Bursty,
+        _ => ArrivalShape::Adversarial,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn same_stream_same_workload() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let wa = generate(&mut a, 20, ArrivalShape::Poisson);
+        let wb = generate(&mut b, 20, ArrivalShape::Poisson);
+        assert_eq!(wa.requests, wb.requests);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_ids_stable() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for shape in [ArrivalShape::Poisson, ArrivalShape::Bursty, ArrivalShape::Adversarial] {
+            let w = generate(&mut rng, 30, shape);
+            assert_eq!(w.requests.len(), 30);
+            for (i, r) in w.requests.iter().enumerate() {
+                assert_eq!(r.id, i as u64);
+            }
+            for pair in w.requests.windows(2) {
+                assert!(pair[1].arrival_s >= pair[0].arrival_s, "{shape:?} arrivals sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_trace_contains_ties_at_zero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = generate(&mut rng, 10, ArrivalShape::Adversarial);
+        assert!(w.requests.iter().all(|r| r.arrival_s == 0.0));
+    }
+}

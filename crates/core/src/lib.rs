@@ -57,6 +57,6 @@ pub use pmsearch::{search_power_modes, SearchConstraints, SearchResult};
 pub use protocol::Protocol;
 pub use scheduler::{ServingReport, StaticBatcher};
 pub use serve::{
-    Completion, EventScheduler, IterPhase, IterationTrace, PrefillPolicy, ServeConfig, ServeRun,
-    ServeSim,
+    Completion, EventScheduler, IterPhase, IterationTrace, PrefillPolicy, ServeAudit, ServeConfig,
+    ServeRun, ServeSim,
 };

@@ -40,5 +40,5 @@ pub use adapter::record_serve_run;
 pub use scheduler::{
     EventScheduler, PrefillPolicy, ServeConfig, ServeRun, DEFAULT_CHUNK_TOKENS, KV_BLOCK_TOKENS,
 };
-pub use sim::{Completion, ServeSim};
+pub use sim::{Completion, ServeAudit, ServeSim};
 pub use trace::{IterPhase, IterationTrace};

@@ -111,6 +111,10 @@ pub struct ServeRun {
     pub report: ContinuousReport,
     /// One record per scheduler iteration (incl. idle gaps).
     pub trace: Vec<IterationTrace>,
+    /// Completed-request records, in completion order.
+    pub completions: Vec<crate::serve::sim::Completion>,
+    /// `(time, request id)` of every mid-run cancellation.
+    pub cancelled: Vec<(f64, u64)>,
     /// KV blocks taken from the pool over the run.
     pub kv_blocks_allocated: u64,
     /// KV blocks returned to the pool (completion + preemption); equals

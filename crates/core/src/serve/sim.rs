@@ -31,7 +31,7 @@ use crate::continuous::ContinuousReport;
 use crate::error::RunError;
 use crate::serve::scheduler::{PrefillPolicy, ServeConfig, ServeRun, KV_BLOCK_TOKENS};
 use crate::serve::trace::{IterPhase, IterationTrace};
-use edgellm_hw::{ClockState, DeviceSpec};
+use edgellm_hw::{ClockState, DeviceSpec, PowerMode};
 use edgellm_mem::{KvBlockAllocator, MemoryModel, GB, OOM_HEADROOM_GB};
 use edgellm_perf::PerfModel;
 use edgellm_power::{LoadProfile, RailBreakdown, RailModel};
@@ -50,6 +50,40 @@ pub struct Completion {
     pub latency_s: f64,
     /// Output tokens delivered.
     pub output_tokens: u64,
+}
+
+/// A post-run accounting snapshot of one [`ServeSim`], consumed by
+/// invariant oracles (see the `edgellm-check` crate). Everything here is
+/// observable while the simulation is still owned elsewhere — fleet
+/// co-simulators surface one per device after a run.
+#[derive(Debug, Clone)]
+pub struct ServeAudit {
+    /// Device/model/precision display label.
+    pub label: String,
+    /// Requests submitted to this simulation (including re-routes).
+    pub submitted: usize,
+    /// Completed-request records, in completion order.
+    pub completions: Vec<Completion>,
+    /// `(time, request id)` of every mid-run cancellation.
+    pub cancelled: Vec<(f64, u64)>,
+    /// Per-iteration telemetry.
+    pub trace: Vec<IterationTrace>,
+    /// KV blocks taken from the pool over the run.
+    pub kv_blocks_allocated: u64,
+    /// KV blocks returned to the pool over the run.
+    pub kv_blocks_freed: u64,
+    /// KV blocks still held at snapshot time (0 once drained).
+    pub kv_blocks_in_use: usize,
+    /// Total pool blocks at snapshot time (after any shrink).
+    pub kv_blocks_total: usize,
+    /// Requests still queued or live at snapshot time.
+    pub queue_depth: usize,
+    /// Energy integrated so far (J).
+    pub energy_j: f64,
+    /// Sequences preempted under KV pressure.
+    pub preemptions: usize,
+    /// Output tokens delivered to completed requests.
+    pub served_output_tokens: u64,
 }
 
 /// One request's scheduling state, preserved across preemptions.
@@ -102,11 +136,22 @@ struct Live {
     job: Job,
     /// Prompt tokens prefilled so far.
     prompt_done: u64,
+    /// Output tokens already delivered when this admission began. A
+    /// re-admission after preemption resumes mid-stream: its earlier
+    /// tokens are part of `prompt_tokens` (the recompute penalty), and
+    /// counting them again would inflate the context — and, at the next
+    /// preemption, the prompt itself — without bound.
+    gen_base: u64,
 }
 
 impl Live {
+    /// Output tokens delivered since this admission began.
+    fn gen_since(&self) -> u64 {
+        (self.job.output_total - self.job.output_remaining) - self.gen_base
+    }
+
     fn ctx(&self) -> u64 {
-        self.job.prompt_tokens + (self.job.output_total - self.job.output_remaining)
+        self.job.prompt_tokens + self.gen_since()
     }
 
     fn decoding(&self) -> bool {
@@ -118,6 +163,12 @@ impl Live {
 #[derive(Debug, Clone)]
 pub struct ServeSim {
     cfg: ServeConfig,
+    /// The hardware, kept so mid-run power-mode flips can rebuild the
+    /// perf model against the same device.
+    device: DeviceSpec,
+    /// The run configuration (tracks the *current* power mode after a
+    /// [`ServeSim::set_power_mode`] flip).
+    run_cfg: RunConfig,
     perf: PerfModel,
     rails: RailModel,
     clocks: ClockState,
@@ -146,6 +197,8 @@ pub struct ServeSim {
     rail_log: Vec<(f64, RailBreakdown)>,
     /// `(time, request id)` of each KV-pressure preemption.
     preempt_log: Vec<(f64, u64)>,
+    /// `(time, request id)` of each mid-run cancellation.
+    cancel_log: Vec<(f64, u64)>,
     energy_j: f64,
     prefill_stall_s: f64,
     preemptions: usize,
@@ -254,6 +307,8 @@ impl ServeSim {
 
         Ok(ServeSim {
             cfg,
+            device: device.clone(),
+            run_cfg: run_cfg.clone(),
             perf,
             rails,
             clocks,
@@ -277,6 +332,7 @@ impl ServeSim {
             trace: Vec::new(),
             rail_log: Vec::new(),
             preempt_log: Vec::new(),
+            cancel_log: Vec::new(),
             energy_j: 0.0,
             prefill_stall_s: 0.0,
             preemptions: 0,
@@ -452,10 +508,12 @@ impl ServeSim {
                         power_w: p,
                         tokens: job.prompt_tokens,
                     });
-                    self.live.push(Live { id, job, prompt_done: job.prompt_tokens });
+                    let gen_base = job.output_total - job.output_remaining;
+                    self.live.push(Live { id, job, prompt_done: job.prompt_tokens, gen_base });
                 }
                 PrefillPolicy::Chunked { .. } => {
-                    self.live.push(Live { id, job, prompt_done: 0 });
+                    let gen_base = job.output_total - job.output_remaining;
+                    self.live.push(Live { id, job, prompt_done: 0, gen_base });
                 }
             }
         }
@@ -482,39 +540,46 @@ impl ServeSim {
             if need <= self.kv.free_blocks() {
                 break;
             }
-            let victim = self
-                .live
-                .iter()
-                .enumerate()
-                .max_by(|(_, a), (_, b)| {
-                    a.job
-                        .arrival_s
-                        .partial_cmp(&b.job.arrival_s)
-                        .expect("finite")
-                        .then(a.id.cmp(&b.id))
-                })
-                .map(|(i, _)| i)
-                .expect("live non-empty");
-            let s = self.live.swap_remove(victim);
-            self.kv_freed += self.kv.release(s.id).expect("live seq registered") as u64;
-            self.preemptions += 1;
-            self.preempt_log.push((self.t, s.job.rid));
-            // Recompute penalty: the discarded cache — including every
-            // token generated so far — joins the prompt to re-prefill.
-            let mut job = s.job;
-            job.prompt_tokens += s.job.output_total - s.job.output_remaining;
-            let pos = self
-                .pending
-                .iter()
-                .position(|p| {
-                    p.arrival_s > job.arrival_s || (p.arrival_s == job.arrival_s && p.rid > job.rid)
-                })
-                .unwrap_or(self.pending.len());
-            self.pending.insert(pos, job);
+            self.preempt_youngest();
             if self.live.is_empty() {
                 break;
             }
         }
+    }
+
+    /// Preempt the youngest live sequence: free its KV blocks and
+    /// re-queue it with the recompute penalty (its regenerated tokens
+    /// join the prompt it must prefill again).
+    fn preempt_youngest(&mut self) {
+        let victim = self
+            .live
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                a.job.arrival_s.partial_cmp(&b.job.arrival_s).expect("finite").then(a.id.cmp(&b.id))
+            })
+            .map(|(i, _)| i)
+            .expect("live non-empty");
+        let s = self.live.swap_remove(victim);
+        self.kv_freed += self.kv.release(s.id).expect("live seq registered") as u64;
+        self.preemptions += 1;
+        self.preempt_log.push((self.t, s.job.rid));
+        // Recompute penalty: the discarded cache — including the tokens
+        // generated *since this admission* — joins the prompt to
+        // re-prefill. Earlier generations are already folded into the
+        // prompt by previous preemptions; adding them again would grow
+        // the sequence without bound (and deadlock a pool sized for
+        // exactly one sequence).
+        let mut job = s.job;
+        job.prompt_tokens += s.gen_since();
+        let pos = self
+            .pending
+            .iter()
+            .position(|p| {
+                p.arrival_s > job.arrival_s || (p.arrival_s == job.arrival_s && p.rid > job.rid)
+            })
+            .unwrap_or(self.pending.len());
+        self.pending.insert(pos, job);
     }
 
     /// One fused iteration.
@@ -565,6 +630,15 @@ impl ServeSim {
         }
         self.t += dt;
         for &i in &finished_prefill {
+            if self.live[i].job.ttft_s.is_none() {
+                self.live[i].job.ttft_s = Some(self.t - self.live[i].job.arrival_s);
+            }
+        }
+        // A zero-length prompt never passes through prefill, so its first
+        // token is the first *decode* token; sequences with prompts have
+        // their TTFT pinned at prefill completion above and are never
+        // still unset here.
+        for &i in &deks {
             if self.live[i].job.ttft_s.is_none() {
                 self.live[i].job.ttft_s = Some(self.t - self.live[i].job.arrival_s);
             }
@@ -667,6 +741,68 @@ impl ServeSim {
         out
     }
 
+    /// Cancel a request wherever it stands — queued or live — releasing
+    /// any KV blocks it holds. Returns `true` when the request was found
+    /// (a completed or unknown `rid` is a no-op). Cancelled requests
+    /// count toward neither completions nor served tokens; the
+    /// cancellation instant is recorded in [`ServeSim::cancellations`].
+    pub fn cancel(&mut self, rid: u64) -> bool {
+        if let Some(pos) = self.pending.iter().position(|j| j.rid == rid) {
+            self.pending.remove(pos);
+            self.cancel_log.push((self.t, rid));
+            return true;
+        }
+        if let Some(pos) = self.live.iter().position(|s| s.job.rid == rid) {
+            let s = self.live.remove(pos);
+            self.kv_freed += self.kv.release(s.id).expect("live seq registered") as u64;
+            self.cancel_log.push((self.t, rid));
+            return true;
+        }
+        false
+    }
+
+    /// Shrink the KV pool to `target_blocks` (floored at one block),
+    /// preempting the youngest live sequences until the survivors fit the
+    /// reduced pool. Models a co-tenant claiming memory mid-run; the
+    /// fault injector's KV-shrink knob. Growing is a no-op.
+    pub fn shrink_kv_pool(&mut self, target_blocks: usize) {
+        let target = target_blocks.max(1);
+        if target >= self.kv.total_blocks() {
+            return;
+        }
+        while self.kv.used_blocks() > target && !self.live.is_empty() {
+            self.preempt_youngest();
+        }
+        self.kv.shrink_to(target).expect("live usage preempted below target");
+    }
+
+    /// Flip the device to a different power mode mid-run — a thermal
+    /// governor stepping in, or the fault injector's power-flip knob.
+    /// Rebuilds the perf model and idle/rail operating points; iterations
+    /// already billed are untouched.
+    pub fn set_power_mode(&mut self, pm: &PowerMode) -> Result<(), RunError> {
+        pm.validate(&self.device)?;
+        self.run_cfg.power_mode = pm.clone();
+        self.perf = PerfModel::new(
+            self.device.clone(),
+            self.run_cfg.llm,
+            self.run_cfg.precision,
+            pm.clocks,
+        );
+        let maxn = PerfModel::new(
+            self.device.clone(),
+            self.run_cfg.llm,
+            self.run_cfg.precision,
+            self.device.max_clocks(),
+        );
+        self.bw_ratio = self.perf.effective_bandwidth() / maxn.effective_bandwidth();
+        self.clocks = pm.clocks;
+        self.idle_rails = self.rails.power(&self.clocks, &LoadProfile::idle());
+        self.idle_power = self.idle_rails.total_w();
+        self.t_stream = self.perf.weight_stream_time();
+        Ok(())
+    }
+
     /// Requests submitted so far (completed or not).
     pub fn submitted(&self) -> usize {
         self.submitted
@@ -730,6 +866,52 @@ impl ServeSim {
         &self.preempt_log
     }
 
+    /// `(time, request id)` of every mid-run cancellation so far.
+    pub fn cancellations(&self) -> &[(f64, u64)] {
+        &self.cancel_log
+    }
+
+    /// Total KV pool blocks (shrinks after [`ServeSim::shrink_kv_pool`]).
+    pub fn kv_total_blocks(&self) -> usize {
+        self.kv.total_blocks()
+    }
+
+    /// KV blocks currently held by live sequences.
+    pub fn kv_used_blocks(&self) -> usize {
+        self.kv.used_blocks()
+    }
+
+    /// KV blocks taken from the pool over the run so far.
+    pub fn kv_blocks_allocated(&self) -> u64 {
+        self.kv_allocated
+    }
+
+    /// KV blocks returned to the pool over the run so far.
+    pub fn kv_blocks_freed(&self) -> u64 {
+        self.kv_freed
+    }
+
+    /// Accounting snapshot for invariant oracles. Fleet runs expose one
+    /// per device (where the consumed [`ServeRun`] is unavailable); the
+    /// checking harness replays its invariants against this.
+    pub fn audit(&self) -> ServeAudit {
+        ServeAudit {
+            label: self.label.clone(),
+            submitted: self.submitted,
+            completions: self.completions.clone(),
+            cancelled: self.cancel_log.clone(),
+            trace: self.trace.clone(),
+            kv_blocks_allocated: self.kv_allocated,
+            kv_blocks_freed: self.kv_freed,
+            kv_blocks_in_use: self.kv.used_blocks(),
+            kv_blocks_total: self.kv.total_blocks(),
+            queue_depth: self.pending.len() + self.live.len(),
+            energy_j: self.energy_j,
+            preemptions: self.preemptions,
+            served_output_tokens: self.served_tokens,
+        }
+    }
+
     /// Device/model/precision display label used on exported timelines.
     pub fn label(&self) -> &str {
         &self.label
@@ -786,6 +968,8 @@ impl ServeSim {
         ServeRun {
             report,
             trace: self.trace,
+            completions: self.completions,
+            cancelled: self.cancel_log,
             kv_blocks_allocated: self.kv_allocated,
             kv_blocks_freed: self.kv_freed,
             served_output_tokens: self.served_tokens,
@@ -908,5 +1092,183 @@ mod tests {
         assert_eq!(sim.backlog_tokens(), 0);
         assert_eq!(sim.queue_depth(), 0);
         assert_eq!(sim.completions().len(), 10);
+    }
+
+    #[test]
+    fn zero_length_prompt_gets_decode_ttft() {
+        // A prompt of zero tokens never passes through prefill; its TTFT
+        // is the first decode token, strictly before the last one.
+        let (dev, cfg) = setup();
+        let reqs = [
+            Request { id: 0, arrival_s: 0.0, input_tokens: 0, output_tokens: 8 },
+            Request { id: 1, arrival_s: 0.0, input_tokens: 32, output_tokens: 8 },
+        ];
+        let mut sim = ServeSim::new(ServeConfig::chunked(16), &dev, &cfg, &reqs).unwrap();
+        while let Some(now) = sim.next_event_s() {
+            sim.step(now).unwrap();
+        }
+        assert_eq!(sim.completions().len(), 2);
+        for c in sim.completions() {
+            assert!(c.ttft_s > 0.0, "request {} ttft never recorded", c.rid);
+            assert!(
+                c.ttft_s < c.latency_s,
+                "request {} ttft {} must precede last token at {}",
+                c.rid,
+                c.ttft_s,
+                c.latency_s
+            );
+        }
+    }
+
+    #[test]
+    fn zero_length_prompt_drains_cleanly() {
+        let (dev, cfg) = setup();
+        let reqs = [
+            Request { id: 0, arrival_s: 0.0, input_tokens: 0, output_tokens: 64 },
+            Request { id: 1, arrival_s: 0.0, input_tokens: 16, output_tokens: 64 },
+        ];
+        let mut sim = ServeSim::new(ServeConfig::chunked(8), &dev, &cfg, &reqs).unwrap();
+        for _ in 0..3 {
+            let now = sim.next_event_s().unwrap();
+            sim.step(now).unwrap();
+        }
+        let drained = sim.drain_incomplete();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].input_tokens, 0, "zero prompt survives the round-trip");
+        assert_eq!(sim.kv_occupancy(), 0.0);
+        assert_eq!(sim.kv_blocks_allocated(), sim.kv_blocks_freed());
+    }
+
+    #[test]
+    fn kv_pool_of_exactly_one_sequence_serializes() {
+        // The pool holds exactly one full sequence (144 tokens = 9
+        // blocks). Concurrent admissions must churn through preemption
+        // yet every request completes with exact token accounting — the
+        // recompute penalty never grows a sequence past the pool.
+        let (dev, cfg) = setup();
+        let reqs: Vec<Request> = (0..4)
+            .map(|id| Request { id, arrival_s: 0.0, input_tokens: 48, output_tokens: 96 })
+            .collect();
+        let kv_per_token = cfg.llm.arch().kv_bytes_per_token();
+        let pool = 144 * kv_per_token;
+        let mut sim =
+            ServeSim::new(ServeConfig::chunked(16).kv_pool_cap(pool), &dev, &cfg, &reqs).unwrap();
+        assert_eq!(sim.kv_total_blocks(), 9);
+        while let Some(now) = sim.next_event_s() {
+            sim.step(now).unwrap();
+        }
+        assert_eq!(sim.completions().len(), 4, "one-sequence pool still drains");
+        assert!(sim.preemptions() > 0, "contention must preempt");
+        assert_eq!(sim.served_output_tokens(), 4 * 96);
+        assert_eq!(sim.kv_blocks_allocated(), sim.kv_blocks_freed());
+        assert_eq!(sim.kv_used_blocks(), 0);
+    }
+
+    #[test]
+    fn skip_to_earlier_timestamp_is_noop() {
+        let (dev, cfg) = setup();
+        let reqs = [Request { id: 0, arrival_s: 4.0, input_tokens: 32, output_tokens: 8 }];
+        let mut sim = ServeSim::new(ServeConfig::chunked(16), &dev, &cfg, &reqs).unwrap();
+        sim.skip_to(3.0);
+        assert_eq!(sim.now(), 3.0);
+        let e = sim.energy_j();
+        sim.skip_to(1.0); // earlier than the clock: must not rewind
+        assert_eq!(sim.now(), 3.0);
+        assert_eq!(sim.energy_j(), e, "a skipped gap bills nothing");
+        // Live sequences also pin the clock.
+        sim.step(4.0).unwrap();
+        let t = sim.now();
+        sim.skip_to(t + 100.0);
+        assert_eq!(sim.now(), t, "skip_to is quiescent-only");
+        while let Some(now) = sim.next_event_s() {
+            sim.step(now).unwrap();
+        }
+        assert_eq!(sim.completions().len(), 1);
+    }
+
+    #[test]
+    fn cancel_releases_kv_and_is_conserved() {
+        let (dev, cfg) = setup();
+        let reqs = PoissonArrivals::paper_shape(3.0).generate(10, 7);
+        let mut sim = ServeSim::new(ServeConfig::chunked(8), &dev, &cfg, &reqs).unwrap();
+        for _ in 0..4 {
+            let now = sim.next_event_s().unwrap();
+            sim.step(now).unwrap();
+        }
+        // One live victim, one still-queued victim.
+        let live_rid = sim.audit().trace.last().map(|_| reqs[0].id).unwrap();
+        assert!(sim.cancel(live_rid));
+        let queued_rid = reqs.last().unwrap().id;
+        assert!(sim.cancel(queued_rid));
+        assert!(!sim.cancel(queued_rid), "double-cancel is a no-op");
+        assert!(!sim.cancel(9999), "unknown rid is a no-op");
+        while let Some(now) = sim.next_event_s() {
+            sim.step(now).unwrap();
+        }
+        let audit = sim.audit();
+        assert_eq!(audit.cancelled.len(), 2);
+        assert_eq!(
+            audit.completions.len() + audit.cancelled.len(),
+            audit.submitted,
+            "every request completes or cancels"
+        );
+        assert_eq!(audit.kv_blocks_allocated, audit.kv_blocks_freed);
+        assert_eq!(audit.kv_blocks_in_use, 0);
+    }
+
+    #[test]
+    fn shrink_kv_pool_preempts_survivors_to_fit() {
+        let (dev, cfg) = setup();
+        let reqs: Vec<Request> = (0..6)
+            .map(|id| Request { id, arrival_s: 0.0, input_tokens: 48, output_tokens: 96 })
+            .collect();
+        let mut sim = ServeSim::new(ServeConfig::chunked(16), &dev, &cfg, &reqs).unwrap();
+        for _ in 0..8 {
+            let now = sim.next_event_s().unwrap();
+            sim.step(now).unwrap();
+        }
+        let used = sim.kv_used_blocks();
+        assert!(used > 9, "batch grew past one sequence before the shrink");
+        sim.shrink_kv_pool(9);
+        assert_eq!(sim.kv_total_blocks(), 9);
+        assert!(sim.kv_used_blocks() <= 9);
+        while let Some(now) = sim.next_event_s() {
+            sim.step(now).unwrap();
+        }
+        assert_eq!(sim.completions().len(), 6, "shrunken pool still drains");
+        assert_eq!(sim.served_output_tokens(), 6 * 96);
+        assert_eq!(sim.kv_blocks_allocated(), sim.kv_blocks_freed());
+    }
+
+    #[test]
+    fn power_mode_flip_midrun_completes_with_more_time() {
+        let (dev, cfg) = setup();
+        let reqs = PoissonArrivals::paper_shape(2.0).generate(10, 11);
+        let registry = edgellm_hw::PowerModeRegistry::stock_for(dev.clone());
+        let slow = registry
+            .iter()
+            .find(|m| m.name != cfg.power_mode.name)
+            .expect("stock registry has >1 mode")
+            .clone();
+        let mut flipped = ServeSim::new(ServeConfig::chunked(16), &dev, &cfg, &reqs).unwrap();
+        let mut stock = ServeSim::new(ServeConfig::chunked(16), &dev, &cfg, &reqs).unwrap();
+        for _ in 0..4 {
+            let now = flipped.next_event_s().unwrap();
+            flipped.step(now).unwrap();
+            let now = stock.next_event_s().unwrap();
+            stock.step(now).unwrap();
+        }
+        flipped.set_power_mode(&slow).unwrap();
+        while let Some(now) = flipped.next_event_s() {
+            flipped.step(now).unwrap();
+        }
+        while let Some(now) = stock.next_event_s() {
+            stock.step(now).unwrap();
+        }
+        assert_eq!(flipped.completions().len(), 10);
+        assert!(
+            (flipped.now() - stock.now()).abs() > 1e-9,
+            "a mid-run clock change must move the makespan"
+        );
     }
 }

@@ -44,4 +44,4 @@ pub use routing::{
     Decision, DeviceView, EnergyGreedy, JoinShortestQueue, LeastKvPressure, RoundRobin,
     RoutingPolicy, SloAware,
 };
-pub use sim::{run_fleet, FleetConfig, FleetSim, RouterMark};
+pub use sim::{run_fleet, FleetAudit, FleetConfig, FleetSim, RouterMark};

@@ -40,6 +40,9 @@ pub struct FleetReport {
     /// Requests that could never be placed (no device up, no cloud);
     /// zero in any healthy configuration.
     pub lost: usize,
+    /// Requests cancelled mid-run by fault injection; conservation is
+    /// `completed + lost + cancelled == submitted`.
+    pub cancelled: usize,
     /// Fault- and thermal-driven re-routes of in-flight work.
     pub reroutes: usize,
     /// Thermal trips across the fleet.
@@ -80,6 +83,7 @@ impl FleetReport {
         submitted: usize,
         offloaded: usize,
         lost: usize,
+        cancelled: usize,
         reroutes: usize,
         makespan_s: f64,
         cloud_energy_j: f64,
@@ -99,6 +103,7 @@ impl FleetReport {
             completed: completions.len(),
             offloaded,
             lost,
+            cancelled,
             reroutes,
             thermal_trips,
             preemptions,
@@ -158,7 +163,7 @@ mod tests {
             },
         ];
         let comps = vec![comp(0, 1.0, 5.0, 50), comp(1, 2.0, 15.0, 50), comp(2, 0.5, 25.0, 50)];
-        let r = FleetReport::build("jsq".into(), devs, &comps, 3, 0, 0, 0, 10.0, 0.0, 20.0);
+        let r = FleetReport::build("jsq".into(), devs, &comps, 3, 0, 0, 0, 0, 10.0, 0.0, 20.0);
         assert_eq!(r.completed, 3);
         assert_eq!(r.output_tokens, 150);
         assert!((r.energy_j - 75.0).abs() < 1e-12);
@@ -172,7 +177,7 @@ mod tests {
 
     #[test]
     fn empty_completions_produce_zeroed_metrics() {
-        let r = FleetReport::build("rr".into(), Vec::new(), &[], 0, 0, 0, 0, 0.0, 0.0, 10.0);
+        let r = FleetReport::build("rr".into(), Vec::new(), &[], 0, 0, 0, 0, 0, 0.0, 0.0, 10.0);
         assert_eq!(r.completed, 0);
         assert_eq!(r.slo_attainment, 0.0);
         assert_eq!(r.energy_per_token_j, 0.0);

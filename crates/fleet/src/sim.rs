@@ -84,6 +84,45 @@ pub enum RouterMark {
         /// Fleet index.
         device: usize,
     },
+    /// A device's KV pool was shrunk mid-run.
+    KvShrunk {
+        /// Fleet index.
+        device: usize,
+        /// New pool size, in blocks.
+        blocks: usize,
+    },
+    /// A device flipped to a different stock power mode.
+    PowerFlipped {
+        /// Fleet index.
+        device: usize,
+        /// Stock-registry index of the new mode.
+        index: usize,
+    },
+    /// Request `rid` was cancelled mid-run.
+    Cancelled {
+        /// Request id.
+        rid: u64,
+    },
+    /// A device's quiescent clock jumped forward.
+    ClockSkewed {
+        /// Fleet index.
+        device: usize,
+        /// Jump size in milliseconds.
+        ahead_ms: u32,
+    },
+}
+
+/// Everything an invariant oracle needs from one fleet run: the
+/// aggregate [`FleetReport`], each device's [`ServeAudit`](edgellm_core::serve::ServeAudit) snapshot (in
+/// fleet index order), and the router's event log.
+#[derive(Debug, Clone)]
+pub struct FleetAudit {
+    /// Aggregate run outcome.
+    pub report: FleetReport,
+    /// Per-device accounting snapshots, in fleet index order.
+    pub devices: Vec<edgellm_core::serve::ServeAudit>,
+    /// Router event log: `(fleet time, mark)`, in occurrence order.
+    pub router_log: Vec<(f64, RouterMark)>,
 }
 
 enum Event {
@@ -110,6 +149,8 @@ pub struct FleetSim {
     held: Vec<Request>,
     reroutes: usize,
     offloaded: usize,
+    /// Requests cancelled by fault injection (held-queue and on-device).
+    cancelled: usize,
     cloud_completions: Vec<Completion>,
     cloud_energy_j: f64,
     cloud_done_s: f64,
@@ -154,6 +195,7 @@ impl FleetSim {
             held: Vec::new(),
             reroutes: 0,
             offloaded: 0,
+            cancelled: 0,
             cloud_completions: Vec::new(),
             cloud_energy_j: 0.0,
             cloud_done_s: 0.0,
@@ -184,6 +226,17 @@ impl FleetSim {
         let mut out = Trace::new();
         self.record_trace(&mut out);
         Ok((self.build_report(), out))
+    }
+
+    /// [`FleetSim::run`], but keep everything an invariant oracle needs:
+    /// the per-device accounting snapshots and the router event log, on
+    /// top of the aggregate report. The `edgellm-check` harness drives
+    /// every fleet scenario through this.
+    pub fn run_audited(mut self) -> Result<FleetAudit, RunError> {
+        self.run_to_completion()?;
+        let devices = self.devices.iter().map(|d| d.sim.audit()).collect();
+        let router_log = self.tlog.clone();
+        Ok(FleetAudit { devices, router_log, report: self.build_report() })
     }
 
     /// Fire events until the fleet is drained.
@@ -240,6 +293,30 @@ impl FleetSim {
                 RouterMark::DeviceUp { device } => {
                     ("up", vec![("device".to_string(), Arg::Str(dev_name(device)))])
                 }
+                RouterMark::KvShrunk { device, blocks } => (
+                    "kv_shrink",
+                    vec![
+                        ("device".to_string(), Arg::Str(dev_name(device))),
+                        ("blocks".to_string(), Arg::U64(blocks as u64)),
+                    ],
+                ),
+                RouterMark::PowerFlipped { device, index } => (
+                    "power_flip",
+                    vec![
+                        ("device".to_string(), Arg::Str(dev_name(device))),
+                        ("mode".to_string(), Arg::U64(index as u64)),
+                    ],
+                ),
+                RouterMark::Cancelled { rid } => {
+                    ("cancel", vec![("rid".to_string(), Arg::U64(rid))])
+                }
+                RouterMark::ClockSkewed { device, ahead_ms } => (
+                    "clock_skew",
+                    vec![
+                        ("device".to_string(), Arg::Str(dev_name(device))),
+                        ("ahead_ms".to_string(), Arg::U64(ahead_ms as u64)),
+                    ],
+                ),
             };
             out.instant(pid, 1, name, "fleet", t_s * 1e6, args);
         }
@@ -280,6 +357,7 @@ impl FleetSim {
             self.arrivals.len(),
             self.offloaded,
             lost,
+            self.cancelled,
             self.reroutes,
             makespan,
             self.cloud_energy_j,
@@ -329,8 +407,14 @@ impl FleetSim {
                 let f = self.cfg.faults.events()[idx];
                 self.next_fault = idx + 1;
                 match f.kind {
-                    FaultKind::Down => self.take_down(f.device, f.t_s, None),
+                    FaultKind::Down => self.take_down(f.device, f.t_s, None, false),
                     FaultKind::Up => self.bring_up(f.device, f.t_s, false),
+                    FaultKind::KvShrink { permille } => self.kv_shrink(f.device, f.t_s, permille),
+                    FaultKind::PowerFlip { index } => {
+                        self.power_flip(f.device, f.t_s, index)?;
+                    }
+                    FaultKind::Cancel { rid } => self.cancel(rid, f.t_s),
+                    FaultKind::ClockSkew { ahead_ms } => self.clock_skew(f.device, f.t_s, ahead_ms),
                 }
             }
             Event::Recovery(i, t) => {
@@ -345,7 +429,7 @@ impl FleetSim {
             Event::Step(i, t) => {
                 if let Some(recover_at) = self.devices[i].step(t)? {
                     let now = self.devices[i].sim.now();
-                    self.take_down(i, now, recover_at);
+                    self.take_down(i, now, recover_at, true);
                 }
             }
         }
@@ -353,16 +437,16 @@ impl FleetSim {
     }
 
     /// Drop a device: drain its unfinished requests and re-route them.
-    /// `down_until` carries a thermal cooldown end (`Some(Some(t))` via
-    /// the caller) or a scripted outage (`None` — waits for a scripted
-    /// `Up`).
-    fn take_down(&mut self, i: usize, now: f64, down_until: Option<f64>) {
+    /// `down_until` carries a thermal cooldown end (or `None` — a
+    /// scripted outage, or a trip that never cools unaided — waiting for
+    /// a scripted `Up`).
+    fn take_down(&mut self, i: usize, now: f64, down_until: Option<f64>, thermal: bool) {
         if i >= self.devices.len() || !self.devices[i].up {
             return;
         }
         self.devices[i].up = false;
         self.devices[i].down_until = down_until;
-        self.tlog.push((now, RouterMark::DeviceDown { device: i, thermal: down_until.is_some() }));
+        self.tlog.push((now, RouterMark::DeviceDown { device: i, thermal }));
         let drained = self.devices[i].sim.drain_incomplete();
         self.reroutes += drained.len();
         if !drained.is_empty() {
@@ -395,6 +479,67 @@ impl FleetSim {
         }
     }
 
+    /// Shrink a device's KV pool to `permille`/1000 of its current size
+    /// (floored at one block); sequences that no longer fit are preempted
+    /// on-device with the recompute penalty (not re-routed — the device
+    /// itself is still healthy).
+    fn kv_shrink(&mut self, i: usize, now: f64, permille: u16) {
+        if i >= self.devices.len() {
+            return;
+        }
+        let total = self.devices[i].sim.kv_total_blocks();
+        let target = ((total as u64 * permille as u64) / 1000).max(1) as usize;
+        if target >= total {
+            return;
+        }
+        self.devices[i].sim.shrink_kv_pool(target);
+        self.tlog.push((now, RouterMark::KvShrunk { device: i, blocks: target }));
+    }
+
+    /// Flip a device to stock power mode `index` (modulo the registry).
+    fn power_flip(&mut self, i: usize, now: f64, index: u8) -> Result<(), RunError> {
+        if i >= self.devices.len() {
+            return Ok(());
+        }
+        let registry = edgellm_hw::PowerModeRegistry::stock_for(self.devices[i].cfg.device.clone());
+        let idx = index as usize % registry.len().max(1);
+        let mode = registry.iter().nth(idx).expect("index reduced modulo len").clone();
+        self.devices[i].sim.set_power_mode(&mode)?;
+        self.tlog.push((now, RouterMark::PowerFlipped { device: i, index: idx }));
+        Ok(())
+    }
+
+    /// Cancel request `rid` wherever it stands: the router's hold queue,
+    /// or any device's queue/batch. Completed (or unknown) rids no-op.
+    fn cancel(&mut self, rid: u64, now: f64) {
+        if let Some(pos) = self.held.iter().position(|r| r.id == rid) {
+            self.held.remove(pos);
+            self.cancelled += 1;
+            self.tlog.push((now, RouterMark::Cancelled { rid }));
+            return;
+        }
+        for d in &mut self.devices {
+            if d.sim.cancel(rid) {
+                self.cancelled += 1;
+                self.tlog.push((now, RouterMark::Cancelled { rid }));
+                return;
+            }
+        }
+    }
+
+    /// Jump a quiescent device's clock ahead of the fleet instant — an
+    /// NTP step. Devices with live sequences ignore it.
+    fn clock_skew(&mut self, i: usize, now: f64, ahead_ms: u32) {
+        if i >= self.devices.len() {
+            return;
+        }
+        let before = self.devices[i].sim.now();
+        self.devices[i].sim.skip_to(now.max(before) + ahead_ms as f64 / 1000.0);
+        if self.devices[i].sim.now() > before {
+            self.tlog.push((now, RouterMark::ClockSkewed { device: i, ahead_ms }));
+        }
+    }
+
     fn route(&mut self, r: Request, now: f64) {
         let views: Vec<DeviceView> =
             self.devices.iter().enumerate().map(|(i, d)| d.view(i)).collect();
@@ -409,8 +554,7 @@ impl FleetSim {
         }
         match self.policy.route(&r, &views) {
             Decision::Device(i) if i < self.devices.len() && self.devices[i].up => {
-                self.tlog.push((now, RouterMark::Routed { rid: r.id, device: i }));
-                self.devices[i].submit(&r);
+                self.place(i, &r, now);
             }
             Decision::Cloud if self.cfg.cloud.is_some() => self.cloud_complete(r, now),
             // A policy picked a down/invalid target, or cloud without an
@@ -424,10 +568,22 @@ impl FleetSim {
                     })
                     .expect("checked above")
                     .index;
-                self.tlog.push((now, RouterMark::Routed { rid: r.id, device: i }));
-                self.devices[i].submit(&r);
+                self.place(i, &r, now);
             }
         }
+    }
+
+    /// Hand a request to device `i` at the fleet instant `now`. The
+    /// receiving clock is idled up to `now` first so a re-routed request
+    /// (whose `arrival_s` predates the evacuation) cannot start — and
+    /// bill — in the device's past. Busy devices already sit at or ahead
+    /// of `now` (events fire in global time order), so this only moves
+    /// lagging idle clocks and the gap is billed at idle power exactly as
+    /// the lazy step-idle path would.
+    fn place(&mut self, i: usize, r: &Request, now: f64) {
+        self.tlog.push((now, RouterMark::Routed { rid: r.id, device: i }));
+        self.devices[i].sim.idle_to(now);
+        self.devices[i].submit(r);
     }
 
     fn cloud_complete(&mut self, r: Request, now: f64) {
@@ -648,6 +804,45 @@ mod tests {
         assert!(json.contains("\"down\"") && json.contains("\"up\""), "outage instants");
         assert!(json.contains("\"evacuate\""), "drained work marked");
         assert!(json.contains("power_rails_w"), "per-device rail counters");
+    }
+
+    #[test]
+    fn mid_run_knobs_conserve_requests() {
+        // Every knob class fires mid-run: conservation must hold with
+        // cancellation folded in, and the run must stay deterministic.
+        let reqs = PoissonArrivals::paper_shape(2.0).generate(30, 19);
+        let faults = FaultPlan::none()
+            .kv_shrink(0, 3.0, 250)
+            .power_flip(1, 4.0, 1)
+            .cancel(reqs[5].arrival_s + 0.05, reqs[5].id)
+            .cancel(reqs[20].arrival_s + 0.05, reqs[20].id)
+            .clock_skew(1, 0.5, 400);
+        let cfg = FleetConfig { faults, ..FleetConfig::default() };
+        let run = || {
+            FleetSim::new(agx_pair(), Box::new(JoinShortestQueue), cfg.clone(), &reqs)
+                .unwrap()
+                .run_audited()
+                .unwrap()
+        };
+        let audit = run();
+        let r = &audit.report;
+        assert_eq!(r.cancelled, 2);
+        assert_eq!(r.completed + r.lost + r.cancelled, 30, "knobs never lose a request");
+        assert!(
+            audit.router_log.iter().any(|(_, m)| matches!(m, RouterMark::KvShrunk { .. })),
+            "shrink marked"
+        );
+        assert!(
+            audit.router_log.iter().any(|(_, m)| matches!(m, RouterMark::PowerFlipped { .. })),
+            "flip marked"
+        );
+        for d in &audit.devices {
+            assert_eq!(d.kv_blocks_allocated, d.kv_blocks_freed, "{}: KV drains", d.label);
+            assert_eq!(d.kv_blocks_in_use, 0);
+        }
+        let total_cancel: usize = audit.devices.iter().map(|d| d.cancelled.len()).sum();
+        assert_eq!(total_cancel, 2, "both cancels landed on devices");
+        assert_eq!(run().report, audit.report, "knobbed runs stay deterministic");
     }
 
     #[test]

@@ -116,6 +116,27 @@ impl KvBlockAllocator {
         Ok(freed)
     }
 
+    /// Shrink the pool to `new_total` blocks, retiring free blocks.
+    ///
+    /// Models a mid-run capacity loss — a co-tenant claiming memory, or a
+    /// fault injector's KV-shrink knob. Only *free* blocks can be
+    /// retired: when live sequences hold more than `new_total` blocks the
+    /// call fails with [`KvError::OutOfBlocks`] and nothing changes (the
+    /// caller must preempt first). Growing (`new_total ≥` current total)
+    /// is a no-op.
+    pub fn shrink_to(&mut self, new_total: usize) -> Result<(), KvError> {
+        if new_total >= self.total_blocks {
+            return Ok(());
+        }
+        let retire = self.total_blocks - new_total;
+        if retire > self.free_blocks.len() {
+            return Err(KvError::OutOfBlocks { requested: retire, free: self.free_blocks.len() });
+        }
+        self.free_blocks.truncate(self.free_blocks.len() - retire);
+        self.total_blocks = new_total;
+        Ok(())
+    }
+
     /// Blocks a live sequence currently holds (`None` for unknown ids).
     pub fn blocks_held(&self, id: SeqId) -> Option<usize> {
         self.seqs.get(&id).map(|(blocks, _)| blocks.len())
@@ -239,6 +260,27 @@ mod tests {
         let frag = a.fragmentation();
         let expect = 1.0 - (8.0 * 17.0) / (16.0 * 16.0);
         assert!((frag - expect).abs() < 1e-9, "{frag} vs {expect}");
+    }
+
+    #[test]
+    fn shrink_retires_free_blocks_only() {
+        let mut a = alloc();
+        a.register(1);
+        a.append(1, 100).unwrap(); // 7 blocks held
+        a.shrink_to(10).unwrap();
+        assert_eq!(a.total_blocks(), 10);
+        assert_eq!(a.free_blocks(), 3);
+        assert_eq!(a.used_blocks(), 7);
+        // Shrinking below the live footprint fails and changes nothing.
+        let err = a.shrink_to(6).unwrap_err();
+        assert!(matches!(err, KvError::OutOfBlocks { .. }));
+        assert_eq!(a.total_blocks(), 10);
+        // Growing is a no-op, not an error.
+        a.shrink_to(64).unwrap();
+        assert_eq!(a.total_blocks(), 10);
+        // The held blocks stay valid across the shrink.
+        assert_eq!(a.release(1).unwrap(), 7);
+        assert_eq!(a.free_blocks(), 10);
     }
 
     #[test]

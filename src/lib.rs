@@ -21,6 +21,8 @@
 //! * [`core`] — the batching runtime and the paper's experiment protocol;
 //! * [`fleet`] — heterogeneous multi-device fleet serving: routing, faults,
 //!   thermal coupling and cloud spillover over the per-device simulators;
+//! * [`check`] — deterministic simulation testing: seeded scenarios, fault
+//!   injection, invariant oracles and failure minimization (`edgellm-check`);
 //! * [`trace`] — span tracing, a metrics registry and Perfetto-exportable
 //!   perf/power timelines across all of the above;
 //! * [`experiments`] — one driver per paper table/figure plus ground truth.
@@ -42,6 +44,7 @@
 //! let _ = DeviceSpec::orin_agx_64gb();
 //! ```
 
+pub use edgellm_check as check;
 pub use edgellm_core as core;
 pub use edgellm_corpus as corpus;
 pub use edgellm_experiments as experiments;

@@ -1,0 +1,159 @@
+//! Tier-1 coverage for the `edgellm-check` deterministic simulation-
+//! testing harness: the checked-in seed corpus runs clean, outcomes are
+//! digest-identical at any parallelism, and serve/fleet telemetry under
+//! *active fault plans* (outages plus the mid-run knobs: KV shrink,
+//! power flip, cancellation, clock skew) is byte-identical across
+//! `EDGELLM_THREADS=1/2/8` — exercised in-process via
+//! `rayon::with_num_threads`, the same override the env var reaches.
+//!
+//! The simulators are single-threaded by design (the thread knob only
+//! shards tensor kernels), so any divergence here means nondeterminism
+//! leaked into the serving or fleet paths — exactly what would make an
+//! `edgellm-check --seed N` reproducer useless.
+
+use edgellm::check::corpus;
+use edgellm::check::runner::{run_scenario, Outcome};
+use edgellm::check::scenario::Scenario;
+use edgellm::check::Repro;
+use edgellm::core::serve::{ServeConfig, ServeSim};
+use edgellm::core::{PoissonArrivals, RunConfig};
+use edgellm::fleet::{FaultPlan, FleetConfig, FleetDevice, FleetSim, JoinShortestQueue};
+use edgellm::hw::{DeviceSpec, PowerModeRegistry};
+use edgellm::models::{Llm, Precision};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn corpus_seeds_run_clean_and_digest_identically_across_thread_counts() {
+    let seeds = corpus::default_seeds();
+    assert!(seeds.len() >= 16, "corpus carries at least the PR-gate matrix");
+    let reference: Vec<u64> = rayon::with_num_threads(THREAD_COUNTS[0], || {
+        seeds
+            .iter()
+            .map(|&s| {
+                let out = run_scenario(&Scenario::from_seed(s));
+                assert!(matches!(out, Outcome::Clean(_)), "corpus seed {s} must be clean: {out}");
+                out.digest()
+            })
+            .collect()
+    });
+    for &t in &THREAD_COUNTS[1..] {
+        let digests: Vec<u64> = rayon::with_num_threads(t, || {
+            seeds.iter().map(|&s| run_scenario(&Scenario::from_seed(s)).digest()).collect()
+        });
+        assert_eq!(reference, digests, "outcome digests diverge at {t} threads");
+    }
+}
+
+#[test]
+fn replaying_a_full_repro_reproduces_the_outcome_digest() {
+    for &seed in &corpus::default_seeds()[..4] {
+        let direct = run_scenario(&Scenario::from_seed(seed));
+        let replayed = run_scenario(&Repro::full(seed).materialize());
+        assert_eq!(direct.digest(), replayed.digest(), "seed {seed} replay drifts");
+    }
+}
+
+/// Drive one single-device serving sim with every mid-run knob active —
+/// a KV-pool shrink mid-decode, a power-mode flip, a cancellation — and
+/// return its full audit, formatted. Byte-compared across parallelism.
+fn faulted_serve_audit(threads: usize) -> String {
+    rayon::with_num_threads(threads, || {
+        let dev = DeviceSpec::orin_agx_64gb();
+        let cfg = RunConfig::new(Llm::Llama31_8b, Precision::Fp16);
+        let reqs = PoissonArrivals::paper_shape(2.0).generate(12, 42);
+        let kv_per_token = cfg.llm.arch().kv_bytes_per_token();
+        let pool = 8 * 160 * kv_per_token;
+        let mut sim =
+            ServeSim::new(ServeConfig::chunked(8).kv_pool_cap(pool), &dev, &cfg, &reqs).unwrap();
+        let registry = PowerModeRegistry::stock_for(dev.clone());
+        let mut fired = 0u32;
+        while let Some(now) = sim.next_event_s() {
+            if fired == 0 && now > 2.0 {
+                sim.cancel(reqs[3].id);
+                fired = 1;
+            } else if fired == 1 && now > 4.0 {
+                let target = sim.kv_total_blocks() / 2;
+                sim.shrink_kv_pool(target);
+                fired = 2;
+            } else if fired == 2 && now > 6.0 {
+                let mode = registry.iter().nth(2).unwrap().clone();
+                sim.set_power_mode(&mode).unwrap();
+                fired = 3;
+            }
+            sim.step(now).unwrap();
+        }
+        format!("{:?}", sim.audit())
+    })
+}
+
+#[test]
+fn faulted_serve_audit_is_byte_identical_across_thread_counts() {
+    let reference = faulted_serve_audit(THREAD_COUNTS[0]);
+    assert!(reference.contains("cancelled: [("), "the cancellation actually landed");
+    for &t in &THREAD_COUNTS[1..] {
+        assert_eq!(
+            reference,
+            faulted_serve_audit(t),
+            "faulted serve audit diverges between {} and {t} threads",
+            THREAD_COUNTS[0]
+        );
+    }
+}
+
+/// Run a two-device fleet under an active fault plan spanning every
+/// event kind — outage, KV shrink, power flip, cancellation, clock
+/// skew — and export the Perfetto timeline.
+fn faulted_fleet_trace_json(threads: usize) -> String {
+    rayon::with_num_threads(threads, || {
+        let agx = DeviceSpec::orin_agx_64gb();
+        let nx = DeviceSpec::orin_nx_16gb();
+        let agx_cfg = RunConfig::new(Llm::Llama31_8b, Precision::Fp16)
+            .power_mode(edgellm::hw::PowerMode::maxn_for(&agx));
+        let nx_cfg = RunConfig::new(Llm::Llama31_8b, Precision::Int4)
+            .power_mode(edgellm::hw::PowerMode::maxn_for(&nx));
+        let members = vec![
+            FleetDevice::new(agx.clone(), agx_cfg).named("agx-0"),
+            FleetDevice::new(nx.clone(), nx_cfg).named("nx-1"),
+        ];
+        let reqs = PoissonArrivals::paper_shape(2.0).generate(16, 7);
+        let faults = FaultPlan::none()
+            .outage(0, 3.0, 9.0)
+            .kv_shrink(1, 2.0, 500)
+            .power_flip(1, 4.0, 3)
+            .cancel(reqs[5].arrival_s + 0.05, reqs[5].id)
+            .clock_skew(0, 10.0, 750);
+        let fleet_cfg = FleetConfig { faults, ..FleetConfig::default() };
+        let sim = FleetSim::new(members, Box::new(JoinShortestQueue), fleet_cfg, &reqs)
+            .expect("fleet builds");
+        let (_report, trace) = sim.run_traced().expect("fleet run succeeds");
+        trace.to_chrome_json()
+    })
+}
+
+#[test]
+fn faulted_fleet_timeline_is_byte_identical_across_thread_counts() {
+    let reference = faulted_fleet_trace_json(THREAD_COUNTS[0]);
+    edgellm::trace::validate_chrome_trace(&reference).expect("schema-valid fleet trace");
+    for mark in ["\"down\"", "\"kv_shrink\"", "\"power_flip\"", "\"cancel\"", "\"clock_skew\""] {
+        assert!(reference.contains(mark), "fault mark {mark} missing from timeline");
+    }
+    for &t in &THREAD_COUNTS[1..] {
+        assert_eq!(
+            reference,
+            faulted_fleet_trace_json(t),
+            "faulted fleet trace diverges between {} and {t} threads",
+            THREAD_COUNTS[0]
+        );
+    }
+}
+
+#[test]
+fn smoke_matrix_has_no_violations() {
+    // The CI `check-smoke` gate in library form: seeds 0..16, whatever
+    // their outcome class, must never violate an invariant.
+    for seed in 0..16u64 {
+        let out = run_scenario(&Scenario::from_seed(seed));
+        assert!(!out.is_violation(), "seed {seed}: {out}");
+    }
+}

@@ -2,10 +2,11 @@
 //! crates: numeric codecs, quantization error ordering, performance-model
 //! monotonicities, allocator safety and energy integration.
 
-use edgellm::core::serve::{EventScheduler, ServeConfig};
+use edgellm::check::oracles::{check_fleet, check_serve};
+use edgellm::core::serve::{EventScheduler, ServeConfig, ServeSim};
 use edgellm::core::{Engine, PoissonArrivals, RunConfig, SequenceSpec};
 use edgellm::corpus::{BpeTokenizer, CorpusKind, SyntheticCorpus};
-use edgellm::fleet::{run_fleet, FaultPlan, FleetConfig, FleetDevice, JoinShortestQueue};
+use edgellm::fleet::{run_fleet, FaultPlan, FleetConfig, FleetDevice, FleetSim, JoinShortestQueue};
 use edgellm::hw::{DeviceSpec, PowerMode};
 use edgellm::mem::KvBlockAllocator;
 use edgellm::models::{Llm, Precision};
@@ -154,7 +155,10 @@ proptest! {
 
     /// Serve scheduler: every generated token is accounted exactly once
     /// and KV blocks balance at drain — even when a deliberately tiny KV
-    /// pool forces preemption/recompute cycles mid-decode.
+    /// pool forces preemption/recompute cycles mid-decode. The invariants
+    /// themselves live in `edgellm::check::oracles` (shared with the
+    /// `edgellm-check` fuzzing harness); the explicit assertions below
+    /// restate the originals so a regression names the quantity directly.
     #[test]
     fn serve_conserves_tokens_and_kv_under_preemption(
         n in 6usize..16,
@@ -169,9 +173,15 @@ proptest! {
         arr.shape_jitter = 0.0;
         let reqs = arr.generate(n, seed);
         let pool = pool_seqs * 144 * cfg.llm.arch().kv_bytes_per_token();
-        let r = EventScheduler::new(ServeConfig::chunked(8).kv_pool_cap(pool))
-            .run(&dev, &cfg, &reqs)
+        let mut sim = ServeSim::new(ServeConfig::chunked(8).kv_pool_cap(pool), &dev, &cfg, &reqs)
             .unwrap();
+        while let Some(now) = sim.next_event_s() {
+            sim.step(now).unwrap();
+        }
+        let audit = sim.audit();
+        let violations = check_serve(&audit, &reqs);
+        prop_assert!(violations.is_empty(), "oracles: {violations:?}");
+        let r = sim.finish();
         let submitted: u64 = reqs.iter().map(|q| q.output_tokens).sum();
         prop_assert_eq!(r.report.requests, n);
         prop_assert_eq!(r.served_output_tokens, submitted);
@@ -247,7 +257,13 @@ proptest! {
             faults: FaultPlan::none().outage(0, down, down + dur),
             ..FleetConfig::default()
         };
-        let r = run_fleet(members, Box::new(JoinShortestQueue), fc, &reqs).unwrap();
+        let audit = FleetSim::new(members, Box::new(JoinShortestQueue), fc, &reqs)
+            .unwrap()
+            .run_audited()
+            .unwrap();
+        let violations = check_fleet(&audit, &reqs);
+        prop_assert!(violations.is_empty(), "oracles: {violations:?}");
+        let r = &audit.report;
         prop_assert_eq!(r.completed, n, "all requests complete");
         prop_assert_eq!(r.lost, 0);
         prop_assert_eq!(
