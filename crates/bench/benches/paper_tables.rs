@@ -27,7 +27,8 @@ fn print_once(id: &str) {
     let set = guard.as_mut().expect("initialized");
     if set.insert(id.to_string()) {
         drop(guard);
-        let r = run_experiment(id, ExperimentOpts { fast: true }).expect("known id");
+        let r = run_experiment(id, ExperimentOpts { fast: true, ..Default::default() })
+            .expect("known id");
         println!("{}", r.render());
     }
 }

@@ -3,7 +3,7 @@
 //! Three subcommands, no external argument-parsing dependency:
 //!
 //! ```text
-//! edgellm-check run --seed N [--count M]      # fuzz M seeds from N; minimize failures
+//! edgellm-check run --seed N [--count M] [--governor-only]   # fuzz M seeds from N
 //! edgellm-check replay --seed N [--requests 0,3] [--faults 1]   # replay a reproducer
 //! edgellm-check corpus [--file PATH]          # run the regression corpus
 //! ```
@@ -23,13 +23,15 @@ const USAGE: &str = "\
 edgellm-check — deterministic simulation testing for the serving stack
 
 USAGE:
-    edgellm-check run --seed N [--count M]
+    edgellm-check run --seed N [--count M] [--governor-only]
     edgellm-check replay --seed N [--requests I,J,...] [--faults I,J,...]
     edgellm-check corpus [--file PATH]
 
 SUBCOMMANDS:
     run      Expand and run `count` scenarios starting at `seed` (default 1).
              On a violation, minimize and print the replay one-liner.
+             `--governor-only` skips seeds without an online governor (the
+             nightly sweep's governor axis).
     replay   Re-run one scenario, optionally filtered to the given request
              and fault-event indices (a minimized reproducer).
     corpus   Run every seed in the regression corpus (default: built-in).
@@ -91,9 +93,13 @@ fn parse_indices(s: &str, what: &str) -> Result<Vec<usize>, String> {
         .collect()
 }
 
-fn require_known_flags(args: &[String], known: &[&str]) -> Result<(), String> {
+/// `known` flags take a value; `known_bool` flags stand alone.
+fn require_known_flags(args: &[String], known: &[&str], known_bool: &[&str]) -> Result<(), String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        if known_bool.contains(&a.as_str()) {
+            continue;
+        }
         if !known.contains(&a.as_str()) {
             return Err(format!("unexpected argument {a:?}"));
         }
@@ -103,15 +109,19 @@ fn require_known_flags(args: &[String], known: &[&str]) -> Result<(), String> {
 }
 
 fn cmd_run(args: &[String]) -> Result<i32, String> {
-    require_known_flags(args, &["--seed", "--count"])?;
+    require_known_flags(args, &["--seed", "--count"], &["--governor-only"])?;
     let seed = parse_u64(&flag_value(args, "--seed")?.ok_or("run requires --seed")?, "--seed")?;
     let count = match flag_value(args, "--count")? {
         Some(v) => parse_u64(&v, "--count")?,
         None => 1,
     };
+    let governor_only = args.iter().any(|a| a == "--governor-only");
     let mut worst = 0;
     for s in seed..seed.saturating_add(count) {
         let sc = Scenario::from_seed(s);
+        if governor_only && sc.governor.is_none() {
+            continue;
+        }
         println!("{}", sc.describe());
         let out = run_scenario(&sc);
         println!("  {out}");
@@ -131,7 +141,7 @@ fn cmd_run(args: &[String]) -> Result<i32, String> {
 }
 
 fn cmd_replay(args: &[String]) -> Result<i32, String> {
-    require_known_flags(args, &["--seed", "--requests", "--faults"])?;
+    require_known_flags(args, &["--seed", "--requests", "--faults"], &[])?;
     let seed = parse_u64(&flag_value(args, "--seed")?.ok_or("replay requires --seed")?, "--seed")?;
     let keep_requests =
         flag_value(args, "--requests")?.map(|v| parse_indices(&v, "--requests")).transpose()?;
@@ -147,7 +157,7 @@ fn cmd_replay(args: &[String]) -> Result<i32, String> {
 }
 
 fn cmd_corpus(args: &[String]) -> Result<i32, String> {
-    require_known_flags(args, &["--file"])?;
+    require_known_flags(args, &["--file"], &[])?;
     let seeds = match flag_value(args, "--file")? {
         Some(path) => {
             let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
@@ -189,6 +199,17 @@ mod tests {
         assert_eq!(main_with_args(&argv(&["--help"])), 0);
         assert_eq!(main_with_args(&argv(&["run", "--seed", "3"])), 0);
         assert_eq!(main_with_args(&argv(&["replay", "--seed", "3"])), 0);
+    }
+
+    #[test]
+    fn governor_only_filters_ungoverned_seeds() {
+        // A window of seeds wide enough to contain both kinds; the
+        // filtered run must still exit clean and must not reject the
+        // standalone flag.
+        assert_eq!(
+            main_with_args(&argv(&["run", "--seed", "1", "--count", "6", "--governor-only"])),
+            0
+        );
     }
 
     #[test]

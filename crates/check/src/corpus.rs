@@ -13,6 +13,14 @@ use crate::scenario::Scenario;
 /// The checked-in seed list (`corpus/seeds.txt`), verbatim.
 pub const DEFAULT_SEEDS: &str = include_str!("../corpus/seeds.txt");
 
+/// Governor-active seeds appended to the PR-gate smoke matrix: each one
+/// expands with an online power-mode governor attached (ladder, budget
+/// and thermal policies across single-device and fleet shapes) and must
+/// run clean — the governor oracles (`governor-dwell`, `governor-budget`)
+/// are live on every one. Kept as a named constant so the smoke tests
+/// and the CI gate extend the 0..16 matrix by exactly this set.
+pub const GOVERNOR_SMOKE_SEEDS: [u64; 4] = [33, 51, 90, 104];
+
 /// Parse a seeds file: one seed per line, `#` starts a comment, blank
 /// lines ignored. Malformed lines are an error, not silently skipped —
 /// a typo'd seed silently dropped would shrink the regression net.
@@ -60,6 +68,21 @@ mod tests {
         assert_eq!(parse_seeds("# only comments\n\n  \n").unwrap(), Vec::<u64>::new());
         assert_eq!(parse_seeds("7 # trailing\n12\n").unwrap(), vec![7, 12]);
         assert!(parse_seeds("7\nnot-a-seed\n").is_err());
+    }
+
+    #[test]
+    fn governor_smoke_seeds_are_governed_varied_and_in_corpus() {
+        let seeds = default_seeds();
+        let mut policies = Vec::new();
+        for &s in &GOVERNOR_SMOKE_SEEDS {
+            assert!(seeds.contains(&s), "governor smoke seed {s} belongs in the corpus file");
+            let sc = Scenario::from_seed(s);
+            let g = sc.governor.expect("governor smoke seed expands with a governor");
+            if !policies.contains(&std::mem::discriminant(&g)) {
+                policies.push(std::mem::discriminant(&g));
+            }
+        }
+        assert!(policies.len() >= 3, "smoke seeds cover ladder, budget and thermal policies");
     }
 
     #[test]

@@ -7,16 +7,19 @@
 //!
 //! * [`scenario`] expands a seed into a complete scenario — workload
 //!   (arrival process, prompt/output shapes drawn via `edgellm-corpus`),
-//!   device/fleet topology, and a fault plan (outages, KV shrinks, power
-//!   flips, cancellations, clock skew);
+//!   device/fleet topology, a fault plan (outages, KV shrinks, power
+//!   flips, cancellations, clock skew), and — on a third of seeds — an
+//!   online power-mode governor (ladder, energy-budget or thermal
+//!   policy) driving mode changes through the whole run;
 //! * [`runner`] executes the scenario and classifies the outcome:
 //!   [`Outcome::Clean`], a legitimate [`Outcome::Rejected`] configuration
 //!   (e.g. a prompt larger than the KV pool), or [`Outcome::Violated`]
 //!   with the failing invariants;
 //! * [`oracles`] holds the invariant library — token conservation, KV
 //!   accounting, request conservation across preemption and re-routing,
-//!   energy = ∫ power, monotone event ordering, trace well-nestedness —
-//!   reused by the workspace's property tests;
+//!   energy = ∫ power, monotone event ordering, trace well-nestedness,
+//!   governor dwell-floor and energy-budget contracts — reused by the
+//!   workspace's property tests;
 //! * [`shrink`] greedily minimizes a failing scenario to a small
 //!   reproducer replayable from a printed one-liner;
 //! * [`corpus`] runs the checked-in regression corpus of seeds.

@@ -22,10 +22,16 @@
 //!   per-iteration `power × dt` within float tolerance.
 //! * **monotone events** — iteration timestamps never rewind and spans
 //!   never overlap (well-nestedness); per request, `0 ≤ ttft ≤ latency`.
+//! * **governor contracts** — applied mode changes respect the
+//!   min-dwell/hysteresis floor, and an energy-budget policy never lets
+//!   the deficit outrun its burst reserve plus the control loop's
+//!   reaction slack (via the `edgellm-governor` verifiers, so the check
+//!   harness and the experiments assert the same thing).
 
 use edgellm_core::serve::ServeAudit;
-use edgellm_core::Request;
+use edgellm_core::{IterationTrace, Request};
 use edgellm_fleet::FleetAudit;
+use edgellm_governor::{verify_budget, verify_min_dwell, GovernorAudit};
 use std::collections::{HashMap, HashSet};
 
 /// Relative tolerance for the energy-integral oracle: the integral and
@@ -248,6 +254,19 @@ pub fn monotone_events(audit: &ServeAudit, out: &mut Vec<Violation>) {
     }
 }
 
+/// Governor invariants over one governed device's run: the
+/// min-dwell/hysteresis contract on the decision log, and — when the
+/// policy meters energy — the budget-never-exceeded contract against
+/// the device's iteration trace.
+pub fn check_governor(gov: &GovernorAudit, trace: &[IterationTrace], out: &mut Vec<Violation>) {
+    if let Err(detail) = verify_min_dwell(gov) {
+        violation(out, "governor-dwell", format!("policy {}: {}", gov.policy, detail));
+    }
+    if let Err(detail) = verify_budget(gov, trace) {
+        violation(out, "governor-budget", format!("policy {}: {}", gov.policy, detail));
+    }
+}
+
 /// Every invariant that must hold for a finished fleet run: each member's
 /// device-level invariants, plus the cross-device ones — fleet-wide
 /// request conservation with loss and cancellation folded in, no
@@ -462,6 +481,51 @@ mod tests {
         audit.completions[0].ttft_s = 3.0; // past latency 2.0
         let v = check_serve(&audit, &[req(0, 8)]);
         assert!(v.iter().any(|x| x.oracle == "monotone-events"), "{v:?}");
+    }
+
+    #[test]
+    fn governor_oracles_fire_on_flapping_and_sustained_overrun() {
+        use edgellm_core::IterPhase;
+        use edgellm_governor::{BudgetAudit, ModeChange};
+        let change =
+            |t_s: f64, from: usize, to: usize| ModeChange { t_s, from, to, mode: "m".to_string() };
+        let gov = |decisions: Vec<ModeChange>, budget: Option<BudgetAudit>| GovernorAudit {
+            policy: "test".to_string(),
+            min_dwell_s: 1.0,
+            rung_names: vec!["low".into(), "high".into()],
+            initial: 1,
+            decisions,
+            budget,
+        };
+        let mut v = Vec::new();
+        check_governor(&gov(vec![change(0.0, 1, 0), change(0.2, 0, 1)], None), &[], &mut v);
+        assert!(v.iter().any(|x| x.oracle == "governor-dwell"), "{v:?}");
+        let budget = BudgetAudit {
+            cap_w: 10.0,
+            burst_j: 5.0,
+            engaged_t_s: 0.0,
+            engaged_energy_j: 0.0,
+            ceiling_peak_w: 30.0,
+        };
+        let sustained: Vec<IterationTrace> = (1..=5)
+            .map(|k| IterationTrace {
+                t_s: k as f64,
+                dt_s: 1.0,
+                phase: IterPhase::Decode,
+                decoding: 1,
+                prefilling: 0,
+                kv_blocks_used: 1,
+                kv_blocks_total: 4,
+                power_w: 30.0,
+                tokens: 1,
+            })
+            .collect();
+        let mut v = Vec::new();
+        check_governor(&gov(Vec::new(), Some(budget)), &sustained, &mut v);
+        assert!(v.iter().any(|x| x.oracle == "governor-budget"), "{v:?}");
+        let mut v = Vec::new();
+        check_governor(&gov(vec![change(0.0, 1, 0)], None), &sustained, &mut v);
+        assert!(v.is_empty(), "clean governed run raises nothing: {v:?}");
     }
 
     #[test]

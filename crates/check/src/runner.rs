@@ -19,6 +19,7 @@ use crate::scenario::{policy, Scenario, Shape};
 use edgellm_core::serve::ServeAudit;
 use edgellm_core::ServeSim;
 use edgellm_fleet::{FaultKind, FleetSim};
+use edgellm_governor::{Governor, GovernorAudit};
 use edgellm_hw::PowerModeRegistry;
 
 /// Order-sensitive FNV-1a over the run's observable telemetry. Stable
@@ -66,6 +67,15 @@ impl Digest {
             self.f64(it.power_w);
             self.u64(it.kv_blocks_used as u64);
             self.u64(it.tokens);
+        }
+    }
+
+    fn governor(&mut self, g: &GovernorAudit) {
+        self.u64(g.decisions.len() as u64);
+        for c in &g.decisions {
+            self.f64(c.t_s);
+            self.u64(c.from as u64);
+            self.u64(c.to as u64);
         }
     }
 }
@@ -180,6 +190,9 @@ fn run_single(sc: &Scenario) -> Outcome {
         Ok(s) => s,
         Err(e) => return Outcome::Rejected(e.to_string()),
     };
+    let mut gov = sc.governor.map(|g| {
+        Governor::new(g.policy(spec), &device, run_cfg.llm, run_cfg.precision, &run_cfg.power_mode)
+    });
     let registry = PowerModeRegistry::stock_for(device.clone());
     let events = sc.faults.events();
     let mut fi = 0usize;
@@ -190,29 +203,42 @@ fn run_single(sc: &Scenario) -> Outcome {
             (None, None) => break,
             // Knobs fire first at ties, mirroring the fleet's event order.
             (Some(t), Some(ft)) if ft <= t => {
-                apply_knob(&mut sim, &registry, events[fi].kind);
+                apply_knob(&mut sim, &registry, events[fi].kind, events[fi].t_s);
+                resync_after_flip(&sc.shape, &sim, &mut gov, events[fi].kind);
                 fi += 1;
             }
             (Some(t), _) => {
-                if let Err(e) = sim.step(t) {
+                let stepped = match &mut gov {
+                    Some(g) => sim.step_governed(t, g),
+                    None => sim.step(t),
+                };
+                if let Err(e) = stepped {
                     return Outcome::Rejected(e.to_string());
                 }
             }
             (None, Some(_)) => {
                 // Drained before the knob's instant: late cancels and
                 // shrinks are no-ops, but still fire for determinism.
-                apply_knob(&mut sim, &registry, events[fi].kind);
+                apply_knob(&mut sim, &registry, events[fi].kind, events[fi].t_s);
+                resync_after_flip(&sc.shape, &sim, &mut gov, events[fi].kind);
                 fi += 1;
             }
         }
     }
     let audit = sim.audit();
-    let violations = oracles::check_serve(&audit, &sc.requests);
+    let gov_audit = gov.as_ref().map(|g| g.audit());
+    let mut violations = oracles::check_serve(&audit, &sc.requests);
+    if let Some(ga) = &gov_audit {
+        oracles::check_governor(ga, &audit.trace, &mut violations);
+    }
     if !violations.is_empty() {
         return Outcome::Violated(violations);
     }
     let mut d = Digest::new();
     d.audit(&audit);
+    if let Some(ga) = &gov_audit {
+        d.governor(ga);
+    }
     Outcome::Clean(RunStats {
         completed: audit.completions.len(),
         cancelled: audit.cancelled.len(),
@@ -225,10 +251,27 @@ fn run_single(sc: &Scenario) -> Outcome {
     })
 }
 
+/// After a scripted power flip, re-base the single-device governor on
+/// the simulation's actual mode (the fleet does the equivalent inside
+/// its own `power_flip`).
+fn resync_after_flip(shape: &Shape, sim: &ServeSim, gov: &mut Option<Governor>, kind: FaultKind) {
+    let (Some(g), FaultKind::PowerFlip { .. }) = (gov.as_mut(), kind) else {
+        return;
+    };
+    let Shape::Single(spec) = shape else {
+        unreachable!("single-device knob path");
+    };
+    let run_cfg = spec.run_cfg();
+    g.resync(&spec.device(), run_cfg.llm, run_cfg.precision, sim.power_mode());
+}
+
 /// Apply one knob event to a directly-driven [`ServeSim`]. Outages are
 /// fleet-level concepts and are never generated for single scenarios;
-/// they no-op here for robustness under shrinking.
-fn apply_knob(sim: &mut ServeSim, registry: &PowerModeRegistry, kind: FaultKind) {
+/// they no-op here for robustness under shrinking. `t_s` is the knob's
+/// scheduled instant: a power flip idles the device up to it first so
+/// the pre-flip stretch is billed at the old mode's power (exact
+/// energy splitting).
+fn apply_knob(sim: &mut ServeSim, registry: &PowerModeRegistry, kind: FaultKind, t_s: f64) {
     match kind {
         FaultKind::KvShrink { permille } => {
             let total = sim.kv_total_blocks();
@@ -240,7 +283,7 @@ fn apply_knob(sim: &mut ServeSim, registry: &PowerModeRegistry, kind: FaultKind)
         FaultKind::PowerFlip { index } => {
             let idx = index as usize % registry.len().max(1);
             let mode = registry.iter().nth(idx).expect("index in range").clone();
-            sim.set_power_mode(&mode).expect("stock mode validates on its own device");
+            sim.set_power_mode_at(&mode, t_s).expect("stock mode validates on its own device");
         }
         FaultKind::Cancel { rid } => {
             sim.cancel(rid);
@@ -258,8 +301,17 @@ fn run_fleet(sc: &Scenario) -> Outcome {
         Shape::Fleet { members, policy, .. } => (members, *policy),
         Shape::Single(_) => unreachable!("caller matched"),
     };
-    let devices: Vec<_> =
-        members.iter().enumerate().map(|(i, m)| m.fleet_device(format!("dev-{i}"))).collect();
+    let devices: Vec<_> = members
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let mut d = m.fleet_device(format!("dev-{i}"));
+            if let Some(g) = &sc.governor {
+                d = d.governed(g.policy(m));
+            }
+            d
+        })
+        .collect();
     let cfg = sc.fleet_config().expect("fleet shape");
     let sim = match FleetSim::new(devices, policy(policy_idx), cfg, &sc.requests) {
         Ok(s) => s,
@@ -269,13 +321,21 @@ fn run_fleet(sc: &Scenario) -> Outcome {
         Ok(a) => a,
         Err(e) => return Outcome::Rejected(e.to_string()),
     };
-    let violations = oracles::check_fleet(&audit, &sc.requests);
+    let mut violations = oracles::check_fleet(&audit, &sc.requests);
+    for (i, ga) in audit.governors.iter().enumerate() {
+        if let Some(ga) = ga {
+            oracles::check_governor(ga, &audit.devices[i].trace, &mut violations);
+        }
+    }
     if !violations.is_empty() {
         return Outcome::Violated(violations);
     }
     let mut d = Digest::new();
     for dev in &audit.devices {
         d.audit(dev);
+    }
+    for ga in audit.governors.iter().flatten() {
+        d.governor(ga);
     }
     for &(t, _) in &audit.router_log {
         d.f64(t);
@@ -309,8 +369,9 @@ mod tests {
 
     #[test]
     fn smoke_seed_matrix_is_clean() {
-        // The PR-gate matrix: no seed in 0..16 may violate an invariant.
-        for seed in 0..16u64 {
+        // The PR-gate matrix: no seed in 0..16, nor any of the
+        // governor-active smoke seeds, may violate an invariant.
+        for seed in (0..16u64).chain(crate::corpus::GOVERNOR_SMOKE_SEEDS) {
             let out = run_scenario(&Scenario::from_seed(seed));
             assert!(!out.is_violation(), "seed {seed}: {out}");
         }

@@ -14,6 +14,9 @@ use edgellm_fleet::routing::{
     EnergyGreedy, JoinShortestQueue, LeastKvPressure, RoundRobin, RoutingPolicy, SloAware,
 };
 use edgellm_fleet::{FaultPlan, FleetConfig, FleetDevice};
+use edgellm_governor::{
+    EnergyBudget, GovernorPolicy, HystereticLadder, ModeLadder, SloSpec, ThermalHeadroom,
+};
 use edgellm_hw::DeviceSpec;
 use edgellm_models::{Llm, Precision};
 use edgellm_power::ThermalModel;
@@ -79,6 +82,67 @@ pub fn policy(idx: usize) -> Box<dyn RoutingPolicy> {
     }
 }
 
+/// Online power-mode governor attached to a scenario (the single
+/// device, or every fleet member). Parameters are stored in
+/// device-relative terms — the budget cap is a multiple of the floor
+/// rung's peak power — so one spec is feasible on every generated
+/// device/precision combo.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GovernorSpec {
+    /// Hysteretic SLO ladder defending the given targets.
+    Ladder {
+        /// TTFT target (s).
+        ttft_s: f64,
+        /// TBT target (s).
+        tbt_s: f64,
+    },
+    /// Energy-budget enforcer. `cap_w = floor-rung peak × cap_factor`
+    /// (always > the floor's peak, so the floor is always feasible);
+    /// burst reserve is `burst_s` seconds at the cap line.
+    Budget {
+        /// Cap as a multiple of the floor rung's peak power (> 1).
+        cap_factor: f64,
+        /// Burst reserve, in seconds at the cap line.
+        burst_s: f64,
+    },
+    /// Thermal-headroom governor defending `margin_c` below the trip
+    /// limit (the member's enclosure model, or the passive-AGX default).
+    Thermal {
+        /// Headroom kept below the trip limit (°C).
+        margin_c: f64,
+    },
+}
+
+impl GovernorSpec {
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GovernorSpec::Ladder { .. } => "ladder",
+            GovernorSpec::Budget { .. } => "budget",
+            GovernorSpec::Thermal { .. } => "thermal",
+        }
+    }
+
+    /// Materialize the policy for one member.
+    pub fn policy(&self, member: &MemberSpec) -> Box<dyn GovernorPolicy> {
+        match *self {
+            GovernorSpec::Ladder { ttft_s, tbt_s } => {
+                Box::new(HystereticLadder::new(SloSpec { ttft_s, tbt_s }))
+            }
+            GovernorSpec::Budget { cap_factor, burst_s } => {
+                let run_cfg = member.run_cfg();
+                let ladder = ModeLadder::stock(&member.device(), run_cfg.llm, run_cfg.precision);
+                let cap_w = ladder.rung(0).cost.peak_power_w * cap_factor;
+                Box::new(EnergyBudget::new(cap_w).burst(burst_s * cap_w))
+            }
+            GovernorSpec::Thermal { margin_c } => {
+                let model = member.thermal.unwrap_or_else(ThermalModel::orin_agx_passive);
+                Box::new(ThermalHeadroom::new(model, margin_c))
+            }
+        }
+    }
+}
+
 /// Scenario topology: one steppable device, or a routed fleet.
 #[derive(Debug, Clone)]
 pub enum Shape {
@@ -111,6 +175,9 @@ pub struct Scenario {
     pub faults: FaultPlan,
     /// Topology.
     pub shape: Shape,
+    /// Online power-mode governor (attached to every device), when the
+    /// seed drew one.
+    pub governor: Option<GovernorSpec>,
 }
 
 fn member_spec(rng: &mut StdRng) -> MemberSpec {
@@ -165,6 +232,27 @@ fn fault_plan(rng: &mut StdRng, requests: &[Request], n_devices: usize, fleet: b
     plan
 }
 
+/// The governor dimension, drawn *after* every other draw in
+/// [`Scenario::from_seed`] so pre-governor seeds keep their requests,
+/// topology, and fault plans verbatim. Roughly a third of seeds run
+/// governed.
+fn governor_spec(rng: &mut StdRng) -> Option<GovernorSpec> {
+    if rng.gen_range(0u32..3) != 0 {
+        return None;
+    }
+    Some(match rng.gen_range(0u32..3) {
+        0 => GovernorSpec::Ladder {
+            ttft_s: rng.gen_range(5.0..30.0),
+            tbt_s: rng.gen_range(0.3..1.5),
+        },
+        1 => GovernorSpec::Budget {
+            cap_factor: rng.gen_range(1.15..1.8),
+            burst_s: rng.gen_range(1.0..4.0),
+        },
+        _ => GovernorSpec::Thermal { margin_c: rng.gen_range(4.0..12.0) },
+    })
+}
+
 impl Scenario {
     /// Expand `seed` into a complete scenario. Deterministic: the same
     /// seed always yields the same scenario, on any host.
@@ -173,10 +261,17 @@ impl Scenario {
         let arrivals = workload::pick_shape(&mut rng);
         let n = rng.gen_range(4usize..=32);
         let requests = workload::generate(&mut rng, n, arrivals).requests;
-        if rng.gen_range(0u32..10) < 4 {
+        let mut sc = if rng.gen_range(0u32..10) < 4 {
             let spec = member_spec(&mut rng);
             let faults = fault_plan(&mut rng, &requests, 1, false);
-            Scenario { seed, arrivals, requests, faults, shape: Shape::Single(spec) }
+            Scenario {
+                seed,
+                arrivals,
+                requests,
+                faults,
+                shape: Shape::Single(spec),
+                governor: None,
+            }
         } else {
             let n_devices = rng.gen_range(2usize..=3);
             let members: Vec<MemberSpec> = (0..n_devices).map(|_| member_spec(&mut rng)).collect();
@@ -190,8 +285,11 @@ impl Scenario {
                 requests,
                 faults,
                 shape: Shape::Fleet { members, policy, cloud, slo_s },
+                governor: None,
             }
-        }
+        };
+        sc.governor = governor_spec(&mut rng);
+        sc
     }
 
     /// The fleet config for a fleet-shaped scenario.
@@ -217,13 +315,18 @@ impl Scenario {
                 if *cloud { ", cloud" } else { "" }
             ),
         };
+        let gov = match &self.governor {
+            Some(g) => format!(", governor {}", g.name()),
+            None => String::new(),
+        };
         format!(
-            "seed {}: {:?} × {} requests, {} fault events, {}",
+            "seed {}: {:?} × {} requests, {} fault events, {}{}",
             self.seed,
             self.arrivals,
             self.requests.len(),
             self.faults.events().len(),
-            topo
+            topo,
+            gov
         )
     }
 }

@@ -39,7 +39,6 @@ pub mod metrics;
 pub mod offload;
 pub mod perplexity;
 pub mod phase_split;
-pub mod pmsearch;
 pub mod protocol;
 pub mod scheduler;
 pub mod serve;
@@ -53,10 +52,9 @@ pub use metrics::{quantile, BatchMetrics, RunMetrics};
 pub use offload::{compare as compare_offload, CloudEndpoint, OffloadComparison};
 pub use perplexity::{sliding_window_perplexity, PerplexityReport, STRIDE, WINDOW};
 pub use phase_split::{phase_split, PhaseSplit};
-pub use pmsearch::{search_power_modes, SearchConstraints, SearchResult};
 pub use protocol::Protocol;
 pub use scheduler::{ServingReport, StaticBatcher};
 pub use serve::{
-    Completion, EventScheduler, IterPhase, IterationTrace, PrefillPolicy, ServeAudit, ServeConfig,
-    ServeRun, ServeSim,
+    Completion, EventScheduler, GovernorHook, GovernorObs, IterPhase, IterationTrace, NullGovernor,
+    PrefillPolicy, ServeAudit, ServeConfig, ServeRun, ServeSim,
 };

@@ -32,11 +32,13 @@
 //! ```
 
 pub mod adapter;
+pub mod governor;
 pub mod scheduler;
 pub mod sim;
 pub mod trace;
 
 pub use adapter::record_serve_run;
+pub use governor::{GovernorHook, GovernorObs, NullGovernor};
 pub use scheduler::{
     EventScheduler, PrefillPolicy, ServeConfig, ServeRun, DEFAULT_CHUNK_TOKENS, KV_BLOCK_TOKENS,
 };

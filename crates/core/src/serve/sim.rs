@@ -29,6 +29,7 @@ use crate::arrivals::Request;
 use crate::config::RunConfig;
 use crate::continuous::ContinuousReport;
 use crate::error::RunError;
+use crate::serve::governor::{GovernorHook, GovernorObs};
 use crate::serve::scheduler::{PrefillPolicy, ServeConfig, ServeRun, KV_BLOCK_TOKENS};
 use crate::serve::trace::{IterPhase, IterationTrace};
 use edgellm_hw::{ClockState, DeviceSpec, PowerMode};
@@ -803,6 +804,93 @@ impl ServeSim {
         Ok(())
     }
 
+    /// Flip the power mode at a known wall-clock instant, splitting the
+    /// energy integral at the change.
+    ///
+    /// [`ServeSim::set_power_mode`] alone rebuilds the operating point
+    /// but leaves the clock where it was — if the simulation is
+    /// quiescent at `t < t_s`, the next step would bill the entire gap
+    /// `[t, next]` at the *new* idle power, misattributing the
+    /// `[t, t_s]` portion. This variant first advances a quiescent
+    /// clock to `t_s` via [`ServeSim::idle_to`] (billing that stretch at
+    /// the old mode's idle power, with its own trace entry) and only
+    /// then flips, so `energy == Σ power·dt` holds exactly across the
+    /// change. While sequences are live the local clock is already at or
+    /// beyond any externally observed instant, so the flip lands on the
+    /// current iteration boundary unchanged.
+    pub fn set_power_mode_at(&mut self, pm: &PowerMode, t_s: f64) -> Result<(), RunError> {
+        self.idle_to(t_s);
+        self.set_power_mode(pm)
+    }
+
+    /// The power mode currently in effect (tracks mid-run flips).
+    pub fn power_mode(&self) -> &PowerMode {
+        &self.run_cfg.power_mode
+    }
+
+    /// Build a governor telemetry snapshot at the current iteration
+    /// boundary. `since_iter` is the trace length before the step whose
+    /// boundary this is (its appended entries become [`GovernorObs::iters`]);
+    /// `temp_c` carries a thermal guard's junction estimate when the
+    /// driver has one.
+    pub fn observe(&self, since_iter: usize, temp_c: Option<f64>) -> GovernorObs<'_> {
+        // Pre-submitted traces keep future arrivals in `pending`; they
+        // are not queue pressure until their arrival instant, so the
+        // governor must not see them (a policy watching depth would
+        // otherwise pin the ceiling for the whole run).
+        let arrived = self.pending.iter().filter(|j| j.arrival_s <= self.t);
+        let mut queued = 0usize;
+        let mut oldest: Option<f64> = None;
+        for j in arrived {
+            queued += 1;
+            oldest = Some(match oldest {
+                Some(a) => a.min(j.arrival_s),
+                None => j.arrival_s,
+            });
+        }
+        for s in &self.live {
+            if s.job.ttft_s.is_none() {
+                oldest = Some(match oldest {
+                    Some(a) => a.min(s.job.arrival_s),
+                    None => s.job.arrival_s,
+                });
+            }
+        }
+        GovernorObs {
+            now_s: self.t,
+            queue_depth: queued + self.live.len(),
+            live: self.live.len(),
+            backlog_tokens: self.backlog_tokens(),
+            kv_occupancy: self.kv_occupancy(),
+            energy_j: self.energy_j,
+            oldest_wait_s: oldest.map(|a| (self.t - a).max(0.0)).unwrap_or(0.0),
+            mode: &self.run_cfg.power_mode.name,
+            temp_c,
+            iters: &self.trace[since_iter.min(self.trace.len())..],
+        }
+    }
+
+    /// One scheduler turn under a governor: [`ServeSim::step`], then —
+    /// if the turn produced any trace entries — consult `hook` with the
+    /// boundary snapshot and apply a requested mode change on the spot.
+    ///
+    /// Because the consultation happens exactly at the iteration
+    /// boundary (the local clock equals the last billed instant), the
+    /// flip needs no retroactive energy split: every iteration is billed
+    /// entirely under the mode that was active while it ran.
+    pub fn step_governed(&mut self, now: f64, hook: &mut dyn GovernorHook) -> Result<(), RunError> {
+        let mark = self.trace.len();
+        self.step(now)?;
+        if self.trace.len() == mark {
+            return Ok(());
+        }
+        let decision = hook.on_iteration(&self.observe(mark, None));
+        if let Some(pm) = decision {
+            self.set_power_mode(&pm)?;
+        }
+        Ok(())
+    }
+
     /// Requests submitted so far (completed or not).
     pub fn submitted(&self) -> usize {
         self.submitted
@@ -1269,6 +1357,120 @@ mod tests {
         assert!(
             (flipped.now() - stock.now()).abs() > 1e-9,
             "a mid-run clock change must move the makespan"
+        );
+    }
+
+    /// The stock mode (≠ current) whose idle power differs most from the
+    /// current mode's — a flip between the two must move the idle rate.
+    fn lowest_idle_mode(dev: &DeviceSpec, cfg: &RunConfig) -> PowerMode {
+        let rails = RailModel::orin_agx(dev.clone());
+        let here = rails.total_w(&cfg.power_mode.clocks, &LoadProfile::idle());
+        edgellm_hw::PowerModeRegistry::stock_for(dev.clone())
+            .iter()
+            .filter(|m| m.name != cfg.power_mode.name)
+            .max_by(|a, b| {
+                let da = (rails.total_w(&a.clocks, &LoadProfile::idle()) - here).abs();
+                let db = (rails.total_w(&b.clocks, &LoadProfile::idle()) - here).abs();
+                da.partial_cmp(&db).unwrap()
+            })
+            .expect("stock registry has >1 mode")
+            .clone()
+    }
+
+    /// Satellite regression: `energy == ∫ power` to 1e-9 across a mode
+    /// flip landing *inside* an idle gap. `set_power_mode` alone leaves a
+    /// quiescent clock behind the flip instant, so the next step would
+    /// bill the whole gap at the new idle power; `set_power_mode_at`
+    /// splits the integral at the change.
+    #[test]
+    fn mid_gap_mode_flip_splits_the_energy_integral() {
+        let (dev, cfg) = setup();
+        // Two requests separated by a long quiet gap.
+        let reqs = vec![
+            Request { id: 0, arrival_s: 0.0, input_tokens: 32, output_tokens: 8 },
+            Request { id: 1, arrival_s: 30.0, input_tokens: 32, output_tokens: 8 },
+        ];
+        let slow = lowest_idle_mode(&dev, &cfg);
+        let mut sim = ServeSim::new(ServeConfig::chunked(16), &dev, &cfg, &reqs).unwrap();
+        // Drain the first request; the sim goes quiescent well before t=30.
+        while sim.completions().is_empty() {
+            let now = sim.next_event_s().unwrap();
+            sim.step(now).unwrap();
+        }
+        let t_flip = sim.now() + 10.0;
+        assert!(t_flip < 30.0, "flip lands inside the idle gap");
+        let idle_old = sim.idle_power;
+        sim.set_power_mode_at(&slow, t_flip).unwrap();
+        let idle_new = sim.idle_power;
+        assert!(
+            (idle_old - idle_new).abs() > 1e-12,
+            "modes with different clocks idle at different power"
+        );
+        // The old-mode stretch got its own trace entry at old idle power.
+        let gap_entry = *sim.trace().last().unwrap();
+        assert_eq!(gap_entry.phase, IterPhase::Idle);
+        assert!((gap_entry.t_s - t_flip).abs() < 1e-12);
+        assert!((gap_entry.power_w - idle_old).abs() < 1e-12);
+        while let Some(now) = sim.next_event_s() {
+            sim.step(now).unwrap();
+        }
+        assert_eq!(sim.completions().len(), 2);
+        // The pinned invariant: total energy equals the trace integral to
+        // 1e-9 relative — every instant billed under the mode active then.
+        let integral: f64 = sim.trace().iter().map(|it| it.power_w * it.dt_s).sum();
+        let e = sim.energy_j();
+        assert!(
+            (e - integral).abs() <= 1e-9 * (1.0 + e.abs() + integral.abs()),
+            "energy {e} != trace integral {integral}"
+        );
+        // And the new-mode stretch of the gap was billed at the new idle
+        // power: find the idle entry covering (t_flip, 30].
+        let tail_gap = sim
+            .trace()
+            .iter()
+            .find(|it| it.phase == IterPhase::Idle && it.t_s > t_flip)
+            .expect("remainder of the gap billed separately");
+        assert!((tail_gap.power_w - idle_new).abs() < 1e-12);
+    }
+
+    /// The same flip applied via bare `set_power_mode` misattributes the
+    /// old-mode stretch — pinning the bug the `_at` variant fixes (the
+    /// totals differ by exactly the gap-length × idle-power delta).
+    #[test]
+    fn bare_set_power_mode_misattributes_the_gap() {
+        let (dev, cfg) = setup();
+        let reqs = vec![
+            Request { id: 0, arrival_s: 0.0, input_tokens: 32, output_tokens: 8 },
+            Request { id: 1, arrival_s: 30.0, input_tokens: 32, output_tokens: 8 },
+        ];
+        let slow = lowest_idle_mode(&dev, &cfg);
+        let mut split = ServeSim::new(ServeConfig::chunked(16), &dev, &cfg, &reqs).unwrap();
+        let mut bare = ServeSim::new(ServeConfig::chunked(16), &dev, &cfg, &reqs).unwrap();
+        while split.completions().is_empty() {
+            let now = split.next_event_s().unwrap();
+            split.step(now).unwrap();
+            let now = bare.next_event_s().unwrap();
+            bare.step(now).unwrap();
+        }
+        let t_flip = split.now() + 10.0;
+        let idle_old = split.idle_power;
+        split.set_power_mode_at(&slow, t_flip).unwrap();
+        bare.set_power_mode(&slow).unwrap();
+        let idle_new = bare.idle_power;
+        while let Some(now) = split.next_event_s() {
+            split.step(now).unwrap();
+        }
+        while let Some(now) = bare.next_event_s() {
+            bare.step(now).unwrap();
+        }
+        // Identical completions, different energy: the bare flip billed
+        // the 10 s old-mode stretch at the new idle power.
+        assert_eq!(split.completions().len(), bare.completions().len());
+        let expected_delta = 10.0 * (idle_old - idle_new);
+        let delta = split.energy_j() - bare.energy_j();
+        assert!(
+            (delta - expected_delta).abs() <= 1e-9 * (1.0 + expected_delta.abs()),
+            "delta {delta} != gap misattribution {expected_delta}"
         );
     }
 }

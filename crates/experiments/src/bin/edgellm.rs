@@ -15,14 +15,19 @@
 //! preemption and routing instants — and one Chrome trace-event JSON
 //! file is written at exit. Load it in Perfetto or `chrome://tracing`.
 
-use edgellm_experiments::runner::{list_experiments, run_experiment, ExperimentOpts};
+use edgellm_experiments::runner::{
+    list_experiments, run_experiment, ExperimentOpts, GovernorChoice,
+};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  edgellm list\n  edgellm run <id> [--fast] [--csv <dir>] [--trace-out <path>]\n  \
+        "usage:\n  edgellm list\n  edgellm run <id> [--fast] [--csv <dir>] [--trace-out <path>] \
+         [--governor <policy>]\n  \
          edgellm all [--fast] [--csv <dir>] [--json <dir>] [--trace-out <path>]\n\n\
-         EDGELLM_TRACE=<path> is an environment fallback for --trace-out.\n\nids:"
+         EDGELLM_TRACE=<path> is an environment fallback for --trace-out.\n\
+         --governor ladder|budget|thermal picks the online policy ext-governor\n\
+         exports to the trace (default: ladder).\n\nids:"
     );
     for (id, desc) in list_experiments() {
         eprintln!("  {id:<6} {desc}");
@@ -50,11 +55,24 @@ fn main() -> ExitCode {
         .cloned()
         .or_else(|| std::env::var("EDGELLM_TRACE").ok())
         .map(std::path::PathBuf::from);
+    let governor = match args.iter().position(|a| a == "--governor").map(|i| args.get(i + 1)) {
+        None => GovernorChoice::default(),
+        Some(Some(v)) => match v.parse::<GovernorChoice>() {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("{e}");
+                return usage();
+            }
+        },
+        Some(None) => return usage(),
+    };
     // Flag values look positional; drop each option's value token.
     let consumed: Vec<usize> = args
         .iter()
         .enumerate()
-        .filter(|(_, a)| *a == "--csv" || *a == "--json" || *a == "--trace-out")
+        .filter(|(_, a)| {
+            *a == "--csv" || *a == "--json" || *a == "--trace-out" || *a == "--governor"
+        })
         .map(|(i, _)| i + 1)
         .collect();
     let positional: Vec<&String> = args
@@ -68,7 +86,7 @@ fn main() -> ExitCode {
         edgellm_trace::sink::enable();
     }
 
-    let opts = ExperimentOpts { fast };
+    let opts = ExperimentOpts { fast, governor };
     let ids: Vec<String> = match cmd.as_str() {
         "list" => {
             for (id, desc) in list_experiments() {

@@ -6,9 +6,9 @@
 use crate::batch_sweep::serving_precision;
 use crate::report::{Check, ExperimentResult, Table};
 use edgellm_core::{
-    compare_offload, search_power_modes, CloudEndpoint, ContinuousBatcher, Engine, PoissonArrivals,
-    RunConfig, SearchConstraints,
+    compare_offload, CloudEndpoint, ContinuousBatcher, Engine, PoissonArrivals, RunConfig,
 };
+use edgellm_governor::{search_power_modes, SearchConstraints};
 use edgellm_hw::DeviceSpec;
 use edgellm_models::{Llm, Precision};
 use edgellm_perf::{ModelCalib, PerfModel};

@@ -23,9 +23,12 @@
 //! [`extensions`]: `ext-engine` (optimized-engine headroom), `ext-devices`
 //! (Jetson family sweep), `ext-serving` (continuous vs static batching)
 //! and `ext-pmsearch` (minimum-energy DVFS search). `ext-chunked`
-//! ([`serve`]) compares the event-driven scheduler's prefill policies, and
+//! ([`serve`]) compares the event-driven scheduler's prefill policies,
 //! `ext-fleet` ([`fleet`]) serves one request stream across a
-//! heterogeneous multi-device fleet with routing, faults and offload.
+//! heterogeneous multi-device fleet with routing, faults and offload,
+//! and `ext-governor` ([`governor`]) pits online power-mode governors
+//! (hysteretic SLO ladder, energy budget, thermal headroom) against
+//! every static mode on steady, bursty and adversarial arrivals.
 //!
 //! Run them through the `edgellm` binary (`edgellm run fig1`,
 //! `edgellm all`) or the [`runner`] API.
@@ -35,6 +38,7 @@ pub mod calibration;
 pub mod extensions;
 pub mod figviz;
 pub mod fleet;
+pub mod governor;
 pub mod paper;
 pub mod perplexity;
 pub mod power_energy;

@@ -4,11 +4,39 @@ use crate::report::ExperimentResult;
 use edgellm_core::{Dataset, Protocol};
 use edgellm_models::Llm;
 
+/// Which online policy `ext-governor` exports to the trace sink.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum GovernorChoice {
+    /// The hysteretic SLO ladder (the headline policy).
+    #[default]
+    Ladder,
+    /// The energy-budget enforcer.
+    Budget,
+    /// The thermal-headroom governor.
+    Thermal,
+}
+
+impl std::str::FromStr for GovernorChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "ladder" => Ok(GovernorChoice::Ladder),
+            "budget" => Ok(GovernorChoice::Budget),
+            "thermal" => Ok(GovernorChoice::Thermal),
+            other => Err(format!("unknown governor policy {other:?} (ladder|budget|thermal)")),
+        }
+    }
+}
+
 /// Options shared by all drivers.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExperimentOpts {
     /// Use the quick protocol and trimmed training (smoke mode).
     pub fast: bool,
+    /// Policy whose governed run `ext-governor` records to the trace
+    /// sink (`--governor ladder|budget|thermal`).
+    pub governor: GovernorChoice,
 }
 
 impl ExperimentOpts {
@@ -22,7 +50,7 @@ impl ExperimentOpts {
 }
 
 /// All experiment ids, in paper order.
-pub const EXPERIMENT_IDS: [&str; 19] = [
+pub const EXPERIMENT_IDS: [&str; 20] = [
     "tab1",
     "tab2",
     "fig1",
@@ -42,6 +70,7 @@ pub const EXPERIMENT_IDS: [&str; 19] = [
     "ext-offload",
     "ext-thermal",
     "ext-fleet",
+    "ext-governor",
 ];
 
 /// Human description of each experiment.
@@ -66,6 +95,7 @@ pub fn describe(id: &str) -> Option<&'static str> {
         "ext-offload" => "Extension: edge inference vs cloud offload",
         "ext-thermal" => "Extension: sustained serving under thermal limits",
         "ext-fleet" => "Extension: heterogeneous fleet serving — routing, faults, offload",
+        "ext-governor" => "Extension: online SLO-aware power-mode governor vs static modes",
         _ => return None,
     })
 }
@@ -98,6 +128,7 @@ pub fn run_experiment(id: &str, opts: ExperimentOpts) -> Option<ExperimentResult
         "ext-offload" => crate::extensions::offload_analysis(),
         "ext-thermal" => crate::extensions::thermal_sustained(),
         "ext-fleet" => crate::fleet::run(),
+        "ext-governor" => crate::governor::run(opts),
         _ => return None,
     })
 }
@@ -117,12 +148,15 @@ mod tests {
 
     #[test]
     fn unknown_experiment_returns_none() {
-        assert!(run_experiment("nope", ExperimentOpts { fast: true }).is_none());
+        assert!(
+            run_experiment("nope", ExperimentOpts { fast: true, ..Default::default() }).is_none()
+        );
     }
 
     #[test]
     fn quick_experiment_runs_end_to_end() {
-        let r = run_experiment("tab2", ExperimentOpts { fast: true }).unwrap();
+        let r =
+            run_experiment("tab2", ExperimentOpts { fast: true, ..Default::default() }).unwrap();
         assert!(r.all_pass());
     }
 }

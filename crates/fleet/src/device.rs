@@ -1,11 +1,11 @@
 //! One fleet member: a configured device wrapping a steppable
 //! [`ServeSim`], plus health state and an optional thermal guard.
 
-use edgellm_core::serve::{ServeConfig, ServeSim};
+use edgellm_core::serve::{GovernorHook, ServeConfig, ServeSim};
 use edgellm_core::{Request, RunConfig, RunError};
+use edgellm_governor::{cost, Governor, GovernorPolicy};
 use edgellm_hw::DeviceSpec;
-use edgellm_perf::PerfModel;
-use edgellm_power::{LoadProfile, RailModel, ThermalModel};
+use edgellm_power::ThermalModel;
 
 use crate::routing::DeviceView;
 
@@ -27,6 +27,13 @@ pub struct FleetDevice {
     /// Optional enclosure thermal model. `None` models active cooling
     /// that never trips (the paper's devkit regime).
     pub thermal: Option<ThermalModel>,
+    /// Optional online power-mode governor policy. When set, the
+    /// member's serve simulation consults it at every iteration
+    /// boundary and retunes its power mode in flight.
+    pub governor: Option<Box<dyn GovernorPolicy>>,
+    /// Dwell-floor override for the governor (s). `None` keeps
+    /// [`edgellm_governor::DEFAULT_MIN_DWELL_S`].
+    pub governor_min_dwell: Option<f64>,
 }
 
 impl FleetDevice {
@@ -38,6 +45,8 @@ impl FleetDevice {
             run_cfg,
             serve_cfg: ServeConfig::chunked(16),
             thermal: None,
+            governor: None,
+            governor_min_dwell: None,
         }
     }
 
@@ -57,6 +66,20 @@ impl FleetDevice {
     /// device into a cooldown outage.
     pub fn thermal(mut self, model: ThermalModel) -> Self {
         self.thermal = Some(model);
+        self
+    }
+
+    /// Attach an online power-mode governor; the member retunes its own
+    /// power mode at iteration boundaries and the router's estimates
+    /// follow every change.
+    pub fn governed(mut self, policy: Box<dyn GovernorPolicy>) -> Self {
+        self.governor = Some(policy);
+        self
+    }
+
+    /// Override the governor's dwell floor between mode changes (s).
+    pub fn governor_dwell(mut self, min_dwell_s: f64) -> Self {
+        self.governor_min_dwell = Some(min_dwell_s);
         self
     }
 }
@@ -121,6 +144,7 @@ pub(crate) struct DeviceSim {
     /// Thermal-cooldown end, when down for thermal reasons.
     pub(crate) down_until: Option<f64>,
     guard: Option<ThermalGuard>,
+    gov: Option<Governor>,
     idle_power_w: f64,
     est_decode_tok_s: f64,
     est_energy_per_token_j: f64,
@@ -135,41 +159,66 @@ impl DeviceSim {
     pub(crate) fn new(cfg: FleetDevice, max_seq_tokens: u64) -> Result<Self, RunError> {
         let sim =
             ServeSim::with_seq_hint(cfg.serve_cfg, &cfg.device, &cfg.run_cfg, max_seq_tokens)?;
-        let clocks = cfg.run_cfg.power_mode.clocks;
-        let perf =
-            PerfModel::new(cfg.device.clone(), cfg.run_cfg.llm, cfg.run_cfg.precision, clocks);
-        let maxn = PerfModel::new(
-            cfg.device.clone(),
-            cfg.run_cfg.llm,
-            cfg.run_cfg.precision,
-            cfg.device.max_clocks(),
-        );
-        let bw_ratio = perf.effective_bandwidth() / maxn.effective_bandwidth();
-        let rails = RailModel::orin_agx(cfg.device.clone());
-        let idle_power_w = rails.total_w(&clocks, &LoadProfile::idle());
-        // Routing estimates at a representative operating point: a
-        // 4-deep decode batch over the paper's 96-token context.
-        let (bs, ctx) = (4u64, 96u64);
-        let est_decode_tok_s = bs as f64 / perf.decode_step_time(bs, ctx);
-        let u = perf.decode_utilization(bs, ctx);
-        let p_w = rails.total_w(
-            &clocks,
-            &LoadProfile { gpu_util: u.gpu, cpu_util: u.cpu, bw_util: u.mem_bw, bw_ratio },
-        );
-        let est_energy_per_token_j = p_w / est_decode_tok_s;
-        let guard = cfg.thermal.map(ThermalGuard::new);
-        Ok(DeviceSim {
+        let guard = cfg.thermal.as_ref().map(|m| ThermalGuard::new(*m));
+        let gov = cfg.governor.clone().map(|p| {
+            let g = Governor::new(
+                p,
+                &cfg.device,
+                cfg.run_cfg.llm,
+                cfg.run_cfg.precision,
+                &cfg.run_cfg.power_mode,
+            );
+            match cfg.governor_min_dwell {
+                Some(d) => g.min_dwell(d),
+                None => g,
+            }
+        });
+        let mut d = DeviceSim {
             cfg,
             sim,
             up: true,
             down_until: None,
             guard,
-            idle_power_w,
-            est_decode_tok_s,
-            est_energy_per_token_j,
+            gov,
+            idle_power_w: 0.0,
+            est_decode_tok_s: 0.0,
+            est_energy_per_token_j: 0.0,
             routed: 0,
             thermal_trips: 0,
-        })
+        };
+        d.refresh_estimates();
+        Ok(d)
+    }
+
+    /// (Re)compute the routing estimates for the simulation's current
+    /// power mode through the governor's shared cost model
+    /// ([`edgellm_governor::cost::mode_cost`]), so routing and governing
+    /// score a mode bit-identically. Called at build time and after
+    /// every mode change (governor decisions and scripted flips).
+    pub(crate) fn refresh_estimates(&mut self) {
+        let mc = cost::mode_cost(
+            &self.cfg.device,
+            self.cfg.run_cfg.llm,
+            self.cfg.run_cfg.precision,
+            self.sim.power_mode(),
+        );
+        self.idle_power_w = mc.idle_power_w;
+        self.est_decode_tok_s = mc.decode_tok_s;
+        self.est_energy_per_token_j = mc.energy_per_token_j;
+    }
+
+    /// The member's governor, when one is attached.
+    pub(crate) fn governor(&self) -> Option<&Governor> {
+        self.gov.as_ref()
+    }
+
+    /// Re-base the governor's current rung on the simulation's actual
+    /// power mode, after an externally-scripted flip.
+    pub(crate) fn resync_governor(&mut self) {
+        if let Some(g) = &mut self.gov {
+            let mode = self.sim.power_mode().clone();
+            g.resync(&self.cfg.device, self.cfg.run_cfg.llm, self.cfg.run_cfg.precision, &mode);
+        }
     }
 
     pub(crate) fn view(&self, index: usize) -> DeviceView {
@@ -192,13 +241,31 @@ impl DeviceSim {
 
     /// Step the serve simulation one event; if the thermal guard trips,
     /// returns the cooldown end (`None` inner = never recovers unaided).
+    ///
+    /// When a governor is attached it observes the iteration right after
+    /// the thermal guard integrates it (so it sees the live junction
+    /// temperature) and its decision is applied at the iteration
+    /// boundary — the same boundary-exact semantics as
+    /// [`ServeSim::step_governed`]. A step that trips the guard skips
+    /// the governor: the device is about to leave the fleet.
     pub(crate) fn step(&mut self, now: f64) -> Result<Option<Option<f64>>, RunError> {
+        let mark = self.sim.trace().len();
         self.sim.step(now)?;
         if let Some(guard) = &mut self.guard {
             if guard.absorb(self.sim.trace()) {
                 self.thermal_trips += 1;
                 let recover = guard.recovery_s(self.sim.now(), self.idle_power_w);
                 return Ok(Some(recover));
+            }
+        }
+        if self.sim.trace().len() > mark {
+            if let Some(gov) = &mut self.gov {
+                let temp = self.guard.as_ref().map(|g| g.temp_c);
+                let decision = gov.on_iteration(&self.sim.observe(mark, temp));
+                if let Some(pm) = decision {
+                    self.sim.set_power_mode(&pm)?;
+                    self.refresh_estimates();
+                }
             }
         }
         Ok(None)

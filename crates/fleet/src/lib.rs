@@ -9,6 +9,13 @@
 //! coupling through the power crate's RC enclosure model, and optional
 //! cloud-offload spillover via [`edgellm_core::CloudEndpoint`].
 //!
+//! Members can self-govern their power mode: attach an
+//! [`edgellm_governor::GovernorPolicy`] with [`FleetDevice::governed`]
+//! and the member retunes itself at iteration boundaries, the router's
+//! energy/latency estimates follow every change, and the decisions land
+//! in the router log ([`sim::RouterMark::GovernorStep`]) and the
+//! [`sim::FleetAudit`] for the `edgellm-check` oracles.
+//!
 //! ```
 //! use edgellm_core::{PoissonArrivals, RunConfig};
 //! use edgellm_fleet::{FleetConfig, FleetDevice, JoinShortestQueue, run_fleet};

@@ -98,6 +98,13 @@ pub enum RouterMark {
         /// Stock-registry index of the new mode.
         index: usize,
     },
+    /// A device's own governor stepped it to a different ladder rung.
+    GovernorStep {
+        /// Fleet index.
+        device: usize,
+        /// Ladder rung stepped to (floor = 0).
+        rung: usize,
+    },
     /// Request `rid` was cancelled mid-run.
     Cancelled {
         /// Request id.
@@ -121,6 +128,9 @@ pub struct FleetAudit {
     pub report: FleetReport,
     /// Per-device accounting snapshots, in fleet index order.
     pub devices: Vec<edgellm_core::serve::ServeAudit>,
+    /// Per-device governance records, in fleet index order (`None` for
+    /// ungoverned members).
+    pub governors: Vec<Option<edgellm_governor::GovernorAudit>>,
     /// Router event log: `(fleet time, mark)`, in occurrence order.
     pub router_log: Vec<(f64, RouterMark)>,
 }
@@ -156,6 +166,9 @@ pub struct FleetSim {
     cloud_done_s: f64,
     /// Router event log: `(fleet time, mark)`, in occurrence order.
     tlog: Vec<(f64, RouterMark)>,
+    /// Per-device count of governor decisions already reconciled into
+    /// the router log.
+    gov_seen: Vec<usize>,
 }
 
 impl FleetSim {
@@ -185,6 +198,7 @@ impl FleetSim {
         arrivals.sort_by(|a, b| {
             a.arrival_s.partial_cmp(&b.arrival_s).expect("finite").then(a.id.cmp(&b.id))
         });
+        let gov_seen = vec![0; devices.len()];
         Ok(FleetSim {
             devices,
             policy,
@@ -200,6 +214,7 @@ impl FleetSim {
             cloud_energy_j: 0.0,
             cloud_done_s: 0.0,
             tlog: Vec::new(),
+            gov_seen,
         })
     }
 
@@ -235,8 +250,9 @@ impl FleetSim {
     pub fn run_audited(mut self) -> Result<FleetAudit, RunError> {
         self.run_to_completion()?;
         let devices = self.devices.iter().map(|d| d.sim.audit()).collect();
+        let governors = self.devices.iter().map(|d| d.governor().map(|g| g.audit())).collect();
         let router_log = self.tlog.clone();
-        Ok(FleetAudit { devices, router_log, report: self.build_report() })
+        Ok(FleetAudit { devices, governors, router_log, report: self.build_report() })
     }
 
     /// Fire events until the fleet is drained.
@@ -260,6 +276,16 @@ impl FleetSim {
                 d.sim.rail_trace(),
                 d.sim.preemption_events(),
             );
+            if let Some(g) = d.governor() {
+                let start_s = d.sim.trace().first().map(|it| it.t_s - it.dt_s).unwrap_or(0.0);
+                edgellm_governor::trace::record_governor(
+                    out,
+                    pid,
+                    &g.audit(),
+                    start_s,
+                    d.sim.now(),
+                );
+            }
         }
         let pid = out.next_pid();
         out.set_process_name(pid, format!("router · {}", self.policy.name()));
@@ -305,6 +331,13 @@ impl FleetSim {
                     vec![
                         ("device".to_string(), Arg::Str(dev_name(device))),
                         ("mode".to_string(), Arg::U64(index as u64)),
+                    ],
+                ),
+                RouterMark::GovernorStep { device, rung } => (
+                    "governor_step",
+                    vec![
+                        ("device".to_string(), Arg::Str(dev_name(device))),
+                        ("rung".to_string(), Arg::U64(rung as u64)),
                     ],
                 ),
                 RouterMark::Cancelled { rid } => {
@@ -427,13 +460,32 @@ impl FleetSim {
                 self.route(r, r.arrival_s);
             }
             Event::Step(i, t) => {
-                if let Some(recover_at) = self.devices[i].step(t)? {
+                let trip = self.devices[i].step(t)?;
+                self.reconcile_governor(i);
+                if let Some(recover_at) = trip {
                     let now = self.devices[i].sim.now();
                     self.take_down(i, now, recover_at, true);
                 }
             }
         }
         Ok(())
+    }
+
+    /// Fold device `i`'s new governor decisions into the router log, so
+    /// the fleet coordinator (and every oracle reading the log) sees
+    /// self-governed mode changes on the shared clock exactly like
+    /// scripted flips. The device already refreshed its routing
+    /// estimates when it applied the change, so the very next routing
+    /// decision scores it at the new operating point.
+    fn reconcile_governor(&mut self, i: usize) {
+        let new: Vec<(f64, usize)> = match self.devices[i].governor() {
+            Some(g) => g.decisions()[self.gov_seen[i]..].iter().map(|c| (c.t_s, c.to)).collect(),
+            None => return,
+        };
+        self.gov_seen[i] += new.len();
+        for (t_s, rung) in new {
+            self.tlog.push((t_s, RouterMark::GovernorStep { device: i, rung }));
+        }
     }
 
     /// Drop a device: drain its unfinished requests and re-route them.
@@ -497,6 +549,10 @@ impl FleetSim {
     }
 
     /// Flip a device to stock power mode `index` (modulo the registry).
+    /// An up device is idled to the fleet instant first so the pre-flip
+    /// stretch is billed at the old mode's idle power (exact energy
+    /// splitting); a down device is off and bills nothing. Routing
+    /// estimates follow the new mode either way.
     fn power_flip(&mut self, i: usize, now: f64, index: u8) -> Result<(), RunError> {
         if i >= self.devices.len() {
             return Ok(());
@@ -504,7 +560,13 @@ impl FleetSim {
         let registry = edgellm_hw::PowerModeRegistry::stock_for(self.devices[i].cfg.device.clone());
         let idx = index as usize % registry.len().max(1);
         let mode = registry.iter().nth(idx).expect("index reduced modulo len").clone();
-        self.devices[i].sim.set_power_mode(&mode)?;
+        if self.devices[i].up {
+            self.devices[i].sim.set_power_mode_at(&mode, now)?;
+        } else {
+            self.devices[i].sim.set_power_mode(&mode)?;
+        }
+        self.devices[i].refresh_estimates();
+        self.devices[i].resync_governor();
         self.tlog.push((now, RouterMark::PowerFlipped { device: i, index: idx }));
         Ok(())
     }
@@ -843,6 +905,55 @@ mod tests {
         let total_cancel: usize = audit.devices.iter().map(|d| d.cancelled.len()).sum();
         assert_eq!(total_cancel, 2, "both cancels landed on devices");
         assert_eq!(run().report, audit.report, "knobbed runs stay deterministic");
+    }
+
+    #[test]
+    fn governed_member_logs_decisions_and_stays_deterministic() {
+        use edgellm_governor::{HystereticLadder, SloSpec};
+        let cfg = RunConfig::new(Llm::Llama31_8b, Precision::Fp16);
+        let members = || {
+            vec![
+                FleetDevice::new(DeviceSpec::orin_agx_64gb(), cfg.clone())
+                    .named("governed")
+                    .governed(Box::new(HystereticLadder::new(SloSpec {
+                        ttft_s: 20.0,
+                        tbt_s: 1.0,
+                    }))),
+                FleetDevice::new(DeviceSpec::orin_agx_64gb(), cfg.clone()).named("static"),
+            ]
+        };
+        let reqs = PoissonArrivals::paper_shape(0.5).generate(24, 7);
+        let run = || {
+            FleetSim::new(members(), Box::new(JoinShortestQueue), FleetConfig::default(), &reqs)
+                .unwrap()
+                .run_audited()
+                .unwrap()
+        };
+        let audit = run();
+        assert_eq!(audit.report.completed, 24);
+        assert_eq!(audit.report.lost, 0);
+        assert!(audit.governors[0].is_some() && audit.governors[1].is_none());
+        let ga = audit.governors[0].as_ref().unwrap();
+        assert!(!ga.decisions.is_empty(), "sparse load must trigger down-steps");
+        edgellm_governor::verify_min_dwell(ga).expect("fleet-driven governor respects dwell");
+        let logged = audit
+            .router_log
+            .iter()
+            .filter(|(_, m)| matches!(m, RouterMark::GovernorStep { device: 0, .. }))
+            .count();
+        assert_eq!(logged, ga.decisions.len(), "every decision reconciled into the router log");
+        assert_eq!(run().report, audit.report, "governed runs stay deterministic");
+        // The rendered timeline carries the governor track alongside the
+        // router's governor_step instants.
+        let (_, trace) =
+            FleetSim::new(members(), Box::new(JoinShortestQueue), FleetConfig::default(), &reqs)
+                .unwrap()
+                .run_traced()
+                .unwrap();
+        let json = trace.to_chrome_json();
+        edgellm_trace::validate_chrome_trace(&json).expect("schema-valid governed fleet trace");
+        assert!(json.contains("governor_step"), "router marks rendered");
+        assert!(json.contains("active_power_mode"), "per-device mode counter track");
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! The shared mode cost model: one scoring path for offline search and
+//! online control.
+//!
+//! Offline ([`crate::search`]) and online ([`crate::policy`]) mode
+//! selection must agree on what a power mode *costs*, or the governor
+//! would chase operating points the planner rejects (and vice versa).
+//! This module is that single source of truth:
+//!
+//! * [`Constraints`] / [`feasible`] — the feasibility predicate (latency
+//!   and power caps) applied identically to grid-search candidates and
+//!   ladder rungs;
+//! * [`min_energy_index`] — the winner rule (minimum energy among
+//!   feasible), shared verbatim;
+//! * [`ModeCost`] / [`mode_cost`] — the per-mode operating-point summary
+//!   (busy/idle/peak power, decode throughput, energy per token)
+//!   evaluated at the same representative point the fleet router uses
+//!   for its estimates, so routing and governing rank devices and modes
+//!   consistently.
+
+use edgellm_hw::{DeviceSpec, PowerMode, PowerModeRegistry};
+use edgellm_models::{Llm, Precision};
+use edgellm_perf::PerfModel;
+use edgellm_power::{LoadProfile, RailModel};
+
+/// The representative decode operating point every estimate in this
+/// module is evaluated at: a 4-deep decode batch over the paper's
+/// 96-token context (the same point `edgellm-fleet` uses for routing
+/// estimates).
+pub const REPRESENTATIVE_POINT: (u64, u64) = (4, 96);
+
+/// Feasibility constraints on a mode. `f64::INFINITY` disables a bound.
+#[derive(Debug, Clone, Copy)]
+pub struct Constraints {
+    /// Maximum latency (s) — batch latency offline, step proxy online.
+    pub max_latency_s: f64,
+    /// Maximum power (W).
+    pub max_power_w: f64,
+}
+
+impl Constraints {
+    /// No constraints: everything is feasible.
+    pub fn none() -> Self {
+        Constraints { max_latency_s: f64::INFINITY, max_power_w: f64::INFINITY }
+    }
+
+    /// A pure power cap.
+    pub fn power_cap(max_power_w: f64) -> Self {
+        Constraints { max_latency_s: f64::INFINITY, max_power_w }
+    }
+}
+
+/// The feasibility predicate shared by offline search and online
+/// control: a mode is admissible iff it meets both bounds.
+pub fn feasible(latency_s: f64, power_w: f64, c: &Constraints) -> bool {
+    latency_s <= c.max_latency_s && power_w <= c.max_power_w
+}
+
+/// The winner rule shared by offline search and online control: the
+/// index of the minimum-energy entry among those marked feasible.
+/// `None` when nothing is feasible.
+pub fn min_energy_index<I>(scored: I) -> Option<usize>
+where
+    I: IntoIterator<Item = (bool, f64)>,
+{
+    scored
+        .into_iter()
+        .enumerate()
+        .filter(|(_, (ok, _))| *ok)
+        .min_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).expect("finite energy"))
+        .map(|(i, _)| i)
+}
+
+/// Static operating-point summary of one power mode on one
+/// device/model/precision triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModeCost {
+    /// Module power while decoding at the representative point (W).
+    pub busy_power_w: f64,
+    /// Module power while idle (W).
+    pub idle_power_w: f64,
+    /// Absolute worst-case module power: every rail fully utilized (W).
+    pub peak_power_w: f64,
+    /// Decode throughput at the representative point (tok/s).
+    pub decode_tok_s: f64,
+    /// Decode energy per token at the representative point (J).
+    pub energy_per_token_j: f64,
+}
+
+/// Evaluate [`ModeCost`] for one mode. The arithmetic (and its order)
+/// deliberately matches the fleet router's estimate computation so both
+/// layers score a mode bit-identically.
+pub fn mode_cost(
+    device: &DeviceSpec,
+    llm: Llm,
+    precision: Precision,
+    mode: &PowerMode,
+) -> ModeCost {
+    let clocks = mode.clocks;
+    let perf = PerfModel::new(device.clone(), llm, precision, clocks);
+    let maxn = PerfModel::new(device.clone(), llm, precision, device.max_clocks());
+    let bw_ratio = perf.effective_bandwidth() / maxn.effective_bandwidth();
+    let rails = RailModel::orin_agx(device.clone());
+    let idle_power_w = rails.total_w(&clocks, &LoadProfile::idle());
+    let (bs, ctx) = REPRESENTATIVE_POINT;
+    let decode_tok_s = bs as f64 / perf.decode_step_time(bs, ctx);
+    let u = perf.decode_utilization(bs, ctx);
+    let busy_power_w = rails.total_w(
+        &clocks,
+        &LoadProfile { gpu_util: u.gpu, cpu_util: u.cpu, bw_util: u.mem_bw, bw_ratio },
+    );
+    let peak_power_w = rails
+        .total_w(&clocks, &LoadProfile { gpu_util: 1.0, cpu_util: 1.0, bw_util: 1.0, bw_ratio });
+    ModeCost {
+        busy_power_w,
+        idle_power_w,
+        peak_power_w,
+        decode_tok_s,
+        energy_per_token_j: busy_power_w / decode_tok_s,
+    }
+}
+
+/// One rung of a [`ModeLadder`]: a mode and its cost summary.
+#[derive(Debug, Clone)]
+pub struct Rung {
+    /// The power mode.
+    pub mode: PowerMode,
+    /// Its cost summary.
+    pub cost: ModeCost,
+}
+
+/// The governor's ordered menu of operating points: a device's modes
+/// sorted ascending by busy power, so "step up" always means more
+/// performance and more watts. Index 0 is the floor (cheapest), the
+/// last index the ceiling (fastest).
+#[derive(Debug, Clone)]
+pub struct ModeLadder {
+    rungs: Vec<Rung>,
+}
+
+impl ModeLadder {
+    /// Build a ladder from an explicit mode list.
+    pub fn new(device: &DeviceSpec, llm: Llm, precision: Precision, modes: &[PowerMode]) -> Self {
+        let mut rungs: Vec<Rung> = modes
+            .iter()
+            .map(|m| Rung { mode: m.clone(), cost: mode_cost(device, llm, precision, m) })
+            .collect();
+        // Stable sort keeps registration order among equal-power rungs,
+        // so the ladder is a pure function of the mode list.
+        rungs.sort_by(|a, b| {
+            a.cost.busy_power_w.partial_cmp(&b.cost.busy_power_w).expect("finite power")
+        });
+        ModeLadder { rungs }
+    }
+
+    /// Build a ladder from the device's stock mode set (the paper's
+    /// Table 2, rescaled off-reference).
+    pub fn stock(device: &DeviceSpec, llm: Llm, precision: Precision) -> Self {
+        let reg = PowerModeRegistry::stock_for(device.clone());
+        let modes: Vec<PowerMode> = reg.iter().cloned().collect();
+        Self::new(device, llm, precision, &modes)
+    }
+
+    /// All rungs, floor first.
+    pub fn rungs(&self) -> &[Rung] {
+        &self.rungs
+    }
+
+    /// Number of rungs.
+    pub fn len(&self) -> usize {
+        self.rungs.len()
+    }
+
+    /// Whether the ladder has no rungs.
+    pub fn is_empty(&self) -> bool {
+        self.rungs.is_empty()
+    }
+
+    /// The rung at `idx`.
+    pub fn rung(&self, idx: usize) -> &Rung {
+        &self.rungs[idx]
+    }
+
+    /// Locate a mode on the ladder: exact name match first, otherwise
+    /// the rung whose busy power is closest to the mode's own cost
+    /// (lowest index on ties) — so a custom mode still lands on a
+    /// sensible starting rung.
+    pub fn position_of(
+        &self,
+        device: &DeviceSpec,
+        llm: Llm,
+        precision: Precision,
+        mode: &PowerMode,
+    ) -> usize {
+        if let Some(i) = self.rungs.iter().position(|r| r.mode.name == mode.name) {
+            return i;
+        }
+        let target = mode_cost(device, llm, precision, mode).busy_power_w;
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, r) in self.rungs.iter().enumerate() {
+            let d = (r.cost.busy_power_w - target).abs();
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// The highest rung whose *peak* power satisfies `allowed_w`
+    /// (checked through the shared [`feasible`] predicate), or `None`
+    /// when even the floor exceeds it. This is the budget governor's
+    /// selection rule: peak power bounds what the rung can draw under
+    /// any load, so a feasible rung can never outrun the cap.
+    pub fn highest_under_power(&self, allowed_w: f64) -> Option<usize> {
+        let c = Constraints::power_cap(allowed_w);
+        self.rungs
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, r)| feasible(0.0, r.cost.peak_power_w, &c))
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agx_ladder() -> (DeviceSpec, ModeLadder) {
+        let dev = DeviceSpec::orin_agx_64gb();
+        let ladder = ModeLadder::stock(&dev, Llm::Llama31_8b, Precision::Fp16);
+        (dev, ladder)
+    }
+
+    #[test]
+    fn ladder_sorted_by_busy_power_with_maxn_on_top() {
+        let (_, ladder) = agx_ladder();
+        assert_eq!(ladder.len(), 9, "Table 2 has nine modes");
+        for pair in ladder.rungs().windows(2) {
+            assert!(pair[0].cost.busy_power_w <= pair[1].cost.busy_power_w);
+        }
+        assert_eq!(ladder.rung(ladder.len() - 1).mode.name, "MaxN");
+    }
+
+    #[test]
+    fn cost_ordering_is_physical() {
+        let (_, ladder) = agx_ladder();
+        let floor = &ladder.rung(0).cost;
+        let top = &ladder.rung(ladder.len() - 1).cost;
+        assert!(top.decode_tok_s > floor.decode_tok_s, "faster clocks decode faster");
+        assert!(top.busy_power_w > floor.busy_power_w);
+        for r in ladder.rungs() {
+            assert!(r.cost.idle_power_w < r.cost.busy_power_w);
+            assert!(r.cost.busy_power_w <= r.cost.peak_power_w + 1e-12);
+            assert!(r.cost.energy_per_token_j > 0.0);
+        }
+    }
+
+    #[test]
+    fn position_of_finds_names_and_customs() {
+        let (dev, ladder) = agx_ladder();
+        let maxn = PowerMode::maxn_for(&dev);
+        assert_eq!(
+            ladder.position_of(&dev, Llm::Llama31_8b, Precision::Fp16, &maxn),
+            ladder.len() - 1
+        );
+        // A custom mode pinned to max clocks lands on the top rung too.
+        let c = dev.max_clocks();
+        let custom = PowerMode::custom("mystery", c.gpu_mhz, c.cpu_ghz, c.cores_online, c.mem_mhz);
+        assert_eq!(
+            ladder.position_of(&dev, Llm::Llama31_8b, Precision::Fp16, &custom),
+            ladder.len() - 1
+        );
+    }
+
+    #[test]
+    fn highest_under_power_respects_the_shared_predicate() {
+        let (_, ladder) = agx_ladder();
+        assert_eq!(ladder.highest_under_power(f64::INFINITY), Some(ladder.len() - 1));
+        assert_eq!(ladder.highest_under_power(0.0), None);
+        let mid = ladder.rung(ladder.len() / 2).cost.peak_power_w;
+        let idx = ladder.highest_under_power(mid).expect("mid cap admits lower rungs");
+        assert!(ladder.rung(idx).cost.peak_power_w <= mid);
+        if idx + 1 < ladder.len() {
+            assert!(ladder.rung(idx + 1).cost.peak_power_w > mid);
+        }
+    }
+
+    #[test]
+    fn min_energy_index_picks_feasible_minimum() {
+        let scored = [(true, 3.0), (false, 1.0), (true, 2.0)];
+        assert_eq!(min_energy_index(scored), Some(2));
+        assert_eq!(min_energy_index([(false, 1.0)]), None);
+    }
+}

@@ -1,0 +1,68 @@
+//! # edgellm-governor — online SLO-aware power-mode governance
+//!
+//! The paper's central result is a Pareto frontier: Jetson power modes
+//! trade latency against energy (§3.4, Table 2). The rest of the
+//! workspace exploits that frontier *offline* — pick one static mode per
+//! workload. This crate rides it *online*: a deterministic feedback
+//! controller observes per-iteration serving telemetry (queue depth,
+//! TTFT/TBT risk, KV pressure, integrated energy, thermal state) and
+//! retunes the device's power mode while the run is in flight, through
+//! the [`GovernorHook`](edgellm_core::serve::GovernorHook) boundary
+//! callback `edgellm-core` exposes.
+//!
+//! The pieces:
+//!
+//! * [`cost`] — the shared mode cost model: feasibility predicate,
+//!   min-energy winner rule, per-mode operating-point summaries, and the
+//!   [`ModeLadder`] (modes sorted by busy power). Offline search and
+//!   online control both score modes here, so they can never disagree.
+//! * [`policy`] — the [`GovernorPolicy`] catalog: [`Static`] baseline,
+//!   [`HystereticLadder`] (up on SLO risk, down on idle),
+//!   [`EnergyBudget`] (deficit metering against a J/s cap),
+//!   [`ThermalHeadroom`] (RC junction integrator, throttles *before*
+//!   the trip).
+//! * [`governor`] — the [`Governor`] wrapper binding a policy to a
+//!   ladder: clamping, min-dwell enforcement, decision logging, and the
+//!   [`GovernorAudit`] record.
+//! * [`verify`] — pure verifiers (min-dwell respected; energy budget
+//!   never exceeded) shared by the `edgellm-check` oracles and the
+//!   experiment assertions.
+//! * [`search`] — the offline DVFS grid search (moved from
+//!   `edgellm_core::pmsearch`), now scored through [`cost`].
+//! * [`trace`] — Perfetto export: decision instants plus an
+//!   `active_power_mode` counter track.
+//!
+//! ```
+//! use edgellm_core::serve::ServeSim;
+//! use edgellm_core::{PoissonArrivals, RunConfig, ServeConfig};
+//! use edgellm_governor::{Governor, HystereticLadder, SloSpec};
+//! use edgellm_hw::DeviceSpec;
+//! use edgellm_models::{Llm, Precision};
+//!
+//! let dev = DeviceSpec::orin_agx_64gb();
+//! let cfg = RunConfig::new(Llm::Llama31_8b, Precision::Fp16);
+//! let reqs = PoissonArrivals::paper_shape(1.0).generate(8, 7);
+//! let mut sim = ServeSim::new(ServeConfig::chunked(16), &dev, &cfg, &reqs).unwrap();
+//! let policy = HystereticLadder::new(SloSpec { ttft_s: 20.0, tbt_s: 1.0 });
+//! let mut gov = Governor::new(Box::new(policy), &dev, cfg.llm, cfg.precision, &cfg.power_mode);
+//! while let Some(t) = sim.next_event_s() {
+//!     sim.step_governed(t, &mut gov).unwrap();
+//! }
+//! let audit = gov.audit();
+//! edgellm_governor::verify::verify_min_dwell(&audit).unwrap();
+//! ```
+
+pub mod cost;
+pub mod governor;
+pub mod policy;
+pub mod search;
+pub mod trace;
+pub mod verify;
+
+pub use cost::{mode_cost, Constraints, ModeCost, ModeLadder, Rung};
+pub use governor::{Governor, GovernorAudit, ModeChange, DEFAULT_MIN_DWELL_S};
+pub use policy::{
+    BudgetAudit, EnergyBudget, GovernorPolicy, HystereticLadder, SloSpec, Static, ThermalHeadroom,
+};
+pub use search::{search_power_modes, Candidate, SearchConstraints, SearchResult};
+pub use verify::{verify_budget, verify_min_dwell};

@@ -2,20 +2,23 @@
 //! ("leverage [these empirical results] to optimize LLM inferencing on the
 //! edge") made operational: grid-search the DVFS space for the
 //! minimum-energy mode satisfying latency and power constraints.
+//!
+//! Moved here from `edgellm_core::pmsearch` so offline search and the
+//! online governor score modes through the same [`crate::cost`]
+//! primitives — [`cost::feasible`](crate::cost::feasible) is the
+//! admission predicate and
+//! [`cost::min_energy_index`](crate::cost::min_energy_index) the winner
+//! rule, for both. The grid, the evaluation, and the outputs are
+//! unchanged by the move.
 
-use crate::config::RunConfig;
-use crate::engine::Engine;
-use crate::metrics::BatchMetrics;
+use edgellm_core::{BatchMetrics, Engine, RunConfig, RunError};
 use edgellm_hw::PowerMode;
 
-/// Constraints for the search.
-#[derive(Debug, Clone, Copy)]
-pub struct SearchConstraints {
-    /// Maximum batch latency (s); `f64::INFINITY` to disable.
-    pub max_latency_s: f64,
-    /// Maximum median power (W); `f64::INFINITY` to disable.
-    pub max_power_w: f64,
-}
+use crate::cost::{feasible, min_energy_index, Constraints};
+
+/// Constraints for the search — the shared cost-model constraints under
+/// their historical name.
+pub type SearchConstraints = Constraints;
 
 /// A candidate evaluated during the search.
 #[derive(Debug, Clone)]
@@ -55,7 +58,7 @@ pub fn search_power_modes(
     cfg: &RunConfig,
     constraints: SearchConstraints,
     steps_per_domain: u32,
-) -> Result<SearchResult, crate::error::RunError> {
+) -> Result<SearchResult, RunError> {
     assert!(steps_per_domain >= 1, "need at least one step per domain");
     let dev = engine.device();
     let level = |i: u32, max: f64| -> f64 {
@@ -77,18 +80,12 @@ pub fn search_power_modes(
                     level(mi, dev.memory.max_freq_mhz as f64) as u32,
                 );
                 let metrics = engine.run_batch(&cfg.clone().power_mode(mode.clone()))?;
-                let feasible = metrics.latency_s <= constraints.max_latency_s
-                    && metrics.median_power_w <= constraints.max_power_w;
-                candidates.push(Candidate { mode, metrics, feasible });
+                let ok = feasible(metrics.latency_s, metrics.median_power_w, &constraints);
+                candidates.push(Candidate { mode, metrics, feasible: ok });
             }
         }
     }
-    let best = candidates
-        .iter()
-        .enumerate()
-        .filter(|(_, c)| c.feasible)
-        .min_by(|a, b| a.1.metrics.energy_j.partial_cmp(&b.1.metrics.energy_j).expect("finite"))
-        .map(|(i, _)| i);
+    let best = min_energy_index(candidates.iter().map(|c| (c.feasible, c.metrics.energy_j)));
     Ok(SearchResult { candidates, best })
 }
 

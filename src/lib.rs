@@ -19,6 +19,9 @@
 //! * [`quant`] — LLM.int8()-style INT8 and NF4-style INT4 codecs;
 //! * [`nn`] — a real trainable neural-LM substrate with manual backprop;
 //! * [`core`] — the batching runtime and the paper's experiment protocol;
+//! * [`governor`] — online SLO-aware power-mode governance: hysteretic
+//!   ladder, energy-budget and thermal-headroom policies over a shared
+//!   mode cost model (which also scores the offline DVFS search);
 //! * [`fleet`] — heterogeneous multi-device fleet serving: routing, faults,
 //!   thermal coupling and cloud spillover over the per-device simulators;
 //! * [`check`] — deterministic simulation testing: seeded scenarios, fault
@@ -49,6 +52,7 @@ pub use edgellm_core as core;
 pub use edgellm_corpus as corpus;
 pub use edgellm_experiments as experiments;
 pub use edgellm_fleet as fleet;
+pub use edgellm_governor as governor;
 pub use edgellm_hw as hw;
 pub use edgellm_mem as mem;
 pub use edgellm_models as models;

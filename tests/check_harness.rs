@@ -150,9 +150,10 @@ fn faulted_fleet_timeline_is_byte_identical_across_thread_counts() {
 
 #[test]
 fn smoke_matrix_has_no_violations() {
-    // The CI `check-smoke` gate in library form: seeds 0..16, whatever
-    // their outcome class, must never violate an invariant.
-    for seed in 0..16u64 {
+    // The CI `check-smoke` gate in library form: seeds 0..16 plus the
+    // governor-active smoke seeds, whatever their outcome class, must
+    // never violate an invariant.
+    for seed in (0..16u64).chain(corpus::GOVERNOR_SMOKE_SEEDS) {
         let out = run_scenario(&Scenario::from_seed(seed));
         assert!(!out.is_violation(), "seed {seed}: {out}");
     }

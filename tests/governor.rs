@@ -1,0 +1,113 @@
+//! Tier-1 coverage for online power-mode governance: a governed serving
+//! run and a governed fleet run must be byte-identical across
+//! `EDGELLM_THREADS=1/2/8` — exercised in-process via
+//! `rayon::with_num_threads`, the same override the env var reaches —
+//! for both the hysteretic SLO ladder and the energy-budget policy.
+//!
+//! The governor sits *inside* the simulation loop (its decisions feed
+//! back into iteration timing and energy integration), so any
+//! parallelism leak here compounds: one diverging decision reorders
+//! every later mode change. Byte-comparing the full audit — decisions,
+//! energy integrals, completion telemetry — is the strictest oracle we
+//! can hold it to.
+
+use edgellm::core::serve::{ServeConfig, ServeSim};
+use edgellm::core::{PoissonArrivals, RunConfig};
+use edgellm::fleet::{FleetConfig, FleetDevice, FleetSim, JoinShortestQueue};
+use edgellm::governor::{
+    EnergyBudget, Governor, GovernorPolicy, HystereticLadder, ModeLadder, SloSpec,
+};
+use edgellm::hw::DeviceSpec;
+use edgellm::models::{Llm, Precision};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn policies() -> Vec<(&'static str, Box<dyn GovernorPolicy>)> {
+    vec![
+        ("ladder", Box::new(HystereticLadder::new(SloSpec { ttft_s: 8.0, tbt_s: 0.5 }))),
+        ("budget", Box::new(EnergyBudget::new(30.0))),
+    ]
+}
+
+/// Drive one governed single-device serving run to completion and
+/// return its full audit — serving telemetry, governor decisions and
+/// the split energy integral — formatted for byte comparison.
+fn governed_serve_audit(threads: usize, which: usize) -> String {
+    rayon::with_num_threads(threads, || {
+        let dev = DeviceSpec::orin_agx_64gb();
+        let ladder = ModeLadder::stock(&dev, Llm::Llama31_8b, Precision::Fp16);
+        let cfg = RunConfig::new(Llm::Llama31_8b, Precision::Fp16)
+            .power_mode(ladder.rung(0).mode.clone());
+        let reqs = PoissonArrivals::paper_shape(1.5).generate(16, 42);
+        let mut sim = ServeSim::new(ServeConfig::chunked(16), &dev, &cfg, &reqs).unwrap();
+        let policy = policies().swap_remove(which).1;
+        let mut gov = Governor::new(policy, &dev, cfg.llm, cfg.precision, &cfg.power_mode);
+        while let Some(t) = sim.next_event_s() {
+            sim.step_governed(t, &mut gov).unwrap();
+        }
+        let audit = gov.audit();
+        edgellm::governor::verify_min_dwell(&audit).expect("dwell floor respected");
+        format!("{:?} | {:?}", sim.audit(), audit)
+    })
+}
+
+#[test]
+fn governed_serve_audit_is_byte_identical_across_thread_counts() {
+    for (which, (name, _)) in policies().iter().enumerate() {
+        let reference = governed_serve_audit(THREAD_COUNTS[0], which);
+        assert!(
+            reference.contains("decisions: ["),
+            "{name}: governor audit present in the formatted record"
+        );
+        for &t in &THREAD_COUNTS[1..] {
+            assert_eq!(
+                reference,
+                governed_serve_audit(t, which),
+                "{name}: governed serve audit diverges between {} and {t} threads",
+                THREAD_COUNTS[0]
+            );
+        }
+    }
+}
+
+/// Run a two-device fleet where each member self-governs with a
+/// different policy, and format the per-device governor audits plus the
+/// fleet report for byte comparison.
+fn governed_fleet_audit(threads: usize) -> String {
+    rayon::with_num_threads(threads, || {
+        let dev = DeviceSpec::orin_agx_64gb();
+        let cfg = RunConfig::new(Llm::Llama31_8b, Precision::Fp16);
+        let members = vec![
+            FleetDevice::new(dev.clone(), cfg.clone())
+                .named("ladder-0")
+                .governed(Box::new(HystereticLadder::new(SloSpec { ttft_s: 8.0, tbt_s: 0.5 }))),
+            FleetDevice::new(dev.clone(), cfg.clone())
+                .named("budget-1")
+                .governed(Box::new(EnergyBudget::new(30.0))),
+        ];
+        let reqs = PoissonArrivals::paper_shape(1.0).generate(20, 7);
+        let audit =
+            FleetSim::new(members, Box::new(JoinShortestQueue), FleetConfig::default(), &reqs)
+                .unwrap()
+                .run_audited()
+                .unwrap();
+        for ga in audit.governors.iter().flatten() {
+            edgellm::governor::verify_min_dwell(ga).expect("dwell floor respected");
+        }
+        format!("{:?} | {:?}", audit.report, audit.governors)
+    })
+}
+
+#[test]
+fn governed_fleet_audit_is_byte_identical_across_thread_counts() {
+    let reference = governed_fleet_audit(THREAD_COUNTS[0]);
+    assert!(reference.contains("ModeChange"), "at least one governor actually moved");
+    for &t in &THREAD_COUNTS[1..] {
+        assert_eq!(
+            reference,
+            governed_fleet_audit(t),
+            "governed fleet audit diverges between {} and {t} threads",
+            THREAD_COUNTS[0]
+        );
+    }
+}

@@ -4,7 +4,7 @@
 use edgellm::experiments::runner::{run_experiment, ExperimentOpts};
 
 fn assert_experiment_passes(id: &str) {
-    let r = run_experiment(id, ExperimentOpts { fast: true })
+    let r = run_experiment(id, ExperimentOpts { fast: true, ..Default::default() })
         .unwrap_or_else(|| panic!("unknown experiment {id}"));
     assert!(r.all_pass(), "{id} shape checks failed:\n{}", r.render());
 }
@@ -63,7 +63,8 @@ fn fig5_power_modes_reproduce() {
 // tolerance (≤2 noisy ordinal misses, OoM cells exact).
 #[test]
 fn tab3_perplexity_reproduces() {
-    let r = run_experiment("tab3", ExperimentOpts { fast: true }).expect("known id");
+    let r = run_experiment("tab3", ExperimentOpts { fast: true, ..Default::default() })
+        .expect("known id");
     let failed: Vec<_> = r.checks.iter().filter(|c| !c.pass).collect();
     assert!(
         failed.len() <= 2 && failed.iter().all(|c| !c.claim.contains("OoM")),
@@ -74,7 +75,8 @@ fn tab3_perplexity_reproduces() {
 
 #[test]
 fn csv_emission_works_end_to_end() {
-    let r = run_experiment("tab2", ExperimentOpts { fast: true }).expect("known id");
+    let r = run_experiment("tab2", ExperimentOpts { fast: true, ..Default::default() })
+        .expect("known id");
     let dir = std::env::temp_dir().join("edgellm_csv_test");
     let paths = r.write_csv(&dir).expect("csv written");
     assert!(!paths.is_empty());
