@@ -17,10 +17,13 @@
 //! `--trace-out <path>` (or `EDGELLM_TRACE=<path>`) also renders the
 //! best-of measurements as a synthetic Perfetto timeline: one span per
 //! kernel × shape on a `serial` and a `parallel` track, laid end to end.
-//! The emitted JSON additionally reports `trace_feature`: whether
-//! `edgellm-tensor` was compiled with its `trace` instrumentation —
+//! The emitted JSON additionally reports `trace_feature` — whether
+//! `edgellm-tensor` was compiled with its `trace` instrumentation,
 //! detected at runtime from the kernel counters, so CI can assert the
-//! default bench build carries zero instrumentation.
+//! default bench build carries zero instrumentation — and
+//! `parallel_valid` (`host_cores > 1`): on a single-core runner the
+//! parallel pass time-slices on one core, so speedup figures are noise
+//! and consumers must not assert on them.
 
 use edgellm_tensor::matmul::matmul_nt;
 use edgellm_tensor::{F16Matrix, Matrix, QInt4Matrix, QInt8Matrix};
@@ -148,10 +151,13 @@ fn write_json(path: &str, records: &[Record]) -> std::io::Result<()> {
     s.push_str(&format!("  \"threads_serial\": {SERIAL_THREADS},\n"));
     s.push_str(&format!("  \"threads_parallel\": {PARALLEL_THREADS},\n"));
     s.push_str(&format!("  \"trace_feature\": {},\n", kernel_instrumentation_live()));
-    s.push_str(&format!(
-        "  \"host_cores\": {},\n",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    ));
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    s.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    // On a single-core host the "parallel" pass is concurrency theater:
+    // rayon still splits the work but every shard runs on the one core,
+    // so speedup numbers are meaningless noise. Consumers (the CI bench
+    // smoke, trend dashboards) must skip speedup assertions when false.
+    s.push_str(&format!("  \"parallel_valid\": {},\n", host_cores > 1));
     s.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         let speedup = r.serial_ns as f64 / r.parallel_ns.max(1) as f64;

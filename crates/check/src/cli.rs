@@ -3,7 +3,7 @@
 //! Three subcommands, no external argument-parsing dependency:
 //!
 //! ```text
-//! edgellm-check run --seed N [--count M] [--governor-only]   # fuzz M seeds from N
+//! edgellm-check run --seed N [--count M] [--governor-only] [--prefix-only]   # fuzz M seeds from N
 //! edgellm-check replay --seed N [--requests 0,3] [--faults 1]   # replay a reproducer
 //! edgellm-check corpus [--file PATH]          # run the regression corpus
 //! ```
@@ -23,7 +23,7 @@ const USAGE: &str = "\
 edgellm-check — deterministic simulation testing for the serving stack
 
 USAGE:
-    edgellm-check run --seed N [--count M] [--governor-only]
+    edgellm-check run --seed N [--count M] [--governor-only] [--prefix-only]
     edgellm-check replay --seed N [--requests I,J,...] [--faults I,J,...]
     edgellm-check corpus [--file PATH]
 
@@ -31,7 +31,8 @@ SUBCOMMANDS:
     run      Expand and run `count` scenarios starting at `seed` (default 1).
              On a violation, minimize and print the replay one-liner.
              `--governor-only` skips seeds without an online governor (the
-             nightly sweep's governor axis).
+             nightly sweep's governor axis); `--prefix-only` skips seeds
+             without the radix prefix-cache dimension.
     replay   Re-run one scenario, optionally filtered to the given request
              and fault-event indices (a minimized reproducer).
     corpus   Run every seed in the regression corpus (default: built-in).
@@ -109,17 +110,21 @@ fn require_known_flags(args: &[String], known: &[&str], known_bool: &[&str]) -> 
 }
 
 fn cmd_run(args: &[String]) -> Result<i32, String> {
-    require_known_flags(args, &["--seed", "--count"], &["--governor-only"])?;
+    require_known_flags(args, &["--seed", "--count"], &["--governor-only", "--prefix-only"])?;
     let seed = parse_u64(&flag_value(args, "--seed")?.ok_or("run requires --seed")?, "--seed")?;
     let count = match flag_value(args, "--count")? {
         Some(v) => parse_u64(&v, "--count")?,
         None => 1,
     };
     let governor_only = args.iter().any(|a| a == "--governor-only");
+    let prefix_only = args.iter().any(|a| a == "--prefix-only");
     let mut worst = 0;
     for s in seed..seed.saturating_add(count) {
         let sc = Scenario::from_seed(s);
         if governor_only && sc.governor.is_none() {
+            continue;
+        }
+        if prefix_only && sc.prefix.is_none() {
             continue;
         }
         println!("{}", sc.describe());
@@ -208,6 +213,14 @@ mod tests {
         // standalone flag.
         assert_eq!(
             main_with_args(&argv(&["run", "--seed", "1", "--count", "6", "--governor-only"])),
+            0
+        );
+    }
+
+    #[test]
+    fn prefix_only_filters_cacheless_seeds() {
+        assert_eq!(
+            main_with_args(&argv(&["run", "--seed", "1", "--count", "8", "--prefix-only"])),
             0
         );
     }

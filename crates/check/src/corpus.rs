@@ -21,6 +21,15 @@ pub const DEFAULT_SEEDS: &str = include_str!("../corpus/seeds.txt");
 /// and the CI gate extend the 0..16 matrix by exactly this set.
 pub const GOVERNOR_SMOKE_SEEDS: [u64; 4] = [33, 51, 90, 104];
 
+/// Prefix-cache-active seeds appended to the PR-gate smoke matrix: each
+/// one expands with the radix prefix cache enabled on every member and
+/// a shared system prompt threaded through the trace, must run clean
+/// with the kv-sharing and kv-refcount oracles armed, and must record a
+/// nonzero cache hit rate (the `prefix_smoke_seeds_hit_the_cache` test
+/// pins that). Covers single-device, fleet, governed, and
+/// preemption-under-cache shapes.
+pub const PREFIX_SMOKE_SEEDS: [u64; 4] = [2, 5, 12, 43];
+
 /// Parse a seeds file: one seed per line, `#` starts a comment, blank
 /// lines ignored. Malformed lines are an error, not silently skipped —
 /// a typo'd seed silently dropped would shrink the regression net.
@@ -83,6 +92,29 @@ mod tests {
             }
         }
         assert!(policies.len() >= 3, "smoke seeds cover ladder, budget and thermal policies");
+    }
+
+    #[test]
+    fn prefix_smoke_seeds_hit_the_cache() {
+        let seeds = default_seeds();
+        let mut shapes = (false, false); // (single, fleet)
+        for &s in &PREFIX_SMOKE_SEEDS {
+            assert!(seeds.contains(&s), "prefix smoke seed {s} belongs in the corpus file");
+            let sc = Scenario::from_seed(s);
+            assert!(sc.prefix.is_some(), "prefix smoke seed {s} expands with the cache on");
+            assert!(!sc.prompts().is_empty(), "seed {s} threads a shared prompt");
+            match sc.shape {
+                crate::scenario::Shape::Single(_) => shapes.0 = true,
+                crate::scenario::Shape::Fleet { .. } => shapes.1 = true,
+            }
+            match run_scenario(&sc) {
+                Outcome::Clean(stats) => {
+                    assert!(stats.cache_hit_tokens > 0, "seed {s} must record real cache reuse")
+                }
+                out => panic!("prefix smoke seed {s} must be clean: {out}"),
+            }
+        }
+        assert!(shapes.0 && shapes.1, "smoke seeds cover single and fleet shapes");
     }
 
     #[test]

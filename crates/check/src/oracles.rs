@@ -67,6 +67,7 @@ pub fn check_serve(audit: &ServeAudit, expected: &[Request]) -> Vec<Violation> {
     let mut v = Vec::new();
     token_conservation(audit, expected, &mut v);
     kv_accounting(audit, &mut v);
+    kv_sharing(audit, &mut v);
     request_conservation(audit, &mut v);
     energy_integral(audit, &mut v);
     monotone_events(audit, &mut v);
@@ -126,23 +127,29 @@ pub fn kv_accounting(audit: &ServeAudit, out: &mut Vec<Violation>) {
         }
     }
     if audit.queue_depth == 0 {
-        if audit.kv_blocks_in_use != 0 {
+        // Drained: every block a sequence held is back — only the prefix
+        // cache may still park blocks (zero with the cache off, making
+        // this exactly the pre-cache check).
+        if audit.kv_blocks_in_use != audit.kv_blocks_cached {
             violation(
                 out,
                 "kv-leak",
                 format!(
-                    "{}: drained but {} blocks still held",
-                    audit.label, audit.kv_blocks_in_use
+                    "{}: drained but {} blocks held vs {} cached",
+                    audit.label, audit.kv_blocks_in_use, audit.kv_blocks_cached
                 ),
             );
         }
-        if audit.kv_blocks_allocated != audit.kv_blocks_freed {
+        if audit.kv_blocks_allocated != audit.kv_blocks_freed + audit.kv_blocks_cached as u64 {
             violation(
                 out,
                 "kv-leak",
                 format!(
-                    "{}: drained but allocated {} blocks vs freed {}",
-                    audit.label, audit.kv_blocks_allocated, audit.kv_blocks_freed
+                    "{}: drained but allocated {} blocks vs freed {} + {} cached",
+                    audit.label,
+                    audit.kv_blocks_allocated,
+                    audit.kv_blocks_freed,
+                    audit.kv_blocks_cached
                 ),
             );
         }
@@ -153,6 +160,57 @@ pub fn kv_accounting(audit: &ServeAudit, out: &mut Vec<Violation>) {
             format!(
                 "{}: freed {} blocks but only allocated {}",
                 audit.label, audit.kv_blocks_freed, audit.kv_blocks_allocated
+            ),
+        );
+    }
+}
+
+/// Prefix-sharing accounting on one device. Three contracts, all
+/// trivially true with the cache off:
+///
+/// * the paged allocator's refcount self-check is clean — a freed block
+///   is never referenced by a sequence or the radix tree, and every
+///   refcount equals its holder count;
+/// * blocks are conserved with shared blocks counted exactly once:
+///   `allocated == freed + in_use` at any snapshot (a block shared by
+///   ten sequences left the free list once and returns once);
+/// * cache metrics stay inside their envelopes — cached blocks are a
+///   subset of held blocks, and copy-on-write allocations are a subset
+///   of all allocations.
+pub fn kv_sharing(audit: &ServeAudit, out: &mut Vec<Violation>) {
+    for detail in &audit.kv_integrity {
+        violation(out, "kv-refcount", format!("{}: {}", audit.label, detail));
+    }
+    if audit.kv_blocks_allocated != audit.kv_blocks_freed + audit.kv_blocks_in_use as u64 {
+        violation(
+            out,
+            "kv-sharing",
+            format!(
+                "{}: allocated {} != freed {} + {} in use (shared block counted twice?)",
+                audit.label,
+                audit.kv_blocks_allocated,
+                audit.kv_blocks_freed,
+                audit.kv_blocks_in_use
+            ),
+        );
+    }
+    if audit.kv_blocks_cached > audit.kv_blocks_in_use {
+        violation(
+            out,
+            "kv-sharing",
+            format!(
+                "{}: {} cached blocks exceed {} held",
+                audit.label, audit.kv_blocks_cached, audit.kv_blocks_in_use
+            ),
+        );
+    }
+    if audit.kv_blocks_cow > audit.kv_blocks_allocated {
+        violation(
+            out,
+            "kv-sharing",
+            format!(
+                "{}: {} COW allocations exceed {} total allocations",
+                audit.label, audit.kv_blocks_cow, audit.kv_blocks_allocated
             ),
         );
     }
@@ -279,6 +337,7 @@ pub fn check_fleet(audit: &FleetAudit, requests: &[Request]) -> Vec<Violation> {
         // still checked against the full trace.
         token_conservation(d, requests, &mut v);
         kv_accounting(d, &mut v);
+        kv_sharing(d, &mut v);
         energy_integral(d, &mut v);
         monotone_events(d, &mut v);
     }
@@ -425,6 +484,10 @@ mod tests {
             kv_blocks_freed: 3,
             kv_blocks_in_use: 0,
             kv_blocks_total: 10,
+            kv_cache_hit_tokens: 0,
+            kv_blocks_cow: 0,
+            kv_blocks_cached: 0,
+            kv_integrity: Vec::new(),
             queue_depth: 0,
             energy_j: 0.0,
             preemptions: 0,
@@ -455,6 +518,48 @@ mod tests {
         audit.kv_blocks_in_use = 1;
         let v = check_serve(&audit, &[req(0, 8)]);
         assert_eq!(v.iter().filter(|x| x.oracle == "kv-leak").count(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn cached_blocks_survive_a_drain_without_firing_kv_leak() {
+        // A drained device with a warm prefix cache legitimately parks
+        // blocks: in_use == cached and allocated == freed + cached.
+        let mut audit = clean_audit();
+        audit.kv_blocks_freed = 1;
+        audit.kv_blocks_in_use = 2;
+        audit.kv_blocks_cached = 2;
+        audit.kv_cache_hit_tokens = 32;
+        assert!(check_serve(&audit, &[req(0, 8)]).is_empty());
+    }
+
+    #[test]
+    fn refcount_self_check_failures_fire_kv_refcount() {
+        let mut audit = clean_audit();
+        audit.kv_integrity = vec!["block 3 refcount 2 != 1 holders".into()];
+        let v = check_serve(&audit, &[req(0, 8)]);
+        assert!(v.iter().any(|x| x.oracle == "kv-refcount"), "{v:?}");
+    }
+
+    #[test]
+    fn double_counted_shared_block_fires_kv_sharing() {
+        // A shared block freed once per holder would push freed past
+        // allocated − in_use.
+        let mut audit = clean_audit();
+        audit.queue_depth = 1; // not drained: only the sharing identity sees it
+        audit.kv_blocks_freed = 2;
+        audit.kv_blocks_in_use = 2;
+        let v = check_serve(&audit, &[req(0, 8)]);
+        assert!(v.iter().any(|x| x.oracle == "kv-sharing"), "{v:?}");
+    }
+
+    #[test]
+    fn cache_exceeding_held_blocks_fires_kv_sharing() {
+        let mut audit = clean_audit();
+        audit.queue_depth = 1;
+        audit.kv_blocks_in_use = 0;
+        audit.kv_blocks_cached = 1;
+        let v = check_serve(&audit, &[req(0, 8)]);
+        assert!(v.iter().any(|x| x.oracle == "kv-sharing"), "{v:?}");
     }
 
     #[test]

@@ -50,6 +50,14 @@ impl Digest {
         self.u64(a.served_output_tokens);
         self.u64(a.kv_blocks_allocated);
         self.u64(a.kv_blocks_freed);
+        // Prefix-cache counters fold in only when live: cache-off runs
+        // (every pre-prefix seed) keep their digests bit-identical.
+        if a.kv_cache_hit_tokens > 0 {
+            self.u64(a.kv_cache_hit_tokens);
+        }
+        if a.kv_blocks_cow > 0 {
+            self.u64(a.kv_blocks_cow);
+        }
         self.f64(a.energy_j);
         for c in &a.completions {
             self.u64(c.rid);
@@ -97,6 +105,8 @@ pub struct RunStats {
     pub energy_j: f64,
     /// Run makespan (s).
     pub makespan_s: f64,
+    /// Prompt tokens served from the radix prefix cache (all devices).
+    pub cache_hit_tokens: u64,
     /// Order-sensitive digest over the full telemetry.
     pub digest: u64,
 }
@@ -146,19 +156,24 @@ impl Outcome {
 impl std::fmt::Display for Outcome {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Outcome::Clean(s) => write!(
-                f,
-                "clean: {} completed, {} cancelled, {} lost, {} preemptions, {} reroutes, \
-                 {:.1} J over {:.1} s (digest {:016x})",
-                s.completed,
-                s.cancelled,
-                s.lost,
-                s.preemptions,
-                s.reroutes,
-                s.energy_j,
-                s.makespan_s,
-                s.digest
-            ),
+            Outcome::Clean(s) => {
+                write!(
+                    f,
+                    "clean: {} completed, {} cancelled, {} lost, {} preemptions, {} reroutes, \
+                     {:.1} J over {:.1} s",
+                    s.completed,
+                    s.cancelled,
+                    s.lost,
+                    s.preemptions,
+                    s.reroutes,
+                    s.energy_j,
+                    s.makespan_s,
+                )?;
+                if s.cache_hit_tokens > 0 {
+                    write!(f, ", {} cache-hit tokens", s.cache_hit_tokens)?;
+                }
+                write!(f, " (digest {:016x})", s.digest)
+            }
             Outcome::Rejected(msg) => write!(f, "rejected: {msg}"),
             Outcome::Violated(vs) => {
                 write!(f, "VIOLATED ({}):", vs.len())?;
@@ -186,10 +201,12 @@ fn run_single(sc: &Scenario) -> Outcome {
     };
     let device = spec.device();
     let run_cfg = spec.run_cfg();
-    let mut sim = match ServeSim::new(spec.serve, &device, &run_cfg, &sc.requests) {
-        Ok(s) => s,
-        Err(e) => return Outcome::Rejected(e.to_string()),
-    };
+    let prompts: std::collections::HashMap<u64, Vec<u32>> = sc.prompts().into_iter().collect();
+    let mut sim =
+        match ServeSim::new_with_prompts(spec.serve, &device, &run_cfg, &sc.requests, &prompts) {
+            Ok(s) => s,
+            Err(e) => return Outcome::Rejected(e.to_string()),
+        };
     let mut gov = sc.governor.map(|g| {
         Governor::new(g.policy(spec), &device, run_cfg.llm, run_cfg.precision, &run_cfg.power_mode)
     });
@@ -247,6 +264,7 @@ fn run_single(sc: &Scenario) -> Outcome {
         reroutes: 0,
         energy_j: audit.energy_j,
         makespan_s: sim.now(),
+        cache_hit_tokens: audit.kv_cache_hit_tokens,
         digest: d.0,
     })
 }
@@ -314,7 +332,7 @@ fn run_fleet(sc: &Scenario) -> Outcome {
         .collect();
     let cfg = sc.fleet_config().expect("fleet shape");
     let sim = match FleetSim::new(devices, policy(policy_idx), cfg, &sc.requests) {
-        Ok(s) => s,
+        Ok(s) => s.with_prompts(sc.prompts()),
         Err(e) => return Outcome::Rejected(e.to_string()),
     };
     let audit = match sim.run_audited() {
@@ -349,6 +367,7 @@ fn run_fleet(sc: &Scenario) -> Outcome {
         reroutes: r.reroutes,
         energy_j: r.energy_j,
         makespan_s: r.makespan_s,
+        cache_hit_tokens: audit.devices.iter().map(|a| a.kv_cache_hit_tokens).sum(),
         digest: d.0,
     })
 }
@@ -370,8 +389,12 @@ mod tests {
     #[test]
     fn smoke_seed_matrix_is_clean() {
         // The PR-gate matrix: no seed in 0..16, nor any of the
-        // governor-active smoke seeds, may violate an invariant.
-        for seed in (0..16u64).chain(crate::corpus::GOVERNOR_SMOKE_SEEDS) {
+        // governor-active or prefix-cache smoke seeds, may violate an
+        // invariant.
+        for seed in (0..16u64)
+            .chain(crate::corpus::GOVERNOR_SMOKE_SEEDS)
+            .chain(crate::corpus::PREFIX_SMOKE_SEEDS)
+        {
             let out = run_scenario(&Scenario::from_seed(seed));
             assert!(!out.is_violation(), "seed {seed}: {out}");
         }

@@ -143,6 +143,39 @@ impl GovernorSpec {
     }
 }
 
+/// The prefix-cache dimension: when drawn, every member serves with the
+/// radix prefix cache enabled and a slice of the trace carries one
+/// shared system prompt, so admissions after the first reuse its cached
+/// blocks. Parameters are stored, not re-derived, so shrinking keeps the
+/// prompt assignment stable while requests are filtered out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefixSpec {
+    /// Percentage of requests carrying the shared system prompt (0–100).
+    pub shared_pct: u32,
+    /// Length of the shared system prompt, in tokens.
+    pub system_tokens: u64,
+    /// Salt mixed into the prompt's token ids and the per-request
+    /// membership hash, so different seeds share different prompts.
+    pub salt: u32,
+}
+
+impl PrefixSpec {
+    /// Whether request `rid` carries the shared system prompt
+    /// (deterministic splitmix64 membership hash — no stream draws, so
+    /// the assignment survives request filtering during shrinking).
+    pub fn shares_prompt(&self, rid: u64) -> bool {
+        let mut x = rid ^ ((self.salt as u64) << 32 | 0x9e37_79b9);
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 31;
+        (x % 100) < self.shared_pct as u64
+    }
+
+    /// The shared system prompt's token ids.
+    pub fn system_prompt(&self) -> Vec<u32> {
+        (0..self.system_tokens).map(|i| self.salt.wrapping_add(i as u32)).collect()
+    }
+}
+
 /// Scenario topology: one steppable device, or a routed fleet.
 #[derive(Debug, Clone)]
 pub enum Shape {
@@ -178,6 +211,9 @@ pub struct Scenario {
     /// Online power-mode governor (attached to every device), when the
     /// seed drew one.
     pub governor: Option<GovernorSpec>,
+    /// Prefix-cache dimension (cache-enabled members + shared system
+    /// prompt), when the seed drew one.
+    pub prefix: Option<PrefixSpec>,
 }
 
 fn member_spec(rng: &mut StdRng) -> MemberSpec {
@@ -253,6 +289,21 @@ fn governor_spec(rng: &mut StdRng) -> Option<GovernorSpec> {
     })
 }
 
+/// The prefix-cache dimension, drawn *after* the governor draw (which
+/// was itself the last pre-prefix dimension) so every earlier seed keeps
+/// its requests, topology, faults, and governor verbatim. Roughly a
+/// third of seeds serve with the radix prefix cache on.
+fn prefix_spec(rng: &mut StdRng) -> Option<PrefixSpec> {
+    if rng.gen_range(0u32..3) != 0 {
+        return None;
+    }
+    Some(PrefixSpec {
+        shared_pct: rng.gen_range(25u32..=90),
+        system_tokens: rng.gen_range(24u64..=192),
+        salt: rng.gen_range(0u32..=u32::MAX),
+    })
+}
+
 impl Scenario {
     /// Expand `seed` into a complete scenario. Deterministic: the same
     /// seed always yields the same scenario, on any host.
@@ -271,6 +322,7 @@ impl Scenario {
                 faults,
                 shape: Shape::Single(spec),
                 governor: None,
+                prefix: None,
             }
         } else {
             let n_devices = rng.gen_range(2usize..=3);
@@ -286,10 +338,41 @@ impl Scenario {
                 faults,
                 shape: Shape::Fleet { members, policy, cloud, slo_s },
                 governor: None,
+                prefix: None,
             }
         };
         sc.governor = governor_spec(&mut rng);
+        sc.prefix = prefix_spec(&mut rng);
+        if sc.prefix.is_some() {
+            // Enable the radix cache on every member. Applied after all
+            // draws, so the seed stream is untouched.
+            match &mut sc.shape {
+                Shape::Single(m) => m.serve = m.serve.with_prefix_cache(),
+                Shape::Fleet { members, .. } => {
+                    for m in members {
+                        m.serve = m.serve.with_prefix_cache();
+                    }
+                }
+            }
+        }
         sc
+    }
+
+    /// Prompt token ids by request id: requests the [`PrefixSpec`]
+    /// membership hash selects carry the shared system prompt (the
+    /// simulator pads past it with per-request synthetic tokens, so
+    /// suffixes diverge naturally). Empty when the seed drew no prefix
+    /// dimension.
+    pub fn prompts(&self) -> Vec<(u64, Vec<u32>)> {
+        let Some(p) = self.prefix else {
+            return Vec::new();
+        };
+        let system = p.system_prompt();
+        self.requests
+            .iter()
+            .filter(|r| r.input_tokens > 0 && p.shares_prompt(r.id))
+            .map(|r| (r.id, system.clone()))
+            .collect()
     }
 
     /// The fleet config for a fleet-shaped scenario.
@@ -319,14 +402,19 @@ impl Scenario {
             Some(g) => format!(", governor {}", g.name()),
             None => String::new(),
         };
+        let prefix = match &self.prefix {
+            Some(p) => format!(", prefix {}%×{}tok", p.shared_pct, p.system_tokens),
+            None => String::new(),
+        };
         format!(
-            "seed {}: {:?} × {} requests, {} fault events, {}{}",
+            "seed {}: {:?} × {} requests, {} fault events, {}{}{}",
             self.seed,
             self.arrivals,
             self.requests.len(),
             self.faults.events().len(),
             topo,
-            gov
+            gov,
+            prefix
         )
     }
 }

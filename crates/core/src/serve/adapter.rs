@@ -38,6 +38,9 @@ fn phase_name(phase: IterPhase) -> &'static str {
 /// * KV pool occupancy becomes a `kv_blocks` counter track;
 /// * `rails` (iteration-end [`RailBreakdown`] samples) become the
 ///   stacked `power_rails_w` counter track;
+/// * `cache` (iteration-end prefix-cache occupancy samples) becomes a
+///   `kv_cached_blocks` counter track — emitted only when non-empty,
+///   i.e. only for runs serving with the prefix cache on;
 /// * `preemptions` (`(time, request id)`) become thread-scoped instants
 ///   on the scheduler track.
 pub fn record_serve_run(
@@ -46,6 +49,7 @@ pub fn record_serve_run(
     label: &str,
     iters: &[IterationTrace],
     rails: &[(f64, RailBreakdown)],
+    cache: &[(f64, usize)],
     preemptions: &[(f64, u64)],
 ) {
     out.set_process_name(pid, label);
@@ -70,6 +74,9 @@ pub fn record_serve_run(
         out.counter(pid, "kv_blocks", it.t_s * S_TO_US, &[("used", it.kv_blocks_used as f64)]);
     }
     record_rail_counters(out, pid, "power_rails_w", rails);
+    for &(t_s, cached) in cache {
+        out.counter(pid, "kv_cached_blocks", t_s * S_TO_US, &[("cached", cached as f64)]);
+    }
     for &(t_s, rid) in preemptions {
         out.instant(
             pid,
@@ -110,6 +117,7 @@ mod tests {
             "orin · llama-3.1-8b fp16",
             &[iter(0.25, IterPhase::Mixed), iter(0.5, IterPhase::Decode)],
             &rails,
+            &[],
             &[(0.5, 7)],
         );
         // 2 spans + 2 kv counters + 1 rail counter + 1 instant.
@@ -124,9 +132,29 @@ mod tests {
     }
 
     #[test]
+    fn cache_occupancy_track_renders_when_sampled() {
+        let mut out = Trace::new();
+        record_serve_run(
+            &mut out,
+            1,
+            "dev",
+            &[iter(0.25, IterPhase::Decode)],
+            &[],
+            &[(0.25, 5), (0.5, 7)],
+            &[],
+        );
+        // 1 span + 1 kv counter + 2 cache counters.
+        assert_eq!(out.len(), 4);
+        let json = out.to_chrome_json();
+        assert!(json.contains("\"kv_cached_blocks\""));
+        assert!(json.contains("\"cached\":7"), "{json}");
+        edgellm_trace::validate_chrome_trace(&json).expect("schema-valid");
+    }
+
+    #[test]
     fn span_start_precedes_end_timestamp() {
         let mut out = Trace::new();
-        record_serve_run(&mut out, 1, "dev", &[iter(1.0, IterPhase::Prefill)], &[], &[]);
+        record_serve_run(&mut out, 1, "dev", &[iter(1.0, IterPhase::Prefill)], &[], &[], &[]);
         let json = out.to_chrome_json();
         // t_s = 1.0 s, dt_s = 0.25 s → span starts at 750 000 µs.
         assert!(json.contains("\"ts\":750000"), "{json}");

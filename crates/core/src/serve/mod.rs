@@ -38,6 +38,7 @@ pub mod sim;
 pub mod trace;
 
 pub use adapter::record_serve_run;
+pub use edgellm_mem::TokenId;
 pub use governor::{GovernorHook, GovernorObs, NullGovernor};
 pub use scheduler::{
     EventScheduler, PrefillPolicy, ServeConfig, ServeRun, DEFAULT_CHUNK_TOKENS, KV_BLOCK_TOKENS,

@@ -74,12 +74,23 @@ pub struct ServeConfig {
     /// derives — models co-tenant memory reservations and lets tests
     /// exercise KV pressure deterministically.
     pub kv_pool_bytes: Option<u64>,
+    /// Enable the radix-tree prefix cache: prompts sharing a cached
+    /// token-id prefix skip that prefix's prefill compute and energy,
+    /// sharing its KV blocks by refcount (vLLM/SGLang-style). Off by
+    /// default — with it off the scheduler is bit-identical to the flat
+    /// pre-cache accounting.
+    pub prefix_cache: bool,
 }
 
 impl ServeConfig {
     /// Blocking-prefill configuration (legacy `ContinuousBatcher` regime).
     pub fn blocking(max_batch: usize) -> Self {
-        ServeConfig { max_batch, prefill: PrefillPolicy::Blocking, kv_pool_bytes: None }
+        ServeConfig {
+            max_batch,
+            prefill: PrefillPolicy::Blocking,
+            kv_pool_bytes: None,
+            prefix_cache: false,
+        }
     }
 
     /// Chunked-prefill configuration with the default chunk size.
@@ -88,6 +99,7 @@ impl ServeConfig {
             max_batch,
             prefill: PrefillPolicy::Chunked { chunk_tokens: DEFAULT_CHUNK_TOKENS },
             kv_pool_bytes: None,
+            prefix_cache: false,
         }
     }
 
@@ -100,6 +112,12 @@ impl ServeConfig {
     /// Cap the KV pool (co-tenancy reservation / deterministic tests).
     pub fn kv_pool_cap(mut self, bytes: u64) -> Self {
         self.kv_pool_bytes = Some(bytes);
+        self
+    }
+
+    /// Enable the radix-tree prefix cache.
+    pub fn with_prefix_cache(mut self) -> Self {
+        self.prefix_cache = true;
         self
     }
 }
@@ -123,6 +141,10 @@ pub struct ServeRun {
     /// Output tokens delivered to completed requests (recomputed tokens
     /// after a preemption are not double-counted).
     pub served_output_tokens: u64,
+    /// Prompt tokens served from the prefix cache (0 with it off).
+    pub kv_cache_hit_tokens: u64,
+    /// Copy-on-write block allocations (divergence inside shared blocks).
+    pub kv_blocks_cow: u64,
 }
 
 /// The event-driven iteration-level scheduler.

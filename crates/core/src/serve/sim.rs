@@ -23,7 +23,7 @@
 //! [`EventScheduler`]: crate::serve::EventScheduler
 //! [`EventScheduler::run`]: crate::serve::EventScheduler::run
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use crate::arrivals::Request;
 use crate::config::RunConfig;
@@ -33,7 +33,7 @@ use crate::serve::governor::{GovernorHook, GovernorObs};
 use crate::serve::scheduler::{PrefillPolicy, ServeConfig, ServeRun, KV_BLOCK_TOKENS};
 use crate::serve::trace::{IterPhase, IterationTrace};
 use edgellm_hw::{ClockState, DeviceSpec, PowerMode};
-use edgellm_mem::{KvBlockAllocator, MemoryModel, GB, OOM_HEADROOM_GB};
+use edgellm_mem::{MemoryModel, PagedKv, TokenId, GB, OOM_HEADROOM_GB};
 use edgellm_perf::PerfModel;
 use edgellm_power::{LoadProfile, RailBreakdown, RailModel};
 use edgellm_trace::Histogram;
@@ -73,10 +73,20 @@ pub struct ServeAudit {
     pub kv_blocks_allocated: u64,
     /// KV blocks returned to the pool over the run.
     pub kv_blocks_freed: u64,
-    /// KV blocks still held at snapshot time (0 once drained).
+    /// KV blocks still held at snapshot time (0 once drained with the
+    /// prefix cache off; cached blocks keep it nonzero otherwise).
     pub kv_blocks_in_use: usize,
     /// Total pool blocks at snapshot time (after any shrink).
     pub kv_blocks_total: usize,
+    /// Prompt tokens served from the prefix cache (0 with it off).
+    pub kv_cache_hit_tokens: u64,
+    /// Copy-on-write allocations (divergence inside a shared block).
+    pub kv_blocks_cow: u64,
+    /// Blocks parked in the prefix cache at snapshot time.
+    pub kv_blocks_cached: usize,
+    /// Violations from the paged allocator's refcount/structure
+    /// self-check — one message each, empty when healthy.
+    pub kv_integrity: Vec<String>,
     /// Requests still queued or live at snapshot time.
     pub queue_depth: usize,
     /// Energy integrated so far (J).
@@ -186,7 +196,13 @@ pub struct ServeSim {
     reserve: u64,
     usable: u64,
     block_bytes: u64,
-    kv: KvBlockAllocator,
+    kv: PagedKv,
+    /// Prompt token ids, keyed by request id. Only populated when the
+    /// prefix cache is on and the caller provided real token ids via
+    /// [`ServeSim::submit_with_prompt`]; positions past the provided
+    /// prefix (and every position of plain [`ServeSim::submit`]
+    /// requests) get deterministic per-request synthetic ids.
+    prompts: HashMap<u64, Vec<TokenId>>,
     pending: VecDeque<Job>,
     live: Vec<Live>,
     next_id: u32,
@@ -196,6 +212,11 @@ pub struct ServeSim {
     trace: Vec<IterationTrace>,
     /// Per-iteration rail power samples, aligned with `trace` entries.
     rail_log: Vec<(f64, RailBreakdown)>,
+    /// Prefix-cache occupancy samples `(time, cached blocks)`, aligned
+    /// with `trace` entries. Empty unless the prefix cache is enabled —
+    /// the Perfetto adapter emits a cache-occupancy counter track only
+    /// for runs that produced samples.
+    cache_log: Vec<(f64, usize)>,
     /// `(time, request id)` of each KV-pressure preemption.
     preempt_log: Vec<(f64, u64)>,
     /// `(time, request id)` of each mid-run cancellation.
@@ -229,6 +250,33 @@ impl ServeSim {
         let mut sim = Self::with_seq_hint(cfg, device, run_cfg, max_sl)?;
         for r in requests {
             sim.submit(r);
+        }
+        Ok(sim)
+    }
+
+    /// [`ServeSim::new`], with prompt token ids attached to requests by
+    /// id. Requests with an entry submit via
+    /// [`ServeSim::submit_with_prompt`] so a prefix-cache-enabled config
+    /// can recognize shared prefixes; ids without one (and every request
+    /// under a cache-less config) behave exactly as [`ServeSim::new`].
+    pub fn new_with_prompts(
+        cfg: ServeConfig,
+        device: &DeviceSpec,
+        run_cfg: &RunConfig,
+        requests: &[Request],
+        prompts: &HashMap<u64, Vec<TokenId>>,
+    ) -> Result<Self, RunError> {
+        if requests.is_empty() {
+            return Err(RunError::InvalidConfig("no requests".into()));
+        }
+        let max_sl =
+            requests.iter().map(|r| r.input_tokens + r.output_tokens).max().expect("non-empty");
+        let mut sim = Self::with_seq_hint(cfg, device, run_cfg, max_sl)?;
+        for r in requests {
+            match prompts.get(&r.id) {
+                Some(p) => sim.submit_with_prompt(r, p),
+                None => sim.submit(r),
+            }
         }
         Ok(sim)
     }
@@ -289,7 +337,10 @@ impl ServeSim {
                 usable_gb: usable as f64 / GB,
             });
         }
-        let kv = KvBlockAllocator::new(pool, KV_BLOCK_TOKENS, kv_per_token);
+        let mut kv = PagedKv::new(pool, KV_BLOCK_TOKENS, kv_per_token);
+        if cfg.prefix_cache {
+            kv = kv.with_prefix_cache();
+        }
 
         let rails = RailModel::orin_agx(device.clone());
         let maxn =
@@ -324,6 +375,7 @@ impl ServeSim {
             usable,
             block_bytes,
             kv,
+            prompts: HashMap::new(),
             pending: VecDeque::new(),
             live: Vec::new(),
             next_id: 0,
@@ -332,6 +384,7 @@ impl ServeSim {
             completions: Vec::new(),
             trace: Vec::new(),
             rail_log: Vec::new(),
+            cache_log: Vec::new(),
             preempt_log: Vec::new(),
             cancel_log: Vec::new(),
             energy_j: 0.0,
@@ -362,6 +415,50 @@ impl ServeSim {
             .unwrap_or(self.pending.len());
         self.pending.insert(pos, job);
         self.submitted += 1;
+    }
+
+    /// Queue a request together with its prompt token ids. The ids feed
+    /// the radix prefix cache: two requests sharing a leading run of
+    /// ids (a common system prompt, say) share the KV blocks caching
+    /// it. A prompt shorter than `input_tokens` is padded with the
+    /// synthetic per-request ids plain [`ServeSim::submit`] would use;
+    /// a longer one is truncated. With the prefix cache off this is
+    /// exactly [`ServeSim::submit`].
+    pub fn submit_with_prompt(&mut self, r: &Request, prompt: &[TokenId]) {
+        if self.cfg.prefix_cache {
+            let n = (r.input_tokens as usize).min(prompt.len());
+            self.prompts.insert(r.id, prompt[..n].to_vec());
+        }
+        self.submit(r);
+    }
+
+    /// Deterministic synthetic token id for position `pos` of request
+    /// `rid` (splitmix64 finalizer) — unique enough that unrelated
+    /// requests never alias in the radix cache, and stable across
+    /// preemption/re-admission so a sequence always re-derives the same
+    /// ids for its regenerated tokens.
+    fn synth_token(rid: u64, pos: u64) -> TokenId {
+        let mut x = rid.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(pos);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        (x >> 32) as TokenId
+    }
+
+    /// The token ids a job's current prompt prefills: the submitted
+    /// prompt prefix (when one was provided), padded out to
+    /// `prompt_tokens` — which includes recompute-grown generated
+    /// tokens — with synthetic ids.
+    fn prompt_tokens_for(&self, job: &Job) -> Vec<TokenId> {
+        let n = job.prompt_tokens as usize;
+        let mut ids = Vec::with_capacity(n);
+        if let Some(p) = self.prompts.get(&job.rid) {
+            ids.extend_from_slice(&p[..p.len().min(n)]);
+        }
+        for pos in ids.len() as u64..n as u64 {
+            ids.push(Self::synth_token(job.rid, pos));
+        }
+        ids
     }
 
     /// Current simulation clock (s).
@@ -414,6 +511,9 @@ impl ServeSim {
                 tokens: 0,
             });
             self.rail_log.push((now, self.idle_rails));
+            if self.cfg.prefix_cache {
+                self.cache_log.push((now, self.kv.cached_blocks()));
+            }
             self.t = now;
         }
     }
@@ -440,6 +540,9 @@ impl ServeSim {
                 tokens: 0,
             });
             self.rail_log.push((now, self.idle_rails));
+            if self.cfg.prefix_cache {
+                self.cache_log.push((now, self.kv.cached_blocks()));
+            }
             self.t = now;
         }
         self.admit()?;
@@ -462,9 +565,31 @@ impl ServeSim {
             if job.arrival_s > self.t || self.live.len() >= self.cap {
                 break;
             }
-            // Watermark gate: the prompt plus the first decode token
-            // must have room, or admission waits for blocks to free.
-            let need = ((job.prompt_tokens + 1).div_ceil(KV_BLOCK_TOKENS)) as usize;
+            // Watermark gate: the *uncached* part of the prompt plus the
+            // first decode token must have room, or admission waits for
+            // blocks to free. Planning against the radix cache evicts
+            // cold cached blocks (never the matched path) as needed;
+            // with the cache off the plan is the bare block count —
+            // bit-identical to the flat pre-cache accounting.
+            let prompt_ids =
+                if self.cfg.prefix_cache { Some(self.prompt_tokens_for(&job)) } else { None };
+            let mut need = match &prompt_ids {
+                Some(ids) => {
+                    let plan = self.kv.plan_admission(ids, job.prompt_tokens + 1);
+                    self.kv_freed += plan.evicted as u64;
+                    plan.need_blocks
+                }
+                None => ((job.prompt_tokens + 1).div_ceil(KV_BLOCK_TOKENS)) as usize,
+            };
+            if need > self.kv.free_blocks() && self.live.is_empty() && self.kv.cached_blocks() > 0 {
+                // Quiescent shortage with a populated cache: the plan
+                // already evicted everything off the matched path, and
+                // sacrificing matched nodes cannot help (each one freed
+                // is a block the prompt must immediately re-take). Drop
+                // the cache wholesale and fall back to bare accounting.
+                self.kv_freed += self.kv.clear_cache() as u64;
+                need = ((job.prompt_tokens + 1).div_ceil(KV_BLOCK_TOKENS)) as usize;
+            }
             if need > self.kv.free_blocks() {
                 if self.live.is_empty() {
                     // Every block is free and the prompt still does
@@ -479,42 +604,64 @@ impl ServeSim {
             self.pending.pop_front();
             let id = self.next_id;
             self.next_id += 1;
-            self.kv.register(id);
+            let hit = match &prompt_ids {
+                Some(ids) => {
+                    let out = self.kv.admit(id, ids);
+                    self.kv_allocated += out.new_blocks as u64;
+                    out.hit_tokens
+                }
+                None => {
+                    self.kv.register(id);
+                    0
+                }
+            };
             match self.cfg.prefill {
                 PrefillPolicy::Blocking => {
                     // The joining sequence pays its solo prefill now,
-                    // stalling everything live.
-                    self.kv_allocated +=
-                        self.kv.append(id, job.prompt_tokens).expect("gated on free") as u64;
-                    let dt = self.perf.prefill_time(1, job.prompt_tokens.max(1));
-                    self.t += dt;
-                    self.prefill_stall_s += dt;
-                    let rb = self.rails.power(
-                        &self.clocks,
-                        &self.profile(self.perf.prefill_utilization(1, job.prompt_tokens.max(1))),
-                    );
-                    let p = rb.total_w();
-                    self.energy_j += p * dt;
-                    self.rail_log.push((self.t, rb));
+                    // stalling everything live. A cached prefix skips
+                    // its share of the compute — and its energy: only
+                    // the uncached suffix bills. A full hit skips the
+                    // stall entirely (TTFT lands on the first decode
+                    // token, like a zero-length prompt).
+                    let suffix = job.prompt_tokens - hit;
+                    self.kv_allocated += self.kv.append(id, suffix).expect("gated on free") as u64;
                     let mut job = job;
-                    job.ttft_s = Some(self.t - job.arrival_s);
-                    self.trace.push(IterationTrace {
-                        t_s: self.t,
-                        dt_s: dt,
-                        phase: IterPhase::Prefill,
-                        decoding: 0,
-                        prefilling: 1,
-                        kv_blocks_used: self.kv.used_blocks(),
-                        kv_blocks_total: self.kv.total_blocks(),
-                        power_w: p,
-                        tokens: job.prompt_tokens,
-                    });
+                    if suffix > 0 || !self.cfg.prefix_cache {
+                        let dt = self.perf.prefill_time(1, suffix.max(1));
+                        self.t += dt;
+                        self.prefill_stall_s += dt;
+                        let rb = self.rails.power(
+                            &self.clocks,
+                            &self.profile(self.perf.prefill_utilization(1, suffix.max(1))),
+                        );
+                        let p = rb.total_w();
+                        self.energy_j += p * dt;
+                        self.rail_log.push((self.t, rb));
+                        if self.cfg.prefix_cache {
+                            self.cache_log.push((self.t, self.kv.cached_blocks()));
+                        }
+                        job.ttft_s = Some(self.t - job.arrival_s);
+                        self.trace.push(IterationTrace {
+                            t_s: self.t,
+                            dt_s: dt,
+                            phase: IterPhase::Prefill,
+                            decoding: 0,
+                            prefilling: 1,
+                            kv_blocks_used: self.kv.used_blocks(),
+                            kv_blocks_total: self.kv.total_blocks(),
+                            power_w: p,
+                            tokens: suffix,
+                        });
+                    }
+                    if let Some(ids) = &prompt_ids {
+                        self.kv.insert_prompt(id, ids);
+                    }
                     let gen_base = job.output_total - job.output_remaining;
                     self.live.push(Live { id, job, prompt_done: job.prompt_tokens, gen_base });
                 }
                 PrefillPolicy::Chunked { .. } => {
                     let gen_base = job.output_total - job.output_remaining;
-                    self.live.push(Live { id, job, prompt_done: 0, gen_base });
+                    self.live.push(Live { id, job, prompt_done: hit, gen_base });
                 }
             }
         }
@@ -540,6 +687,13 @@ impl ServeSim {
             }
             if need <= self.kv.free_blocks() {
                 break;
+            }
+            // Cold cached blocks go first — dropping a cache entry only
+            // costs a possible future re-prefill, while preempting a
+            // live sequence costs a certain one.
+            if self.kv.evict_one_cached() {
+                self.kv_freed += 1;
+                continue;
             }
             self.preempt_youngest();
             if self.live.is_empty() {
@@ -635,13 +789,24 @@ impl ServeSim {
                 self.live[i].job.ttft_s = Some(self.t - self.live[i].job.arrival_s);
             }
         }
-        // A zero-length prompt never passes through prefill, so its first
-        // token is the first *decode* token; sequences with prompts have
-        // their TTFT pinned at prefill completion above and are never
-        // still unset here.
+        // A zero-length prompt (or a full prefix-cache hit) never passes
+        // through prefill, so its first token is the first *decode*
+        // token; sequences that did prefill have their TTFT pinned at
+        // prefill completion above and are never still unset here.
         for &i in &deks {
             if self.live[i].job.ttft_s.is_none() {
                 self.live[i].job.ttft_s = Some(self.t - self.live[i].job.arrival_s);
+            }
+        }
+        // Prompts that just finished chunked prefill enter the prefix
+        // cache: their full blocks become shareable with later prompts.
+        // (Must precede the completion sweep — it invalidates indices.)
+        if self.cfg.prefix_cache {
+            for &i in &finished_prefill {
+                let job = self.live[i].job;
+                let id = self.live[i].id;
+                let ids = self.prompt_tokens_for(&job);
+                self.kv.insert_prompt(id, &ids);
             }
         }
 
@@ -707,6 +872,7 @@ impl ServeSim {
                 });
                 self.served_tokens += s.job.output_total;
                 self.kv_freed += self.kv.release(s.id).expect("live seq registered") as u64;
+                self.prompts.remove(&s.job.rid);
             } else {
                 i += 1;
             }
@@ -724,6 +890,9 @@ impl ServeSim {
             tokens: prefill_tokens + n_dec as u64,
         });
         self.rail_log.push((self.t, rail_b));
+        if self.cfg.prefix_cache {
+            self.cache_log.push((self.t, self.kv.cached_blocks()));
+        }
     }
 
     /// Remove every unfinished request (queued and live), releasing their
@@ -735,6 +904,12 @@ impl ServeSim {
         for s in self.live.drain(..) {
             self.kv_freed += self.kv.release(s.id).expect("live seq registered") as u64;
             out.push(s.job.to_request());
+        }
+        // A drained device's memory does not survive the fault: the
+        // prefix cache goes with it (reroutes start cold elsewhere).
+        if self.cfg.prefix_cache {
+            self.kv_freed += self.kv.clear_cache() as u64;
+            self.prompts.clear();
         }
         out.sort_by(|a, b| {
             a.arrival_s.partial_cmp(&b.arrival_s).expect("finite").then(a.id.cmp(&b.id))
@@ -756,6 +931,7 @@ impl ServeSim {
         if let Some(pos) = self.live.iter().position(|s| s.job.rid == rid) {
             let s = self.live.remove(pos);
             self.kv_freed += self.kv.release(s.id).expect("live seq registered") as u64;
+            self.prompts.remove(&rid);
             self.cancel_log.push((self.t, rid));
             return true;
         }
@@ -771,7 +947,16 @@ impl ServeSim {
         if target >= self.kv.total_blocks() {
             return;
         }
-        while self.kv.used_blocks() > target && !self.live.is_empty() {
+        while self.kv.used_blocks() > target {
+            // Cached blocks yield before live sequences do — same order
+            // of sacrifice as admission-time pressure.
+            if self.kv.evict_one_cached() {
+                self.kv_freed += 1;
+                continue;
+            }
+            if self.live.is_empty() {
+                break;
+            }
             self.preempt_youngest();
         }
         self.kv.shrink_to(target).expect("live usage preempted below target");
@@ -979,6 +1164,38 @@ impl ServeSim {
         self.kv_freed
     }
 
+    /// Whether this simulation serves with the radix prefix cache on.
+    pub fn prefix_cache_enabled(&self) -> bool {
+        self.cfg.prefix_cache
+    }
+
+    /// Prompt tokens served from the prefix cache so far.
+    pub fn kv_cache_hit_tokens(&self) -> u64 {
+        self.kv.cache_hit_tokens()
+    }
+
+    /// Copy-on-write block allocations so far.
+    pub fn kv_blocks_cow(&self) -> u64 {
+        self.kv.cow_events()
+    }
+
+    /// Blocks currently parked in the prefix cache.
+    pub fn kv_cached_blocks(&self) -> usize {
+        self.kv.cached_blocks()
+    }
+
+    /// How many leading tokens of `prompt` the prefix cache holds,
+    /// without perturbing recency — a router's affinity probe.
+    pub fn prefix_match_tokens(&self, prompt: &[TokenId]) -> u64 {
+        self.kv.probe_prefix(prompt)
+    }
+
+    /// Prefix-cache occupancy samples `(time, cached blocks)` so far
+    /// (empty with the cache off).
+    pub fn cache_occupancy_log(&self) -> &[(f64, usize)] {
+        &self.cache_log
+    }
+
     /// Accounting snapshot for invariant oracles. Fleet runs expose one
     /// per device (where the consumed [`ServeRun`] is unavailable); the
     /// checking harness replays its invariants against this.
@@ -993,6 +1210,10 @@ impl ServeSim {
             kv_blocks_freed: self.kv_freed,
             kv_blocks_in_use: self.kv.used_blocks(),
             kv_blocks_total: self.kv.total_blocks(),
+            kv_cache_hit_tokens: self.kv.cache_hit_tokens(),
+            kv_blocks_cow: self.kv.cow_events(),
+            kv_blocks_cached: self.kv.cached_blocks(),
+            kv_integrity: self.kv.verify(),
             queue_depth: self.pending.len() + self.live.len(),
             energy_j: self.energy_j,
             preemptions: self.preemptions,
@@ -1049,6 +1270,7 @@ impl ServeSim {
                     &self.label,
                     &self.trace,
                     &self.rail_log,
+                    &self.cache_log,
                     &self.preempt_log,
                 );
             });
@@ -1060,6 +1282,8 @@ impl ServeSim {
             cancelled: self.cancel_log,
             kv_blocks_allocated: self.kv_allocated,
             kv_blocks_freed: self.kv_freed,
+            kv_cache_hit_tokens: self.kv.cache_hit_tokens(),
+            kv_blocks_cow: self.kv.cow_events(),
             served_output_tokens: self.served_tokens,
         }
     }
@@ -1250,6 +1474,190 @@ mod tests {
         assert_eq!(sim.served_output_tokens(), 4 * 96);
         assert_eq!(sim.kv_blocks_allocated(), sim.kv_blocks_freed());
         assert_eq!(sim.kv_used_blocks(), 0);
+    }
+
+    /// Drive a sim to completion and return it.
+    fn drain(mut sim: ServeSim) -> ServeSim {
+        while let Some(now) = sim.next_event_s() {
+            sim.step(now).unwrap();
+        }
+        sim
+    }
+
+    #[test]
+    fn prefix_cache_off_by_default_leaves_counters_dark() {
+        let (dev, cfg) = setup();
+        let reqs = PoissonArrivals::paper_shape(2.0).generate(10, 13);
+        let sim = drain(ServeSim::new(ServeConfig::chunked(16), &dev, &cfg, &reqs).unwrap());
+        assert!(!sim.prefix_cache_enabled());
+        assert_eq!(sim.kv_cache_hit_tokens(), 0);
+        assert_eq!(sim.kv_blocks_cow(), 0);
+        assert_eq!(sim.kv_cached_blocks(), 0);
+        assert!(sim.cache_occupancy_log().is_empty());
+        let audit = sim.audit();
+        assert!(audit.kv_integrity.is_empty(), "{:?}", audit.kv_integrity);
+        assert_eq!(audit.kv_blocks_in_use, 0);
+    }
+
+    /// Two requests sharing their whole prompt, arriving far enough
+    /// apart that the first finishes prefill before the second admits.
+    fn shared_prompt_pair(cfg_serve: ServeConfig, dev: &DeviceSpec, cfg: &RunConfig) -> ServeSim {
+        let reqs = [
+            Request { id: 0, arrival_s: 0.0, input_tokens: 128, output_tokens: 32 },
+            Request { id: 1, arrival_s: 60.0, input_tokens: 128, output_tokens: 32 },
+        ];
+        let max_sl = 160;
+        let mut sim = ServeSim::with_seq_hint(cfg_serve, dev, cfg, max_sl).unwrap();
+        let prompt: Vec<TokenId> = (0..128).map(|i| 70_000 + i).collect();
+        for r in &reqs {
+            sim.submit_with_prompt(r, &prompt);
+        }
+        sim
+    }
+
+    #[test]
+    fn warm_prefix_hit_cuts_ttft_and_energy() {
+        let (dev, cfg) = setup();
+        let cold = drain(shared_prompt_pair(ServeConfig::chunked(16), &dev, &cfg));
+        let warm =
+            drain(shared_prompt_pair(ServeConfig::chunked(16).with_prefix_cache(), &dev, &cfg));
+        assert_eq!(warm.completions().len(), 2);
+        assert_eq!(warm.kv_cache_hit_tokens(), 128, "second prompt fully cached");
+        let cold_ttft = |sim: &ServeSim, rid: u64| {
+            sim.completions().iter().find(|c| c.rid == rid).unwrap().ttft_s
+        };
+        assert_eq!(
+            cold_ttft(&warm, 0),
+            cold_ttft(&cold, 0),
+            "first request serves cold either way"
+        );
+        assert!(
+            cold_ttft(&warm, 1) < cold_ttft(&cold, 1),
+            "cached prefill must cut the second TTFT: {} vs {}",
+            cold_ttft(&warm, 1),
+            cold_ttft(&cold, 1)
+        );
+        assert!(
+            warm.energy_j() < cold.energy_j(),
+            "skipped prefill compute must save energy: {} vs {}",
+            warm.energy_j(),
+            cold.energy_j()
+        );
+        assert!(!warm.cache_occupancy_log().is_empty());
+        // Drained audit: only the cache parks blocks, and the refcount
+        // self-check is clean.
+        let audit = warm.audit();
+        assert!(audit.kv_integrity.is_empty(), "{:?}", audit.kv_integrity);
+        assert_eq!(audit.kv_blocks_in_use, audit.kv_blocks_cached);
+        assert_eq!(
+            audit.kv_blocks_allocated,
+            audit.kv_blocks_freed + audit.kv_blocks_cached as u64
+        );
+    }
+
+    #[test]
+    fn warm_blocking_prefill_skips_the_stall() {
+        let (dev, cfg) = setup();
+        let cold = drain(shared_prompt_pair(ServeConfig::blocking(4), &dev, &cfg));
+        let warm =
+            drain(shared_prompt_pair(ServeConfig::blocking(4).with_prefix_cache(), &dev, &cfg));
+        assert_eq!(warm.kv_cache_hit_tokens(), 128);
+        let ttft = |sim: &ServeSim, rid: u64| {
+            sim.completions().iter().find(|c| c.rid == rid).unwrap().ttft_s
+        };
+        // A full hit skips the blocking stall entirely: TTFT lands on
+        // the first decode step.
+        assert!(ttft(&warm, 1) < ttft(&cold, 1));
+        assert!(warm.energy_j() < cold.energy_j());
+        assert!(warm.audit().kv_integrity.is_empty());
+    }
+
+    #[test]
+    fn divergent_prompts_copy_on_write() {
+        let (dev, cfg) = setup();
+        let reqs = [
+            Request { id: 0, arrival_s: 0.0, input_tokens: 64, output_tokens: 16 },
+            Request { id: 1, arrival_s: 60.0, input_tokens: 64, output_tokens: 16 },
+        ];
+        let mut sim =
+            ServeSim::with_seq_hint(ServeConfig::chunked(16).with_prefix_cache(), &dev, &cfg, 80)
+                .unwrap();
+        let base: Vec<TokenId> = (0..64).map(|i| 50_000 + i).collect();
+        let mut fork = base.clone();
+        for t in &mut fork[20..] {
+            *t += 9_999; // diverges 4 tokens into the second block
+        }
+        sim.submit_with_prompt(&reqs[0], &base);
+        sim.submit_with_prompt(&reqs[1], &fork);
+        let sim = drain(sim);
+        assert_eq!(sim.completions().len(), 2);
+        assert_eq!(sim.kv_cache_hit_tokens(), 20, "16 shared + 4 copied");
+        assert_eq!(sim.kv_blocks_cow(), 1);
+        assert!(sim.audit().kv_integrity.is_empty());
+    }
+
+    #[test]
+    fn preemption_with_cache_resumes_from_cached_blocks() {
+        // Pool of exactly one sequence (as the flat test above) but with
+        // the prefix cache on: preempted prompts re-admit against their
+        // own cached prefix instead of recomputing everything, and the
+        // run still drains with clean accounting.
+        let (dev, cfg) = setup();
+        let reqs: Vec<Request> = (0..4)
+            .map(|id| Request { id, arrival_s: 0.0, input_tokens: 48, output_tokens: 96 })
+            .collect();
+        let kv_per_token = cfg.llm.arch().kv_bytes_per_token();
+        let pool = 144 * kv_per_token;
+        let mut sim = ServeSim::new(
+            ServeConfig::chunked(16).kv_pool_cap(pool).with_prefix_cache(),
+            &dev,
+            &cfg,
+            &reqs,
+        )
+        .unwrap();
+        assert_eq!(sim.kv_total_blocks(), 9);
+        while let Some(now) = sim.next_event_s() {
+            sim.step(now).unwrap();
+        }
+        assert_eq!(sim.completions().len(), 4, "one-sequence pool still drains");
+        assert!(sim.preemptions() > 0, "contention must preempt");
+        assert_eq!(sim.served_output_tokens(), 4 * 96);
+        let audit = sim.audit();
+        assert!(audit.kv_integrity.is_empty(), "{:?}", audit.kv_integrity);
+        assert_eq!(audit.kv_blocks_in_use, audit.kv_blocks_cached);
+        assert_eq!(
+            audit.kv_blocks_allocated,
+            audit.kv_blocks_freed + audit.kv_blocks_cached as u64
+        );
+    }
+
+    #[test]
+    fn drain_with_cache_releases_everything() {
+        let (dev, cfg) = setup();
+        let mut sim = shared_prompt_pair(ServeConfig::chunked(8).with_prefix_cache(), &dev, &cfg);
+        for _ in 0..6 {
+            let now = sim.next_event_s().unwrap();
+            sim.step(now).unwrap();
+        }
+        let _ = sim.drain_incomplete();
+        assert_eq!(sim.kv_occupancy(), 0.0, "drain clears the cache too");
+        assert_eq!(sim.kv_cached_blocks(), 0);
+        assert_eq!(sim.kv_blocks_allocated(), sim.kv_blocks_freed());
+        assert!(sim.audit().kv_integrity.is_empty());
+    }
+
+    #[test]
+    fn shrink_kv_pool_evicts_cache_before_preempting() {
+        let (dev, cfg) = setup();
+        let sim =
+            drain(shared_prompt_pair(ServeConfig::chunked(16).with_prefix_cache(), &dev, &cfg));
+        let cached = sim.kv_cached_blocks();
+        assert!(cached > 0, "drained run leaves a warm cache");
+        let mut sim = sim;
+        sim.shrink_kv_pool(1);
+        assert_eq!(sim.kv_total_blocks(), 1);
+        assert!(sim.kv_cached_blocks() <= 1);
+        assert!(sim.audit().kv_integrity.is_empty());
     }
 
     #[test]

@@ -26,9 +26,11 @@
 //! ([`serve`]) compares the event-driven scheduler's prefill policies,
 //! `ext-fleet` ([`fleet`]) serves one request stream across a
 //! heterogeneous multi-device fleet with routing, faults and offload,
-//! and `ext-governor` ([`governor`]) pits online power-mode governors
+//! `ext-governor` ([`governor`]) pits online power-mode governors
 //! (hysteretic SLO ladder, energy budget, thermal headroom) against
-//! every static mode on steady, bursty and adversarial arrivals.
+//! every static mode on steady, bursty and adversarial arrivals, and
+//! `ext-prefix` ([`prefix`]) sweeps the shared-system-prompt ratio to
+//! show TTFT and J/token falling with the radix prefix-cache hit rate.
 //!
 //! Run them through the `edgellm` binary (`edgellm run fig1`,
 //! `edgellm all`) or the [`runner`] API.
@@ -43,6 +45,7 @@ pub mod paper;
 pub mod perplexity;
 pub mod power_energy;
 pub mod power_modes;
+pub mod prefix;
 pub mod quant_perf;
 pub mod report;
 pub mod runner;

@@ -50,7 +50,7 @@ impl ExperimentOpts {
 }
 
 /// All experiment ids, in paper order.
-pub const EXPERIMENT_IDS: [&str; 20] = [
+pub const EXPERIMENT_IDS: [&str; 21] = [
     "tab1",
     "tab2",
     "fig1",
@@ -71,6 +71,7 @@ pub const EXPERIMENT_IDS: [&str; 20] = [
     "ext-thermal",
     "ext-fleet",
     "ext-governor",
+    "ext-prefix",
 ];
 
 /// Human description of each experiment.
@@ -96,6 +97,7 @@ pub fn describe(id: &str) -> Option<&'static str> {
         "ext-thermal" => "Extension: sustained serving under thermal limits",
         "ext-fleet" => "Extension: heterogeneous fleet serving — routing, faults, offload",
         "ext-governor" => "Extension: online SLO-aware power-mode governor vs static modes",
+        "ext-prefix" => "Extension: radix prefix cache — shared-system-prompt ratio sweep",
         _ => return None,
     })
 }
@@ -129,6 +131,7 @@ pub fn run_experiment(id: &str, opts: ExperimentOpts) -> Option<ExperimentResult
         "ext-thermal" => crate::extensions::thermal_sustained(),
         "ext-fleet" => crate::fleet::run(),
         "ext-governor" => crate::governor::run(opts),
+        "ext-prefix" => crate::prefix::run(),
         _ => return None,
     })
 }

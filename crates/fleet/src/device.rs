@@ -221,7 +221,12 @@ impl DeviceSim {
         }
     }
 
-    pub(crate) fn view(&self, index: usize) -> DeviceView {
+    /// Snapshot this member for one routing decision. `prompt` is the
+    /// routed request's prompt token ids, when known — the view's
+    /// `prefix_hit_tokens` probes the member's radix cache against it
+    /// (without bumping recency), so routing sees exactly what admission
+    /// would reuse.
+    pub(crate) fn view(&self, index: usize, prompt: Option<&[u32]>) -> DeviceView {
         DeviceView {
             index,
             up: self.up,
@@ -231,11 +236,17 @@ impl DeviceSim {
             kv_occupancy: self.sim.kv_occupancy(),
             est_decode_tok_s: self.est_decode_tok_s,
             est_energy_per_token_j: self.est_energy_per_token_j,
+            prefix_hit_tokens: prompt.map_or(0, |p| self.sim.prefix_match_tokens(p)),
         }
     }
 
     pub(crate) fn submit(&mut self, r: &Request) {
         self.sim.submit(r);
+        self.routed += 1;
+    }
+
+    pub(crate) fn submit_with_prompt(&mut self, r: &Request, prompt: &[u32]) {
+        self.sim.submit_with_prompt(r, prompt);
         self.routed += 1;
     }
 

@@ -29,6 +29,10 @@ pub struct DeviceView {
     pub est_decode_tok_s: f64,
     /// Estimated serving energy per output token (J/token).
     pub est_energy_per_token_j: f64,
+    /// Tokens of the routed request's prompt already resident in this
+    /// device's radix prefix cache (0 when the device serves without a
+    /// prefix cache, or when the request carries no prompt tokens).
+    pub prefix_hit_tokens: u64,
 }
 
 impl DeviceView {
@@ -133,6 +137,37 @@ impl RoutingPolicy for LeastKvPressure {
     }
 }
 
+/// Route to the device holding the longest cached prefix of the
+/// request's prompt — a warm radix cache lets admission skip the cached
+/// tokens' prefill compute and energy entirely, which beats any
+/// load-balancing gain for shared-system-prompt traffic. When no device
+/// has cached anything (cold caches, prompt-less requests, or members
+/// serving without a prefix cache), falls back to
+/// [`LeastKvPressure`]'s scoring so the policy degrades to sane
+/// balancing instead of pinning everything on device 0.
+#[derive(Debug, Clone, Default)]
+pub struct PrefixAffinity;
+
+impl RoutingPolicy for PrefixAffinity {
+    fn name(&self) -> &'static str {
+        "prefix-affinity"
+    }
+
+    fn route(&mut self, _req: &Request, devices: &[DeviceView]) -> Decision {
+        let warm = up(devices)
+            .filter(|d| d.prefix_hit_tokens > 0)
+            .map(|d| (d.index, d.prefix_hit_tokens))
+            // Longest hit wins; ties go to the lowest index (the
+            // comparator makes the lower index strictly greater, so the
+            // max is unique).
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)));
+        match warm {
+            Some((i, _)) => Decision::Device(i),
+            None => argmin_by(devices, |d| d.kv_occupancy * 1e6 + d.queue_depth as f64),
+        }
+    }
+}
+
 /// Greedily fill the most energy-efficient device first, spilling to the
 /// next-cheapest once its backlog exceeds `max_backlog_tokens` — the
 /// consolidation strategy an energy-constrained deployment runs.
@@ -215,6 +250,7 @@ mod tests {
             kv_occupancy: kv,
             est_decode_tok_s: 100.0,
             est_energy_per_token_j: e_tok,
+            prefix_hit_tokens: 0,
         }
     }
 
@@ -243,6 +279,34 @@ mod tests {
     fn least_kv_prefers_free_pool() {
         let views = vec![view(0, 0, 0, 0.9, 1.0), view(1, 5, 0, 0.1, 1.0)];
         assert_eq!(LeastKvPressure.route(&req(0), &views), Decision::Device(1));
+    }
+
+    #[test]
+    fn prefix_affinity_chases_the_longest_cached_prefix() {
+        let mut views = vec![view(0, 0, 0, 0.2, 1.0), view(1, 9, 0, 0.9, 1.0)];
+        views[1].prefix_hit_tokens = 96;
+        let mut p = PrefixAffinity;
+        assert_eq!(
+            p.route(&req(0), &views),
+            Decision::Device(1),
+            "a warm cache outranks load: skipped prefill beats a shorter queue"
+        );
+        views[0].prefix_hit_tokens = 96;
+        assert_eq!(p.route(&req(1), &views), Decision::Device(0), "hit ties go to lowest index");
+        views[1].up = false;
+        views[0].prefix_hit_tokens = 0;
+        views[1].prefix_hit_tokens = 128;
+        assert_eq!(p.route(&req(2), &views), Decision::Device(0), "down devices are ignored");
+    }
+
+    #[test]
+    fn prefix_affinity_cold_falls_back_to_least_kv_pressure() {
+        let views = vec![view(0, 0, 0, 0.9, 1.0), view(1, 5, 0, 0.1, 1.0)];
+        assert_eq!(
+            PrefixAffinity.route(&req(0), &views),
+            LeastKvPressure.route(&req(0), &views),
+            "no hits anywhere → identical to least-kv-pressure"
+        );
     }
 
     #[test]

@@ -169,6 +169,12 @@ pub struct FleetSim {
     /// Per-device count of governor decisions already reconciled into
     /// the router log.
     gov_seen: Vec<usize>,
+    /// Prompt token ids by request id, for members serving with a prefix
+    /// cache: routing probes each device's radix cache against the
+    /// prompt, and placement hands it to the device so admission can
+    /// reuse (and later cache) the prefix. Requests without an entry
+    /// route and serve exactly as before.
+    prompts: std::collections::HashMap<u64, Vec<u32>>,
 }
 
 impl FleetSim {
@@ -215,7 +221,19 @@ impl FleetSim {
             cloud_done_s: 0.0,
             tlog: Vec::new(),
             gov_seen,
+            prompts: std::collections::HashMap::new(),
         })
+    }
+
+    /// Attach prompt token ids to requests (by request id). Members
+    /// serving with a prefix cache ([`ServeConfig::with_prefix_cache`](edgellm_core::ServeConfig::with_prefix_cache))
+    /// probe their radix caches against these at routing time — the
+    /// [`PrefixAffinity`](crate::routing::PrefixAffinity) policy's
+    /// signal — and reuse the cached prefix at admission. Ids without an
+    /// entry behave exactly as before.
+    pub fn with_prompts(mut self, prompts: impl IntoIterator<Item = (u64, Vec<u32>)>) -> Self {
+        self.prompts.extend(prompts);
+        self
     }
 
     /// Drive every event to completion and aggregate the report.
@@ -274,6 +292,7 @@ impl FleetSim {
                 &d.cfg.name,
                 d.sim.trace(),
                 d.sim.rail_trace(),
+                d.sim.cache_occupancy_log(),
                 d.sim.preemption_events(),
             );
             if let Some(g) = d.governor() {
@@ -603,8 +622,9 @@ impl FleetSim {
     }
 
     fn route(&mut self, r: Request, now: f64) {
+        let prompt = self.prompts.get(&r.id).map(|p| p.as_slice());
         let views: Vec<DeviceView> =
-            self.devices.iter().enumerate().map(|(i, d)| d.view(i)).collect();
+            self.devices.iter().enumerate().map(|(i, d)| d.view(i, prompt)).collect();
         if !views.iter().any(|v| v.up) {
             if self.cfg.cloud.is_some() {
                 self.cloud_complete(r, now);
@@ -645,7 +665,10 @@ impl FleetSim {
     fn place(&mut self, i: usize, r: &Request, now: f64) {
         self.tlog.push((now, RouterMark::Routed { rid: r.id, device: i }));
         self.devices[i].sim.idle_to(now);
-        self.devices[i].submit(r);
+        match self.prompts.get(&r.id) {
+            Some(p) => self.devices[i].submit_with_prompt(r, p),
+            None => self.devices[i].submit(r),
+        }
     }
 
     fn cloud_complete(&mut self, r: Request, now: f64) {
@@ -954,6 +977,59 @@ mod tests {
         edgellm_trace::validate_chrome_trace(&json).expect("schema-valid governed fleet trace");
         assert!(json.contains("governor_step"), "router marks rendered");
         assert!(json.contains("active_power_mode"), "per-device mode counter track");
+    }
+
+    #[test]
+    fn prefix_affinity_consolidates_shared_prompts_on_one_cache() {
+        use crate::routing::PrefixAffinity;
+        use edgellm_core::serve::ServeConfig;
+        // Identical twins, both serving with a prefix cache, fed requests
+        // that all share one 128-token system prompt arriving far enough
+        // apart to admit one at a time.
+        let members = || {
+            agx_pair()
+                .into_iter()
+                .map(|m| m.serve(ServeConfig::chunked(16).with_prefix_cache()))
+                .collect::<Vec<_>>()
+        };
+        let system: Vec<u32> = (0..128).map(|i| 900_000 + i).collect();
+        let reqs: Vec<Request> = (0..6)
+            .map(|i| Request {
+                id: i,
+                arrival_s: i as f64 * 40.0,
+                input_tokens: 128,
+                output_tokens: 16,
+            })
+            .collect();
+        let prompts = || reqs.iter().map(|r| (r.id, system.clone()));
+        let run = |policy: Box<dyn RoutingPolicy>| {
+            FleetSim::new(members(), policy, FleetConfig::default(), &reqs)
+                .unwrap()
+                .with_prompts(prompts())
+                .run_audited()
+                .unwrap()
+        };
+        let affine = run(Box::new(PrefixAffinity));
+        assert_eq!(affine.report.completed, 6);
+        // The first request lands cold (fallback scoring); every later
+        // one chases its warm cache, so one device serves everything and
+        // its counters show real reuse.
+        let warm: Vec<_> = affine.devices.iter().filter(|d| d.kv_cache_hit_tokens > 0).collect();
+        assert_eq!(warm.len(), 1, "all shared-prompt traffic consolidates on one cache");
+        assert!(warm[0].kv_cache_hit_tokens >= 128 * 5, "five warm admissions reuse the prompt");
+        let routed: Vec<usize> = affine.report.devices.iter().map(|d| d.routed).collect();
+        assert!(routed.contains(&6), "one member took all six requests: {routed:?}");
+        // Round-robin splits the same trace across both caches and reuses
+        // strictly less.
+        let rr = run(Box::<RoundRobin>::default());
+        let rr_hits: u64 = rr.devices.iter().map(|d| d.kv_cache_hit_tokens).sum();
+        let affine_hits: u64 = affine.devices.iter().map(|d| d.kv_cache_hit_tokens).sum();
+        assert!(
+            affine_hits > rr_hits,
+            "affinity {affine_hits} hit tokens vs round-robin {rr_hits}"
+        );
+        // Determinism holds with prompts attached.
+        assert_eq!(run(Box::new(PrefixAffinity)).report, affine.report);
     }
 
     #[test]

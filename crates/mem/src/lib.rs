@@ -13,14 +13,26 @@
 //!   memory usage before loading the model" (§2);
 //! * [`kv`] — a paged KV-cache allocator (block-granular, per-sequence)
 //!   with fragmentation statistics, used by the runtime and the paging
-//!   ablation bench.
+//!   ablation bench;
+//! * [`block_pool`] / [`radix`] / [`paged`] — the prefix-sharing
+//!   generation of that allocator: refcounted fixed-size blocks
+//!   ([`BlockPool`]), a radix-tree prompt-prefix cache with
+//!   deterministic LRU eviction ([`RadixCache`]), and the [`PagedKv`]
+//!   facade the serve scheduler drives (vLLM/SGLang-style paged
+//!   attention accounting, simulation-first).
 
+pub mod block_pool;
 pub mod kv;
 pub mod layout;
+pub mod paged;
+pub mod radix;
 pub mod tracker;
 
+pub use block_pool::BlockPool;
 pub use kv::{KvBlockAllocator, KvError, SeqId};
 pub use layout::{ActivationCalib, MemoryModel, OOM_HEADROOM_GB};
+pub use paged::{AdmitOutcome, AdmitPlan, PagedKv};
+pub use radix::{PrefixMatch, RadixCache, TokenId};
 pub use tracker::{MemTracker, OomError};
 
 /// Decimal gigabyte (the unit of every table in the paper).

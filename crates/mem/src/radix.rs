@@ -1,0 +1,433 @@
+//! Radix-tree prefix cache over token-id block chunks.
+//!
+//! SGLang-style prefix sharing adapted to the simulator's determinism
+//! discipline. Each tree node owns exactly one *full* KV block
+//! (`block_tokens` token ids), so the tree's depth-`d` path spells out
+//! a `d · block_tokens`-token prompt prefix and the cache never has to
+//! split storage below block granularity. Because blocks are the
+//! indivisible unit, two sibling nodes may share a sub-block token
+//! prefix; the matcher resolves that by taking the longest common
+//! prefix, breaking ties toward the lowest node id.
+//!
+//! A lookup returns the fully-matched shared blocks plus at most one
+//! *partial* hit — a cached block that agrees with the prompt only for
+//! its first `k < block_tokens` tokens. Partial hits are consumed via
+//! copy-on-write ([`crate::BlockPool::cow_from`]): the new sequence
+//! copies the agreeing `k` tokens into a private block and diverges
+//! there, leaving the cached original untouched.
+//!
+//! Eviction is leaf-first LRU ordered by `(last_use, node id)`, and
+//! only considers leaves whose block has no holder besides the cache
+//! itself — evicting a block a live sequence still reads would be a
+//! use-after-free (the `edgellm-check` block-refcount oracle guards
+//! exactly this). `last_use` is a logical tick bumped per lookup, not
+//! wall time, so eviction order is bit-reproducible across hosts.
+
+use crate::block_pool::BlockPool;
+
+/// A prompt token id. The simulator synthesizes deterministic ids when
+/// the caller doesn't supply real ones; only equality matters here.
+pub type TokenId = u32;
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Exactly `block_tokens` token ids.
+    tokens: Vec<TokenId>,
+    /// The pool block caching this chunk's KV.
+    block: usize,
+    /// Parent node index (`None` = child of the root).
+    parent: Option<usize>,
+    /// Child node indices, in insertion order.
+    children: Vec<usize>,
+    /// Logical tick of the most recent lookup touching this node.
+    last_use: u64,
+    live: bool,
+}
+
+/// Result of matching a prompt against the cache.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PrefixMatch {
+    /// Fully-matched cached blocks, in token order.
+    pub blocks: Vec<usize>,
+    /// At most one trailing partial hit: `(block, matched tokens)`
+    /// with `0 < matched < block_tokens`.
+    pub partial: Option<(usize, u64)>,
+    /// Total matched tokens (full blocks + partial).
+    pub hit_tokens: u64,
+}
+
+/// Radix-tree prefix cache: one node per full KV block.
+#[derive(Debug, Clone)]
+pub struct RadixCache {
+    block_tokens: usize,
+    /// Node slab; indices are stable for a node's lifetime and reused
+    /// LIFO after removal (deterministically).
+    nodes: Vec<Node>,
+    free_nodes: Vec<usize>,
+    /// Children of the (implicit, empty) root.
+    root_children: Vec<usize>,
+    /// Logical clock for LRU ordering.
+    tick: u64,
+    live_nodes: usize,
+}
+
+impl RadixCache {
+    /// An empty cache over `block_tokens`-token blocks.
+    pub fn new(block_tokens: u64) -> Self {
+        RadixCache {
+            block_tokens: block_tokens as usize,
+            nodes: Vec::new(),
+            free_nodes: Vec::new(),
+            root_children: Vec::new(),
+            tick: 0,
+            live_nodes: 0,
+        }
+    }
+
+    /// Cached blocks currently held by the tree (== live nodes: every
+    /// node owns exactly one block).
+    pub fn cached_blocks(&self) -> usize {
+        self.live_nodes
+    }
+
+    fn common_prefix(a: &[TokenId], b: &[TokenId]) -> usize {
+        a.iter().zip(b).take_while(|(x, y)| x == y).count()
+    }
+
+    /// Walk the tree along `tokens`, collecting the matched path.
+    /// Returns `(match, path node indices)`.
+    fn walk(&self, tokens: &[TokenId]) -> (PrefixMatch, Vec<usize>) {
+        let mut m = PrefixMatch::default();
+        let mut path = Vec::new();
+        let mut cursor = 0usize;
+        let mut children: &[usize] = &self.root_children;
+        loop {
+            let remaining = &tokens[cursor..];
+            if remaining.is_empty() {
+                break;
+            }
+            // Longest common prefix wins; ties go to the lowest node id.
+            let mut best: Option<(usize, usize)> = None; // (len, node)
+            for &c in children {
+                let l = Self::common_prefix(&self.nodes[c].tokens, remaining);
+                if l > 0 && best.is_none_or(|(bl, bn)| l > bl || (l == bl && c < bn)) {
+                    best = Some((l, c));
+                }
+            }
+            let Some((l, c)) = best else { break };
+            path.push(c);
+            if l == self.block_tokens {
+                m.blocks.push(self.nodes[c].block);
+                m.hit_tokens += l as u64;
+                cursor += l;
+                children = &self.nodes[c].children;
+            } else {
+                m.partial = Some((self.nodes[c].block, l as u64));
+                m.hit_tokens += l as u64;
+                break;
+            }
+        }
+        (m, path)
+    }
+
+    /// Match a prompt, bumping recency on the matched path (this *is*
+    /// a use: admission consumes the result).
+    pub fn lookup(&mut self, tokens: &[TokenId]) -> PrefixMatch {
+        let (m, path) = self.walk(tokens);
+        self.tick += 1;
+        for n in path {
+            self.nodes[n].last_use = self.tick;
+        }
+        m
+    }
+
+    /// [`RadixCache::lookup`], additionally returning the matched path's
+    /// node indices — the set an admission planner must shield from its
+    /// own make-room eviction ([`RadixCache::evict_lru_excluding`]).
+    pub fn lookup_with_path(&mut self, tokens: &[TokenId]) -> (PrefixMatch, Vec<usize>) {
+        let (m, path) = self.walk(tokens);
+        self.tick += 1;
+        for &n in &path {
+            self.nodes[n].last_use = self.tick;
+        }
+        (m, path)
+    }
+
+    /// Read-only match (no recency bump) — for routing probes that
+    /// must not perturb eviction order.
+    pub fn probe(&self, tokens: &[TokenId]) -> PrefixMatch {
+        self.walk(tokens).0
+    }
+
+    fn alloc_node(&mut self, node: Node) -> usize {
+        self.live_nodes += 1;
+        match self.free_nodes.pop() {
+            Some(i) => {
+                self.nodes[i] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    /// Insert the full-block chunks of a finished prompt whose KV lives
+    /// in `blocks` (the sequence's blocks, in token order — block `i`
+    /// caches `tokens[i·bt .. (i+1)·bt]`). Each newly-cached block
+    /// gains a pool reference (the tree's hold on it). Chunks already
+    /// cached — by this sequence's own admission match or by a
+    /// duplicate computed concurrently — are skipped. Returns the
+    /// number of blocks newly cached.
+    pub fn insert(&mut self, tokens: &[TokenId], blocks: &[usize], pool: &mut BlockPool) -> usize {
+        let bt = self.block_tokens;
+        let n_full = (tokens.len() / bt).min(blocks.len());
+        self.tick += 1;
+        let tick = self.tick;
+        let mut parent: Option<usize> = None;
+        let mut inserted = 0;
+        for i in 0..n_full {
+            let chunk = &tokens[i * bt..(i + 1) * bt];
+            let children = match parent {
+                None => &self.root_children,
+                Some(p) => &self.nodes[p].children,
+            };
+            let found = children.iter().copied().find(|&c| self.nodes[c].tokens == chunk);
+            match found {
+                Some(c) => {
+                    self.nodes[c].last_use = tick;
+                    parent = Some(c);
+                }
+                None => {
+                    pool.retain(blocks[i]);
+                    let id = self.alloc_node(Node {
+                        tokens: chunk.to_vec(),
+                        block: blocks[i],
+                        parent,
+                        children: Vec::new(),
+                        last_use: tick,
+                        live: true,
+                    });
+                    match parent {
+                        None => self.root_children.push(id),
+                        Some(p) => self.nodes[p].children.push(id),
+                    }
+                    parent = Some(id);
+                    inserted += 1;
+                }
+            }
+        }
+        inserted
+    }
+
+    /// Evict the least-recently-used evictable leaf — a childless node
+    /// whose block has no holder besides the cache — returning its
+    /// block to the pool. `false` when nothing is evictable.
+    pub fn evict_lru(&mut self, pool: &mut BlockPool) -> bool {
+        self.evict_lru_excluding(pool, &[])
+    }
+
+    /// [`RadixCache::evict_lru`] skipping the nodes in `exclude` — an
+    /// admission planner shields the path it just matched so making
+    /// room can never consume its own hit.
+    pub fn evict_lru_excluding(&mut self, pool: &mut BlockPool, exclude: &[usize]) -> bool {
+        let mut best: Option<(u64, u64)> = None;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.live
+                && n.children.is_empty()
+                && pool.refcount(n.block) == 1
+                && !exclude.contains(&i)
+            {
+                let key = (n.last_use, i as u64);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        let Some((_, i)) = best.map(|(_, i)| ((), i as usize)) else { return false };
+        let (block, parent) = (self.nodes[i].block, self.nodes[i].parent);
+        match parent {
+            None => self.root_children.retain(|&c| c != i),
+            Some(p) => self.nodes[p].children.retain(|&c| c != i),
+        }
+        self.nodes[i].live = false;
+        self.nodes[i].children = Vec::new();
+        self.nodes[i].tokens = Vec::new();
+        self.free_nodes.push(i);
+        self.live_nodes -= 1;
+        pool.unref(block);
+        true
+    }
+
+    /// Evict until the pool has at least `need_free` free blocks (or
+    /// nothing evictable remains). Returns blocks evicted.
+    pub fn evict_until(&mut self, pool: &mut BlockPool, need_free: usize) -> usize {
+        let mut evicted = 0;
+        while pool.free_blocks() < need_free && self.evict_lru(pool) {
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Drop every cached block (e.g. on drain), returning them to the
+    /// pool. Returns blocks evicted.
+    pub fn clear(&mut self, pool: &mut BlockPool) -> usize {
+        let mut evicted = 0;
+        while self.evict_lru(pool) {
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Blocks currently held by the tree, for refcount cross-checks.
+    pub fn held_blocks(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.nodes.iter().filter(|n| n.live).map(|n| n.block).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Structural consistency check; one message per violation.
+    pub fn verify(&self, pool: &BlockPool) -> Vec<String> {
+        let mut bad = Vec::new();
+        let mut held = std::collections::HashSet::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !n.live {
+                continue;
+            }
+            if n.tokens.len() != self.block_tokens {
+                bad.push(format!("node {i} holds {} tokens, not a full block", n.tokens.len()));
+            }
+            if pool.refcount(n.block) == 0 {
+                bad.push(format!("node {i} references freed block {}", n.block));
+            }
+            if !held.insert(n.block) {
+                bad.push(format!("block {} cached by two nodes", n.block));
+            }
+            for &c in &n.children {
+                if !self.nodes[c].live || self.nodes[c].parent != Some(i) {
+                    bad.push(format!("node {i} child {c} link broken"));
+                }
+            }
+        }
+        for &c in &self.root_children {
+            if !self.nodes[c].live || self.nodes[c].parent.is_some() {
+                bad.push(format!("root child {c} link broken"));
+            }
+        }
+        bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> BlockPool {
+        BlockPool::new(1 << 20, 4, 1024) // 4-token blocks, 256 blocks
+    }
+
+    /// Allocate seq blocks for `tokens` and insert the full chunks.
+    fn seed(cache: &mut RadixCache, pool: &mut BlockPool, tokens: &[TokenId]) -> Vec<usize> {
+        let blocks: Vec<usize> =
+            (0..tokens.len().div_ceil(4)).map(|_| pool.alloc().unwrap()).collect();
+        cache.insert(tokens, &blocks, pool);
+        blocks
+    }
+
+    #[test]
+    fn full_and_partial_matches() {
+        let (mut c, mut p) = (RadixCache::new(4), pool());
+        seed(&mut c, &mut p, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(c.cached_blocks(), 2);
+
+        let m = c.lookup(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(m.blocks.len(), 2);
+        assert_eq!(m.hit_tokens, 8);
+        assert_eq!(m.partial, None);
+
+        // Diverges inside the second block → one full + one partial.
+        let m = c.lookup(&[1, 2, 3, 4, 5, 6, 99, 99]);
+        assert_eq!(m.blocks.len(), 1);
+        assert_eq!(m.partial.map(|(_, k)| k), Some(2));
+        assert_eq!(m.hit_tokens, 6);
+
+        // No shared prefix at all.
+        let m = c.lookup(&[9, 9, 9, 9]);
+        assert_eq!(m.hit_tokens, 0);
+    }
+
+    #[test]
+    fn insert_skips_existing_chunks_and_shares_blocks() {
+        let (mut c, mut p) = (RadixCache::new(4), pool());
+        let b1 = seed(&mut c, &mut p, &[1, 2, 3, 4]);
+        assert_eq!(p.refcount(b1[0]), 2, "seq + cache");
+        // A second identical prompt: its insert caches nothing new.
+        let b2: Vec<usize> = vec![p.alloc().unwrap()];
+        assert_eq!(c.insert(&[1, 2, 3, 4], &b2, &mut p), 0);
+        assert_eq!(c.cached_blocks(), 1);
+        assert_eq!(p.refcount(b2[0]), 1, "duplicate stays private");
+    }
+
+    #[test]
+    fn eviction_is_lru_leaf_first_and_skips_shared_blocks() {
+        let (mut c, mut p) = (RadixCache::new(4), pool());
+        let ba = seed(&mut c, &mut p, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let bb = seed(&mut c, &mut p, &[9, 9, 9, 9]);
+        // Release the sequences' own references; cache holds all blocks.
+        for &b in ba.iter().chain(&bb) {
+            p.unref(b);
+        }
+        assert_eq!(c.cached_blocks(), 3);
+        // Touch chain A's first block; its leaf (never re-read) stays
+        // coldest, then B, and A's root — freshly used — goes last.
+        c.lookup(&[1, 2, 3, 4]);
+        assert!(c.evict_lru(&mut p));
+        assert_eq!(p.refcount(ba[1]), 0, "cold leaf first");
+        assert!(c.evict_lru(&mut p));
+        assert_eq!(p.refcount(bb[0]), 0);
+        assert!(c.evict_lru(&mut p));
+        assert_eq!(p.refcount(ba[0]), 0);
+        assert!(!c.evict_lru(&mut p), "tree is empty");
+        assert_eq!(p.used_blocks(), 0);
+        assert!(c.verify(&p).is_empty());
+        assert!(p.verify().is_empty());
+    }
+
+    #[test]
+    fn eviction_never_frees_a_block_a_sequence_holds() {
+        let (mut c, mut p) = (RadixCache::new(4), pool());
+        let b = seed(&mut c, &mut p, &[1, 2, 3, 4]);
+        // The sequence still holds b[0] (refcount 2) → not evictable.
+        assert!(!c.evict_lru(&mut p));
+        p.unref(b[0]);
+        assert!(c.evict_lru(&mut p));
+        assert_eq!(p.used_blocks(), 0);
+    }
+
+    #[test]
+    fn sibling_chunks_with_shared_subprefix_pick_longest() {
+        let (mut c, mut p) = (RadixCache::new(4), pool());
+        seed(&mut c, &mut p, &[1, 2, 5, 5]);
+        seed(&mut c, &mut p, &[1, 2, 3, 4]);
+        let m = c.probe(&[1, 2, 3, 9]);
+        assert_eq!(m.partial.map(|(_, k)| k), Some(3), "longest sibling wins");
+        let m = c.probe(&[1, 2, 9, 9]);
+        // Tie at 2 tokens → lowest node id (first inserted).
+        assert_eq!(m.hit_tokens, 2);
+    }
+
+    #[test]
+    fn probe_does_not_perturb_lru() {
+        let (mut c, mut p) = (RadixCache::new(4), pool());
+        let ba = seed(&mut c, &mut p, &[1, 1, 1, 1]);
+        let bb = seed(&mut c, &mut p, &[2, 2, 2, 2]);
+        for &b in ba.iter().chain(&bb) {
+            p.unref(b);
+        }
+        c.probe(&[1, 1, 1, 1]); // read-only: A stays older
+        assert!(c.evict_lru(&mut p));
+        assert_eq!(p.refcount(ba[0]), 0, "probe must not bump recency");
+        let _ = bb;
+    }
+}

@@ -104,6 +104,24 @@ impl KvCache {
         self.k.iter().map(|l| l.len() * 4).sum::<usize>()
             + self.v.iter().map(|l| l.len() * 4).sum::<usize>()
     }
+
+    /// Discard every cached token past the first `tokens` — the model
+    /// half of block-granular preemption: the paged allocator keeps a
+    /// prefix's blocks, the cache rolls back to exactly that prefix and
+    /// [`TinyCausalLm::prefill_from`] resumes from there. No-op when
+    /// the cache is already at or below `tokens`.
+    pub fn truncate(&mut self, tokens: usize) {
+        if tokens >= self.tokens {
+            return;
+        }
+        for l in &mut self.k {
+            l.truncate(tokens * self.kv_dim);
+        }
+        for l in &mut self.v {
+            l.truncate(tokens * self.kv_dim);
+        }
+        self.tokens = tokens;
+    }
 }
 
 /// The model.
@@ -318,6 +336,36 @@ impl TinyCausalLm {
         self.lm_head.forward(&h)
     }
 
+    /// Resume prefill from a cached prefix: roll `cache` back to its
+    /// first `cache_len` tokens (what the paged KV cache still holds —
+    /// a radix prefix hit, or the surviving blocks after a preemption)
+    /// and prefill only the uncached suffix `tokens[cache_len..]`.
+    ///
+    /// Returns the suffix logits (row `i` = logits after
+    /// `tokens[..=cache_len + i]`; zero rows when the prompt was fully
+    /// cached). Because every kernel accumulates in a fixed per-element
+    /// order regardless of batch shape, the resumed logits and final
+    /// cache are **bit-identical** to a cold [`Self::prefill`] of the
+    /// whole prompt — the equivalence the serve scheduler's
+    /// cached-suffix billing relies on.
+    ///
+    /// # Panics
+    /// When `cache_len` exceeds the prompt length or the cache's fill.
+    pub fn prefill_from(&self, cache_len: usize, tokens: &[u32], cache: &mut KvCache) -> Matrix {
+        assert!(
+            cache_len <= tokens.len(),
+            "cached prefix {cache_len} longer than prompt {}",
+            tokens.len()
+        );
+        assert!(
+            cache_len <= cache.len(),
+            "cache holds {} tokens, cannot resume from {cache_len}",
+            cache.len()
+        );
+        cache.truncate(cache_len);
+        self.prefill(&tokens[cache_len..], cache)
+    }
+
     /// Logits after consuming all of `tokens` from a fresh cache.
     pub fn full_logits(&self, tokens: &[u32]) -> Vec<f32> {
         let mut cache = self.new_cache();
@@ -475,6 +523,72 @@ mod tests {
         let batched = m.prefill(&[7, 2, 101], &mut cache);
         assert_eq!(cache.len(), 5);
         assert_eq!(batched.row(2), m.full_logits(&[9, 30, 7, 2, 101]).as_slice());
+    }
+
+    #[test]
+    fn prefill_from_matches_cold_prefill_at_all_precisions() {
+        // The serve-layer equivalence: resuming from a cached shared
+        // prefix (what a radix hit hands the model) must reproduce the
+        // cold full-prompt prefill bit for bit — logits and cache.
+        let base_model = TinyCausalLm::new(TinyConfig::small(21));
+        let shared: Vec<u32> = vec![4, 90, 7, 255, 31, 18];
+        let mut a = shared.clone();
+        a.extend([10, 11, 12]);
+        let mut b = shared.clone();
+        b.extend([200, 100, 50, 25]);
+        for prec in [
+            None,
+            Some(WeightPrecision::Fp16),
+            Some(WeightPrecision::Int8),
+            Some(WeightPrecision::Int4),
+        ] {
+            let m = match prec {
+                None => base_model.clone(),
+                Some(p) => base_model.to_precision(p),
+            };
+            let mut cold_cache = m.new_cache();
+            let cold = m.prefill(&b, &mut cold_cache);
+            // Warm path: request `a` populated the cache; request `b`
+            // resumes from the shared prefix `a` left behind.
+            let mut cache = m.new_cache();
+            m.prefill(&a, &mut cache);
+            let warm = m.prefill_from(shared.len(), &b, &mut cache);
+            assert_eq!(warm.rows, b.len() - shared.len());
+            for i in 0..warm.rows {
+                assert_eq!(warm.row(i), cold.row(shared.len() + i), "{prec:?} suffix row {i}");
+            }
+            assert_eq!(cache.len(), cold_cache.len(), "{prec:?}");
+            assert_eq!(cache.k, cold_cache.k, "{prec:?} resumed keys");
+            assert_eq!(cache.v, cold_cache.v, "{prec:?} resumed values");
+        }
+    }
+
+    #[test]
+    fn truncate_rolls_back_to_the_prefix_exactly() {
+        let m = TinyCausalLm::new(TinyConfig::small(22));
+        let tokens = [9u32, 30, 7, 2, 101];
+        let mut full = m.new_cache();
+        m.prefill(&tokens, &mut full);
+        let mut prefix_only = m.new_cache();
+        m.prefill(&tokens[..3], &mut prefix_only);
+        full.truncate(3);
+        assert_eq!(full.len(), 3);
+        assert_eq!(full.k, prefix_only.k);
+        assert_eq!(full.v, prefix_only.v);
+        // Truncating past the fill is a no-op.
+        full.truncate(10);
+        assert_eq!(full.len(), 3);
+    }
+
+    #[test]
+    fn fully_cached_prompt_resumes_to_nothing() {
+        let m = TinyCausalLm::new(TinyConfig::small(23));
+        let tokens = [1u32, 2, 3, 4];
+        let mut cache = m.new_cache();
+        m.prefill(&tokens, &mut cache);
+        let lg = m.prefill_from(tokens.len(), &tokens, &mut cache);
+        assert_eq!(lg.rows, 0, "nothing left to prefill");
+        assert_eq!(cache.len(), 4);
     }
 
     #[test]

@@ -7,27 +7,44 @@
 use crate::matmul::{dot, policy};
 use crate::tensor::Matrix;
 use rayon::prelude::*;
+use std::sync::OnceLock;
+
+/// The 65536-entry f16→f32 table: every half-precision bit pattern,
+/// expanded once by the arithmetic converter. The input space is only
+/// 2¹⁶ wide, so one 256 KiB table replaces the branchy bit-twiddling in
+/// the decode hot loop — the fix for the fused-f16 decode regression,
+/// where per-element conversion cost dominated the single-row products.
+/// Entries are bit-exact copies of [`f16_to_f32_arith`]'s results
+/// (including NaN payloads), so nothing downstream can tell them apart.
+static F16_LUT: OnceLock<Vec<f32>> = OnceLock::new();
+
+/// The table, built on first use.
+#[inline]
+fn f16_lut() -> &'static [f32] {
+    F16_LUT.get_or_init(|| (0..=u16::MAX).map(f16_to_f32_arith).collect())
+}
 
 /// Fused dot product of an f32 activation row against an f16 weight row,
 /// converting each weight element inline (no dequantized scratch row).
 ///
-/// `f16_to_f32` is exact and the lane structure mirrors
+/// The table lookup is exact and the lane structure mirrors
 /// [`dot`](crate::matmul::dot), so this is **bit-identical** to
 /// `dot(xr, dequantized_row)`.
 #[inline]
 fn f16_dot(xr: &[f32], wr: &[u16]) -> f32 {
     debug_assert_eq!(xr.len(), wr.len());
+    let lut = f16_lut();
     let mut acc = [0.0f32; 8];
     let chunks = xr.len() / 8;
     for i in 0..chunks {
         let j = i * 8;
         for l in 0..8 {
-            acc[l] += xr[j + l] * f16_to_f32(wr[j + l]);
+            acc[l] += xr[j + l] * lut[wr[j + l] as usize];
         }
     }
     let mut s = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
     for j in chunks * 8..xr.len() {
-        s += xr[j] * f16_to_f32(wr[j]);
+        s += xr[j] * lut[wr[j] as usize];
     }
     s
 }
@@ -76,8 +93,16 @@ pub fn f32_to_f16(v: f32) -> u16 {
     sign // underflow to signed zero
 }
 
-/// Convert an IEEE binary16 bit pattern to `f32` exactly.
+/// Convert an IEEE binary16 bit pattern to `f32` exactly, via the table.
+#[inline]
 pub fn f16_to_f32(h: u16) -> f32 {
+    f16_lut()[h as usize]
+}
+
+/// Arithmetic binary16→binary32 conversion — the reference the table is
+/// populated from. Kept public so the exhaustive equality test (and any
+/// caller that wants a table-free path) can reach it.
+pub fn f16_to_f32_arith(h: u16) -> f32 {
     let sign = ((h & 0x8000) as u32) << 16;
     let exp = ((h >> 10) & 0x1f) as u32;
     let mant = (h & 0x3ff) as u32;
@@ -126,8 +151,9 @@ impl F16Matrix {
     /// Dequantize one weight row into a caller-provided buffer.
     pub fn dequantize_row_into(&self, r: usize, out: &mut [f32]) {
         debug_assert_eq!(out.len(), self.cols);
+        let lut = f16_lut();
         for (dst, &h) in out.iter_mut().zip(self.h_row(r)) {
-            *dst = f16_to_f32(h);
+            *dst = lut[h as usize];
         }
     }
 
@@ -243,6 +269,20 @@ impl F16Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lut_is_bitwise_equal_to_arithmetic_converter() {
+        // All 65536 half-precision bit patterns — including NaN payloads,
+        // infinities, subnormals, and both zeros — must expand through the
+        // table to the exact bits the arithmetic converter produces.
+        for h in 0..=u16::MAX {
+            assert_eq!(
+                f16_to_f32(h).to_bits(),
+                f16_to_f32_arith(h).to_bits(),
+                "pattern {h:#06x} diverged"
+            );
+        }
+    }
 
     #[test]
     fn exact_small_integers_roundtrip() {

@@ -151,10 +151,38 @@ fn faulted_fleet_timeline_is_byte_identical_across_thread_counts() {
 #[test]
 fn smoke_matrix_has_no_violations() {
     // The CI `check-smoke` gate in library form: seeds 0..16 plus the
-    // governor-active smoke seeds, whatever their outcome class, must
-    // never violate an invariant.
-    for seed in (0..16u64).chain(corpus::GOVERNOR_SMOKE_SEEDS) {
+    // governor-active and prefix-cache smoke seeds, whatever their
+    // outcome class, must never violate an invariant.
+    for seed in (0..16u64).chain(corpus::GOVERNOR_SMOKE_SEEDS).chain(corpus::PREFIX_SMOKE_SEEDS) {
         let out = run_scenario(&Scenario::from_seed(seed));
         assert!(!out.is_violation(), "seed {seed}: {out}");
     }
+}
+
+#[test]
+fn prefix_smoke_reports_are_byte_identical_across_thread_counts() {
+    // Prefix-cache seeds run with the kv-sharing and kv-refcount
+    // oracles armed; the full formatted reports (hit counters included)
+    // must agree byte-for-byte between 1 and 8 threads, and every seed
+    // must record real cache reuse.
+    let render = |threads: usize| {
+        rayon::with_num_threads(threads, || {
+            corpus::PREFIX_SMOKE_SEEDS
+                .iter()
+                .map(|&s| {
+                    let out = run_scenario(&Scenario::from_seed(s));
+                    match &out {
+                        Outcome::Clean(stats) => assert!(
+                            stats.cache_hit_tokens > 0,
+                            "prefix smoke seed {s} must hit the cache"
+                        ),
+                        other => panic!("prefix smoke seed {s} must be clean: {other}"),
+                    }
+                    format!("seed {s}: {out}")
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        })
+    };
+    assert_eq!(render(1), render(8), "prefix smoke reports diverge across thread counts");
 }

@@ -10,6 +10,7 @@ use edgellm::fleet::{run_fleet, FaultPlan, FleetConfig, FleetDevice, FleetSim, J
 use edgellm::hw::{DeviceSpec, PowerMode};
 use edgellm::mem::KvBlockAllocator;
 use edgellm::models::{Llm, Precision};
+use edgellm::nn::{KvCache, TinyCausalLm, TinyConfig};
 use edgellm::perf::PerfModel;
 use edgellm::power::{median_power_w, sample_timeline, trapezoid_energy_j, Phase};
 use edgellm::quant::{QuantError, QuantizedWeights, WeightPrecision};
@@ -299,6 +300,79 @@ proptest! {
             fleet.makespan_s <= single.report.makespan_s + 1e-9,
             "fleet {} vs single device {}", fleet.makespan_s, single.report.makespan_s
         );
+    }
+
+    /// A radix warm hit serves bitwise-identically to a cold run: after
+    /// a sibling request leaves a shared prefix in the KV cache,
+    /// resuming prefill from that prefix reproduces the cold full-prompt
+    /// logits bit for bit at every weight precision, the greedy token
+    /// stream continues identically, and none of those bits move across
+    /// `EDGELLM_THREADS` = 1/2/8 (exercised in-process via
+    /// `rayon::with_num_threads`, the same override the env var
+    /// reaches) — the golden outputs a cached serve run reports are the
+    /// same ones a cache-off run would have produced.
+    #[test]
+    fn warm_prefix_hit_is_bitwise_identical_to_cold_across_threads(
+        seed in 0u64..40,
+        split in 2usize..14,
+        suffix in 2usize..10,
+        prec_idx in 0usize..4,
+    ) {
+        let prompt: Vec<u32> = (0..split + suffix)
+            .map(|i| ((seed.wrapping_mul(31).wrapping_add(i as u64 * 7)) % 256) as u32)
+            .collect();
+        let argmax = |l: &[f32]| {
+            l.iter().enumerate().fold((0usize, f32::NEG_INFINITY), |best, (i, &v)| {
+                if v > best.1 { (i, v) } else { best }
+            }).0 as u32
+        };
+        // (cold logit bits, warm suffix logit bits, cold stream, warm
+        // stream) at one thread count.
+        let observe = |threads: usize| {
+            rayon::with_num_threads(threads, || {
+                let base = TinyCausalLm::new(TinyConfig::small(seed));
+                let m = match prec_idx {
+                    0 => base,
+                    1 => base.to_precision(edgellm::quant::WeightPrecision::Fp16),
+                    2 => base.to_precision(edgellm::quant::WeightPrecision::Int8),
+                    _ => base.to_precision(edgellm::quant::WeightPrecision::Int4),
+                };
+                let mut cold_cache = m.new_cache();
+                let cold = m.prefill(&prompt, &mut cold_cache);
+                // A sibling request that shares only the prefix warms
+                // the cache past the split point, as a radix hit would.
+                let mut warm_cache = m.new_cache();
+                let mut sibling = prompt[..split].to_vec();
+                sibling.extend([251, 252, 253]);
+                m.prefill(&sibling, &mut warm_cache);
+                let warm = m.prefill_from(split, &prompt, &mut warm_cache);
+                let decode = |cache: &mut KvCache, last_logits: &[f32]| {
+                    let mut stream = Vec::new();
+                    let mut logits = last_logits.to_vec();
+                    for _ in 0..8 {
+                        let t = argmax(&logits);
+                        stream.push(t);
+                        logits = m.forward_step(t, cache);
+                    }
+                    stream
+                };
+                let cold_bits: Vec<u32> = (split..cold.rows)
+                    .flat_map(|r| cold.row(r).iter().map(|v| v.to_bits()))
+                    .collect();
+                let warm_bits: Vec<u32> = (0..warm.rows)
+                    .flat_map(|r| warm.row(r).iter().map(|v| v.to_bits()))
+                    .collect();
+                let cold_stream = decode(&mut cold_cache, cold.row(cold.rows - 1));
+                let warm_stream = decode(&mut warm_cache, warm.row(warm.rows - 1));
+                (cold_bits, warm_bits, cold_stream, warm_stream)
+            })
+        };
+        let reference = observe(1);
+        prop_assert_eq!(&reference.0, &reference.1, "warm suffix logits differ from cold");
+        prop_assert_eq!(&reference.2, &reference.3, "warm token stream diverges from cold");
+        for threads in [2usize, 8] {
+            prop_assert_eq!(&reference, &observe(threads), "bits moved at {} threads", threads);
+        }
     }
 
     /// The engine never reports peak memory above device capacity, and
