@@ -12,7 +12,16 @@
 //! `cargo run --release` in CI without dev-dependencies: timing is
 //! best-of-N `Instant` sampling and the JSON is written by hand.
 //!
-//! Usage: `bench_kernels [--iters N] [--quick] [--out PATH] [--trace-out PATH]`
+//! Usage: `bench_kernels [--iters N] [--quick] [--out PATH] [--trace-out PATH]
+//!                       [--check-against PATH] [--tolerance F]`
+//!
+//! `--check-against <baseline.json>` compares this run's serial
+//! fused-vs-dequant speedups (dequant ns / fused ns, per shape and
+//! precision) against a committed baseline and exits non-zero when any
+//! shared shape regresses by more than `--tolerance` (default 0.25,
+//! i.e. 25%). The gate is skipped — with a message — when this run's
+//! `parallel_valid` is false: a single-core host time-slices everything
+//! and its timings are too noisy to gate on.
 //!
 //! `--trace-out <path>` (or `EDGELLM_TRACE=<path>`) also renders the
 //! best-of measurements as a synthetic Perfetto timeline: one span per
@@ -144,6 +153,85 @@ fn render_trace(records: &[Record]) -> Trace {
     t
 }
 
+/// Serial fused-vs-dequant speedups (`dequant_ns / fused_ns`) keyed by
+/// `shape/precision`, e.g. `phi2_decode/int4`. Sorted for stable output.
+fn fused_speedups(entries: &[(String, String, u128)]) -> Vec<(String, f64)> {
+    let serial = |shape: &str, kernel: &str| {
+        entries.iter().find(|(s, k, _)| s == shape && k == kernel).map(|&(_, _, ns)| ns)
+    };
+    let mut out = Vec::new();
+    for (shape, kernel, _) in entries {
+        let Some(precision) = kernel.strip_suffix("_fused") else { continue };
+        let (Some(fused), Some(dequant)) =
+            (serial(shape, kernel), serial(shape, &format!("{precision}_dequant")))
+        else {
+            continue;
+        };
+        out.push((format!("{shape}/{precision}"), dequant as f64 / fused.max(1) as f64));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Pull a `bench_kernels/v1` JSON back into `(shape, kernel, serial_ns)`
+/// triples. The format is our own line-per-record emission, so a field
+/// scanner is enough — no JSON dependency.
+fn parse_baseline(text: &str) -> Result<Vec<(String, String, u128)>, String> {
+    if !text.contains("\"schema\": \"bench_kernels/v1\"") {
+        return Err("baseline is not a bench_kernels/v1 document".into());
+    }
+    let field = |line: &str, key: &str| -> Option<String> {
+        let tail = &line[line.find(&format!("\"{key}\":"))? + key.len() + 3..];
+        let tail = tail.trim_start();
+        Some(if let Some(rest) = tail.strip_prefix('"') {
+            rest[..rest.find('"')?].to_string()
+        } else {
+            tail[..tail.find([',', '}']).unwrap_or(tail.len())].trim().to_string()
+        })
+    };
+    let mut out = Vec::new();
+    for line in text.lines().filter(|l| l.contains("\"kernel\":")) {
+        let (Some(shape), Some(kernel), Some(ns)) =
+            (field(line, "shape"), field(line, "kernel"), field(line, "serial_ns_per_op"))
+        else {
+            return Err(format!("malformed record line: {line}"));
+        };
+        let ns = ns.parse::<u128>().map_err(|e| format!("serial_ns_per_op {ns:?}: {e}"))?;
+        out.push((shape, kernel, ns));
+    }
+    if out.is_empty() {
+        return Err("baseline carries no records".into());
+    }
+    Ok(out)
+}
+
+/// Gate this run against a committed baseline: every `shape/precision`
+/// present in both must keep its fused-vs-dequant speedup within
+/// `tolerance` of the baseline's. Returns the number of regressions.
+fn check_against(baseline: &str, fresh: &[Record], tolerance: f64) -> Result<usize, String> {
+    let base = fused_speedups(&parse_baseline(baseline)?);
+    let now: Vec<(String, String, u128)> =
+        fresh.iter().map(|r| (r.shape.to_string(), r.kernel.clone(), r.serial_ns)).collect();
+    let now = fused_speedups(&now);
+    let mut shared = 0usize;
+    let mut regressions = 0usize;
+    for (key, base_speedup) in &base {
+        let Some((_, fresh_speedup)) = now.iter().find(|(k, _)| k == key) else { continue };
+        shared += 1;
+        let floor = base_speedup * (1.0 - tolerance);
+        let verdict = if *fresh_speedup < floor { "REGRESSED" } else { "ok" };
+        eprintln!(
+            "  {key:<24} fused-vs-dequant {fresh_speedup:.3}x (baseline {base_speedup:.3}x, \
+             floor {floor:.3}x) {verdict}"
+        );
+        regressions += usize::from(*fresh_speedup < floor);
+    }
+    if shared == 0 {
+        return Err("baseline and this run share no shape/precision pairs".into());
+    }
+    Ok(regressions)
+}
+
 fn write_json(path: &str, records: &[Record]) -> std::io::Result<()> {
     let mut s = String::new();
     s.push_str("{\n");
@@ -184,6 +272,8 @@ fn main() {
     let mut quick = false;
     let mut out_path = "BENCH_kernels.json".to_string();
     let mut trace_out = std::env::var("EDGELLM_TRACE").ok();
+    let mut baseline_path: Option<String> = None;
+    let mut tolerance = 0.25f64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -198,10 +288,20 @@ fn main() {
             "--trace-out" => {
                 trace_out = Some(args.next().expect("--trace-out needs a path argument"));
             }
+            "--check-against" => {
+                baseline_path = Some(args.next().expect("--check-against needs a path argument"));
+            }
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tolerance needs a fraction argument (e.g. 0.25)");
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: bench_kernels [--iters N] [--quick] [--out PATH] [--trace-out PATH]"
+                    "usage: bench_kernels [--iters N] [--quick] [--out PATH] [--trace-out PATH] \
+                     [--check-against PATH] [--tolerance F]"
                 );
                 std::process::exit(2);
             }
@@ -228,5 +328,100 @@ fn main() {
         let t = render_trace(&records);
         t.write_chrome_json(&path).expect("failed to write trace JSON");
         eprintln!("wrote {path} ({} spans)", t.len());
+    }
+    if let Some(path) = baseline_path {
+        let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        if host_cores <= 1 {
+            eprintln!(
+                "check-against: skipped — host has {host_cores} core(s), so parallel_valid is \
+                 false and timings are too noisy to gate on"
+            );
+            return;
+        }
+        eprintln!("# checking fused-vs-dequant speedups against {path} (tolerance {tolerance})");
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        match check_against(&baseline, &records, tolerance) {
+            Ok(0) => eprintln!("check-against: all shared shapes within tolerance"),
+            Ok(n) => {
+                eprintln!(
+                    "check-against: {n} shape/precision pair(s) regressed beyond {tolerance}"
+                );
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("check-against: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+  "schema": "bench_kernels/v1",
+  "parallel_valid": true,
+  "results": [
+    {"shape": "phi2_decode", "m": 1, "k": 2560, "n": 10240, "kernel": "int4_fused", "serial_ns_per_op": 100, "parallel_ns_per_op": 50, "parallel_speedup": 2.000},
+    {"shape": "phi2_decode", "m": 1, "k": 2560, "n": 10240, "kernel": "int4_dequant", "serial_ns_per_op": 300, "parallel_ns_per_op": 150, "parallel_speedup": 2.000}
+  ]
+}
+"#;
+
+    fn fresh(fused_ns: u128, dequant_ns: u128) -> Vec<Record> {
+        let rec = |kernel: &str, serial_ns| Record {
+            shape: "phi2_decode",
+            m: 1,
+            k: 2560,
+            n: 10240,
+            kernel: kernel.to_string(),
+            serial_ns,
+            parallel_ns: serial_ns,
+        };
+        vec![rec("int4_fused", fused_ns), rec("int4_dequant", dequant_ns)]
+    }
+
+    #[test]
+    fn baseline_parses_and_speedups_pair_fused_with_dequant() {
+        let entries = parse_baseline(BASELINE).expect("baseline parses");
+        assert_eq!(entries.len(), 2);
+        let speedups = fused_speedups(&entries);
+        assert_eq!(speedups.len(), 1);
+        assert_eq!(speedups[0].0, "phi2_decode/int4");
+        assert!((speedups[0].1 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matching_speedup_passes_and_deep_regression_fails() {
+        // Same 3.0x speedup: clean. 2.0x against a 3.0x baseline is a
+        // 33% regression — beyond the 25% tolerance.
+        assert_eq!(check_against(BASELINE, &fresh(100, 300), 0.25).unwrap(), 0);
+        assert_eq!(check_against(BASELINE, &fresh(150, 300), 0.25).unwrap(), 1);
+        // ...but within a looser 50% tolerance.
+        assert_eq!(check_against(BASELINE, &fresh(150, 300), 0.5).unwrap(), 0);
+    }
+
+    #[test]
+    fn disjoint_shapes_are_an_error_not_a_silent_pass() {
+        let mut other = fresh(100, 300);
+        for r in &mut other {
+            r.shape = "quick_decode";
+        }
+        assert!(check_against(BASELINE, &other, 0.25).is_err());
+        assert!(parse_baseline("{}").is_err());
+    }
+
+    #[test]
+    fn committed_baseline_stays_parseable() {
+        // The repo-root baseline this binary gates against in CI.
+        let text = include_str!("../../../../BENCH_kernels.json");
+        let entries = parse_baseline(text).expect("committed baseline parses");
+        assert!(
+            fused_speedups(&entries).len() >= 9,
+            "three shapes x three quantized precisions expected"
+        );
     }
 }

@@ -109,6 +109,21 @@ fn require_known_flags(args: &[String], known: &[&str], known_bool: &[&str]) -> 
     Ok(())
 }
 
+/// Re-run the minimized scenario so the flight recorder holds exactly
+/// its event window, then write the dump next to the repro one-liner
+/// (`flight-seed-N.txt`, or under `EDGELLM_FLIGHT_DIR` when set). Write
+/// errors only warn: the repro line was already printed and the exit
+/// code already reflects the violation.
+fn dump_flight(seed: u64, min: &Scenario) {
+    let _ = run_scenario(min);
+    let dir = std::env::var("EDGELLM_FLIGHT_DIR").unwrap_or_else(|_| ".".into());
+    let path = format!("{dir}/flight-seed-{seed}.txt");
+    match std::fs::write(&path, edgellm_trace::forensics::flight::dump()) {
+        Ok(()) => println!("  flight recorder dumped to {path}"),
+        Err(e) => eprintln!("  warning: cannot write flight dump {path}: {e}"),
+    }
+}
+
 fn cmd_run(args: &[String]) -> Result<i32, String> {
     require_known_flags(args, &["--seed", "--count"], &["--governor-only", "--prefix-only"])?;
     let seed = parse_u64(&flag_value(args, "--seed")?.ok_or("run requires --seed")?, "--seed")?;
@@ -140,6 +155,7 @@ fn cmd_run(args: &[String]) -> Result<i32, String> {
                 min.faults.events().len()
             );
             println!("    {}", repro.command_line());
+            dump_flight(s, &min);
         }
     }
     Ok(worst)
@@ -177,6 +193,7 @@ fn cmd_corpus(args: &[String]) -> Result<i32, String> {
             violated += 1;
             let repro = shrink::minimize(seed, |cand| run_scenario(cand).is_violation());
             println!("  reproduce with: {}", repro.command_line());
+            dump_flight(seed, &repro.materialize());
         }
     }
     println!("corpus: {} seeds, {} violated", seeds.len(), violated);

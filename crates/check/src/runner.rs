@@ -188,6 +188,9 @@ impl std::fmt::Display for Outcome {
 
 /// Run a scenario to completion and classify the outcome.
 pub fn run_scenario(sc: &Scenario) -> Outcome {
+    // Scenario boundary for the always-on flight recorder: a violation's
+    // dump then covers exactly the offending run's event window.
+    edgellm_trace::forensics::flight::clear();
     match &sc.shape {
         Shape::Single(_) => run_single(sc),
         Shape::Fleet { .. } => run_fleet(sc),

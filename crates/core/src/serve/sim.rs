@@ -23,7 +23,7 @@
 //! [`EventScheduler`]: crate::serve::EventScheduler
 //! [`EventScheduler::run`]: crate::serve::EventScheduler::run
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use crate::arrivals::Request;
 use crate::config::RunConfig;
@@ -36,6 +36,7 @@ use edgellm_hw::{ClockState, DeviceSpec, PowerMode};
 use edgellm_mem::{MemoryModel, PagedKv, TokenId, GB, OOM_HEADROOM_GB};
 use edgellm_perf::PerfModel;
 use edgellm_power::{LoadProfile, RailBreakdown, RailModel};
+use edgellm_trace::forensics::{self, ForensicsLog};
 use edgellm_trace::Histogram;
 
 /// One completed request's record, kept for SLO accounting.
@@ -229,6 +230,30 @@ pub struct ServeSim {
     decode_iters: usize,
     kv_allocated: u64,
     kv_freed: u64,
+    /// Rid-stamped forensic lifecycle events (always kept, like the
+    /// iteration trace; a few dozen bytes per request). Every push also
+    /// feeds the process-wide flight recorder.
+    flog: Vec<forensics::Event>,
+    /// Per-request attributed energy (J). Together with
+    /// `idle_energy_j` this partitions `energy_j`: every iteration's
+    /// integral is pro-rated token-proportionally over the sequences it
+    /// served, remainder-corrected so the shares sum bit-exactly.
+    req_energy: BTreeMap<u64, f64>,
+    /// Idle-gap energy (J) — the unattributable ledger remainder.
+    idle_energy_j: f64,
+    /// Fleet device index stamped on forensic events (0 standalone).
+    dev_tag: u32,
+    /// Set by [`ServeSim::set_forensics_device`]: the fleet assembles
+    /// the merged forensic record, so per-device `finish` must not
+    /// record its own into the sink.
+    fleet_member: bool,
+    /// Construction-time clocks — the baseline `ModeChange` events
+    /// judge `downclock` against.
+    base_clocks: ClockState,
+    /// Arms automatic flight-recorder dumps: first completion whose
+    /// end-to-end latency exceeds this triggers one.
+    slo_latency_s: Option<f64>,
+    slo_dumped: bool,
 }
 
 impl ServeSim {
@@ -395,7 +420,42 @@ impl ServeSim {
             decode_iters: 0,
             kv_allocated: 0,
             kv_freed: 0,
+            flog: Vec::new(),
+            req_energy: BTreeMap::new(),
+            idle_energy_j: 0.0,
+            dev_tag: 0,
+            fleet_member: false,
+            base_clocks: clocks,
+            slo_latency_s: None,
+            slo_dumped: false,
         })
+    }
+
+    /// Record one forensic lifecycle event at instant `t_s`, into both
+    /// the run log and the process-wide flight recorder.
+    fn femit(&mut self, t_s: f64, rid: u64, kind: forensics::EventKind) {
+        let ev = forensics::Event { t_s, rid, device: self.dev_tag, kind };
+        self.flog.push(ev);
+        forensics::flight::record(ev);
+    }
+
+    /// Pro-rate one iteration's energy `e` over the `(rid, tokens)`
+    /// weights of the sequences it served. The last share takes the
+    /// exact remainder, so the pieces always sum to `e` and the ledger
+    /// `Σ per-request + idle == energy_j` reconciles to well under 1e-9.
+    fn split_energy(&mut self, e: f64, bill: &[(u64, u64)]) {
+        let w_total: u64 = bill.iter().map(|&(_, w)| w).sum();
+        if w_total == 0 {
+            self.idle_energy_j += e;
+            return;
+        }
+        let mut assigned = 0.0;
+        for (i, &(rid, w)) in bill.iter().enumerate() {
+            let share =
+                if i + 1 == bill.len() { e - assigned } else { e * w as f64 / w_total as f64 };
+            assigned += share;
+            *self.req_energy.entry(rid).or_insert(0.0) += share;
+        }
     }
 
     fn profile(&self, u: edgellm_perf::Utilization) -> LoadProfile {
@@ -415,6 +475,10 @@ impl ServeSim {
             .unwrap_or(self.pending.len());
         self.pending.insert(pos, job);
         self.submitted += 1;
+        // Stamped at the semantic arrival: pre-loaded traces submit at
+        // construction (clock 0) for future instants, fleet re-routes
+        // submit at the shared now.
+        self.femit(job.arrival_s.max(self.t), job.rid, forensics::EventKind::Submitted);
     }
 
     /// Queue a request together with its prompt token ids. The ids feed
@@ -499,6 +563,7 @@ impl ServeSim {
         if self.live.is_empty() && now > self.t {
             let dt = now - self.t;
             self.energy_j += self.idle_power * dt;
+            self.idle_energy_j += self.idle_power * dt;
             self.trace.push(IterationTrace {
                 t_s: now,
                 dt_s: dt,
@@ -528,6 +593,7 @@ impl ServeSim {
         if self.live.is_empty() && now > self.t {
             let dt = now - self.t;
             self.energy_j += self.idle_power * dt;
+            self.idle_energy_j += self.idle_power * dt;
             self.trace.push(IterationTrace {
                 t_s: now,
                 dt_s: dt,
@@ -615,6 +681,7 @@ impl ServeSim {
                     0
                 }
             };
+            self.femit(self.t, job.rid, forensics::EventKind::Admitted { cache_hit_tokens: hit });
             match self.cfg.prefill {
                 PrefillPolicy::Blocking => {
                     // The joining sequence pays its solo prefill now,
@@ -636,11 +703,20 @@ impl ServeSim {
                         );
                         let p = rb.total_w();
                         self.energy_j += p * dt;
+                        // A solo stall serves exactly one request: its
+                        // whole integral is that request's energy.
+                        *self.req_energy.entry(job.rid).or_insert(0.0) += p * dt;
                         self.rail_log.push((self.t, rb));
                         if self.cfg.prefix_cache {
                             self.cache_log.push((self.t, self.kv.cached_blocks()));
                         }
                         job.ttft_s = Some(self.t - job.arrival_s);
+                        self.femit(
+                            self.t,
+                            job.rid,
+                            forensics::EventKind::PrefillChunk { tokens: suffix },
+                        );
+                        self.femit(self.t, job.rid, forensics::EventKind::FirstToken);
                         self.trace.push(IterationTrace {
                             t_s: self.t,
                             dt_s: dt,
@@ -719,6 +795,7 @@ impl ServeSim {
         self.kv_freed += self.kv.release(s.id).expect("live seq registered") as u64;
         self.preemptions += 1;
         self.preempt_log.push((self.t, s.job.rid));
+        self.femit(self.t, s.job.rid, forensics::EventKind::Preempted);
         // Recompute penalty: the discarded cache — including the tokens
         // generated *since this admission* — joins the prompt to
         // re-prefill. Earlier generations are already folded into the
@@ -752,6 +829,9 @@ impl ServeSim {
         let mut prefill_tokens = 0u64;
         let mut chunk_excess_s = 0.0f64;
         let mut finished_prefill: Vec<usize> = Vec::new();
+        // `(rid, tokens)` billing weights for this iteration's energy
+        // split and the per-segment forensic events.
+        let mut chunk_bill: Vec<(u64, u64)> = Vec::new();
         if self.chunk > 0 {
             for (i, s) in self.live.iter_mut().enumerate() {
                 if s.prompt_done < s.job.prompt_tokens {
@@ -761,6 +841,7 @@ impl ServeSim {
                     s.prompt_done += adv;
                     prefillers += 1;
                     prefill_tokens += adv;
+                    chunk_bill.push((s.job.rid, adv));
                     // The chunk's weight traffic rides the decode
                     // batch's stream; only compute beyond it bills.
                     chunk_excess_s += (self.perf.prefill_time(1, adv) - self.t_stream).max(0.0);
@@ -784,9 +865,14 @@ impl ServeSim {
             self.live[i].job.output_remaining -= 1;
         }
         self.t += dt;
+        for &(rid, tokens) in &chunk_bill {
+            self.femit(self.t, rid, forensics::EventKind::PrefillChunk { tokens });
+        }
         for &i in &finished_prefill {
             if self.live[i].job.ttft_s.is_none() {
                 self.live[i].job.ttft_s = Some(self.t - self.live[i].job.arrival_s);
+                let rid = self.live[i].job.rid;
+                self.femit(self.t, rid, forensics::EventKind::FirstToken);
             }
         }
         // A zero-length prompt (or a full prefix-cache hit) never passes
@@ -796,6 +882,8 @@ impl ServeSim {
         for &i in &deks {
             if self.live[i].job.ttft_s.is_none() {
                 self.live[i].job.ttft_s = Some(self.t - self.live[i].job.arrival_s);
+                let rid = self.live[i].job.rid;
+                self.femit(self.t, rid, forensics::EventKind::FirstToken);
             }
         }
         // Prompts that just finished chunked prefill enter the prefix
@@ -852,6 +940,12 @@ impl ServeSim {
             }
         };
         self.energy_j += power_w * dt;
+        // Attribute the iteration's integral token-proportionally: one
+        // token per decoding sequence, `adv` per prefill segment.
+        let mut bill: Vec<(u64, u64)> = Vec::with_capacity(deks.len() + chunk_bill.len());
+        bill.extend(deks.iter().map(|&i| (self.live[i].job.rid, 1)));
+        bill.extend(chunk_bill.iter().copied());
+        self.split_energy(power_w * dt, &bill);
         if n_dec > 0 {
             self.occupancy_sum += n_dec;
             self.decode_iters += 1;
@@ -870,6 +964,17 @@ impl ServeSim {
                     latency_s,
                     output_tokens: s.job.output_total,
                 });
+                self.femit(
+                    self.t,
+                    s.job.rid,
+                    forensics::EventKind::Completed { output_tokens: s.job.output_total },
+                );
+                if let Some(slo) = self.slo_latency_s {
+                    if latency_s > slo && !self.slo_dumped {
+                        self.slo_dumped = true;
+                        forensics::flight::dump_on_breach(&self.label);
+                    }
+                }
                 self.served_tokens += s.job.output_total;
                 self.kv_freed += self.kv.release(s.id).expect("live seq registered") as u64;
                 self.prompts.remove(&s.job.rid);
@@ -926,6 +1031,7 @@ impl ServeSim {
         if let Some(pos) = self.pending.iter().position(|j| j.rid == rid) {
             self.pending.remove(pos);
             self.cancel_log.push((self.t, rid));
+            self.femit(self.t, rid, forensics::EventKind::Cancelled);
             return true;
         }
         if let Some(pos) = self.live.iter().position(|s| s.job.rid == rid) {
@@ -933,6 +1039,7 @@ impl ServeSim {
             self.kv_freed += self.kv.release(s.id).expect("live seq registered") as u64;
             self.prompts.remove(&rid);
             self.cancel_log.push((self.t, rid));
+            self.femit(self.t, rid, forensics::EventKind::Cancelled);
             return true;
         }
         false
@@ -986,6 +1093,17 @@ impl ServeSim {
         self.idle_rails = self.rails.power(&self.clocks, &LoadProfile::idle());
         self.idle_power = self.idle_rails.total_w();
         self.t_stream = self.perf.weight_stream_time();
+        // Every mode flip funnels through here — governor decisions,
+        // scripted fault-injector flips, thermal recoveries — so this is
+        // the single forensic emission point. `downclock` compares
+        // against the run's *baseline* clocks: any domain below them
+        // slows requests resident across the change.
+        let (c, b) = (pm.clocks, self.base_clocks);
+        let downclock = c.gpu_mhz < b.gpu_mhz
+            || c.mem_mhz < b.mem_mhz
+            || c.cpu_ghz < b.cpu_ghz
+            || c.cores_online < b.cores_online;
+        self.femit(self.t, forensics::NO_RID, forensics::EventKind::ModeChange { downclock });
         Ok(())
     }
 
@@ -1226,6 +1344,41 @@ impl ServeSim {
         &self.label
     }
 
+    /// Tag this simulation's forensic events with a fleet device index
+    /// and defer sink recording to the fleet's merged record (the fleet
+    /// co-simulator calls this at construction; standalone sims keep
+    /// device 0 and record themselves in [`ServeSim::finish`]).
+    pub fn set_forensics_device(&mut self, device: u32) {
+        self.dev_tag = device;
+        self.fleet_member = true;
+    }
+
+    /// Arm (or disarm, with `None`) automatic flight-recorder dumps:
+    /// the first completion whose end-to-end latency exceeds the SLO
+    /// writes the retained event window to the `EDGELLM_FLIGHT_DUMP`
+    /// path. Purely a side channel — simulation state never depends on
+    /// it.
+    pub fn set_slo_latency(&mut self, slo_latency_s: Option<f64>) {
+        self.slo_latency_s = slo_latency_s;
+    }
+
+    /// The run's forensic record so far: lifecycle events (time-sorted,
+    /// stable for equal stamps) plus the partitioned energy ledger.
+    /// Feed it to [`edgellm_trace::forensics::reconstruct`] for the
+    /// per-request timelines.
+    pub fn forensics(&self) -> ForensicsLog {
+        let mut events = self.flog.clone();
+        events.sort_by(|a, b| a.t_s.partial_cmp(&b.t_s).expect("finite event times"));
+        ForensicsLog {
+            label: self.label.clone(),
+            events,
+            req_energy: self.req_energy.iter().map(|(&r, &e)| (r, e)).collect(),
+            idle_energy_j: self.idle_energy_j,
+            cloud_energy_j: 0.0,
+            total_energy_j: self.energy_j,
+        }
+    }
+
     /// Output tokens delivered to completed requests.
     pub fn served_output_tokens(&self) -> u64 {
         self.served_tokens
@@ -1261,6 +1414,9 @@ impl ServeSim {
     /// every serve run an experiment performs without code changes.
     pub fn finish(self) -> ServeRun {
         let report = self.report();
+        if !self.fleet_member && forensics::sink::enabled() {
+            forensics::sink::record(forensics::reconstruct(&self.forensics()));
+        }
         if edgellm_trace::sink::enabled() {
             edgellm_trace::sink::with(|out| {
                 let pid = out.next_pid();

@@ -14,6 +14,12 @@
 //! timeline — scheduler iteration spans, KV/power-rail counter tracks,
 //! preemption and routing instants — and one Chrome trace-event JSON
 //! file is written at exit. Load it in Perfetto or `chrome://tracing`.
+//!
+//! `--forensics-out <path>` (or `EDGELLM_FORENSICS=<path>`) does the
+//! same for request-scoped forensics: every simulation records its
+//! reconstructed per-request timelines — TTFT/latency blame, energy
+//! attribution — and one schema-validated forensics JSON export is
+//! written at exit. Inspect it with `edgellm-trace analyze`.
 
 use edgellm_experiments::runner::{
     list_experiments, run_experiment, ExperimentOpts, GovernorChoice,
@@ -23,9 +29,11 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  edgellm list\n  edgellm run <id> [--fast] [--csv <dir>] [--trace-out <path>] \
-         [--governor <policy>]\n  \
-         edgellm all [--fast] [--csv <dir>] [--json <dir>] [--trace-out <path>]\n\n\
-         EDGELLM_TRACE=<path> is an environment fallback for --trace-out.\n\
+         [--forensics-out <path>] [--governor <policy>]\n  \
+         edgellm all [--fast] [--csv <dir>] [--json <dir>] [--trace-out <path>] \
+         [--forensics-out <path>]\n\n\
+         EDGELLM_TRACE=<path> is an environment fallback for --trace-out;\n\
+         EDGELLM_FORENSICS=<path> for --forensics-out.\n\
          --governor ladder|budget|thermal picks the online policy ext-governor\n\
          exports to the trace (default: ladder).\n\nids:"
     );
@@ -55,6 +63,13 @@ fn main() -> ExitCode {
         .cloned()
         .or_else(|| std::env::var("EDGELLM_TRACE").ok())
         .map(std::path::PathBuf::from);
+    let forensics_out = args
+        .iter()
+        .position(|a| a == "--forensics-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .or_else(|| std::env::var("EDGELLM_FORENSICS").ok())
+        .map(std::path::PathBuf::from);
     let governor = match args.iter().position(|a| a == "--governor").map(|i| args.get(i + 1)) {
         None => GovernorChoice::default(),
         Some(Some(v)) => match v.parse::<GovernorChoice>() {
@@ -71,7 +86,11 @@ fn main() -> ExitCode {
         .iter()
         .enumerate()
         .filter(|(_, a)| {
-            *a == "--csv" || *a == "--json" || *a == "--trace-out" || *a == "--governor"
+            *a == "--csv"
+                || *a == "--json"
+                || *a == "--trace-out"
+                || *a == "--forensics-out"
+                || *a == "--governor"
         })
         .map(|(i, _)| i + 1)
         .collect();
@@ -84,6 +103,9 @@ fn main() -> ExitCode {
     let Some(cmd) = positional.first() else { return usage() };
     if trace_out.is_some() {
         edgellm_trace::sink::enable();
+    }
+    if forensics_out.is_some() {
+        edgellm_trace::forensics::sink::enable();
     }
 
     let opts = ExperimentOpts { fast, governor };
@@ -149,6 +171,23 @@ fn main() -> ExitCode {
             Ok(()) => println!("wrote {} ({} events)", path.display(), trace.len()),
             Err(e) => {
                 eprintln!("failed to write trace: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &forensics_out {
+        let docs = edgellm_trace::forensics::sink::take();
+        if docs.is_empty() {
+            eprintln!(
+                "note: no forensic records were collected (the selected experiments \
+                 run no serving or fleet simulations); writing an empty export"
+            );
+        }
+        let body = edgellm_trace::forensics::export_forensics(&docs);
+        match std::fs::write(path, &body) {
+            Ok(()) => println!("wrote {} ({} runs)", path.display(), docs.len()),
+            Err(e) => {
+                eprintln!("failed to write forensics: {e}");
                 return ExitCode::FAILURE;
             }
         }

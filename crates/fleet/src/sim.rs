@@ -14,8 +14,11 @@
 //! device start at its next iteration boundary at-or-after their arrival
 //! — the same semantics the single-device scheduler has always had.
 
+use std::collections::BTreeMap;
+
 use edgellm_core::serve::{record_serve_run, Completion};
 use edgellm_core::{CloudEndpoint, Request, RunError};
+use edgellm_trace::forensics::{self, ForensicsLog};
 use edgellm_trace::{Arg, Trace};
 
 use crate::device::{DeviceSim, FleetDevice};
@@ -166,6 +169,12 @@ pub struct FleetSim {
     cloud_done_s: f64,
     /// Router event log: `(fleet time, mark)`, in occurrence order.
     tlog: Vec<(f64, RouterMark)>,
+    /// Fleet-scope forensic lifecycle events (routing, holds, outages,
+    /// cloud offloads) merged with per-device logs by
+    /// [`FleetSim::forensics`].
+    fevents: Vec<forensics::Event>,
+    /// Per-request cloud energy shares, in offload order.
+    cloud_req_energy: Vec<(u64, f64)>,
     /// Per-device count of governor decisions already reconciled into
     /// the router log.
     gov_seen: Vec<usize>,
@@ -196,10 +205,14 @@ impl FleetSim {
         }
         let max_sl =
             requests.iter().map(|r| r.input_tokens + r.output_tokens).max().expect("non-empty");
-        let devices = members
+        let mut devices = members
             .into_iter()
             .map(|m| DeviceSim::new(m, max_sl))
             .collect::<Result<Vec<_>, _>>()?;
+        for (i, d) in devices.iter_mut().enumerate() {
+            d.sim.set_forensics_device(i as u32);
+            d.sim.set_slo_latency(Some(cfg.slo_latency_s));
+        }
         let mut arrivals = requests.to_vec();
         arrivals.sort_by(|a, b| {
             a.arrival_s.partial_cmp(&b.arrival_s).expect("finite").then(a.id.cmp(&b.id))
@@ -220,6 +233,8 @@ impl FleetSim {
             cloud_energy_j: 0.0,
             cloud_done_s: 0.0,
             tlog: Vec::new(),
+            fevents: Vec::new(),
+            cloud_req_energy: Vec::new(),
             gov_seen,
             prompts: std::collections::HashMap::new(),
         })
@@ -244,6 +259,7 @@ impl FleetSim {
     /// for the explicit variant).
     pub fn run(mut self) -> Result<FleetReport, RunError> {
         self.run_to_completion()?;
+        self.record_forensics();
         if edgellm_trace::sink::enabled() {
             edgellm_trace::sink::with(|out| self.record_trace(out));
         }
@@ -256,6 +272,7 @@ impl FleetSim {
     /// routing/evacuation/outage instants, all on the shared fleet clock.
     pub fn run_traced(mut self) -> Result<(FleetReport, Trace), RunError> {
         self.run_to_completion()?;
+        self.record_forensics();
         let mut out = Trace::new();
         self.record_trace(&mut out);
         Ok((self.build_report(), out))
@@ -267,6 +284,7 @@ impl FleetSim {
     /// every fleet scenario through this.
     pub fn run_audited(mut self) -> Result<FleetAudit, RunError> {
         self.run_to_completion()?;
+        self.record_forensics();
         let devices = self.devices.iter().map(|d| d.sim.audit()).collect();
         let governors = self.devices.iter().map(|d| d.governor().map(|g| g.audit())).collect();
         let router_log = self.tlog.clone();
@@ -377,6 +395,57 @@ impl FleetSim {
     /// Router event log so far: `(fleet time, mark)` in occurrence order.
     pub fn router_log(&self) -> &[(f64, RouterMark)] {
         &self.tlog
+    }
+
+    /// Record one fleet-scope lifecycle event, mirrored into the global
+    /// flight recorder.
+    fn femit(&mut self, t_s: f64, rid: u64, device: u32, kind: forensics::EventKind) {
+        let ev = forensics::Event { t_s, rid, device, kind };
+        self.fevents.push(ev);
+        forensics::flight::record(ev);
+    }
+
+    /// The fleet's merged forensic record: router-scope events plus every
+    /// member's device-scope log, time-sorted on the shared clock (stable
+    /// for equal stamps, fleet events first, so a `Routed` always
+    /// precedes its device's `Submitted`). The energy ledger folds every
+    /// member's per-request shares and idle integral together with the
+    /// cloud endpoint's per-offload shares; its total matches
+    /// `FleetReport::energy_j`.
+    pub fn forensics(&self) -> ForensicsLog {
+        let mut events = self.fevents.clone();
+        let mut req_energy: BTreeMap<u64, f64> = BTreeMap::new();
+        let mut idle_energy_j = 0.0;
+        let mut total_energy_j = self.cloud_energy_j;
+        for d in &self.devices {
+            let f = d.sim.forensics();
+            events.extend(f.events);
+            for (rid, e) in f.req_energy {
+                *req_energy.entry(rid).or_insert(0.0) += e;
+            }
+            idle_energy_j += f.idle_energy_j;
+            total_energy_j += f.total_energy_j;
+        }
+        for &(rid, e) in &self.cloud_req_energy {
+            *req_energy.entry(rid).or_insert(0.0) += e;
+        }
+        events.sort_by(|a, b| a.t_s.partial_cmp(&b.t_s).expect("finite event times"));
+        ForensicsLog {
+            label: format!("fleet · {}", self.policy.name()),
+            events,
+            req_energy: req_energy.into_iter().collect(),
+            idle_energy_j,
+            cloud_energy_j: self.cloud_energy_j,
+            total_energy_j,
+        }
+    }
+
+    /// Reconstruct and record the finished run's forensic document into
+    /// the process-wide sink, when collection is enabled.
+    fn record_forensics(&self) {
+        if forensics::sink::enabled() {
+            forensics::sink::record(forensics::reconstruct(&self.forensics()));
+        }
     }
 
     /// Aggregate the finished run into a [`FleetReport`].
@@ -518,6 +587,7 @@ impl FleetSim {
         self.devices[i].up = false;
         self.devices[i].down_until = down_until;
         self.tlog.push((now, RouterMark::DeviceDown { device: i, thermal }));
+        self.femit(now, forensics::NO_RID, i as u32, forensics::EventKind::DeviceDown { thermal });
         let drained = self.devices[i].sim.drain_incomplete();
         self.reroutes += drained.len();
         if !drained.is_empty() {
@@ -539,6 +609,7 @@ impl FleetSim {
         self.devices[i].up = true;
         self.devices[i].down_until = None;
         self.tlog.push((now, RouterMark::DeviceUp { device: i }));
+        self.femit(now, forensics::NO_RID, i as u32, forensics::EventKind::DeviceUp);
         if powered {
             self.devices[i].sim.idle_to(now);
         } else {
@@ -597,6 +668,7 @@ impl FleetSim {
             self.held.remove(pos);
             self.cancelled += 1;
             self.tlog.push((now, RouterMark::Cancelled { rid }));
+            self.femit(now, rid, forensics::NO_DEVICE, forensics::EventKind::Cancelled);
             return;
         }
         for d in &mut self.devices {
@@ -630,6 +702,7 @@ impl FleetSim {
                 self.cloud_complete(r, now);
             } else {
                 self.tlog.push((now, RouterMark::Held { rid: r.id }));
+                self.femit(now, r.id, forensics::NO_DEVICE, forensics::EventKind::Held);
                 self.held.push(r);
             }
             return;
@@ -664,6 +737,7 @@ impl FleetSim {
     /// the lazy step-idle path would.
     fn place(&mut self, i: usize, r: &Request, now: f64) {
         self.tlog.push((now, RouterMark::Routed { rid: r.id, device: i }));
+        self.femit(now, r.id, i as u32, forensics::EventKind::Routed);
         self.devices[i].sim.idle_to(now);
         match self.prompts.get(&r.id) {
             Some(p) => self.devices[i].submit_with_prompt(r, p),
@@ -683,10 +757,25 @@ impl FleetSim {
             latency_s,
             output_tokens: r.output_tokens,
         });
-        self.cloud_energy_j += ep.edge_energy_j(r.input_tokens, r.output_tokens);
+        let cloud_j = ep.edge_energy_j(r.input_tokens, r.output_tokens);
+        self.cloud_energy_j += cloud_j;
+        self.cloud_req_energy.push((r.id, cloud_j));
         self.cloud_done_s = self.cloud_done_s.max(r.arrival_s + latency_s);
         self.offloaded += 1;
         self.tlog.push((now, RouterMark::Offloaded { rid: r.id }));
+        self.femit(now, r.id, forensics::NO_DEVICE, forensics::EventKind::Offloaded);
+        self.femit(
+            r.arrival_s + ttft_s,
+            r.id,
+            forensics::NO_DEVICE,
+            forensics::EventKind::FirstToken,
+        );
+        self.femit(
+            r.arrival_s + latency_s,
+            r.id,
+            forensics::NO_DEVICE,
+            forensics::EventKind::Completed { output_tokens: r.output_tokens },
+        );
     }
 }
 

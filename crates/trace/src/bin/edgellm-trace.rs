@@ -1,0 +1,161 @@
+//! `edgellm-trace` — inspect exported traces and forensic records.
+//!
+//! ```text
+//! edgellm-trace analyze <forensics.json> [--top K] [--json <out>]
+//! edgellm-trace validate <file.json>
+//! ```
+//!
+//! `analyze` reads a forensics export (`edgellm … --forensics-out`),
+//! validates it against the checked-in schema, and prints the
+//! human-readable forensic report — top-k worst-TTFT and worst-J/token
+//! requests with their blame breakdowns and the fleet-wide energy
+//! ledger. `--json` additionally writes the deterministic JSON report.
+//!
+//! `validate` schema-checks either artifact kind: a forensics export or
+//! a Chrome trace-event export (`--trace-out`), auto-detected.
+//!
+//! Exit codes: 0 ok · 1 validation/analysis failure · 2 usage error.
+
+use edgellm_trace::forensics::{analyze, parse_forensics, validate_forensics, FORENSICS_SCHEMA_ID};
+use edgellm_trace::validate_chrome_trace;
+
+const USAGE: &str = "usage:
+  edgellm-trace analyze <forensics.json> [--top K] [--json <out>]
+  edgellm-trace validate <file.json>";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(main_with_args(&args));
+}
+
+fn main_with_args(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            0
+        }
+        None => {
+            eprintln!("{USAGE}");
+            2
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}\n{USAGE}");
+            2
+        }
+    }
+}
+
+/// Extract `--flag value` from `args`, returning (value, rest).
+fn flag_value(args: &[String], flag: &str) -> Result<(Option<String>, Vec<String>), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut value = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            match it.next() {
+                Some(v) => value = Some(v.clone()),
+                None => return Err(format!("{flag} needs a value")),
+            }
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((value, rest))
+}
+
+fn cmd_analyze(args: &[String]) -> i32 {
+    let parsed = (|| -> Result<(String, usize, Option<String>), String> {
+        let (top, rest) = flag_value(args, "--top")?;
+        let (json_out, rest) = flag_value(&rest, "--json")?;
+        let top = match top {
+            Some(t) => t.parse::<usize>().map_err(|e| format!("--top {t:?}: {e}"))?,
+            None => 5,
+        };
+        match rest.as_slice() {
+            [path] => Ok((path.clone(), top, json_out)),
+            _ => Err("analyze takes exactly one input file".into()),
+        }
+    })();
+    let (path, top, json_out) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return 2;
+        }
+    };
+    let body = match std::fs::read_to_string(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{path}: cannot read: {e}");
+            return 1;
+        }
+    };
+    let stats = match validate_forensics(&body) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path}: invalid forensics export: {e}");
+            return 1;
+        }
+    };
+    let docs = parse_forensics(&body).expect("validated export parses");
+    let report = analyze(&docs, top);
+    print!("{}", report.render());
+    println!("{} runs, {} requests, {} events analyzed", stats.runs, stats.requests, stats.events);
+    if let Some(out) = json_out {
+        if let Err(e) = std::fs::write(&out, report.to_json()) {
+            eprintln!("{out}: cannot write: {e}");
+            return 1;
+        }
+        println!("wrote JSON report to {out}");
+    }
+    0
+}
+
+fn cmd_validate(args: &[String]) -> i32 {
+    let [path] = args else {
+        eprintln!("validate takes exactly one input file\n{USAGE}");
+        return 2;
+    };
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{path}: cannot read: {e}");
+            return 1;
+        }
+    };
+    let looks_forensic = edgellm_trace::parse_json(&body)
+        .ok()
+        .and_then(|d| d.get("schema").and_then(|s| s.as_str().map(String::from)))
+        .is_some_and(|s| s == FORENSICS_SCHEMA_ID);
+    if looks_forensic {
+        match validate_forensics(&body) {
+            Ok(s) => {
+                println!(
+                    "{path}: valid forensics export ({} runs, {} requests, {} events)",
+                    s.runs, s.requests, s.events
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("{path}: invalid forensics export: {e}");
+                1
+            }
+        }
+    } else {
+        match validate_chrome_trace(&body) {
+            Ok(s) => {
+                println!(
+                    "{path}: valid Chrome trace ({} events: {} spans, {} instants, {} counters)",
+                    s.total, s.spans, s.instants, s.counters
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("{path}: invalid trace: {e}");
+                1
+            }
+        }
+    }
+}

@@ -307,8 +307,9 @@ fn write_event(out: &mut String, ev: &Event) {
 /// Deterministic, JSON-valid float formatting: Rust's shortest
 /// round-trip `Display` (never exponent notation for f64), with
 /// non-finite values clamped to 0 — JSON has no NaN/Inf and no workspace
-/// source produces them.
-struct Num(f64);
+/// source produces them. Shared with [`crate::forensics`] so forensic
+/// reports and Chrome exports format floats identically.
+pub(crate) struct Num(pub(crate) f64);
 
 impl std::fmt::Display for Num {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

@@ -1,0 +1,1407 @@
+//! Request-scoped forensics: causal per-request timelines, blame
+//! decomposition, energy attribution, and an always-on flight recorder.
+//!
+//! The aggregate reports (`ContinuousReport`, `FleetReport`) and the
+//! Perfetto tracks answer workload-level questions; this module answers
+//! *per-request* ones — "why was request 42's TTFT 9× p50, and how many
+//! joules did it burn on which device?". Three pieces:
+//!
+//! * **Lifecycle events** ([`Event`]/[`EventKind`]): rid-stamped, `Copy`
+//!   records emitted by the serving/fleet simulators at every causal
+//!   step of a request's life (submit, admit with prefix-cache hit
+//!   length, chunked-prefill segments, first token, preemption, cancel,
+//!   route/re-route, thermal holds, power-mode changes). The emitters
+//!   keep a complete per-run log ([`ForensicsLog`]) *and* feed the
+//!   bounded global [`flight`] recorder.
+//! * **Reconstruction** ([`reconstruct`]): replays a log through a
+//!   per-request state machine into [`RequestTimeline`]s, each with a
+//!   [`Blame`] decomposition of TTFT and end-to-end latency (queueing vs
+//!   preemption vs thermal hold vs governor downclock vs cache miss)
+//!   and a per-request energy share pro-rated from the power integral,
+//!   so that Σ per-request J + idle J == `report.energy_j`.
+//! * **Analysis** ([`analyze`] and the `edgellm-trace` binary): top-k
+//!   worst-TTFT / worst-J-per-token requests with blame breakdowns and
+//!   the fleet-wide energy ledger, as deterministic JSON
+//!   ([`export_forensics`], validated by [`validate_forensics`] against
+//!   `schema/forensics.schema.json`) plus a human-readable report.
+//!
+//! Everything here is dependency-free and deterministic: floats format
+//! through the same shortest-round-trip writer as the Chrome exporter,
+//! collections iterate in sorted order, and the simulators that emit
+//! events are single-threaded by construction, so logs, dumps and
+//! reports are byte-identical across `EDGELLM_THREADS`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::chrome::{json_str, Num};
+use crate::json::{parse, Json};
+
+/// Sentinel rid for events that describe a device or the fleet rather
+/// than a single request (mode changes, device down/up).
+pub const NO_RID: u64 = u64::MAX;
+
+/// Sentinel device index for fleet-scope events that target no device
+/// (a request held while the whole fleet is dark) and for the cloud
+/// endpoint.
+pub const NO_DEVICE: u32 = u32::MAX;
+
+/// What happened. Payloads are `Copy`-only so the flight-recorder ring
+/// never allocates in steady state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EventKind {
+    /// Request entered a device queue (or re-entered one after an
+    /// evacuation re-route).
+    Submitted,
+    /// Scheduler admitted the request into the live batch; carries the
+    /// prefix-cache hit length (prompt tokens served from cache).
+    Admitted { cache_hit_tokens: u64 },
+    /// One chunked-prefill segment of `tokens` prompt tokens advanced.
+    PrefillChunk { tokens: u64 },
+    /// First output token produced (TTFT instant).
+    FirstToken,
+    /// KV pressure preempted the request (freed + re-queued for
+    /// recompute).
+    Preempted,
+    /// Request completed with `output_tokens` generated.
+    Completed { output_tokens: u64 },
+    /// Request cancelled mid-flight or while queued.
+    Cancelled,
+    /// Fleet router placed the request on `Event::device`.
+    Routed,
+    /// Fleet router spilled the request to the cloud endpoint.
+    Offloaded,
+    /// No device could take the request; it is held by the fleet.
+    Held,
+    /// Device went down (`thermal` distinguishes a thermal trip from a
+    /// scripted outage).
+    DeviceDown { thermal: bool },
+    /// Device came back up.
+    DeviceUp,
+    /// Power mode changed on `Event::device`; `downclock` is true when
+    /// any clock domain dropped below the run's baseline mode.
+    ModeChange { downclock: bool },
+}
+
+/// One rid-stamped lifecycle event on the shared simulation clock.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Event {
+    /// Simulation time (seconds).
+    pub t_s: f64,
+    /// Request id, or [`NO_RID`] for device/fleet-scope events.
+    pub rid: u64,
+    /// Device index the event concerns, or [`NO_DEVICE`].
+    pub device: u32,
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// One-line deterministic rendering (flight-recorder dump format).
+    pub fn render(&self) -> String {
+        let mut s = format!("t={}", Num(self.t_s));
+        if self.device == NO_DEVICE {
+            s.push_str(" dev=-");
+        } else {
+            let _ = write!(s, " dev={}", self.device);
+        }
+        if self.rid == NO_RID {
+            s.push_str(" rid=-");
+        } else {
+            let _ = write!(s, " rid={}", self.rid);
+        }
+        match self.kind {
+            EventKind::Submitted => s.push_str(" submitted"),
+            EventKind::Admitted { cache_hit_tokens } => {
+                let _ = write!(s, " admitted hit={cache_hit_tokens}");
+            }
+            EventKind::PrefillChunk { tokens } => {
+                let _ = write!(s, " prefill tokens={tokens}");
+            }
+            EventKind::FirstToken => s.push_str(" first_token"),
+            EventKind::Preempted => s.push_str(" preempted"),
+            EventKind::Completed { output_tokens } => {
+                let _ = write!(s, " completed out={output_tokens}");
+            }
+            EventKind::Cancelled => s.push_str(" cancelled"),
+            EventKind::Routed => s.push_str(" routed"),
+            EventKind::Offloaded => s.push_str(" offloaded"),
+            EventKind::Held => s.push_str(" held"),
+            EventKind::DeviceDown { thermal } => {
+                let _ = write!(s, " device_down thermal={thermal}");
+            }
+            EventKind::DeviceUp => s.push_str(" device_up"),
+            EventKind::ModeChange { downclock } => {
+                let _ = write!(s, " mode_change downclock={downclock}");
+            }
+        }
+        s
+    }
+}
+
+/// A complete forensic record of one run, as assembled by the emitting
+/// simulator: the full event log plus the energy ledger inputs.
+#[derive(Clone, Debug, Default)]
+pub struct ForensicsLog {
+    /// Run label (device name for serve runs, "fleet" for fleets).
+    pub label: String,
+    /// Lifecycle events sorted by `t_s` (stable for equal stamps).
+    pub events: Vec<Event>,
+    /// Per-request attributed energy, sorted by rid.
+    pub req_energy: Vec<(u64, f64)>,
+    /// Energy integrated over idle gaps (J).
+    pub idle_energy_j: f64,
+    /// Energy billed to the cloud endpoint (J), already included in the
+    /// per-request shares of offloaded rids.
+    pub cloud_energy_j: f64,
+    /// The run's total energy integral — `report.energy_j`.
+    pub total_energy_j: f64,
+}
+
+/// Blame decomposition of a latency window. The four wait components
+/// plus `service_s` partition the wall-clock window; `downclock_s` is a
+/// *residency overlap* (time the request was resident on a device held
+/// below its baseline clocks) and may overlap the others.
+/// `cache_miss_tokens` counts prompt tokens actually prefilled (not
+/// served from the prefix cache).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Blame {
+    /// Waiting in a device queue before (first) admission.
+    pub queueing_s: f64,
+    /// Waiting for re-admission after a KV-pressure preemption.
+    pub preemption_s: f64,
+    /// Held by the fleet (thermal trip / outage with no healthy target)
+    /// or waiting out an evacuation re-route.
+    pub held_s: f64,
+    /// Residency overlap with downclocked power modes (governor or
+    /// scripted); overlaps the partition components.
+    pub downclock_s: f64,
+    /// Time actually being computed (prefill + decode).
+    pub service_s: f64,
+    /// Prompt tokens prefilled rather than served from cache.
+    pub cache_miss_tokens: u64,
+}
+
+impl Blame {
+    /// Name of the dominant *wait* component, or `"service"` when the
+    /// request never waited (queueing, preemption, hold and downclock
+    /// all zero).
+    pub fn dominant(&self) -> &'static str {
+        let cands = [
+            ("queueing", self.queueing_s),
+            ("preemption", self.preemption_s),
+            ("thermal-hold", self.held_s),
+            ("downclock", self.downclock_s),
+        ];
+        let mut best = ("service", 0.0);
+        for (name, v) in cands {
+            if v > best.1 {
+                best = (name, v);
+            }
+        }
+        best.0
+    }
+
+    /// True when at least one wait component (queueing / preemption /
+    /// thermal hold / downclock) is nonzero.
+    pub fn names_nonzero_wait(&self) -> bool {
+        self.queueing_s > 0.0
+            || self.preemption_s > 0.0
+            || self.held_s > 0.0
+            || self.downclock_s > 0.0
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"queueing_s\":{},\"preemption_s\":{},\"held_s\":{},\"downclock_s\":{},\"service_s\":{},\"cache_miss_tokens\":{}}}",
+            Num(self.queueing_s),
+            Num(self.preemption_s),
+            Num(self.held_s),
+            Num(self.downclock_s),
+            Num(self.service_s),
+            self.cache_miss_tokens
+        )
+    }
+}
+
+/// A request's reconstructed life, with blame and energy attribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestTimeline {
+    pub rid: u64,
+    /// First submission instant (s).
+    pub arrival_s: f64,
+    /// Time to first token, if one was produced.
+    pub ttft_s: Option<f64>,
+    /// End-to-end latency (to completion or cancellation), if the
+    /// request terminated.
+    pub latency_s: Option<f64>,
+    pub output_tokens: u64,
+    /// Devices the request was resident on, in first-visit order.
+    pub devices: Vec<u32>,
+    pub preemptions: u64,
+    pub cache_hit_tokens: u64,
+    /// Energy attributed to this request (J), pro-rated from the power
+    /// integral token-proportionally per iteration.
+    pub energy_j: f64,
+    pub completed: bool,
+    pub cancelled: bool,
+    /// Served by the cloud endpoint rather than an edge device.
+    pub offloaded: bool,
+    /// Blame over the `[arrival, first token]` window.
+    pub ttft_blame: Blame,
+    /// Blame over the full `[arrival, termination]` window.
+    pub latency_blame: Blame,
+}
+
+impl RequestTimeline {
+    fn to_json(&self) -> String {
+        let opt = |v: Option<f64>| match v {
+            Some(x) => format!("{}", Num(x)),
+            None => "null".into(),
+        };
+        let devices = self.devices.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(",");
+        format!(
+            "{{\"rid\":{},\"arrival_s\":{},\"ttft_s\":{},\"latency_s\":{},\"output_tokens\":{},\"devices\":[{}],\"preemptions\":{},\"cache_hit_tokens\":{},\"energy_j\":{},\"completed\":{},\"cancelled\":{},\"offloaded\":{},\"ttft_blame\":{},\"latency_blame\":{}}}",
+            self.rid,
+            Num(self.arrival_s),
+            opt(self.ttft_s),
+            opt(self.latency_s),
+            self.output_tokens,
+            devices,
+            self.preemptions,
+            self.cache_hit_tokens,
+            Num(self.energy_j),
+            self.completed,
+            self.cancelled,
+            self.offloaded,
+            self.ttft_blame.to_json(),
+            self.latency_blame.to_json()
+        )
+    }
+}
+
+/// The reconstructed forensic document for one run: per-request
+/// timelines plus the run-wide energy ledger.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ForensicsDoc {
+    pub label: String,
+    /// `report.energy_j` — the run's full power integral.
+    pub total_energy_j: f64,
+    /// Idle-gap energy (J), the unattributable remainder of the ledger.
+    pub idle_energy_j: f64,
+    /// Cloud-endpoint energy (J); a subset of `attributed_j`.
+    pub cloud_energy_j: f64,
+    /// Σ per-request energy (J).
+    pub attributed_j: f64,
+    /// `total − idle − attributed`: must vanish (≤1e-9 relative) for
+    /// the ledger to reconcile.
+    pub residual_j: f64,
+    /// Number of lifecycle events the log carried.
+    pub events: u64,
+    /// Timelines sorted by rid.
+    pub requests: Vec<RequestTimeline>,
+}
+
+impl ForensicsDoc {
+    /// Deterministic JSON rendering of one run document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"label\":{},\"total_energy_j\":{},\"idle_energy_j\":{},\"cloud_energy_j\":{},\"attributed_j\":{},\"residual_j\":{},\"events\":{},\"requests\":[",
+            json_str(&self.label),
+            Num(self.total_energy_j),
+            Num(self.idle_energy_j),
+            Num(self.cloud_energy_j),
+            Num(self.attributed_j),
+            Num(self.residual_j),
+            self.events
+        );
+        for (i, r) in self.requests.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&r.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Median TTFT over requests that produced a first token.
+    pub fn p50_ttft_s(&self) -> f64 {
+        let mut ts: Vec<f64> = self.requests.iter().filter_map(|r| r.ttft_s).collect();
+        if ts.is_empty() {
+            return 0.0;
+        }
+        ts.sort_by(|a, b| a.partial_cmp(b).expect("finite ttft"));
+        ts[(ts.len() - 1) / 2]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reconstruction
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum St {
+    Start,
+    /// Waiting in a device queue since `t`.
+    Queued(f64),
+    /// In the live batch since `t`.
+    Running(f64),
+    /// Preempted, waiting for re-admission since `t`.
+    PreemptWait(f64),
+    /// Held by the fleet (no healthy device) since `t`.
+    HeldWait(f64),
+    /// Evacuated mid-flight, waiting for the receiving device since `t`.
+    EvacWait(f64),
+    Done,
+}
+
+struct ReqState {
+    tl: RequestTimeline,
+    st: St,
+    first_token_t: Option<f64>,
+    end_t: Option<f64>,
+    blame: Blame,
+    /// Residency intervals `(start, end-or-None, device)`.
+    residency: Vec<(f64, Option<f64>, u32)>,
+}
+
+impl ReqState {
+    fn new(rid: u64) -> Self {
+        Self {
+            tl: RequestTimeline {
+                rid,
+                arrival_s: 0.0,
+                ttft_s: None,
+                latency_s: None,
+                output_tokens: 0,
+                devices: Vec::new(),
+                preemptions: 0,
+                cache_hit_tokens: 0,
+                energy_j: 0.0,
+                completed: false,
+                cancelled: false,
+                offloaded: false,
+                ttft_blame: Blame::default(),
+                latency_blame: Blame::default(),
+            },
+            st: St::Start,
+            first_token_t: None,
+            end_t: None,
+            blame: Blame::default(),
+            residency: Vec::new(),
+        }
+    }
+
+    fn enter_device(&mut self, t: f64, dev: u32) {
+        if let Some(last) = self.residency.last_mut() {
+            if last.1.is_none() {
+                if last.2 == dev {
+                    return;
+                }
+                last.1 = Some(t);
+            }
+        }
+        if dev != NO_DEVICE {
+            self.residency.push((t, None, dev));
+            if !self.tl.devices.contains(&dev) {
+                self.tl.devices.push(dev);
+            }
+        }
+    }
+
+    /// Close the open wait/service interval at `t` into its blame
+    /// bucket and return the previous state.
+    fn close(&mut self, t: f64) -> St {
+        let prev = self.st;
+        match prev {
+            St::Queued(s) => self.blame.queueing_s += t - s,
+            St::Running(s) => self.blame.service_s += t - s,
+            St::PreemptWait(s) => self.blame.preemption_s += t - s,
+            St::HeldWait(s) | St::EvacWait(s) => self.blame.held_s += t - s,
+            St::Start | St::Done => {}
+        }
+        prev
+    }
+
+    fn arrive_if_new(&mut self, t: f64) {
+        if matches!(self.st, St::Start) {
+            self.tl.arrival_s = t;
+        }
+    }
+}
+
+/// Per-device downclock intervals `(start, end-or-None)` derived from
+/// the run's `ModeChange` events.
+fn downclock_intervals(events: &[Event]) -> BTreeMap<u32, Vec<(f64, Option<f64>)>> {
+    let mut iv: BTreeMap<u32, Vec<(f64, Option<f64>)>> = BTreeMap::new();
+    for ev in events {
+        if let EventKind::ModeChange { downclock } = ev.kind {
+            let spans = iv.entry(ev.device).or_default();
+            let open = spans.last().is_some_and(|s| s.1.is_none());
+            match (open, downclock) {
+                (false, true) => spans.push((ev.t_s, None)),
+                (true, false) => spans.last_mut().expect("open span").1 = Some(ev.t_s),
+                _ => {}
+            }
+        }
+    }
+    iv
+}
+
+fn overlap(a0: f64, a1: f64, b0: f64, b1: f64) -> f64 {
+    (a1.min(b1) - a0.max(b0)).max(0.0)
+}
+
+/// Sum the overlap of `[w0, w1]` with the request's residency on
+/// downclocked devices.
+fn downclock_overlap(
+    residency: &[(f64, Option<f64>, u32)],
+    iv: &BTreeMap<u32, Vec<(f64, Option<f64>)>>,
+    w0: f64,
+    w1: f64,
+    horizon: f64,
+) -> f64 {
+    let mut total = 0.0;
+    for &(r0, r1, dev) in residency {
+        let r1 = r1.unwrap_or(horizon);
+        if let Some(spans) = iv.get(&dev) {
+            for &(d0, d1) in spans {
+                let d1 = d1.unwrap_or(horizon);
+                total += overlap(r0.max(w0), r1.min(w1), d0, d1);
+            }
+        }
+    }
+    total
+}
+
+/// Replay a [`ForensicsLog`] into per-request timelines with blame and
+/// energy attribution. Pure and deterministic: same log, same document.
+pub fn reconstruct(log: &ForensicsLog) -> ForensicsDoc {
+    let horizon = log.events.last().map_or(0.0, |e| e.t_s);
+    let downs = downclock_intervals(&log.events);
+    let mut reqs: BTreeMap<u64, ReqState> = BTreeMap::new();
+
+    for ev in &log.events {
+        if ev.rid == NO_RID {
+            continue;
+        }
+        let t = ev.t_s;
+        let r = reqs.entry(ev.rid).or_insert_with(|| ReqState::new(ev.rid));
+        if matches!(r.st, St::Done) {
+            continue;
+        }
+        match ev.kind {
+            EventKind::Routed => {
+                r.enter_device(t, ev.device);
+            }
+            EventKind::Submitted => {
+                r.arrive_if_new(t);
+                r.enter_device(t, ev.device);
+                match r.close(t) {
+                    // Already waiting somewhere: the wait continues in a
+                    // new queue (evacuation of a queued request) …
+                    St::Queued(_) | St::Start | St::HeldWait(_) => r.st = St::Queued(t),
+                    // … or the request was evacuated mid-flight and its
+                    // progress discarded: the coming wait is hold blame.
+                    St::Running(_) => r.st = St::EvacWait(t),
+                    St::PreemptWait(_) => r.st = St::PreemptWait(t),
+                    St::EvacWait(_) => r.st = St::EvacWait(t),
+                    St::Done => {}
+                }
+            }
+            EventKind::Held => {
+                r.arrive_if_new(t);
+                r.close(t);
+                r.st = St::HeldWait(t);
+            }
+            EventKind::Admitted { cache_hit_tokens } => {
+                r.arrive_if_new(t);
+                if r.tl.cache_hit_tokens == 0 {
+                    r.tl.cache_hit_tokens = cache_hit_tokens;
+                }
+                r.close(t);
+                r.st = St::Running(t);
+            }
+            EventKind::PrefillChunk { tokens } => {
+                r.blame.cache_miss_tokens += tokens;
+            }
+            EventKind::FirstToken => {
+                if matches!(r.st, St::Running(_)) {
+                    r.close(t);
+                    r.st = St::Running(t);
+                }
+                if r.first_token_t.is_none() {
+                    r.first_token_t = Some(t);
+                    r.tl.ttft_s = Some(t - r.tl.arrival_s);
+                    r.tl.ttft_blame = r.blame;
+                }
+            }
+            EventKind::Preempted => {
+                r.close(t);
+                r.st = St::PreemptWait(t);
+                r.tl.preemptions += 1;
+            }
+            EventKind::Offloaded => {
+                r.arrive_if_new(t);
+                r.close(t);
+                r.st = St::Running(t);
+                r.tl.offloaded = true;
+            }
+            EventKind::Completed { output_tokens } => {
+                r.close(t);
+                r.st = St::Done;
+                r.tl.output_tokens = output_tokens;
+                r.tl.completed = true;
+                r.tl.latency_s = Some(t - r.tl.arrival_s);
+                r.end_t = Some(t);
+            }
+            EventKind::Cancelled => {
+                r.close(t);
+                r.st = St::Done;
+                r.tl.cancelled = true;
+                r.tl.latency_s = Some(t - r.tl.arrival_s);
+                r.end_t = Some(t);
+            }
+            EventKind::DeviceDown { .. } | EventKind::DeviceUp | EventKind::ModeChange { .. } => {}
+        }
+    }
+
+    let energy: BTreeMap<u64, f64> = log.req_energy.iter().copied().collect();
+    let mut requests = Vec::with_capacity(reqs.len());
+    let mut attributed = 0.0;
+    for (rid, mut r) in reqs {
+        // A request still in flight when the log ends: close its open
+        // interval at the horizon so blame still partitions the window.
+        if !matches!(r.st, St::Done) {
+            r.close(horizon);
+        }
+        let end = r.end_t.unwrap_or(horizon);
+        if let Some(ft) = r.first_token_t {
+            r.tl.ttft_blame.downclock_s =
+                downclock_overlap(&r.residency, &downs, r.tl.arrival_s, ft, horizon);
+        }
+        r.tl.latency_blame = r.blame;
+        r.tl.latency_blame.downclock_s =
+            downclock_overlap(&r.residency, &downs, r.tl.arrival_s, end, horizon);
+        r.tl.energy_j = energy.get(&rid).copied().unwrap_or(0.0);
+        attributed += r.tl.energy_j;
+        requests.push(r.tl);
+    }
+
+    ForensicsDoc {
+        label: log.label.clone(),
+        total_energy_j: log.total_energy_j,
+        idle_energy_j: log.idle_energy_j,
+        cloud_energy_j: log.cloud_energy_j,
+        attributed_j: attributed,
+        residual_j: log.total_energy_j - log.idle_energy_j - attributed,
+        events: log.events.len() as u64,
+        requests,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Export / parse / validate
+// ---------------------------------------------------------------------------
+
+/// Schema identifier stamped into every export.
+pub const FORENSICS_SCHEMA_ID: &str = "edgellm_forensics/v1";
+
+/// Checked-in schema the exporter's output is validated against.
+pub const FORENSICS_SCHEMA: &str = include_str!("../schema/forensics.schema.json");
+
+/// Render a set of run documents as the canonical export container.
+pub fn export_forensics(docs: &[ForensicsDoc]) -> String {
+    let mut out = format!("{{\"schema\":{},\"runs\":[", json_str(FORENSICS_SCHEMA_ID));
+    for (i, d) in docs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&d.to_json());
+    }
+    out.push_str("]}");
+    out
+}
+
+fn req_f64(obj: &Json, key: &str, what: &str) -> Result<f64, String> {
+    let v = obj
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{what}: \"{key}\" missing or not numeric"))?;
+    if !v.is_finite() {
+        return Err(format!("{what}: \"{key}\" not finite"));
+    }
+    Ok(v)
+}
+
+fn opt_f64(obj: &Json, key: &str, what: &str) -> Result<Option<f64>, String> {
+    match obj.get(key) {
+        None => Err(format!("{what}: \"{key}\" missing")),
+        Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let v = v.as_f64().ok_or_else(|| format!("{what}: \"{key}\" not numeric"))?;
+            Ok(Some(v))
+        }
+    }
+}
+
+fn req_bool(obj: &Json, key: &str, what: &str) -> Result<bool, String> {
+    match obj.get(key) {
+        Some(Json::Bool(b)) => Ok(*b),
+        _ => Err(format!("{what}: \"{key}\" missing or not a bool")),
+    }
+}
+
+fn parse_blame(obj: &Json, what: &str) -> Result<Blame, String> {
+    Ok(Blame {
+        queueing_s: req_f64(obj, "queueing_s", what)?,
+        preemption_s: req_f64(obj, "preemption_s", what)?,
+        held_s: req_f64(obj, "held_s", what)?,
+        downclock_s: req_f64(obj, "downclock_s", what)?,
+        service_s: req_f64(obj, "service_s", what)?,
+        cache_miss_tokens: req_f64(obj, "cache_miss_tokens", what)? as u64,
+    })
+}
+
+fn parse_request(obj: &Json, what: &str) -> Result<RequestTimeline, String> {
+    let devices = obj
+        .get("devices")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{what}: \"devices\" missing or not an array"))?
+        .iter()
+        .map(|d| d.as_f64().map(|f| f as u32).ok_or_else(|| format!("{what}: device not numeric")))
+        .collect::<Result<Vec<u32>, String>>()?;
+    Ok(RequestTimeline {
+        rid: req_f64(obj, "rid", what)? as u64,
+        arrival_s: req_f64(obj, "arrival_s", what)?,
+        ttft_s: opt_f64(obj, "ttft_s", what)?,
+        latency_s: opt_f64(obj, "latency_s", what)?,
+        output_tokens: req_f64(obj, "output_tokens", what)? as u64,
+        devices,
+        preemptions: req_f64(obj, "preemptions", what)? as u64,
+        cache_hit_tokens: req_f64(obj, "cache_hit_tokens", what)? as u64,
+        energy_j: req_f64(obj, "energy_j", what)?,
+        completed: req_bool(obj, "completed", what)?,
+        cancelled: req_bool(obj, "cancelled", what)?,
+        offloaded: req_bool(obj, "offloaded", what)?,
+        ttft_blame: parse_blame(
+            obj.get("ttft_blame").ok_or_else(|| format!("{what}: ttft_blame missing"))?,
+            what,
+        )?,
+        latency_blame: parse_blame(
+            obj.get("latency_blame").ok_or_else(|| format!("{what}: latency_blame missing"))?,
+            what,
+        )?,
+    })
+}
+
+fn parse_doc(obj: &Json, what: &str) -> Result<ForensicsDoc, String> {
+    let label = obj
+        .get("label")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{what}: \"label\" missing or not a string"))?
+        .to_string();
+    let reqs = obj
+        .get("requests")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{what}: \"requests\" missing or not an array"))?;
+    let mut requests = Vec::with_capacity(reqs.len());
+    for (i, r) in reqs.iter().enumerate() {
+        requests.push(parse_request(r, &format!("{what} request {i}"))?);
+    }
+    Ok(ForensicsDoc {
+        label,
+        total_energy_j: req_f64(obj, "total_energy_j", what)?,
+        idle_energy_j: req_f64(obj, "idle_energy_j", what)?,
+        cloud_energy_j: req_f64(obj, "cloud_energy_j", what)?,
+        attributed_j: req_f64(obj, "attributed_j", what)?,
+        residual_j: req_f64(obj, "residual_j", what)?,
+        events: req_f64(obj, "events", what)? as u64,
+        requests,
+    })
+}
+
+/// Parse a forensics export (the `{"schema", "runs": […]}` container)
+/// back into run documents.
+pub fn parse_forensics(body: &str) -> Result<Vec<ForensicsDoc>, String> {
+    let doc = parse(body)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("root: \"schema\" missing or not a string")?;
+    if schema != FORENSICS_SCHEMA_ID {
+        return Err(format!("root: schema \"{schema}\" is not \"{FORENSICS_SCHEMA_ID}\""));
+    }
+    let runs = doc.get("runs").and_then(Json::as_arr).ok_or("root: \"runs\" missing")?;
+    let mut out = Vec::with_capacity(runs.len());
+    for (i, r) in runs.iter().enumerate() {
+        out.push(parse_doc(r, &format!("run {i}"))?);
+    }
+    Ok(out)
+}
+
+/// Summary statistics returned by [`validate_forensics`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ForensicsStats {
+    pub runs: usize,
+    pub requests: usize,
+    pub events: u64,
+}
+
+fn required_keys(schema: &Json, field: &str) -> Vec<String> {
+    schema
+        .get(field)
+        .and_then(Json::as_arr)
+        .expect("checked-in schema carries required-key lists")
+        .iter()
+        .map(|k| k.as_str().expect("schema keys are strings").to_string())
+        .collect()
+}
+
+/// Validate a forensics export against the checked-in schema:
+/// structural keys on the container / runs / requests / blame objects,
+/// finiteness of numeric fields, rid-sortedness of each run's request
+/// list, and internal consistency of the energy ledger
+/// (`residual == total − idle − attributed` to 1e-6 relative).
+pub fn validate_forensics(body: &str) -> Result<ForensicsStats, String> {
+    let schema = parse(FORENSICS_SCHEMA).expect("checked-in schema parses");
+    let root_required = required_keys(&schema, "root_required");
+    let run_required = required_keys(&schema, "run_required");
+    let request_required = required_keys(&schema, "request_required");
+    let blame_required = required_keys(&schema, "blame_required");
+
+    let doc = parse(body)?;
+    for key in &root_required {
+        if doc.get(key).is_none() {
+            return Err(format!("root: missing required key \"{key}\""));
+        }
+    }
+    let runs = parse_forensics(body)?;
+    // Structural re-check straight off the JSON (parse_forensics would
+    // already have failed on type errors; here we enforce key presence
+    // exactly as the schema lists it, so schema and validator can't
+    // drift apart silently).
+    let raw_runs = doc.get("runs").and_then(Json::as_arr).expect("parsed above");
+    let mut stats = ForensicsStats { runs: runs.len(), ..Default::default() };
+    for (i, (raw, run)) in raw_runs.iter().zip(&runs).enumerate() {
+        for key in &run_required {
+            if raw.get(key).is_none() {
+                return Err(format!("run {i}: missing required key \"{key}\""));
+            }
+        }
+        let raw_reqs = raw.get("requests").and_then(Json::as_arr).expect("parsed above");
+        for (j, rr) in raw_reqs.iter().enumerate() {
+            for key in &request_required {
+                if rr.get(key).is_none() {
+                    return Err(format!("run {i} request {j}: missing required key \"{key}\""));
+                }
+            }
+            for which in ["ttft_blame", "latency_blame"] {
+                let b = rr.get(which).expect("parsed above");
+                for key in &blame_required {
+                    if b.get(key).is_none() {
+                        return Err(format!(
+                            "run {i} request {j} {which}: missing required key \"{key}\""
+                        ));
+                    }
+                }
+            }
+        }
+        for w in run.requests.windows(2) {
+            if w[0].rid >= w[1].rid {
+                return Err(format!("run {i}: requests not sorted by rid"));
+            }
+        }
+        let residual = run.total_energy_j - run.idle_energy_j - run.attributed_j;
+        let tol = 1e-6 * run.total_energy_j.abs().max(1.0);
+        if (residual - run.residual_j).abs() > tol {
+            return Err(format!(
+                "run {i}: ledger inconsistent: residual_j={} but total−idle−attributed={}",
+                Num(run.residual_j),
+                Num(residual)
+            ));
+        }
+        stats.requests += run.requests.len();
+        stats.events += run.events;
+    }
+    Ok(stats)
+}
+
+// ---------------------------------------------------------------------------
+// Analysis
+// ---------------------------------------------------------------------------
+
+/// One line of a worst-offender table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Offender {
+    pub rid: u64,
+    pub ttft_s: f64,
+    pub j_per_token: f64,
+    pub dominant: &'static str,
+    pub blame: Blame,
+}
+
+/// Per-run analysis: worst offenders, TTFT outliers, energy ledger.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunAnalysis {
+    pub label: String,
+    pub requests: usize,
+    pub completed: usize,
+    pub p50_ttft_s: f64,
+    pub worst_ttft: Vec<Offender>,
+    pub worst_j_per_token: Vec<Offender>,
+    /// Requests with TTFT > 2× p50, each with its blame breakdown.
+    pub outliers: Vec<Offender>,
+    pub total_energy_j: f64,
+    pub idle_energy_j: f64,
+    pub cloud_energy_j: f64,
+    pub attributed_j: f64,
+    pub residual_j: f64,
+}
+
+/// The full analysis report over an export's runs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AnalyzeReport {
+    pub runs: Vec<RunAnalysis>,
+}
+
+fn offender(r: &RequestTimeline) -> Offender {
+    let jpt = if r.output_tokens > 0 { r.energy_j / r.output_tokens as f64 } else { 0.0 };
+    Offender {
+        rid: r.rid,
+        ttft_s: r.ttft_s.unwrap_or(0.0),
+        j_per_token: jpt,
+        dominant: r.ttft_blame.dominant(),
+        blame: r.ttft_blame,
+    }
+}
+
+/// Analyze run documents: top-`k` worst-TTFT and worst-J/token requests
+/// with blame breakdowns, TTFT outliers (> 2× p50), and the energy
+/// ledger. Deterministic: ties break on rid.
+pub fn analyze(docs: &[ForensicsDoc], k: usize) -> AnalyzeReport {
+    let mut runs = Vec::with_capacity(docs.len());
+    for d in docs {
+        let p50 = d.p50_ttft_s();
+        let mut by_ttft: Vec<&RequestTimeline> =
+            d.requests.iter().filter(|r| r.ttft_s.is_some()).collect();
+        by_ttft.sort_by(|a, b| {
+            b.ttft_s.partial_cmp(&a.ttft_s).expect("finite ttft").then_with(|| a.rid.cmp(&b.rid))
+        });
+        let worst_ttft: Vec<Offender> = by_ttft.iter().take(k).map(|r| offender(r)).collect();
+        let outliers: Vec<Offender> = by_ttft
+            .iter()
+            .filter(|r| r.ttft_s.expect("filtered") > 2.0 * p50)
+            .map(|r| offender(r))
+            .collect();
+
+        let mut by_jpt: Vec<Offender> = d
+            .requests
+            .iter()
+            .filter(|r| r.completed && r.output_tokens > 0)
+            .map(offender)
+            .collect();
+        by_jpt.sort_by(|a, b| {
+            b.j_per_token
+                .partial_cmp(&a.j_per_token)
+                .expect("finite j/token")
+                .then_with(|| a.rid.cmp(&b.rid))
+        });
+        by_jpt.truncate(k);
+
+        runs.push(RunAnalysis {
+            label: d.label.clone(),
+            requests: d.requests.len(),
+            completed: d.requests.iter().filter(|r| r.completed).count(),
+            p50_ttft_s: p50,
+            worst_ttft,
+            worst_j_per_token: by_jpt,
+            outliers,
+            total_energy_j: d.total_energy_j,
+            idle_energy_j: d.idle_energy_j,
+            cloud_energy_j: d.cloud_energy_j,
+            attributed_j: d.attributed_j,
+            residual_j: d.residual_j,
+        });
+    }
+    AnalyzeReport { runs }
+}
+
+impl Offender {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"rid\":{},\"ttft_s\":{},\"j_per_token\":{},\"dominant\":{},\"blame\":{}}}",
+            self.rid,
+            Num(self.ttft_s),
+            Num(self.j_per_token),
+            json_str(self.dominant),
+            self.blame.to_json()
+        )
+    }
+}
+
+fn offenders_json(list: &[Offender]) -> String {
+    let mut out = String::from("[");
+    for (i, o) in list.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&o.to_json());
+    }
+    out.push(']');
+    out
+}
+
+impl AnalyzeReport {
+    /// Deterministic JSON rendering of the report.
+    pub fn to_json(&self) -> String {
+        let mut out =
+            format!("{{\"schema\":{},\"runs\":[", json_str("edgellm_forensics_report/v1"));
+        for (i, r) in self.runs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"label\":{},\"requests\":{},\"completed\":{},\"p50_ttft_s\":{},\"worst_ttft\":{},\"worst_j_per_token\":{},\"outliers\":{},\"ledger\":{{\"total_energy_j\":{},\"idle_energy_j\":{},\"cloud_energy_j\":{},\"attributed_j\":{},\"residual_j\":{}}}}}",
+                json_str(&r.label),
+                r.requests,
+                r.completed,
+                Num(r.p50_ttft_s),
+                offenders_json(&r.worst_ttft),
+                offenders_json(&r.worst_j_per_token),
+                offenders_json(&r.outliers),
+                Num(r.total_energy_j),
+                Num(r.idle_energy_j),
+                Num(r.cloud_energy_j),
+                Num(r.attributed_j),
+                Num(r.residual_j)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Human-readable forensic report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.runs {
+            let _ = writeln!(
+                out,
+                "run {:?}: {} requests ({} completed), p50 TTFT {:.3} s",
+                r.label, r.requests, r.completed, r.p50_ttft_s
+            );
+            let _ = writeln!(
+                out,
+                "  energy ledger: total {:.3} J = attributed {:.3} J + idle {:.3} J (residual {:+.3e} J, cloud {:.3} J)",
+                r.total_energy_j, r.attributed_j, r.idle_energy_j, r.residual_j, r.cloud_energy_j
+            );
+            let table = |out: &mut String, title: &str, list: &[Offender]| {
+                if list.is_empty() {
+                    return;
+                }
+                let _ = writeln!(out, "  {title}:");
+                let _ = writeln!(
+                    out,
+                    "    {:>6} {:>9} {:>9} {:>12}  {:>8} {:>8} {:>8} {:>8} {:>8}",
+                    "rid",
+                    "ttft_s",
+                    "J/token",
+                    "dominant",
+                    "queue_s",
+                    "preempt",
+                    "hold_s",
+                    "downclk",
+                    "service"
+                );
+                for o in list {
+                    let _ = writeln!(
+                        out,
+                        "    {:>6} {:>9.3} {:>9.4} {:>12}  {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+                        o.rid,
+                        o.ttft_s,
+                        o.j_per_token,
+                        o.dominant,
+                        o.blame.queueing_s,
+                        o.blame.preemption_s,
+                        o.blame.held_s,
+                        o.blame.downclock_s,
+                        o.blame.service_s
+                    );
+                }
+            };
+            table(&mut out, "worst TTFT", &r.worst_ttft);
+            table(&mut out, "worst J/token", &r.worst_j_per_token);
+            table(&mut out, "TTFT outliers (> 2x p50)", &r.outliers);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+/// Default ring capacity: enough for the tail of any smoke scenario
+/// while keeping the resident footprint a few hundred KB.
+pub const FLIGHT_CAPACITY: usize = 4096;
+
+/// A bounded ring of the most recent lifecycle events. Fixed capacity,
+/// preallocated: pushes never allocate once constructed.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    buf: Vec<Event>,
+    head: usize,
+    total: u64,
+    capacity: usize,
+}
+
+impl FlightRecorder {
+    pub fn new(capacity: usize) -> Self {
+        Self { buf: Vec::with_capacity(capacity), head: 0, total: 0, capacity }
+    }
+
+    pub fn push(&mut self, ev: Event) {
+        self.total += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.total = 0;
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events ever pushed (including overwritten ones).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// Deterministic text dump, oldest event first.
+    pub fn dump(&self) -> String {
+        let mut out = format!(
+            "edgellm flight recorder: {} events retained of {} recorded (capacity {})\n",
+            self.buf.len(),
+            self.total,
+            self.capacity
+        );
+        for (i, ev) in self.snapshot().iter().enumerate() {
+            let _ = writeln!(out, "[{i:>5}] {}", ev.render());
+        }
+        out
+    }
+}
+
+/// The process-wide, always-on flight recorder.
+pub mod flight {
+    use super::{Event, FlightRecorder, Mutex, OnceLock, FLIGHT_CAPACITY};
+
+    fn recorder() -> &'static Mutex<FlightRecorder> {
+        static R: OnceLock<Mutex<FlightRecorder>> = OnceLock::new();
+        R.get_or_init(|| Mutex::new(FlightRecorder::new(FLIGHT_CAPACITY)))
+    }
+
+    /// Record one event. Never allocates in steady state; never fails.
+    pub fn record(ev: Event) {
+        recorder().lock().expect("flight recorder lock").push(ev);
+    }
+
+    /// Drop all retained events (scenario boundary).
+    pub fn clear() {
+        recorder().lock().expect("flight recorder lock").clear();
+    }
+
+    /// Retained-event count.
+    pub fn len() -> usize {
+        recorder().lock().expect("flight recorder lock").len()
+    }
+
+    /// Events ever recorded (including overwritten ones).
+    pub fn total() -> u64 {
+        recorder().lock().expect("flight recorder lock").total()
+    }
+
+    /// Retained events, oldest first.
+    pub fn snapshot() -> Vec<Event> {
+        recorder().lock().expect("flight recorder lock").snapshot()
+    }
+
+    /// Deterministic text dump of the retained window.
+    pub fn dump() -> String {
+        recorder().lock().expect("flight recorder lock").dump()
+    }
+
+    /// Destination for automatic SLO-breach dumps, when enabled via the
+    /// `EDGELLM_FLIGHT_DUMP` environment variable.
+    pub fn dump_path() -> Option<String> {
+        std::env::var("EDGELLM_FLIGHT_DUMP").ok().filter(|p| !p.is_empty())
+    }
+
+    /// Write the current dump to the `EDGELLM_FLIGHT_DUMP` path (no-op
+    /// when unset). Called by the simulators on the first SLO breach of
+    /// a run; write errors are deliberately swallowed — forensics must
+    /// never take the simulation down.
+    pub fn dump_on_breach(label: &str) {
+        if let Some(path) = dump_path() {
+            let body = format!("SLO breach in run {label:?}\n{}", dump());
+            let _ = std::fs::write(path, body);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process-wide forensics sink
+// ---------------------------------------------------------------------------
+
+/// Process-wide collection point for reconstructed run documents,
+/// mirroring [`crate::sink`]: the simulators record into it when
+/// enabled, `edgellm … --forensics-out` exports it.
+pub mod sink {
+    use super::{AtomicBool, ForensicsDoc, Mutex, OnceLock, Ordering};
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+
+    fn docs() -> &'static Mutex<Vec<ForensicsDoc>> {
+        static S: OnceLock<Mutex<Vec<ForensicsDoc>>> = OnceLock::new();
+        S.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    /// Start collecting run documents.
+    pub fn enable() {
+        ENABLED.store(true, Ordering::SeqCst);
+    }
+
+    /// Stop collecting (already-recorded documents are kept).
+    pub fn disable() {
+        ENABLED.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether simulators should record their forensics on completion.
+    pub fn enabled() -> bool {
+        ENABLED.load(Ordering::SeqCst)
+    }
+
+    /// Append one reconstructed run document.
+    pub fn record(doc: ForensicsDoc) {
+        docs().lock().expect("forensics sink lock").push(doc);
+    }
+
+    /// Take every recorded document, leaving the sink empty.
+    pub fn take() -> Vec<ForensicsDoc> {
+        std::mem::take(&mut *docs().lock().expect("forensics sink lock"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_s: f64, rid: u64, device: u32, kind: EventKind) -> Event {
+        Event { t_s, rid, device, kind }
+    }
+
+    /// A hand-built single-device life: queue 1 s, admit with a cache
+    /// hit, prefill, first token, preempt mid-decode, re-admit, finish.
+    fn one_request_log() -> ForensicsLog {
+        ForensicsLog {
+            label: "unit".into(),
+            events: vec![
+                ev(0.0, 7, 0, EventKind::Submitted),
+                ev(1.0, 7, 0, EventKind::Admitted { cache_hit_tokens: 16 }),
+                ev(1.5, 7, 0, EventKind::PrefillChunk { tokens: 48 }),
+                ev(2.0, 7, 0, EventKind::FirstToken),
+                ev(3.0, 7, 0, EventKind::Preempted),
+                ev(4.5, 7, 0, EventKind::Admitted { cache_hit_tokens: 16 }),
+                ev(6.0, 7, 0, EventKind::Completed { output_tokens: 32 }),
+            ],
+            req_energy: vec![(7, 42.0)],
+            idle_energy_j: 8.0,
+            cloud_energy_j: 0.0,
+            total_energy_j: 50.0,
+        }
+    }
+
+    #[test]
+    fn reconstruction_partitions_the_latency_window() {
+        let doc = reconstruct(&one_request_log());
+        assert_eq!(doc.requests.len(), 1);
+        let r = &doc.requests[0];
+        assert_eq!(r.rid, 7);
+        assert_eq!(r.ttft_s, Some(2.0));
+        assert_eq!(r.latency_s, Some(6.0));
+        assert_eq!(r.preemptions, 1);
+        assert_eq!(r.cache_hit_tokens, 16);
+        assert_eq!(r.ttft_blame.queueing_s, 1.0);
+        assert_eq!(r.ttft_blame.service_s, 1.0);
+        assert_eq!(r.ttft_blame.cache_miss_tokens, 48);
+        assert_eq!(r.latency_blame.preemption_s, 1.5);
+        // Partition: queueing + preemption + held + service == latency.
+        let b = r.latency_blame;
+        assert!(
+            (b.queueing_s + b.preemption_s + b.held_s + b.service_s - 6.0).abs() < 1e-12,
+            "latency window partitions: {b:?}"
+        );
+        assert_eq!(r.energy_j, 42.0);
+        assert!((doc.residual_j - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn downclock_overlap_is_residency_scoped() {
+        let mut log = one_request_log();
+        // Device 0 downclocks during [1.0, 5.0]; device 1 is irrelevant.
+        log.events.push(ev(1.0, NO_RID, 0, EventKind::ModeChange { downclock: true }));
+        log.events.push(ev(5.0, NO_RID, 0, EventKind::ModeChange { downclock: false }));
+        log.events.push(ev(0.5, NO_RID, 1, EventKind::ModeChange { downclock: true }));
+        log.events.sort_by(|a, b| a.t_s.partial_cmp(&b.t_s).unwrap());
+        let doc = reconstruct(&log);
+        let r = &doc.requests[0];
+        // TTFT window [0, 2] ∩ downclock [1, 5] = 1 s.
+        assert!((r.ttft_blame.downclock_s - 1.0).abs() < 1e-12);
+        // Latency window [0, 6] ∩ downclock [1, 5] = 4 s.
+        assert!((r.latency_blame.downclock_s - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fleet_reroute_counts_as_hold_blame() {
+        let log = ForensicsLog {
+            label: "fleet".into(),
+            events: vec![
+                ev(0.0, 3, 0, EventKind::Routed),
+                ev(0.0, 3, 0, EventKind::Submitted),
+                ev(0.5, 3, 0, EventKind::Admitted { cache_hit_tokens: 0 }),
+                // Device 0 trips; the running request is evacuated.
+                ev(2.0, NO_RID, 0, EventKind::DeviceDown { thermal: true }),
+                ev(2.0, 3, 1, EventKind::Routed),
+                ev(2.0, 3, 1, EventKind::Submitted),
+                ev(3.5, 3, 1, EventKind::Admitted { cache_hit_tokens: 0 }),
+                ev(4.0, 3, 1, EventKind::FirstToken),
+                ev(5.0, 3, 1, EventKind::Completed { output_tokens: 8 }),
+            ],
+            req_energy: vec![(3, 10.0)],
+            idle_energy_j: 0.0,
+            cloud_energy_j: 0.0,
+            total_energy_j: 10.0,
+        };
+        let doc = reconstruct(&log);
+        let r = &doc.requests[0];
+        assert_eq!(r.devices, vec![0, 1]);
+        assert!((r.ttft_blame.held_s - 1.5).abs() < 1e-12, "evac wait is hold blame: {r:?}");
+        assert_eq!(r.ttft_blame.dominant(), "thermal-hold");
+        assert_eq!(r.ttft_s, Some(4.0));
+    }
+
+    #[test]
+    fn export_parses_and_validates_round_trip() {
+        let doc = reconstruct(&one_request_log());
+        let body = export_forensics(std::slice::from_ref(&doc));
+        let stats = validate_forensics(&body).expect("export validates");
+        assert_eq!(stats, ForensicsStats { runs: 1, requests: 1, events: 7 });
+        let parsed = parse_forensics(&body).expect("export parses");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0], doc, "parse inverts export");
+        // Re-export is byte-identical (fixed point).
+        assert_eq!(export_forensics(&parsed), body);
+    }
+
+    #[test]
+    fn validate_rejects_missing_blame_key() {
+        let doc = reconstruct(&one_request_log());
+        let body = export_forensics(&[doc]).replace("\"held_s\"", "\"helds\"");
+        let err = validate_forensics(&body).expect_err("mutated export must fail");
+        assert!(err.contains("held_s"), "error names the missing key: {err}");
+    }
+
+    #[test]
+    fn analyze_ranks_offenders_deterministically() {
+        let mut log = one_request_log();
+        // A second, faster request.
+        log.events.extend([
+            ev(0.2, 9, 0, EventKind::Submitted),
+            ev(0.3, 9, 0, EventKind::Admitted { cache_hit_tokens: 0 }),
+            ev(0.4, 9, 0, EventKind::FirstToken),
+            ev(0.9, 9, 0, EventKind::Completed { output_tokens: 64 }),
+        ]);
+        log.events.sort_by(|a, b| a.t_s.partial_cmp(&b.t_s).unwrap());
+        log.req_energy.push((9, 1.0));
+        log.total_energy_j += 1.0;
+        let doc = reconstruct(&log);
+        let rep = analyze(std::slice::from_ref(&doc), 3);
+        assert_eq!(rep.runs.len(), 1);
+        let run = &rep.runs[0];
+        assert_eq!(run.worst_ttft[0].rid, 7);
+        assert_eq!(run.worst_j_per_token[0].rid, 7);
+        // rid 7's TTFT (2.0) > 2× p50 — it is named an outlier with a
+        // nonzero blame component.
+        assert!(run.outliers.iter().any(|o| o.rid == 7 && o.blame.names_nonzero_wait()));
+        let json = rep.to_json();
+        assert_eq!(json, analyze(&[doc], 3).to_json(), "analysis is deterministic");
+        assert!(rep.render().contains("worst TTFT"));
+    }
+
+    #[test]
+    fn flight_ring_is_bounded_and_ordered() {
+        let mut r = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            r.push(ev(i as f64, i, 0, EventKind::Submitted));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.total(), 10);
+        let snap = r.snapshot();
+        let rids: Vec<u64> = snap.iter().map(|e| e.rid).collect();
+        assert_eq!(rids, vec![6, 7, 8, 9], "oldest-first window of the most recent pushes");
+        let dump = r.dump();
+        assert!(dump.starts_with("edgellm flight recorder: 4 events retained of 10"));
+        assert_eq!(dump, r.dump(), "dump is deterministic");
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.total(), 0);
+    }
+
+    #[test]
+    fn flight_ring_never_allocates_in_steady_state() {
+        let mut r = FlightRecorder::new(8);
+        let base = r.buf.capacity();
+        for i in 0..1000u64 {
+            r.push(ev(i as f64, i, 0, EventKind::FirstToken));
+        }
+        assert_eq!(r.buf.capacity(), base, "ring capacity never grows");
+    }
+
+    #[test]
+    fn sink_collects_when_enabled() {
+        // The sink is process-global; keep this test self-contained by
+        // draining whatever another test left behind first.
+        let _ = sink::take();
+        sink::enable();
+        sink::record(reconstruct(&one_request_log()));
+        sink::disable();
+        let docs = sink::take();
+        assert!(docs.iter().any(|d| d.label == "unit"));
+        assert!(sink::take().is_empty());
+    }
+}

@@ -22,13 +22,18 @@
 //!   record into when `--trace-out` / `EDGELLM_TRACE` is set, so any
 //!   experiment emits a loadable timeline without code changes;
 //! * [`json`] — a dependency-free JSON reader and the checked-in-schema
-//!   validation CI runs against real exports.
+//!   validation CI runs against real exports;
+//! * [`forensics`] — request-scoped forensics: rid-stamped lifecycle
+//!   events reconstructed into per-request timelines with TTFT/latency
+//!   blame decomposition and energy attribution, plus the always-on
+//!   bounded flight recorder and the `edgellm-trace analyze` report.
 //!
 //! The crate has **no dependencies** (std only), so every other crate in
 //! the workspace — `tensor` below `nn`, `power` below `core`, `fleet`
 //! above everything — can depend on it without cycles.
 
 pub mod chrome;
+pub mod forensics;
 pub mod json;
 pub mod kernels;
 pub mod metrics;
@@ -37,6 +42,10 @@ pub mod span;
 pub mod stats;
 
 pub use chrome::{Arg, Trace};
+pub use forensics::{
+    analyze, export_forensics, parse_forensics, reconstruct, validate_forensics, AnalyzeReport,
+    Blame, ForensicsDoc, ForensicsLog, ForensicsStats, RequestTimeline,
+};
 pub use json::{parse as parse_json, validate_chrome_trace, Json, TraceStats};
 pub use metrics::{registry, Counter, Gauge, HistSummary, Registry, Snapshot};
 pub use span::{SpanGuard, SpanRecord};

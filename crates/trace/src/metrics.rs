@@ -196,23 +196,93 @@ impl Snapshot {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
-    /// A plain-text table, one instrument per line, names sorted.
+    /// A plain-text table, one instrument per line, in one *globally*
+    /// key-sorted listing (not per-kind sections), so two snapshots of
+    /// overlapping instrument sets diff line-by-line. Counters render as
+    /// bare integers, gauges as fixed 4-decimal floats, histograms as
+    /// `n=… mean=… p50=… p95=… max=…` — the three shapes [`Snapshot::parse`]
+    /// distinguishes on the way back in.
     pub fn render(&self) -> String {
-        let mut out = String::new();
+        let mut lines: Vec<(&str, u8, String)> =
+            Vec::with_capacity(self.counters.len() + self.gauges.len() + self.histograms.len());
         for (k, v) in &self.counters {
-            let _ = writeln!(out, "{k:<44} {v}");
+            lines.push((k, 0, format!("{k:<44} {v}")));
         }
         for (k, v) in &self.gauges {
-            let _ = writeln!(out, "{k:<44} {v:.4}");
+            lines.push((k, 1, format!("{k:<44} {v:.4}")));
         }
         for (k, h) in &self.histograms {
-            let _ = writeln!(
-                out,
-                "{k:<44} n={} mean={:.4} p50={:.4} p95={:.4} max={:.4}",
-                h.count, h.mean, h.p50, h.p95, h.max
-            );
+            lines.push((
+                k,
+                2,
+                format!(
+                    "{k:<44} n={} mean={:.4} p50={:.4} p95={:.4} max={:.4}",
+                    h.count, h.mean, h.p50, h.p95, h.max
+                ),
+            ));
+        }
+        lines.sort_by(|a, b| a.0.cmp(b.0).then(a.1.cmp(&b.1)));
+        let mut out = String::new();
+        for (_, _, line) in lines {
+            let _ = writeln!(out, "{line}");
         }
         out
+    }
+
+    /// Parse a [`render`](Self::render)ed table back into a snapshot.
+    /// Together with `render` this is a fixed point:
+    /// `parse(s.render())?.render() == s.render()`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut snap = Snapshot::default();
+        for (ln, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            let key = fields.next().ok_or_else(|| format!("line {ln}: empty"))?.to_string();
+            let rest: Vec<&str> = fields.collect();
+            let first = *rest.first().ok_or_else(|| format!("line {ln}: no value"))?;
+            if first.starts_with("n=") {
+                let mut h = HistSummary { count: 0, mean: 0.0, p50: 0.0, p95: 0.0, max: 0.0 };
+                for field in &rest {
+                    let (name, val) = field
+                        .split_once('=')
+                        .ok_or_else(|| format!("line {ln}: bad histogram field {field:?}"))?;
+                    let parse_f = |v: &str| {
+                        v.parse::<f64>()
+                            .map_err(|e| format!("line {ln}: {name}={v:?} not numeric: {e}"))
+                    };
+                    match name {
+                        "n" => {
+                            h.count = val
+                                .parse()
+                                .map_err(|e| format!("line {ln}: n={val:?} not integral: {e}"))?;
+                        }
+                        "mean" => h.mean = parse_f(val)?,
+                        "p50" => h.p50 = parse_f(val)?,
+                        "p95" => h.p95 = parse_f(val)?,
+                        "max" => h.max = parse_f(val)?,
+                        other => {
+                            return Err(format!("line {ln}: unknown histogram field {other:?}"))
+                        }
+                    }
+                }
+                snap.histograms.insert(key, h);
+            } else if rest.len() != 1 {
+                return Err(format!("line {ln}: expected one value, got {}", rest.len()));
+            } else if first.contains('.') {
+                let v = first
+                    .parse::<f64>()
+                    .map_err(|e| format!("line {ln}: gauge {first:?} not numeric: {e}"))?;
+                snap.gauges.insert(key, v);
+            } else {
+                let v = first
+                    .parse::<u64>()
+                    .map_err(|e| format!("line {ln}: counter {first:?} not integral: {e}"))?;
+                snap.counters.insert(key, v);
+            }
+        }
+        Ok(snap)
     }
 }
 
@@ -236,6 +306,36 @@ mod tests {
         assert!(s.render().contains("a.calls"));
         r.reset();
         assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn render_is_globally_key_sorted() {
+        let r = Registry::new();
+        r.counter("z.calls").inc();
+        r.gauge("a.level").set(1.0);
+        r.observe("m.ms", 2.0);
+        let rendered = r.snapshot().render();
+        let keys: Vec<&str> =
+            rendered.lines().map(|l| l.split_whitespace().next().expect("keyed line")).collect();
+        assert_eq!(keys, vec!["a.level", "m.ms", "z.calls"], "one merged sorted listing");
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let r = Registry::new();
+        r.counter("kernel.f16.calls").add(17);
+        r.counter("kernel.int8.calls").add(3);
+        r.gauge("kv.occupancy").set(0.8125);
+        r.observe("iter.ms", 1.5);
+        r.observe("iter.ms", 4.5);
+        let snap = r.snapshot();
+        let rendered = snap.render();
+        let parsed = Snapshot::parse(&rendered).expect("rendered table parses");
+        assert_eq!(parsed.counters, snap.counters);
+        assert_eq!(parsed.gauges["kv.occupancy"], 0.8125);
+        assert_eq!(parsed.histograms["iter.ms"].count, 2);
+        assert_eq!(parsed.render(), rendered, "render∘parse is a fixed point");
+        assert!(Snapshot::parse("k one two three\n").is_err(), "malformed lines are rejected");
     }
 
     #[test]

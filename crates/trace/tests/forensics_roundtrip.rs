@@ -1,0 +1,92 @@
+//! Forensics export round-trip and CI validation hook.
+//!
+//! Mirrors `exporter_roundtrip.rs` for the forensics artifact: build a
+//! representative log, reconstruct, export, re-parse, and check against
+//! the checked-in schema (`crates/trace/schema/forensics.schema.json`).
+//! When `EDGELLM_VALIDATE_FORENSICS=<path>` is set, the last test
+//! validates that file — an export produced by a *real* run
+//! (`edgellm run … --forensics-out`) — with the same checks.
+
+use edgellm_trace::forensics::{
+    analyze, export_forensics, parse_forensics, reconstruct, validate_forensics, Event, EventKind,
+    ForensicsLog, NO_RID,
+};
+
+/// A two-request, two-device fleet life exercising routing, evacuation,
+/// preemption, downclock overlap, and the cloud path.
+fn sample_log() -> ForensicsLog {
+    let ev = |t_s: f64, rid: u64, device: u32, kind: EventKind| Event { t_s, rid, device, kind };
+    ForensicsLog {
+        label: "roundtrip".into(),
+        events: vec![
+            ev(0.0, 1, 0, EventKind::Routed),
+            ev(0.0, 1, 0, EventKind::Submitted),
+            ev(0.2, 1, 0, EventKind::Admitted { cache_hit_tokens: 32 }),
+            ev(0.4, 1, 0, EventKind::PrefillChunk { tokens: 64 }),
+            ev(0.5, 1, 0, EventKind::FirstToken),
+            ev(0.6, NO_RID, 0, EventKind::ModeChange { downclock: true }),
+            ev(1.0, 1, 0, EventKind::Preempted),
+            ev(1.5, 1, 0, EventKind::Admitted { cache_hit_tokens: 32 }),
+            ev(2.0, NO_RID, 0, EventKind::ModeChange { downclock: false }),
+            ev(2.5, 1, 0, EventKind::Completed { output_tokens: 16 }),
+            ev(3.0, 2, u32::MAX, EventKind::Offloaded),
+            ev(3.8, 2, u32::MAX, EventKind::FirstToken),
+            ev(4.4, 2, u32::MAX, EventKind::Completed { output_tokens: 8 }),
+        ],
+        req_energy: vec![(1, 30.0), (2, 4.0)],
+        idle_energy_j: 6.0,
+        cloud_energy_j: 4.0,
+        total_energy_j: 40.0,
+    }
+}
+
+#[test]
+fn export_validates_parses_and_re_exports_identically() {
+    let doc = reconstruct(&sample_log());
+    let body = export_forensics(std::slice::from_ref(&doc));
+    let stats = validate_forensics(&body).expect("synthetic export is schema-valid");
+    assert_eq!(stats.runs, 1);
+    assert_eq!(stats.requests, 2);
+    assert_eq!(stats.events, 13);
+    let parsed = parse_forensics(&body).expect("export parses");
+    assert_eq!(parsed[0], doc, "parse inverts export");
+    assert_eq!(export_forensics(&parsed), body, "re-export is byte-identical");
+}
+
+#[test]
+fn reconstruction_blames_every_wait_class() {
+    let doc = reconstruct(&sample_log());
+    let r1 = &doc.requests[0];
+    assert_eq!(r1.preemptions, 1);
+    assert!(r1.latency_blame.preemption_s > 0.0, "preempt wait blamed");
+    assert!(r1.latency_blame.downclock_s > 0.0, "downclock residency blamed");
+    assert_eq!(r1.cache_hit_tokens, 32);
+    assert_eq!(r1.latency_blame.cache_miss_tokens, 64);
+    let r2 = &doc.requests[1];
+    assert!(r2.offloaded && r2.completed);
+    assert!((r2.ttft_s.expect("cloud first token") - 0.8).abs() < 1e-12);
+    // The ledger reconciles exactly on hand-built numbers.
+    assert!(doc.residual_j.abs() < 1e-12, "residual {}", doc.residual_j);
+    // The analyzer renders both tables deterministically.
+    let rep = analyze(std::slice::from_ref(&doc), 5);
+    assert_eq!(rep.to_json(), analyze(&[doc], 5).to_json());
+}
+
+/// CI hook: validate a forensics export produced by a real run when
+/// `EDGELLM_VALIDATE_FORENSICS` points at one; a no-op otherwise.
+#[test]
+fn external_forensics_file_validates_when_requested() {
+    let Ok(path) = std::env::var("EDGELLM_VALIDATE_FORENSICS") else {
+        return;
+    };
+    let body = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("EDGELLM_VALIDATE_FORENSICS={path}: {e}"));
+    let stats = validate_forensics(&body)
+        .unwrap_or_else(|e| panic!("{path}: invalid forensics export: {e}"));
+    assert!(stats.runs > 0, "{path}: export carries no runs");
+    assert!(stats.requests > 0, "{path}: export carries no requests");
+    println!(
+        "validated {path}: {} runs, {} requests, {} events",
+        stats.runs, stats.requests, stats.events
+    );
+}

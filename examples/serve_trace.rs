@@ -18,6 +18,7 @@ use edgellm::core::serve::{EventScheduler, IterPhase, ServeConfig};
 use edgellm::core::{PoissonArrivals, RunConfig};
 use edgellm::hw::DeviceSpec;
 use edgellm::models::{Llm, Precision};
+use edgellm::trace::forensics;
 use edgellm::trace::sink;
 
 fn phase_label(p: IterPhase) -> &'static str {
@@ -36,10 +37,12 @@ fn main() {
     let reqs = PoissonArrivals::paper_shape(2.0).generate(40, 42);
 
     sink::enable();
+    forensics::sink::enable();
     let run = EventScheduler::new(ServeConfig::chunked(16))
         .run(&dev, &cfg, &reqs)
         .expect("serve run failed");
     let events = sink::export(&out).expect("failed to write trace");
+    let docs = forensics::sink::take();
 
     println!(
         "Served {} requests on {} in {:.1} s ({:.1} tok/s, {:.0} J, {} preemptions).\n",
@@ -76,5 +79,24 @@ fn main() {
     }
     let total_j: f64 = run.trace.iter().map(|it| it.energy_j()).sum();
     println!("\ntotal iteration energy {total_j:.1} J (report: {:.1} J)", run.report.energy_j);
+
+    // Request-scoped forensics: the same run, reconstructed into
+    // per-request timelines. Show the three worst TTFTs with their
+    // blame decomposition — where each slow request's wait actually
+    // went (queueing vs preemption vs service).
+    let rep = forensics::analyze(&docs, 3);
+    let a = &rep.runs[0];
+    println!("\nworst TTFT (of {} requests, p50 {:.2} s):", a.requests, a.p50_ttft_s);
+    println!("rid    ttft (s)   dominant     queue (s)   preempt (s)    J/token");
+    for o in &a.worst_ttft {
+        println!(
+            "{:<5} {:>9.2}   {:<10} {:>11.2} {:>13.2} {:>10.2}",
+            o.rid, o.ttft_s, o.dominant, o.blame.queueing_s, o.blame.preemption_s, o.j_per_token,
+        );
+    }
+    println!(
+        "energy ledger: {:.1} J total = {:.1} J attributed + {:.1} J idle (residual {:.1e} J)",
+        a.total_energy_j, a.attributed_j, a.idle_energy_j, a.residual_j
+    );
     println!("wrote {out} ({events} events) — load it at https://ui.perfetto.dev");
 }
