@@ -173,10 +173,21 @@ fn fused_speedups(entries: &[(String, String, u128)]) -> Vec<(String, f64)> {
     out
 }
 
-/// Pull a `bench_kernels/v1` JSON back into `(shape, kernel, serial_ns)`
-/// triples. The format is our own line-per-record emission, so a field
-/// scanner is enough — no JSON dependency.
-fn parse_baseline(text: &str) -> Result<Vec<(String, String, u128)>, String> {
+/// A parsed `bench_kernels/v1` baseline.
+struct Baseline {
+    /// The baseline document's own `parallel_valid` flag. When false the
+    /// baseline's parallel timings came from a single-core host and its
+    /// parallel speedups must not be gated against — skipping them is
+    /// announced, never silent.
+    parallel_valid: bool,
+    /// `(shape, kernel, serial_ns, parallel_ns)` per record.
+    entries: Vec<(String, String, u128, u128)>,
+}
+
+/// Pull a `bench_kernels/v1` JSON back into records. The format is our
+/// own line-per-record emission, so a field scanner is enough — no JSON
+/// dependency.
+fn parse_baseline(text: &str) -> Result<Baseline, String> {
     if !text.contains("\"schema\": \"bench_kernels/v1\"") {
         return Err("baseline is not a bench_kernels/v1 document".into());
     }
@@ -189,7 +200,15 @@ fn parse_baseline(text: &str) -> Result<Vec<(String, String, u128)>, String> {
             tail[..tail.find([',', '}']).unwrap_or(tail.len())].trim().to_string()
         })
     };
-    let mut out = Vec::new();
+    // A baseline predating the flag is treated as invalid-parallel: the
+    // conservative reading (no parallel gate) rather than a guess.
+    let parallel_valid = text
+        .lines()
+        .find(|l| l.contains("\"parallel_valid\":"))
+        .and_then(|l| field(l, "parallel_valid"))
+        .map(|v| v == "true")
+        .unwrap_or(false);
+    let mut entries = Vec::new();
     for line in text.lines().filter(|l| l.contains("\"kernel\":")) {
         let (Some(shape), Some(kernel), Some(ns)) =
             (field(line, "shape"), field(line, "kernel"), field(line, "serial_ns_per_op"))
@@ -197,26 +216,43 @@ fn parse_baseline(text: &str) -> Result<Vec<(String, String, u128)>, String> {
             return Err(format!("malformed record line: {line}"));
         };
         let ns = ns.parse::<u128>().map_err(|e| format!("serial_ns_per_op {ns:?}: {e}"))?;
-        out.push((shape, kernel, ns));
+        let pns =
+            field(line, "parallel_ns_per_op").and_then(|v| v.parse::<u128>().ok()).unwrap_or(ns);
+        entries.push((shape, kernel, ns, pns));
     }
-    if out.is_empty() {
+    if entries.is_empty() {
         return Err("baseline carries no records".into());
     }
-    Ok(out)
+    Ok(Baseline { parallel_valid, entries })
 }
 
-/// Gate this run against a committed baseline: every `shape/precision`
-/// present in both must keep its fused-vs-dequant speedup within
-/// `tolerance` of the baseline's. Returns the number of regressions.
-fn check_against(baseline: &str, fresh: &[Record], tolerance: f64) -> Result<usize, String> {
-    let base = fused_speedups(&parse_baseline(baseline)?);
+/// Gate this run against a committed baseline. Two families of checks:
+///
+/// * **serial fused-vs-dequant speedups** per `shape/precision` — always
+///   compared (best-of serial timings are stable even on small hosts);
+/// * **parallel speedups** per `shape/kernel` — compared only when BOTH
+///   the baseline and this run have `parallel_valid` timings. A
+///   `parallel_valid: false` baseline skips this family with an explicit
+///   message instead of silently passing.
+///
+/// Returns the number of regressions beyond `tolerance`.
+fn check_against(
+    baseline: &str,
+    fresh: &[Record],
+    tolerance: f64,
+    fresh_parallel_valid: bool,
+) -> Result<usize, String> {
+    let base = parse_baseline(baseline)?;
+    let base_serial: Vec<(String, String, u128)> =
+        base.entries.iter().map(|(s, k, ns, _)| (s.clone(), k.clone(), *ns)).collect();
+    let base_fused = fused_speedups(&base_serial);
     let now: Vec<(String, String, u128)> =
         fresh.iter().map(|r| (r.shape.to_string(), r.kernel.clone(), r.serial_ns)).collect();
-    let now = fused_speedups(&now);
+    let now_fused = fused_speedups(&now);
     let mut shared = 0usize;
     let mut regressions = 0usize;
-    for (key, base_speedup) in &base {
-        let Some((_, fresh_speedup)) = now.iter().find(|(k, _)| k == key) else { continue };
+    for (key, base_speedup) in &base_fused {
+        let Some((_, fresh_speedup)) = now_fused.iter().find(|(k, _)| k == key) else { continue };
         shared += 1;
         let floor = base_speedup * (1.0 - tolerance);
         let verdict = if *fresh_speedup < floor { "REGRESSED" } else { "ok" };
@@ -228,6 +264,31 @@ fn check_against(baseline: &str, fresh: &[Record], tolerance: f64) -> Result<usi
     }
     if shared == 0 {
         return Err("baseline and this run share no shape/precision pairs".into());
+    }
+    if !base.parallel_valid {
+        eprintln!(
+            "  parallel comparison skipped — baseline has parallel_valid: false (single-core \
+             timings are noise, not a gate)"
+        );
+    } else if !fresh_parallel_valid {
+        eprintln!(
+            "  parallel comparison skipped — this host is single-core (parallel_valid false)"
+        );
+    } else {
+        for (shape, kernel, serial_ns, parallel_ns) in &base.entries {
+            let Some(r) = fresh.iter().find(|r| r.shape == shape && &r.kernel == kernel) else {
+                continue;
+            };
+            let base_speedup = *serial_ns as f64 / (*parallel_ns).max(1) as f64;
+            let fresh_speedup = r.serial_ns as f64 / r.parallel_ns.max(1) as f64;
+            let floor = base_speedup * (1.0 - tolerance);
+            let verdict = if fresh_speedup < floor { "REGRESSED" } else { "ok" };
+            eprintln!(
+                "  {shape}/{kernel:<14} parallel {fresh_speedup:.3}x (baseline \
+                 {base_speedup:.3}x, floor {floor:.3}x) {verdict}"
+            );
+            regressions += usize::from(fresh_speedup < floor);
+        }
     }
     Ok(regressions)
 }
@@ -320,6 +381,17 @@ fn main() {
         bench_shape("llama8b_decode", 1, 4096, 14336, iters, &mut records);
         // Chunked-prefill shape (32-token chunk through the Phi-2 FFN).
         bench_shape("phi2_prefill32", 32, 2560, 10240, iters, &mut records);
+        // Verify-batch shapes: speculative decoding scores 1+k draft rows
+        // in one pass, so the decode GEMV becomes a skinny GEMM at
+        // m = 2/4/8. These points feed `edgellm_perf::SpecCalib::fit`,
+        // which least-squares t(m) = base + per_row·m to decide how far
+        // drafting pays off on this silicon.
+        bench_shape("phi2_verify2", 2, 2560, 10240, iters, &mut records);
+        bench_shape("phi2_verify4", 4, 2560, 10240, iters, &mut records);
+        bench_shape("phi2_verify8", 8, 2560, 10240, iters, &mut records);
+        bench_shape("llama8b_verify2", 2, 4096, 14336, iters, &mut records);
+        bench_shape("llama8b_verify4", 4, 4096, 14336, iters, &mut records);
+        bench_shape("llama8b_verify8", 8, 4096, 14336, iters, &mut records);
     }
 
     write_json(&out_path, &records).expect("failed to write bench JSON");
@@ -330,18 +402,15 @@ fn main() {
         eprintln!("wrote {path} ({} spans)", t.len());
     }
     if let Some(path) = baseline_path {
+        // A single-core host used to skip the whole gate; now only the
+        // parallel family is skipped (announced inside check_against) and
+        // the serial fused-vs-dequant speedups — which best-of timing
+        // keeps stable even time-sliced — are still enforced.
         let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        if host_cores <= 1 {
-            eprintln!(
-                "check-against: skipped — host has {host_cores} core(s), so parallel_valid is \
-                 false and timings are too noisy to gate on"
-            );
-            return;
-        }
-        eprintln!("# checking fused-vs-dequant speedups against {path} (tolerance {tolerance})");
+        eprintln!("# checking kernel speedups against {path} (tolerance {tolerance})");
         let baseline = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-        match check_against(&baseline, &records, tolerance) {
+        match check_against(&baseline, &records, tolerance, host_cores > 1) {
             Ok(0) => eprintln!("check-against: all shared shapes within tolerance"),
             Ok(n) => {
                 eprintln!(
@@ -384,11 +453,16 @@ mod tests {
         vec![rec("int4_fused", fused_ns), rec("int4_dequant", dequant_ns)]
     }
 
+    fn serial_view(b: &Baseline) -> Vec<(String, String, u128)> {
+        b.entries.iter().map(|(s, k, ns, _)| (s.clone(), k.clone(), *ns)).collect()
+    }
+
     #[test]
     fn baseline_parses_and_speedups_pair_fused_with_dequant() {
-        let entries = parse_baseline(BASELINE).expect("baseline parses");
-        assert_eq!(entries.len(), 2);
-        let speedups = fused_speedups(&entries);
+        let base = parse_baseline(BASELINE).expect("baseline parses");
+        assert!(base.parallel_valid);
+        assert_eq!(base.entries.len(), 2);
+        let speedups = fused_speedups(&serial_view(&base));
         assert_eq!(speedups.len(), 1);
         assert_eq!(speedups[0].0, "phi2_decode/int4");
         assert!((speedups[0].1 - 3.0).abs() < 1e-12);
@@ -397,11 +471,36 @@ mod tests {
     #[test]
     fn matching_speedup_passes_and_deep_regression_fails() {
         // Same 3.0x speedup: clean. 2.0x against a 3.0x baseline is a
-        // 33% regression — beyond the 25% tolerance.
-        assert_eq!(check_against(BASELINE, &fresh(100, 300), 0.25).unwrap(), 0);
-        assert_eq!(check_against(BASELINE, &fresh(150, 300), 0.25).unwrap(), 1);
+        // 33% regression — beyond the 25% tolerance. fresh() records have
+        // parallel_ns == serial_ns (1.0x parallel speedup vs the 2.0x
+        // baseline), so run with fresh_parallel_valid=false to exercise
+        // only the serial family here.
+        assert_eq!(check_against(BASELINE, &fresh(100, 300), 0.25, false).unwrap(), 0);
+        assert_eq!(check_against(BASELINE, &fresh(150, 300), 0.25, false).unwrap(), 1);
         // ...but within a looser 50% tolerance.
-        assert_eq!(check_against(BASELINE, &fresh(150, 300), 0.5).unwrap(), 0);
+        assert_eq!(check_against(BASELINE, &fresh(150, 300), 0.5, false).unwrap(), 0);
+    }
+
+    #[test]
+    fn parallel_gate_counts_regressions_only_when_both_sides_are_valid() {
+        // fresh() has parallel_ns == serial_ns: a 1.0x parallel speedup
+        // against the baseline's 2.0x — two records regressed when the
+        // parallel family is armed.
+        assert_eq!(check_against(BASELINE, &fresh(100, 300), 0.25, true).unwrap(), 2);
+        // Single-core host: the parallel family is skipped, not failed.
+        assert_eq!(check_against(BASELINE, &fresh(100, 300), 0.25, false).unwrap(), 0);
+        // A parallel_valid:false baseline skips the family even on a
+        // multi-core host — its timings were never a gate.
+        let invalid = BASELINE.replace("\"parallel_valid\": true", "\"parallel_valid\": false");
+        assert_eq!(check_against(&invalid, &fresh(100, 300), 0.25, true).unwrap(), 0);
+        // A baseline predating the flag is treated the same way.
+        let legacy: String = BASELINE
+            .lines()
+            .filter(|l| !l.contains("parallel_valid"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(!parse_baseline(&legacy).unwrap().parallel_valid);
+        assert_eq!(check_against(&legacy, &fresh(100, 300), 0.25, true).unwrap(), 0);
     }
 
     #[test]
@@ -410,7 +509,7 @@ mod tests {
         for r in &mut other {
             r.shape = "quick_decode";
         }
-        assert!(check_against(BASELINE, &other, 0.25).is_err());
+        assert!(check_against(BASELINE, &other, 0.25, true).is_err());
         assert!(parse_baseline("{}").is_err());
     }
 
@@ -418,10 +517,15 @@ mod tests {
     fn committed_baseline_stays_parseable() {
         // The repo-root baseline this binary gates against in CI.
         let text = include_str!("../../../../BENCH_kernels.json");
-        let entries = parse_baseline(text).expect("committed baseline parses");
+        let base = parse_baseline(text).expect("committed baseline parses");
         assert!(
-            fused_speedups(&entries).len() >= 9,
-            "three shapes x three quantized precisions expected"
+            fused_speedups(&serial_view(&base)).len() >= 9,
+            "decode + prefill + verify-batch shapes x three quantized precisions expected"
+        );
+        let verify_shapes = base.entries.iter().filter(|(s, ..)| s.contains("_verify")).count();
+        assert!(
+            verify_shapes >= 6,
+            "verify-batch shapes (m=2/4/8 at both decode dims) must stay pinned for SpecCalib"
         );
     }
 }

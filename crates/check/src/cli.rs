@@ -3,7 +3,7 @@
 //! Three subcommands, no external argument-parsing dependency:
 //!
 //! ```text
-//! edgellm-check run --seed N [--count M] [--governor-only] [--prefix-only]   # fuzz M seeds from N
+//! edgellm-check run --seed N [--count M] [--governor-only] [--prefix-only] [--spec-only]   # fuzz M seeds from N
 //! edgellm-check replay --seed N [--requests 0,3] [--faults 1]   # replay a reproducer
 //! edgellm-check corpus [--file PATH]          # run the regression corpus
 //! ```
@@ -23,7 +23,7 @@ const USAGE: &str = "\
 edgellm-check — deterministic simulation testing for the serving stack
 
 USAGE:
-    edgellm-check run --seed N [--count M] [--governor-only] [--prefix-only]
+    edgellm-check run --seed N [--count M] [--governor-only] [--prefix-only] [--spec-only]
     edgellm-check replay --seed N [--requests I,J,...] [--faults I,J,...]
     edgellm-check corpus [--file PATH]
 
@@ -32,7 +32,9 @@ SUBCOMMANDS:
              On a violation, minimize and print the replay one-liner.
              `--governor-only` skips seeds without an online governor (the
              nightly sweep's governor axis); `--prefix-only` skips seeds
-             without the radix prefix-cache dimension.
+             without the radix prefix-cache dimension; `--spec-only` skips
+             seeds without the speculative-decoding dimension (arming the
+             spec-accounting oracle on every kept seed).
     replay   Re-run one scenario, optionally filtered to the given request
              and fault-event indices (a minimized reproducer).
     corpus   Run every seed in the regression corpus (default: built-in).
@@ -125,7 +127,11 @@ fn dump_flight(seed: u64, min: &Scenario) {
 }
 
 fn cmd_run(args: &[String]) -> Result<i32, String> {
-    require_known_flags(args, &["--seed", "--count"], &["--governor-only", "--prefix-only"])?;
+    require_known_flags(
+        args,
+        &["--seed", "--count"],
+        &["--governor-only", "--prefix-only", "--spec-only"],
+    )?;
     let seed = parse_u64(&flag_value(args, "--seed")?.ok_or("run requires --seed")?, "--seed")?;
     let count = match flag_value(args, "--count")? {
         Some(v) => parse_u64(&v, "--count")?,
@@ -133,6 +139,7 @@ fn cmd_run(args: &[String]) -> Result<i32, String> {
     };
     let governor_only = args.iter().any(|a| a == "--governor-only");
     let prefix_only = args.iter().any(|a| a == "--prefix-only");
+    let spec_only = args.iter().any(|a| a == "--spec-only");
     let mut worst = 0;
     for s in seed..seed.saturating_add(count) {
         let sc = Scenario::from_seed(s);
@@ -140,6 +147,9 @@ fn cmd_run(args: &[String]) -> Result<i32, String> {
             continue;
         }
         if prefix_only && sc.prefix.is_none() {
+            continue;
+        }
+        if spec_only && sc.spec.is_none() {
             continue;
         }
         println!("{}", sc.describe());
@@ -238,6 +248,14 @@ mod tests {
     fn prefix_only_filters_cacheless_seeds() {
         assert_eq!(
             main_with_args(&argv(&["run", "--seed", "1", "--count", "8", "--prefix-only"])),
+            0
+        );
+    }
+
+    #[test]
+    fn spec_only_filters_nonspeculative_seeds() {
+        assert_eq!(
+            main_with_args(&argv(&["run", "--seed", "1", "--count", "8", "--spec-only"])),
             0
         );
     }

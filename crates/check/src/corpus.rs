@@ -30,6 +30,14 @@ pub const GOVERNOR_SMOKE_SEEDS: [u64; 4] = [33, 51, 90, 104];
 /// preemption-under-cache shapes.
 pub const PREFIX_SMOKE_SEEDS: [u64; 4] = [2, 5, 12, 43];
 
+/// Speculation-active seeds appended to the PR-gate smoke matrix: each
+/// one expands with draft-and-verify decode armed on every member and
+/// must run clean with the `spec-accounting` oracle live. Covers
+/// single-device adaptive-k under KV-pressure preemption (4), fixed-k
+/// fleet (10), speculation composed with the prefix cache and a cloud
+/// spillover (12), and adaptive-k under an online governor (39).
+pub const SPEC_SMOKE_SEEDS: [u64; 4] = [4, 10, 12, 39];
+
 /// Parse a seeds file: one seed per line, `#` starts a comment, blank
 /// lines ignored. Malformed lines are an error, not silently skipped —
 /// a typo'd seed silently dropped would shrink the regression net.
@@ -115,6 +123,37 @@ mod tests {
             }
         }
         assert!(shapes.0 && shapes.1, "smoke seeds cover single and fleet shapes");
+    }
+
+    #[test]
+    fn spec_smoke_seeds_draft_and_accept() {
+        let seeds = default_seeds();
+        let mut shapes = (false, false); // (single, fleet)
+        let mut adaptive = (false, false); // (fixed, adaptive)
+        for &s in &SPEC_SMOKE_SEEDS {
+            assert!(seeds.contains(&s), "spec smoke seed {s} belongs in the corpus file");
+            let sc = Scenario::from_seed(s);
+            let spec = sc.spec.expect("spec smoke seed expands with speculation armed");
+            if spec.adaptive {
+                adaptive.1 = true;
+            } else {
+                adaptive.0 = true;
+            }
+            match sc.shape {
+                crate::scenario::Shape::Single(_) => shapes.0 = true,
+                crate::scenario::Shape::Fleet { .. } => shapes.1 = true,
+            }
+            match run_scenario(&sc) {
+                Outcome::Clean(stats) => {
+                    assert!(stats.spec_drafted > 0, "seed {s} must actually draft");
+                    assert!(stats.spec_accepted > 0, "seed {s} must land some drafts");
+                    assert!(stats.spec_accepted <= stats.spec_drafted, "seed {s} over-accepts");
+                }
+                out => panic!("spec smoke seed {s} must be clean: {out}"),
+            }
+        }
+        assert!(shapes.0 && shapes.1, "smoke seeds cover single and fleet shapes");
+        assert!(adaptive.0 && adaptive.1, "smoke seeds cover fixed and adaptive k");
     }
 
     #[test]

@@ -8,9 +8,11 @@
 //! * [`scenario`] expands a seed into a complete scenario — workload
 //!   (arrival process, prompt/output shapes drawn via `edgellm-corpus`),
 //!   device/fleet topology, a fault plan (outages, KV shrinks, power
-//!   flips, cancellations, clock skew), and — on a third of seeds — an
-//!   online power-mode governor (ladder, energy-budget or thermal
-//!   policy) driving mode changes through the whole run;
+//!   flips, cancellations, clock skew), and — each on roughly a third of
+//!   seeds — an online power-mode governor (ladder, energy-budget or
+//!   thermal policy), the radix prefix cache with a shared system
+//!   prompt, and speculative draft-and-verify decode (fixed or
+//!   adaptive k, with the spec-accounting oracle armed);
 //! * [`runner`] executes the scenario and classifies the outcome:
 //!   [`Outcome::Clean`], a legitimate [`Outcome::Rejected`] configuration
 //!   (e.g. a prompt larger than the KV pool), or [`Outcome::Violated`]

@@ -71,7 +71,39 @@ pub fn check_serve(audit: &ServeAudit, expected: &[Request]) -> Vec<Violation> {
     request_conservation(audit, &mut v);
     energy_integral(audit, &mut v);
     monotone_events(audit, &mut v);
+    spec_accounting(audit, &mut v);
     v
+}
+
+/// Speculative-decoding accounting on one device. Trivially true with
+/// speculation off (all counters zero):
+///
+/// * every drafted token was either accepted or rolled back, exactly
+///   once: `drafted == accepted + rolled_back`;
+/// * rollback work is visible to the KV ledger — a run that rolled
+///   tokens back must also have freed or truncated blocks at some point,
+///   so `rolled_back > 0` with `allocated == 0` is impossible.
+pub fn spec_accounting(audit: &ServeAudit, out: &mut Vec<Violation>) {
+    if audit.spec_drafted != audit.spec_accepted + audit.spec_rolled_back {
+        violation(
+            out,
+            "spec-accounting",
+            format!(
+                "{}: {} drafted != {} accepted + {} rolled back",
+                audit.label, audit.spec_drafted, audit.spec_accepted, audit.spec_rolled_back
+            ),
+        );
+    }
+    if audit.spec_rolled_back > 0 && audit.kv_blocks_allocated == 0 {
+        violation(
+            out,
+            "spec-accounting",
+            format!(
+                "{}: {} tokens rolled back but no KV blocks were ever allocated",
+                audit.label, audit.spec_rolled_back
+            ),
+        );
+    }
 }
 
 /// Token conservation on one device: served totals match completion
@@ -340,6 +372,7 @@ pub fn check_fleet(audit: &FleetAudit, requests: &[Request]) -> Vec<Violation> {
         kv_sharing(d, &mut v);
         energy_integral(d, &mut v);
         monotone_events(d, &mut v);
+        spec_accounting(d, &mut v);
     }
     let r = &audit.report;
     if r.completed + r.lost + r.cancelled != r.submitted {
@@ -492,6 +525,9 @@ mod tests {
             energy_j: 0.0,
             preemptions: 0,
             served_output_tokens: 8,
+            spec_drafted: 0,
+            spec_accepted: 0,
+            spec_rolled_back: 0,
         }
     }
 
@@ -631,6 +667,30 @@ mod tests {
         let mut v = Vec::new();
         check_governor(&gov(vec![change(0.0, 1, 0)], None), &sustained, &mut v);
         assert!(v.is_empty(), "clean governed run raises nothing: {v:?}");
+    }
+
+    #[test]
+    fn unbalanced_spec_counters_fire_spec_accounting() {
+        // Clean speculative run: drafted partitions into accepted +
+        // rolled back, and rollback rode on real KV allocations.
+        let mut audit = clean_audit();
+        audit.spec_drafted = 12;
+        audit.spec_accepted = 9;
+        audit.spec_rolled_back = 3;
+        assert!(check_serve(&audit, &[req(0, 8)]).is_empty());
+        // A drafted token that vanished (neither accepted nor rolled
+        // back) breaks the partition.
+        audit.spec_rolled_back = 2;
+        let v = check_serve(&audit, &[req(0, 8)]);
+        assert!(v.iter().any(|x| x.oracle == "spec-accounting"), "{v:?}");
+        // Rollback without any KV allocation ever is impossible.
+        let mut audit = clean_audit();
+        audit.spec_drafted = 2;
+        audit.spec_rolled_back = 2;
+        audit.kv_blocks_allocated = 0;
+        audit.kv_blocks_freed = 0;
+        let v = check_serve(&audit, &[req(0, 8)]);
+        assert!(v.iter().any(|x| x.oracle == "spec-accounting"), "{v:?}");
     }
 
     #[test]

@@ -58,6 +58,13 @@ impl Digest {
         if a.kv_blocks_cow > 0 {
             self.u64(a.kv_blocks_cow);
         }
+        // Speculation counters likewise fold in only when live, so every
+        // spec-off seed keeps its pre-speculation digest bit-identical.
+        if a.spec_drafted > 0 {
+            self.u64(a.spec_drafted);
+            self.u64(a.spec_accepted);
+            self.u64(a.spec_rolled_back);
+        }
         self.f64(a.energy_j);
         for c in &a.completions {
             self.u64(c.rid);
@@ -107,6 +114,10 @@ pub struct RunStats {
     pub makespan_s: f64,
     /// Prompt tokens served from the radix prefix cache (all devices).
     pub cache_hit_tokens: u64,
+    /// Draft tokens proposed by speculative decode (all devices).
+    pub spec_drafted: u64,
+    /// Draft tokens accepted by verification (all devices).
+    pub spec_accepted: u64,
     /// Order-sensitive digest over the full telemetry.
     pub digest: u64,
 }
@@ -171,6 +182,9 @@ impl std::fmt::Display for Outcome {
                 )?;
                 if s.cache_hit_tokens > 0 {
                     write!(f, ", {} cache-hit tokens", s.cache_hit_tokens)?;
+                }
+                if s.spec_drafted > 0 {
+                    write!(f, ", spec {}/{} accepted", s.spec_accepted, s.spec_drafted)?;
                 }
                 write!(f, " (digest {:016x})", s.digest)
             }
@@ -268,6 +282,8 @@ fn run_single(sc: &Scenario) -> Outcome {
         energy_j: audit.energy_j,
         makespan_s: sim.now(),
         cache_hit_tokens: audit.kv_cache_hit_tokens,
+        spec_drafted: audit.spec_drafted,
+        spec_accepted: audit.spec_accepted,
         digest: d.0,
     })
 }
@@ -371,6 +387,8 @@ fn run_fleet(sc: &Scenario) -> Outcome {
         energy_j: r.energy_j,
         makespan_s: r.makespan_s,
         cache_hit_tokens: audit.devices.iter().map(|a| a.kv_cache_hit_tokens).sum(),
+        spec_drafted: audit.devices.iter().map(|a| a.spec_drafted).sum(),
+        spec_accepted: audit.devices.iter().map(|a| a.spec_accepted).sum(),
         digest: d.0,
     })
 }
@@ -392,11 +410,12 @@ mod tests {
     #[test]
     fn smoke_seed_matrix_is_clean() {
         // The PR-gate matrix: no seed in 0..16, nor any of the
-        // governor-active or prefix-cache smoke seeds, may violate an
-        // invariant.
+        // governor-active, prefix-cache, or speculation smoke seeds, may
+        // violate an invariant.
         for seed in (0..16u64)
             .chain(crate::corpus::GOVERNOR_SMOKE_SEEDS)
             .chain(crate::corpus::PREFIX_SMOKE_SEEDS)
+            .chain(crate::corpus::SPEC_SMOKE_SEEDS)
         {
             let out = run_scenario(&Scenario::from_seed(seed));
             assert!(!out.is_violation(), "seed {seed}: {out}");

@@ -176,6 +176,31 @@ impl PrefixSpec {
     }
 }
 
+/// The speculative-decoding dimension: when drawn, every member serves
+/// with draft-and-verify decode armed at the given draft depth and
+/// synthetic acceptance rate. Stored as parameters (not a materialized
+/// config) so shrinking and replay keep the draw stable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpecSpec {
+    /// Draft depth (tokens drafted per verify pass), ≥ 1.
+    pub k: u64,
+    /// Synthetic per-token acceptance probability (0–1).
+    pub alpha: f64,
+    /// Whether the adaptive-k controller is armed (k becomes a ceiling).
+    pub adaptive: bool,
+}
+
+impl SpecSpec {
+    /// Apply this dimension to a member's serve config.
+    pub fn apply(&self, serve: ServeConfig) -> ServeConfig {
+        if self.adaptive {
+            serve.with_adaptive_speculation(self.k, self.alpha)
+        } else {
+            serve.with_speculation(self.k, self.alpha)
+        }
+    }
+}
+
 /// Scenario topology: one steppable device, or a routed fleet.
 #[derive(Debug, Clone)]
 pub enum Shape {
@@ -214,6 +239,9 @@ pub struct Scenario {
     /// Prefix-cache dimension (cache-enabled members + shared system
     /// prompt), when the seed drew one.
     pub prefix: Option<PrefixSpec>,
+    /// Speculative-decoding dimension (draft-and-verify serve on every
+    /// member), when the seed drew one.
+    pub spec: Option<SpecSpec>,
 }
 
 fn member_spec(rng: &mut StdRng) -> MemberSpec {
@@ -289,6 +317,21 @@ fn governor_spec(rng: &mut StdRng) -> Option<GovernorSpec> {
     })
 }
 
+/// The speculation dimension, drawn *after* the prefix draw (previously
+/// the final dimension) so every earlier seed keeps its requests,
+/// topology, faults, governor, and prefix draw verbatim. Roughly a third
+/// of seeds serve speculatively.
+fn spec_spec(rng: &mut StdRng) -> Option<SpecSpec> {
+    if rng.gen_range(0u32..3) != 0 {
+        return None;
+    }
+    Some(SpecSpec {
+        k: rng.gen_range(1u64..=8),
+        alpha: rng.gen_range(0.05..0.95),
+        adaptive: rng.gen_range(0u32..2) == 0,
+    })
+}
+
 /// The prefix-cache dimension, drawn *after* the governor draw (which
 /// was itself the last pre-prefix dimension) so every earlier seed keeps
 /// its requests, topology, faults, and governor verbatim. Roughly a
@@ -323,6 +366,7 @@ impl Scenario {
                 shape: Shape::Single(spec),
                 governor: None,
                 prefix: None,
+                spec: None,
             }
         } else {
             let n_devices = rng.gen_range(2usize..=3);
@@ -339,18 +383,30 @@ impl Scenario {
                 shape: Shape::Fleet { members, policy, cloud, slo_s },
                 governor: None,
                 prefix: None,
+                spec: None,
             }
         };
         sc.governor = governor_spec(&mut rng);
         sc.prefix = prefix_spec(&mut rng);
-        if sc.prefix.is_some() {
-            // Enable the radix cache on every member. Applied after all
-            // draws, so the seed stream is untouched.
+        sc.spec = spec_spec(&mut rng);
+        // Apply the drawn serve-config dimensions to every member.
+        // Applied after all draws, so the seed stream is untouched.
+        if sc.prefix.is_some() || sc.spec.is_some() {
+            let prefix = sc.prefix.is_some();
+            let spec = sc.spec;
+            let apply = |m: &mut MemberSpec| {
+                if prefix {
+                    m.serve = m.serve.with_prefix_cache();
+                }
+                if let Some(s) = spec {
+                    m.serve = s.apply(m.serve);
+                }
+            };
             match &mut sc.shape {
-                Shape::Single(m) => m.serve = m.serve.with_prefix_cache(),
+                Shape::Single(m) => apply(m),
                 Shape::Fleet { members, .. } => {
                     for m in members {
-                        m.serve = m.serve.with_prefix_cache();
+                        apply(m);
                     }
                 }
             }
@@ -406,15 +462,25 @@ impl Scenario {
             Some(p) => format!(", prefix {}%×{}tok", p.shared_pct, p.system_tokens),
             None => String::new(),
         };
+        let spec = match &self.spec {
+            Some(s) => format!(
+                ", spec k={} α={:.2}{}",
+                s.k,
+                s.alpha,
+                if s.adaptive { " adaptive" } else { "" }
+            ),
+            None => String::new(),
+        };
         format!(
-            "seed {}: {:?} × {} requests, {} fault events, {}{}{}",
+            "seed {}: {:?} × {} requests, {} fault events, {}{}{}{}",
             self.seed,
             self.arrivals,
             self.requests.len(),
             self.faults.events().len(),
             topo,
             gov,
-            prefix
+            prefix,
+            spec
         )
     }
 }
@@ -452,6 +518,28 @@ mod tests {
         assert!(single > 5, "single-device scenarios generated: {single}");
         assert!(fleet > 5, "fleet scenarios generated: {fleet}");
         assert!(faulted > 10, "fault plans generated: {faulted}");
+    }
+
+    #[test]
+    fn spec_dimension_is_drawn_and_applied_to_every_member() {
+        let mut armed = 0;
+        for seed in 0..60u64 {
+            let sc = Scenario::from_seed(seed);
+            let Some(s) = sc.spec else { continue };
+            armed += 1;
+            assert!((1..=8).contains(&s.k));
+            assert!((0.05..0.95).contains(&s.alpha));
+            let check = |m: &MemberSpec| {
+                let spec = m.serve.spec.expect("member serves speculatively");
+                assert_eq!(spec.k, s.k);
+                assert_eq!(spec.adaptive, s.adaptive);
+            };
+            match &sc.shape {
+                Shape::Single(m) => check(m),
+                Shape::Fleet { members, .. } => members.iter().for_each(check),
+            }
+        }
+        assert!(armed > 5, "spec scenarios generated: {armed}");
     }
 
     #[test]

@@ -56,5 +56,5 @@ pub use protocol::Protocol;
 pub use scheduler::{ServingReport, StaticBatcher};
 pub use serve::{
     Completion, EventScheduler, GovernorHook, GovernorObs, IterPhase, IterationTrace, NullGovernor,
-    PrefillPolicy, ServeAudit, ServeConfig, ServeRun, ServeSim, TokenId,
+    PrefillPolicy, ServeAudit, ServeConfig, ServeRun, ServeSim, SpecConfig, TokenId,
 };

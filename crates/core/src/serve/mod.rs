@@ -41,7 +41,8 @@ pub use adapter::record_serve_run;
 pub use edgellm_mem::TokenId;
 pub use governor::{GovernorHook, GovernorObs, NullGovernor};
 pub use scheduler::{
-    EventScheduler, PrefillPolicy, ServeConfig, ServeRun, DEFAULT_CHUNK_TOKENS, KV_BLOCK_TOKENS,
+    EventScheduler, PrefillPolicy, ServeConfig, ServeRun, SpecConfig, DEFAULT_CHUNK_TOKENS,
+    KV_BLOCK_TOKENS,
 };
 pub use sim::{Completion, ServeAudit, ServeSim};
 pub use trace::{IterPhase, IterationTrace};

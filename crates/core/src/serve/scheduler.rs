@@ -63,6 +63,30 @@ pub enum PrefillPolicy {
     },
 }
 
+/// Speculative draft-and-verify decoding knobs.
+///
+/// With speculation on, each decode iteration drafts up to `k` tokens per
+/// sequence and verifies them in one batched pass: the iteration takes
+/// verify-batch time (weights streamed once, k+1 compute rows) but emits
+/// `1 + accepted` tokens per sequence. Drafted-then-rejected tokens are
+/// appended to the paged KV and rolled back block-exactly, and their
+/// verify work is billed to the drafting request's energy share — the
+/// rejected rows really ran.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpecConfig {
+    /// Maximum draft tokens verified per sequence per iteration (≥ 1).
+    pub k: u64,
+    /// Modeled per-token acceptance rate in `[0, 1]` — how often the
+    /// prompt-lookup drafter's guess matches the greedy token. Acceptance
+    /// draws are deterministic per `(request, output position)`, so runs
+    /// replay bit-identically.
+    pub alpha: f64,
+    /// Enable the adaptive-k controller: an EWMA of the *measured*
+    /// acceptance rate shrinks the live draft length when drafts stop
+    /// landing and regrows it (never past `k`) when they land again.
+    pub adaptive: bool,
+}
+
 /// Scheduler knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
@@ -80,6 +104,9 @@ pub struct ServeConfig {
     /// default — with it off the scheduler is bit-identical to the flat
     /// pre-cache accounting.
     pub prefix_cache: bool,
+    /// Speculative decoding configuration. `None` (the default) keeps
+    /// the scheduler bit-identical to plain one-token-per-step decode.
+    pub spec: Option<SpecConfig>,
 }
 
 impl ServeConfig {
@@ -90,6 +117,7 @@ impl ServeConfig {
             prefill: PrefillPolicy::Blocking,
             kv_pool_bytes: None,
             prefix_cache: false,
+            spec: None,
         }
     }
 
@@ -100,6 +128,7 @@ impl ServeConfig {
             prefill: PrefillPolicy::Chunked { chunk_tokens: DEFAULT_CHUNK_TOKENS },
             kv_pool_bytes: None,
             prefix_cache: false,
+            spec: None,
         }
     }
 
@@ -118,6 +147,20 @@ impl ServeConfig {
     /// Enable the radix-tree prefix cache.
     pub fn with_prefix_cache(mut self) -> Self {
         self.prefix_cache = true;
+        self
+    }
+
+    /// Enable speculative decoding with a fixed draft length `k` and
+    /// modeled acceptance rate `alpha`.
+    pub fn with_speculation(mut self, k: u64, alpha: f64) -> Self {
+        self.spec = Some(SpecConfig { k: k.max(1), alpha: alpha.clamp(0.0, 1.0), adaptive: false });
+        self
+    }
+
+    /// Enable speculative decoding with the adaptive-k controller
+    /// (`k` is the ceiling the controller never exceeds).
+    pub fn with_adaptive_speculation(mut self, k: u64, alpha: f64) -> Self {
+        self.spec = Some(SpecConfig { k: k.max(1), alpha: alpha.clamp(0.0, 1.0), adaptive: true });
         self
     }
 }
@@ -145,6 +188,13 @@ pub struct ServeRun {
     pub kv_cache_hit_tokens: u64,
     /// Copy-on-write block allocations (divergence inside shared blocks).
     pub kv_blocks_cow: u64,
+    /// Draft tokens submitted to verification (0 with speculation off).
+    pub spec_drafted: u64,
+    /// Draft tokens accepted and emitted as output.
+    pub spec_accepted: u64,
+    /// Draft tokens rejected and rolled back out of the paged KV;
+    /// `spec_drafted == spec_accepted + spec_rolled_back` always.
+    pub spec_rolled_back: u64,
 }
 
 /// The event-driven iteration-level scheduler.

@@ -96,6 +96,12 @@ pub struct ServeAudit {
     pub preemptions: usize,
     /// Output tokens delivered to completed requests.
     pub served_output_tokens: u64,
+    /// Draft tokens submitted to verification (0 with speculation off).
+    pub spec_drafted: u64,
+    /// Draft tokens accepted and emitted as output.
+    pub spec_accepted: u64,
+    /// Draft tokens rejected and rolled back out of the paged KV.
+    pub spec_rolled_back: u64,
 }
 
 /// One request's scheduling state, preserved across preemptions.
@@ -230,6 +236,26 @@ pub struct ServeSim {
     decode_iters: usize,
     kv_allocated: u64,
     kv_freed: u64,
+    /// Draft tokens submitted to verification (0 with speculation off).
+    spec_drafted: u64,
+    /// Draft tokens accepted and emitted as output.
+    spec_accepted: u64,
+    /// Draft tokens rejected and rolled back out of the paged KV.
+    spec_rolled_back: u64,
+    /// The adaptive-k controller's live draft length (pinned at the
+    /// configured `k` when the controller is off; 0 with speculation
+    /// off).
+    spec_k_now: u64,
+    /// The draft length actually available *this iteration*: starts at
+    /// `spec_k_now` each scheduler turn and is degraded toward 0 by
+    /// [`ServeSim::secure_kv`] under KV pressure before any sequence is
+    /// preempted. Speculation is an optimization — it must never cause a
+    /// preemption (or a livelock against the `prompt + 1` admission
+    /// watermark) that plain greedy decode would avoid.
+    spec_k_iter: u64,
+    /// EWMA of the measured per-iteration acceptance rate — the
+    /// controller's shrink/grow signal. Seeded from the configured α.
+    spec_alpha_ewma: f64,
     /// Rid-stamped forensic lifecycle events (always kept, like the
     /// iteration trace; a few dozen bytes per request). Every push also
     /// feeds the process-wide flight recorder.
@@ -420,6 +446,12 @@ impl ServeSim {
             decode_iters: 0,
             kv_allocated: 0,
             kv_freed: 0,
+            spec_drafted: 0,
+            spec_accepted: 0,
+            spec_rolled_back: 0,
+            spec_k_now: cfg.spec.map(|s| s.k).unwrap_or(0),
+            spec_k_iter: cfg.spec.map(|s| s.k).unwrap_or(0),
+            spec_alpha_ewma: cfg.spec.map(|s| s.alpha).unwrap_or(0.0),
             flog: Vec::new(),
             req_energy: BTreeMap::new(),
             idle_energy_j: 0.0,
@@ -507,6 +539,37 @@ impl ServeSim {
         x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
         x ^= x >> 27;
         (x >> 32) as TokenId
+    }
+
+    /// Deterministic acceptance draw for draft output position `pos` of
+    /// request `rid` (splitmix64 bits mapped to [0, 1) against α).
+    /// Keyed by the *absolute* output index, so a sequence replays the
+    /// same accept/reject outcomes across preemption and re-admission —
+    /// the modeled drafter sees the same text either way.
+    fn spec_accepts(rid: u64, pos: u64, alpha: f64) -> bool {
+        let mut x = rid
+            .wrapping_mul(0x632b_e59b_d9b4_e019)
+            .wrapping_add(pos.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        ((x >> 11) as f64 / (1u64 << 53) as f64) < alpha
+    }
+
+    /// Draft tokens this decoding sequence submits this iteration: the
+    /// iteration's draft budget (the controller's live k, possibly
+    /// degraded by [`ServeSim::secure_kv`] under KV pressure), capped so
+    /// the sequence can never emit past its requested output (the
+    /// committed token always lands, so at most `output_remaining - 1`
+    /// drafts can be of any use).
+    fn spec_k_for(&self, s: &Live) -> u64 {
+        if self.cfg.spec.is_some() && s.job.output_remaining > 1 {
+            self.spec_k_iter.min(s.job.output_remaining - 1)
+        } else {
+            0
+        }
     }
 
     /// The token ids a job's current prompt prefills: the submitted
@@ -744,16 +807,22 @@ impl ServeSim {
         Ok(())
     }
 
-    /// Secure KV capacity for this iteration's growth, preempting the
-    /// youngest sequence under pressure.
+    /// Secure KV capacity for this iteration's growth. Under pressure the
+    /// escape ladder is: evict a cold cached block, then shed draft depth
+    /// (speculation degrades toward plain greedy decode before costing
+    /// anyone a recompute), and only then preempt the youngest sequence.
     fn secure_kv(&mut self) {
+        self.spec_k_iter = self.spec_k_now;
         loop {
             let mut need = 0usize;
             for s in &self.live {
                 let grow = if s.prompt_done < s.job.prompt_tokens {
                     self.chunk.min(s.job.prompt_tokens - s.prompt_done)
                 } else if s.job.output_remaining > 0 {
-                    1
+                    // The committed token plus every draft: rejected
+                    // drafts occupy KV until the post-verify rollback,
+                    // so the pool must hold the full verify footprint.
+                    1 + self.spec_k_for(s)
                 } else {
                     0
                 };
@@ -769,6 +838,10 @@ impl ServeSim {
             // live sequence costs a certain one.
             if self.kv.evict_one_cached() {
                 self.kv_freed += 1;
+                continue;
+            }
+            if self.spec_k_iter > 0 {
+                self.spec_k_iter -= 1;
                 continue;
             }
             self.preempt_youngest();
@@ -852,17 +925,77 @@ impl ServeSim {
             }
         }
 
+        // Speculation plan: per decoding sequence `(index, drafted,
+        // accepted)`, with acceptance drawn deterministically per
+        // absolute output position. `spec_k_for` returns 0 with
+        // speculation off, collapsing every path below to the plain
+        // one-token step bit-for-bit.
+        let spec_alpha = self.cfg.spec.map(|sp| sp.alpha);
+        let mut plans: Vec<(usize, u64, u64)> = Vec::with_capacity(deks.len());
+        for &i in &deks {
+            let s = self.live[i];
+            let k_eff = self.spec_k_for(&s);
+            let done = s.job.output_total - s.job.output_remaining;
+            let mut accepted = 0u64;
+            if let Some(a) = spec_alpha {
+                // Draft j proposes output position done+1+j; it lands
+                // only if every draft before it landed (the greedy
+                // prefix rule the nn verifier enforces exactly).
+                while accepted < k_eff && Self::spec_accepts(s.job.rid, done + 1 + accepted, a) {
+                    accepted += 1;
+                }
+            }
+            plans.push((i, k_eff, accepted));
+        }
+        // The verify batch is as deep as its deepest sequence: shallower
+        // sequences ride along (their extra rows are padding the engine
+        // does not bill separately).
+        let k_iter = plans.iter().map(|&(_, k, _)| k).max().unwrap_or(0);
+
         let dt = if n_dec > 0 {
-            self.perf.decode_step_time(n_dec as u64, avg_ctx.max(1))
+            if k_iter > 0 {
+                self.perf.verify_batch_time(n_dec as u64, avg_ctx.max(1), k_iter)
+            } else {
+                self.perf.decode_step_time(n_dec as u64, avg_ctx.max(1))
+            }
         } else {
             self.t_stream + self.perf.host_per_step()
         } + chunk_excess_s;
         self.prefill_stall_s += chunk_excess_s;
 
-        for &i in &deks {
+        let mut dec_emitted = 0u64;
+        for &(i, k_eff, accepted) in &plans {
+            let s = self.live[i];
+            // Drafted tokens are written to the KV like real ones — the
+            // writes happen before verification decides their fate —
+            // then the rejected tail is rolled back block-exactly.
             self.kv_allocated +=
-                self.kv.append(self.live[i].id, 1).expect("capacity pre-checked") as u64;
-            self.live[i].job.output_remaining -= 1;
+                self.kv.append(s.id, 1 + k_eff).expect("capacity pre-checked") as u64;
+            if accepted < k_eff {
+                let keep = s.ctx() + 1 + accepted;
+                self.kv_freed += self.kv.truncate(s.id, keep).expect("live seq registered") as u64;
+            }
+            self.live[i].job.output_remaining -= 1 + accepted;
+            dec_emitted += 1 + accepted;
+            self.spec_drafted += k_eff;
+            self.spec_accepted += accepted;
+            self.spec_rolled_back += k_eff - accepted;
+        }
+        // Adaptive-k: an EWMA of the measured acceptance rate shrinks
+        // the live draft length when drafts stop landing and regrows it
+        // (never past the configured ceiling) when they land again.
+        if let Some(sp) = self.cfg.spec {
+            let drafted: u64 = plans.iter().map(|&(_, k, _)| k).sum();
+            if sp.adaptive && drafted > 0 {
+                let landed: u64 = plans.iter().map(|&(_, _, a)| a).sum();
+                let rate = landed as f64 / drafted as f64;
+                self.spec_alpha_ewma = 0.7 * self.spec_alpha_ewma + 0.3 * rate;
+                if self.spec_alpha_ewma < 0.5 && self.spec_k_now > 1 {
+                    self.spec_k_now -= 1;
+                } else if self.spec_alpha_ewma > 0.75 && self.spec_k_now < sp.k {
+                    self.spec_k_now += 1;
+                }
+            }
         }
         self.t += dt;
         for &(rid, tokens) in &chunk_bill {
@@ -940,10 +1073,14 @@ impl ServeSim {
             }
         };
         self.energy_j += power_w * dt;
-        // Attribute the iteration's integral token-proportionally: one
-        // token per decoding sequence, `adv` per prefill segment.
-        let mut bill: Vec<(u64, u64)> = Vec::with_capacity(deks.len() + chunk_bill.len());
-        bill.extend(deks.iter().map(|&i| (self.live[i].job.rid, 1)));
+        // Attribute the iteration's integral token-proportionally: every
+        // verify row per decoding sequence — the committed token plus all
+        // drafts, *including* rejected ones, because the compute and KV
+        // writes for a rolled-back draft really ran and belong to the
+        // request that drafted it — and `adv` per prefill segment. With
+        // speculation off each sequence weighs exactly 1, as before.
+        let mut bill: Vec<(u64, u64)> = Vec::with_capacity(plans.len() + chunk_bill.len());
+        bill.extend(plans.iter().map(|&(i, k_eff, _)| (self.live[i].job.rid, 1 + k_eff)));
         bill.extend(chunk_bill.iter().copied());
         self.split_energy(power_w * dt, &bill);
         if n_dec > 0 {
@@ -992,7 +1129,7 @@ impl ServeSim {
             kv_blocks_used: self.kv.used_blocks(),
             kv_blocks_total: self.kv.total_blocks(),
             power_w,
-            tokens: prefill_tokens + n_dec as u64,
+            tokens: prefill_tokens + dec_emitted,
         });
         self.rail_log.push((self.t, rail_b));
         if self.cfg.prefix_cache {
@@ -1287,6 +1424,24 @@ impl ServeSim {
         self.cfg.prefix_cache
     }
 
+    /// Whether this simulation decodes speculatively.
+    pub fn speculation_enabled(&self) -> bool {
+        self.cfg.spec.is_some()
+    }
+
+    /// Speculation counters so far: `(drafted, accepted, rolled_back)`.
+    /// `drafted == accepted + rolled_back` always; all zero with
+    /// speculation off.
+    pub fn spec_counters(&self) -> (u64, u64, u64) {
+        (self.spec_drafted, self.spec_accepted, self.spec_rolled_back)
+    }
+
+    /// The adaptive-k controller's current draft length (the configured
+    /// `k` when the controller is off; 0 with speculation off).
+    pub fn spec_k_now(&self) -> u64 {
+        self.spec_k_now
+    }
+
     /// Prompt tokens served from the prefix cache so far.
     pub fn kv_cache_hit_tokens(&self) -> u64 {
         self.kv.cache_hit_tokens()
@@ -1336,6 +1491,9 @@ impl ServeSim {
             energy_j: self.energy_j,
             preemptions: self.preemptions,
             served_output_tokens: self.served_tokens,
+            spec_drafted: self.spec_drafted,
+            spec_accepted: self.spec_accepted,
+            spec_rolled_back: self.spec_rolled_back,
         }
     }
 
@@ -1441,6 +1599,9 @@ impl ServeSim {
             kv_cache_hit_tokens: self.kv.cache_hit_tokens(),
             kv_blocks_cow: self.kv.cow_events(),
             served_output_tokens: self.served_tokens,
+            spec_drafted: self.spec_drafted,
+            spec_accepted: self.spec_accepted,
+            spec_rolled_back: self.spec_rolled_back,
         }
     }
 }
@@ -2036,5 +2197,145 @@ mod tests {
             (delta - expected_delta).abs() <= 1e-9 * (1.0 + expected_delta.abs()),
             "delta {delta} != gap misattribution {expected_delta}"
         );
+    }
+
+    #[test]
+    fn speculation_cuts_makespan_and_conserves_tokens() {
+        // k=4 at α=0.8 on the paper workload: fewer (verify) iterations,
+        // identical served output, strictly smaller makespan, and the
+        // drafted = accepted + rolled_back identity throughout.
+        let (dev, cfg) = setup();
+        let reqs = PoissonArrivals::paper_shape(1.0).generate(20, 7);
+        let plain = drain(ServeSim::new(ServeConfig::chunked(16), &dev, &cfg, &reqs).unwrap());
+        let spec = drain(
+            ServeSim::new(ServeConfig::chunked(16).with_speculation(4, 0.8), &dev, &cfg, &reqs)
+                .unwrap(),
+        );
+        assert_eq!(spec.completions().len(), 20);
+        assert_eq!(spec.served_output_tokens(), plain.served_output_tokens());
+        let (drafted, accepted, rolled_back) = spec.spec_counters();
+        assert!(drafted > 0, "speculation must draft");
+        assert_eq!(drafted, accepted + rolled_back);
+        assert!(accepted > 0 && rolled_back > 0, "α=0.8 both lands and misses");
+        assert!(
+            spec.now() < plain.now(),
+            "speculative makespan {} must beat plain {}",
+            spec.now(),
+            plain.now()
+        );
+        // Rolled-back drafts were appended then truncated: the KV pool
+        // still drains block-exactly.
+        assert_eq!(spec.kv_blocks_allocated(), spec.kv_blocks_freed());
+        assert_eq!(spec.kv_used_blocks(), 0);
+        assert!(spec.audit().kv_integrity.is_empty());
+        // Plain runs keep all speculation counters dark.
+        assert_eq!(plain.spec_counters(), (0, 0, 0));
+    }
+
+    #[test]
+    fn speculative_energy_ledger_still_partitions_exactly() {
+        // Per-request shares + idle remainder must sum to the energy
+        // integral at 1e-9 even with drafted-then-rejected work billed.
+        let (dev, cfg) = setup();
+        let reqs = PoissonArrivals::paper_shape(1.5).generate(15, 3);
+        let sim = drain(
+            ServeSim::new(ServeConfig::chunked(8).with_speculation(4, 0.7), &dev, &cfg, &reqs)
+                .unwrap(),
+        );
+        let f = sim.forensics();
+        let attributed: f64 = f.req_energy.iter().map(|&(_, e)| e).sum();
+        let total = attributed + f.idle_energy_j;
+        assert!(
+            (total - sim.energy_j()).abs() <= 1e-9 * (1.0 + sim.energy_j()),
+            "ledger {total} != integral {}",
+            sim.energy_j()
+        );
+        // The trace integral and the counter match too.
+        let integral: f64 = sim.trace().iter().map(|it| it.power_w * it.dt_s).sum();
+        assert!((integral - sim.energy_j()).abs() <= 1e-9 * (1.0 + sim.energy_j()));
+    }
+
+    #[test]
+    fn speculative_runs_replay_deterministically() {
+        let (dev, cfg) = setup();
+        let reqs = PoissonArrivals::paper_shape(2.0).generate(12, 11);
+        let mk = || {
+            drain(
+                ServeSim::new(
+                    ServeConfig::chunked(8).with_adaptive_speculation(6, 0.6),
+                    &dev,
+                    &cfg,
+                    &reqs,
+                )
+                .unwrap(),
+            )
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.trace(), b.trace());
+        assert_eq!(a.spec_counters(), b.spec_counters());
+        assert_eq!(a.energy_j(), b.energy_j());
+        assert_eq!(a.report(), b.report());
+    }
+
+    #[test]
+    fn adaptive_k_shrinks_when_acceptance_drops() {
+        let (dev, cfg) = setup();
+        let reqs = PoissonArrivals::paper_shape(1.0).generate(10, 5);
+        let cold = drain(
+            ServeSim::new(
+                ServeConfig::chunked(8).with_adaptive_speculation(8, 0.05),
+                &dev,
+                &cfg,
+                &reqs,
+            )
+            .unwrap(),
+        );
+        assert_eq!(cold.spec_k_now(), 1, "missing drafts must shrink k to the floor");
+        let hot = drain(
+            ServeSim::new(
+                ServeConfig::chunked(8).with_adaptive_speculation(8, 0.95),
+                &dev,
+                &cfg,
+                &reqs,
+            )
+            .unwrap(),
+        );
+        assert_eq!(hot.spec_k_now(), 8, "landing drafts must keep k at the ceiling");
+        // The fixed-k config never moves.
+        let fixed = drain(
+            ServeSim::new(ServeConfig::chunked(8).with_speculation(5, 0.05), &dev, &cfg, &reqs)
+                .unwrap(),
+        );
+        assert_eq!(fixed.spec_k_now(), 5);
+    }
+
+    #[test]
+    fn speculation_survives_kv_pressure_and_preemption() {
+        // The one-sequence pool under speculation: verify footprints
+        // (1 + k per sequence) are reserved up front, preemption churns,
+        // and the run still drains with exact accounting.
+        let (dev, cfg) = setup();
+        let reqs: Vec<Request> = (0..4)
+            .map(|id| Request { id, arrival_s: 0.0, input_tokens: 48, output_tokens: 96 })
+            .collect();
+        let kv_per_token = cfg.llm.arch().kv_bytes_per_token();
+        let pool = 144 * kv_per_token;
+        let sim = drain(
+            ServeSim::new(
+                ServeConfig::chunked(16).kv_pool_cap(pool).with_speculation(4, 0.6),
+                &dev,
+                &cfg,
+                &reqs,
+            )
+            .unwrap(),
+        );
+        assert_eq!(sim.completions().len(), 4);
+        assert!(sim.preemptions() > 0, "contention must preempt");
+        assert_eq!(sim.served_output_tokens(), 4 * 96);
+        assert_eq!(sim.kv_blocks_allocated(), sim.kv_blocks_freed());
+        let (drafted, accepted, rolled_back) = sim.spec_counters();
+        assert_eq!(drafted, accepted + rolled_back);
+        assert!(sim.audit().kv_integrity.is_empty());
     }
 }

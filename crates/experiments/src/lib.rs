@@ -51,6 +51,7 @@ pub mod report;
 pub mod runner;
 pub mod seqlen_sweep;
 pub mod serve;
+pub mod spec;
 pub mod tab1;
 pub mod tab2;
 

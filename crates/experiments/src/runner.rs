@@ -50,7 +50,7 @@ impl ExperimentOpts {
 }
 
 /// All experiment ids, in paper order.
-pub const EXPERIMENT_IDS: [&str; 21] = [
+pub const EXPERIMENT_IDS: [&str; 22] = [
     "tab1",
     "tab2",
     "fig1",
@@ -72,6 +72,7 @@ pub const EXPERIMENT_IDS: [&str; 21] = [
     "ext-fleet",
     "ext-governor",
     "ext-prefix",
+    "ext-spec",
 ];
 
 /// Human description of each experiment.
@@ -98,6 +99,7 @@ pub fn describe(id: &str) -> Option<&'static str> {
         "ext-fleet" => "Extension: heterogeneous fleet serving — routing, faults, offload",
         "ext-governor" => "Extension: online SLO-aware power-mode governor vs static modes",
         "ext-prefix" => "Extension: radix prefix cache — shared-system-prompt ratio sweep",
+        "ext-spec" => "Extension: speculative draft-and-verify decode — k × α sweep (Phi-2)",
         _ => return None,
     })
 }
@@ -132,6 +134,7 @@ pub fn run_experiment(id: &str, opts: ExperimentOpts) -> Option<ExperimentResult
         "ext-fleet" => crate::fleet::run(),
         "ext-governor" => crate::governor::run(opts),
         "ext-prefix" => crate::prefix::run(),
+        "ext-spec" => crate::spec::run(),
         _ => return None,
     })
 }

@@ -1,0 +1,285 @@
+//! `ext-spec`: speculative draft-and-verify decoding — decode tokens/s
+//! and J/token across the k × α plane.
+//!
+//! Autoregressive decode on an edge accelerator is bandwidth-bound: every
+//! token streams the full weight set for one matmul row. Draft-and-verify
+//! replaces k such streams with k cheap drafts plus one batched verify
+//! pass that scores all k positions against a single weight stream, so
+//! at acceptance rate α each iteration commits E = (1−α^{k+1})/(1−α)
+//! tokens instead of 1. This driver sweeps draft depth k and acceptance
+//! rate α on the Phi-2 preset and measures decode throughput and serving
+//! energy per token against the identical schedule served without
+//! speculation, plus the adaptive-k controller as its own column.
+
+use crate::report::{Check, ExperimentResult, Table};
+use edgellm_core::serve::{record_serve_run, ServeConfig};
+use edgellm_core::{Request, RunConfig, ServeSim};
+use edgellm_hw::DeviceSpec;
+use edgellm_models::{Llm, Precision};
+
+/// Requests per sweep point.
+const N_REQS: usize = 24;
+/// Prompt length (tokens) — short, so the runs are decode-dominated the
+/// way chat serving is.
+const PROMPT_TOKENS: u64 = 64;
+/// Output length per request (tokens).
+const OUTPUT_TOKENS: u64 = 256;
+/// Arrival gap (s): everything is queued up front so makespan measures
+/// pure decode throughput.
+const GAP_S: f64 = 0.0;
+/// Single-stream decode — the edge chat regime the paper measures.
+/// Batch-1 decode streams the full weight set per token, so it is the
+/// bandwidth-bound floor speculation exists to beat; at higher
+/// concurrency continuous batching already amortizes the weight stream
+/// across sequences and the headroom shrinks (the adaptive controller
+/// covers that regime in `edgellm-check`'s fuzzed scenarios).
+const MAX_BATCH: usize = 1;
+/// Draft depths swept.
+const KS: [u64; 4] = [1, 2, 4, 8];
+/// Acceptance rates swept.
+const ALPHAS: [f64; 4] = [0.3, 0.5, 0.7, 0.9];
+
+/// One sweep point's scorecard.
+struct SpecRun {
+    decode_tok_s: f64,
+    energy_per_token_j: f64,
+    accept_rate: f64,
+    drafted: u64,
+    completed: usize,
+    served_tokens: u64,
+}
+
+fn requests() -> Vec<Request> {
+    (0..N_REQS as u64)
+        .map(|id| Request {
+            id,
+            arrival_s: id as f64 * GAP_S,
+            input_tokens: PROMPT_TOKENS,
+            output_tokens: OUTPUT_TOKENS,
+        })
+        .collect()
+}
+
+/// Serve the trace at one sweep point. `spec` is `(k, α, adaptive)`;
+/// `None` serves the plain-decode baseline. `export` additionally
+/// renders the run onto the process trace sink.
+fn serve(spec: Option<(u64, f64, bool)>, export: bool) -> SpecRun {
+    let dev = DeviceSpec::orin_agx_64gb();
+    let run_cfg = RunConfig::new(Llm::Phi2, Precision::Fp16);
+    let mut cfg = ServeConfig::chunked(MAX_BATCH);
+    if let Some((k, alpha, adaptive)) = spec {
+        cfg = if adaptive {
+            cfg.with_adaptive_speculation(k, alpha)
+        } else {
+            cfg.with_speculation(k, alpha)
+        };
+    }
+    let reqs = requests();
+    let mut sim = ServeSim::new(cfg, &dev, &run_cfg, &reqs).expect("Phi-2 FP16 fits the AGX");
+    while let Some(t) = sim.next_event_s() {
+        sim.step(t).expect("stock mode validates");
+    }
+    if export {
+        edgellm_trace::sink::with(|out| {
+            let pid = out.next_pid();
+            let label = match spec {
+                Some((k, a, true)) => format!("spec-adaptive-k{k}-a{a:.1}"),
+                Some((k, a, false)) => format!("spec-k{k}-a{a:.1}"),
+                None => "spec-off".to_string(),
+            };
+            record_serve_run(
+                out,
+                pid,
+                &label,
+                sim.trace(),
+                sim.rail_trace(),
+                sim.cache_occupancy_log(),
+                sim.preemption_events(),
+            );
+        });
+    }
+    let r = sim.report();
+    let audit = sim.audit();
+    SpecRun {
+        decode_tok_s: r.output_tok_s,
+        energy_per_token_j: r.energy_j / sim.served_output_tokens().max(1) as f64,
+        accept_rate: audit.spec_accepted as f64 / audit.spec_drafted.max(1) as f64,
+        drafted: audit.spec_drafted,
+        completed: r.requests,
+        served_tokens: sim.served_output_tokens(),
+    }
+}
+
+/// Run the speculative-decoding extension experiment.
+pub fn run() -> ExperimentResult {
+    let mut t = Table::new(vec!["k", "α", "mode", "accept %", "tok/s", "×base", "J/tok"]);
+    let mut csv = Table::new(vec![
+        "k",
+        "alpha",
+        "mode",
+        "accept_rate",
+        "decode_tok_s",
+        "speedup",
+        "energy_per_token_j",
+    ]);
+    let mut checks = Vec::new();
+
+    let base = serve(None, false);
+    let export = edgellm_trace::sink::enabled();
+    let mut render = |k: &str, a: &str, mode: &str, r: &SpecRun| {
+        let speedup = r.decode_tok_s / base.decode_tok_s;
+        t.row(vec![
+            k.to_string(),
+            a.to_string(),
+            mode.to_string(),
+            format!("{:.0}%", r.accept_rate * 100.0),
+            format!("{:.1}", r.decode_tok_s),
+            format!("{speedup:.2}×"),
+            format!("{:.3}", r.energy_per_token_j),
+        ]);
+        csv.row(vec![
+            k.to_string(),
+            a.to_string(),
+            mode.to_string(),
+            format!("{:.4}", r.accept_rate),
+            format!("{:.2}", r.decode_tok_s),
+            format!("{speedup:.4}"),
+            format!("{:.4}", r.energy_per_token_j),
+        ]);
+    };
+    render("-", "-", "off", &base);
+
+    // Fixed-k plane, plus the adaptive controller at each α with the
+    // deepest budget (it sheds depth on its own when α is poor).
+    let mut grid: Vec<((u64, f64), SpecRun)> = Vec::new();
+    for &k in &KS {
+        for &alpha in &ALPHAS {
+            let r = serve(Some((k, alpha, false)), export && k == 4 && alpha == 0.9);
+            render(&k.to_string(), &format!("{alpha:.1}"), "fixed", &r);
+            grid.push(((k, alpha), r));
+        }
+    }
+    let adaptive: Vec<(f64, SpecRun)> =
+        ALPHAS.iter().map(|&alpha| (alpha, serve(Some((8, alpha, true)), false))).collect();
+    for (alpha, r) in &adaptive {
+        render("≤8", &format!("{alpha:.1}"), "adaptive", r);
+    }
+
+    let point = |k: u64, alpha: f64| -> &SpecRun {
+        &grid.iter().find(|((gk, ga), _)| *gk == k && *ga == alpha).expect("point swept").1
+    };
+
+    checks.push(Check::new(
+        "every configuration serves the identical trace to completion",
+        base.completed == N_REQS
+            && grid
+                .iter()
+                .all(|(_, r)| r.completed == N_REQS && r.served_tokens == base.served_tokens)
+            && adaptive.iter().all(|(_, r)| r.completed == N_REQS),
+        format!("{} requests × {} sweep points", N_REQS, grid.len() + adaptive.len() + 1),
+    ));
+    // Acceptance stops at the first rejected draft, so the expected
+    // accepted fraction of drafted tokens is the mean geometric prefix
+    // α(1−α^k)/((1−α)k), not α itself.
+    let expect_accept = |k: u64, a: f64| a * (1.0 - a.powi(k as i32)) / ((1.0 - a) * k as f64);
+    checks.push(Check::new(
+        "measured acceptance tracks the geometric-prefix expectation (±0.05 at k=4)",
+        ALPHAS.iter().all(|&a| (point(4, a).accept_rate - expect_accept(4, a)).abs() < 0.05),
+        ALPHAS
+            .iter()
+            .map(|&a| {
+                format!("α={a:.1}: {:.2} vs E={:.2}", point(4, a).accept_rate, expect_accept(4, a))
+            })
+            .collect::<Vec<_>>()
+            .join(", "),
+    ));
+    checks.push(Check::new(
+        "throughput rises monotonically with α at every fixed k",
+        KS.iter().all(|&k| {
+            ALPHAS
+                .windows(2)
+                .all(|w| point(k, w[1]).decode_tok_s >= point(k, w[0]).decode_tok_s - 1e-9)
+        }),
+        KS.iter()
+            .map(|&k| {
+                format!(
+                    "k={k}: {:.0}→{:.0} tok/s",
+                    point(k, 0.3).decode_tok_s,
+                    point(k, 0.9).decode_tok_s
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("; "),
+    ));
+    let headline = point(4, 0.7);
+    checks.push(Check::new(
+        "k=4 at α=0.7 decodes ≥1.5× faster than plain greedy",
+        headline.decode_tok_s >= 1.5 * base.decode_tok_s,
+        format!(
+            "{:.1} vs {:.1} tok/s ({:.2}×)",
+            headline.decode_tok_s,
+            base.decode_tok_s,
+            headline.decode_tok_s / base.decode_tok_s
+        ),
+    ));
+    checks.push(Check::new(
+        "k=4 at α≥0.7 serves cheaper J/token than plain greedy",
+        headline.energy_per_token_j < base.energy_per_token_j
+            && point(4, 0.9).energy_per_token_j < base.energy_per_token_j,
+        format!(
+            "{:.3}/{:.3} vs {:.3} J/tok",
+            headline.energy_per_token_j,
+            point(4, 0.9).energy_per_token_j,
+            base.energy_per_token_j
+        ),
+    ));
+    checks.push(Check::new(
+        "the adaptive controller at α=0.9 is within 10% of the best fixed k",
+        {
+            let best = ALPHAS
+                .last()
+                .map(|_| KS.iter().map(|&k| point(k, 0.9).decode_tok_s).fold(f64::MIN, f64::max))
+                .unwrap();
+            let (_, ad) = adaptive.iter().find(|(a, _)| *a == 0.9).expect("α=0.9 swept");
+            ad.decode_tok_s >= 0.9 * best
+        },
+        {
+            let best = KS.iter().map(|&k| point(k, 0.9).decode_tok_s).fold(f64::MIN, f64::max);
+            let (_, ad) = adaptive.iter().find(|(a, _)| *a == 0.9).expect("α=0.9 swept");
+            format!("adaptive {:.1} vs best fixed {:.1} tok/s", ad.decode_tok_s, best)
+        },
+    ));
+    checks.push(Check::new(
+        "speculation drafted real work at every armed point",
+        grid.iter().all(|(_, r)| r.drafted > 0) && adaptive.iter().all(|(_, r)| r.drafted > 0),
+        format!(
+            "min drafted {} tokens",
+            grid.iter()
+                .map(|(_, r)| r.drafted)
+                .chain(adaptive.iter().map(|(_, r)| r.drafted))
+                .min()
+                .unwrap_or(0)
+        ),
+    ));
+
+    ExperimentResult {
+        id: "ext-spec",
+        title: "Extension — speculative draft-and-verify decode: tokens/s and J/token across \
+                k × α (Phi-2)"
+            .to_string(),
+        tables: vec![t.render()],
+        checks,
+        csv: vec![("spec_decode".to_string(), csv.to_csv())],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_experiment_passes() {
+        let r = run();
+        assert!(r.all_pass(), "{}", r.render());
+    }
+}

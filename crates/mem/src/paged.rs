@@ -251,6 +251,33 @@ impl PagedKv {
         Ok(extra)
     }
 
+    /// Roll a sequence back to its first `tokens` cached tokens — the
+    /// allocator half of speculative-decode rollback: the verifier
+    /// rejects a draft suffix and the blocks that held only rejected
+    /// tokens go back to the pool, block-exactly. Dropped references
+    /// are unref'd (not force-freed), so a block the prefix cache (or
+    /// another holder) still references survives — COW-safe under
+    /// prefix sharing; rejected *speculative* tokens always live past
+    /// the prompt in the sequence's private tail, and a partially
+    /// rolled-back tail block simply stays held with fewer used
+    /// tokens. Returns blocks actually freed. No-op when the sequence
+    /// already holds at most `tokens`.
+    pub fn truncate(&mut self, id: SeqId, tokens: u64) -> Result<usize, KvError> {
+        let s = self.seqs.get_mut(&id).ok_or(KvError::UnknownSeq(id))?;
+        if tokens >= s.used {
+            return Ok(0);
+        }
+        let keep_blocks = tokens.div_ceil(self.pool.block_tokens()) as usize;
+        let mut freed = 0;
+        for b in s.blocks.drain(keep_blocks..) {
+            if self.pool.unref(b) {
+                freed += 1;
+            }
+        }
+        s.used = tokens;
+        Ok(freed)
+    }
+
     /// Finish (or preempt) a sequence, dropping its block references.
     /// Returns blocks actually freed — blocks the prefix cache still
     /// holds stay resident for the next hit.
@@ -463,6 +490,62 @@ mod tests {
         let out = p.admit(1, &prompt);
         assert_eq!(out.hit_tokens, 64);
         assert_eq!(out.new_blocks, 0);
+        assert!(p.verify().is_empty());
+    }
+
+    #[test]
+    fn truncate_releases_exactly_the_rejected_tail_blocks() {
+        let mut p = PagedKv::new(1 << 20, 16, 1024);
+        p.register(1);
+        // Prompt of 40 tokens (3 blocks), then 10 speculative appends.
+        assert_eq!(p.append(1, 40).unwrap(), 3);
+        assert_eq!(p.append(1, 10).unwrap(), 1); // tokens 40..50, block 4
+        let free_before = p.free_blocks();
+        // Reject 1 of the 10: 49 tokens still spill into block 4, so
+        // the rollback is a fill-only adjustment...
+        assert_eq!(p.truncate(1, 49).unwrap(), 0);
+        assert_eq!(p.blocks_held(1), Some(4));
+        // ...but rejecting down to 43 tokens (3 blocks) releases the
+        // now-empty tail block, block-exactly.
+        assert_eq!(p.truncate(1, 43).unwrap(), 1);
+        assert_eq!(p.blocks_held(1), Some(3));
+        assert_eq!(p.free_blocks(), free_before + 1);
+        // A deeper roll-back inside the kept blocks frees nothing more.
+        assert_eq!(p.truncate(1, 33).unwrap(), 0);
+        assert_eq!(p.blocks_held(1), Some(3));
+        // Appending after rollback refills the partial tail first.
+        assert_eq!(p.append(1, 15).unwrap(), 0);
+        assert_eq!(p.append(1, 1).unwrap(), 1);
+        // No-op cases: at or past the current fill, and unknown ids.
+        assert_eq!(p.truncate(1, 49).unwrap(), 0);
+        assert_eq!(p.truncate(1, 1000).unwrap(), 0);
+        assert!(p.truncate(9, 0).is_err());
+        assert!(p.verify().is_empty());
+    }
+
+    #[test]
+    fn truncate_is_cow_safe_under_prefix_sharing() {
+        let mut p = paged();
+        let prompt = toks(5, 32); // 2 full blocks
+        p.admit(0, &prompt);
+        p.append(0, 32).unwrap();
+        p.insert_prompt(0, &prompt); // both blocks now cached (shared)
+                                     // Speculate 20 tokens past the prompt: tokens 32..52, blocks 3–4.
+        p.append(0, 20).unwrap();
+        assert_eq!(p.blocks_held(0), Some(4));
+        // Reject all 20: the private tail blocks free, the cached
+        // prompt blocks survive with the cache as a holder.
+        assert_eq!(p.truncate(0, 32).unwrap(), 2);
+        assert_eq!(p.blocks_held(0), Some(2));
+        assert_eq!(p.cached_blocks(), 2);
+        assert!(p.verify().is_empty(), "{:?}", p.verify());
+        // A roll-back *into* the shared region only unrefs: the cache
+        // keeps the block resident for the next hit.
+        let used_before = p.used_blocks();
+        assert_eq!(p.truncate(0, 16).unwrap(), 0, "cache still holds the block");
+        assert_eq!(p.used_blocks(), used_before);
+        assert!(p.verify().is_empty(), "{:?}", p.verify());
+        p.release(0).unwrap();
         assert!(p.verify().is_empty());
     }
 

@@ -18,6 +18,9 @@
 //! * [`scorer`] — the [`CausalScorer`] trait consumed by the perplexity
 //!   evaluator in `edgellm-core` (sliding windows of 1024, stride 512 —
 //!   the paper's exact protocol).
+//! * [`spec`] — speculative draft-and-verify decoding: a deterministic
+//!   prompt-lookup drafter plus a batched [`verify_step`] whose output
+//!   is bitwise-identical to plain greedy decode at every precision.
 
 pub mod adam;
 pub mod linear;
@@ -25,12 +28,14 @@ pub mod loss;
 pub mod mlp_lm;
 pub mod quantize;
 pub mod scorer;
+pub mod spec;
 pub mod transformer;
 
 pub use adam::Adam;
 pub use linear::Linear;
 pub use mlp_lm::{MlpLm, MlpLmConfig, TrainReport};
 pub use scorer::CausalScorer;
+pub use spec::{verify_step, Drafter, PromptLookupDrafter, SpecStats, VerifyOutcome};
 pub use transformer::{KvCache, TinyCausalLm, TinyConfig};
 
 pub use edgellm_quant::WeightPrecision;

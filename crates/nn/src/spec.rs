@@ -1,0 +1,338 @@
+//! Speculative decoding: deterministic self-drafting plus batched
+//! draft verification over the real KV cache.
+//!
+//! Decode on edge accelerators is memory-bandwidth-bound (paper §3.2):
+//! every autoregressive step re-streams the full weight set to emit one
+//! token. Draft-and-verify decoding converts `k` of those
+//! bandwidth-bound steps into one compute-amortized batched pass — the
+//! same amortization the `m=1..8` GEMV shapes in `bench_kernels`
+//! quantify — without changing a single output token.
+//!
+//! The pieces:
+//!
+//! * [`PromptLookupDrafter`] — a deterministic n-gram (prompt-lookup)
+//!   drafter over the request's own prompt + generated context. No
+//!   second model: the draft is the continuation that followed the most
+//!   recent earlier occurrence of the current suffix n-gram.
+//! * [`verify_step`] — scores the committed next token plus `k` draft
+//!   tokens in **one** batched pass (built on the
+//!   [`TinyCausalLm::prefill`]/[`TinyCausalLm::prefill_from`] machinery,
+//!   which is bitwise-equal to token stepping), accepts the longest
+//!   prefix of the draft that matches the model's own greedy argmax,
+//!   and rolls every rejected token back out of the cache with
+//!   [`KvCache::truncate`].
+//! * [`TinyCausalLm::generate_speculative`] — the full decode loop;
+//!   its output is **bitwise-identical** to
+//!   [`TinyCausalLm::generate_greedy`] at every precision and thread
+//!   count, because both argmax over bit-identical logits.
+//!
+//! The serve layer mirrors the same mechanics at device scale
+//! (`core::serve` speculation-aware iterations, block-exact rollback
+//! through `edgellm-mem`'s paged allocator).
+
+use crate::transformer::{KvCache, TinyCausalLm};
+use edgellm_tensor::sampling::argmax;
+
+/// Default longest suffix n-gram the drafter tries to match.
+pub const DEFAULT_MAX_NGRAM: usize = 3;
+
+/// Proposes draft continuations from the request's own context.
+pub trait Drafter {
+    /// Up to `k` draft tokens continuing `context`. May return fewer
+    /// (or none) when the context offers no usable pattern; the decode
+    /// loop then degrades to a plain greedy step.
+    fn draft(&self, context: &[u32], k: usize) -> Vec<u32>;
+}
+
+/// Deterministic n-gram / prompt-lookup drafter: find the longest
+/// suffix of the context (up to `max_ngram` tokens) that occurred
+/// earlier, and propose the tokens that followed its most recent
+/// earlier occurrence. Pure function of the context — no RNG, no
+/// second model — so speculative decode stays replayable.
+#[derive(Debug, Clone, Copy)]
+pub struct PromptLookupDrafter {
+    /// Longest suffix n-gram to match (tried longest-first).
+    pub max_ngram: usize,
+    /// Shortest suffix n-gram worth matching.
+    pub min_ngram: usize,
+}
+
+impl Default for PromptLookupDrafter {
+    fn default() -> Self {
+        PromptLookupDrafter { max_ngram: DEFAULT_MAX_NGRAM, min_ngram: 1 }
+    }
+}
+
+impl Drafter for PromptLookupDrafter {
+    fn draft(&self, context: &[u32], k: usize) -> Vec<u32> {
+        if k == 0 || context.len() < 2 {
+            return Vec::new();
+        }
+        let hi = self.max_ngram.min(context.len() - 1).max(1);
+        let lo = self.min_ngram.clamp(1, hi);
+        for n in (lo..=hi).rev() {
+            let suffix = &context[context.len() - n..];
+            // Most recent earlier occurrence whose continuation exists.
+            let last_start = context.len() - n; // exclusive: the suffix itself
+            for start in (0..last_start).rev() {
+                if &context[start..start + n] == suffix {
+                    let cont = start + n;
+                    let end = (cont + k).min(context.len());
+                    if cont < end {
+                        return context[cont..end].to_vec();
+                    }
+                }
+            }
+        }
+        Vec::new()
+    }
+}
+
+/// Counters from one speculative decode (or one verify iteration).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpecStats {
+    /// Draft tokens proposed.
+    pub drafted: u64,
+    /// Draft tokens accepted by the verifier.
+    pub accepted: u64,
+    /// Draft tokens rejected and rolled back out of the KV cache.
+    pub rolled_back: u64,
+    /// Batched verify passes run (each replaces `1 + accepted`
+    /// sequential decode steps).
+    pub verify_calls: u64,
+}
+
+impl SpecStats {
+    /// Measured per-token acceptance rate α (1.0 when nothing was
+    /// drafted — an empty draft costs nothing).
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.drafted == 0 {
+            1.0
+        } else {
+            self.accepted as f64 / self.drafted as f64
+        }
+    }
+
+    /// Fold another stats record into this one.
+    pub fn merge(&mut self, other: &SpecStats) {
+        self.drafted += other.drafted;
+        self.accepted += other.accepted;
+        self.rolled_back += other.rolled_back;
+        self.verify_calls += other.verify_calls;
+    }
+}
+
+/// Result of one batched verify pass.
+#[derive(Debug, Clone)]
+pub struct VerifyOutcome {
+    /// Draft tokens accepted (`0..=draft.len()`): the longest prefix of
+    /// the draft matching the model's own greedy continuation.
+    pub accepted: usize,
+    /// Next-token logits after the last *consumed* token — bit-identical
+    /// to what sequential [`TinyCausalLm::forward_step`] calls over the
+    /// committed token and the accepted draft tokens would return.
+    pub logits: Vec<f32>,
+}
+
+/// Score `pending` (= the committed next token followed by the draft
+/// tokens) in one batched pass, accept the longest greedy-matching
+/// draft prefix, and roll the rejected tail back out of the cache.
+///
+/// On entry the cache holds every previously consumed token; on exit it
+/// holds exactly those plus `1 + accepted` more. The forward pass is
+/// [`TinyCausalLm::prefill`] — bitwise-equal to token stepping by the
+/// fixed per-element accumulation order — and the rollback is
+/// [`KvCache::truncate`], so the post-call cache is bit-identical to
+/// never having speculated.
+///
+/// # Panics
+/// When `pending` is empty (there is always a committed token to score).
+pub fn verify_step(m: &TinyCausalLm, cache: &mut KvCache, pending: &[u32]) -> VerifyOutcome {
+    assert!(!pending.is_empty(), "verify_step needs the committed token");
+    let base = cache.len();
+    let rows = m.prefill(pending, cache);
+    // Row `i` holds the logits after consuming pending[..=i]; the draft
+    // token pending[i+1] is accepted iff it equals the model's argmax.
+    let mut accepted = 0;
+    while accepted + 1 < pending.len() {
+        let expected = argmax(rows.row(accepted)) as u32;
+        if pending[accepted + 1] != expected {
+            break;
+        }
+        accepted += 1;
+    }
+    // Reject the tail: block-exact rollback of the speculated KV.
+    cache.truncate(base + 1 + accepted);
+    VerifyOutcome { accepted, logits: rows.row(accepted).to_vec() }
+}
+
+impl TinyCausalLm {
+    /// Greedy-decode `n` tokens after a prompt using draft-and-verify
+    /// speculation with draft length `k`. The token stream is
+    /// **bitwise-identical** to [`TinyCausalLm::generate_greedy`] —
+    /// speculation only changes how many forward passes produce it.
+    ///
+    /// Returns the tokens and the speculation counters ([`SpecStats`]),
+    /// from which the measured acceptance rate α follows.
+    pub fn generate_speculative(
+        &self,
+        prompt: &[u32],
+        n: usize,
+        drafter: &dyn Drafter,
+        k: usize,
+    ) -> (Vec<u32>, SpecStats) {
+        let mut cache = self.new_cache();
+        let mut logits = if prompt.is_empty() {
+            vec![0.0]
+        } else {
+            let lg = self.prefill(prompt, &mut cache);
+            lg.row(lg.rows - 1).to_vec()
+        };
+        let mut out = Vec::with_capacity(n);
+        let mut context = prompt.to_vec();
+        let mut stats = SpecStats::default();
+        while out.len() < n {
+            // The next token is already determined by the logits in
+            // hand — commit it for free, then speculate past it.
+            let t = argmax(&logits) as u32;
+            out.push(t);
+            context.push(t);
+            if out.len() == n {
+                // Nothing left to speculate toward; the committed token
+                // is never consumed (exactly like generate_greedy's
+                // final loop iteration, which discards its logits).
+                break;
+            }
+            let want = k.min(n - out.len());
+            let draft = drafter.draft(&context, want);
+            stats.drafted += draft.len() as u64;
+            let mut pending = Vec::with_capacity(1 + draft.len());
+            pending.push(t);
+            pending.extend_from_slice(&draft);
+            let vo = verify_step(self, &mut cache, &pending);
+            stats.verify_calls += 1;
+            stats.accepted += vo.accepted as u64;
+            stats.rolled_back += (draft.len() - vo.accepted) as u64;
+            out.extend_from_slice(&draft[..vo.accepted]);
+            context.extend_from_slice(&draft[..vo.accepted]);
+            logits = vo.logits;
+        }
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transformer::TinyConfig;
+    use edgellm_quant::WeightPrecision;
+
+    #[test]
+    fn prompt_lookup_finds_the_most_recent_continuation() {
+        let d = PromptLookupDrafter::default();
+        // Suffix [7, 8] occurred earlier; continuation was 9, 1.
+        let ctx = [1u32, 7, 8, 9, 1, 4, 7, 8];
+        assert_eq!(d.draft(&ctx, 2), vec![9, 1]);
+        // Longest match wins over a shorter, more recent one: the full
+        // trigram [5,6,9] matched at position 0 (continuation 2) beats
+        // the closer bigram [6,9] at position 4 (continuation 5).
+        let ctx = [5u32, 6, 9, 2, 6, 9, 5, 6, 9];
+        assert_eq!(d.draft(&ctx, 1), vec![2]);
+        // No repeat anywhere → empty draft.
+        assert_eq!(d.draft(&[1, 2, 3, 4], 4), Vec::<u32>::new());
+        // Degenerate contexts never panic.
+        assert_eq!(d.draft(&[], 4), Vec::<u32>::new());
+        assert_eq!(d.draft(&[3], 4), Vec::<u32>::new());
+        assert_eq!(d.draft(&[3, 3], 0), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn repetitive_context_drafts_the_loop() {
+        let d = PromptLookupDrafter::default();
+        let ctx = [10u32, 11, 12, 10, 11, 12, 10, 11, 12];
+        // Suffix [10,11,12] matched at position 3; continuation 10,11,12.
+        assert_eq!(d.draft(&ctx, 3), vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn verify_accepts_exactly_the_greedy_prefix() {
+        let m = TinyCausalLm::new(TinyConfig::small(31));
+        let prompt = [3u32, 99, 41, 7];
+        let greedy = m.generate_greedy(&prompt, 5);
+        // Draft the true greedy continuation: everything is accepted.
+        let mut cache = m.new_cache();
+        let lg = m.prefill(&prompt, &mut cache);
+        let first = argmax(lg.row(lg.rows - 1)) as u32;
+        assert_eq!(first, greedy[0]);
+        let mut pending = vec![first];
+        pending.extend_from_slice(&greedy[1..4]);
+        let vo = verify_step(&m, &mut cache, &pending);
+        assert_eq!(vo.accepted, 3, "a perfect draft is fully accepted");
+        assert_eq!(cache.len(), prompt.len() + 4);
+        // Corrupt the second draft token: only the first survives and
+        // the cache rolls back block-exactly.
+        let mut cache2 = m.new_cache();
+        m.prefill(&prompt, &mut cache2);
+        let mut bad = pending.clone();
+        bad[2] = bad[2].wrapping_add(1) % 256;
+        let vo2 = verify_step(&m, &mut cache2, &bad);
+        assert_eq!(vo2.accepted, 1);
+        assert_eq!(cache2.len(), prompt.len() + 2);
+        // The surviving logits are bit-identical either way.
+        let mut step_cache = m.new_cache();
+        m.prefill(&prompt, &mut step_cache);
+        m.forward_step(pending[0], &mut step_cache);
+        let stepped = m.forward_step(pending[1], &mut step_cache);
+        assert_eq!(vo2.logits, stepped);
+    }
+
+    #[test]
+    fn speculative_equals_greedy_at_all_precisions() {
+        let base = TinyCausalLm::new(TinyConfig::small(32));
+        // A repetitive prompt gives the drafter real matches.
+        let prompt = [5u32, 8, 13, 5, 8, 13, 5, 8];
+        for prec in [
+            None,
+            Some(WeightPrecision::Fp16),
+            Some(WeightPrecision::Int8),
+            Some(WeightPrecision::Int4),
+        ] {
+            let m = match prec {
+                None => base.clone(),
+                Some(p) => base.to_precision(p),
+            };
+            let plain = m.generate_greedy(&prompt, 24);
+            for k in [1usize, 2, 4, 8] {
+                let (spec, stats) =
+                    m.generate_speculative(&prompt, 24, &PromptLookupDrafter::default(), k);
+                assert_eq!(spec, plain, "{prec:?} k={k}");
+                assert_eq!(stats.drafted, stats.accepted + stats.rolled_back, "{prec:?} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn speculation_saves_forward_passes_on_repetitive_text() {
+        let m = TinyCausalLm::new(TinyConfig::small(33));
+        // Untrained models loop quickly; find a prompt whose greedy
+        // continuation repeats so prompt-lookup drafting actually hits.
+        let prompt = [9u32, 9, 9, 9];
+        let n = 32;
+        let (out, stats) = m.generate_speculative(&prompt, n, &PromptLookupDrafter::default(), 4);
+        assert_eq!(out.len(), n);
+        assert_eq!(out, m.generate_greedy(&prompt, n));
+        assert!(stats.accepted > 0, "looping generation must accept drafts: {stats:?} out={out:?}");
+        // Each verify call emits 1 + accepted tokens; with any
+        // acceptance the pass count drops below n.
+        assert!(stats.verify_calls < n as u64, "{stats:?}");
+    }
+
+    #[test]
+    fn zero_and_tiny_requests_degrade_gracefully() {
+        let m = TinyCausalLm::new(TinyConfig::small(34));
+        let d = PromptLookupDrafter::default();
+        assert_eq!(m.generate_speculative(&[1, 2], 0, &d, 4).0, Vec::<u32>::new());
+        assert_eq!(m.generate_speculative(&[1, 2], 1, &d, 4).0, m.generate_greedy(&[1, 2], 1));
+        assert_eq!(m.generate_speculative(&[], 3, &d, 4).0, m.generate_greedy(&[], 3));
+    }
+}

@@ -139,8 +139,10 @@ impl PerfModel {
         core + self.host_per_step() + self.context_traffic_time(batch, ctx)
     }
 
-    /// KV + long-context overhead traffic time for one step.
-    fn context_traffic_time(&self, batch: u64, ctx: u64) -> f64 {
+    /// KV + long-context overhead traffic time for one step (crate-public
+    /// so the speculation model in [`crate::spec`] bills the per-row
+    /// context reads of a verify batch with the same constants).
+    pub(crate) fn context_traffic_time(&self, batch: u64, ctx: u64) -> f64 {
         let kv = ctx as f64 * self.arch.kv_bytes_per_token() as f64;
         let overhead = ctx.saturating_sub(CTX_OVERHEAD_THRESHOLD) as f64 * self.calib.k2_bytes;
         batch as f64 * (kv + overhead) / self.effective_bandwidth()

@@ -27,8 +27,10 @@
 
 pub mod calib;
 pub mod latency;
+pub mod spec;
 pub mod util;
 
 pub use calib::{ModelCalib, PrecisionCosts};
 pub use latency::{LatencyBreakdown, PerfModel};
+pub use spec::{expected_tokens_per_iteration, SpecCalib};
 pub use util::Utilization;

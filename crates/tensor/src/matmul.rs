@@ -108,8 +108,8 @@ pub mod policy {
         }
     }
 
-    /// Dispatch for the fused quantized NT kernels (`QInt8Matrix`,
-    /// `QInt4Matrix`, `F16Matrix`) at `(m × k) · (n × k)ᵀ`.
+    /// Dispatch for the fused quantized NT kernels (`QInt4Matrix`,
+    /// `F16Matrix`) at `(m × k) · (n × k)ᵀ`.
     pub fn matmul_quant_nt(m: usize, n: usize, k: usize, threads: usize) -> Dispatch {
         let elems = m.saturating_mul(n).saturating_mul(k.max(1));
         if threads <= 1 || elems < 2 * QUANT_MIN_ELEMS_PER_THREAD {
@@ -122,6 +122,26 @@ pub mod policy {
             Dispatch::ColParallel
         } else {
             Dispatch::Serial
+        }
+    }
+
+    /// Dispatch for the fused INT8 two-stream kernel (`QInt8Matrix`),
+    /// separated from [`matmul_quant_nt`] because its column-parallel
+    /// decode path *loses*: `BENCH_kernels.json` pins int8_fused at
+    /// 0.66× parallel speedup at m = 1 on both the Phi-2 and Llama-8B
+    /// decode shapes, while the f16/int4 fused kernels hold ≥ 1.0×
+    /// there. The i32 inlier product is so much cheaper per element than
+    /// a codebook or f16 decode that the column split's per-block
+    /// overhead (fork/join plus re-touching the quantized activation
+    /// row from every worker) dominates the arithmetic it divides.
+    /// Decode shapes therefore stay serial; batched shapes keep the row
+    /// split, which does win (1.05× at m = 32).
+    pub fn matmul_int8_nt(m: usize, n: usize, k: usize, threads: usize) -> Dispatch {
+        let elems = m.saturating_mul(n).saturating_mul(k.max(1));
+        if threads <= 1 || m < 2 || elems < 2 * QUANT_MIN_ELEMS_PER_THREAD {
+            Dispatch::Serial
+        } else {
+            Dispatch::RowParallel
         }
     }
 }
@@ -515,6 +535,23 @@ mod tests {
         #[test]
         fn single_column_never_col_splits() {
             assert_eq!(matmul_nt(1, 1, 4_000_000, 8), Dispatch::Serial);
+        }
+
+        #[test]
+        fn int8_decode_shapes_stay_serial() {
+            // The BENCH_kernels.json regression pin: int8_fused measured
+            // 0.66× at m = 1 under the column split, so the int8 policy
+            // must never dispatch it — exactly the phi2/llama8b decode
+            // shapes the bench runs.
+            assert_eq!(matmul_int8_nt(1, 10_240, 2_560, 4), Dispatch::Serial);
+            assert_eq!(matmul_int8_nt(1, 14_336, 4_096, 4), Dispatch::Serial);
+            // Verify-batch shapes (m = 2..8) row-split instead of
+            // column-splitting; m = 1 threads ≫ elems stays serial too.
+            assert_eq!(matmul_int8_nt(4, 10_240, 2_560, 4), Dispatch::RowParallel);
+            assert_eq!(matmul_int8_nt(1, 16, 64, 8), Dispatch::Serial);
+            assert_eq!(matmul_int8_nt(512, 4096, 4096, 1), Dispatch::Serial);
+            // Batched prefill keeps its measured 1.05× row split.
+            assert_eq!(matmul_int8_nt(32, 10_240, 2_560, 4), Dispatch::RowParallel);
         }
     }
 }

@@ -226,7 +226,7 @@ impl QInt8Matrix {
                 }
             }
         };
-        let dispatch = policy::matmul_quant_nt(m, n, self.cols, threads);
+        let dispatch = policy::matmul_int8_nt(m, n, self.cols, threads);
         #[cfg(feature = "trace")]
         let _t = edgellm_trace::kernels::timer(
             crate::matmul::instrument::pick(

@@ -1,0 +1,176 @@
+//! Speculative decoding end-to-end guarantees, spanning crates.
+//!
+//! The hard contract (ISSUE 10): draft-and-verify decode must be an
+//! *invisible* optimization. Three layers are pinned here:
+//!
+//! * **nn** — `generate_speculative` emits a token stream bitwise
+//!   identical to `generate_greedy` at every weight precision
+//!   (f32/f16/int8/int4) and every thread count (`EDGELLM_THREADS` =
+//!   1/2/8, exercised in-process via `rayon::with_num_threads`, the
+//!   same override the env var reaches).
+//! * **mem/serve** — rejected drafts are appended to the paged KV and
+//!   rolled back block-exactly: pools conserve blocks under rollback,
+//!   preemption, and deliberate KV pressure, and the full
+//!   `edgellm-check` oracle battery stays clean.
+//! * **forensics** — the per-request energy ledger still partitions the
+//!   energy integral exactly (1e-9) when drafted-then-rejected work is
+//!   billed to the requests that drafted it.
+
+use edgellm::check::oracles::check_serve;
+use edgellm::core::serve::{ServeConfig, ServeSim};
+use edgellm::core::{PoissonArrivals, RunConfig};
+use edgellm::hw::DeviceSpec;
+use edgellm::models::{Llm, Precision};
+use edgellm::nn::{PromptLookupDrafter, TinyCausalLm, TinyConfig};
+use edgellm::quant::WeightPrecision;
+use proptest::prelude::*;
+
+fn drain(mut sim: ServeSim) -> ServeSim {
+    while let Some(now) = sim.next_event_s() {
+        sim.step(now).unwrap();
+    }
+    sim
+}
+
+fn setup() -> (DeviceSpec, RunConfig) {
+    (DeviceSpec::orin_agx_64gb(), RunConfig::new(Llm::Llama31_8b, Precision::Fp16))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Speculative decode is bitwise-identical to plain greedy decode at
+    /// every weight precision and every thread count. A repetitive
+    /// prompt suffix gives the prompt-lookup drafter real matches, so
+    /// both the accept and the reject/rollback paths run.
+    #[test]
+    fn speculative_stream_is_bitwise_greedy_across_precisions_and_threads(
+        seed in 0u64..40,
+        k in 1usize..8,
+        n in 4usize..28,
+        period in 2u64..5,
+    ) {
+        let prompt: Vec<u32> = (0..10u64)
+            .map(|i| ((seed.wrapping_mul(97).wrapping_add(i % period)) % 256) as u32)
+            .collect();
+        for prec in [
+            None,
+            Some(WeightPrecision::Fp16),
+            Some(WeightPrecision::Int8),
+            Some(WeightPrecision::Int4),
+        ] {
+            // (greedy stream, speculative stream, counters) per thread
+            // count; every observation must agree with every other.
+            let observe = |threads: usize| {
+                rayon::with_num_threads(threads, || {
+                    let base = TinyCausalLm::new(TinyConfig::small(seed));
+                    let m = match prec {
+                        None => base,
+                        Some(p) => base.to_precision(p),
+                    };
+                    let plain = m.generate_greedy(&prompt, n);
+                    let (spec, stats) =
+                        m.generate_speculative(&prompt, n, &PromptLookupDrafter::default(), k);
+                    (plain, spec, stats)
+                })
+            };
+            let t1 = observe(1);
+            prop_assert_eq!(&t1.0, &t1.1, "spec != greedy at {:?} k={}", prec, k);
+            prop_assert_eq!(
+                t1.2.drafted, t1.2.accepted + t1.2.rolled_back,
+                "draft partition at {:?}", prec
+            );
+            for threads in [2usize, 8] {
+                let tn = observe(threads);
+                prop_assert_eq!(&t1.0, &tn.0, "greedy moved across threads at {:?}", prec);
+                prop_assert_eq!(&t1.1, &tn.1, "spec moved across threads at {:?}", prec);
+                prop_assert_eq!(t1.2, tn.2, "counters moved across threads at {:?}", prec);
+            }
+        }
+    }
+
+    /// KV blocks are conserved under speculative rollback: every block
+    /// taken for a drafted-then-rejected token returns to the pool, with
+    /// and without deliberate KV pressure (which adds preemption and the
+    /// secure-kv draft-degradation path on top), and the full oracle
+    /// battery stays clean.
+    #[test]
+    fn kv_blocks_conserve_under_rollback_and_pressure(
+        seed in 0u64..200,
+        k in 1u64..8,
+        alpha_pct in 5u64..95,
+        pool_seqs in 0u64..10,
+    ) {
+        let (dev, cfg) = setup();
+        let reqs = PoissonArrivals::paper_shape(1.5).generate(12, seed);
+        let mut serve = ServeConfig::chunked(8)
+            .with_speculation(k, alpha_pct as f64 / 100.0);
+        // 0 and 1 leave the pool uncapped; 2..10 cap it at that many
+        // 160-token sequences' worth of blocks (real pressure).
+        if pool_seqs >= 2 {
+            serve = serve.kv_pool_cap(pool_seqs * 160 * Llm::Llama31_8b.arch().kv_bytes_per_token());
+        }
+        let sim = drain(ServeSim::new(serve, &dev, &cfg, &reqs).unwrap());
+        let audit = sim.audit();
+        prop_assert_eq!(audit.completions.len(), 12);
+        prop_assert_eq!(audit.kv_blocks_allocated, audit.kv_blocks_freed);
+        prop_assert_eq!(audit.kv_blocks_in_use, 0);
+        prop_assert_eq!(audit.spec_drafted, audit.spec_accepted + audit.spec_rolled_back);
+        let violations = check_serve(&audit, &reqs);
+        prop_assert!(violations.is_empty(), "{:?}", violations);
+    }
+
+    /// The forensic energy ledger still partitions exactly with
+    /// speculation on: per-request attributed shares (including the
+    /// verify rows billed for drafted-then-rejected tokens) plus the
+    /// idle remainder reproduce the energy integral at 1e-9.
+    #[test]
+    fn energy_ledger_partitions_exactly_with_speculation_on(
+        seed in 0u64..200,
+        k in 1u64..8,
+        alpha_pct in 5u64..95,
+    ) {
+        let (dev, cfg) = setup();
+        let reqs = PoissonArrivals::paper_shape(2.0).generate(10, seed);
+        let serve = ServeConfig::chunked(16).with_speculation(k, alpha_pct as f64 / 100.0);
+        let sim = drain(ServeSim::new(serve, &dev, &cfg, &reqs).unwrap());
+        let f = sim.forensics();
+        prop_assert_eq!(f.req_energy.len(), 10, "every request holds an energy share");
+        let attributed: f64 = f.req_energy.iter().map(|&(_, e)| e).sum();
+        let total = attributed + f.idle_energy_j;
+        prop_assert!(
+            (total - sim.energy_j()).abs() <= 1e-9 * (1.0 + sim.energy_j().abs()),
+            "attributed {} + idle {} != integral {}",
+            attributed, f.idle_energy_j, sim.energy_j()
+        );
+    }
+}
+
+/// Speculation must never make a workload *fail* that plain decode
+/// serves: same completions, same output totals, never more preemptions
+/// than blocks would force, and a makespan no worse — on the paper
+/// workload at a healthy acceptance rate it is strictly better.
+#[test]
+fn speculative_serving_dominates_plain_at_high_alpha() {
+    let (dev, cfg) = setup();
+    let reqs = PoissonArrivals::paper_shape(1.0).generate(16, 11);
+    let plain = drain(ServeSim::new(ServeConfig::chunked(16), &dev, &cfg, &reqs).unwrap());
+    let spec = drain(
+        ServeSim::new(ServeConfig::chunked(16).with_speculation(4, 0.8), &dev, &cfg, &reqs)
+            .unwrap(),
+    );
+    assert_eq!(spec.completions().len(), plain.completions().len());
+    assert_eq!(spec.served_output_tokens(), plain.served_output_tokens());
+    assert!(
+        spec.now() < plain.now(),
+        "speculative makespan {} must beat plain {} at α=0.8",
+        spec.now(),
+        plain.now()
+    );
+    assert!(
+        spec.energy_j() < plain.energy_j(),
+        "fewer weight streams must cost less energy: {} vs {}",
+        spec.energy_j(),
+        plain.energy_j()
+    );
+}
